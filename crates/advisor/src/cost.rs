@@ -1,0 +1,237 @@
+//! Analytic plan-cost estimation.
+//!
+//! Costs are unit-free "work" numbers: roughly, rows touched, weighted by
+//! row width where scans are concerned. Only *relative* fidelity matters —
+//! the advisor compares candidate mappings against each other, mirroring
+//! how the paper compares M1–M6.
+
+use crate::stats::SynthTableStats;
+use erbium_engine::{BinOp, Expr, Plan, PlanKind};
+use rustc_hash::FxHashMap;
+
+/// Estimated cardinality and cost of a plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    pub rows: f64,
+    pub cost: f64,
+}
+
+/// Default fan-out assumed for unnesting when no statistics are available.
+const DEFAULT_ARRAY_LEN: f64 = 3.0;
+
+/// Estimate a plan bottom-up against synthesized table statistics.
+pub fn estimate_plan(plan: &Plan, stats: &FxHashMap<String, SynthTableStats>) -> Estimate {
+    match &plan.kind {
+        PlanKind::Scan { table, filters } => {
+            let t = stats.get(table).copied().unwrap_or_default();
+            let sel = filters.iter().map(|f| selectivity(f, t.rows)).product::<f64>();
+            Estimate { rows: (t.rows * sel).max(0.0), cost: t.rows * (1.0 + t.width * 0.1) }
+        }
+        PlanKind::IndexLookup { table, keys, residual, .. } => {
+            let t = stats.get(table).copied().unwrap_or_default();
+            // Assume near-unique index reach.
+            let base = keys.len() as f64;
+            let sel = residual.iter().map(|f| selectivity(f, t.rows)).product::<f64>();
+            Estimate { rows: (base * sel).max(0.0), cost: base * 2.0 }
+        }
+        PlanKind::IndexRange { table, residual, .. } => {
+            let t = stats.get(table).copied().unwrap_or_default();
+            // Assume the range selects ~20% of the table, reached directly.
+            let base = t.rows * 0.2;
+            let sel = residual.iter().map(|f| selectivity(f, t.rows)).product::<f64>();
+            Estimate { rows: base * sel, cost: base + (t.rows.max(2.0)).log2() }
+        }
+        PlanKind::FactorizedScan { table, side, filters } => {
+            let rows = match side {
+                erbium_engine::plan::FactorizedSide::Join => {
+                    stats.get(table).copied().unwrap_or_default().rows
+                }
+                erbium_engine::plan::FactorizedSide::Left => stats
+                    .get(&format!("{table}#left"))
+                    .map(|t| t.rows)
+                    .unwrap_or_else(|| stats.get(table).copied().unwrap_or_default().rows / 2.0),
+                erbium_engine::plan::FactorizedSide::Right => stats
+                    .get(&format!("{table}#right"))
+                    .map(|t| t.rows)
+                    .unwrap_or_else(|| stats.get(table).copied().unwrap_or_default().rows / 2.0),
+            };
+            let sel = filters.iter().map(|f| selectivity(f, rows)).product::<f64>();
+            Estimate { rows: rows * sel, cost: rows }
+        }
+        PlanKind::FactorizedCount { .. } => Estimate { rows: 1.0, cost: 1.0 },
+        PlanKind::Filter { input, predicate } => {
+            let e = estimate_plan(input, stats);
+            let sel = selectivity(predicate, e.rows);
+            Estimate { rows: e.rows * sel, cost: e.cost + e.rows }
+        }
+        PlanKind::Project { input, exprs } => {
+            let e = estimate_plan(input, stats);
+            Estimate { rows: e.rows, cost: e.cost + e.rows * 0.05 * exprs.len() as f64 }
+        }
+        PlanKind::Join { left, right, kind, left_keys, .. } => {
+            let l = estimate_plan(left, stats);
+            let r = estimate_plan(right, stats);
+            let rows = match kind {
+                erbium_engine::JoinKind::Semi => l.rows * 0.7,
+                erbium_engine::JoinKind::Left => l.rows.max(key_join_rows(l.rows, r.rows, left_keys)),
+                erbium_engine::JoinKind::Inner => key_join_rows(l.rows, r.rows, left_keys),
+            };
+            Estimate { rows, cost: l.cost + r.cost + l.rows + r.rows * 1.5 + rows * 0.5 }
+        }
+        PlanKind::Aggregate { input, group, .. } => {
+            let e = estimate_plan(input, stats);
+            let groups = if group.is_empty() { 1.0 } else { (e.rows * 0.3).max(1.0) };
+            Estimate { rows: groups, cost: e.cost + e.rows * 1.2 }
+        }
+        PlanKind::Unnest { input, .. } => {
+            let e = estimate_plan(input, stats);
+            let rows = e.rows * DEFAULT_ARRAY_LEN;
+            Estimate { rows, cost: e.cost + rows }
+        }
+        PlanKind::Sort { input, .. } => {
+            let e = estimate_plan(input, stats);
+            let n = e.rows.max(2.0);
+            Estimate { rows: e.rows, cost: e.cost + n * n.log2() * 0.2 }
+        }
+        PlanKind::Limit { input, limit } => {
+            let e = estimate_plan(input, stats);
+            Estimate { rows: e.rows.min(*limit as f64), cost: e.cost }
+        }
+        PlanKind::Distinct { input } => {
+            let e = estimate_plan(input, stats);
+            Estimate { rows: (e.rows * 0.6).max(1.0), cost: e.cost + e.rows }
+        }
+        PlanKind::Union { inputs } => {
+            let mut rows = 0.0;
+            let mut cost = 0.0;
+            for i in inputs {
+                let e = estimate_plan(i, stats);
+                rows += e.rows;
+                cost += e.cost + 0.5; // per-branch overhead
+            }
+            Estimate { rows, cost }
+        }
+        PlanKind::Values { rows } => {
+            Estimate { rows: rows.len() as f64, cost: rows.len() as f64 }
+        }
+    }
+}
+
+/// Rows out of a key-equality hash join, FK-join heuristic: the larger side
+/// survives, scaled down slightly for selective smaller sides.
+fn key_join_rows(l: f64, r: f64, keys: &[Expr]) -> f64 {
+    if keys.is_empty() {
+        return l * r; // cartesian
+    }
+    l.max(r).max(1.0)
+}
+
+/// Selectivity heuristics by predicate shape.
+fn selectivity(e: &Expr, input_rows: f64) -> f64 {
+    match e {
+        Expr::Binary { op: BinOp::Eq, .. } => {
+            // Equality: assume fairly selective.
+            if input_rows > 0.0 {
+                (10.0 / input_rows).clamp(0.000_1, 0.5)
+            } else {
+                0.1
+            }
+        }
+        Expr::Binary { op: BinOp::And, left, right } => {
+            selectivity(left, input_rows) * selectivity(right, input_rows)
+        }
+        Expr::Binary { op: BinOp::Or, left, right } => {
+            (selectivity(left, input_rows) + selectivity(right, input_rows)).min(1.0)
+        }
+        Expr::Binary { op, .. } if op.is_comparison() => 0.3,
+        Expr::InSet { set, .. } => {
+            if input_rows > 0.0 {
+                ((set.len() as f64) / input_rows).clamp(0.000_1, 1.0)
+            } else {
+                0.1
+            }
+        }
+        Expr::IsNotNull(_) => 0.9,
+        Expr::IsNull(_) => 0.1,
+        _ => 0.5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::SynthTableStats;
+    use erbium_engine::Field;
+    use erbium_storage::DataType;
+
+    fn stats(pairs: &[(&str, f64)]) -> FxHashMap<String, SynthTableStats> {
+        pairs
+            .iter()
+            .map(|(n, r)| (n.to_string(), SynthTableStats { rows: *r, width: 3.0 }))
+            .collect()
+    }
+
+    fn scan(table: &str, filters: Vec<Expr>) -> Plan {
+        Plan {
+            kind: PlanKind::Scan { table: table.into(), filters },
+            fields: vec![Field::new("x", DataType::Int)],
+        }
+    }
+
+    #[test]
+    fn filtered_scan_cheaper_output() {
+        let s = stats(&[("t", 10_000.0)]);
+        let full = estimate_plan(&scan("t", vec![]), &s);
+        let filtered = estimate_plan(
+            &scan("t", vec![Expr::eq(Expr::col(0), Expr::lit(1i64))]),
+            &s,
+        );
+        assert!(filtered.rows < full.rows);
+    }
+
+    #[test]
+    fn index_lookup_beats_scan() {
+        let s = stats(&[("t", 1_000_000.0)]);
+        let scan_est = estimate_plan(
+            &scan("t", vec![Expr::eq(Expr::col(0), Expr::lit(1i64))]),
+            &s,
+        );
+        let lookup = Plan {
+            kind: PlanKind::IndexLookup {
+                table: "t".into(),
+                columns: vec![0],
+                keys: vec![erbium_storage::Value::Int(1)],
+                residual: vec![],
+            },
+            fields: vec![Field::new("x", DataType::Int)],
+        };
+        let lookup_est = estimate_plan(&lookup, &s);
+        assert!(lookup_est.cost < scan_est.cost / 100.0);
+    }
+
+    #[test]
+    fn join_cost_grows_with_inputs() {
+        let s = stats(&[("a", 1_000.0), ("b", 100_000.0)]);
+        let small = scan("a", vec![]).join(
+            scan("a", vec![]),
+            erbium_engine::JoinKind::Inner,
+            vec![Expr::col(0)],
+            vec![Expr::col(0)],
+        );
+        let big = scan("a", vec![]).join(
+            scan("b", vec![]),
+            erbium_engine::JoinKind::Inner,
+            vec![Expr::col(0)],
+            vec![Expr::col(0)],
+        );
+        assert!(estimate_plan(&big, &s).cost > estimate_plan(&small, &s).cost);
+    }
+
+    #[test]
+    fn union_sums_branches() {
+        let s = stats(&[("a", 500.0)]);
+        let u = Plan::union(vec![scan("a", vec![]), scan("a", vec![]), scan("a", vec![])]).unwrap();
+        let e = estimate_plan(&u, &s);
+        assert!((e.rows - 1500.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # erbium-advisor
+//!
+//! The workload-aware mapping advisor — the paper's "natural optimization
+//! problem ...: automatically identify the best mapping for a given schema
+//! and data and query workload".
+//!
+//! The advisor searches the space of graph covers the mapping layer can
+//! express, driven by:
+//!
+//! * [`stats::LogicalStats`] — mapping-independent statistics gathered once
+//!   from the current database (entity extent sizes, average multi-valued
+//!   fan-outs, relationship cardinalities);
+//! * [`stats::synthesize`] — projected physical table statistics for *any*
+//!   candidate mapping, derived analytically (no data movement while
+//!   searching);
+//! * [`cost`] — a calibrated plan-cost estimator: each candidate mapping is
+//!   installed schema-only into a phantom catalog, the workload queries are
+//!   rewritten against it with the real [`erbium_mapping::QueryRewriter`]
+//!   (so candidate costs reflect exactly the plans that would run), and the
+//!   plans are costed bottom-up against the synthesized statistics;
+//! * [`search`] — the design dimensions (multi-valued placement, hierarchy
+//!   layout, weak-entity folding, relationship co-location) and a greedy
+//!   coordinate-descent search with restarts over them.
+//!
+//! The result is a [`search::Recommendation`]: the winning mapping, its
+//! estimated workload cost, the per-query breakdown, and an explanation of
+//! each design choice.
+
+pub mod cost;
+pub mod search;
+pub mod stats;
+pub mod workload;
+
+pub use cost::estimate_plan;
+pub use search::{Advisor, DesignChoice, Recommendation, SearchConfig};
+pub use stats::{synthesize, LogicalStats};
+pub use workload::{Workload, WorkloadQuery};

@@ -1,0 +1,51 @@
+//! Workload descriptions: weighted ERQL query templates.
+
+use erbium_mapping::{MappingError, MappingResult};
+use erbium_query::SelectStmt;
+
+/// One query template with a relative frequency weight.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    pub sql: String,
+    pub weight: f64,
+    pub stmt: SelectStmt,
+}
+
+impl WorkloadQuery {
+    pub fn new(sql: impl Into<String>, weight: f64) -> MappingResult<WorkloadQuery> {
+        let sql = sql.into();
+        let stmt = erbium_query::parse_single(&sql)
+            .map_err(|e| MappingError::Binding(format!("workload parse error: {e}")))?;
+        let erbium_query::Statement::Select(stmt) = stmt else {
+            return Err(MappingError::Unsupported("workload queries must be SELECTs".into()));
+        };
+        Ok(WorkloadQuery { sql, weight, stmt })
+    }
+}
+
+/// A weighted set of query templates.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    pub queries: Vec<WorkloadQuery>,
+}
+
+impl Workload {
+    pub fn new() -> Workload {
+        Workload::default()
+    }
+
+    /// Add a query with weight 1.
+    pub fn query(self, sql: &str) -> MappingResult<Workload> {
+        self.weighted(sql, 1.0)
+    }
+
+    /// Add a query with an explicit weight (relative frequency).
+    pub fn weighted(mut self, sql: &str, weight: f64) -> MappingResult<Workload> {
+        self.queries.push(WorkloadQuery::new(sql, weight)?);
+        Ok(self)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}

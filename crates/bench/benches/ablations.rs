@@ -1,0 +1,176 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **A-index** — the paper attributes M1's 145x point-lookup loss to a
+//!   missing index on the side table; adding one should close most of the
+//!   gap (the rest is the extra fetch);
+//! * **A-m6-format** — denormalized vs. factorized co-location: join
+//!   speed, single-entity scan speed, and storage bytes (the paper argues
+//!   compact multi-relation formats are what make M6 viable);
+//! * **A-crud** — logical insert and entity-centric erase cost across
+//!   mappings (the write amplification the mapping choice implies);
+//! * **A-remap** — full physical migration between mappings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use erbium_bench::{build, queries};
+use erbium_datagen::ExperimentConfig;
+use erbium_evolve::Migrator;
+use erbium_mapping::{EntityData, EntityStore};
+use erbium_storage::{IndexKind, Transaction, Value};
+
+fn config() -> ExperimentConfig {
+    ExperimentConfig { n_r: 4_000, mv_avg: 3, seed: 42 }
+}
+
+fn bench_index_ablation(c: &mut Criterion) {
+    let cfg = config();
+    let mut g = c.benchmark_group("A-index");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let sql = queries::e3((cfg.n_r / 2) as i64);
+
+    let db = build("M1", &cfg);
+    g.bench_function("M1_no_side_index", |b| {
+        b.iter(|| std::hint::black_box(db.run(&sql)))
+    });
+
+    let mut db2 = build("M1", &cfg);
+    db2.catalog
+        .table_mut("R__r_mv1")
+        .unwrap()
+        .create_index("side_by_rid", vec![0], IndexKind::Hash)
+        .unwrap();
+    g.bench_function("M1_with_side_index", |b| {
+        b.iter(|| std::hint::black_box(db2.run(&sql)))
+    });
+
+    let db3 = build("M2", &cfg);
+    g.bench_function("M2_inline", |b| b.iter(|| std::hint::black_box(db3.run(&sql))));
+    g.finish();
+}
+
+fn bench_m6_format(c: &mut Criterion) {
+    let cfg = config();
+    let mut g = c.benchmark_group("A-m6-format");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let dbs = [build("M6d", &cfg), build("M6f", &cfg)];
+    for db in &dbs {
+        g.bench_function(format!("{}_join", db.name), |b| {
+            b.iter(|| std::hint::black_box(db.run(queries::E9A)))
+        });
+        g.bench_function(format!("{}_single_entity", db.name), |b| {
+            b.iter(|| std::hint::black_box(db.run(queries::E9B)))
+        });
+    }
+    g.finish();
+    // Storage comparison is printed once (criterion has no byte metric).
+    let fact = dbs[1].catalog.factorized("r2_s1__co").unwrap();
+    eprintln!(
+        "A-m6-format storage: factorized={} bytes vs denormalized-equivalent={} bytes",
+        fact.approx_bytes(),
+        fact.denormalized_bytes()
+    );
+}
+
+fn bench_crud(c: &mut Criterion) {
+    let cfg = ExperimentConfig { n_r: 2_000, mv_avg: 3, seed: 42 };
+    let mut g = c.benchmark_group("A-crud");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for name in ["M1", "M2", "M3", "M4", "M5"] {
+        // Logical insert of an R3 instance (multi-table under M1, single
+        // row under M3/M4).
+        g.bench_function(format!("insert_r3_{name}"), |b| {
+            let mut db = build(name, &cfg);
+            let mut next_id = cfg.n_r as i64;
+            b.iter(|| {
+                let store = EntityStore::new(&db.lowering);
+                let mut data = EntityData::default();
+                data.insert("r_id".into(), Value::Int(next_id));
+                data.insert("r_a".into(), Value::str("bench"));
+                data.insert("r_b".into(), Value::Int(1));
+                data.insert("r_mv1".into(), Value::Array(vec![Value::Int(1), Value::Int(2)]));
+                data.insert("r_mv2".into(), Value::Array(vec![Value::Int(3)]));
+                data.insert("r_mv3".into(), Value::Array(vec![Value::str("x")]));
+                data.insert("r1_a".into(), Value::Int(5));
+                data.insert("r1_b".into(), Value::str("y"));
+                data.insert("r3_a".into(), Value::Int(7));
+                let mut txn = Transaction::new();
+                store
+                    .insert(&mut db.catalog, &mut txn, "R3", &data, &[("r_s", vec![Value::Int(0)])])
+                    .unwrap();
+                txn.commit();
+                next_id += 1;
+            });
+        });
+        // Entity-centric erase: each iteration deletes an instance the
+        // (untimed) setup inserted, so the pool never runs dry.
+        g.bench_function(format!("erase_{name}"), |b| {
+            let mut db = build(name, &cfg);
+            let next_id = std::cell::Cell::new(10 * cfg.n_r as i64);
+            let db = std::cell::RefCell::new(&mut db);
+            b.iter_batched(
+                || {
+                    let id = next_id.get();
+                    next_id.set(id + 1);
+                    let mut dbr = db.borrow_mut();
+                    let lowering = dbr.lowering.clone();
+                    let store = EntityStore::new(&lowering);
+                    let mut data = EntityData::default();
+                    data.insert("r_id".into(), Value::Int(id));
+                    data.insert("r_a".into(), Value::str("bench"));
+                    data.insert("r_b".into(), Value::Int(1));
+                    data.insert("r_mv1".into(), Value::Array(vec![Value::Int(1)]));
+                    data.insert("r_mv2".into(), Value::Array(vec![]));
+                    data.insert("r_mv3".into(), Value::Array(vec![]));
+                    data.insert("r2_a".into(), Value::Int(2));
+                    data.insert("r2_b".into(), Value::str("y"));
+                    let mut txn = Transaction::new();
+                    store
+                        .insert(&mut dbr.catalog, &mut txn, "R2", &data, &[("r_s", vec![Value::Int(0)])])
+                        .unwrap();
+                    txn.commit();
+                    id
+                },
+                |id| {
+                    let mut dbr = db.borrow_mut();
+                    let lowering = dbr.lowering.clone();
+                    let store = EntityStore::new(&lowering);
+                    let mut txn = Transaction::new();
+                    store.delete(&mut dbr.catalog, &mut txn, "R", &[Value::Int(id)]).unwrap();
+                    txn.commit();
+                },
+                criterion::BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_remap(c: &mut Criterion) {
+    let cfg = ExperimentConfig { n_r: 1_000, mv_avg: 3, seed: 42 };
+    let mut g = c.benchmark_group("A-remap");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for target in ["M2", "M3", "M4", "M5"] {
+        g.bench_function(format!("M1_to_{target}"), |b| {
+            b.iter_batched(
+                || build("M1", &cfg),
+                |mut db| {
+                    let mapping = erbium_bench::mapping_by_name(target);
+                    Migrator::remap(&mut db.catalog, &db.lowering, mapping).unwrap();
+                },
+                criterion::BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_index_ablation, bench_m6_format, bench_crud, bench_remap);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benches: one group per paper experiment (E1–E9b), one bench
+//! per mapping within the group — the criterion counterpart of the `repro`
+//! binary. Scale via `ERBIUM_SCALE` (defaults to a criterion-friendly
+//! 4,000-instance hierarchy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use erbium_bench::{build, experiments, BenchDb, MAPPING_NAMES};
+use erbium_datagen::ExperimentConfig;
+use std::collections::HashMap;
+
+fn config() -> ExperimentConfig {
+    match std::env::var("ERBIUM_SCALE") {
+        Ok(_) => ExperimentConfig::from_env(),
+        Err(_) => ExperimentConfig { n_r: 4_000, mv_avg: 3, seed: 42 },
+    }
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let cfg = config();
+    let dbs: HashMap<&str, BenchDb> =
+        MAPPING_NAMES.iter().map(|&m| (m, build(m, &cfg))).collect();
+    for exp in experiments() {
+        let sql = (exp.query)(&cfg);
+        let mut group = c.benchmark_group(exp.id);
+        group.sample_size(10);
+        group.warm_up_time(Duration::from_millis(500));
+        group.measurement_time(Duration::from_secs(2));
+        for &m in exp.mappings {
+            let db = &dbs[m];
+            group.bench_function(m, |b| b.iter(|| std::hint::black_box(db.run(&sql))));
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

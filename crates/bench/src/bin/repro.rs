@@ -1,0 +1,96 @@
+//! Reproduce every Section-6 experiment and print paper-vs-measured.
+//!
+//! ```text
+//! cargo run --release -p erbium-bench --bin repro            # bench scale
+//! ERBIUM_SCALE=paper cargo run --release -p erbium-bench --bin repro
+//! ERBIUM_REPS=10 ...                                         # paper's 10 runs
+//! ```
+
+use erbium_bench::{build, experiments, measure, BenchDb};
+use erbium_datagen::ExperimentConfig;
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn fmt_dur(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.3}s", us as f64 / 1_000_000.0)
+    }
+}
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let reps: usize = std::env::var("ERBIUM_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    println!("ErbiumDB paper-experiment reproduction");
+    println!(
+        "scale: n_r={} (set ERBIUM_SCALE=paper|tiny|<n> to change), reps={reps} (median reported)\n",
+        cfg.n_r
+    );
+
+    // Build each mapping's database once.
+    let mut dbs: HashMap<String, BenchDb> = HashMap::new();
+    for name in erbium_bench::MAPPING_NAMES {
+        eprint!("building {name} ... ");
+        let t = std::time::Instant::now();
+        let db = build(name, &cfg);
+        eprintln!(
+            "{} entities / {} mv values / {} links in {}",
+            db.stats.entities,
+            db.stats.mv_values,
+            db.stats.links,
+            fmt_dur(t.elapsed())
+        );
+        dbs.insert(name.to_string(), db);
+    }
+    println!();
+
+    let mut failures = 0usize;
+    for exp in experiments() {
+        let sql = (exp.query)(&cfg);
+        println!("== {}: {}", exp.id, exp.description);
+        println!("   paper: {}", exp.paper_claim);
+        let mut times: HashMap<&str, Duration> = HashMap::new();
+        for &m in exp.mappings {
+            let db = &dbs[m];
+            let mut rows = 0usize;
+            let t = measure(reps, || {
+                rows = db.run(&sql);
+            });
+            times.insert(m, t);
+            println!("   {m:<4} {:>10}   ({rows} rows)", fmt_dur(t));
+        }
+        let (winner, loser) = exp.direction;
+        if winner != loser {
+            let (tw, tl) = (times[winner], times[loser]);
+            let ratio = tl.as_secs_f64() / tw.as_secs_f64().max(1e-9);
+            let ok = tw <= tl;
+            if !ok {
+                failures += 1;
+            }
+            println!(
+                "   direction: {winner} should beat {loser} — measured {loser}/{winner} = {ratio:.1}x  [{}]",
+                if ok { "OK" } else { "MISMATCH" }
+            );
+        } else {
+            // Parity expectation (E6): report the spread.
+            let max = times.values().max().copied().unwrap_or_default();
+            let min = times.values().min().copied().unwrap_or_default();
+            let spread = max.as_secs_f64() / min.as_secs_f64().max(1e-9);
+            println!("   parity check: max/min spread = {spread:.1}x");
+        }
+        println!();
+    }
+    if failures == 0 {
+        println!("all directional claims reproduced ✔");
+    } else {
+        println!("{failures} directional claim(s) NOT reproduced ✘");
+        std::process::exit(1);
+    }
+}

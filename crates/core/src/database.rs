@@ -1,0 +1,512 @@
+//! The `Database` facade.
+
+use crate::governance::{AccessPolicy, ErasureReport};
+use erbium_advisor::{Advisor, Recommendation, Workload};
+use erbium_engine::Plan;
+use erbium_evolve::{EvolutionOp, MigrationReport, Migrator, VersionLog};
+use erbium_mapping::{
+    presets, EntityData, EntityStore, Lowering, Mapping, MappingError, QueryRewriter,
+};
+use erbium_model::{ErGraph, ErSchema};
+use erbium_query::Statement;
+use erbium_storage::{Catalog, Row, Transaction, Value};
+use std::fmt;
+
+/// Top-level error type of ErbiumDB.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    Parse(String),
+    Model(erbium_model::ModelError),
+    Mapping(MappingError),
+    /// No mapping installed yet (DDL-only phase), or operation requires one.
+    NotInstalled,
+    /// A mapping is already installed; use `evolve`/`remap`.
+    AlreadyInstalled,
+    /// Query rejected by the active access policy.
+    PolicyViolation(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::Model(e) => write!(f, "schema error: {e}"),
+            DbError::Mapping(e) => write!(f, "{e}"),
+            DbError::NotInstalled => write!(f, "no physical mapping installed"),
+            DbError::AlreadyInstalled => {
+                write!(f, "a mapping is already installed; use evolve() or remap()")
+            }
+            DbError::PolicyViolation(m) => write!(f, "access policy violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<erbium_model::ModelError> for DbError {
+    fn from(e: erbium_model::ModelError) -> Self {
+        DbError::Model(e)
+    }
+}
+
+impl From<MappingError> for DbError {
+    fn from(e: MappingError) -> Self {
+        DbError::Mapping(e)
+    }
+}
+
+impl From<erbium_storage::StorageError> for DbError {
+    fn from(e: erbium_storage::StorageError) -> Self {
+        DbError::Mapping(MappingError::Storage(e))
+    }
+}
+
+/// Result alias for database operations.
+pub type DbResult<T> = Result<T, DbError>;
+
+/// Result of a query: column names plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    /// Render as an aligned text table (for examples and the REPL-style
+    /// binaries).
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let s = v.to_string();
+                        if s.len() > widths[i] {
+                            widths[i] = s.len();
+                        }
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+        }
+        out.push('\n');
+        for w in &widths {
+            out.push_str(&"-".repeat(*w));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for row in rendered {
+            for (i, v) in row.iter().enumerate() {
+                out.push_str(&format!("{:<width$}  ", v, width = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// An ErbiumDB database instance.
+pub struct Database {
+    schema: ErSchema,
+    catalog: Catalog,
+    lowering: Option<Lowering>,
+    policy: Option<AccessPolicy>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// An empty database: define the schema with DDL, then [`install`] a
+    /// mapping.
+    ///
+    /// [`install`]: Database::install
+    pub fn new() -> Database {
+        Database { schema: ErSchema::new(), catalog: Catalog::new(), lowering: None, policy: None }
+    }
+
+    /// Create a database from a prebuilt schema.
+    pub fn with_schema(schema: ErSchema) -> DbResult<Database> {
+        schema.validate()?;
+        Ok(Database { schema, catalog: Catalog::new(), lowering: None, policy: None })
+    }
+
+    /// Assemble a database around an already-installed, possibly populated
+    /// catalog (bulk loaders like `erbium-datagen` build state at the
+    /// mapping layer and wrap it afterwards).
+    pub fn from_parts(catalog: Catalog, lowering: Lowering) -> Database {
+        Database {
+            schema: lowering.schema.clone(),
+            catalog,
+            lowering: Some(lowering),
+            policy: None,
+        }
+    }
+
+    // ---- DDL -------------------------------------------------------------------
+
+    /// Execute a script of ERQL DDL statements (`;`-separated). SELECTs are
+    /// rejected here — use [`Database::query`].
+    pub fn execute(&mut self, script: &str) -> DbResult<()> {
+        let stmts = erbium_query::parse(script).map_err(|e| DbError::Parse(e.to_string()))?;
+        for stmt in stmts {
+            match stmt {
+                Statement::CreateEntity(ce) => {
+                    self.require_not_installed()?;
+                    self.schema.add_entity(ce.to_entity_set()?)?;
+                }
+                Statement::CreateRelationship(cr) => {
+                    self.require_not_installed()?;
+                    self.schema.add_relationship(cr.to_relationship()?)?;
+                }
+                Statement::DropEntity(name) => {
+                    self.require_not_installed()?;
+                    self.schema.remove_entity(&name)?;
+                }
+                Statement::DropRelationship(name) => {
+                    self.require_not_installed()?;
+                    self.schema.remove_relationship(&name)?;
+                }
+                Statement::Select(_) | Statement::Explain(_) => {
+                    return Err(DbError::Parse(
+                        "SELECT passed to execute(); use query()".into(),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn require_not_installed(&self) -> DbResult<()> {
+        if self.lowering.is_some() {
+            return Err(DbError::AlreadyInstalled);
+        }
+        Ok(())
+    }
+
+    /// The current E/R schema.
+    pub fn schema(&self) -> &ErSchema {
+        &self.schema
+    }
+
+    /// The E/R graph of the current schema.
+    pub fn er_graph(&self) -> DbResult<ErGraph> {
+        Ok(ErGraph::from_schema(&self.schema)?)
+    }
+
+    /// The installed mapping, if any.
+    pub fn mapping(&self) -> Option<&Mapping> {
+        self.lowering.as_ref().map(|lw| &lw.mapping)
+    }
+
+    /// Direct access to the physical catalog (read-only).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The lowering (homes + physical specs), if installed.
+    pub fn lowering(&self) -> DbResult<&Lowering> {
+        self.lowering.as_ref().ok_or(DbError::NotInstalled)
+    }
+
+    // ---- mapping installation --------------------------------------------------
+
+    /// Validate the schema and install a specific physical mapping.
+    pub fn install(&mut self, mapping: Mapping) -> DbResult<()> {
+        self.require_not_installed()?;
+        self.schema.validate()?;
+        let lw = Lowering::build(&self.schema, &mapping)?;
+        lw.install(&mut self.catalog)?;
+        let mut log = VersionLog::load(&self.catalog)?;
+        log.record(&lw, format!("install mapping '{}'", mapping.name));
+        log.save(&mut self.catalog)?;
+        self.lowering = Some(lw);
+        Ok(())
+    }
+
+    /// Install the fully normalized mapping (the sensible default).
+    pub fn install_default(&mut self) -> DbResult<()> {
+        let mapping = presets::normalized(&self.schema);
+        self.install(mapping)
+    }
+
+    // ---- CRUD --------------------------------------------------------------------
+
+    /// Insert an entity instance. `data` uses attribute names; multi-valued
+    /// attributes take `Value::Array`, composite attributes `Value::Struct`.
+    pub fn insert(&mut self, entity: &str, data: &[(&str, Value)]) -> DbResult<()> {
+        self.insert_linked(entity, data, &[])
+    }
+
+    /// Insert with many-to-one relationship targets applied atomically
+    /// (required when participation is total).
+    pub fn insert_linked(
+        &mut self,
+        entity: &str,
+        data: &[(&str, Value)],
+        links: &[(&str, Vec<Value>)],
+    ) -> DbResult<()> {
+        let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
+        let store = EntityStore::new(lw);
+        let map: EntityData =
+            data.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+        let cat = &mut self.catalog;
+        erbium_storage::Transaction::run(cat, |txn, cat| {
+            store
+                .insert(cat, txn, entity, &map, links)
+                .map_err(storage_shim)
+        })
+        .map_err(unshim)?;
+        Ok(())
+    }
+
+    /// Fetch one instance by key (all attributes at this entity's level).
+    pub fn get(&self, entity: &str, key: &[Value]) -> DbResult<Option<EntityData>> {
+        let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
+        Ok(EntityStore::new(lw).get(&self.catalog, entity, key)?)
+    }
+
+    /// Update attributes of one instance.
+    pub fn update_entity(
+        &mut self,
+        entity: &str,
+        key: &[Value],
+        changes: &[(&str, Value)],
+    ) -> DbResult<()> {
+        let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
+        let store = EntityStore::new(lw);
+        let map: EntityData =
+            changes.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+        Transaction::run(&mut self.catalog, |txn, cat| {
+            store.update(cat, txn, entity, key, &map).map_err(storage_shim)
+        })
+        .map_err(unshim)?;
+        Ok(())
+    }
+
+    /// Delete one instance entirely (hierarchy rows, multi-valued side
+    /// rows, owned weak entities, relationship instances).
+    pub fn delete_entity(&mut self, entity: &str, key: &[Value]) -> DbResult<()> {
+        let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
+        let store = EntityStore::new(lw);
+        Transaction::run(&mut self.catalog, |txn, cat| {
+            store.delete(cat, txn, entity, key).map_err(storage_shim)
+        })
+        .map_err(unshim)?;
+        Ok(())
+    }
+
+    /// Create a relationship instance.
+    pub fn link(&mut self, rel: &str, from_key: &[Value], to_key: &[Value]) -> DbResult<()> {
+        self.link_with_attrs(rel, from_key, to_key, &[])
+    }
+
+    /// Create a relationship instance carrying relationship attributes.
+    pub fn link_with_attrs(
+        &mut self,
+        rel: &str,
+        from_key: &[Value],
+        to_key: &[Value],
+        attrs: &[(&str, Value)],
+    ) -> DbResult<()> {
+        let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
+        let store = EntityStore::new(lw);
+        let map: EntityData = attrs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+        Transaction::run(&mut self.catalog, |txn, cat| {
+            store.link(cat, txn, rel, from_key, to_key, &map).map_err(storage_shim)
+        })
+        .map_err(unshim)?;
+        Ok(())
+    }
+
+    /// Remove a relationship instance.
+    pub fn unlink(&mut self, rel: &str, from_key: &[Value], to_key: &[Value]) -> DbResult<()> {
+        let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
+        let store = EntityStore::new(lw);
+        Transaction::run(&mut self.catalog, |txn, cat| {
+            store.unlink(cat, txn, rel, from_key, to_key).map_err(storage_shim)
+        })
+        .map_err(unshim)?;
+        Ok(())
+    }
+
+    // ---- queries ------------------------------------------------------------------
+
+    /// Run an ERQL SELECT against the logical schema. `EXPLAIN SELECT ...`
+    /// returns the rendered physical plan as a one-column result instead.
+    pub fn query(&self, sql: &str) -> DbResult<QueryResult> {
+        if let Ok(Statement::Explain(sel)) = erbium_query::parse_single(sql) {
+            let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
+            if let Some(policy) = &self.policy {
+                policy.check(&self.schema, &sel).map_err(DbError::PolicyViolation)?;
+            }
+            let rewriter = QueryRewriter::new(lw, &self.catalog);
+            let plan = rewriter.rewrite_optimized(&sel)?;
+            let rows = plan
+                .explain()
+                .lines()
+                .map(|l| vec![Value::str(l)])
+                .collect();
+            return Ok(QueryResult { columns: vec!["plan".into()], rows });
+        }
+        let plan = self.plan(sql)?;
+        let rows = erbium_engine::execute(&plan, &self.catalog)
+            .map_err(|e| DbError::Mapping(MappingError::Engine(e)))?;
+        Ok(QueryResult {
+            columns: plan.fields.iter().map(|f| f.name.clone()).collect(),
+            rows,
+        })
+    }
+
+    /// Compile an ERQL SELECT to an optimized physical plan.
+    pub fn plan(&self, sql: &str) -> DbResult<Plan> {
+        let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
+        let stmt =
+            erbium_query::parse_single(sql).map_err(|e| DbError::Parse(e.to_string()))?;
+        let Statement::Select(sel) = stmt else {
+            return Err(DbError::Parse("query() expects a SELECT".into()));
+        };
+        if let Some(policy) = &self.policy {
+            policy.check(&self.schema, &sel).map_err(DbError::PolicyViolation)?;
+        }
+        let rewriter = QueryRewriter::new(lw, &self.catalog);
+        Ok(rewriter.rewrite_optimized(&sel)?)
+    }
+
+    /// Render the optimized physical plan of a query — shows how the same
+    /// ERQL compiles differently under different mappings.
+    pub fn explain(&self, sql: &str) -> DbResult<String> {
+        Ok(self.plan(sql)?.explain())
+    }
+
+    // ---- evolution -------------------------------------------------------------------
+
+    /// Apply a logical schema-evolution operation, migrating the data and
+    /// recording a new schema version.
+    pub fn evolve(&mut self, op: EvolutionOp) -> DbResult<MigrationReport> {
+        let lw = self.lowering.take().ok_or(DbError::NotInstalled)?;
+        match Migrator::apply(&mut self.catalog, &lw, &op) {
+            Ok((new_lw, report)) => {
+                self.schema = new_lw.schema.clone();
+                let mut log = VersionLog::load(&self.catalog)?;
+                log.record(&new_lw, report.description.clone());
+                log.save(&mut self.catalog)?;
+                self.lowering = Some(new_lw);
+                Ok(report)
+            }
+            Err(e) => {
+                self.lowering = Some(lw);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Migrate to a different physical mapping without any schema change.
+    pub fn remap(&mut self, mapping: Mapping) -> DbResult<MigrationReport> {
+        let lw = self.lowering.take().ok_or(DbError::NotInstalled)?;
+        match Migrator::remap(&mut self.catalog, &lw, mapping) {
+            Ok((new_lw, report)) => {
+                let mut log = VersionLog::load(&self.catalog)?;
+                log.record(&new_lw, report.description.clone());
+                log.save(&mut self.catalog)?;
+                self.lowering = Some(new_lw);
+                Ok(report)
+            }
+            Err(e) => {
+                self.lowering = Some(lw);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// The recorded schema versions.
+    pub fn versions(&self) -> DbResult<VersionLog> {
+        Ok(VersionLog::load(&self.catalog)?)
+    }
+
+    /// Roll back to an earlier schema version (appends a new version).
+    pub fn rollback_to(&mut self, version: u64) -> DbResult<MigrationReport> {
+        let lw = self.lowering.take().ok_or(DbError::NotInstalled)?;
+        let mut log = VersionLog::load(&self.catalog)?;
+        match log.rollback_to(&mut self.catalog, &lw, version) {
+            Ok((new_lw, report)) => {
+                self.schema = new_lw.schema.clone();
+                self.lowering = Some(new_lw);
+                Ok(report)
+            }
+            Err(e) => {
+                self.lowering = Some(lw);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Run the workload-aware advisor against the current data.
+    pub fn advise(&self, workload: &Workload) -> DbResult<Recommendation> {
+        let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
+        let advisor = Advisor::from_database(&self.catalog, lw)?;
+        Ok(advisor.recommend(workload)?)
+    }
+
+    // ---- governance --------------------------------------------------------------------
+
+    /// Entity-centric erasure: remove one instance and every trace of it
+    /// (all fragments, side tables, owned weak entities, relationship
+    /// instances), reporting what was touched.
+    pub fn erase(&mut self, entity: &str, key: &[Value]) -> DbResult<ErasureReport> {
+        let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
+        let store = EntityStore::new(lw);
+        let before: usize = self.catalog.total_rows();
+        let mut ops = 0usize;
+        Transaction::run(&mut self.catalog, |txn, cat| {
+            store.delete(cat, txn, entity, key).map_err(storage_shim)?;
+            ops = txn.len();
+            Ok(())
+        })
+        .map_err(unshim)?;
+        let after: usize = self.catalog.total_rows();
+        Ok(ErasureReport {
+            entity: entity.to_string(),
+            physical_operations: ops,
+            rows_removed: before.saturating_sub(after),
+        })
+    }
+
+    /// Install (or clear) the tag-based access policy applied to queries.
+    pub fn set_policy(&mut self, policy: Option<AccessPolicy>) {
+        self.policy = policy;
+    }
+
+    /// Markdown description of the schema, generated from the attached
+    /// `DESCRIPTION` texts and governance tags.
+    pub fn describe_schema(&self) -> String {
+        crate::governance::describe_schema(&self.schema)
+    }
+}
+
+/// `Transaction::run` expects `StorageResult`; tunnel `MappingError`
+/// through a storage `Internal` error and restore it on the way out.
+fn storage_shim(e: MappingError) -> erbium_storage::StorageError {
+    erbium_storage::StorageError::Internal(format!("__mapping__:{e}"))
+}
+
+fn unshim(e: erbium_storage::StorageError) -> DbError {
+    match &e {
+        erbium_storage::StorageError::Internal(m) if m.starts_with("__mapping__:") => {
+            DbError::Mapping(MappingError::Unsupported(
+                m.trim_start_matches("__mapping__:").to_string(),
+            ))
+        }
+        _ => DbError::Mapping(MappingError::Storage(e)),
+    }
+}

@@ -1,0 +1,65 @@
+//! # erbium-core — ErbiumDB
+//!
+//! The entity-relationship database system of the CIDR'25 paper "Beyond
+//! Relations: A Case for Elevating to the Entity-Relationship Abstraction",
+//! reimplemented in Rust with an embedded relational substrate instead of
+//! PostgreSQL.
+//!
+//! [`Database`] ties the layers together, mirroring the paper's Figure-3
+//! architecture:
+//!
+//! * **DDL layer** — [`Database::execute`] accepts ERQL `CREATE ENTITY` /
+//!   `CREATE RELATIONSHIP` statements, maintains the E/R schema and graph;
+//! * **mapping** — [`Database::install`] chooses the physical mapping (a
+//!   cover of the E/R graph), persisted in the catalog as JSON;
+//! * **CRUD translation** — [`Database::insert`]/[`Database::get`]/
+//!   [`Database::update_entity`]/[`Database::delete_entity`]/
+//!   [`Database::link`] map entity-centric operations onto physical tables,
+//!   atomically;
+//! * **query translation** — [`Database::query`] parses ERQL, rewrites it
+//!   against the installed mapping, optimizes, and executes;
+//! * **schema evolution & versioning** — [`Database::evolve`],
+//!   [`Database::remap`], [`Database::rollback_to`];
+//! * **governance** — [`Database::erase`] (entity-centric GDPR-style
+//!   deletion), [`governance::pii_inventory`], and tag-based
+//!   [`governance::AccessPolicy`] enforcement on queries;
+//! * **self-description** — [`Database::describe_schema`] renders the
+//!   schema with its attached descriptions (the paper: descriptive text
+//!   "can be automatically used, e.g., for creating API documentations").
+//!
+//! ```
+//! use erbium_core::Database;
+//! use erbium_storage::Value;
+//!
+//! let mut db = Database::new();
+//! db.execute(
+//!     "CREATE ENTITY person (id int KEY, name text TAG 'pii',
+//!                            phone text MULTIVALUED);
+//!      CREATE ENTITY instructor EXTENDS person (rank text NULLABLE);
+//!      CREATE RELATIONSHIP mentors FROM person MANY TO instructor ONE;",
+//! ).unwrap();
+//! db.install_default().unwrap();
+//! db.insert("instructor", &[
+//!     ("id", Value::Int(1)),
+//!     ("name", Value::str("ada")),
+//!     ("phone", Value::Array(vec![Value::str("555")])),
+//!     ("rank", Value::str("prof")),
+//! ]).unwrap();
+//! let result = db.query("SELECT p.name, p.rank FROM instructor p").unwrap();
+//! assert_eq!(result.rows.len(), 1);
+//! ```
+
+pub mod database;
+pub mod governance;
+
+pub use database::{Database, DbError, DbResult, QueryResult};
+pub use governance::{AccessPolicy, ErasureReport};
+
+// Re-export the layer crates for downstream convenience.
+pub use erbium_advisor as advisor;
+pub use erbium_engine as engine;
+pub use erbium_evolve as evolve;
+pub use erbium_mapping as mapping;
+pub use erbium_model as model;
+pub use erbium_query as query;
+pub use erbium_storage as storage;

@@ -1,0 +1,255 @@
+//! End-to-end tests of the `Database` facade.
+
+use erbium_core::{AccessPolicy, Database, DbError};
+use erbium_evolve::{EvolutionOp, MvPlacement};
+use erbium_mapping::presets;
+use erbium_storage::Value;
+
+fn university_db() -> Database {
+    let mut db = Database::new();
+    db.execute(
+        "CREATE ENTITY person (
+             id int KEY,
+             name text TAG 'pii' DESCRIPTION 'legal name',
+             address (street text, city text) NULLABLE TAG 'pii',
+             phone text MULTIVALUED TAG 'pii'
+         ) PARTIAL DISJOINT DESCRIPTION 'people on campus';
+         CREATE ENTITY instructor EXTENDS person (rank text NULLABLE);
+         CREATE ENTITY student EXTENDS person (tot_credits int NULLABLE);
+         CREATE ENTITY department (dept_name text KEY, building text NULLABLE);
+         CREATE RELATIONSHIP advisor FROM student MANY TO instructor ONE;
+         CREATE RELATIONSHIP member_of FROM instructor MANY TOTAL TO department ONE;",
+    )
+    .unwrap();
+    db.install_default().unwrap();
+    db.insert("department", &[("dept_name", Value::str("cs")), ("building", Value::str("AVW"))])
+        .unwrap();
+    db.insert_linked(
+        "instructor",
+        &[
+            ("id", Value::Int(1)),
+            ("name", Value::str("ada")),
+            ("address", Value::Struct(vec![Value::str("Main St"), Value::str("College Park")])),
+            ("phone", Value::Array(vec![Value::str("555-1"), Value::str("555-2")])),
+            ("rank", Value::str("prof")),
+        ],
+        &[("member_of", vec![Value::str("cs")])],
+    )
+    .unwrap();
+    for i in 0..3i64 {
+        db.insert_linked(
+            "student",
+            &[
+                ("id", Value::Int(10 + i)),
+                ("name", Value::str(format!("student{i}"))),
+                ("phone", Value::Array(vec![Value::str(format!("556-{i}"))])),
+                ("tot_credits", Value::Int(30 * (i + 1))),
+            ],
+            &[("advisor", vec![Value::Int(1)])],
+        )
+        .unwrap();
+    }
+    db
+}
+
+#[test]
+fn ddl_crud_query_roundtrip() {
+    let db = university_db();
+    let result = db
+        .query(
+            "SELECT i.name, AVG(s.tot_credits) AS avg_credits \
+             FROM instructor i JOIN student s VIA advisor",
+        )
+        .unwrap();
+    assert_eq!(result.columns, vec!["name".to_string(), "avg_credits".to_string()]);
+    assert_eq!(result.rows, vec![vec![Value::str("ada"), Value::Float(60.0)]]);
+}
+
+#[test]
+fn composite_field_access_in_queries() {
+    let db = university_db();
+    let result =
+        db.query("SELECT p.name FROM person p WHERE p.address.city = 'College Park'").unwrap();
+    assert_eq!(result.rows.len(), 1);
+}
+
+#[test]
+fn nested_output_via_nest() {
+    let db = university_db();
+    let result = db
+        .query(
+            "SELECT i.name, NEST(s.name, s.tot_credits) AS advisees \
+             FROM instructor i JOIN student s VIA advisor",
+        )
+        .unwrap();
+    assert_eq!(result.rows.len(), 1);
+    match &result.rows[0][1] {
+        Value::Array(advisees) => assert_eq!(advisees.len(), 3),
+        other => panic!("expected nested array, got {other}"),
+    }
+}
+
+#[test]
+fn ddl_after_install_rejected() {
+    let mut db = university_db();
+    let err = db.execute("CREATE ENTITY extra (id int KEY)").unwrap_err();
+    assert_eq!(err, DbError::AlreadyInstalled);
+}
+
+#[test]
+fn query_before_install_rejected() {
+    let mut db = Database::new();
+    db.execute("CREATE ENTITY e (id int KEY)").unwrap();
+    assert_eq!(db.query("SELECT x FROM e").unwrap_err(), DbError::NotInstalled);
+}
+
+#[test]
+fn crud_get_update_delete() {
+    let mut db = university_db();
+    let got = db.get("student", &[Value::Int(10)]).unwrap().unwrap();
+    assert_eq!(got.get("tot_credits"), Some(&Value::Int(30)));
+    db.update_entity("student", &[Value::Int(10)], &[("tot_credits", Value::Int(45))]).unwrap();
+    let got = db.get("student", &[Value::Int(10)]).unwrap().unwrap();
+    assert_eq!(got.get("tot_credits"), Some(&Value::Int(45)));
+    db.delete_entity("student", &[Value::Int(10)]).unwrap();
+    assert!(db.get("student", &[Value::Int(10)]).unwrap().is_none());
+}
+
+#[test]
+fn erase_reports_physical_footprint() {
+    let mut db = university_db();
+    // Erasing the instructor also unlinks the three advisor FKs.
+    let report = db.erase("person", &[Value::Int(1)]).unwrap();
+    assert_eq!(report.entity, "person");
+    assert!(report.rows_removed >= 3, "person + instructor rows + phone rows");
+    assert!(report.physical_operations >= 4);
+    // Students remain but advisor links are gone.
+    let r = db.query("SELECT s.id FROM student s").unwrap();
+    assert_eq!(r.rows.len(), 3);
+    let r = db
+        .query("SELECT s.id FROM student s JOIN instructor i VIA advisor")
+        .unwrap();
+    assert!(r.rows.is_empty());
+}
+
+#[test]
+fn access_policy_blocks_pii() {
+    let mut db = university_db();
+    db.set_policy(Some(AccessPolicy::deny_tag("pii")));
+    let err = db.query("SELECT p.name FROM person p").unwrap_err();
+    assert!(matches!(err, DbError::PolicyViolation(_)));
+    let err = db.query("SELECT * FROM person p").unwrap_err();
+    assert!(matches!(err, DbError::PolicyViolation(_)));
+    // Non-PII queries pass.
+    db.query("SELECT s.tot_credits FROM student s").unwrap();
+    // Clearing the policy restores access.
+    db.set_policy(None);
+    db.query("SELECT p.name FROM person p").unwrap();
+}
+
+#[test]
+fn evolve_through_database_records_versions() {
+    let mut db = university_db();
+    let q = "SELECT d.dept_name, d.building FROM department d";
+    assert_eq!(db.query(q).unwrap().rows.len(), 1);
+    let report = db
+        .evolve(EvolutionOp::MakeMultiValued {
+            entity: "department".into(),
+            attribute: "building".into(),
+            placement: MvPlacement::Inline,
+        })
+        .unwrap();
+    assert!(report.description.contains("multi-valued"));
+    // Bare reference now yields the array form.
+    let r = db.query(q).unwrap();
+    assert_eq!(r.rows[0][1], Value::Array(vec![Value::str("AVW")]));
+    // Version log: install + evolve.
+    let log = db.versions().unwrap();
+    assert_eq!(log.versions().len(), 2);
+    // Roll back; the scalar form returns.
+    db.rollback_to(1).unwrap();
+    let r = db.query(q).unwrap();
+    assert_eq!(r.rows[0][1], Value::str("AVW"));
+}
+
+#[test]
+fn remap_preserves_queries() {
+    let mut db = university_db();
+    let q = "SELECT p.id, p.phone FROM person p ORDER BY id";
+    let before = db.query(q).unwrap();
+    let m2 = presets::inline_all_multivalued(presets::normalized(db.schema()), db.schema());
+    db.remap(m2).unwrap();
+    let after = db.query(q).unwrap();
+    // Arrays may differ in order; compare lengths + ids.
+    assert_eq!(before.rows.len(), after.rows.len());
+    for (b, a) in before.rows.iter().zip(after.rows.iter()) {
+        assert_eq!(b[0], a[0]);
+    }
+    assert!(db.mapping().unwrap().name.contains("inline_mv"));
+}
+
+#[test]
+fn explain_shows_mapping_dependent_plans() {
+    let mut db = university_db();
+    let q = "SELECT p.phone FROM person p WHERE p.id = 1";
+    let normalized_plan = db.explain(q).unwrap();
+    assert!(normalized_plan.contains("person__phone"), "{normalized_plan}");
+    let m2 = presets::inline_all_multivalued(presets::normalized(db.schema()), db.schema());
+    db.remap(m2).unwrap();
+    let inline_plan = db.explain(q).unwrap();
+    assert!(!inline_plan.contains("person__phone"), "{inline_plan}");
+    assert!(inline_plan.contains("IndexLookup"), "{inline_plan}");
+}
+
+#[test]
+fn describe_schema_renders_documentation() {
+    let db = university_db();
+    let doc = db.describe_schema();
+    assert!(doc.contains("## person"));
+    assert!(doc.contains("people on campus"));
+    assert!(doc.contains("legal name"));
+    assert!(doc.contains("tag:pii"));
+    assert!(doc.contains("extends **person**"));
+    assert!(doc.contains("**advisor**"));
+}
+
+#[test]
+fn pii_inventory_lists_tagged_attributes() {
+    let db = university_db();
+    let inv = erbium_core::governance::pii_inventory(db.schema());
+    let names: Vec<String> = inv.iter().map(|p| format!("{}.{}", p.entity, p.attribute)).collect();
+    assert!(names.contains(&"person.name".to_string()));
+    assert!(names.contains(&"person.phone".to_string()));
+    assert!(names.contains(&"person.address".to_string()));
+}
+
+#[test]
+fn duplicate_key_insert_fails_cleanly() {
+    let mut db = university_db();
+    let err = db
+        .insert("department", &[("dept_name", Value::str("cs"))])
+        .unwrap_err();
+    assert!(matches!(err, DbError::Mapping(_)));
+    // Database still consistent.
+    assert_eq!(db.query("SELECT d.dept_name FROM department d").unwrap().rows.len(), 1);
+}
+
+#[test]
+fn advise_over_live_database() {
+    let db = university_db();
+    let wl = erbium_advisor::Workload::new()
+        .weighted("SELECT p.phone FROM person p WHERE p.id = 1", 100.0)
+        .unwrap();
+    let rec = db.advise(&wl).unwrap();
+    assert!(rec.cost <= rec.baseline_cost);
+}
+
+#[test]
+fn explain_statement_returns_plan_text() {
+    let db = university_db();
+    let r = db.query("EXPLAIN SELECT s.name FROM student s WHERE s.id = 10").unwrap();
+    assert_eq!(r.columns, vec!["plan".to_string()]);
+    let text: String =
+        r.rows.iter().map(|row| row[0].as_str().unwrap().to_string() + "\n").collect();
+    assert!(text.contains("IndexLookup"), "{text}");
+}

@@ -1,0 +1,339 @@
+//! Generator for the Figure-4 experiment schema.
+
+use erbium_mapping::{EntityData, EntityStore, Lowering, MappingResult};
+use erbium_storage::{Catalog, Transaction, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale and shape of the generated instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Number of instances in the `R` hierarchy (split evenly across the
+    /// five types).
+    pub n_r: usize,
+    /// Average values per multi-valued attribute (uniform 1..=2*avg-1).
+    pub mv_avg: usize,
+    /// RNG seed — same seed, same instance.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// ~5,000,000 total entries, matching the paper's scale.
+    pub fn paper_scale() -> ExperimentConfig {
+        ExperimentConfig { n_r: 410_000, mv_avg: 3, seed: 42 }
+    }
+
+    /// Default benchmark scale (~15x smaller; same shape).
+    pub fn bench_default() -> ExperimentConfig {
+        ExperimentConfig { n_r: 22_000, mv_avg: 3, seed: 42 }
+    }
+
+    /// Tiny scale for tests.
+    pub fn tiny() -> ExperimentConfig {
+        ExperimentConfig { n_r: 100, mv_avg: 3, seed: 42 }
+    }
+
+    /// Scale from the `ERBIUM_SCALE` environment variable (`paper`,
+    /// `bench`, `tiny`, or an explicit `n_r` count), defaulting to bench.
+    pub fn from_env() -> ExperimentConfig {
+        match std::env::var("ERBIUM_SCALE").ok().as_deref() {
+            Some("paper") => Self::paper_scale(),
+            Some("tiny") => Self::tiny(),
+            Some(n) => match n.parse::<usize>() {
+                Ok(n_r) if n_r > 0 => ExperimentConfig { n_r, ..Self::bench_default() },
+                _ => Self::bench_default(),
+            },
+            None => Self::bench_default(),
+        }
+    }
+
+    /// Number of `S` entities.
+    pub fn n_s(&self) -> usize {
+        (self.n_r / 5).max(1)
+    }
+
+    /// Number of `S1` weak entities (≈ the R2-subtree extent so that
+    /// `r2_s1` is nearly one-to-one, as the paper requires for M6).
+    pub fn n_s1(&self) -> usize {
+        (self.n_r * 2 / 5).max(1)
+    }
+
+    /// Number of `S2` weak entities.
+    pub fn n_s2(&self) -> usize {
+        (self.n_s() / 2).max(1)
+    }
+}
+
+/// What was generated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PopulationStats {
+    pub entities: usize,
+    pub mv_values: usize,
+    pub links: usize,
+}
+
+impl PopulationStats {
+    /// Total "entries" in the paper's counting.
+    pub fn total_entries(&self) -> usize {
+        self.entities + self.mv_values + self.links
+    }
+}
+
+const TYPES: [&str; 5] = ["R", "R1", "R2", "R3", "R4"];
+const VOCAB: [&str; 8] = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"];
+
+/// Populate the experiment instance through the CRUD translator of the
+/// given lowering. Deterministic for a fixed config.
+pub fn populate_experiment(
+    cat: &mut Catalog,
+    lw: &Lowering,
+    cfg: &ExperimentConfig,
+) -> MappingResult<PopulationStats> {
+    let store = EntityStore::new(lw);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut stats = PopulationStats::default();
+    let mut txn = Transaction::new();
+
+    let n_s = cfg.n_s() as i64;
+    // S entities.
+    for sid in 0..n_s {
+        let data = entity_data(&[
+            ("s_id", Value::Int(sid)),
+            ("s_a", Value::str(format!("s-{}-{}", VOCAB[(sid % 8) as usize], sid))),
+            ("s_b", Value::Int(sid % 50)),
+        ]);
+        store.insert(cat, &mut txn, "S", &data, &[])?;
+        stats.entities += 1;
+    }
+    // Weak entities: S1 spread across owners, S2 on even owners.
+    let n_s1 = cfg.n_s1() as i64;
+    for i in 0..n_s1 {
+        let owner = i % n_s;
+        let no = i / n_s;
+        let data = entity_data(&[
+            ("s_id", Value::Int(owner)),
+            ("s1_no", Value::Int(no)),
+            ("s1_a", Value::Int(rng.gen_range(0..10_000))),
+            ("s1_b", Value::str(format!("w{owner}-{no}"))),
+        ]);
+        store.insert(cat, &mut txn, "S1", &data, &[])?;
+        stats.entities += 1;
+    }
+    let n_s2 = cfg.n_s2() as i64;
+    for i in 0..n_s2 {
+        let owner = (i * 2) % n_s;
+        let no = i / n_s + 100;
+        let data = entity_data(&[
+            ("s_id", Value::Int(owner)),
+            ("s2_no", Value::Int(no)),
+            ("s2_a", Value::str(VOCAB[rng.gen_range(0..8)])),
+        ]);
+        store.insert(cat, &mut txn, "S2", &data, &[])?;
+        stats.entities += 1;
+    }
+
+    // R hierarchy.
+    let mv_hi = (cfg.mv_avg * 2).max(2) as i64;
+    let mut r2_members: Vec<i64> = Vec::new(); // R2-subtree keys for r2_s1
+    let mut r1_members: Vec<i64> = Vec::new();
+    let mut r3_members: Vec<i64> = Vec::new();
+    for i in 0..cfg.n_r as i64 {
+        let ty = TYPES[(i % 5) as usize];
+        let mut data = entity_data(&[
+            ("r_id", Value::Int(i)),
+            ("r_a", Value::str(format!("r-{}-{}", VOCAB[(i % 7) as usize], i))),
+            ("r_b", Value::Int(rng.gen_range(0..100))),
+        ]);
+        for mv in ["r_mv1", "r_mv2"] {
+            let n = rng.gen_range(1..mv_hi) as usize;
+            let vals: Vec<Value> =
+                (0..n).map(|_| Value::Int(rng.gen_range(0..1_000))).collect();
+            stats.mv_values += vals.len();
+            data.insert(mv.to_string(), Value::Array(vals));
+        }
+        {
+            let n = rng.gen_range(1..mv_hi) as usize;
+            let vals: Vec<Value> =
+                (0..n).map(|_| Value::str(VOCAB[rng.gen_range(0..8)])).collect();
+            stats.mv_values += vals.len();
+            data.insert("r_mv3".to_string(), Value::Array(vals));
+        }
+        match ty {
+            "R1" | "R3" => {
+                data.insert("r1_a".into(), Value::Int(rng.gen_range(0..1_000)));
+                data.insert("r1_b".into(), Value::str(VOCAB[rng.gen_range(0..8)]));
+                r1_members.push(i);
+            }
+            "R2" | "R4" => {
+                data.insert("r2_a".into(), Value::Int(rng.gen_range(0..1_000)));
+                data.insert("r2_b".into(), Value::str(VOCAB[rng.gen_range(0..8)]));
+                r2_members.push(i);
+            }
+            _ => {}
+        }
+        if ty == "R3" {
+            data.insert("r3_a".into(), Value::Int(rng.gen_range(0..1_000)));
+            r3_members.push(i);
+        }
+        if ty == "R4" {
+            data.insert("r4_a".into(), Value::str(VOCAB[rng.gen_range(0..8)]));
+        }
+        let s_target = rng.gen_range(0..n_s);
+        store.insert(cat, &mut txn, ty, &data, &[("r_s", vec![Value::Int(s_target)])])?;
+        stats.entities += 1;
+        stats.links += 1;
+    }
+
+    // r2_s1: nearly one-to-one — each R2-subtree member links to one S1
+    // (a few get two, keeping average fan-out just above 1).
+    let empty = EntityData::default();
+    let n_s1_total = cfg.n_s1() as i64;
+    for (idx, &r2) in r2_members.iter().enumerate() {
+        let s1_index = (idx as i64) % n_s1_total;
+        let (owner, no) = (s1_index % n_s, s1_index / n_s);
+        store.link(
+            cat,
+            &mut txn,
+            "r2_s1",
+            &[Value::Int(r2)],
+            &[Value::Int(owner), Value::Int(no)],
+            &empty,
+        )?;
+        stats.links += 1;
+        if idx % 16 == 0 {
+            let s1_index = (s1_index + 1) % n_s1_total;
+            let (owner, no) = (s1_index % n_s, s1_index / n_s);
+            store.link(
+                cat,
+                &mut txn,
+                "r2_s1",
+                &[Value::Int(r2)],
+                &[Value::Int(owner), Value::Int(no)],
+                &empty,
+            )?;
+            stats.links += 1;
+        }
+    }
+
+    // r1_r3: many-to-many between R1 and R3 extents.
+    for (idx, &r1) in r1_members.iter().enumerate() {
+        if idx % 4 == 0 && !r3_members.is_empty() {
+            let r3 = r3_members[idx % r3_members.len()];
+            if r1 != r3 {
+                store.link(cat, &mut txn, "r1_r3", &[Value::Int(r1)], &[Value::Int(r3)], &empty)?;
+                stats.links += 1;
+            }
+        }
+    }
+
+    txn.commit();
+    Ok(stats)
+}
+
+fn entity_data(pairs: &[(&str, Value)]) -> EntityData {
+    pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+}
+
+/// Build a ready-to-query [`erbium_core::Database`] holding the experiment
+/// instance under the given mapping.
+pub fn experiment_database(
+    mapping: &erbium_mapping::Mapping,
+    cfg: &ExperimentConfig,
+) -> MappingResult<erbium_core::Database> {
+    let schema = erbium_model::fixtures::experiment();
+    let lw = Lowering::build(&schema, mapping)?;
+    let mut cat = Catalog::new();
+    lw.install(&mut cat)?;
+    populate_experiment(&mut cat, &lw, cfg)?;
+    Ok(erbium_core::Database::from_parts(cat, lw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erbium_mapping::presets::paper;
+    use erbium_mapping::Lowering;
+    use erbium_model::fixtures;
+
+    #[test]
+    fn tiny_population_shape() {
+        let schema = fixtures::experiment();
+        let lw = Lowering::build(&schema, &paper::m1(&schema)).unwrap();
+        let mut cat = Catalog::new();
+        lw.install(&mut cat).unwrap();
+        let cfg = ExperimentConfig::tiny();
+        let stats = populate_experiment(&mut cat, &lw, &cfg).unwrap();
+        assert_eq!(cat.table("R").unwrap().len(), 100, "all hierarchy members in root");
+        assert_eq!(cat.table("R3").unwrap().len(), 20);
+        assert_eq!(cat.table("S").unwrap().len(), cfg.n_s());
+        assert_eq!(cat.table("S1").unwrap().len(), cfg.n_s1());
+        assert!(stats.mv_values > 200, "three mv attributes with avg ≈3 values");
+        // r2_s1 nearly 1:1 over the R2 subtree (40 members).
+        let pairs = cat.table("r2_s1").unwrap().len();
+        assert!((40..=44).contains(&pairs), "{pairs}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let schema = fixtures::experiment();
+        let run = || {
+            let lw = Lowering::build(&schema, &paper::m1(&schema)).unwrap();
+            let mut cat = Catalog::new();
+            lw.install(&mut cat).unwrap();
+            let stats =
+                populate_experiment(&mut cat, &lw, &ExperimentConfig::tiny()).unwrap();
+            (stats, cat.table("R__r_mv1").unwrap().compute_stats().row_count)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn paper_scale_entry_count_close_to_5m() {
+        // Analytic check (no data generated): entities + mv values + links.
+        let cfg = ExperimentConfig::paper_scale();
+        let entities = cfg.n_r + cfg.n_s() + cfg.n_s1() + cfg.n_s2();
+        let mv = cfg.n_r * 3 * cfg.mv_avg;
+        let links = cfg.n_r // r_s
+            + cfg.n_r * 2 / 5 // r2_s1 (≈1 per R2-subtree member)
+            + cfg.n_r / 5 / 4; // r1_r3
+        let total = entities + mv + links;
+        assert!(
+            (4_500_000..=5_500_000).contains(&total),
+            "paper-scale total entries ≈ 5M, got {total}"
+        );
+    }
+
+    #[test]
+    fn same_logical_content_under_m1_and_m2() {
+        let schema = fixtures::experiment();
+        let cfg = ExperimentConfig { n_r: 50, mv_avg: 2, seed: 7 };
+        let extract = |mapping| {
+            let lw = Lowering::build(&schema, &mapping).unwrap();
+            let mut cat = Catalog::new();
+            lw.install(&mut cat).unwrap();
+            populate_experiment(&mut cat, &lw, &cfg).unwrap();
+            let store = EntityStore::new(&lw);
+            let mut rows: Vec<Vec<(String, Value)>> = store
+                .extract_entities(&cat, "R")
+                .unwrap()
+                .into_iter()
+                .map(|d| {
+                    let mut kv: Vec<(String, Value)> = d
+                        .into_iter()
+                        .map(|(k, mut v)| {
+                            if let Value::Array(a) = &mut v {
+                                a.sort();
+                            }
+                            (k, v)
+                        })
+                        .collect();
+                    kv.sort();
+                    kv
+                })
+                .collect();
+            rows.sort();
+            rows
+        };
+        assert_eq!(extract(paper::m1(&schema)), extract(paper::m2(&schema)));
+    }
+}

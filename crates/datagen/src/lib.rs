@@ -1,0 +1,21 @@
+//! # erbium-datagen
+//!
+//! Deterministic synthetic data generators for the paper's experiments.
+//!
+//! The paper evaluates "a synthetically generated database containing
+//! approximately 5,000,000 entries in total" over the Figure-4 schema.
+//! [`ExperimentConfig`] reproduces that composition at any scale: entity
+//! instances, multi-valued attribute values, and relationship instances
+//! all count as "entries". `ExperimentConfig::paper_scale()` hits ~5M;
+//! smaller scales keep the same shape (subclass mix, fan-outs, the nearly
+//! one-to-one `r2_s1` connectivity that motivates mapping M6).
+//!
+//! All generation flows through the mapping layer's CRUD translator, so
+//! the *same* logical instance can be materialized under any mapping —
+//! which is exactly what the benchmark harness needs.
+
+pub mod experiment;
+pub mod university;
+
+pub use experiment::{experiment_database, populate_experiment, ExperimentConfig, PopulationStats};
+pub use university::{populate_university, university_database};

@@ -1,0 +1,215 @@
+//! Aggregate functions and accumulators.
+//!
+//! `ARRAY_AGG` over a `struct_pack(...)` expression is how ERQL's `NEST(...)`
+//! hierarchical-output clause is executed (the paper borrows DataFusion's
+//! syntax for constructing nested outputs in the SELECT clause and argues it
+//! "should be supported natively so that the queries can be optimized
+//! properly").
+
+use crate::error::{EngineError, EngineResult};
+use crate::expr::Expr;
+use erbium_storage::Value;
+use rustc_hash::FxHashSet;
+
+/// Aggregate function kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` — counts rows, ignores the argument.
+    CountStar,
+    /// `COUNT(expr)` — counts non-NULL values.
+    Count,
+    CountDistinct,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    /// Collect non-NULL values into an array (insertion order).
+    ArrayAgg,
+}
+
+/// One aggregate call: the function plus its argument expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCall {
+    pub func: AggFunc,
+    /// Argument; ignored by `CountStar`.
+    pub arg: Expr,
+}
+
+impl AggCall {
+    pub fn new(func: AggFunc, arg: Expr) -> AggCall {
+        AggCall { func, arg }
+    }
+
+    pub fn count_star() -> AggCall {
+        AggCall { func: AggFunc::CountStar, arg: Expr::Lit(Value::Int(1)) }
+    }
+
+    pub fn accumulator(&self) -> Accumulator {
+        Accumulator::new(self.func)
+    }
+}
+
+/// Mutable aggregation state for one group and one aggregate call.
+#[derive(Debug, Clone)]
+pub enum Accumulator {
+    Count(u64),
+    CountDistinct(FxHashSet<Value>),
+    Sum { sum: f64, any: bool, all_int: bool },
+    Avg { sum: f64, n: u64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    ArrayAgg(Vec<Value>),
+    CountStar(u64),
+}
+
+impl Accumulator {
+    pub fn new(func: AggFunc) -> Accumulator {
+        match func {
+            AggFunc::CountStar => Accumulator::CountStar(0),
+            AggFunc::Count => Accumulator::Count(0),
+            AggFunc::CountDistinct => Accumulator::CountDistinct(FxHashSet::default()),
+            AggFunc::Sum => Accumulator::Sum { sum: 0.0, any: false, all_int: true },
+            AggFunc::Avg => Accumulator::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => Accumulator::Min(None),
+            AggFunc::Max => Accumulator::Max(None),
+            AggFunc::ArrayAgg => Accumulator::ArrayAgg(Vec::new()),
+        }
+    }
+
+    /// Fold one input value into the state.
+    pub fn update(&mut self, v: Value) -> EngineResult<()> {
+        match self {
+            Accumulator::CountStar(n) => *n += 1,
+            Accumulator::Count(n) => {
+                if !v.is_null() {
+                    *n += 1;
+                }
+            }
+            Accumulator::CountDistinct(set) => {
+                if !v.is_null() {
+                    set.insert(v);
+                }
+            }
+            Accumulator::Sum { sum, any, all_int } => {
+                if !v.is_null() {
+                    let x = v.as_float().ok_or_else(|| {
+                        EngineError::Eval(format!("SUM over non-numeric value {v}"))
+                    })?;
+                    *sum += x;
+                    *any = true;
+                    if !matches!(v, Value::Int(_)) {
+                        *all_int = false;
+                    }
+                }
+            }
+            Accumulator::Avg { sum, n } => {
+                if !v.is_null() {
+                    let x = v.as_float().ok_or_else(|| {
+                        EngineError::Eval(format!("AVG over non-numeric value {v}"))
+                    })?;
+                    *sum += x;
+                    *n += 1;
+                }
+            }
+            Accumulator::Min(m) => {
+                if !v.is_null() && m.as_ref().map(|m| v < *m).unwrap_or(true) {
+                    *m = Some(v);
+                }
+            }
+            Accumulator::Max(m) => {
+                if !v.is_null() && m.as_ref().map(|m| v > *m).unwrap_or(true) {
+                    *m = Some(v);
+                }
+            }
+            Accumulator::ArrayAgg(vs) => {
+                if !v.is_null() {
+                    vs.push(v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Produce the final aggregate value.
+    pub fn finish(self) -> Value {
+        match self {
+            Accumulator::CountStar(n) | Accumulator::Count(n) => Value::Int(n as i64),
+            Accumulator::CountDistinct(set) => Value::Int(set.len() as i64),
+            Accumulator::Sum { sum, any, all_int } => {
+                if !any {
+                    Value::Null
+                } else if all_int {
+                    Value::Int(sum as i64)
+                } else {
+                    Value::Float(sum)
+                }
+            }
+            Accumulator::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            Accumulator::Min(m) | Accumulator::Max(m) => m.unwrap_or(Value::Null),
+            Accumulator::ArrayAgg(vs) => Value::Array(vs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(func: AggFunc, values: Vec<Value>) -> Value {
+        let mut acc = Accumulator::new(func);
+        for v in values {
+            acc.update(v).unwrap();
+        }
+        acc.finish()
+    }
+
+    #[test]
+    fn count_ignores_nulls_count_star_does_not() {
+        let vals = vec![Value::Int(1), Value::Null, Value::Int(3)];
+        assert_eq!(run(AggFunc::Count, vals.clone()), Value::Int(2));
+        assert_eq!(run(AggFunc::CountStar, vals), Value::Int(3));
+    }
+
+    #[test]
+    fn sum_int_preserves_intness() {
+        assert_eq!(run(AggFunc::Sum, vec![Value::Int(1), Value::Int(2)]), Value::Int(3));
+        assert_eq!(
+            run(AggFunc::Sum, vec![Value::Int(1), Value::Float(0.5)]),
+            Value::Float(1.5)
+        );
+        assert_eq!(run(AggFunc::Sum, vec![Value::Null]), Value::Null);
+    }
+
+    #[test]
+    fn avg_min_max() {
+        let vals = vec![Value::Int(2), Value::Int(4), Value::Null];
+        assert_eq!(run(AggFunc::Avg, vals.clone()), Value::Float(3.0));
+        assert_eq!(run(AggFunc::Min, vals.clone()), Value::Int(2));
+        assert_eq!(run(AggFunc::Max, vals), Value::Int(4));
+        assert_eq!(run(AggFunc::Avg, vec![]), Value::Null);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let vals = vec![Value::Int(1), Value::Int(1), Value::Int(2), Value::Null];
+        assert_eq!(run(AggFunc::CountDistinct, vals), Value::Int(2));
+    }
+
+    #[test]
+    fn array_agg_preserves_order_skips_nulls() {
+        let vals = vec![Value::Int(3), Value::Null, Value::Int(1)];
+        assert_eq!(run(AggFunc::ArrayAgg, vals), Value::Array(vec![Value::Int(3), Value::Int(1)]));
+    }
+
+    #[test]
+    fn sum_over_text_is_error() {
+        let mut acc = Accumulator::new(AggFunc::Sum);
+        assert!(acc.update(Value::str("x")).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! Engine error type.
+
+use erbium_storage::StorageError;
+use std::fmt;
+
+/// Errors raised while planning or executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Underlying storage failure.
+    Storage(StorageError),
+    /// An expression was applied to incompatible values.
+    Eval(String),
+    /// A plan is structurally invalid (bad column index, schema mismatch).
+    Plan(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::Eval(m) => write!(f, "evaluation error: {m}"),
+            EngineError::Plan(m) => write!(f, "plan error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+/// Result alias for engine operations.
+pub type EngineResult<T> = Result<T, EngineError>;

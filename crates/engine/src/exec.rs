@@ -1,0 +1,549 @@
+//! Materializing executor.
+//!
+//! Each operator consumes fully-materialized child output. For an in-memory
+//! engine at paper-experiment scale this is simpler than and competitive
+//! with an iterator model, and it keeps operator implementations easy to
+//! verify against reference semantics in tests.
+
+use crate::agg::Accumulator;
+use crate::error::{EngineError, EngineResult};
+use crate::expr::Expr;
+use crate::optimizer;
+use crate::plan::{FactorizedSide, JoinKind, Plan, PlanKind};
+use erbium_storage::{Catalog, Row, Value};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Execute a plan against a catalog, returning the result rows.
+pub fn execute(plan: &Plan, cat: &Catalog) -> EngineResult<Vec<Row>> {
+    match &plan.kind {
+        PlanKind::Scan { table, filters } => {
+            let t = cat.table(table)?;
+            let mut out = Vec::new();
+            'rows: for (_, row) in t.scan() {
+                for f in filters {
+                    if !f.eval_predicate(row)? {
+                        continue 'rows;
+                    }
+                }
+                out.push(row.clone());
+            }
+            Ok(out)
+        }
+        PlanKind::IndexLookup { table, columns, keys, residual } => {
+            let t = cat.table(table)?;
+            let mut out = Vec::new();
+            for key in keys {
+                let matches = t.index_lookup(columns, key).ok_or_else(|| {
+                    EngineError::Plan(format!("no index on {columns:?} of '{table}'"))
+                })?;
+                'rows: for (_, row) in matches {
+                    for f in residual {
+                        if !f.eval_predicate(row)? {
+                            continue 'rows;
+                        }
+                    }
+                    out.push(row.clone());
+                }
+            }
+            Ok(out)
+        }
+        PlanKind::IndexRange { table, column, lo, hi, residual } => {
+            let t = cat.table(table)?;
+            let idx = t
+                .indexes()
+                .iter()
+                .find(|i| i.columns == [*column])
+                .ok_or_else(|| EngineError::Plan(format!("no index on #{column} of '{table}'")))?;
+            use std::ops::Bound;
+            let lo_b = match lo {
+                None => Bound::Unbounded,
+                Some((v, true)) => Bound::Included(v),
+                Some((v, false)) => Bound::Excluded(v),
+            };
+            let hi_b = match hi {
+                None => Bound::Unbounded,
+                Some((v, true)) => Bound::Included(v),
+                Some((v, false)) => Bound::Excluded(v),
+            };
+            let rids = idx.lookup_range(lo_b, hi_b).ok_or_else(|| {
+                EngineError::Plan(format!("index on #{column} of '{table}' is not ordered"))
+            })?;
+            let mut out = Vec::new();
+            'rows: for rid in rids {
+                let Some(row) = t.get(rid) else { continue };
+                for f in residual {
+                    if !f.eval_predicate(row)? {
+                        continue 'rows;
+                    }
+                }
+                out.push(row.clone());
+            }
+            Ok(out)
+        }
+        PlanKind::FactorizedScan { table, side, filters } => {
+            let ft = cat.factorized(table)?;
+            let rows: Vec<Row> = match side {
+                FactorizedSide::Left => ft.left().scan().map(|(_, r)| r.clone()).collect(),
+                FactorizedSide::Right => ft.right().scan().map(|(_, r)| r.clone()).collect(),
+                FactorizedSide::Join => ft.enumerate_join(),
+            };
+            if filters.is_empty() {
+                return Ok(rows);
+            }
+            let mut out = Vec::with_capacity(rows.len());
+            'rows: for row in rows {
+                for f in filters {
+                    if !f.eval_predicate(&row)? {
+                        continue 'rows;
+                    }
+                }
+                out.push(row);
+            }
+            Ok(out)
+        }
+        PlanKind::FactorizedCount { table } => {
+            let ft = cat.factorized(table)?;
+            Ok(vec![vec![Value::Int(ft.count_join() as i64)]])
+        }
+        PlanKind::Filter { input, predicate } => {
+            let rows = execute(input, cat)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                if predicate.eval_predicate(&row)? {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        PlanKind::Project { input, exprs } => {
+            let rows = execute(input, cat)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut new_row = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    new_row.push(e.eval(&row)?);
+                }
+                out.push(new_row);
+            }
+            Ok(out)
+        }
+        PlanKind::Join { left, right, kind, left_keys, right_keys } => {
+            exec_join(cat, left, right, *kind, left_keys, right_keys)
+        }
+        PlanKind::Aggregate { input, group, aggs } => {
+            let rows = execute(input, cat)?;
+            exec_aggregate(rows, group, aggs)
+        }
+        PlanKind::Unnest { input, column, keep_empty } => {
+            let rows = execute(input, cat)?;
+            let mut out = Vec::new();
+            for row in rows {
+                match &row[*column] {
+                    Value::Null => {
+                        if *keep_empty {
+                            out.push(row);
+                        }
+                    }
+                    Value::Array(vs) => {
+                        if vs.is_empty() {
+                            if *keep_empty {
+                                let mut new_row = row.clone();
+                                new_row[*column] = Value::Null;
+                                out.push(new_row);
+                            }
+                            continue;
+                        }
+                        for v in vs {
+                            let mut new_row = row.clone();
+                            new_row[*column] = v.clone();
+                            out.push(new_row);
+                        }
+                    }
+                    other => {
+                        return Err(EngineError::Eval(format!(
+                            "unnest over non-array value {other}"
+                        )))
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PlanKind::Sort { input, keys } => {
+            let rows = execute(input, cat)?;
+            let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut k = Vec::with_capacity(keys.len());
+                for sk in keys {
+                    k.push(sk.expr.eval(&row)?);
+                }
+                keyed.push((k, row));
+            }
+            keyed.sort_by(|(a, _), (b, _)| {
+                for (i, sk) in keys.iter().enumerate() {
+                    let ord = a[i].cmp(&b[i]);
+                    let ord = if sk.desc { ord.reverse() } else { ord };
+                    if !ord.is_eq() {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(keyed.into_iter().map(|(_, r)| r).collect())
+        }
+        PlanKind::Limit { input, limit } => {
+            let mut rows = execute(input, cat)?;
+            rows.truncate(*limit);
+            Ok(rows)
+        }
+        PlanKind::Distinct { input } => {
+            let rows = execute(input, cat)?;
+            let mut seen = FxHashSet::default();
+            let mut out = Vec::new();
+            for row in rows {
+                if seen.insert(row.clone()) {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        PlanKind::Union { inputs } => {
+            let mut out = Vec::new();
+            for p in inputs {
+                out.extend(execute(p, cat)?);
+            }
+            Ok(out)
+        }
+        PlanKind::Values { rows } => Ok(rows.clone()),
+    }
+}
+
+/// Optimize the plan (see [`crate::optimizer`]) and execute it.
+pub fn execute_optimized(plan: &Plan, cat: &Catalog) -> EngineResult<Vec<Row>> {
+    let optimized = optimizer::optimize(plan.clone(), cat)?;
+    execute(&optimized, cat)
+}
+
+fn exec_join(
+    cat: &Catalog,
+    left: &Plan,
+    right: &Plan,
+    kind: JoinKind,
+    left_keys: &[Expr],
+    right_keys: &[Expr],
+) -> EngineResult<Vec<Row>> {
+    if left_keys.len() != right_keys.len() {
+        return Err(EngineError::Plan("join key arity mismatch".into()));
+    }
+    let left_rows = execute(left, cat)?;
+    let right_rows = execute(right, cat)?;
+    let right_arity = right.fields.len();
+
+    // Build on the right side.
+    let mut table: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+    'build: for (i, row) in right_rows.iter().enumerate() {
+        let mut key = Vec::with_capacity(right_keys.len());
+        for e in right_keys {
+            let v = e.eval(row)?;
+            if v.is_null() {
+                continue 'build; // NULL keys never join
+            }
+            key.push(v);
+        }
+        table.entry(key).or_default().push(i);
+    }
+
+    let mut out = Vec::new();
+    for lrow in &left_rows {
+        let mut key = Vec::with_capacity(left_keys.len());
+        let mut null_key = false;
+        for e in left_keys {
+            let v = e.eval(lrow)?;
+            if v.is_null() {
+                null_key = true;
+                break;
+            }
+            key.push(v);
+        }
+        let matches = if null_key { None } else { table.get(&key) };
+        match kind {
+            JoinKind::Inner => {
+                if let Some(idxs) = matches {
+                    for &i in idxs {
+                        let mut row = Vec::with_capacity(lrow.len() + right_arity);
+                        row.extend_from_slice(lrow);
+                        row.extend_from_slice(&right_rows[i]);
+                        out.push(row);
+                    }
+                }
+            }
+            JoinKind::Left => match matches {
+                Some(idxs) if !idxs.is_empty() => {
+                    for &i in idxs {
+                        let mut row = Vec::with_capacity(lrow.len() + right_arity);
+                        row.extend_from_slice(lrow);
+                        row.extend_from_slice(&right_rows[i]);
+                        out.push(row);
+                    }
+                }
+                _ => {
+                    let mut row = Vec::with_capacity(lrow.len() + right_arity);
+                    row.extend_from_slice(lrow);
+                    row.extend(std::iter::repeat_n(Value::Null, right_arity));
+                    out.push(row);
+                }
+            },
+            JoinKind::Semi => {
+                if matches.map(|m| !m.is_empty()).unwrap_or(false) {
+                    out.push(lrow.clone());
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn exec_aggregate(
+    rows: Vec<Row>,
+    group: &[Expr],
+    aggs: &[crate::agg::AggCall],
+) -> EngineResult<Vec<Row>> {
+    if group.is_empty() {
+        // Global aggregate: always exactly one output row.
+        let mut accs: Vec<Accumulator> = aggs.iter().map(|a| a.accumulator()).collect();
+        for row in &rows {
+            for (acc, call) in accs.iter_mut().zip(aggs) {
+                acc.update(call.arg.eval(row)?)?;
+            }
+        }
+        return Ok(vec![accs.into_iter().map(Accumulator::finish).collect()]);
+    }
+    // Group-by: preserve first-seen group order for determinism.
+    let mut groups: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
+    let mut states: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+    for row in &rows {
+        let mut key = Vec::with_capacity(group.len());
+        for e in group {
+            key.push(e.eval(row)?);
+        }
+        let slot = match groups.get(&key) {
+            Some(&s) => s,
+            None => {
+                let s = states.len();
+                groups.insert(key.clone(), s);
+                states.push((key, aggs.iter().map(|a| a.accumulator()).collect()));
+                s
+            }
+        };
+        let (_, accs) = &mut states[slot];
+        for (acc, call) in accs.iter_mut().zip(aggs) {
+            acc.update(call.arg.eval(row)?)?;
+        }
+    }
+    let mut out = Vec::with_capacity(states.len());
+    for (key, accs) in states {
+        let mut row = key;
+        row.extend(accs.into_iter().map(Accumulator::finish));
+        out.push(row);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::{AggCall, AggFunc};
+    use crate::expr::ScalarFunc;
+    use crate::plan::SortKey;
+    use erbium_storage::{Column, DataType, Table, TableSchema};
+
+    fn cat() -> Catalog {
+        let mut c = Catalog::new();
+        let mut dept = Table::new(TableSchema::new(
+            "dept",
+            vec![Column::not_null("id", DataType::Int), Column::new("name", DataType::Text)],
+            vec![0],
+        ));
+        dept.insert(vec![Value::Int(1), Value::str("cs")]).unwrap();
+        dept.insert(vec![Value::Int(2), Value::str("math")]).unwrap();
+        dept.insert(vec![Value::Int(3), Value::str("bio")]).unwrap();
+        c.create_table(dept).unwrap();
+
+        let mut emp = Table::new(TableSchema::new(
+            "emp",
+            vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("dept_id", DataType::Int),
+                Column::new("salary", DataType::Int),
+                Column::new("skills", DataType::Text.array_of()),
+            ],
+            vec![0],
+        ));
+        emp.insert(vec![Value::Int(10), Value::Int(1), Value::Int(100), vec!["a", "b"].into()])
+            .unwrap();
+        emp.insert(vec![Value::Int(11), Value::Int(1), Value::Int(200), vec!["b"].into()]).unwrap();
+        emp.insert(vec![Value::Int(12), Value::Int(2), Value::Int(150), Value::Array(vec![])])
+            .unwrap();
+        emp.insert(vec![Value::Int(13), Value::Null, Value::Int(50), Value::Null]).unwrap();
+        c.create_table(emp).unwrap();
+        c
+    }
+
+    #[test]
+    fn scan_and_filter() {
+        let c = cat();
+        let p = Plan::scan(&c, "emp")
+            .unwrap()
+            .filter(Expr::binary(crate::expr::BinOp::Gt, Expr::col(2), Expr::lit(120i64)));
+        let rows = execute(&p, &c).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn inner_join_skips_null_keys() {
+        let c = cat();
+        let emp = Plan::scan(&c, "emp").unwrap();
+        let dept = Plan::scan(&c, "dept").unwrap();
+        let j = emp.join(dept, JoinKind::Inner, vec![Expr::col(1)], vec![Expr::col(0)]);
+        let rows = execute(&j, &c).unwrap();
+        assert_eq!(rows.len(), 3, "emp 13 has NULL dept_id and must not match");
+    }
+
+    #[test]
+    fn left_join_null_extends() {
+        let c = cat();
+        let emp = Plan::scan(&c, "emp").unwrap();
+        let dept = Plan::scan(&c, "dept").unwrap();
+        let j = emp.join(dept, JoinKind::Left, vec![Expr::col(1)], vec![Expr::col(0)]);
+        let rows = execute(&j, &c).unwrap();
+        assert_eq!(rows.len(), 4);
+        let unmatched = rows.iter().find(|r| r[0] == Value::Int(13)).unwrap();
+        assert_eq!(unmatched[4], Value::Null);
+        assert_eq!(unmatched[5], Value::Null);
+    }
+
+    #[test]
+    fn semi_join_emits_left_once() {
+        let c = cat();
+        let dept = Plan::scan(&c, "dept").unwrap();
+        let emp = Plan::scan(&c, "emp").unwrap();
+        let j = dept.join(emp, JoinKind::Semi, vec![Expr::col(0)], vec![Expr::col(1)]);
+        let rows = execute(&j, &c).unwrap();
+        // cs has two employees but appears once; bio has none.
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].len(), 2, "semi join keeps left arity");
+    }
+
+    #[test]
+    fn aggregate_group_by() {
+        let c = cat();
+        let emp = Plan::scan(&c, "emp").unwrap();
+        let agg = emp.aggregate(
+            vec![(Expr::col(1), "dept_id".into())],
+            vec![
+                (AggCall::new(AggFunc::Sum, Expr::col(2)), "total".into()),
+                (AggCall::count_star(), "n".into()),
+            ],
+        );
+        let mut rows = execute(&agg, &c).unwrap();
+        rows.sort();
+        assert_eq!(rows.len(), 3); // dept 1, 2, NULL
+        let cs = rows.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        assert_eq!(cs[1], Value::Int(300));
+        assert_eq!(cs[2], Value::Int(2));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let c = cat();
+        let p = Plan::scan(&c, "emp")
+            .unwrap()
+            .filter(Expr::eq(Expr::col(0), Expr::lit(-1i64)))
+            .aggregate(vec![], vec![(AggCall::count_star(), "n".into())]);
+        let rows = execute(&p, &c).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(0)]]);
+    }
+
+    #[test]
+    fn unnest_expands_and_drops_empty() {
+        let c = cat();
+        let p = Plan::scan(&c, "emp").unwrap().unnest(3).unwrap();
+        let rows = execute(&p, &c).unwrap();
+        // emp 10 -> 2 rows, emp 11 -> 1 row, emp 12 empty -> 0, emp 13 null -> 0.
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| matches!(r[3], Value::Str(_))));
+    }
+
+    #[test]
+    fn nest_via_array_agg_struct_pack() {
+        // SELECT dept_id, NEST(id, salary) — lowered to array_agg(struct_pack).
+        let c = cat();
+        let p = Plan::scan(&c, "emp").unwrap().aggregate(
+            vec![(Expr::col(1), "dept_id".into())],
+            vec![(
+                AggCall::new(
+                    AggFunc::ArrayAgg,
+                    Expr::func(ScalarFunc::StructPack, vec![Expr::col(0), Expr::col(2)]),
+                ),
+                "emps".into(),
+            )],
+        );
+        let rows = execute(&p, &c).unwrap();
+        let cs = rows.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        match &cs[1] {
+            Value::Array(vs) => {
+                assert_eq!(vs.len(), 2);
+                assert!(vs.contains(&Value::Struct(vec![Value::Int(10), Value::Int(100)])));
+            }
+            other => panic!("expected array, got {other}"),
+        }
+    }
+
+    #[test]
+    fn sort_limit_distinct() {
+        let c = cat();
+        let p = Plan::scan(&c, "emp")
+            .unwrap()
+            .project_columns(&[1])
+            .distinct()
+            .sort(vec![SortKey { expr: Expr::col(0), desc: false }])
+            .limit(2);
+        let rows = execute(&p, &c).unwrap();
+        // NULL sorts first, then 1.
+        assert_eq!(rows, vec![vec![Value::Null], vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn union_all_concatenates() {
+        let c = cat();
+        let a = Plan::scan(&c, "dept").unwrap();
+        let b = Plan::scan(&c, "dept").unwrap();
+        let u = Plan::union(vec![a, b]).unwrap();
+        assert_eq!(execute(&u, &c).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn index_lookup_uses_pk() {
+        let c = cat();
+        let p = Plan {
+            kind: PlanKind::IndexLookup {
+                table: "emp".into(),
+                columns: vec![0],
+                keys: vec![Value::Int(11), Value::Int(12)],
+                residual: vec![],
+            },
+            fields: Plan::scan(&c, "emp").unwrap().fields,
+        };
+        let rows = execute(&p, &c).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn values_plan() {
+        let c = Catalog::new();
+        let p = Plan::values(
+            vec![crate::plan::Field::new("x", DataType::Int)],
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        );
+        assert_eq!(execute(&p, &c).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! # erbium-engine
+//!
+//! The relational query engine running over [`erbium_storage`].
+//!
+//! This is the execution half of the substrate that replaces PostgreSQL in
+//! the paper's prototype. It evaluates [`Plan`]s — logical operator trees —
+//! against a [`erbium_storage::Catalog`]:
+//!
+//! * typed scalar [`expr`]essions with SQL three-valued logic, array
+//!   functions (`unnest` support, containment, intersection) and struct
+//!   field access, because the E/R mappings produce physical tables with
+//!   array and composite columns;
+//! * [`agg`]regates including `array_agg` + struct packing, which is how
+//!   the ERQL `NEST(...)` hierarchical output clause is lowered;
+//! * [`plan`] nodes: scans (with pushed-down filters and index lookups),
+//!   hash joins (inner / left outer / semi), aggregation, unnest, union,
+//!   sort/limit/distinct, and **factorized scans** over multi-relation
+//!   structures with aggregate pushdown through the join;
+//! * a rule-based [`optimizer`] (constant folding, filter splitting and
+//!   pushdown, index-lookup selection, trivial-projection elision);
+//! * a materializing [`exec`]utor.
+
+pub mod agg;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod optimizer;
+pub mod plan;
+
+pub use agg::{AggCall, AggFunc};
+pub use error::{EngineError, EngineResult};
+pub use exec::{execute, execute_optimized};
+pub use expr::{BinOp, Expr, ScalarFunc, UnOp};
+pub use plan::{Field, JoinKind, Plan, PlanKind, SortKey};

@@ -1,0 +1,782 @@
+//! Rule-based plan optimizer.
+//!
+//! Passes, applied in order:
+//!
+//! 1. **Constant folding** — evaluate column-free subexpressions.
+//! 2. **Filter normalization & pushdown** — split conjunctions; merge
+//!    adjacent filters; push predicates through projections (by inlining
+//!    the projected expressions), into the matching side of joins, into
+//!    all branches of unions, and finally into scans.
+//! 3. **Index selection** — a scan filtered by `col = literal` or
+//!    `col IN <set>` turns into an [`PlanKind::IndexLookup`] when the table
+//!    has an index on exactly that column.
+//!
+//! The paper's argument for logical independence rests on the system (not
+//! the user) being able to exploit physical choices like indexes and
+//! pushed-down predicates regardless of the mapping; this module is where
+//! that happens for the relational substrate.
+
+use crate::error::EngineResult;
+use crate::expr::{BinOp, Expr};
+use crate::plan::{Plan, PlanKind};
+use erbium_storage::{Catalog, Value};
+
+/// Run all optimizer passes.
+pub fn optimize(plan: Plan, cat: &Catalog) -> EngineResult<Plan> {
+    let plan = fold_constants(plan)?;
+    let plan = push_filters(plan)?;
+    let plan = select_indexes(plan, cat)?;
+    Ok(plan)
+}
+
+// ---- constant folding ------------------------------------------------------
+
+/// Fold constant subexpressions throughout the plan.
+pub fn fold_constants(plan: Plan) -> EngineResult<Plan> {
+    map_exprs(plan, &fold_expr)
+}
+
+fn fold_expr(e: Expr) -> Expr {
+    // Fold children first.
+    let e = match e {
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op,
+            left: Box::new(fold_expr(*left)),
+            right: Box::new(fold_expr(*right)),
+        },
+        Expr::Unary { op, expr } => Expr::Unary { op, expr: Box::new(fold_expr(*expr)) },
+        Expr::Func { func, args } => {
+            Expr::Func { func, args: args.into_iter().map(fold_expr).collect() }
+        }
+        Expr::Field { expr, index } => Expr::Field { expr: Box::new(fold_expr(*expr)), index },
+        Expr::IsNull(x) => Expr::IsNull(Box::new(fold_expr(*x))),
+        Expr::IsNotNull(x) => Expr::IsNotNull(Box::new(fold_expr(*x))),
+        other => other,
+    };
+    if !matches!(e, Expr::Lit(_)) && e.is_constant() {
+        // A failing constant (e.g. 1/0) is left unfolded so the error
+        // surfaces at execution time instead of plan time.
+        if let Ok(v) = e.eval(&[]) {
+            return Expr::Lit(v);
+        }
+    }
+    // TRUE simplifications that keep three-valued semantics intact.
+    match e {
+        Expr::Binary { op: BinOp::And, left, right } => match (&*left, &*right) {
+            (Expr::Lit(Value::Bool(true)), _) => *right,
+            (_, Expr::Lit(Value::Bool(true))) => *left,
+            (Expr::Lit(Value::Bool(false)), _) | (_, Expr::Lit(Value::Bool(false))) => {
+                Expr::Lit(Value::Bool(false))
+            }
+            _ => Expr::Binary { op: BinOp::And, left, right },
+        },
+        Expr::Binary { op: BinOp::Or, left, right } => match (&*left, &*right) {
+            (Expr::Lit(Value::Bool(false)), _) => *right,
+            (_, Expr::Lit(Value::Bool(false))) => *left,
+            (Expr::Lit(Value::Bool(true)), _) | (_, Expr::Lit(Value::Bool(true))) => {
+                Expr::Lit(Value::Bool(true))
+            }
+            _ => Expr::Binary { op: BinOp::Or, left, right },
+        },
+        other => other,
+    }
+}
+
+fn map_exprs(plan: Plan, f: &impl Fn(Expr) -> Expr) -> EngineResult<Plan> {
+    let fields = plan.fields;
+    let kind = match plan.kind {
+        PlanKind::Scan { table, filters } => {
+            PlanKind::Scan { table, filters: filters.into_iter().map(f).collect() }
+        }
+        PlanKind::IndexLookup { table, columns, keys, residual } => PlanKind::IndexLookup {
+            table,
+            columns,
+            keys,
+            residual: residual.into_iter().map(f).collect(),
+        },
+        PlanKind::IndexRange { table, column, lo, hi, residual } => PlanKind::IndexRange {
+            table,
+            column,
+            lo,
+            hi,
+            residual: residual.into_iter().map(f).collect(),
+        },
+        PlanKind::FactorizedScan { table, side, filters } => PlanKind::FactorizedScan {
+            table,
+            side,
+            filters: filters.into_iter().map(f).collect(),
+        },
+        PlanKind::FactorizedCount { table } => PlanKind::FactorizedCount { table },
+        PlanKind::Filter { input, predicate } => PlanKind::Filter {
+            input: Box::new(map_exprs(*input, f)?),
+            predicate: f(predicate),
+        },
+        PlanKind::Project { input, exprs } => PlanKind::Project {
+            input: Box::new(map_exprs(*input, f)?),
+            exprs: exprs.into_iter().map(f).collect(),
+        },
+        PlanKind::Join { left, right, kind, left_keys, right_keys } => PlanKind::Join {
+            left: Box::new(map_exprs(*left, f)?),
+            right: Box::new(map_exprs(*right, f)?),
+            kind,
+            left_keys: left_keys.into_iter().map(f).collect(),
+            right_keys: right_keys.into_iter().map(f).collect(),
+        },
+        PlanKind::Aggregate { input, group, aggs } => PlanKind::Aggregate {
+            input: Box::new(map_exprs(*input, f)?),
+            group: group.into_iter().map(f).collect(),
+            aggs: aggs
+                .into_iter()
+                .map(|mut a| {
+                    a.arg = f(a.arg);
+                    a
+                })
+                .collect(),
+        },
+        PlanKind::Unnest { input, column, keep_empty } => {
+            PlanKind::Unnest { input: Box::new(map_exprs(*input, f)?), column, keep_empty }
+        }
+        PlanKind::Sort { input, keys } => PlanKind::Sort {
+            input: Box::new(map_exprs(*input, f)?),
+            keys: keys
+                .into_iter()
+                .map(|mut k| {
+                    k.expr = f(k.expr);
+                    k
+                })
+                .collect(),
+        },
+        PlanKind::Limit { input, limit } => {
+            PlanKind::Limit { input: Box::new(map_exprs(*input, f)?), limit }
+        }
+        PlanKind::Distinct { input } => PlanKind::Distinct { input: Box::new(map_exprs(*input, f)?) },
+        PlanKind::Union { inputs } => PlanKind::Union {
+            inputs: inputs.into_iter().map(|p| map_exprs(p, f)).collect::<EngineResult<_>>()?,
+        },
+        PlanKind::Values { rows } => PlanKind::Values { rows },
+    };
+    Ok(Plan { kind, fields })
+}
+
+// ---- filter pushdown --------------------------------------------------------
+
+/// Push filter predicates as close to the scans as possible.
+pub fn push_filters(plan: Plan) -> EngineResult<Plan> {
+    let fields = plan.fields.clone();
+    let kind = match plan.kind {
+        PlanKind::Filter { input, predicate } => {
+            let input = push_filters(*input)?;
+            let conjuncts = predicate.split_conjunction();
+            return Ok(push_conjuncts_into(input, conjuncts));
+        }
+        PlanKind::Project { input, exprs } => PlanKind::Project {
+            input: Box::new(push_filters(*input)?),
+            exprs,
+        },
+        PlanKind::Join { left, right, kind, left_keys, right_keys } => PlanKind::Join {
+            left: Box::new(push_filters(*left)?),
+            right: Box::new(push_filters(*right)?),
+            kind,
+            left_keys,
+            right_keys,
+        },
+        PlanKind::Aggregate { input, group, aggs } => {
+            PlanKind::Aggregate { input: Box::new(push_filters(*input)?), group, aggs }
+        }
+        PlanKind::Unnest { input, column, keep_empty } => {
+            PlanKind::Unnest { input: Box::new(push_filters(*input)?), column, keep_empty }
+        }
+        PlanKind::Sort { input, keys } => {
+            PlanKind::Sort { input: Box::new(push_filters(*input)?), keys }
+        }
+        PlanKind::Limit { input, limit } => {
+            PlanKind::Limit { input: Box::new(push_filters(*input)?), limit }
+        }
+        PlanKind::Distinct { input } => {
+            PlanKind::Distinct { input: Box::new(push_filters(*input)?) }
+        }
+        PlanKind::Union { inputs } => PlanKind::Union {
+            inputs: inputs.into_iter().map(push_filters).collect::<EngineResult<_>>()?,
+        },
+        leaf => leaf,
+    };
+    Ok(Plan { kind, fields })
+}
+
+/// Push a set of conjuncts into `plan`, leaving a residual Filter on top
+/// for whatever cannot sink further.
+fn push_conjuncts_into(plan: Plan, conjuncts: Vec<Expr>) -> Plan {
+    if conjuncts.is_empty() {
+        return plan;
+    }
+    let fields = plan.fields.clone();
+    match plan.kind {
+        PlanKind::Scan { table, mut filters } => {
+            filters.extend(conjuncts);
+            Plan { kind: PlanKind::Scan { table, filters }, fields }
+        }
+        PlanKind::FactorizedScan { table, side, mut filters } => {
+            filters.extend(conjuncts);
+            Plan { kind: PlanKind::FactorizedScan { table, side, filters }, fields }
+        }
+        PlanKind::IndexLookup { table, columns, keys, mut residual } => {
+            residual.extend(conjuncts);
+            Plan { kind: PlanKind::IndexLookup { table, columns, keys, residual }, fields }
+        }
+        PlanKind::IndexRange { table, column, lo, hi, mut residual } => {
+            residual.extend(conjuncts);
+            Plan { kind: PlanKind::IndexRange { table, column, lo, hi, residual }, fields }
+        }
+        PlanKind::Filter { input, predicate } => {
+            let mut all = predicate.split_conjunction();
+            all.extend(conjuncts);
+            push_conjuncts_into(*input, all)
+        }
+        PlanKind::Project { input, exprs } => {
+            // Inline projected expressions into each predicate; safe for any
+            // deterministic expression.
+            let rewritten: Vec<Expr> =
+                conjuncts.iter().map(|p| substitute_columns(p, &exprs)).collect();
+            let pushed = push_conjuncts_into(*input, rewritten);
+            Plan { kind: PlanKind::Project { input: Box::new(pushed), exprs }, fields }
+        }
+        PlanKind::Join { left, right, kind, left_keys, right_keys } => {
+            let left_arity = left.fields.len();
+            let mut left_preds = Vec::new();
+            let mut right_preds = Vec::new();
+            let mut keep = Vec::new();
+            for p in conjuncts {
+                let cols = p.columns();
+                let all_left = cols.iter().all(|&c| c < left_arity);
+                let all_right = cols.iter().all(|&c| c >= left_arity);
+                if all_left {
+                    left_preds.push(p);
+                } else if all_right && kind == crate::plan::JoinKind::Inner {
+                    right_preds.push(p.map_columns(&|c| c - left_arity));
+                } else {
+                    keep.push(p);
+                }
+            }
+            let new_left = push_conjuncts_into(*left, left_preds);
+            let new_right = push_conjuncts_into(*right, right_preds);
+            let joined = Plan {
+                kind: PlanKind::Join {
+                    left: Box::new(new_left),
+                    right: Box::new(new_right),
+                    kind,
+                    left_keys,
+                    right_keys,
+                },
+                fields,
+            };
+            wrap_filter(joined, keep)
+        }
+        PlanKind::Union { inputs } => {
+            let pushed: Vec<Plan> = inputs
+                .into_iter()
+                .map(|p| push_conjuncts_into(p, conjuncts.clone()))
+                .collect();
+            Plan { kind: PlanKind::Union { inputs: pushed }, fields }
+        }
+        PlanKind::Unnest { input, column, keep_empty } => {
+            // Predicates not touching the unnested column commute with the
+            // unnest (inner or outer): column indexes are unchanged and the
+            // predicate is row-local over the preserved columns.
+            let (push, keep): (Vec<Expr>, Vec<Expr>) =
+                conjuncts.into_iter().partition(|p| !p.columns().contains(&column));
+            let pushed = push_conjuncts_into(*input, push);
+            let plan = Plan {
+                kind: PlanKind::Unnest { input: Box::new(pushed), column, keep_empty },
+                fields,
+            };
+            wrap_filter(plan, keep)
+        }
+        other => wrap_filter(Plan { kind: other, fields }, conjuncts),
+    }
+}
+
+fn wrap_filter(plan: Plan, conjuncts: Vec<Expr>) -> Plan {
+    if conjuncts.is_empty() {
+        return plan;
+    }
+    let fields = plan.fields.clone();
+    Plan {
+        kind: PlanKind::Filter { input: Box::new(plan), predicate: Expr::conjunction(conjuncts) },
+        fields,
+    }
+}
+
+/// Replace `Col(i)` with `projection[i]`.
+fn substitute_columns(pred: &Expr, projection: &[Expr]) -> Expr {
+    match pred {
+        Expr::Col(i) => projection.get(*i).cloned().unwrap_or_else(|| pred.clone()),
+        Expr::Lit(v) => Expr::Lit(v.clone()),
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(substitute_columns(left, projection)),
+            right: Box::new(substitute_columns(right, projection)),
+        },
+        Expr::Unary { op, expr } => {
+            Expr::Unary { op: *op, expr: Box::new(substitute_columns(expr, projection)) }
+        }
+        Expr::Func { func, args } => Expr::Func {
+            func: *func,
+            args: args.iter().map(|a| substitute_columns(a, projection)).collect(),
+        },
+        Expr::Field { expr, index } => {
+            Expr::Field { expr: Box::new(substitute_columns(expr, projection)), index: *index }
+        }
+        Expr::InSet { expr, set } => Expr::InSet {
+            expr: Box::new(substitute_columns(expr, projection)),
+            set: std::sync::Arc::clone(set),
+        },
+        Expr::IsNull(e) => Expr::IsNull(Box::new(substitute_columns(e, projection))),
+        Expr::IsNotNull(e) => Expr::IsNotNull(Box::new(substitute_columns(e, projection))),
+    }
+}
+
+// ---- index selection ---------------------------------------------------------
+
+/// Convert filtered scans into index lookups where an index exists.
+pub fn select_indexes(plan: Plan, cat: &Catalog) -> EngineResult<Plan> {
+    let fields = plan.fields;
+    let kind = match plan.kind {
+        PlanKind::Scan { table, filters } => {
+            if let Ok(t) = cat.table(&table) {
+                match extract_index_lookup(t, &filters) {
+                    Some((columns, keys, residual)) => {
+                        PlanKind::IndexLookup { table, columns, keys, residual }
+                    }
+                    None => match extract_index_range(t, &filters) {
+                        Some((column, lo, hi, residual)) => {
+                            PlanKind::IndexRange { table, column, lo, hi, residual }
+                        }
+                        None => PlanKind::Scan { table, filters },
+                    },
+                }
+            } else {
+                PlanKind::Scan { table, filters }
+            }
+        }
+        PlanKind::Filter { input, predicate } => PlanKind::Filter {
+            input: Box::new(select_indexes(*input, cat)?),
+            predicate,
+        },
+        PlanKind::Project { input, exprs } => {
+            PlanKind::Project { input: Box::new(select_indexes(*input, cat)?), exprs }
+        }
+        PlanKind::Join { left, right, kind, left_keys, right_keys } => PlanKind::Join {
+            left: Box::new(select_indexes(*left, cat)?),
+            right: Box::new(select_indexes(*right, cat)?),
+            kind,
+            left_keys,
+            right_keys,
+        },
+        PlanKind::Aggregate { input, group, aggs } => {
+            // Aggregate pushdown through a factorized join: COUNT(*) over
+            // the pure stored join is the structure's pair count (the
+            // paper's "execute some types of aggregate queries more
+            // efficiently by ... pushing down aggregations through the
+            // joins").
+            if group.is_empty() && aggs.len() == 1 {
+                if let (crate::agg::AggFunc::CountStar, PlanKind::FactorizedScan {
+                    table,
+                    side: crate::plan::FactorizedSide::Join,
+                    filters,
+                }) = (aggs[0].func, &input.kind)
+                {
+                    if filters.is_empty() {
+                        return Ok(Plan {
+                            kind: PlanKind::FactorizedCount { table: table.clone() },
+                            fields,
+                        });
+                    }
+                }
+            }
+            PlanKind::Aggregate { input: Box::new(select_indexes(*input, cat)?), group, aggs }
+        }
+        PlanKind::Unnest { input, column, keep_empty } => {
+            PlanKind::Unnest { input: Box::new(select_indexes(*input, cat)?), column, keep_empty }
+        }
+        PlanKind::Sort { input, keys } => {
+            PlanKind::Sort { input: Box::new(select_indexes(*input, cat)?), keys }
+        }
+        PlanKind::Limit { input, limit } => {
+            PlanKind::Limit { input: Box::new(select_indexes(*input, cat)?), limit }
+        }
+        PlanKind::Distinct { input } => {
+            PlanKind::Distinct { input: Box::new(select_indexes(*input, cat)?) }
+        }
+        PlanKind::Union { inputs } => PlanKind::Union {
+            inputs: inputs
+                .into_iter()
+                .map(|p| select_indexes(p, cat))
+                .collect::<EngineResult<_>>()?,
+        },
+        leaf => leaf,
+    };
+    Ok(Plan { kind, fields })
+}
+
+/// If some filter is `Col(i) = lit` or `Col(i) IN <set>` and the table has
+/// an index on column `i`, return the lookup spec plus residual filters.
+fn extract_index_lookup(
+    table: &erbium_storage::Table,
+    filters: &[Expr],
+) -> Option<(Vec<usize>, Vec<Value>, Vec<Expr>)> {
+    for (pos, f) in filters.iter().enumerate() {
+        let (col, keys) = match f {
+            Expr::Binary { op: BinOp::Eq, left, right } => match (&**left, &**right) {
+                (Expr::Col(i), Expr::Lit(v)) | (Expr::Lit(v), Expr::Col(i)) if !v.is_null() => {
+                    (*i, vec![v.clone()])
+                }
+                _ => continue,
+            },
+            Expr::InSet { expr, set } => match &**expr {
+                Expr::Col(i) => {
+                    let mut keys: Vec<Value> = set.iter().cloned().collect();
+                    keys.sort();
+                    (*i, keys)
+                }
+                _ => continue,
+            },
+            _ => continue,
+        };
+        if table.has_index_on(&[col]) {
+            let residual: Vec<Expr> = filters
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != pos)
+                .map(|(_, e)| e.clone())
+                .collect();
+            return Some((vec![col], keys, residual));
+        }
+    }
+    None
+}
+
+/// If some filter is a comparison `Col(i) <op> lit` and the table has an
+/// ordered (BTree) index on column `i`, return the range spec plus residual
+/// filters. Only single-bound ranges are extracted; a second bound on the
+/// same column stays residual (still correct, marginally less tight).
+type RangeBound = Option<(Value, bool)>;
+
+fn extract_index_range(
+    table: &erbium_storage::Table,
+    filters: &[Expr],
+) -> Option<(usize, RangeBound, RangeBound, Vec<Expr>)> {
+    use erbium_storage::IndexKind;
+    for (pos, f) in filters.iter().enumerate() {
+        let Expr::Binary { op, left, right } = f else { continue };
+        let (col, lit, op) = match (&**left, &**right) {
+            (Expr::Col(i), Expr::Lit(v)) if !v.is_null() => (*i, v.clone(), *op),
+            (Expr::Lit(v), Expr::Col(i)) if !v.is_null() => {
+                // Mirror the comparison: lit < col ≡ col > lit.
+                let mirrored = match op {
+                    BinOp::Lt => BinOp::Gt,
+                    BinOp::Le => BinOp::Ge,
+                    BinOp::Gt => BinOp::Lt,
+                    BinOp::Ge => BinOp::Le,
+                    other => *other,
+                };
+                (*i, v.clone(), mirrored)
+            }
+            _ => continue,
+        };
+        let (lo, hi) = match op {
+            BinOp::Lt => (None, Some((lit, false))),
+            BinOp::Le => (None, Some((lit, true))),
+            BinOp::Gt => (Some((lit, false)), None),
+            BinOp::Ge => (Some((lit, true)), None),
+            _ => continue,
+        };
+        let has_btree = table
+            .indexes()
+            .iter()
+            .any(|ix| ix.columns == [col] && ix.kind() == IndexKind::BTree);
+        if has_btree {
+            let residual: Vec<Expr> = filters
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != pos)
+                .map(|(_, e)| e.clone())
+                .collect();
+            return Some((col, lo, hi, residual));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::plan::JoinKind;
+    use erbium_storage::{Column, DataType, Table, TableSchema};
+
+    fn cat() -> Catalog {
+        let mut c = Catalog::new();
+        let mut t = Table::new(TableSchema::new(
+            "t",
+            vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("grp", DataType::Int),
+                Column::new("v", DataType::Int),
+            ],
+            vec![0],
+        ));
+        for i in 0..100i64 {
+            t.insert(vec![Value::Int(i), Value::Int(i % 10), Value::Int(i * 2)]).unwrap();
+        }
+        c.create_table(t).unwrap();
+        c
+    }
+
+    #[test]
+    fn constant_folding_simplifies() {
+        let e = Expr::and(
+            Expr::lit(true),
+            Expr::eq(Expr::col(0), Expr::binary(BinOp::Add, Expr::lit(1i64), Expr::lit(2i64))),
+        );
+        let folded = fold_expr(e);
+        assert_eq!(folded, Expr::eq(Expr::col(0), Expr::lit(3i64)));
+    }
+
+    #[test]
+    fn folding_keeps_failing_constants() {
+        let e = Expr::binary(BinOp::Div, Expr::lit(1i64), Expr::lit(0i64));
+        let folded = fold_expr(e.clone());
+        assert_eq!(folded, e);
+    }
+
+    #[test]
+    fn filter_pushed_into_scan() {
+        let c = cat();
+        let p = Plan::scan(&c, "t").unwrap().filter(Expr::eq(Expr::col(1), Expr::lit(3i64)));
+        let opt = push_filters(p).unwrap();
+        match &opt.kind {
+            PlanKind::Scan { filters, .. } => assert_eq!(filters.len(), 1),
+            other => panic!("expected scan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_pushed_through_projection() {
+        let c = cat();
+        let p = Plan::scan(&c, "t")
+            .unwrap()
+            .project(vec![(Expr::col(1), "g".into()), (Expr::col(2), "v".into())])
+            .filter(Expr::eq(Expr::col(0), Expr::lit(3i64)));
+        let opt = push_filters(p.clone()).unwrap();
+        match &opt.kind {
+            PlanKind::Project { input, .. } => match &input.kind {
+                PlanKind::Scan { filters, .. } => {
+                    assert_eq!(filters[0], Expr::eq(Expr::col(1), Expr::lit(3i64)))
+                }
+                other => panic!("expected scan under project, got {other:?}"),
+            },
+            other => panic!("expected project, got {other:?}"),
+        }
+        // Semantics preserved.
+        let a = execute(&p, &cat()).unwrap();
+        let b = execute(&opt, &cat()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn filter_split_across_join_sides() {
+        let c = cat();
+        let l = Plan::scan(&c, "t").unwrap();
+        let r = Plan::scan(&c, "t").unwrap();
+        let j = l
+            .join(r, JoinKind::Inner, vec![Expr::col(0)], vec![Expr::col(0)])
+            .filter(Expr::and(
+                Expr::eq(Expr::col(1), Expr::lit(3i64)),  // left side
+                Expr::eq(Expr::col(4), Expr::lit(3i64)), // right side (col 4 = right grp)
+            ));
+        let opt = push_filters(j.clone()).unwrap();
+        match &opt.kind {
+            PlanKind::Join { left, right, .. } => {
+                assert!(matches!(&left.kind, PlanKind::Scan { filters, .. } if filters.len() == 1));
+                assert!(matches!(&right.kind, PlanKind::Scan { filters, .. } if filters.len() == 1));
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+        assert_eq!(execute(&j, &c).unwrap(), execute(&opt, &c).unwrap());
+    }
+
+    #[test]
+    fn right_side_filter_not_pushed_through_left_join() {
+        let c = cat();
+        let l = Plan::scan(&c, "t").unwrap();
+        let r = Plan::scan(&c, "t").unwrap();
+        let j = l
+            .join(r, JoinKind::Left, vec![Expr::col(0)], vec![Expr::col(0)])
+            .filter(Expr::eq(Expr::col(4), Expr::lit(3i64)));
+        let opt = push_filters(j.clone()).unwrap();
+        // Must stay above the join: pushing below a left join changes results.
+        assert!(matches!(&opt.kind, PlanKind::Filter { .. }));
+        assert_eq!(execute(&j, &c).unwrap(), execute(&opt, &c).unwrap());
+    }
+
+    #[test]
+    fn index_lookup_selected_for_pk_equality() {
+        let c = cat();
+        let p = Plan::scan(&c, "t").unwrap().filter(Expr::eq(Expr::col(0), Expr::lit(42i64)));
+        let opt = optimize(p.clone(), &c).unwrap();
+        match &opt.kind {
+            PlanKind::IndexLookup { columns, keys, .. } => {
+                assert_eq!(columns, &vec![0]);
+                assert_eq!(keys, &vec![Value::Int(42)]);
+            }
+            other => panic!("expected index lookup, got {other:?}"),
+        }
+        assert_eq!(execute(&p, &c).unwrap(), execute(&opt, &c).unwrap());
+    }
+
+    #[test]
+    fn in_set_uses_index() {
+        let c = cat();
+        let p = Plan::scan(&c, "t")
+            .unwrap()
+            .filter(Expr::in_set(Expr::col(0), vec![Value::Int(1), Value::Int(5)]));
+        let opt = optimize(p.clone(), &c).unwrap();
+        assert!(matches!(&opt.kind, PlanKind::IndexLookup { keys, .. } if keys.len() == 2));
+        let mut a = execute(&p, &c).unwrap();
+        let mut b = execute(&opt, &c).unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_index_no_lookup() {
+        let c = cat();
+        let p = Plan::scan(&c, "t").unwrap().filter(Expr::eq(Expr::col(2), Expr::lit(4i64)));
+        let opt = optimize(p, &c).unwrap();
+        assert!(matches!(&opt.kind, PlanKind::Scan { .. }));
+    }
+
+    #[test]
+    fn union_filters_pushed_into_all_branches() {
+        let c = cat();
+        let u = Plan::union(vec![Plan::scan(&c, "t").unwrap(), Plan::scan(&c, "t").unwrap()])
+            .unwrap()
+            .filter(Expr::eq(Expr::col(1), Expr::lit(1i64)));
+        let opt = push_filters(u.clone()).unwrap();
+        match &opt.kind {
+            PlanKind::Union { inputs } => {
+                for i in inputs {
+                    assert!(matches!(&i.kind, PlanKind::Scan { filters, .. } if !filters.is_empty()));
+                }
+            }
+            other => panic!("expected union, got {other:?}"),
+        }
+        assert_eq!(execute(&u, &c).unwrap(), execute(&opt, &c).unwrap());
+    }
+}
+
+#[cfg(test)]
+mod range_tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::plan::Plan;
+    use erbium_storage::{Column, DataType, IndexKind, Table, TableSchema};
+
+    fn cat_with_btree() -> Catalog {
+        let mut c = Catalog::new();
+        let mut t = Table::new(TableSchema::new(
+            "t",
+            vec![Column::not_null("id", DataType::Int), Column::new("v", DataType::Int)],
+            vec![0],
+        ));
+        for i in 0..100i64 {
+            t.insert(vec![Value::Int(i), Value::Int(i % 10)]).unwrap();
+        }
+        t.create_index("by_id", vec![0], IndexKind::BTree).unwrap();
+        c.create_table(t).unwrap();
+        c
+    }
+
+    #[test]
+    fn range_scan_selected_for_comparison() {
+        let c = cat_with_btree();
+        let p = Plan::scan(&c, "t")
+            .unwrap()
+            .filter(Expr::binary(BinOp::Lt, Expr::col(0), Expr::lit(10i64)));
+        let opt = optimize(p.clone(), &c).unwrap();
+        assert!(
+            matches!(&opt.kind, PlanKind::IndexRange { hi: Some((Value::Int(10), false)), .. }),
+            "{}",
+            opt.explain()
+        );
+        let mut a = execute(&p, &c).unwrap();
+        let mut b = execute(&opt, &c).unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn mirrored_comparison_and_residual() {
+        let c = cat_with_btree();
+        // 90 <= id AND v = 3 → range on id, residual on v.
+        let p = Plan::scan(&c, "t").unwrap().filter(Expr::and(
+            Expr::binary(BinOp::Le, Expr::lit(90i64), Expr::col(0)),
+            Expr::eq(Expr::col(1), Expr::lit(3i64)),
+        ));
+        let opt = optimize(p.clone(), &c).unwrap();
+        match &opt.kind {
+            PlanKind::IndexRange { lo: Some((Value::Int(90), true)), residual, .. } => {
+                assert_eq!(residual.len(), 1);
+            }
+            other => panic!("expected range, got {other:?}"),
+        }
+        let mut a = execute(&p, &c).unwrap();
+        let mut b = execute(&opt, &c).unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_btree_no_range() {
+        let c = cat_with_btree();
+        // Column v has no index: stays a scan.
+        let p = Plan::scan(&c, "t")
+            .unwrap()
+            .filter(Expr::binary(BinOp::Gt, Expr::col(1), Expr::lit(5i64)));
+        let opt = optimize(p, &c).unwrap();
+        assert!(matches!(&opt.kind, PlanKind::Scan { .. }));
+    }
+
+    #[test]
+    fn count_star_pushed_into_factorized_structure() {
+        use crate::agg::AggCall;
+        use erbium_storage::FactorizedTable;
+        let mut c = Catalog::new();
+        let mut ft = FactorizedTable::new(
+            "f",
+            TableSchema::new("l", vec![Column::not_null("a", DataType::Int)], vec![0]),
+            TableSchema::new("r", vec![Column::not_null("b", DataType::Int)], vec![0]),
+        );
+        for i in 0..5i64 {
+            let l = ft.insert_left(vec![Value::Int(i)]).unwrap();
+            let r = ft.insert_right(vec![Value::Int(i)]).unwrap();
+            ft.link(l, r).unwrap();
+        }
+        c.create_factorized("f", ft).unwrap();
+        let p = Plan::factorized_scan(&c, "f", crate::plan::FactorizedSide::Join)
+            .unwrap()
+            .aggregate(vec![], vec![(AggCall::count_star(), "n".into())]);
+        let opt = optimize(p.clone(), &c).unwrap();
+        assert!(
+            matches!(&opt.kind, PlanKind::FactorizedCount { .. }),
+            "{}",
+            opt.explain()
+        );
+        assert_eq!(execute(&opt, &c).unwrap(), vec![vec![Value::Int(5)]]);
+        assert_eq!(execute(&p, &c).unwrap(), execute(&opt, &c).unwrap());
+    }
+}

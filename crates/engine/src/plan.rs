@@ -1,0 +1,555 @@
+//! Logical/physical query plans.
+//!
+//! Plans are built by the mapping layer (which translates ERQL over the E/R
+//! schema into operations over physical tables) and executed by
+//! [`crate::exec`]. Every node carries its output [`Field`]s so upper layers
+//! can resolve attribute names to column positions without a separate
+//! binder pass.
+
+use crate::agg::{AggCall, AggFunc};
+use crate::error::{EngineError, EngineResult};
+use crate::expr::{BinOp, Expr, ScalarFunc};
+use erbium_storage::{Catalog, DataType, Row, Value};
+use std::fmt::Write as _;
+
+/// One output column of a plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Field {
+        Field { name: name.into(), dtype }
+    }
+}
+
+/// Join variants supported by the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    /// Left outer: unmatched left rows are null-extended. The paper notes
+    /// inheritance hierarchies "may result in a large number of left outer
+    /// joins" when mapped onto a relational backend.
+    Left,
+    /// Left semi: left rows with at least one match, emitted once.
+    Semi,
+}
+
+/// A sort key: expression plus direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+/// Which part of a factorized structure to read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactorizedSide {
+    Left,
+    Right,
+    /// Enumerate the stored join by following physical pointers.
+    Join,
+}
+
+/// A plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    pub kind: PlanKind,
+    pub fields: Vec<Field>,
+}
+
+/// Plan node kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanKind {
+    /// Full scan with conjunctive pushed-down filters.
+    Scan { table: String, filters: Vec<Expr> },
+    /// Point lookups through an index on `columns` for each key in `keys`,
+    /// with residual filters applied to fetched rows.
+    IndexLookup { table: String, columns: Vec<usize>, keys: Vec<Value>, residual: Vec<Expr> },
+    /// Range scan through a BTree index on one column, with residual
+    /// filters applied to fetched rows. Bounds are inclusive/exclusive per
+    /// the flags; `None` means unbounded.
+    IndexRange {
+        table: String,
+        column: usize,
+        lo: Option<(Value, bool)>,
+        hi: Option<(Value, bool)>,
+        residual: Vec<Expr>,
+    },
+    /// Read a factorized structure.
+    FactorizedScan { table: String, side: FactorizedSide, filters: Vec<Expr> },
+    /// O(1) count of the stored join of a factorized structure
+    /// (aggregate pushed fully through the join). Emits one row.
+    FactorizedCount { table: String },
+    Filter { input: Box<Plan>, predicate: Expr },
+    Project { input: Box<Plan>, exprs: Vec<Expr> },
+    Join { left: Box<Plan>, right: Box<Plan>, kind: JoinKind, left_keys: Vec<Expr>, right_keys: Vec<Expr> },
+    Aggregate { input: Box<Plan>, group: Vec<Expr>, aggs: Vec<AggCall> },
+    /// Replace array column `column` with its elements, one output row per
+    /// element. Rows with NULL/empty arrays are dropped (SQL `unnest`)
+    /// unless `keep_empty` is set, in which case one row with NULL in the
+    /// column is emitted (outer-unnest, used for LEFT joins over folded
+    /// weak entities).
+    Unnest { input: Box<Plan>, column: usize, keep_empty: bool },
+    Sort { input: Box<Plan>, keys: Vec<SortKey> },
+    Limit { input: Box<Plan>, limit: usize },
+    Distinct { input: Box<Plan> },
+    /// UNION ALL of inputs with identical arity.
+    Union { inputs: Vec<Plan> },
+    /// Literal rows.
+    Values { rows: Vec<Row> },
+}
+
+impl Plan {
+    // ---- constructors -----------------------------------------------------
+
+    /// Scan a catalog table.
+    pub fn scan(cat: &Catalog, table: &str) -> EngineResult<Plan> {
+        let t = cat.table(table)?;
+        let fields = t
+            .schema()
+            .columns
+            .iter()
+            .map(|c| Field::new(c.name.clone(), c.dtype.clone()))
+            .collect();
+        Ok(Plan { kind: PlanKind::Scan { table: table.to_string(), filters: Vec::new() }, fields })
+    }
+
+    /// Scan one side (or the stored join) of a factorized structure.
+    pub fn factorized_scan(cat: &Catalog, table: &str, side: FactorizedSide) -> EngineResult<Plan> {
+        let ft = cat.factorized(table)?;
+        let mut fields: Vec<Field> = Vec::new();
+        let push = |fields: &mut Vec<Field>, t: &erbium_storage::Table| {
+            for c in &t.schema().columns {
+                fields.push(Field::new(c.name.clone(), c.dtype.clone()));
+            }
+        };
+        match side {
+            FactorizedSide::Left => push(&mut fields, ft.left()),
+            FactorizedSide::Right => push(&mut fields, ft.right()),
+            FactorizedSide::Join => {
+                push(&mut fields, ft.left());
+                push(&mut fields, ft.right());
+            }
+        }
+        Ok(Plan {
+            kind: PlanKind::FactorizedScan { table: table.to_string(), side, filters: Vec::new() },
+            fields,
+        })
+    }
+
+    /// O(1) count over a factorized join.
+    pub fn factorized_count(table: &str) -> Plan {
+        Plan {
+            kind: PlanKind::FactorizedCount { table: table.to_string() },
+            fields: vec![Field::new("count", DataType::Int)],
+        }
+    }
+
+    pub fn filter(self, predicate: Expr) -> Plan {
+        let fields = self.fields.clone();
+        Plan { kind: PlanKind::Filter { input: Box::new(self), predicate }, fields }
+    }
+
+    /// Project named expressions.
+    pub fn project(self, exprs: Vec<(Expr, String)>) -> Plan {
+        let fields = exprs
+            .iter()
+            .map(|(e, n)| Field::new(n.clone(), infer_type(e, &self.fields)))
+            .collect();
+        Plan {
+            kind: PlanKind::Project {
+                input: Box::new(self),
+                exprs: exprs.into_iter().map(|(e, _)| e).collect(),
+            },
+            fields,
+        }
+    }
+
+    /// Keep a subset of columns by position.
+    pub fn project_columns(self, cols: &[usize]) -> Plan {
+        let exprs = cols
+            .iter()
+            .map(|&i| (Expr::Col(i), self.fields[i].name.clone()))
+            .collect();
+        self.project(exprs)
+    }
+
+    /// Hash join on key-expression equality.
+    pub fn join(self, right: Plan, kind: JoinKind, left_keys: Vec<Expr>, right_keys: Vec<Expr>) -> Plan {
+        let mut fields = self.fields.clone();
+        match kind {
+            JoinKind::Semi => {}
+            JoinKind::Inner | JoinKind::Left => fields.extend(right.fields.iter().cloned()),
+        }
+        Plan {
+            kind: PlanKind::Join {
+                left: Box::new(self),
+                right: Box::new(right),
+                kind,
+                left_keys,
+                right_keys,
+            },
+            fields,
+        }
+    }
+
+    /// Group-by aggregation. Output = group columns then aggregate columns.
+    pub fn aggregate(self, group: Vec<(Expr, String)>, aggs: Vec<(AggCall, String)>) -> Plan {
+        let mut fields: Vec<Field> = group
+            .iter()
+            .map(|(e, n)| Field::new(n.clone(), infer_type(e, &self.fields)))
+            .collect();
+        for (a, n) in &aggs {
+            fields.push(Field::new(n.clone(), infer_agg_type(a, &self.fields)));
+        }
+        Plan {
+            kind: PlanKind::Aggregate {
+                input: Box::new(self),
+                group: group.into_iter().map(|(e, _)| e).collect(),
+                aggs: aggs.into_iter().map(|(a, _)| a).collect(),
+            },
+            fields,
+        }
+    }
+
+    pub fn unnest(self, column: usize) -> EngineResult<Plan> {
+        self.unnest_impl(column, false)
+    }
+
+    /// Outer unnest: empty/NULL arrays yield one row with NULL.
+    pub fn unnest_outer(self, column: usize) -> EngineResult<Plan> {
+        self.unnest_impl(column, true)
+    }
+
+    fn unnest_impl(self, column: usize, keep_empty: bool) -> EngineResult<Plan> {
+        let mut fields = self.fields.clone();
+        let f = fields
+            .get_mut(column)
+            .ok_or_else(|| EngineError::Plan(format!("unnest column #{column} out of range")))?;
+        f.dtype = match &f.dtype {
+            DataType::Array(e) => (**e).clone(),
+            other => {
+                return Err(EngineError::Plan(format!(
+                    "unnest over non-array column '{}' of type {other}",
+                    f.name
+                )))
+            }
+        };
+        Ok(Plan { kind: PlanKind::Unnest { input: Box::new(self), column, keep_empty }, fields })
+    }
+
+    pub fn sort(self, keys: Vec<SortKey>) -> Plan {
+        let fields = self.fields.clone();
+        Plan { kind: PlanKind::Sort { input: Box::new(self), keys }, fields }
+    }
+
+    pub fn limit(self, limit: usize) -> Plan {
+        let fields = self.fields.clone();
+        Plan { kind: PlanKind::Limit { input: Box::new(self), limit }, fields }
+    }
+
+    pub fn distinct(self) -> Plan {
+        let fields = self.fields.clone();
+        Plan { kind: PlanKind::Distinct { input: Box::new(self) }, fields }
+    }
+
+    /// UNION ALL. Inputs must have equal arity; field names/types are taken
+    /// from the first input.
+    pub fn union(inputs: Vec<Plan>) -> EngineResult<Plan> {
+        let first = inputs.first().ok_or_else(|| EngineError::Plan("empty union".into()))?;
+        let arity = first.fields.len();
+        for p in &inputs {
+            if p.fields.len() != arity {
+                return Err(EngineError::Plan(format!(
+                    "union arity mismatch: {} vs {arity}",
+                    p.fields.len()
+                )));
+            }
+        }
+        let fields = first.fields.clone();
+        Ok(Plan { kind: PlanKind::Union { inputs }, fields })
+    }
+
+    pub fn values(fields: Vec<Field>, rows: Vec<Row>) -> Plan {
+        Plan { kind: PlanKind::Values { rows }, fields }
+    }
+
+    // ---- helpers ----------------------------------------------------------
+
+    /// Position of an output column by name.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Position of an output column by name, or a plan error.
+    pub fn require_column(&self, name: &str) -> EngineResult<usize> {
+        self.column(name).ok_or_else(|| {
+            EngineError::Plan(format!(
+                "column '{name}' not found in [{}]",
+                self.fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(", ")
+            ))
+        })
+    }
+
+    /// Multi-line indented plan rendering (EXPLAIN).
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        self.explain_into(&mut s, 0);
+        s
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match &self.kind {
+            PlanKind::Scan { table, filters } => {
+                let _ = write!(out, "{pad}Scan {table}");
+                if !filters.is_empty() {
+                    let _ = write!(out, " filter=[{}]", join_exprs(filters));
+                }
+                out.push('\n');
+            }
+            PlanKind::IndexLookup { table, columns, keys, residual } => {
+                let _ = write!(out, "{pad}IndexLookup {table} cols={columns:?} keys={}", keys.len());
+                if !residual.is_empty() {
+                    let _ = write!(out, " residual=[{}]", join_exprs(residual));
+                }
+                out.push('\n');
+            }
+            PlanKind::IndexRange { table, column, lo, hi, residual } => {
+                let fmt_bound = |b: &Option<(Value, bool)>| match b {
+                    None => "∞".to_string(),
+                    Some((v, true)) => format!("{v}="),
+                    Some((v, false)) => format!("{v}"),
+                };
+                let _ = write!(
+                    out,
+                    "{pad}IndexRange {table} col=#{column} [{} .. {}]",
+                    fmt_bound(lo),
+                    fmt_bound(hi)
+                );
+                if !residual.is_empty() {
+                    let _ = write!(out, " residual=[{}]", join_exprs(residual));
+                }
+                out.push('\n');
+            }
+            PlanKind::FactorizedScan { table, side, filters } => {
+                let _ = write!(out, "{pad}FactorizedScan {table} side={side:?}");
+                if !filters.is_empty() {
+                    let _ = write!(out, " filter=[{}]", join_exprs(filters));
+                }
+                out.push('\n');
+            }
+            PlanKind::FactorizedCount { table } => {
+                let _ = writeln!(out, "{pad}FactorizedCount {table}");
+            }
+            PlanKind::Filter { input, predicate } => {
+                let _ = writeln!(out, "{pad}Filter {predicate}");
+                input.explain_into(out, depth + 1);
+            }
+            PlanKind::Project { input, exprs } => {
+                let _ = writeln!(out, "{pad}Project [{}]", join_exprs(exprs));
+                input.explain_into(out, depth + 1);
+            }
+            PlanKind::Join { left, right, kind, left_keys, right_keys } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}Join {kind:?} on [{}] = [{}]",
+                    join_exprs(left_keys),
+                    join_exprs(right_keys)
+                );
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            PlanKind::Aggregate { input, group, aggs } => {
+                let agg_names: Vec<String> =
+                    aggs.iter().map(|a| format!("{:?}({})", a.func, a.arg)).collect();
+                let _ = writeln!(
+                    out,
+                    "{pad}Aggregate group=[{}] aggs=[{}]",
+                    join_exprs(group),
+                    agg_names.join(", ")
+                );
+                input.explain_into(out, depth + 1);
+            }
+            PlanKind::Unnest { input, column, keep_empty } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}Unnest #{column}{}",
+                    if *keep_empty { " (outer)" } else { "" }
+                );
+                input.explain_into(out, depth + 1);
+            }
+            PlanKind::Sort { input, keys } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|k| format!("{}{}", k.expr, if k.desc { " DESC" } else { "" }))
+                    .collect();
+                let _ = writeln!(out, "{pad}Sort [{}]", ks.join(", "));
+                input.explain_into(out, depth + 1);
+            }
+            PlanKind::Limit { input, limit } => {
+                let _ = writeln!(out, "{pad}Limit {limit}");
+                input.explain_into(out, depth + 1);
+            }
+            PlanKind::Distinct { input } => {
+                let _ = writeln!(out, "{pad}Distinct");
+                input.explain_into(out, depth + 1);
+            }
+            PlanKind::Union { inputs } => {
+                let _ = writeln!(out, "{pad}UnionAll ({})", inputs.len());
+                for i in inputs {
+                    i.explain_into(out, depth + 1);
+                }
+            }
+            PlanKind::Values { rows } => {
+                let _ = writeln!(out, "{pad}Values ({} rows)", rows.len());
+            }
+        }
+    }
+}
+
+fn join_exprs(exprs: &[Expr]) -> String {
+    exprs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(", ")
+}
+
+/// Best-effort static type of an expression over the given input fields.
+pub fn infer_type(expr: &Expr, input: &[Field]) -> DataType {
+    match expr {
+        Expr::Col(i) => input.get(*i).map(|f| f.dtype.clone()).unwrap_or(DataType::Text),
+        Expr::Lit(v) => v.data_type().unwrap_or(DataType::Text),
+        Expr::Binary { op, left, right } => {
+            if op.is_comparison() || matches!(op, BinOp::And | BinOp::Or) {
+                DataType::Bool
+            } else {
+                match (infer_type(left, input), infer_type(right, input)) {
+                    (DataType::Int, DataType::Int) => DataType::Int,
+                    _ => DataType::Float,
+                }
+            }
+        }
+        Expr::Unary { op, expr } => match op {
+            crate::expr::UnOp::Not => DataType::Bool,
+            crate::expr::UnOp::Neg => infer_type(expr, input),
+        },
+        Expr::Func { func, args } => match func {
+            ScalarFunc::ArrayContains => DataType::Bool,
+            ScalarFunc::ArrayIntersect | ScalarFunc::Coalesce => {
+                args.first().map(|a| infer_type(a, input)).unwrap_or(DataType::Text)
+            }
+            ScalarFunc::ArrayLen => DataType::Int,
+            ScalarFunc::StructPack => DataType::Struct(
+                args.iter()
+                    .enumerate()
+                    .map(|(i, a)| (format!("f{i}"), infer_type(a, input)))
+                    .collect(),
+            ),
+            ScalarFunc::Concat | ScalarFunc::Lower | ScalarFunc::Upper => DataType::Text,
+            ScalarFunc::Abs => args.first().map(|a| infer_type(a, input)).unwrap_or(DataType::Int),
+        },
+        Expr::Field { expr, index } => match infer_type(expr, input) {
+            DataType::Struct(fields) => {
+                fields.get(*index).map(|(_, t)| t.clone()).unwrap_or(DataType::Text)
+            }
+            _ => DataType::Text,
+        },
+        Expr::InSet { .. } | Expr::IsNull(_) | Expr::IsNotNull(_) => DataType::Bool,
+    }
+}
+
+fn infer_agg_type(call: &AggCall, input: &[Field]) -> DataType {
+    match call.func {
+        AggFunc::Count | AggFunc::CountStar | AggFunc::CountDistinct => DataType::Int,
+        AggFunc::Avg => DataType::Float,
+        AggFunc::Sum | AggFunc::Min | AggFunc::Max => infer_type(&call.arg, input),
+        AggFunc::ArrayAgg => DataType::Array(Box::new(infer_type(&call.arg, input))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erbium_storage::{Column, Table, TableSchema};
+
+    fn cat() -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(Table::new(TableSchema::new(
+            "t",
+            vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("tags", DataType::Text.array_of()),
+            ],
+            vec![0],
+        )))
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn scan_fields_from_schema() {
+        let c = cat();
+        let p = Plan::scan(&c, "t").unwrap();
+        assert_eq!(p.fields.len(), 2);
+        assert_eq!(p.fields[1].dtype, DataType::Text.array_of());
+    }
+
+    #[test]
+    fn unnest_rewrites_field_type() {
+        let c = cat();
+        let p = Plan::scan(&c, "t").unwrap().unnest(1).unwrap();
+        assert_eq!(p.fields[1].dtype, DataType::Text);
+    }
+
+    #[test]
+    fn unnest_non_array_rejected() {
+        let c = cat();
+        assert!(Plan::scan(&c, "t").unwrap().unnest(0).is_err());
+    }
+
+    #[test]
+    fn join_concatenates_fields_semi_does_not() {
+        let c = cat();
+        let l = Plan::scan(&c, "t").unwrap();
+        let r = Plan::scan(&c, "t").unwrap();
+        let j = l.clone().join(r.clone(), JoinKind::Inner, vec![Expr::col(0)], vec![Expr::col(0)]);
+        assert_eq!(j.fields.len(), 4);
+        let s = l.join(r, JoinKind::Semi, vec![Expr::col(0)], vec![Expr::col(0)]);
+        assert_eq!(s.fields.len(), 2);
+    }
+
+    #[test]
+    fn union_arity_checked() {
+        let c = cat();
+        let a = Plan::scan(&c, "t").unwrap();
+        let b = Plan::scan(&c, "t").unwrap().project_columns(&[0]);
+        assert!(Plan::union(vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let c = cat();
+        let p = Plan::scan(&c, "t")
+            .unwrap()
+            .filter(Expr::eq(Expr::col(0), Expr::lit(1i64)))
+            .project_columns(&[0]);
+        let text = p.explain();
+        assert!(text.contains("Project"));
+        assert!(text.contains("Filter"));
+        assert!(text.contains("Scan t"));
+    }
+
+    #[test]
+    fn infer_struct_pack_type() {
+        let fields = vec![Field::new("a", DataType::Int), Field::new("b", DataType::Text)];
+        let e = Expr::func(ScalarFunc::StructPack, vec![Expr::col(0), Expr::col(1)]);
+        match infer_type(&e, &fields) {
+            DataType::Struct(fs) => {
+                assert_eq!(fs[0].1, DataType::Int);
+                assert_eq!(fs[1].1, DataType::Text);
+            }
+            other => panic!("expected struct, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # erbium-evolve
+//!
+//! Native schema evolution, data migration, and schema versioning.
+//!
+//! Section 3 of the paper argues that "schema changes ... typically also
+//! require a complex data migration process, which today is often handled
+//! by the application layers on top since databases do not support such
+//! functionality natively", and that the E/R abstraction makes evolution
+//! *localized*: turning a single-valued attribute multi-valued, or a
+//! many-to-one relationship many-to-many, is a minor E/R change even though
+//! it restructures the relational schema underneath.
+//!
+//! This crate makes those claims executable:
+//!
+//! * [`EvolutionOp`] — the logical schema changes of Section 3 (add/drop/
+//!   rename attribute, single↔multi-valued, cardinality changes, add/drop
+//!   subclass);
+//! * [`migrate::Migrator`] — applies an op by deriving the new schema, the
+//!   new mapping (a local edit of the current cover), and the per-entity
+//!   data transform, then runs an extract–transform–reload migration;
+//! * **physical remapping** ([`migrate::Migrator::remap`]) — move the same
+//!   logical database between any two valid mappings (M1→M4, M2→M5, ...)
+//!   with no schema change at all: the operational form of the paper's
+//!   logical data independence;
+//! * [`version::VersionLog`] — every migration appends a version (schema +
+//!   mapping, serialized as JSON in catalog metadata, as the paper's
+//!   prototype does) and [`version::VersionLog::rollback_to`] re-installs
+//!   an earlier version, migrating the data back (best effort for lossy
+//!   changes, exact for layout-only changes).
+
+pub mod migrate;
+pub mod ops;
+pub mod version;
+
+pub use migrate::{MigrationReport, Migrator};
+pub use ops::{ConflictPolicy, EvolutionOp, MvPlacement};
+pub use version::{Version, VersionLog};

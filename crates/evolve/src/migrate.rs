@@ -1,0 +1,698 @@
+//! Extract–transform–reload migrations.
+//!
+//! Every evolution (logical op or physical remap) runs the same pipeline:
+//!
+//! 1. **Extract** the full logical content (entity extents at their most
+//!    specific types, relationship instances) through the old mapping's
+//!    CRUD translator;
+//! 2. **Transform** instance data per the operation (e.g. wrap a value in
+//!    a singleton array for `MakeMultiValued`);
+//! 3. **Reload** through the new mapping's CRUD translator, folded
+//!    many-to-one targets passed at insert time so NOT NULL foreign keys
+//!    hold.
+//!
+//! This trades efficiency for a strong guarantee: the pipeline only uses
+//! the public, property-tested reversibility contract, so any (schema,
+//! mapping) → (schema', mapping') step that type-checks also preserves the
+//! data. In-place migration strategies are an optimization the paper
+//! leaves to future work.
+
+use crate::ops::{ConflictPolicy, EvolutionOp, MvPlacement};
+use erbium_mapping::presets::{mv_table, rel_table};
+use erbium_mapping::{
+    EntityData, EntityStore, Fragment, Lowering, Mapping, MappingError, MappingResult,
+    RelInstance,
+};
+use erbium_model::{Cardinality, ErSchema};
+use erbium_storage::{Catalog, Transaction, Value};
+use rustc_hash::FxHashMap;
+
+/// Summary of one migration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationReport {
+    pub description: String,
+    pub entities_migrated: usize,
+    pub links_migrated: usize,
+}
+
+/// Applies evolution operations and remaps.
+pub struct Migrator;
+
+/// The logical content of a database, in transit between mappings.
+struct Snapshot {
+    /// (most-specific type, data) per instance.
+    entities: Vec<(String, EntityData)>,
+    /// relationship name → instances (identifying relationships excluded).
+    links: Vec<(String, RelInstance)>,
+}
+
+impl Migrator {
+    /// Apply a logical schema-evolution op, migrating the data.
+    pub fn apply(
+        cat: &mut Catalog,
+        lw: &Lowering,
+        op: &EvolutionOp,
+    ) -> MappingResult<(Lowering, MigrationReport)> {
+        let new_schema = derive_schema(&lw.schema, op)?;
+        let new_mapping = derive_mapping(&lw.mapping, &lw.schema, &new_schema, op)?;
+        let mut snap = extract(cat, lw)?;
+        transform(&mut snap, &lw.schema, op)?;
+        let new_lw = reload(cat, lw, &new_schema, &new_mapping, &snap)?;
+        let report = MigrationReport {
+            description: op.describe(),
+            entities_migrated: snap.entities.len(),
+            links_migrated: snap.links.len(),
+        };
+        Ok((new_lw, report))
+    }
+
+    /// Migrate the same logical schema to a different mapping — changing
+    /// the physical design without touching queries or data semantics.
+    pub fn remap(
+        cat: &mut Catalog,
+        lw: &Lowering,
+        new_mapping: Mapping,
+    ) -> MappingResult<(Lowering, MigrationReport)> {
+        let snap = extract(cat, lw)?;
+        let new_lw = reload(cat, lw, &lw.schema.clone(), &new_mapping, &snap)?;
+        let report = MigrationReport {
+            description: format!("remap '{}' -> '{}'", lw.mapping.name, new_lw.mapping.name),
+            entities_migrated: snap.entities.len(),
+            links_migrated: snap.links.len(),
+        };
+        Ok((new_lw, report))
+    }
+
+    /// Migrate to an arbitrary (schema, mapping) pair with identity data
+    /// transforms: attributes absent from the target schema are dropped,
+    /// attributes absent from the data become NULL. Used by version
+    /// rollback.
+    pub fn migrate_to(
+        cat: &mut Catalog,
+        lw: &Lowering,
+        target_schema: &ErSchema,
+        target_mapping: &Mapping,
+    ) -> MappingResult<(Lowering, MigrationReport)> {
+        let mut snap = extract(cat, lw)?;
+        // Drop attributes (and instance types) the target no longer knows.
+        for (ty, data) in snap.entities.iter_mut() {
+            if target_schema.entity(ty).is_none() {
+                // Fall back to the nearest surviving ancestor.
+                if let Ok(chain) = lw.schema.ancestry(ty) {
+                    if let Some(surviving) =
+                        chain.iter().rev().find(|l| target_schema.entity(&l.name).is_some())
+                    {
+                        *ty = surviving.name.clone();
+                    }
+                }
+            }
+            if let Ok(chain) = target_schema.ancestry(ty) {
+                let mut known: Vec<String> = Vec::new();
+                // Coerce value shapes to the target's multiplicity: a
+                // rollback across a MakeMultiValued sees arrays where the
+                // target wants scalars, and vice versa.
+                for level in &chain {
+                    for a in &level.attributes {
+                        known.push(a.name.clone());
+                        if let Some(v) = data.get_mut(&a.name) {
+                            match (a.multi_valued, &v) {
+                                (false, Value::Array(vs)) => {
+                                    *v = vs.first().cloned().unwrap_or(Value::Null);
+                                }
+                                (true, other) if !matches!(other, Value::Array(_)) => {
+                                    *v = match v.clone() {
+                                        Value::Null => Value::Array(vec![]),
+                                        x => Value::Array(vec![x]),
+                                    };
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                // Weak entities carry their owner's key attributes too.
+                if let Ok(full_key) = target_schema.full_key(ty) {
+                    known.extend(full_key);
+                }
+                data.retain(|k, _| known.iter().any(|n| n == k));
+            }
+        }
+        snap.links.retain(|(rel, _)| target_schema.relationship(rel).is_some());
+        let new_lw = reload(cat, lw, target_schema, target_mapping, &snap)?;
+        let report = MigrationReport {
+            description: format!("migrate to schema+mapping '{}'", target_mapping.name),
+            entities_migrated: snap.entities.len(),
+            links_migrated: snap.links.len(),
+        };
+        Ok((new_lw, report))
+    }
+}
+
+// ---- extract ------------------------------------------------------------------
+
+fn extract(cat: &Catalog, lw: &Lowering) -> MappingResult<Snapshot> {
+    let store = EntityStore::new(lw);
+    let mut entities = Vec::new();
+    // Strong, non-weak roots: walk their extents at the most specific type.
+    for e in lw.schema.entities() {
+        if e.is_subclass() || e.is_weak() {
+            continue;
+        }
+        for key in store.extent_keys(cat, &e.name)? {
+            let ty = store
+                .type_of(cat, &e.name, &key)?
+                .unwrap_or_else(|| e.name.clone());
+            let data = store.get(cat, &ty, &key)?.ok_or_else(|| {
+                MappingError::BadPayload(format!("extent key {key:?} of '{ty}' vanished"))
+            })?;
+            entities.push((ty, data));
+        }
+    }
+    // Weak entities (owners are strong in this model, so one pass).
+    for e in lw.schema.entities().iter().filter(|e| e.is_weak()) {
+        for key in store.extent_keys(cat, &e.name)? {
+            let data = store.get(cat, &e.name, &key)?.ok_or_else(|| {
+                MappingError::BadPayload(format!("weak key {key:?} of '{}' vanished", e.name))
+            })?;
+            entities.push((e.name.clone(), data));
+        }
+    }
+    let mut links = Vec::new();
+    for r in lw.schema.relationships() {
+        if is_identifying(&lw.schema, &r.name) {
+            continue;
+        }
+        for inst in store.extract_relationship(cat, &r.name)? {
+            links.push((r.name.clone(), inst));
+        }
+    }
+    Ok(Snapshot { entities, links })
+}
+
+fn is_identifying(schema: &ErSchema, rel: &str) -> bool {
+    schema
+        .entities()
+        .iter()
+        .any(|e| e.weak.as_ref().map(|w| w.identifying_relationship == rel).unwrap_or(false))
+}
+
+// ---- reload --------------------------------------------------------------------
+
+fn reload(
+    cat: &mut Catalog,
+    old_lw: &Lowering,
+    new_schema: &ErSchema,
+    new_mapping: &Mapping,
+    snap: &Snapshot,
+) -> MappingResult<Lowering> {
+    let new_lw = Lowering::build(new_schema, new_mapping)?;
+    old_lw.uninstall(cat)?;
+    new_lw.install(cat)?;
+    let store = EntityStore::new(&new_lw);
+
+    // Folded many-to-one targets must be set at insert time.
+    let folded_rels: Vec<String> = new_schema
+        .relationships()
+        .iter()
+        .filter(|r|
+
+            matches!(new_lw.rel_home(&r.name), Ok(erbium_mapping::RelHome::Folded { .. })))
+        .map(|r| r.name.clone())
+        .collect();
+    // (rel, many-side key) → one-side key.
+    let mut fold_targets: FxHashMap<(String, Vec<Value>), Vec<Value>> = FxHashMap::default();
+    for (rel_name, inst) in &snap.links {
+        if !folded_rels.contains(rel_name) {
+            continue;
+        }
+        let rel = new_schema.require_relationship(rel_name)?;
+        let many_is_from =
+            rel.many_end().map(|e| e.entity == rel.from.entity).unwrap_or(true);
+        let (many_key, one_key) = if many_is_from {
+            (inst.from_key.clone(), inst.to_key.clone())
+        } else {
+            (inst.to_key.clone(), inst.from_key.clone())
+        };
+        fold_targets.insert((rel_name.clone(), many_key), one_key);
+    }
+
+    let mut txn = Transaction::new();
+    // Insert strong instances first, then weak (owner rows must exist).
+    let insert_pass = |store: &EntityStore<'_>,
+                       cat: &mut Catalog,
+                       txn: &mut Transaction,
+                       weak_pass: bool|
+     -> MappingResult<usize> {
+        let mut n = 0;
+        for (ty, data) in &snap.entities {
+            let es = match new_schema.entity(ty) {
+                Some(es) => es,
+                None => continue, // type dropped by the evolution
+            };
+            if es.is_weak() != weak_pass {
+                continue;
+            }
+            let key = store.key_of(ty, data)?;
+            let mut links: Vec<(&str, Vec<Value>)> = Vec::new();
+            for rel_name in &folded_rels {
+                let rel = new_schema.require_relationship(rel_name)?;
+                let many = rel.many_end().expect("folded is m:1");
+                // Does this instance's chain reach the many end?
+                let in_chain = new_schema
+                    .ancestry(ty)?
+                    .iter()
+                    .any(|l| l.name == many.entity);
+                if !in_chain {
+                    continue;
+                }
+                if let Some(one_key) = fold_targets.get(&(rel_name.clone(), key.clone())) {
+                    links.push((rel_name.as_str(), one_key.clone()));
+                }
+            }
+            store.insert(cat, txn, ty, data, &links)?;
+            n += 1;
+        }
+        Ok(n)
+    };
+    let mut n_entities = insert_pass(&store, cat, &mut txn, false)?;
+    n_entities += insert_pass(&store, cat, &mut txn, true)?;
+    let _ = n_entities;
+
+    // Non-folded links.
+    let mut n_links = 0;
+    for (rel_name, inst) in &snap.links {
+        if folded_rels.contains(rel_name) {
+            continue; // already applied at insert time
+        }
+        if new_schema.relationship(rel_name).is_none() {
+            continue;
+        }
+        store.link(cat, &mut txn, rel_name, &inst.from_key, &inst.to_key, &inst.attrs)?;
+        n_links += 1;
+    }
+    let _ = n_links;
+    txn.commit();
+    Ok(new_lw)
+}
+
+// ---- schema derivation ------------------------------------------------------------
+
+fn derive_schema(schema: &ErSchema, op: &EvolutionOp) -> MappingResult<ErSchema> {
+    let mut s = schema.clone();
+    match op {
+        EvolutionOp::AddAttribute { entity, attribute, .. } => {
+            let e = s
+                .entity_mut(entity)
+                .ok_or_else(|| MappingError::Unsupported(format!("unknown entity '{entity}'")))?;
+            if e.attribute(&attribute.name).is_some() {
+                return Err(MappingError::Unsupported(format!(
+                    "attribute '{}' already exists on '{entity}'",
+                    attribute.name
+                )));
+            }
+            e.attributes.push(attribute.clone());
+        }
+        EvolutionOp::DropAttribute { entity, attribute } => {
+            let e = s
+                .entity_mut(entity)
+                .ok_or_else(|| MappingError::Unsupported(format!("unknown entity '{entity}'")))?;
+            if e.key.contains(attribute) {
+                return Err(MappingError::Unsupported(format!(
+                    "cannot drop key attribute '{attribute}'"
+                )));
+            }
+            let before = e.attributes.len();
+            e.attributes.retain(|a| a.name != *attribute);
+            if e.attributes.len() == before {
+                return Err(MappingError::Unsupported(format!(
+                    "unknown attribute '{entity}.{attribute}'"
+                )));
+            }
+        }
+        EvolutionOp::RenameAttribute { entity, from, to } => {
+            let e = s
+                .entity_mut(entity)
+                .ok_or_else(|| MappingError::Unsupported(format!("unknown entity '{entity}'")))?;
+            if e.attribute(to).is_some() {
+                return Err(MappingError::Unsupported(format!("'{to}' already exists")));
+            }
+            let a = e
+                .attributes
+                .iter_mut()
+                .find(|a| a.name == *from)
+                .ok_or_else(|| MappingError::Unsupported(format!("unknown attribute '{from}'")))?;
+            a.name = to.clone();
+            for k in e.key.iter_mut() {
+                if k == from {
+                    *k = to.clone();
+                }
+            }
+        }
+        EvolutionOp::MakeMultiValued { entity, attribute, .. } => {
+            let e = s
+                .entity_mut(entity)
+                .ok_or_else(|| MappingError::Unsupported(format!("unknown entity '{entity}'")))?;
+            if e.key.contains(attribute) {
+                return Err(MappingError::Unsupported(
+                    "key attributes cannot be multi-valued".into(),
+                ));
+            }
+            let a = e
+                .attributes
+                .iter_mut()
+                .find(|a| a.name == *attribute)
+                .ok_or_else(|| MappingError::Unsupported(format!("unknown attribute '{attribute}'")))?;
+            a.multi_valued = true;
+        }
+        EvolutionOp::MakeSingleValued { entity, attribute, .. } => {
+            let e = s
+                .entity_mut(entity)
+                .ok_or_else(|| MappingError::Unsupported(format!("unknown entity '{entity}'")))?;
+            let a = e
+                .attributes
+                .iter_mut()
+                .find(|a| a.name == *attribute)
+                .ok_or_else(|| MappingError::Unsupported(format!("unknown attribute '{attribute}'")))?;
+            a.multi_valued = false;
+            // Instances with no values end up NULL, so narrowing also
+            // makes the attribute optional.
+            a.optional = true;
+        }
+        EvolutionOp::MakeManyToMany { relationship } => {
+            let r = s.relationship_mut(relationship).ok_or_else(|| {
+                MappingError::Unsupported(format!("unknown relationship '{relationship}'"))
+            })?;
+            r.from.cardinality = Cardinality::Many;
+            r.to.cardinality = Cardinality::Many;
+        }
+        EvolutionOp::MakeManyToOne { relationship, .. } => {
+            let r = s.relationship_mut(relationship).ok_or_else(|| {
+                MappingError::Unsupported(format!("unknown relationship '{relationship}'"))
+            })?;
+            r.from.cardinality = Cardinality::Many;
+            r.to.cardinality = Cardinality::One;
+        }
+        EvolutionOp::AddSubclass { entity } => {
+            if !entity.is_subclass() {
+                return Err(MappingError::Unsupported(
+                    "AddSubclass requires an entity with a parent".into(),
+                ));
+            }
+            s.add_entity(entity.clone())?;
+        }
+        EvolutionOp::DropSubclass { entity } => {
+            s.remove_entity(entity)?;
+        }
+    }
+    s.validate()?;
+    Ok(s)
+}
+
+// ---- mapping derivation -------------------------------------------------------------
+
+fn derive_mapping(
+    mapping: &Mapping,
+    old_schema: &ErSchema,
+    new_schema: &ErSchema,
+    op: &EvolutionOp,
+) -> MappingResult<Mapping> {
+    let mut m = mapping.clone();
+    match op {
+        EvolutionOp::AddAttribute { entity, attribute, placement, .. } => {
+            if attribute.multi_valued {
+                add_mv_home(&mut m, new_schema, entity, &attribute.name, *placement);
+            }
+        }
+        EvolutionOp::DropAttribute { entity, attribute } => {
+            drop_mv_home(&mut m, entity, attribute);
+        }
+        EvolutionOp::RenameAttribute { entity, from, to } => {
+            for f in &mut m.fragments {
+                match f {
+                    Fragment::MultiValued { table, entity: e, attribute }
+                        if e == entity && attribute == from =>
+                    {
+                        *attribute = to.clone();
+                        *table = mv_table(entity, to);
+                    }
+                    Fragment::Entity { inline_multivalued, .. } => {
+                        for mv in inline_multivalued.iter_mut() {
+                            if mv == from {
+                                *mv = to.clone();
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        EvolutionOp::MakeMultiValued { entity, attribute, placement } => {
+            add_mv_home(&mut m, new_schema, entity, attribute, *placement);
+        }
+        EvolutionOp::MakeSingleValued { entity, attribute, .. } => {
+            drop_mv_home(&mut m, entity, attribute);
+        }
+        EvolutionOp::MakeManyToMany { relationship } => {
+            // Unfold: remove from folded lists, give it a join table.
+            let mut was_folded = false;
+            for f in &mut m.fragments {
+                if let Fragment::Entity { folded_relationships, .. } = f {
+                    let before = folded_relationships.len();
+                    folded_relationships.retain(|r| r != relationship);
+                    was_folded |= folded_relationships.len() != before;
+                }
+            }
+            if was_folded {
+                m.fragments.push(Fragment::Relationship {
+                    table: rel_table(relationship),
+                    relationship: relationship.clone(),
+                });
+            }
+        }
+        EvolutionOp::MakeManyToOne { relationship, .. } => {
+            // Fold into the many side's home fragment when possible.
+            let rel = new_schema.require_relationship(relationship)?;
+            let many_entity = rel.many_end().expect("m:1").entity.clone();
+            let home_table = m
+                .home_fragment(&many_entity, new_schema)
+                .map(|f| f.table().to_string());
+            let mut folded = false;
+            if let Some(home_table) = home_table {
+                for f in &mut m.fragments {
+                    if f.table() == home_table {
+                        if let Fragment::Entity { folded_relationships, .. } = f {
+                            folded_relationships.push(relationship.clone());
+                            folded = true;
+                        }
+                    }
+                }
+            }
+            if folded {
+                m.fragments.retain(|f| {
+                    !matches!(f, Fragment::Relationship { relationship: r, .. } if r == relationship)
+                });
+            }
+        }
+        EvolutionOp::AddSubclass { entity } => {
+            let parent = entity.parent.as_deref().expect("checked");
+            let root = new_schema.hierarchy_root(&entity.name)?.name.clone();
+            // Follow the hierarchy's current layout.
+            let mut handled = false;
+            for f in &mut m.fragments {
+                if let Fragment::Entity { entity: anchor, merged_subclasses, .. } = f {
+                    if *anchor == root && !merged_subclasses.is_empty() {
+                        merged_subclasses.push(entity.name.clone());
+                        handled = true;
+                    }
+                }
+            }
+            if !handled {
+                // Copy the parent's (or root's) layout.
+                let layout = m
+                    .fragments
+                    .iter()
+                    .find_map(|f| match f {
+                        Fragment::Entity { entity: e, layout, .. }
+                            if e == parent || e == &root =>
+                        {
+                            Some(*layout)
+                        }
+                        _ => None,
+                    })
+                    .unwrap_or(erbium_mapping::HierarchyLayout::Delta);
+                m.fragments.push(Fragment::Entity {
+                    table: entity.name.clone(),
+                    entity: entity.name.clone(),
+                    layout,
+                    merged_subclasses: vec![],
+                    inline_multivalued: vec![],
+                    folded_weak: vec![],
+                    folded_relationships: vec![],
+                });
+            }
+            for a in entity.attributes.iter().filter(|a| a.multi_valued) {
+                m.fragments.push(Fragment::MultiValued {
+                    table: mv_table(&entity.name, &a.name),
+                    entity: entity.name.clone(),
+                    attribute: a.name.clone(),
+                });
+            }
+        }
+        EvolutionOp::DropSubclass { entity } => {
+            let _ = old_schema;
+            m.fragments.retain(|f| match f {
+                Fragment::Entity { entity: e, .. } => e != entity,
+                Fragment::MultiValued { entity: e, .. } => e != entity,
+                _ => true,
+            });
+            for f in &mut m.fragments {
+                if let Fragment::Entity { merged_subclasses, .. } = f {
+                    merged_subclasses.retain(|e| e != entity);
+                }
+            }
+        }
+    }
+    m.name = format!("{}~", m.name.trim_end_matches('~'));
+    Ok(m)
+}
+
+fn add_mv_home(
+    m: &mut Mapping,
+    schema: &ErSchema,
+    entity: &str,
+    attribute: &str,
+    placement: MvPlacement,
+) {
+    match placement {
+        MvPlacement::SideTable => {
+            m.fragments.push(Fragment::MultiValued {
+                table: mv_table(entity, attribute),
+                entity: entity.to_string(),
+                attribute: attribute.to_string(),
+            });
+        }
+        MvPlacement::Inline => {
+            let home = m.home_fragment(entity, schema).map(|f| f.table().to_string());
+            if let Some(home_table) = home {
+                for f in &mut m.fragments {
+                    if f.table() == home_table {
+                        if let Fragment::Entity { inline_multivalued, .. } = f {
+                            inline_multivalued.push(attribute.to_string());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn drop_mv_home(m: &mut Mapping, entity: &str, attribute: &str) {
+    m.fragments.retain(|f| {
+        !matches!(f, Fragment::MultiValued { entity: e, attribute: a, .. }
+            if e == entity && a == attribute)
+    });
+    for f in &mut m.fragments {
+        if let Fragment::Entity { inline_multivalued, .. } = f {
+            inline_multivalued.retain(|a| a != attribute);
+        }
+    }
+}
+
+// ---- data transforms ------------------------------------------------------------------
+
+fn transform(snap: &mut Snapshot, old_schema: &ErSchema, op: &EvolutionOp) -> MappingResult<()> {
+    match op {
+        EvolutionOp::AddAttribute { entity, attribute, default, .. } => {
+            for (ty, data) in snap.entities.iter_mut() {
+                let in_chain =
+                    old_schema.ancestry(ty)?.iter().any(|l| l.name == *entity) || ty == entity;
+                if in_chain {
+                    data.insert(attribute.name.clone(), default.clone());
+                }
+            }
+        }
+        EvolutionOp::DropAttribute { attribute, .. } => {
+            for (_, data) in snap.entities.iter_mut() {
+                data.remove(attribute);
+            }
+        }
+        EvolutionOp::RenameAttribute { from, to, .. } => {
+            for (_, data) in snap.entities.iter_mut() {
+                if let Some(v) = data.remove(from) {
+                    data.insert(to.clone(), v);
+                }
+            }
+        }
+        EvolutionOp::MakeMultiValued { attribute, .. } => {
+            for (_, data) in snap.entities.iter_mut() {
+                if let Some(v) = data.remove(attribute) {
+                    let wrapped = match v {
+                        Value::Null => Value::Array(vec![]),
+                        other => Value::Array(vec![other]),
+                    };
+                    data.insert(attribute.clone(), wrapped);
+                }
+            }
+        }
+        EvolutionOp::MakeSingleValued { attribute, policy, .. } => {
+            for (ty, data) in snap.entities.iter_mut() {
+                if let Some(Value::Array(vs)) = data.remove(attribute) {
+                    if vs.len() > 1 && *policy == ConflictPolicy::Strict {
+                        return Err(MappingError::Unsupported(format!(
+                            "instance of '{ty}' has {} values for '{attribute}'",
+                            vs.len()
+                        )));
+                    }
+                    data.insert(
+                        attribute.clone(),
+                        vs.into_iter().next().unwrap_or(Value::Null),
+                    );
+                }
+            }
+        }
+        EvolutionOp::MakeManyToMany { .. } => {} // links carry over unchanged
+        EvolutionOp::MakeManyToOne { relationship, policy } => {
+            // Keep at most one link per many-side (from) key.
+            let mut seen: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
+            let mut keep: Vec<(String, RelInstance)> = Vec::new();
+            for (rel, inst) in snap.links.drain(..) {
+                if rel == *relationship {
+                    let count = seen.entry(inst.from_key.clone()).or_insert(0);
+                    *count += 1;
+                    if *count > 1 {
+                        if *policy == ConflictPolicy::Strict {
+                            return Err(MappingError::Unsupported(format!(
+                                "instance {:?} has multiple '{relationship}' links",
+                                inst.from_key
+                            )));
+                        }
+                        continue;
+                    }
+                }
+                keep.push((rel, inst));
+            }
+            snap.links = keep;
+        }
+        EvolutionOp::AddSubclass { .. } => {} // no existing instances
+        EvolutionOp::DropSubclass { entity } => {
+            // Instances of the dropped subclass survive at the parent level.
+            let parent = old_schema
+                .entity(entity)
+                .and_then(|e| e.parent.clone())
+                .ok_or_else(|| MappingError::Unsupported("not a subclass".into()))?;
+            let dropped_attrs: Vec<String> = old_schema
+                .entity(entity)
+                .map(|e| e.attributes.iter().map(|a| a.name.clone()).collect())
+                .unwrap_or_default();
+            for (ty, data) in snap.entities.iter_mut() {
+                if ty == entity {
+                    *ty = parent.clone();
+                    for a in &dropped_attrs {
+                        data.remove(a);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}

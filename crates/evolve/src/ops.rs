@@ -1,0 +1,88 @@
+//! Logical schema-evolution operations.
+
+use erbium_model::Attribute;
+use serde::{Deserialize, Serialize};
+
+/// Where a (newly) multi-valued attribute should live physically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MvPlacement {
+    /// Own side table (normalized style, M1).
+    SideTable,
+    /// Inline array column in the owner's home table (M2 style).
+    Inline,
+}
+
+/// How to collapse multiple values when narrowing (multi→single,
+/// many-to-many → many-to-one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConflictPolicy {
+    /// Keep the first value (storage order); drop the rest.
+    KeepFirst,
+    /// Fail the migration if any instance has more than one value.
+    Strict,
+}
+
+/// A logical schema change. Each op derives a new E/R schema, a local edit
+/// of the current mapping, and a data transform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvolutionOp {
+    /// Add an attribute to an entity set, filling existing instances with
+    /// `default` (serialized storage value).
+    AddAttribute {
+        entity: String,
+        attribute: Attribute,
+        default: erbium_storage::Value,
+        placement: MvPlacement,
+    },
+    /// Drop an attribute (and its side table, if any).
+    DropAttribute { entity: String, attribute: String },
+    /// Rename an attribute.
+    RenameAttribute { entity: String, from: String, to: String },
+    /// Make a single-valued attribute multi-valued — the paper's "moving
+    /// from a single city to multiple cities" example. Existing values
+    /// become singleton sets.
+    MakeMultiValued { entity: String, attribute: String, placement: MvPlacement },
+    /// Make a multi-valued attribute single-valued.
+    MakeSingleValued { entity: String, attribute: String, policy: ConflictPolicy },
+    /// Turn a many-to-one relationship into many-to-many — the paper's
+    /// advisor example. Existing links are preserved.
+    MakeManyToMany { relationship: String },
+    /// Turn a many-to-many relationship into many-to-one (the `from` end
+    /// becomes the many side); surplus links resolved per `policy`.
+    MakeManyToOne { relationship: String, policy: ConflictPolicy },
+    /// Add a new (empty) subclass to an existing hierarchy.
+    AddSubclass { entity: erbium_model::EntitySet },
+    /// Remove an empty subclass.
+    DropSubclass { entity: String },
+}
+
+impl EvolutionOp {
+    /// Human-readable description, recorded in the version log.
+    pub fn describe(&self) -> String {
+        match self {
+            EvolutionOp::AddAttribute { entity, attribute, .. } => {
+                format!("add attribute {entity}.{}", attribute.name)
+            }
+            EvolutionOp::DropAttribute { entity, attribute } => {
+                format!("drop attribute {entity}.{attribute}")
+            }
+            EvolutionOp::RenameAttribute { entity, from, to } => {
+                format!("rename attribute {entity}.{from} -> {to}")
+            }
+            EvolutionOp::MakeMultiValued { entity, attribute, .. } => {
+                format!("make {entity}.{attribute} multi-valued")
+            }
+            EvolutionOp::MakeSingleValued { entity, attribute, .. } => {
+                format!("make {entity}.{attribute} single-valued")
+            }
+            EvolutionOp::MakeManyToMany { relationship } => {
+                format!("make relationship {relationship} many-to-many")
+            }
+            EvolutionOp::MakeManyToOne { relationship, .. } => {
+                format!("make relationship {relationship} many-to-one")
+            }
+            EvolutionOp::AddSubclass { entity } => format!("add subclass {}", entity.name),
+            EvolutionOp::DropSubclass { entity } => format!("drop subclass {entity}"),
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Schema versioning.
+//!
+//! Every migration appends a [`Version`] — the complete (schema, mapping)
+//! pair plus a description — to a log persisted in catalog metadata (the
+//! paper: users should "more easily experiment with schema changes and roll
+//! them back as needed"). [`VersionLog::rollback_to`] re-installs an
+//! earlier version by migrating the *current* data back through the
+//! extract–transform–reload pipeline: layout-only changes roll back
+//! exactly; lossy logical changes (dropped attributes) roll back with the
+//! lost information defaulted to NULL.
+
+use crate::migrate::{MigrationReport, Migrator};
+use erbium_mapping::{Lowering, Mapping, MappingError, MappingResult};
+use erbium_model::ErSchema;
+use erbium_storage::Catalog;
+use serde::{Deserialize, Serialize};
+
+/// Catalog metadata key for the version log.
+pub const META_VERSIONS: &str = "version_log";
+
+/// One recorded schema version.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Version {
+    pub number: u64,
+    pub description: String,
+    pub schema: ErSchema,
+    pub mapping: Mapping,
+}
+
+/// The append-only version history of a database.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct VersionLog {
+    versions: Vec<Version>,
+}
+
+impl VersionLog {
+    /// Load the log from catalog metadata (empty if absent).
+    pub fn load(cat: &Catalog) -> MappingResult<VersionLog> {
+        Ok(cat.get_meta_typed(META_VERSIONS)?.unwrap_or_default())
+    }
+
+    /// Persist the log.
+    pub fn save(&self, cat: &mut Catalog) -> MappingResult<()> {
+        cat.put_meta_typed(META_VERSIONS, self)?;
+        Ok(())
+    }
+
+    /// Record the current (schema, mapping) as a new version.
+    pub fn record(&mut self, lw: &Lowering, description: impl Into<String>) -> u64 {
+        let number = self.versions.last().map(|v| v.number + 1).unwrap_or(1);
+        self.versions.push(Version {
+            number,
+            description: description.into(),
+            schema: lw.schema.clone(),
+            mapping: lw.mapping.clone(),
+        });
+        number
+    }
+
+    pub fn versions(&self) -> &[Version] {
+        &self.versions
+    }
+
+    pub fn current(&self) -> Option<&Version> {
+        self.versions.last()
+    }
+
+    pub fn get(&self, number: u64) -> Option<&Version> {
+        self.versions.iter().find(|v| v.number == number)
+    }
+
+    /// Roll the database back to an earlier version: re-install that
+    /// version's schema and mapping and migrate the current data into it.
+    /// A new version entry is appended (rollback is itself a migration —
+    /// history is never rewritten).
+    pub fn rollback_to(
+        &mut self,
+        cat: &mut Catalog,
+        current: &Lowering,
+        number: u64,
+    ) -> MappingResult<(Lowering, MigrationReport)> {
+        let target = self
+            .get(number)
+            .ok_or_else(|| MappingError::Unsupported(format!("no version {number}")))?
+            .clone();
+        // A rollback is a remap when schemas agree, otherwise a full
+        // schema migration with identity transforms (attributes missing in
+        // the target schema are dropped; attributes missing in the data
+        // become NULL).
+        let (lw, mut report) = if target.schema == current.schema {
+            Migrator::remap(cat, current, target.mapping.clone())?
+        } else {
+            Migrator::migrate_to(cat, current, &target.schema, &target.mapping)?
+        };
+        report.description = format!("rollback to version {number} ({})", target.description);
+        let n = self.record(&lw, report.description.clone());
+        let _ = n;
+        self.save(cat)?;
+        Ok((lw, report))
+    }
+}

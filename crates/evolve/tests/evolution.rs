@@ -1,0 +1,409 @@
+//! Schema evolution tests: the paper's Section-3 scenarios executed end to
+//! end, plus physical remapping between every pair of paper mappings.
+
+use erbium_evolve::{ConflictPolicy, EvolutionOp, Migrator, MvPlacement, VersionLog};
+use erbium_mapping::presets::{self, paper};
+use erbium_mapping::rewrite::run_query;
+use erbium_mapping::{CoFormat, EntityData, EntityStore, Lowering};
+use erbium_model::{fixtures, Attribute, ScalarType};
+use erbium_storage::{Catalog, Row, Transaction, Value};
+
+fn data(pairs: &[(&str, Value)]) -> EntityData {
+    pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+}
+
+/// A small university instance for evolution scenarios.
+fn setup_university() -> (Catalog, Lowering) {
+    let schema = fixtures::university();
+    let mapping = presets::normalized(&schema);
+    let lw = Lowering::build(&schema, &mapping).unwrap();
+    let mut cat = Catalog::new();
+    lw.install(&mut cat).unwrap();
+    {
+        let store = EntityStore::new(&lw);
+        let mut txn = Transaction::new();
+        store
+            .insert(
+                &mut cat,
+                &mut txn,
+                "department",
+                &data(&[("dept_name", Value::str("cs")), ("building", Value::str("AVW"))]),
+                &[],
+            )
+            .unwrap();
+        store
+            .insert(
+                &mut cat,
+                &mut txn,
+                "instructor",
+                &data(&[
+                    ("id", Value::Int(1)),
+                    ("name", Value::str("ada")),
+                    ("phone", Value::Array(vec![Value::str("555")])),
+                    ("address", Value::Struct(vec![Value::str("Main"), Value::str("CP")])),
+                    ("rank", Value::str("prof")),
+                ]),
+                &[("member_of", vec![Value::str("cs")])],
+            )
+            .unwrap();
+        for i in 0..5i64 {
+            store
+                .insert(
+                    &mut cat,
+                    &mut txn,
+                    "student",
+                    &data(&[
+                        ("id", Value::Int(10 + i)),
+                        ("name", Value::str(format!("s{i}"))),
+                        ("phone", Value::Array(vec![])),
+                        ("tot_credits", Value::Int(15 * i)),
+                    ]),
+                    &[("advisor", vec![Value::Int(1)])],
+                )
+                .unwrap();
+        }
+        txn.commit();
+    }
+    (cat, lw)
+}
+
+#[test]
+fn make_single_valued_attribute_multivalued() {
+    // Paper: "consider a schema change where a single-valued attribute is
+    // made multi-valued (e.g., moving from a single city to multiple
+    // cities)".
+    let (mut cat, lw) = setup_university();
+    let op = EvolutionOp::MakeMultiValued {
+        entity: "department".into(),
+        attribute: "building".into(),
+        placement: MvPlacement::SideTable,
+    };
+    let (lw2, report) = Migrator::apply(&mut cat, &lw, &op).unwrap();
+    assert_eq!(report.entities_migrated, 7);
+    // Old value survived as a singleton set, now in a side table.
+    assert!(cat.has_table("department__building"));
+    let store = EntityStore::new(&lw2);
+    let d = store.get(&cat, "department", &[Value::str("cs")]).unwrap().unwrap();
+    assert_eq!(d.get("building"), Some(&Value::Array(vec![Value::str("AVW")])));
+    // The paper's point: queries change only locally —
+    // `SELECT dept_name, building` → `SELECT dept_name, UNNEST(building)`.
+    let (_, rows) =
+        run_query(&lw2, &cat, "SELECT d.dept_name, UNNEST(d.building) FROM department d").unwrap();
+    assert_eq!(rows, vec![vec![Value::str("cs"), Value::str("AVW")]]);
+}
+
+#[test]
+fn advisor_cardinality_change_keeps_query_working() {
+    // Paper Section 3: the avg-credits-per-advisee query "does not require
+    // any modifications if the relationship cardinalities were to be
+    // modified".
+    let (mut cat, lw) = setup_university();
+    let q = "SELECT i.id, AVG(s.tot_credits) AS avg_credits \
+             FROM instructor i JOIN student s VIA advisor";
+    let (_, before) = run_query(&lw, &cat, q).unwrap();
+
+    let op = EvolutionOp::MakeManyToMany { relationship: "advisor".into() };
+    let (lw2, _) = Migrator::apply(&mut cat, &lw, &op).unwrap();
+    // The FK fold became a join table.
+    assert!(cat.has_table("advisor"));
+    let (_, after) = run_query(&lw2, &cat, q).unwrap();
+    assert_eq!(before, after, "same query, same answer, new physical design");
+
+    // And a second advisor per student is now legal.
+    let store = EntityStore::new(&lw2);
+    let mut txn = Transaction::new();
+    store
+        .insert(
+            &mut cat,
+            &mut txn,
+            "instructor",
+            &data(&[
+                ("id", Value::Int(2)),
+                ("name", Value::str("bob")),
+                ("phone", Value::Array(vec![])),
+                ("rank", Value::str("assoc")),
+            ]),
+            &[("member_of", vec![Value::str("cs")])],
+        )
+        .unwrap();
+    store
+        .link(&mut cat, &mut txn, "advisor", &[Value::Int(10)], &[Value::Int(2)], &EntityData::default())
+        .unwrap();
+    txn.commit();
+    assert_eq!(store.extract_relationship(&cat, "advisor").unwrap().len(), 6);
+
+    // Narrow back to many-to-one, keeping the first advisor.
+    let op = EvolutionOp::MakeManyToOne {
+        relationship: "advisor".into(),
+        policy: ConflictPolicy::KeepFirst,
+    };
+    let (lw3, _) = Migrator::apply(&mut cat, &lw2, &op).unwrap();
+    let store = EntityStore::new(&lw3);
+    assert_eq!(store.extract_relationship(&cat, "advisor").unwrap().len(), 5);
+    let (_, after2) = run_query(&lw3, &cat, q).unwrap();
+    assert_eq!(before, after2);
+}
+
+#[test]
+fn add_rename_drop_attribute() {
+    let (mut cat, lw) = setup_university();
+    let op = EvolutionOp::AddAttribute {
+        entity: "student".into(),
+        attribute: Attribute::scalar("gpa", ScalarType::Float).nullable(),
+        default: Value::Float(4.0),
+        placement: MvPlacement::SideTable,
+    };
+    let (lw2, _) = Migrator::apply(&mut cat, &lw, &op).unwrap();
+    let store = EntityStore::new(&lw2);
+    let s = store.get(&cat, "student", &[Value::Int(10)]).unwrap().unwrap();
+    assert_eq!(s.get("gpa"), Some(&Value::Float(4.0)));
+
+    let op = EvolutionOp::RenameAttribute {
+        entity: "student".into(),
+        from: "gpa".into(),
+        to: "grade_point_avg".into(),
+    };
+    let (lw3, _) = Migrator::apply(&mut cat, &lw2, &op).unwrap();
+    let store = EntityStore::new(&lw3);
+    let s = store.get(&cat, "student", &[Value::Int(10)]).unwrap().unwrap();
+    assert_eq!(s.get("grade_point_avg"), Some(&Value::Float(4.0)));
+    assert!(!s.contains_key("gpa"));
+
+    let op = EvolutionOp::DropAttribute {
+        entity: "student".into(),
+        attribute: "grade_point_avg".into(),
+    };
+    let (lw4, _) = Migrator::apply(&mut cat, &lw3, &op).unwrap();
+    let store = EntityStore::new(&lw4);
+    let s = store.get(&cat, "student", &[Value::Int(10)]).unwrap().unwrap();
+    assert!(!s.contains_key("grade_point_avg"));
+}
+
+#[test]
+fn make_single_valued_with_policies() {
+    let (mut cat, lw) = setup_university();
+    // phone is multi-valued with ≤1 values in this instance → KeepFirst ok.
+    let op = EvolutionOp::MakeSingleValued {
+        entity: "person".into(),
+        attribute: "phone".into(),
+        policy: ConflictPolicy::KeepFirst,
+    };
+    let (lw2, _) = Migrator::apply(&mut cat, &lw, &op).unwrap();
+    let store = EntityStore::new(&lw2);
+    let p = store.get(&cat, "instructor", &[Value::Int(1)]).unwrap().unwrap();
+    assert_eq!(p.get("phone"), Some(&Value::str("555")));
+    let s = store.get(&cat, "student", &[Value::Int(10)]).unwrap().unwrap();
+    assert_eq!(s.get("phone"), Some(&Value::Null));
+}
+
+#[test]
+fn strict_policy_rejects_conflicts() {
+    let (mut cat, lw) = setup_university();
+    // Give the instructor a second phone number first.
+    {
+        let store = EntityStore::new(&lw);
+        let mut txn = Transaction::new();
+        store
+            .update(
+                &mut cat,
+                &mut txn,
+                "instructor",
+                &[Value::Int(1)],
+                &data(&[("phone", Value::Array(vec![Value::str("555"), Value::str("556")]))]),
+            )
+            .unwrap();
+        txn.commit();
+    }
+    let op = EvolutionOp::MakeSingleValued {
+        entity: "person".into(),
+        attribute: "phone".into(),
+        policy: ConflictPolicy::Strict,
+    };
+    assert!(Migrator::apply(&mut cat, &lw, &op).is_err());
+}
+
+#[test]
+fn add_and_drop_subclass() {
+    let (mut cat, lw) = setup_university();
+    let ta = erbium_model::EntitySet::subclass_of(
+        "ta",
+        "student",
+        vec![Attribute::scalar("hours", ScalarType::Int).nullable()],
+    );
+    let (lw2, _) =
+        Migrator::apply(&mut cat, &lw, &EvolutionOp::AddSubclass { entity: ta }).unwrap();
+    assert!(cat.has_table("ta"));
+    let store = EntityStore::new(&lw2);
+    let mut txn = Transaction::new();
+    store
+        .insert(
+            &mut cat,
+            &mut txn,
+            "ta",
+            &data(&[
+                ("id", Value::Int(99)),
+                ("name", Value::str("tina")),
+                ("phone", Value::Array(vec![])),
+                ("tot_credits", Value::Int(60)),
+                ("hours", Value::Int(20)),
+            ]),
+            &[],
+        )
+        .unwrap();
+    txn.commit();
+    assert_eq!(store.type_of(&cat, "person", &[Value::Int(99)]).unwrap().as_deref(), Some("ta"));
+
+    // Dropping the subclass keeps the instance at the parent level.
+    let (lw3, _) =
+        Migrator::apply(&mut cat, &lw2, &EvolutionOp::DropSubclass { entity: "ta".into() })
+            .unwrap();
+    let store = EntityStore::new(&lw3);
+    assert_eq!(
+        store.type_of(&cat, "person", &[Value::Int(99)]).unwrap().as_deref(),
+        Some("student")
+    );
+    let s = store.get(&cat, "student", &[Value::Int(99)]).unwrap().unwrap();
+    assert_eq!(s.get("tot_credits"), Some(&Value::Int(60)));
+    assert!(!s.contains_key("hours"));
+}
+
+fn canon(mut rows: Vec<Row>) -> Vec<Row> {
+    for r in rows.iter_mut() {
+        for v in r.iter_mut() {
+            if let Value::Array(a) = v {
+                a.sort();
+                if a.is_empty() {
+                    *v = Value::Null;
+                }
+            }
+        }
+    }
+    rows.sort();
+    rows
+}
+
+#[test]
+fn remap_between_all_paper_mappings_preserves_queries() {
+    let schema = fixtures::experiment();
+    let m1 = paper::m1(&schema);
+    let lw = Lowering::build(&schema, &m1).unwrap();
+    let mut cat = Catalog::new();
+    lw.install(&mut cat).unwrap();
+    // Populate a small instance through CRUD.
+    {
+        let store = EntityStore::new(&lw);
+        let mut txn = Transaction::new();
+        for sid in 0..4i64 {
+            store
+                .insert(
+                    &mut cat,
+                    &mut txn,
+                    "S",
+                    &data(&[
+                        ("s_id", Value::Int(sid)),
+                        ("s_a", Value::str(format!("s{sid}"))),
+                        ("s_b", Value::Int(sid)),
+                    ]),
+                    &[],
+                )
+                .unwrap();
+            store
+                .insert(
+                    &mut cat,
+                    &mut txn,
+                    "S1",
+                    &data(&[
+                        ("s_id", Value::Int(sid)),
+                        ("s1_no", Value::Int(0)),
+                        ("s1_a", Value::Int(sid * 10)),
+                        ("s1_b", Value::str("w")),
+                    ]),
+                    &[],
+                )
+                .unwrap();
+        }
+        for i in 0..12i64 {
+            let mut d = data(&[
+                ("r_id", Value::Int(i)),
+                ("r_a", Value::str(format!("r{i}"))),
+                ("r_b", Value::Int(i % 3)),
+                ("r_mv1", Value::Array(vec![Value::Int(i), Value::Int(i + 1)])),
+                ("r_mv2", Value::Array(vec![Value::Int(i)])),
+                ("r_mv3", Value::Array(vec![Value::str("t")])),
+            ]);
+            let ty = if i % 3 == 1 {
+                d.insert("r2_a".into(), Value::Int(i));
+                d.insert("r2_b".into(), Value::str("x"));
+                "R2"
+            } else {
+                "R"
+            };
+            store.insert(&mut cat, &mut txn, ty, &d, &[("r_s", vec![Value::Int(i % 4)])]).unwrap();
+        }
+        store
+            .link(&mut cat, &mut txn, "r2_s1", &[Value::Int(1)], &[Value::Int(1), Value::Int(0)], &EntityData::default())
+            .unwrap();
+        txn.commit();
+    }
+    let queries = [
+        "SELECT r.r_id, r.r_mv1 FROM R r",
+        "SELECT r.r_id, s.s_a FROM R r JOIN S s VIA r_s WHERE s.s_b >= 1",
+        "SELECT r.r_id, w.s1_a FROM R2 r JOIN S1 w VIA r2_s1",
+        "SELECT s.s_id, NEST(w.s1_no, w.s1_a) AS kids FROM S s JOIN S1 w VIA s_s1",
+    ];
+    let reference: Vec<Vec<Row>> = queries
+        .iter()
+        .map(|q| canon(run_query(&lw, &cat, q).unwrap().1))
+        .collect();
+
+    // Chain of remaps: M1 → M2 → M3 → M4 → M5 → M6f → M6d → M1.
+    let chain = vec![
+        paper::m2(&schema),
+        paper::m3(&schema),
+        paper::m4(&schema),
+        paper::m5(&schema).unwrap(),
+        paper::m6(&schema, CoFormat::Factorized).unwrap(),
+        paper::m6(&schema, CoFormat::Denormalized).unwrap(),
+        paper::m1(&schema),
+    ];
+    let mut current = lw;
+    for target in chain {
+        let name = target.name.clone();
+        let (next, report) = Migrator::remap(&mut cat, &current, target).unwrap();
+        assert_eq!(report.entities_migrated, 4 + 4 + 12, "remap to {name}");
+        for (q, expect) in queries.iter().zip(reference.iter()) {
+            let got = canon(run_query(&next, &cat, q).unwrap().1);
+            assert_eq!(expect, &got, "query drifted after remap to {name}: {q}");
+        }
+        current = next;
+    }
+}
+
+#[test]
+fn version_log_records_and_rolls_back() {
+    let (mut cat, lw) = setup_university();
+    let mut log = VersionLog::load(&cat).unwrap();
+    log.record(&lw, "initial");
+    log.save(&mut cat).unwrap();
+
+    let op = EvolutionOp::MakeMultiValued {
+        entity: "department".into(),
+        attribute: "building".into(),
+        placement: MvPlacement::Inline,
+    };
+    let (lw2, report) = Migrator::apply(&mut cat, &lw, &op).unwrap();
+    let mut log = VersionLog::load(&cat).unwrap();
+    log.record(&lw2, report.description.clone());
+    log.save(&mut cat).unwrap();
+    assert_eq!(log.versions().len(), 2);
+
+    // Roll back to version 1: building is single-valued again.
+    let (lw3, _) = log.rollback_to(&mut cat, &lw2, 1).unwrap();
+    let store = EntityStore::new(&lw3);
+    let d = store.get(&cat, "department", &[Value::str("cs")]).unwrap().unwrap();
+    assert_eq!(d.get("building"), Some(&Value::str("AVW")));
+    // History is append-only: rollback added version 3.
+    let log = VersionLog::load(&cat).unwrap();
+    assert_eq!(log.versions().len(), 3);
+    assert!(log.current().unwrap().description.contains("rollback"));
+}

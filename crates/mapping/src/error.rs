@@ -1,0 +1,59 @@
+//! Mapping-layer errors.
+
+use erbium_engine::EngineError;
+use erbium_model::ModelError;
+use erbium_storage::StorageError;
+use std::fmt;
+
+/// Errors raised while validating, lowering, or using a mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MappingError {
+    Model(ModelError),
+    Storage(StorageError),
+    Engine(EngineError),
+    /// The mapping is not a valid cover of the E/R graph.
+    InvalidCover(String),
+    /// A logical operation cannot be translated under this mapping.
+    Unsupported(String),
+    /// Name-resolution failure while rewriting a query.
+    Binding(String),
+    /// A CRUD payload is malformed (missing key, wrong value shape, ...).
+    BadPayload(String),
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::Model(e) => write!(f, "model error: {e}"),
+            MappingError::Storage(e) => write!(f, "storage error: {e}"),
+            MappingError::Engine(e) => write!(f, "engine error: {e}"),
+            MappingError::InvalidCover(m) => write!(f, "invalid mapping cover: {m}"),
+            MappingError::Unsupported(m) => write!(f, "unsupported under this mapping: {m}"),
+            MappingError::Binding(m) => write!(f, "binding error: {m}"),
+            MappingError::BadPayload(m) => write!(f, "bad payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+impl From<ModelError> for MappingError {
+    fn from(e: ModelError) -> Self {
+        MappingError::Model(e)
+    }
+}
+
+impl From<StorageError> for MappingError {
+    fn from(e: StorageError) -> Self {
+        MappingError::Storage(e)
+    }
+}
+
+impl From<EngineError> for MappingError {
+    fn from(e: EngineError) -> Self {
+        MappingError::Engine(e)
+    }
+}
+
+/// Result alias for mapping operations.
+pub type MappingResult<T> = Result<T, MappingError>;

@@ -1,0 +1,424 @@
+//! Preset mappings and mapping transformations.
+//!
+//! [`normalized`] produces the fully normalized mapping (the paper's M1)
+//! for *any* E/R schema; the transformation functions then derive the other
+//! designs the paper evaluates:
+//!
+//! | paper | construction |
+//! |-------|--------------|
+//! | M1 | `normalized(schema)` |
+//! | M2 | `inline_all_multivalued(m1, schema)` |
+//! | M3 | `merge_hierarchy(m1, schema, "R")` |
+//! | M4 | `split_hierarchy_full(m1, schema, "R")` |
+//! | M5 | `fold_weak(fold_weak(m1, schema, "S1"), schema, "S2")` |
+//! | M6 | `colocate(m1, schema, "r2_s1", format)` |
+//!
+//! Every transformation is a *local move* on the cover — the same moves the
+//! [`erbium-advisor`](../../advisor) crate searches over.
+
+use crate::error::{MappingError, MappingResult};
+use crate::fragment::{CoFormat, Fragment, HierarchyLayout, Mapping};
+use erbium_model::ErSchema;
+
+/// Name of the entity table for `entity`.
+pub fn entity_table(entity: &str) -> String {
+    entity.to_string()
+}
+
+/// Name of the side table for a multi-valued attribute.
+pub fn mv_table(entity: &str, attr: &str) -> String {
+    format!("{entity}__{attr}")
+}
+
+/// Name of the join table for a relationship.
+pub fn rel_table(rel: &str) -> String {
+    rel.to_string()
+}
+
+/// Name of a co-located structure.
+pub fn co_table(rel: &str) -> String {
+    format!("{rel}__co")
+}
+
+/// The fully normalized mapping (M1): one delta table per entity set, one
+/// side table per multi-valued attribute, many-to-one relationships folded
+/// into the many side, every other relationship in its own join table.
+pub fn normalized(schema: &ErSchema) -> Mapping {
+    let mut fragments = Vec::new();
+    for e in schema.entities() {
+        let folded_relationships: Vec<String> = schema
+            .relationships()
+            .iter()
+            .filter(|r| {
+                r.is_many_to_one()
+                    && r.many_end().map(|end| end.entity == e.name).unwrap_or(false)
+                    && !is_identifying(schema, &r.name)
+            })
+            .map(|r| r.name.clone())
+            .collect();
+        fragments.push(Fragment::Entity {
+            table: entity_table(&e.name),
+            entity: e.name.clone(),
+            layout: HierarchyLayout::Delta,
+            merged_subclasses: vec![],
+            inline_multivalued: vec![],
+            folded_weak: vec![],
+            folded_relationships,
+        });
+        for a in e.attributes.iter().filter(|a| a.multi_valued) {
+            fragments.push(Fragment::MultiValued {
+                table: mv_table(&e.name, &a.name),
+                entity: e.name.clone(),
+                attribute: a.name.clone(),
+            });
+        }
+    }
+    for r in schema.relationships() {
+        let folded = r.is_many_to_one() && !is_identifying(schema, &r.name);
+        if !folded && !is_identifying(schema, &r.name) {
+            fragments.push(Fragment::Relationship {
+                table: rel_table(&r.name),
+                relationship: r.name.clone(),
+            });
+        }
+    }
+    Mapping::new("normalized", fragments)
+}
+
+fn is_identifying(schema: &ErSchema, rel: &str) -> bool {
+    schema.entities().iter().any(|e| {
+        e.weak.as_ref().map(|w| w.identifying_relationship == rel).unwrap_or(false)
+    })
+}
+
+/// Store every multi-valued attribute inline as an array column in its
+/// owner's home table (M2).
+pub fn inline_all_multivalued(mut m: Mapping, schema: &ErSchema) -> Mapping {
+    let mut moved: Vec<(String, String)> = Vec::new();
+    m.fragments.retain(|f| match f {
+        Fragment::MultiValued { entity, attribute, .. } => {
+            moved.push((entity.clone(), attribute.clone()));
+            false
+        }
+        _ => true,
+    });
+    for (entity, attr) in moved {
+        attach_inline_mv(&mut m, schema, &entity, attr);
+    }
+    m.name = format!("{}+inline_mv", m.name);
+    m
+}
+
+/// Store one multi-valued attribute inline (a finer-grained move).
+pub fn inline_multivalued(mut m: Mapping, schema: &ErSchema, entity: &str, attr: &str) -> Mapping {
+    m.fragments.retain(|f| {
+        !matches!(f, Fragment::MultiValued { entity: e, attribute: a, .. } if e == entity && a == attr)
+    });
+    attach_inline_mv(&mut m, schema, entity, attr.to_string());
+    m
+}
+
+fn attach_inline_mv(m: &mut Mapping, schema: &ErSchema, entity: &str, attr: String) {
+    // The array column lives wherever the entity's data lives.
+    let home = m.home_fragment(entity, schema).map(|f| f.table().to_string());
+    if let Some(home_table) = home {
+        for f in &mut m.fragments {
+            if f.table() == home_table {
+                if let Fragment::Entity { inline_multivalued, .. } = f {
+                    inline_multivalued.push(attr);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Map the whole hierarchy rooted at `root` to a single table with a
+/// `_type` discriminator (M3).
+pub fn merge_hierarchy(mut m: Mapping, schema: &ErSchema, root: &str) -> Mapping {
+    let descendants: Vec<String> =
+        schema.descendants(root).iter().map(|e| e.name.clone()).collect();
+    // Collect what the removed subclass fragments were responsible for.
+    let mut inherited_folds: Vec<String> = Vec::new();
+    let mut inherited_inline: Vec<String> = Vec::new();
+    m.fragments.retain(|f| match f {
+        Fragment::Entity { entity, folded_relationships, inline_multivalued, .. }
+            if descendants.contains(entity) =>
+        {
+            inherited_folds.extend(folded_relationships.iter().cloned());
+            inherited_inline.extend(inline_multivalued.iter().cloned());
+            false
+        }
+        _ => true,
+    });
+    for f in &mut m.fragments {
+        if let Fragment::Entity { entity, merged_subclasses, folded_relationships, inline_multivalued, .. } = f
+        {
+            if entity == root {
+                *merged_subclasses = descendants.clone();
+                folded_relationships.append(&mut inherited_folds);
+                inline_multivalued.append(&mut inherited_inline);
+            }
+        }
+    }
+    m.name = format!("{}+merge({root})", m.name);
+    m
+}
+
+/// Map the hierarchy rooted at `root` to disjoint full-attribute tables,
+/// one per entity set (M4).
+pub fn split_hierarchy_full(mut m: Mapping, schema: &ErSchema, root: &str) -> Mapping {
+    let members: Vec<String> = std::iter::once(root.to_string())
+        .chain(schema.descendants(root).iter().map(|e| e.name.clone()))
+        .collect();
+    for f in &mut m.fragments {
+        if let Fragment::Entity { entity, layout, .. } = f {
+            if members.contains(entity) {
+                *layout = HierarchyLayout::Full;
+            }
+        }
+    }
+    m.name = format!("{}+split({root})", m.name);
+    m
+}
+
+/// Fold a weak entity set into its owner as an array-of-struct column (M5).
+pub fn fold_weak(mut m: Mapping, schema: &ErSchema, weak: &str) -> MappingResult<Mapping> {
+    let info = schema
+        .require_entity(weak)?
+        .weak
+        .clone()
+        .ok_or_else(|| MappingError::Unsupported(format!("'{weak}' is not a weak entity set")))?;
+    let before = m.fragments.len();
+    let mut orphaned_folds: Vec<String> = Vec::new();
+    m.fragments.retain(|f| match f {
+        Fragment::Entity { entity, folded_relationships, .. } if entity == weak => {
+            orphaned_folds.extend(folded_relationships.iter().cloned());
+            false
+        }
+        _ => true,
+    });
+    if m.fragments.len() == before {
+        return Err(MappingError::Unsupported(format!(
+            "weak entity '{weak}' has no table of its own to fold"
+        )));
+    }
+    // Relationships that were folded into the removed table need a new
+    // home: give each its own join table.
+    for r in orphaned_folds {
+        m.fragments.push(Fragment::Relationship { table: rel_table(&r), relationship: r });
+    }
+    let mut attached = false;
+    for f in &mut m.fragments {
+        if let Fragment::Entity { entity, folded_weak, .. } = f {
+            if *entity == info.owner {
+                folded_weak.push(weak.to_string());
+                attached = true;
+            }
+        }
+    }
+    if !attached {
+        return Err(MappingError::Unsupported(format!(
+            "owner '{}' of '{weak}' has no entity table to fold into",
+            info.owner
+        )));
+    }
+    m.name = format!("{}+fold({weak})", m.name);
+    Ok(m)
+}
+
+/// Co-locate the two ends of a relationship in one structure (M6).
+pub fn colocate(
+    mut m: Mapping,
+    schema: &ErSchema,
+    rel: &str,
+    format: CoFormat,
+) -> MappingResult<Mapping> {
+    let r = schema.require_relationship(rel)?;
+    let (left, right) = (r.from.entity.clone(), r.to.entity.clone());
+    let mut orphaned_folds: Vec<String> = Vec::new();
+    m.fragments.retain(|f| match f {
+        Fragment::Entity { entity, folded_relationships, .. }
+            if *entity == left || *entity == right =>
+        {
+            orphaned_folds.extend(folded_relationships.iter().cloned());
+            false
+        }
+        Fragment::Relationship { relationship, .. } => relationship != rel,
+        _ => true,
+    });
+    // If the co-located relationship itself was folded somewhere, unfold it.
+    for f in &mut m.fragments {
+        if let Fragment::Entity { folded_relationships, .. } = f {
+            folded_relationships.retain(|x| x != rel);
+        }
+    }
+    orphaned_folds.retain(|x| x != rel);
+    for fr in orphaned_folds {
+        m.fragments.push(Fragment::Relationship { table: rel_table(&fr), relationship: fr });
+    }
+    m.fragments.push(Fragment::CoLocated {
+        table: co_table(rel),
+        relationship: rel.to_string(),
+        format,
+    });
+    m.name = format!("{}+co({rel})", m.name);
+    Ok(m)
+}
+
+/// The six mappings of the paper's Section 6, built over the experiment
+/// schema (or any schema with the same element names).
+pub mod paper {
+    use super::*;
+
+    pub fn m1(schema: &ErSchema) -> Mapping {
+        let mut m = normalized(schema);
+        m.name = "M1".into();
+        m
+    }
+
+    pub fn m2(schema: &ErSchema) -> Mapping {
+        let mut m = inline_all_multivalued(normalized(schema), schema);
+        m.name = "M2".into();
+        m
+    }
+
+    pub fn m3(schema: &ErSchema) -> Mapping {
+        let mut m = merge_hierarchy(normalized(schema), schema, "R");
+        m.name = "M3".into();
+        m
+    }
+
+    pub fn m4(schema: &ErSchema) -> Mapping {
+        let mut m = split_hierarchy_full(normalized(schema), schema, "R");
+        m.name = "M4".into();
+        m
+    }
+
+    pub fn m5(schema: &ErSchema) -> MappingResult<Mapping> {
+        let m = fold_weak(normalized(schema), schema, "S1")?;
+        let mut m = fold_weak(m, schema, "S2")?;
+        m.name = "M5".into();
+        Ok(m)
+    }
+
+    pub fn m6(schema: &ErSchema, format: CoFormat) -> MappingResult<Mapping> {
+        let mut m = colocate(normalized(schema), schema, "r2_s1", format)?;
+        m.name = match format {
+            CoFormat::Denormalized => "M6-denorm".into(),
+            CoFormat::Factorized => "M6-fact".into(),
+        };
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erbium_model::fixtures;
+
+    #[test]
+    fn m1_shape() {
+        let s = fixtures::experiment();
+        let m = paper::m1(&s);
+        // 8 entity tables + 3 mv side tables + r2_s1 + r1_r3 join tables
+        // (r_s folded into R; s_s1/s_s2 implicit in weak tables).
+        assert_eq!(m.fragments.len(), 8 + 3 + 2);
+        let r_frag = m.home_fragment("R", &s).unwrap();
+        assert!(matches!(r_frag, Fragment::Entity { folded_relationships, .. }
+            if folded_relationships == &vec!["r_s".to_string()]));
+    }
+
+    #[test]
+    fn m2_inlines_all_mvs() {
+        let s = fixtures::experiment();
+        let m = paper::m2(&s);
+        assert!(!m.fragments.iter().any(|f| matches!(f, Fragment::MultiValued { .. })));
+        match m.home_fragment("R", &s).unwrap() {
+            Fragment::Entity { inline_multivalued, .. } => {
+                assert_eq!(inline_multivalued.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn m3_merges_hierarchy() {
+        let s = fixtures::experiment();
+        let m = paper::m3(&s);
+        // Subclass fragments gone; R fragment merged.
+        assert!(m.home_fragment("R3", &s).is_some());
+        match m.home_fragment("R3", &s).unwrap() {
+            Fragment::Entity { entity, merged_subclasses, .. } => {
+                assert_eq!(entity, "R");
+                assert_eq!(merged_subclasses.len(), 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(m.fragments.len(), 8 + 3 + 2 - 4);
+    }
+
+    #[test]
+    fn m4_full_layout_everywhere_in_hierarchy() {
+        let s = fixtures::experiment();
+        let m = paper::m4(&s);
+        for name in ["R", "R1", "R2", "R3", "R4"] {
+            match m.home_fragment(name, &s).unwrap() {
+                Fragment::Entity { layout, .. } => assert_eq!(*layout, HierarchyLayout::Full),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        match m.home_fragment("S", &s).unwrap() {
+            Fragment::Entity { layout, .. } => assert_eq!(*layout, HierarchyLayout::Delta),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn m5_folds_both_weak_sets() {
+        let s = fixtures::experiment();
+        let m = paper::m5(&s).unwrap();
+        match m.home_fragment("S1", &s).unwrap() {
+            Fragment::Entity { entity, folded_weak, .. } => {
+                assert_eq!(entity, "S");
+                assert_eq!(folded_weak, &vec!["S1".to_string(), "S2".to_string()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn m6_colocates() {
+        let s = fixtures::experiment();
+        let m = paper::m6(&s, CoFormat::Factorized).unwrap();
+        assert!(matches!(m.home_fragment("R2", &s).unwrap(), Fragment::CoLocated { .. }));
+        assert!(matches!(m.home_fragment("S1", &s).unwrap(), Fragment::CoLocated { .. }));
+        assert!(m.home_fragment("R4", &s).is_some(), "subclass of co-located entity keeps table");
+    }
+
+    #[test]
+    fn fold_weak_rejects_non_weak() {
+        let s = fixtures::experiment();
+        assert!(fold_weak(normalized(&s), &s, "S").is_err());
+    }
+
+    #[test]
+    fn normalized_university() {
+        let s = fixtures::university();
+        let m = normalized(&s);
+        // advisor + member_of folded; takes/teaches join tables; sec_of implicit.
+        assert!(m.fragments.iter().any(
+            |f| matches!(f, Fragment::Relationship { relationship, .. } if relationship == "takes")
+        ));
+        assert!(!m
+            .fragments
+            .iter()
+            .any(|f| matches!(f, Fragment::Relationship { relationship, .. } if relationship == "advisor")));
+        match m.home_fragment("student", &s).unwrap() {
+            Fragment::Entity { folded_relationships, .. } => {
+                assert_eq!(folded_relationships, &vec!["advisor".to_string()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

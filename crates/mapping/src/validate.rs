@@ -1,0 +1,456 @@
+//! Mapping validity: the paper's two requirements, made checkable.
+//!
+//! "There are two key requirements: (1) The mapping must be uniquely
+//! reversible ... and (2) We must be able to map any inserts/updates/
+//! deletes to the entities and relationships to the database."
+//!
+//! Reversibility is guaranteed structurally: every E/R-graph node must be
+//! covered, every fragment must induce a connected subgraph (the paper's
+//! cover conditions), and every entity set, relationship, and multi-valued
+//! attribute must have exactly **one home** — the structure its instances
+//! are recovered from. (Redundant copies are permitted by the model; the
+//! present validator is conservative and requires the homes themselves to
+//! be unambiguous.) CRUD well-definedness then follows because
+//! [`crate::crud`] implements the translation for every home kind.
+
+use crate::error::{MappingError, MappingResult};
+use crate::fragment::{CoFormat, Fragment, HierarchyLayout, Mapping};
+use erbium_model::{ErGraph, ErSchema};
+use rustc_hash::FxHashMap;
+
+/// Validate a mapping against a schema. Returns the first violation found.
+pub fn validate(schema: &ErSchema, mapping: &Mapping) -> MappingResult<()> {
+    schema.validate()?;
+    let graph = ErGraph::from_schema(schema)?;
+
+    // -- cover conditions ----------------------------------------------------
+    let mut all_nodes = Vec::new();
+    for frag in &mapping.fragments {
+        let nodes = frag.nodes(schema)?;
+        if nodes.is_empty() {
+            return Err(MappingError::InvalidCover(format!(
+                "fragment '{}' covers no nodes",
+                frag.table()
+            )));
+        }
+        if !graph.is_connected_subgraph(&nodes)? {
+            return Err(MappingError::InvalidCover(format!(
+                "fragment '{}' does not induce a connected subgraph",
+                frag.table()
+            )));
+        }
+        all_nodes.push(nodes);
+    }
+    let uncovered = graph.uncovered(&all_nodes);
+    if let Some(n) = uncovered.first() {
+        return Err(MappingError::InvalidCover(format!(
+            "node {n} is not covered by any fragment ({} uncovered in total)",
+            uncovered.len()
+        )));
+    }
+
+    // -- unique table names ----------------------------------------------------
+    let mut names: Vec<&str> = mapping.fragments.iter().map(Fragment::table).collect();
+    names.sort_unstable();
+    for w in names.windows(2) {
+        if w[0] == w[1] {
+            return Err(MappingError::InvalidCover(format!("duplicate table name '{}'", w[0])));
+        }
+    }
+
+    // -- home uniqueness ----------------------------------------------------
+    let mut entity_claims: FxHashMap<&str, usize> = FxHashMap::default();
+    let mut rel_claims: FxHashMap<&str, usize> = FxHashMap::default();
+    let mut mv_claims: FxHashMap<(String, String), usize> = FxHashMap::default();
+
+    for frag in &mapping.fragments {
+        match frag {
+            Fragment::Entity {
+                table,
+                entity,
+                layout,
+                merged_subclasses,
+                inline_multivalued,
+                folded_weak,
+                folded_relationships,
+            } => {
+                *entity_claims.entry(entity).or_default() += 1;
+                let es = schema.require_entity(entity)?;
+
+                if !merged_subclasses.is_empty() {
+                    if es.is_subclass() {
+                        return Err(MappingError::InvalidCover(format!(
+                            "merged fragment '{table}' must anchor at a hierarchy root"
+                        )));
+                    }
+                    if *layout != HierarchyLayout::Delta {
+                        return Err(MappingError::InvalidCover(format!(
+                            "merged fragment '{table}' must use delta layout"
+                        )));
+                    }
+                    let mut expected: Vec<String> =
+                        schema.descendants(entity).iter().map(|e| e.name.clone()).collect();
+                    let mut got = merged_subclasses.clone();
+                    expected.sort();
+                    got.sort();
+                    if expected != got {
+                        return Err(MappingError::InvalidCover(format!(
+                            "merged fragment '{table}' must merge the whole subtree of '{entity}'"
+                        )));
+                    }
+                    for m in merged_subclasses {
+                        *entity_claims.entry(m).or_default() += 1;
+                    }
+                }
+
+                // Inline multi-valued attributes must exist on a covered
+                // entity and be multi-valued.
+                let mut covered: Vec<&str> = vec![entity.as_str()];
+                if *layout == HierarchyLayout::Full {
+                    covered = schema.ancestry(entity)?.iter().map(|e| e.name.as_str()).collect();
+                }
+                covered.extend(merged_subclasses.iter().map(String::as_str));
+                for mv in inline_multivalued {
+                    let owner = covered
+                        .iter()
+                        .find(|e| {
+                            schema
+                                .entity(e)
+                                .and_then(|es| es.attribute(mv))
+                                .map(|a| a.multi_valued)
+                                .unwrap_or(false)
+                        })
+                        .ok_or_else(|| {
+                            MappingError::InvalidCover(format!(
+                                "inline attribute '{mv}' of fragment '{table}' is not a \
+                                 multi-valued attribute of a covered entity"
+                            ))
+                        })?;
+                    *mv_claims.entry((owner.to_string(), mv.clone())).or_default() += 1;
+                }
+                // Full layout additionally claims inline mv homes for
+                // inherited attributes only when listed; nothing implicit.
+
+                for w in folded_weak {
+                    let wes = schema.require_entity(w)?;
+                    let info = wes.weak.as_ref().ok_or_else(|| {
+                        MappingError::InvalidCover(format!(
+                            "folded '{w}' in fragment '{table}' is not a weak entity set"
+                        ))
+                    })?;
+                    if info.owner != *entity {
+                        return Err(MappingError::InvalidCover(format!(
+                            "weak entity '{w}' folded into '{table}' but owned by '{}'",
+                            info.owner
+                        )));
+                    }
+                    *entity_claims.entry(w).or_default() += 1;
+                    // The weak entity's mv attributes travel inside the
+                    // folded struct — they must not also have side tables.
+                    for a in wes.attributes.iter().filter(|a| a.multi_valued) {
+                        *mv_claims.entry((w.clone(), a.name.clone())).or_default() += 1;
+                    }
+                }
+
+                for r in folded_relationships {
+                    let rel = schema.require_relationship(r)?;
+                    if is_identifying(schema, r) {
+                        return Err(MappingError::InvalidCover(format!(
+                            "identifying relationship '{r}' must not be folded explicitly"
+                        )));
+                    }
+                    let many = rel.many_end().ok_or_else(|| {
+                        MappingError::InvalidCover(format!(
+                            "folded relationship '{r}' in '{table}' is not many-to-one"
+                        ))
+                    })?;
+                    // The fold must live where the many-side entity lives.
+                    let home_ok = many.entity == *entity
+                        || merged_subclasses.contains(&many.entity);
+                    if !home_ok {
+                        return Err(MappingError::InvalidCover(format!(
+                            "relationship '{r}' folded into '{table}' but its many side \
+                             '{}' does not live there",
+                            many.entity
+                        )));
+                    }
+                    *rel_claims.entry(r).or_default() += 1;
+                }
+            }
+            Fragment::MultiValued { table, entity, attribute } => {
+                let es = schema.require_entity(entity)?;
+                let a = es.attribute(attribute).ok_or_else(|| {
+                    MappingError::InvalidCover(format!(
+                        "side table '{table}' references unknown attribute '{entity}.{attribute}'"
+                    ))
+                })?;
+                if !a.multi_valued {
+                    return Err(MappingError::InvalidCover(format!(
+                        "side table '{table}' for single-valued attribute '{entity}.{attribute}'"
+                    )));
+                }
+                *mv_claims.entry((entity.clone(), attribute.clone())).or_default() += 1;
+            }
+            Fragment::Relationship { table, relationship } => {
+                if is_identifying(schema, relationship) {
+                    return Err(MappingError::InvalidCover(format!(
+                        "identifying relationship '{relationship}' must not have a join table \
+                         ('{table}'): it is implicit in the weak entity's key"
+                    )));
+                }
+                schema.require_relationship(relationship)?;
+                *rel_claims.entry(relationship).or_default() += 1;
+            }
+            Fragment::CoLocated { table, relationship, format } => {
+                let rel = schema.require_relationship(relationship)?;
+                if is_identifying(schema, relationship) {
+                    return Err(MappingError::InvalidCover(format!(
+                        "identifying relationship '{relationship}' cannot be co-located"
+                    )));
+                }
+                if rel.from.entity == rel.to.entity {
+                    return Err(MappingError::InvalidCover(format!(
+                        "self-relationship '{relationship}' cannot be co-located"
+                    )));
+                }
+                if *format == CoFormat::Factorized && !rel.attributes.is_empty() {
+                    return Err(MappingError::InvalidCover(format!(
+                        "factorized co-location of '{relationship}' does not support \
+                         relationship attributes"
+                    )));
+                }
+                let _ = table;
+                // Multi-valued attributes of co-located entities stay in
+                // side tables (their MultiValued fragments are counted by
+                // the uniqueness check below).
+                for end in [&rel.from.entity, &rel.to.entity] {
+                    schema.require_entity(end)?;
+                    *entity_claims.entry(end).or_default() += 1;
+                }
+                *rel_claims.entry(relationship).or_default() += 1;
+            }
+        }
+    }
+
+    for e in schema.entities() {
+        let claims = entity_claims.get(e.name.as_str()).copied().unwrap_or(0);
+        if claims != 1 {
+            return Err(MappingError::InvalidCover(format!(
+                "entity '{}' has {claims} homes (need exactly 1)",
+                e.name
+            )));
+        }
+    }
+    for r in schema.relationships() {
+        let claims = rel_claims.get(r.name.as_str()).copied().unwrap_or(0);
+        let expected = if is_identifying(schema, &r.name) { 0 } else { 1 };
+        if claims != expected {
+            return Err(MappingError::InvalidCover(format!(
+                "relationship '{}' has {claims} homes (need exactly {expected})",
+                r.name
+            )));
+        }
+    }
+    for e in schema.entities() {
+        for a in e.attributes.iter().filter(|a| a.multi_valued) {
+            let claims =
+                mv_claims.get(&(e.name.clone(), a.name.clone())).copied().unwrap_or(0);
+            if claims != 1 {
+                return Err(MappingError::InvalidCover(format!(
+                    "multi-valued attribute '{}.{}' has {claims} homes (need exactly 1)",
+                    e.name, a.name
+                )));
+            }
+        }
+    }
+
+    // -- hierarchy layout homogeneity -----------------------------------------
+    for root in schema.entities().iter().filter(|e| !e.is_subclass()) {
+        let members: Vec<&str> = std::iter::once(root.name.as_str())
+            .chain(schema.descendants(&root.name).iter().map(|e| e.name.as_str()))
+            .collect();
+        if members.len() == 1 {
+            continue;
+        }
+        let mut any_full = false;
+        let mut any_merged = false;
+        let mut any_delta_subclass = false;
+        for m in &members {
+            for frag in &mapping.fragments {
+                match frag {
+                    Fragment::Entity { entity, layout, merged_subclasses, .. } if entity == m => {
+                        match layout {
+                            HierarchyLayout::Full => any_full = true,
+                            HierarchyLayout::Delta => {
+                                if !merged_subclasses.is_empty() {
+                                    any_merged = true;
+                                } else if *m != root.name {
+                                    any_delta_subclass = true;
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if any_full && (any_merged || any_delta_subclass) {
+            return Err(MappingError::InvalidCover(format!(
+                "hierarchy of '{}' mixes full-layout tables with other layouts",
+                root.name
+            )));
+        }
+        if any_merged && any_delta_subclass {
+            return Err(MappingError::InvalidCover(format!(
+                "hierarchy of '{}' mixes merged and per-entity tables",
+                root.name
+            )));
+        }
+    }
+
+    Ok(())
+}
+
+fn is_identifying(schema: &ErSchema, rel: &str) -> bool {
+    schema.entities().iter().any(|e| {
+        e.weak.as_ref().map(|w| w.identifying_relationship == rel).unwrap_or(false)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{self, paper};
+    use erbium_model::fixtures;
+
+    #[test]
+    fn all_paper_mappings_validate() {
+        let s = fixtures::experiment();
+        validate(&s, &paper::m1(&s)).unwrap();
+        validate(&s, &paper::m2(&s)).unwrap();
+        validate(&s, &paper::m3(&s)).unwrap();
+        validate(&s, &paper::m4(&s)).unwrap();
+        validate(&s, &paper::m5(&s).unwrap()).unwrap();
+        validate(&s, &paper::m6(&s, CoFormat::Factorized).unwrap()).unwrap();
+        validate(&s, &paper::m6(&s, CoFormat::Denormalized).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn university_mappings_validate() {
+        let s = fixtures::university();
+        validate(&s, &presets::normalized(&s)).unwrap();
+        validate(&s, &presets::inline_all_multivalued(presets::normalized(&s), &s)).unwrap();
+        validate(&s, &presets::merge_hierarchy(presets::normalized(&s), &s, "person")).unwrap();
+    }
+
+    #[test]
+    fn missing_fragment_is_uncovered() {
+        let s = fixtures::experiment();
+        let mut m = paper::m1(&s);
+        m.fragments.retain(|f| f.table() != "R3");
+        let err = validate(&s, &m).unwrap_err();
+        assert!(matches!(err, MappingError::InvalidCover(_)));
+    }
+
+    #[test]
+    fn double_home_rejected() {
+        let s = fixtures::experiment();
+        let mut m = paper::m1(&s);
+        // Duplicate the S fragment under a new table name → S has 2 homes.
+        m.fragments.push(Fragment::Entity {
+            table: "S_dup".into(),
+            entity: "S".into(),
+            layout: HierarchyLayout::Delta,
+            merged_subclasses: vec![],
+            inline_multivalued: vec![],
+            folded_weak: vec![],
+            folded_relationships: vec![],
+        });
+        let err = validate(&s, &m).unwrap_err();
+        assert!(err.to_string().contains("2 homes"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_table_name_rejected() {
+        let s = fixtures::experiment();
+        let mut m = paper::m1(&s);
+        m.fragments.push(Fragment::MultiValued {
+            table: "R__r_mv1".into(),
+            entity: "R".into(),
+            attribute: "r_mv2".into(),
+        });
+        let err = validate(&s, &m).unwrap_err();
+        assert!(err.to_string().contains("duplicate table name"), "{err}");
+    }
+
+    #[test]
+    fn partial_hierarchy_merge_rejected() {
+        let s = fixtures::experiment();
+        let mut m = paper::m1(&s);
+        // Merge only R1 into R (leaving R3 with its own table): invalid.
+        m.fragments.retain(|f| f.table() != "R1");
+        for f in &mut m.fragments {
+            if let Fragment::Entity { entity, merged_subclasses, .. } = f {
+                if entity == "R" {
+                    *merged_subclasses = vec!["R1".into()];
+                }
+            }
+        }
+        assert!(validate(&s, &m).is_err());
+    }
+
+    #[test]
+    fn mixed_hierarchy_layout_rejected() {
+        let s = fixtures::experiment();
+        let mut m = paper::m1(&s);
+        for f in &mut m.fragments {
+            if let Fragment::Entity { entity, layout, .. } = f {
+                if entity == "R3" {
+                    *layout = HierarchyLayout::Full;
+                }
+            }
+        }
+        let err = validate(&s, &m).unwrap_err();
+        assert!(err.to_string().contains("mixes"), "{err}");
+    }
+
+    #[test]
+    fn side_table_for_single_valued_rejected() {
+        let s = fixtures::experiment();
+        let mut m = paper::m1(&s);
+        m.fragments.push(Fragment::MultiValued {
+            table: "bad".into(),
+            entity: "R".into(),
+            attribute: "r_a".into(),
+        });
+        assert!(validate(&s, &m).is_err());
+    }
+
+    #[test]
+    fn identifying_relationship_join_table_rejected() {
+        let s = fixtures::experiment();
+        let mut m = paper::m1(&s);
+        m.fragments.push(Fragment::Relationship {
+            table: "s_s1_join".into(),
+            relationship: "s_s1".into(),
+        });
+        assert!(validate(&s, &m).is_err());
+    }
+
+    #[test]
+    fn folded_weak_wrong_owner_rejected() {
+        let s = fixtures::experiment();
+        let mut m = paper::m1(&s);
+        m.fragments.retain(|f| f.table() != "S1");
+        for f in &mut m.fragments {
+            if let Fragment::Entity { entity, folded_weak, .. } = f {
+                if entity == "R" {
+                    folded_weak.push("S1".into());
+                }
+            }
+        }
+        // Rejected either by the connectivity check (R and S1 are not
+        // adjacent) or by the ownership check.
+        assert!(validate(&s, &m).is_err());
+    }
+}

@@ -1,0 +1,412 @@
+//! Reversibility: the paper's requirement (1) — "the entities and
+//! relationships stored in the database must be recoverable" — must hold
+//! under EVERY mapping. These tests populate the same logical instance
+//! through the CRUD translator under all seven mappings (M1, M2, M3, M4,
+//! M5, M6-denormalized, M6-factorized) and assert that extraction recovers
+//! identical logical content.
+
+use erbium_mapping::presets::paper;
+use erbium_mapping::{CoFormat, EntityData, EntityStore, Lowering, Mapping};
+use erbium_model::fixtures;
+use erbium_model::ErSchema;
+use erbium_storage::{Catalog, Transaction, Value};
+
+fn all_mappings(s: &ErSchema) -> Vec<Mapping> {
+    vec![
+        paper::m1(s),
+        paper::m2(s),
+        paper::m3(s),
+        paper::m4(s),
+        paper::m5(s).unwrap(),
+        paper::m6(s, CoFormat::Denormalized).unwrap(),
+        paper::m6(s, CoFormat::Factorized).unwrap(),
+    ]
+}
+
+fn data(pairs: &[(&str, Value)]) -> EntityData {
+    pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+}
+
+fn ints(vals: &[i64]) -> Value {
+    Value::Array(vals.iter().map(|&v| Value::Int(v)).collect())
+}
+
+/// Populate a small instance of the experiment schema.
+fn populate(cat: &mut Catalog, store: &EntityStore<'_>) {
+    let mut txn = Transaction::new();
+    // S entities.
+    for sid in 1..=3i64 {
+        store
+            .insert(
+                cat,
+                &mut txn,
+                "S",
+                &data(&[
+                    ("s_id", Value::Int(sid)),
+                    ("s_a", Value::str(format!("s{sid}"))),
+                    ("s_b", Value::Int(sid * 10)),
+                ]),
+                &[],
+            )
+            .unwrap();
+    }
+    // Weak entities S1 (two per S), S2 (one per S).
+    for sid in 1..=3i64 {
+        for no in 1..=2i64 {
+            store
+                .insert(
+                    cat,
+                    &mut txn,
+                    "S1",
+                    &data(&[
+                        ("s_id", Value::Int(sid)),
+                        ("s1_no", Value::Int(no)),
+                        ("s1_a", Value::Int(sid * 100 + no)),
+                        ("s1_b", Value::str(format!("w{sid}-{no}"))),
+                    ]),
+                    &[],
+                )
+                .unwrap();
+        }
+        store
+            .insert(
+                cat,
+                &mut txn,
+                "S2",
+                &data(&[
+                    ("s_id", Value::Int(sid)),
+                    ("s2_no", Value::Int(1)),
+                    ("s2_a", Value::str(format!("z{sid}"))),
+                ]),
+                &[],
+            )
+            .unwrap();
+    }
+    // Hierarchy instances: one plain R, one R1, one R2, one R3, one R4.
+    let base = |id: i64| {
+        data(&[
+            ("r_id", Value::Int(id)),
+            ("r_a", Value::str(format!("r{id}"))),
+            ("r_b", Value::Int(id * 2)),
+            ("r_mv1", ints(&[id, id + 1])),
+            ("r_mv2", ints(&[id * 7])),
+            ("r_mv3", Value::Array(vec![Value::str("x"), Value::str("y")])),
+        ])
+    };
+    let link_s = |sid: i64| vec![("r_s", vec![Value::Int(sid)])];
+
+    store.insert(cat, &mut txn, "R", &base(10), &link_s(1)).unwrap();
+    let mut r1 = base(11);
+    r1.insert("r1_a".into(), Value::Int(111));
+    r1.insert("r1_b".into(), Value::str("one"));
+    store.insert(cat, &mut txn, "R1", &r1, &link_s(2)).unwrap();
+    let mut r2 = base(12);
+    r2.insert("r2_a".into(), Value::Int(222));
+    r2.insert("r2_b".into(), Value::str("two"));
+    store.insert(cat, &mut txn, "R2", &r2, &link_s(3)).unwrap();
+    let mut r3 = base(13);
+    r3.insert("r1_a".into(), Value::Int(311));
+    r3.insert("r1_b".into(), Value::str("three-one"));
+    r3.insert("r3_a".into(), Value::Int(333));
+    store.insert(cat, &mut txn, "R3", &r3, &link_s(1)).unwrap();
+    let mut r4 = base(14);
+    r4.insert("r2_a".into(), Value::Int(422));
+    r4.insert("r2_b".into(), Value::str("four-two"));
+    r4.insert("r4_a".into(), Value::str("fff"));
+    store.insert(cat, &mut txn, "R4", &r4, &link_s(2)).unwrap();
+
+    // Many-to-many links.
+    store
+        .link(cat, &mut txn, "r2_s1", &[Value::Int(12)], &[Value::Int(1), Value::Int(1)], &EntityData::default())
+        .unwrap();
+    store
+        .link(cat, &mut txn, "r2_s1", &[Value::Int(12)], &[Value::Int(2), Value::Int(2)], &EntityData::default())
+        .unwrap();
+    store
+        .link(cat, &mut txn, "r2_s1", &[Value::Int(14)], &[Value::Int(3), Value::Int(1)], &EntityData::default())
+        .unwrap();
+    store
+        .link(cat, &mut txn, "r1_r3", &[Value::Int(11)], &[Value::Int(13)], &EntityData::default())
+        .unwrap();
+    txn.commit();
+}
+
+/// Canonical form of an extent for comparison: sorted key→sorted attrs.
+type CanonRow = Vec<(String, Value)>;
+
+fn canon_entities(store: &EntityStore<'_>, cat: &Catalog, entity: &str) -> Vec<CanonRow> {
+    let mut rows: Vec<CanonRow> = store
+        .extract_entities(cat, entity)
+        .unwrap()
+        .into_iter()
+        .map(|d| {
+            let mut kv: Vec<(String, Value)> = d
+                .into_iter()
+                .map(|(k, mut v)| {
+                    // Multi-valued attributes are sets: order-insensitive.
+                    if let Value::Array(vs) = &mut v {
+                        vs.sort();
+                    }
+                    (k, v)
+                })
+                .collect();
+            kv.sort();
+            kv
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+type KeyPair = (Vec<Value>, Vec<Value>);
+
+fn canon_rel(store: &EntityStore<'_>, cat: &Catalog, rel: &str) -> Vec<KeyPair> {
+    let mut rows: Vec<KeyPair> = store
+        .extract_relationship(cat, rel)
+        .unwrap()
+        .into_iter()
+        .map(|i| (i.from_key, i.to_key))
+        .collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn extents_identical_across_all_mappings() {
+    let schema = fixtures::experiment();
+    let mut reference: Option<Vec<(String, Vec<CanonRow>)>> = None;
+    for mapping in all_mappings(&schema) {
+        let lw = Lowering::build(&schema, &mapping).unwrap();
+        let mut cat = Catalog::new();
+        lw.install(&mut cat).unwrap();
+        let store = EntityStore::new(&lw);
+        populate(&mut cat, &store);
+
+        let snapshot: Vec<(String, Vec<CanonRow>)> = schema
+            .entities()
+            .iter()
+            .map(|e| (e.name.clone(), canon_entities(&store, &cat, &e.name)))
+            .collect();
+        match &reference {
+            None => reference = Some(snapshot),
+            Some(reference) => {
+                for ((name, expect), (name2, got)) in reference.iter().zip(snapshot.iter()) {
+                    assert_eq!(name, name2);
+                    assert_eq!(
+                        expect, got,
+                        "extent of '{name}' differs under mapping '{}'",
+                        mapping.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn relationships_identical_across_all_mappings() {
+    let schema = fixtures::experiment();
+    let mut reference: Option<Vec<(String, Vec<KeyPair>)>> = None;
+    for mapping in all_mappings(&schema) {
+        let lw = Lowering::build(&schema, &mapping).unwrap();
+        let mut cat = Catalog::new();
+        lw.install(&mut cat).unwrap();
+        let store = EntityStore::new(&lw);
+        populate(&mut cat, &store);
+
+        let snapshot: Vec<(String, Vec<KeyPair>)> = schema
+            .relationships()
+            .iter()
+            .map(|r| (r.name.clone(), canon_rel(&store, &cat, &r.name)))
+            .collect();
+        match &reference {
+            None => reference = Some(snapshot),
+            Some(reference) => {
+                for ((name, expect), (name2, got)) in reference.iter().zip(snapshot.iter()) {
+                    assert_eq!(name, name2);
+                    assert_eq!(
+                        expect, got,
+                        "relationship '{name}' differs under mapping '{}'",
+                        mapping.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn get_update_delete_under_each_mapping() {
+    let schema = fixtures::experiment();
+    for mapping in all_mappings(&schema) {
+        let lw = Lowering::build(&schema, &mapping).unwrap();
+        let mut cat = Catalog::new();
+        lw.install(&mut cat).unwrap();
+        let store = EntityStore::new(&lw);
+        populate(&mut cat, &store);
+        let m = &mapping.name;
+
+        // get: R3 sees inherited + own attributes.
+        let r3 = store.get(&cat, "R3", &[Value::Int(13)]).unwrap().expect("r3 exists");
+        assert_eq!(r3.get("r_a"), Some(&Value::str("r13")), "mapping {m}");
+        assert_eq!(r3.get("r1_a"), Some(&Value::Int(311)), "mapping {m}");
+        assert_eq!(r3.get("r3_a"), Some(&Value::Int(333)), "mapping {m}");
+        match r3.get("r_mv1") {
+            Some(Value::Array(vs)) => assert_eq!(vs.len(), 2, "mapping {m}"),
+            other => panic!("mapping {m}: expected array, got {other:?}"),
+        }
+
+        // get at superclass level sees only R attributes but same instance.
+        let as_r = store.get(&cat, "R", &[Value::Int(13)]).unwrap().expect("visible as R");
+        assert_eq!(as_r.get("r_a"), Some(&Value::str("r13")), "mapping {m}");
+
+        // type_of identifies the most specific type.
+        assert_eq!(store.type_of(&cat, "R", &[Value::Int(13)]).unwrap().as_deref(), Some("R3"));
+        assert_eq!(store.type_of(&cat, "R", &[Value::Int(10)]).unwrap().as_deref(), Some("R"));
+
+        // update: scalar + multi-valued + weak attribute.
+        let mut txn = Transaction::new();
+        store
+            .update(&mut cat, &mut txn, "R3", &[Value::Int(13)], &data(&[
+                ("r_b", Value::Int(999)),
+                ("r_mv2", ints(&[1, 2, 3])),
+                ("r3_a", Value::Int(42)),
+            ]))
+            .unwrap();
+        store
+            .update(&mut cat, &mut txn, "S1", &[Value::Int(1), Value::Int(2)], &data(&[
+                ("s1_b", Value::str("updated")),
+            ]))
+            .unwrap();
+        txn.commit();
+        let r3 = store.get(&cat, "R3", &[Value::Int(13)]).unwrap().unwrap();
+        assert_eq!(r3.get("r_b"), Some(&Value::Int(999)), "mapping {m}");
+        assert_eq!(r3.get("r3_a"), Some(&Value::Int(42)), "mapping {m}");
+        match r3.get("r_mv2") {
+            Some(Value::Array(vs)) => assert_eq!(vs.len(), 3, "mapping {m}"),
+            other => panic!("mapping {m}: expected array, got {other:?}"),
+        }
+        let s1 = store.get(&cat, "S1", &[Value::Int(1), Value::Int(2)]).unwrap().unwrap();
+        assert_eq!(s1.get("s1_b"), Some(&Value::str("updated")), "mapping {m}");
+
+        // delete R2 instance 12: hierarchy rows, mv rows, r2_s1 links gone.
+        let mut txn = Transaction::new();
+        store.delete(&mut cat, &mut txn, "R", &[Value::Int(12)]).unwrap();
+        txn.commit();
+        assert!(store.get(&cat, "R", &[Value::Int(12)]).unwrap().is_none(), "mapping {m}");
+        assert!(store.get(&cat, "R2", &[Value::Int(12)]).unwrap().is_none(), "mapping {m}");
+        let links = canon_rel(&store, &cat, "r2_s1");
+        assert_eq!(links.len(), 1, "mapping {m}: only R4's link remains: {links:?}");
+        // The S1 partners survive the unlink.
+        assert!(store.get(&cat, "S1", &[Value::Int(1), Value::Int(1)]).unwrap().is_some());
+
+        // delete S 1 cascades to its weak children and their links.
+        let mut txn = Transaction::new();
+        store.delete(&mut cat, &mut txn, "S", &[Value::Int(1)]).unwrap();
+        txn.commit();
+        assert!(store.get(&cat, "S1", &[Value::Int(1), Value::Int(1)]).unwrap().is_none());
+        assert!(store.get(&cat, "S2", &[Value::Int(1), Value::Int(1)]).unwrap().is_none());
+        // r_s links pointing at S 1 are gone (R 10 and R3 13 were linked).
+        let rs = canon_rel(&store, &cat, "r_s");
+        assert!(
+            rs.iter().all(|(_, to)| to != &vec![Value::Int(1)]),
+            "mapping {m}: dangling r_s link to deleted S: {rs:?}"
+        );
+    }
+}
+
+#[test]
+fn transaction_rollback_spans_logical_insert() {
+    let schema = fixtures::experiment();
+    let mapping = paper::m1(&schema);
+    let lw = Lowering::build(&schema, &mapping).unwrap();
+    let mut cat = Catalog::new();
+    lw.install(&mut cat).unwrap();
+    let store = EntityStore::new(&lw);
+
+    let mut txn = Transaction::new();
+    let mut r3 = data(&[
+        ("r_id", Value::Int(1)),
+        ("r_a", Value::str("a")),
+        ("r_b", Value::Int(1)),
+        ("r_mv1", ints(&[1, 2, 3])),
+        ("r1_a", Value::Int(1)),
+        ("r3_a", Value::Int(3)),
+    ]);
+    r3.insert("r_mv2".into(), ints(&[]));
+    r3.insert("r_mv3".into(), Value::Array(vec![]));
+    store.insert(&mut cat, &mut txn, "R3", &r3, &[]).unwrap();
+    assert!(txn.len() >= 4, "insert touched root, R1, R3 delta + mv rows");
+    txn.rollback(&mut cat).unwrap();
+    assert!(store.get(&cat, "R3", &[Value::Int(1)]).unwrap().is_none());
+    assert_eq!(cat.table("R").unwrap().len(), 0);
+    assert_eq!(cat.table("R__r_mv1").unwrap().len(), 0);
+}
+
+#[test]
+fn university_roundtrip_normalized_vs_inline() {
+    let schema = fixtures::university();
+    let m1 = erbium_mapping::presets::normalized(&schema);
+    let m2 = erbium_mapping::presets::inline_all_multivalued(
+        erbium_mapping::presets::normalized(&schema),
+        &schema,
+    );
+    let mut snapshots = Vec::new();
+    for mapping in [m1, m2] {
+        let lw = Lowering::build(&schema, &mapping).unwrap();
+        let mut cat = Catalog::new();
+        lw.install(&mut cat).unwrap();
+        let store = EntityStore::new(&lw);
+        let mut txn = Transaction::new();
+        store
+            .insert(
+                &mut cat,
+                &mut txn,
+                "department",
+                &data(&[("dept_name", Value::str("cs")), ("building", Value::str("AVW"))]),
+                &[],
+            )
+            .unwrap();
+        store
+            .insert(
+                &mut cat,
+                &mut txn,
+                "instructor",
+                &data(&[
+                    ("id", Value::Int(1)),
+                    ("name", Value::str("ada")),
+                    (
+                        "address",
+                        Value::Struct(vec![Value::str("Main St"), Value::str("College Park")]),
+                    ),
+                    ("phone", Value::Array(vec![Value::str("555-1"), Value::str("555-2")])),
+                    ("rank", Value::str("prof")),
+                ]),
+                &[("member_of", vec![Value::str("cs")])],
+            )
+            .unwrap();
+        store
+            .insert(
+                &mut cat,
+                &mut txn,
+                "student",
+                &data(&[
+                    ("id", Value::Int(2)),
+                    ("name", Value::str("bob")),
+                    ("phone", Value::Array(vec![])),
+                    ("tot_credits", Value::Int(30)),
+                ]),
+                &[("advisor", vec![Value::Int(1)])],
+            )
+            .unwrap();
+        txn.commit();
+        let store_ref = &store;
+        let snap: Vec<_> = ["person", "instructor", "student", "department"]
+            .iter()
+            .map(|e| canon_entities(store_ref, &cat, e))
+            .collect();
+        let advisors = canon_rel(store_ref, &cat, "advisor");
+        snapshots.push((snap, advisors));
+    }
+    assert_eq!(snapshots[0], snapshots[1]);
+}

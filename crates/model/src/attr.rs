@@ -1,0 +1,157 @@
+//! Attributes: simple, composite, and multi-valued.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Scalar domains for simple attributes. The model layer is deliberately
+/// independent of the storage layer's value types; the mapping layer
+/// converts between the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalarType {
+    Int,
+    Float,
+    Text,
+    Bool,
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarType::Int => write!(f, "int"),
+            ScalarType::Float => write!(f, "float"),
+            ScalarType::Text => write!(f, "text"),
+            ScalarType::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// The type of an attribute: a scalar domain or a composite of named
+/// sub-attributes (which may themselves be composite or multi-valued —
+/// the paper's DDL "directly defines composite attributes").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttrType {
+    Scalar(ScalarType),
+    Composite(Vec<Attribute>),
+}
+
+impl AttrType {
+    /// Depth of composite nesting (scalar = 0).
+    pub fn nesting_depth(&self) -> usize {
+        match self {
+            AttrType::Scalar(_) => 0,
+            AttrType::Composite(fields) => {
+                1 + fields.iter().map(|a| a.ty.nesting_depth()).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+/// One attribute of an entity set or relationship.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attribute {
+    pub name: String,
+    pub ty: AttrType,
+    /// Multi-valued attribute (double oval in E/R notation): the attribute
+    /// holds a *set* of values of `ty`.
+    pub multi_valued: bool,
+    /// May be absent (NULL). Keys must not be optional.
+    pub optional: bool,
+    /// Human description, surfaced in generated documentation.
+    pub description: Option<String>,
+    /// Governance tags, e.g. `"pii"`. The paper motivates entity-centric
+    /// governance: "better understanding and tagging the data being
+    /// collected".
+    pub tags: Vec<String>,
+}
+
+impl Attribute {
+    /// A required scalar attribute.
+    pub fn scalar(name: impl Into<String>, ty: ScalarType) -> Attribute {
+        Attribute {
+            name: name.into(),
+            ty: AttrType::Scalar(ty),
+            multi_valued: false,
+            optional: false,
+            description: None,
+            tags: Vec::new(),
+        }
+    }
+
+    /// A composite attribute with the given sub-attributes.
+    pub fn composite(name: impl Into<String>, fields: Vec<Attribute>) -> Attribute {
+        Attribute {
+            name: name.into(),
+            ty: AttrType::Composite(fields),
+            multi_valued: false,
+            optional: false,
+            description: None,
+            tags: Vec::new(),
+        }
+    }
+
+    /// Builder: mark multi-valued.
+    pub fn multi(mut self) -> Attribute {
+        self.multi_valued = true;
+        self
+    }
+
+    /// Builder: mark optional.
+    pub fn nullable(mut self) -> Attribute {
+        self.optional = true;
+        self
+    }
+
+    /// Builder: attach a description.
+    pub fn described(mut self, text: impl Into<String>) -> Attribute {
+        self.description = Some(text.into());
+        self
+    }
+
+    /// Builder: attach a governance tag.
+    pub fn tagged(mut self, tag: impl Into<String>) -> Attribute {
+        self.tags.push(tag.into());
+        self
+    }
+
+    /// Does this attribute carry the given governance tag?
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tags.iter().any(|t| t == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let a = Attribute::scalar("phone", ScalarType::Text)
+            .multi()
+            .nullable()
+            .tagged("pii")
+            .described("contact phone numbers");
+        assert!(a.multi_valued && a.optional && a.has_tag("pii"));
+        assert_eq!(a.description.as_deref(), Some("contact phone numbers"));
+    }
+
+    #[test]
+    fn nesting_depth() {
+        let addr = Attribute::composite(
+            "address",
+            vec![
+                Attribute::scalar("street", ScalarType::Text),
+                Attribute::composite("geo", vec![Attribute::scalar("lat", ScalarType::Float)]),
+            ],
+        );
+        assert_eq!(addr.ty.nesting_depth(), 2);
+        assert_eq!(AttrType::Scalar(ScalarType::Int).nesting_depth(), 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = Attribute::composite("c", vec![Attribute::scalar("x", ScalarType::Int).multi()]);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Attribute = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

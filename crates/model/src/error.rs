@@ -1,0 +1,62 @@
+//! Model-layer error type.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating an E/R schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    DuplicateEntity(String),
+    DuplicateRelationship(String),
+    DuplicateAttribute { owner: String, attribute: String },
+    UnknownEntity(String),
+    UnknownRelationship(String),
+    UnknownAttribute { owner: String, attribute: String },
+    /// The ISA hierarchy contains a cycle through this entity.
+    InheritanceCycle(String),
+    /// A subclass declares its own key (keys are inherited from the root).
+    SubclassWithKey(String),
+    /// A strong entity set lacks a key.
+    MissingKey(String),
+    /// Weak entity set configuration problems.
+    InvalidWeakEntity { entity: String, reason: String },
+    /// Relationship configuration problems.
+    InvalidRelationship { relationship: String, reason: String },
+    /// Generic validation failure.
+    Invalid(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateEntity(e) => write!(f, "duplicate entity set '{e}'"),
+            ModelError::DuplicateRelationship(r) => write!(f, "duplicate relationship '{r}'"),
+            ModelError::DuplicateAttribute { owner, attribute } => {
+                write!(f, "duplicate attribute '{attribute}' on '{owner}'")
+            }
+            ModelError::UnknownEntity(e) => write!(f, "unknown entity set '{e}'"),
+            ModelError::UnknownRelationship(r) => write!(f, "unknown relationship '{r}'"),
+            ModelError::UnknownAttribute { owner, attribute } => {
+                write!(f, "unknown attribute '{attribute}' on '{owner}'")
+            }
+            ModelError::InheritanceCycle(e) => {
+                write!(f, "inheritance cycle through entity set '{e}'")
+            }
+            ModelError::SubclassWithKey(e) => {
+                write!(f, "subclass '{e}' must not declare its own key")
+            }
+            ModelError::MissingKey(e) => write!(f, "entity set '{e}' has no key"),
+            ModelError::InvalidWeakEntity { entity, reason } => {
+                write!(f, "invalid weak entity set '{entity}': {reason}")
+            }
+            ModelError::InvalidRelationship { relationship, reason } => {
+                write!(f, "invalid relationship '{relationship}': {reason}")
+            }
+            ModelError::Invalid(m) => write!(f, "invalid schema: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Result alias for model operations.
+pub type ModelResult<T> = Result<T, ModelError>;

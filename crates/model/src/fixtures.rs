@@ -1,0 +1,271 @@
+//! Reference schemas from the paper.
+//!
+//! * [`university`] — the Figure-1 running example (adapted from
+//!   Silberschatz et al.): a `person` hierarchy with `instructor` and
+//!   `student` subclasses, a weak `section` entity set owned by `course`,
+//!   a composite `address`, a multi-valued `phone`, and the
+//!   `advisor`/`member_of`/`takes`/`teaches` relationships.
+//! * [`experiment`] — the Figure-4 synthetic evaluation schema: 8 entity
+//!   sets including a 5-set type hierarchy rooted at `R` and two weak
+//!   entity sets `S1`, `S2` owned by `S`; three multi-valued attributes on
+//!   `R`; relationships `r_s` (many-to-one), `r2_s1` (many-to-many with
+//!   nearly one-to-one data — the M6 co-location target), and `r1_r3`
+//!   (many-to-many).
+
+use crate::attr::{Attribute, ScalarType};
+use crate::schema::{EntitySet, ErSchema, RelEnd, Relationship};
+
+/// The paper's Figure-1 university schema.
+pub fn university() -> ErSchema {
+    let mut s = ErSchema::new();
+    s.add_entity(
+        EntitySet::new(
+            "person",
+            vec![
+                Attribute::scalar("id", ScalarType::Int).described("person identifier"),
+                Attribute::scalar("name", ScalarType::Text).tagged("pii"),
+                Attribute::composite(
+                    "address",
+                    vec![
+                        Attribute::scalar("street", ScalarType::Text),
+                        Attribute::scalar("city", ScalarType::Text),
+                    ],
+                )
+                .nullable()
+                .tagged("pii"),
+                Attribute::scalar("phone", ScalarType::Text).multi().tagged("pii"),
+            ],
+            vec!["id"],
+        )
+        .with_specialization(false, true)
+        .described("people on campus"),
+    )
+    .expect("fresh schema");
+    s.add_entity(EntitySet::subclass_of(
+        "instructor",
+        "person",
+        vec![Attribute::scalar("rank", ScalarType::Text).nullable()],
+    ))
+    .expect("fresh schema");
+    s.add_entity(EntitySet::subclass_of(
+        "student",
+        "person",
+        vec![Attribute::scalar("tot_credits", ScalarType::Int).nullable()],
+    ))
+    .expect("fresh schema");
+    s.add_entity(EntitySet::new(
+        "department",
+        vec![
+            Attribute::scalar("dept_name", ScalarType::Text),
+            Attribute::scalar("building", ScalarType::Text).nullable(),
+        ],
+        vec!["dept_name"],
+    ))
+    .expect("fresh schema");
+    s.add_entity(EntitySet::new(
+        "course",
+        vec![
+            Attribute::scalar("course_id", ScalarType::Text),
+            Attribute::scalar("title", ScalarType::Text),
+            Attribute::scalar("credits", ScalarType::Int),
+        ],
+        vec!["course_id"],
+    ))
+    .expect("fresh schema");
+    s.add_relationship(Relationship::new(
+        "sec_of",
+        RelEnd::many("section").total(),
+        RelEnd::one("course"),
+    ))
+    .expect("fresh schema");
+    s.add_entity(EntitySet::weak(
+        "section",
+        "course",
+        "sec_of",
+        vec![
+            Attribute::scalar("sec_id", ScalarType::Int),
+            Attribute::scalar("semester", ScalarType::Text),
+            Attribute::scalar("year", ScalarType::Int),
+        ],
+        vec!["sec_id", "semester", "year"],
+    ))
+    .expect("fresh schema");
+    s.add_relationship(Relationship::new(
+        "advisor",
+        RelEnd::many("student"),
+        RelEnd::one("instructor"),
+    ))
+    .expect("fresh schema");
+    s.add_relationship(Relationship::new(
+        "member_of",
+        RelEnd::many("instructor").total(),
+        RelEnd::one("department"),
+    ))
+    .expect("fresh schema");
+    s.add_relationship(Relationship::new(
+        "takes",
+        RelEnd::many("student"),
+        RelEnd::many("section"),
+    ))
+    .expect("fresh schema");
+    s.add_relationship(Relationship::new(
+        "teaches",
+        RelEnd::many("instructor"),
+        RelEnd::many("section"),
+    ))
+    .expect("fresh schema");
+    debug_assert!(s.validate().is_ok());
+    s
+}
+
+/// The paper's Figure-4 experiment schema.
+///
+/// Hierarchy: `R` is the root; `R1` and `R2` are its children; `R3` is a
+/// child of `R1` and `R4` a child of `R2` (5 entity sets; "all information
+/// for the R3 entities" needs the 3-way join R ⋈ R1 ⋈ R3 under the fully
+/// normalized mapping, matching the paper's observation).
+pub fn experiment() -> ErSchema {
+    let mut s = ErSchema::new();
+    s.add_entity(
+        EntitySet::new(
+            "R",
+            vec![
+                Attribute::scalar("r_id", ScalarType::Int),
+                Attribute::scalar("r_a", ScalarType::Text),
+                Attribute::scalar("r_b", ScalarType::Int),
+                Attribute::scalar("r_mv1", ScalarType::Int).multi(),
+                Attribute::scalar("r_mv2", ScalarType::Int).multi(),
+                Attribute::scalar("r_mv3", ScalarType::Text).multi(),
+            ],
+            vec!["r_id"],
+        )
+        .with_specialization(false, true),
+    )
+    .expect("fresh schema");
+    s.add_entity(
+        EntitySet::subclass_of(
+            "R1",
+            "R",
+            vec![
+                Attribute::scalar("r1_a", ScalarType::Int).nullable(),
+                Attribute::scalar("r1_b", ScalarType::Text).nullable(),
+            ],
+        )
+        .with_specialization(false, true),
+    )
+    .expect("fresh schema");
+    s.add_entity(
+        EntitySet::subclass_of(
+            "R2",
+            "R",
+            vec![
+                Attribute::scalar("r2_a", ScalarType::Int).nullable(),
+                Attribute::scalar("r2_b", ScalarType::Text).nullable(),
+            ],
+        )
+        .with_specialization(false, true),
+    )
+    .expect("fresh schema");
+    s.add_entity(EntitySet::subclass_of(
+        "R3",
+        "R1",
+        vec![Attribute::scalar("r3_a", ScalarType::Int).nullable()],
+    ))
+    .expect("fresh schema");
+    s.add_entity(EntitySet::subclass_of(
+        "R4",
+        "R2",
+        vec![Attribute::scalar("r4_a", ScalarType::Text).nullable()],
+    ))
+    .expect("fresh schema");
+    s.add_entity(EntitySet::new(
+        "S",
+        vec![
+            Attribute::scalar("s_id", ScalarType::Int),
+            Attribute::scalar("s_a", ScalarType::Text),
+            Attribute::scalar("s_b", ScalarType::Int),
+        ],
+        vec!["s_id"],
+    ))
+    .expect("fresh schema");
+    s.add_relationship(Relationship::new("s_s1", RelEnd::many("S1").total(), RelEnd::one("S")))
+        .expect("fresh schema");
+    s.add_relationship(Relationship::new("s_s2", RelEnd::many("S2").total(), RelEnd::one("S")))
+        .expect("fresh schema");
+    s.add_entity(EntitySet::weak(
+        "S1",
+        "S",
+        "s_s1",
+        vec![
+            Attribute::scalar("s1_no", ScalarType::Int),
+            Attribute::scalar("s1_a", ScalarType::Int).nullable(),
+            Attribute::scalar("s1_b", ScalarType::Text).nullable(),
+        ],
+        vec!["s1_no"],
+    ))
+    .expect("fresh schema");
+    s.add_entity(EntitySet::weak(
+        "S2",
+        "S",
+        "s_s2",
+        vec![
+            Attribute::scalar("s2_no", ScalarType::Int),
+            Attribute::scalar("s2_a", ScalarType::Text).nullable(),
+        ],
+        vec!["s2_no"],
+    ))
+    .expect("fresh schema");
+    // R — S: many-to-one (folds into R under the normalized mapping).
+    s.add_relationship(Relationship::new("r_s", RelEnd::many("R"), RelEnd::one("S")))
+        .expect("fresh schema");
+    // R2 — S1: many-to-many at the schema level but nearly one-to-one in
+    // the generated data; the co-location (M6) target.
+    s.add_relationship(Relationship::new("r2_s1", RelEnd::many("R2"), RelEnd::many("S1")))
+        .expect("fresh schema");
+    // R1 — R3: many-to-many within the hierarchy.
+    s.add_relationship(Relationship::new(
+        "r1_r3",
+        RelEnd::many("R1").with_role("left"),
+        RelEnd::many("R3").with_role("right"),
+    ))
+    .expect("fresh schema");
+    debug_assert!(s.validate().is_ok());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_fixture_schemas_validate() {
+        university().validate().unwrap();
+        experiment().validate().unwrap();
+    }
+
+    #[test]
+    fn experiment_schema_shape_matches_paper() {
+        let s = experiment();
+        assert_eq!(s.entities().len(), 8, "8 entity sets");
+        // 5-set type hierarchy rooted at R.
+        let hier: Vec<&str> = std::iter::once("R")
+            .chain(s.descendants("R").iter().map(|e| e.name.as_str()))
+            .collect();
+        assert_eq!(hier.len(), 5);
+        // Two weak entity sets.
+        assert_eq!(s.entities().iter().filter(|e| e.is_weak()).count(), 2);
+        // Three multi-valued attributes on R.
+        let r = s.entity("R").unwrap();
+        assert_eq!(r.attributes.iter().filter(|a| a.multi_valued).count(), 3);
+        // R3 sits two levels below R: 3-way join under full normalization.
+        assert_eq!(s.ancestry("R3").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn experiment_relationship_shapes() {
+        let s = experiment();
+        assert!(s.relationship("r_s").unwrap().is_many_to_one());
+        assert!(s.relationship("r2_s1").unwrap().is_many_to_many());
+        assert!(s.relationship("r1_r3").unwrap().is_many_to_many());
+    }
+}

@@ -1,0 +1,319 @@
+//! The E/R diagram as a graph.
+//!
+//! Paper, Section 4: "we first view the E/R diagram as a graph where each
+//! entity, relationship, and attribute is a separate node. Entity nodes are
+//! connected to the relationships in which they participate, to subclasses
+//! or superclasses, and to their attributes. A mapping to physical storage
+//! representation can be seen as a cover of this graph using connected
+//! subgraphs."
+//!
+//! [`ErGraph`] is that graph. Composite attributes are one node (their
+//! nested structure travels with them); relationship attributes hang off
+//! the relationship node.
+
+use crate::error::{ModelError, ModelResult};
+use crate::schema::ErSchema;
+use rustc_hash::{FxHashMap, FxHashSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a node of the E/R graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NodeId {
+    Entity(String),
+    Relationship(String),
+    /// `(owner, attribute)` where owner is an entity set or relationship.
+    Attribute(String, String),
+}
+
+impl NodeId {
+    pub fn entity(name: impl Into<String>) -> NodeId {
+        NodeId::Entity(name.into())
+    }
+
+    pub fn relationship(name: impl Into<String>) -> NodeId {
+        NodeId::Relationship(name.into())
+    }
+
+    pub fn attribute(owner: impl Into<String>, name: impl Into<String>) -> NodeId {
+        NodeId::Attribute(owner.into(), name.into())
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Entity(e) => write!(f, "E:{e}"),
+            NodeId::Relationship(r) => write!(f, "R:{r}"),
+            NodeId::Attribute(o, a) => write!(f, "A:{o}.{a}"),
+        }
+    }
+}
+
+/// Coarse node classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    Entity,
+    Relationship,
+    Attribute,
+}
+
+/// Why two nodes are adjacent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Entity/relationship — its attribute.
+    HasAttribute,
+    /// Entity — relationship it participates in.
+    Participates,
+    /// Subclass — superclass.
+    Isa,
+}
+
+/// The E/R diagram as an undirected graph.
+#[derive(Debug, Clone)]
+pub struct ErGraph {
+    nodes: Vec<NodeId>,
+    index: FxHashMap<NodeId, usize>,
+    adj: Vec<Vec<(usize, EdgeKind)>>,
+}
+
+impl ErGraph {
+    /// Build the graph from a schema.
+    pub fn from_schema(schema: &ErSchema) -> ModelResult<ErGraph> {
+        let mut g = ErGraph { nodes: Vec::new(), index: FxHashMap::default(), adj: Vec::new() };
+        for e in schema.entities() {
+            let en = g.add_node(NodeId::entity(&e.name));
+            for a in &e.attributes {
+                let an = g.add_node(NodeId::attribute(&e.name, &a.name));
+                g.add_edge(en, an, EdgeKind::HasAttribute);
+            }
+        }
+        for e in schema.entities() {
+            if let Some(parent) = &e.parent {
+                let child = g.require(&NodeId::entity(&e.name))?;
+                let parent = g.require(&NodeId::entity(parent))?;
+                g.add_edge(child, parent, EdgeKind::Isa);
+            }
+        }
+        for r in schema.relationships() {
+            let rn = g.add_node(NodeId::relationship(&r.name));
+            for a in &r.attributes {
+                let an = g.add_node(NodeId::attribute(&r.name, &a.name));
+                g.add_edge(rn, an, EdgeKind::HasAttribute);
+            }
+            let from = g.require(&NodeId::entity(&r.from.entity))?;
+            let to = g.require(&NodeId::entity(&r.to.entity))?;
+            g.add_edge(rn, from, EdgeKind::Participates);
+            if r.from.entity != r.to.entity {
+                g.add_edge(rn, to, EdgeKind::Participates);
+            }
+        }
+        Ok(g)
+    }
+
+    fn add_node(&mut self, id: NodeId) -> usize {
+        if let Some(&i) = self.index.get(&id) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.index.insert(id.clone(), i);
+        self.nodes.push(id);
+        self.adj.push(Vec::new());
+        i
+    }
+
+    fn add_edge(&mut self, a: usize, b: usize, kind: EdgeKind) {
+        self.adj[a].push((b, kind));
+        self.adj[b].push((a, kind));
+    }
+
+    fn require(&self, id: &NodeId) -> ModelResult<usize> {
+        self.index
+            .get(id)
+            .copied()
+            .ok_or_else(|| ModelError::Invalid(format!("graph node {id} not found")))
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Does the graph contain this node?
+    pub fn contains(&self, id: &NodeId) -> bool {
+        self.index.contains_key(id)
+    }
+
+    /// Neighbours of a node.
+    pub fn neighbours(&self, id: &NodeId) -> ModelResult<Vec<(&NodeId, EdgeKind)>> {
+        let i = self.require(id)?;
+        Ok(self.adj[i].iter().map(|&(j, k)| (&self.nodes[j], k)).collect())
+    }
+
+    /// Is the subgraph induced by `subset` connected (and nonempty)?
+    pub fn is_connected_subgraph(&self, subset: &[NodeId]) -> ModelResult<bool> {
+        if subset.is_empty() {
+            return Ok(false);
+        }
+        let idxs: FxHashSet<usize> =
+            subset.iter().map(|id| self.require(id)).collect::<ModelResult<_>>()?;
+        let start = *idxs.iter().next().expect("nonempty");
+        let mut seen = FxHashSet::default();
+        let mut stack = vec![start];
+        seen.insert(start);
+        while let Some(cur) = stack.pop() {
+            for &(next, _) in &self.adj[cur] {
+                if idxs.contains(&next) && seen.insert(next) {
+                    stack.push(next);
+                }
+            }
+        }
+        Ok(seen.len() == idxs.len())
+    }
+
+    /// Nodes NOT covered by the union of the given subsets (a valid mapping
+    /// must cover every node).
+    pub fn uncovered<'a>(&'a self, subsets: &[Vec<NodeId>]) -> Vec<&'a NodeId> {
+        let covered: FxHashSet<&NodeId> = subsets.iter().flatten().collect();
+        self.nodes.iter().filter(|n| !covered.contains(n)).collect()
+    }
+
+    /// Connected components of the whole graph (sets of node ids).
+    pub fn components(&self) -> Vec<Vec<NodeId>> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut out = Vec::new();
+        for start in 0..self.nodes.len() {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut stack = vec![start];
+            seen[start] = true;
+            while let Some(cur) = stack.pop() {
+                comp.push(self.nodes[cur].clone());
+                for &(next, _) in &self.adj[cur] {
+                    if !seen[next] {
+                        seen[next] = true;
+                        stack.push(next);
+                    }
+                }
+            }
+            comp.sort();
+            out.push(comp);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    fn graph() -> ErGraph {
+        ErGraph::from_schema(&fixtures::university()).unwrap()
+    }
+
+    #[test]
+    fn node_counts_match_schema() {
+        let s = fixtures::university();
+        let g = graph();
+        let n_entities = s.entities().len();
+        let n_rels = s.relationships().len();
+        let n_attrs: usize = s.entities().iter().map(|e| e.attributes.len()).sum::<usize>()
+            + s.relationships().iter().map(|r| r.attributes.len()).sum::<usize>();
+        assert_eq!(g.len(), n_entities + n_rels + n_attrs);
+    }
+
+    #[test]
+    fn entity_attribute_adjacency() {
+        let g = graph();
+        let nbrs = g.neighbours(&NodeId::entity("person")).unwrap();
+        assert!(nbrs
+            .iter()
+            .any(|(n, k)| **n == NodeId::attribute("person", "phone") && *k == EdgeKind::HasAttribute));
+        assert!(nbrs
+            .iter()
+            .any(|(n, k)| **n == NodeId::entity("instructor") && *k == EdgeKind::Isa));
+    }
+
+    #[test]
+    fn relationship_adjacency() {
+        let g = graph();
+        let nbrs = g.neighbours(&NodeId::relationship("advisor")).unwrap();
+        let names: Vec<String> = nbrs.iter().map(|(n, _)| n.to_string()).collect();
+        assert!(names.contains(&"E:student".to_string()));
+        assert!(names.contains(&"E:instructor".to_string()));
+    }
+
+    #[test]
+    fn whole_graph_connected() {
+        let g = graph();
+        assert_eq!(g.components().len(), 1, "university schema is one component");
+    }
+
+    #[test]
+    fn connectivity_of_subsets() {
+        let g = graph();
+        // person + its attribute: connected.
+        assert!(g
+            .is_connected_subgraph(&[
+                NodeId::entity("person"),
+                NodeId::attribute("person", "name")
+            ])
+            .unwrap());
+        // person + section attribute without the path between them: not.
+        assert!(!g
+            .is_connected_subgraph(&[
+                NodeId::entity("person"),
+                NodeId::attribute("section", "sec_id")
+            ])
+            .unwrap());
+        // student–advisor–instructor chain: connected through the relationship.
+        assert!(g
+            .is_connected_subgraph(&[
+                NodeId::entity("student"),
+                NodeId::relationship("advisor"),
+                NodeId::entity("instructor"),
+            ])
+            .unwrap());
+        // student + instructor WITHOUT advisor: person connects them via ISA...
+        // only if person is in the subset.
+        assert!(!g
+            .is_connected_subgraph(&[NodeId::entity("student"), NodeId::entity("instructor")])
+            .unwrap());
+        assert!(g
+            .is_connected_subgraph(&[
+                NodeId::entity("student"),
+                NodeId::entity("person"),
+                NodeId::entity("instructor")
+            ])
+            .unwrap());
+        assert!(!g.is_connected_subgraph(&[]).unwrap());
+    }
+
+    #[test]
+    fn uncovered_detection() {
+        let g = graph();
+        let all: Vec<NodeId> = g.nodes().to_vec();
+        assert!(g.uncovered(&[all]).is_empty());
+        let missing = g.uncovered(&[vec![NodeId::entity("person")]]);
+        assert!(missing.len() == g.len() - 1);
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let g = graph();
+        assert!(g.neighbours(&NodeId::entity("ghost")).is_err());
+        assert!(g.is_connected_subgraph(&[NodeId::entity("ghost")]).is_err());
+    }
+}

@@ -1,0 +1,705 @@
+//! Entity sets, relationships, and the validated E/R schema.
+
+use crate::attr::Attribute;
+use crate::error::{ModelError, ModelResult};
+use serde::{Deserialize, Serialize};
+
+/// Cardinality annotation on one relationship end: how many relationship
+/// instances one entity on this end may participate in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cardinality {
+    One,
+    Many,
+}
+
+/// Participation constraint on one relationship end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Participation {
+    /// Every entity must participate (double line in E/R notation).
+    Total,
+    Partial,
+}
+
+/// Properties of a specialization (ISA) declared on the superclass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Specialization {
+    /// Total: every superclass entity belongs to some subclass.
+    pub total: bool,
+    /// Disjoint: an entity belongs to at most one subclass.
+    pub disjoint: bool,
+}
+
+impl Default for Specialization {
+    fn default() -> Self {
+        Specialization { total: false, disjoint: true }
+    }
+}
+
+/// Weak-entity metadata: the owning entity set and the name of the
+/// identifying relationship.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeakInfo {
+    pub owner: String,
+    pub identifying_relationship: String,
+}
+
+/// An entity set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntitySet {
+    pub name: String,
+    pub attributes: Vec<Attribute>,
+    /// Names of key attributes. For weak entity sets this is the *partial*
+    /// key (discriminator); the full key is owner key + partial key.
+    /// Subclasses leave this empty — the key is inherited from the root.
+    pub key: Vec<String>,
+    /// Superclass name for ISA subclasses.
+    pub parent: Option<String>,
+    /// Specialization properties, meaningful on entities that have
+    /// subclasses.
+    pub specialization: Specialization,
+    /// Present iff this is a weak entity set.
+    pub weak: Option<WeakInfo>,
+    pub description: Option<String>,
+}
+
+impl EntitySet {
+    /// A strong entity set with the given key attribute names.
+    pub fn new(
+        name: impl Into<String>,
+        attributes: Vec<Attribute>,
+        key: Vec<&str>,
+    ) -> EntitySet {
+        EntitySet {
+            name: name.into(),
+            attributes,
+            key: key.into_iter().map(String::from).collect(),
+            parent: None,
+            specialization: Specialization::default(),
+            weak: None,
+            description: None,
+        }
+    }
+
+    /// A subclass of `parent` adding the given attributes.
+    pub fn subclass_of(
+        name: impl Into<String>,
+        parent: impl Into<String>,
+        attributes: Vec<Attribute>,
+    ) -> EntitySet {
+        EntitySet {
+            name: name.into(),
+            attributes,
+            key: Vec::new(),
+            parent: Some(parent.into()),
+            specialization: Specialization::default(),
+            weak: None,
+            description: None,
+        }
+    }
+
+    /// A weak entity set owned by `owner` through `identifying_relationship`,
+    /// with `key` as its partial key (discriminator).
+    pub fn weak(
+        name: impl Into<String>,
+        owner: impl Into<String>,
+        identifying_relationship: impl Into<String>,
+        attributes: Vec<Attribute>,
+        key: Vec<&str>,
+    ) -> EntitySet {
+        EntitySet {
+            name: name.into(),
+            attributes,
+            key: key.into_iter().map(String::from).collect(),
+            parent: None,
+            specialization: Specialization::default(),
+            weak: None,
+            description: None,
+        }
+        .into_weak(owner, identifying_relationship)
+    }
+
+    fn into_weak(mut self, owner: impl Into<String>, rel: impl Into<String>) -> EntitySet {
+        self.weak = Some(WeakInfo {
+            owner: owner.into(),
+            identifying_relationship: rel.into(),
+        });
+        self
+    }
+
+    /// Builder: set specialization properties (on a superclass).
+    pub fn with_specialization(mut self, total: bool, disjoint: bool) -> EntitySet {
+        self.specialization = Specialization { total, disjoint };
+        self
+    }
+
+    /// Builder: attach a description.
+    pub fn described(mut self, text: impl Into<String>) -> EntitySet {
+        self.description = Some(text.into());
+        self
+    }
+
+    pub fn is_weak(&self) -> bool {
+        self.weak.is_some()
+    }
+
+    pub fn is_subclass(&self) -> bool {
+        self.parent.is_some()
+    }
+
+    /// Attribute lookup by name (own attributes only).
+    pub fn attribute(&self, name: &str) -> Option<&Attribute> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+}
+
+/// One end of a (binary) relationship.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelEnd {
+    pub entity: String,
+    /// Role name (needed for self-relationships, useful everywhere).
+    pub role: Option<String>,
+    pub cardinality: Cardinality,
+    pub participation: Participation,
+}
+
+impl RelEnd {
+    pub fn many(entity: impl Into<String>) -> RelEnd {
+        RelEnd {
+            entity: entity.into(),
+            role: None,
+            cardinality: Cardinality::Many,
+            participation: Participation::Partial,
+        }
+    }
+
+    pub fn one(entity: impl Into<String>) -> RelEnd {
+        RelEnd {
+            entity: entity.into(),
+            role: None,
+            cardinality: Cardinality::One,
+            participation: Participation::Partial,
+        }
+    }
+
+    pub fn total(mut self) -> RelEnd {
+        self.participation = Participation::Total;
+        self
+    }
+
+    pub fn with_role(mut self, role: impl Into<String>) -> RelEnd {
+        self.role = Some(role.into());
+        self
+    }
+}
+
+/// A binary relationship set between two entity sets, optionally carrying
+/// its own (descriptive) attributes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relationship {
+    pub name: String,
+    pub from: RelEnd,
+    pub to: RelEnd,
+    pub attributes: Vec<Attribute>,
+    pub description: Option<String>,
+}
+
+impl Relationship {
+    pub fn new(name: impl Into<String>, from: RelEnd, to: RelEnd) -> Relationship {
+        Relationship { name: name.into(), from, to, attributes: Vec::new(), description: None }
+    }
+
+    /// Builder: attach relationship attributes.
+    pub fn with_attributes(mut self, attributes: Vec<Attribute>) -> Relationship {
+        self.attributes = attributes;
+        self
+    }
+
+    pub fn described(mut self, text: impl Into<String>) -> Relationship {
+        self.description = Some(text.into());
+        self
+    }
+
+    /// Is this many-to-many?
+    pub fn is_many_to_many(&self) -> bool {
+        self.from.cardinality == Cardinality::Many && self.to.cardinality == Cardinality::Many
+    }
+
+    /// Is this many-to-one (in either direction)?
+    pub fn is_many_to_one(&self) -> bool {
+        self.from.cardinality != self.to.cardinality
+    }
+
+    /// The end with cardinality Many in a many-to-one relationship
+    /// (the side a folded FK lives on).
+    pub fn many_end(&self) -> Option<&RelEnd> {
+        match (self.from.cardinality, self.to.cardinality) {
+            (Cardinality::Many, Cardinality::One) => Some(&self.from),
+            (Cardinality::One, Cardinality::Many) => Some(&self.to),
+            _ => None,
+        }
+    }
+
+    /// The end with cardinality One in a many-to-one relationship.
+    pub fn one_end(&self) -> Option<&RelEnd> {
+        match (self.from.cardinality, self.to.cardinality) {
+            (Cardinality::Many, Cardinality::One) => Some(&self.to),
+            (Cardinality::One, Cardinality::Many) => Some(&self.from),
+            _ => None,
+        }
+    }
+
+    /// The opposite end from `entity` (for self-relationships returns `to`).
+    pub fn other_end(&self, entity: &str) -> Option<&RelEnd> {
+        if self.from.entity == entity {
+            Some(&self.to)
+        } else if self.to.entity == entity {
+            Some(&self.from)
+        } else {
+            None
+        }
+    }
+
+    /// Does `entity` participate in this relationship?
+    pub fn involves(&self, entity: &str) -> bool {
+        self.from.entity == entity || self.to.entity == entity
+    }
+}
+
+/// A validated E/R schema.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ErSchema {
+    entities: Vec<EntitySet>,
+    relationships: Vec<Relationship>,
+}
+
+impl ErSchema {
+    pub fn new() -> ErSchema {
+        ErSchema::default()
+    }
+
+    /// Add an entity set (no cross-reference validation yet; call
+    /// [`ErSchema::validate`] when the schema is complete).
+    pub fn add_entity(&mut self, e: EntitySet) -> ModelResult<()> {
+        if self.entity(&e.name).is_some() {
+            return Err(ModelError::DuplicateEntity(e.name));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for a in &e.attributes {
+            if !seen.insert(a.name.as_str()) {
+                return Err(ModelError::DuplicateAttribute {
+                    owner: e.name.clone(),
+                    attribute: a.name.clone(),
+                });
+            }
+        }
+        self.entities.push(e);
+        Ok(())
+    }
+
+    /// Add a relationship.
+    pub fn add_relationship(&mut self, r: Relationship) -> ModelResult<()> {
+        if self.relationship(&r.name).is_some() {
+            return Err(ModelError::DuplicateRelationship(r.name));
+        }
+        self.relationships.push(r);
+        Ok(())
+    }
+
+    /// Remove an entity set (used by schema evolution). Fails if referenced.
+    pub fn remove_entity(&mut self, name: &str) -> ModelResult<EntitySet> {
+        if self.relationships.iter().any(|r| r.involves(name)) {
+            return Err(ModelError::Invalid(format!(
+                "entity '{name}' still participates in relationships"
+            )));
+        }
+        if self.entities.iter().any(|e| e.parent.as_deref() == Some(name)) {
+            return Err(ModelError::Invalid(format!("entity '{name}' still has subclasses")));
+        }
+        let pos = self
+            .entities
+            .iter()
+            .position(|e| e.name == name)
+            .ok_or_else(|| ModelError::UnknownEntity(name.to_string()))?;
+        Ok(self.entities.remove(pos))
+    }
+
+    /// Remove a relationship (used by schema evolution).
+    pub fn remove_relationship(&mut self, name: &str) -> ModelResult<Relationship> {
+        if let Some(e) = self
+            .entities
+            .iter()
+            .find(|e| e.weak.as_ref().map(|w| w.identifying_relationship == name).unwrap_or(false))
+        {
+            return Err(ModelError::Invalid(format!(
+                "relationship '{name}' identifies weak entity '{}'",
+                e.name
+            )));
+        }
+        let pos = self
+            .relationships
+            .iter()
+            .position(|r| r.name == name)
+            .ok_or_else(|| ModelError::UnknownRelationship(name.to_string()))?;
+        Ok(self.relationships.remove(pos))
+    }
+
+    pub fn entities(&self) -> &[EntitySet] {
+        &self.entities
+    }
+
+    pub fn relationships(&self) -> &[Relationship] {
+        &self.relationships
+    }
+
+    pub fn entity(&self, name: &str) -> Option<&EntitySet> {
+        self.entities.iter().find(|e| e.name == name)
+    }
+
+    pub fn entity_mut(&mut self, name: &str) -> Option<&mut EntitySet> {
+        self.entities.iter_mut().find(|e| e.name == name)
+    }
+
+    pub fn require_entity(&self, name: &str) -> ModelResult<&EntitySet> {
+        self.entity(name).ok_or_else(|| ModelError::UnknownEntity(name.to_string()))
+    }
+
+    pub fn relationship(&self, name: &str) -> Option<&Relationship> {
+        self.relationships.iter().find(|r| r.name == name)
+    }
+
+    pub fn relationship_mut(&mut self, name: &str) -> Option<&mut Relationship> {
+        self.relationships.iter_mut().find(|r| r.name == name)
+    }
+
+    pub fn require_relationship(&self, name: &str) -> ModelResult<&Relationship> {
+        self.relationship(name).ok_or_else(|| ModelError::UnknownRelationship(name.to_string()))
+    }
+
+    /// Direct subclasses of an entity set.
+    pub fn subclasses(&self, name: &str) -> Vec<&EntitySet> {
+        self.entities.iter().filter(|e| e.parent.as_deref() == Some(name)).collect()
+    }
+
+    /// All transitive subclasses (not including `name` itself).
+    pub fn descendants(&self, name: &str) -> Vec<&EntitySet> {
+        let mut out = Vec::new();
+        let mut stack = vec![name.to_string()];
+        while let Some(cur) = stack.pop() {
+            for sub in self.subclasses(&cur) {
+                stack.push(sub.name.clone());
+                out.push(sub);
+            }
+        }
+        out
+    }
+
+    /// The root of the ISA hierarchy containing `name` (itself if strong).
+    pub fn hierarchy_root(&self, name: &str) -> ModelResult<&EntitySet> {
+        let mut cur = self.require_entity(name)?;
+        let mut hops = 0;
+        while let Some(parent) = &cur.parent {
+            cur = self.require_entity(parent)?;
+            hops += 1;
+            if hops > self.entities.len() {
+                return Err(ModelError::InheritanceCycle(name.to_string()));
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Chain from the hierarchy root down to `name`, inclusive.
+    pub fn ancestry(&self, name: &str) -> ModelResult<Vec<&EntitySet>> {
+        let mut chain = vec![self.require_entity(name)?];
+        let mut hops = 0;
+        while let Some(parent) = &chain.last().expect("nonempty").parent {
+            chain.push(self.require_entity(parent)?);
+            hops += 1;
+            if hops > self.entities.len() {
+                return Err(ModelError::InheritanceCycle(name.to_string()));
+            }
+        }
+        chain.reverse();
+        Ok(chain)
+    }
+
+    /// All attributes of `name` including inherited ones, root-first.
+    pub fn all_attributes(&self, name: &str) -> ModelResult<Vec<&Attribute>> {
+        Ok(self.ancestry(name)?.into_iter().flat_map(|e| e.attributes.iter()).collect())
+    }
+
+    /// Key attribute names of `name`: inherited from the hierarchy root;
+    /// for weak entities, the owner's key (recursively) plus the partial key.
+    pub fn full_key(&self, name: &str) -> ModelResult<Vec<String>> {
+        let root = self.hierarchy_root(name)?;
+        match &root.weak {
+            None => Ok(root.key.clone()),
+            Some(w) => {
+                let mut key = self.full_key(&w.owner)?;
+                key.extend(root.key.iter().cloned());
+                Ok(key)
+            }
+        }
+    }
+
+    /// Relationships in which `name` (not its super/subclasses) participates.
+    pub fn relationships_of(&self, name: &str) -> Vec<&Relationship> {
+        self.relationships.iter().filter(|r| r.involves(name)).collect()
+    }
+
+    /// Validate the complete schema.
+    pub fn validate(&self) -> ModelResult<()> {
+        for e in &self.entities {
+            // Parent must exist and the chain must be acyclic.
+            if let Some(p) = &e.parent {
+                self.require_entity(p)?;
+                self.ancestry(&e.name)?;
+                if !e.key.is_empty() {
+                    return Err(ModelError::SubclassWithKey(e.name.clone()));
+                }
+                if e.weak.is_some() {
+                    return Err(ModelError::InvalidWeakEntity {
+                        entity: e.name.clone(),
+                        reason: "a weak entity set cannot also be a subclass".into(),
+                    });
+                }
+            } else if let Some(w) = &e.weak {
+                let owner = self.require_entity(&w.owner)?;
+                if owner.name == e.name {
+                    return Err(ModelError::InvalidWeakEntity {
+                        entity: e.name.clone(),
+                        reason: "weak entity cannot own itself".into(),
+                    });
+                }
+                let rel = self.require_relationship(&w.identifying_relationship)?;
+                if !(rel.involves(&e.name) && rel.involves(&w.owner)) {
+                    return Err(ModelError::InvalidWeakEntity {
+                        entity: e.name.clone(),
+                        reason: format!(
+                            "identifying relationship '{}' must connect '{}' and owner '{}'",
+                            rel.name, e.name, w.owner
+                        ),
+                    });
+                }
+                if e.key.is_empty() {
+                    return Err(ModelError::MissingKey(e.name.clone()));
+                }
+            } else if e.key.is_empty() {
+                return Err(ModelError::MissingKey(e.name.clone()));
+            }
+            // Key attributes must exist and be required, single-valued.
+            for k in &e.key {
+                let a = e.attribute(k).ok_or_else(|| ModelError::UnknownAttribute {
+                    owner: e.name.clone(),
+                    attribute: k.clone(),
+                })?;
+                if a.optional || a.multi_valued {
+                    return Err(ModelError::Invalid(format!(
+                        "key attribute '{}.{}' must be required and single-valued",
+                        e.name, k
+                    )));
+                }
+            }
+        }
+        for r in &self.relationships {
+            self.require_entity(&r.from.entity).map_err(|_| ModelError::InvalidRelationship {
+                relationship: r.name.clone(),
+                reason: format!("unknown entity '{}'", r.from.entity),
+            })?;
+            self.require_entity(&r.to.entity).map_err(|_| ModelError::InvalidRelationship {
+                relationship: r.name.clone(),
+                reason: format!("unknown entity '{}'", r.to.entity),
+            })?;
+            if r.from.entity == r.to.entity && r.from.role == r.to.role {
+                return Err(ModelError::InvalidRelationship {
+                    relationship: r.name.clone(),
+                    reason: "self-relationship requires distinct role names".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::ScalarType;
+    use crate::fixtures::university;
+
+    #[test]
+    fn university_schema_validates() {
+        university().validate().unwrap();
+    }
+
+    #[test]
+    fn inherited_attributes_and_keys() {
+        let s = university();
+        let attrs = s.all_attributes("student").unwrap();
+        let names: Vec<&str> = attrs.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["id", "name", "address", "phone", "tot_credits"]);
+        assert_eq!(s.full_key("student").unwrap(), vec!["id"]);
+        assert_eq!(s.hierarchy_root("instructor").unwrap().name, "person");
+    }
+
+    #[test]
+    fn weak_entity_full_key_includes_owner() {
+        let s = university();
+        assert_eq!(
+            s.full_key("section").unwrap(),
+            vec!["course_id", "sec_id", "semester", "year"]
+        );
+    }
+
+    #[test]
+    fn descendants_transitive() {
+        let mut s = university();
+        s.add_entity(EntitySet::subclass_of("ta", "student", vec![])).unwrap();
+        let d: Vec<&str> = s.descendants("person").iter().map(|e| e.name.as_str()).collect();
+        assert!(d.contains(&"instructor") && d.contains(&"student") && d.contains(&"ta"));
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut s = ErSchema::new();
+        s.add_entity(EntitySet::subclass_of("a", "b", vec![])).unwrap();
+        s.add_entity(EntitySet::subclass_of("b", "a", vec![])).unwrap();
+        assert!(matches!(s.validate(), Err(ModelError::InheritanceCycle(_))));
+    }
+
+    #[test]
+    fn subclass_with_key_rejected() {
+        let mut s = ErSchema::new();
+        s.add_entity(EntitySet::new(
+            "p",
+            vec![Attribute::scalar("id", ScalarType::Int)],
+            vec!["id"],
+        ))
+        .unwrap();
+        let mut sub =
+            EntitySet::subclass_of("c", "p", vec![Attribute::scalar("x", ScalarType::Int)]);
+        sub.key = vec!["x".into()];
+        s.add_entity(sub).unwrap();
+        assert!(matches!(s.validate(), Err(ModelError::SubclassWithKey(_))));
+    }
+
+    #[test]
+    fn missing_key_rejected() {
+        let mut s = ErSchema::new();
+        s.add_entity(EntitySet::new("p", vec![Attribute::scalar("x", ScalarType::Int)], vec![]))
+            .unwrap();
+        assert!(matches!(s.validate(), Err(ModelError::MissingKey(_))));
+    }
+
+    #[test]
+    fn multivalued_key_rejected() {
+        let mut s = ErSchema::new();
+        s.add_entity(EntitySet::new(
+            "p",
+            vec![Attribute::scalar("id", ScalarType::Int).multi()],
+            vec!["id"],
+        ))
+        .unwrap();
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn weak_entity_requires_consistent_identifying_relationship() {
+        let mut s = ErSchema::new();
+        s.add_entity(EntitySet::new(
+            "owner",
+            vec![Attribute::scalar("id", ScalarType::Int)],
+            vec!["id"],
+        ))
+        .unwrap();
+        s.add_entity(EntitySet::new(
+            "other",
+            vec![Attribute::scalar("id", ScalarType::Int)],
+            vec!["id"],
+        ))
+        .unwrap();
+        // Identifying relationship connects the wrong pair.
+        s.add_relationship(Relationship::new(
+            "ident",
+            RelEnd::many("other").total(),
+            RelEnd::one("owner"),
+        ))
+        .unwrap();
+        s.add_entity(EntitySet::weak(
+            "w",
+            "owner",
+            "ident",
+            vec![Attribute::scalar("d", ScalarType::Int)],
+            vec!["d"],
+        ))
+        .unwrap();
+        assert!(matches!(s.validate(), Err(ModelError::InvalidWeakEntity { .. })));
+    }
+
+    #[test]
+    fn self_relationship_needs_roles() {
+        let mut s = ErSchema::new();
+        s.add_entity(EntitySet::new(
+            "emp",
+            vec![Attribute::scalar("id", ScalarType::Int)],
+            vec!["id"],
+        ))
+        .unwrap();
+        s.add_relationship(Relationship::new(
+            "manages",
+            RelEnd::many("emp"),
+            RelEnd::one("emp"),
+        ))
+        .unwrap();
+        assert!(s.validate().is_err());
+
+        let mut s2 = ErSchema::new();
+        s2.add_entity(EntitySet::new(
+            "emp",
+            vec![Attribute::scalar("id", ScalarType::Int)],
+            vec!["id"],
+        ))
+        .unwrap();
+        s2.add_relationship(Relationship::new(
+            "manages",
+            RelEnd::many("emp").with_role("report"),
+            RelEnd::one("emp").with_role("manager"),
+        ))
+        .unwrap();
+        s2.validate().unwrap();
+    }
+
+    #[test]
+    fn many_to_one_ends() {
+        let s = university();
+        let advisor = s.relationship("advisor").unwrap();
+        assert!(advisor.is_many_to_one());
+        assert_eq!(advisor.many_end().unwrap().entity, "student");
+        assert_eq!(advisor.one_end().unwrap().entity, "instructor");
+        let takes = s.relationship("takes").unwrap();
+        assert!(takes.is_many_to_many());
+        assert!(takes.many_end().is_none());
+    }
+
+    #[test]
+    fn remove_entity_guarded_by_references() {
+        let mut s = university();
+        assert!(s.remove_entity("person").is_err(), "has subclasses");
+        assert!(s.remove_entity("course").is_err(), "participates in sec_of");
+    }
+
+    #[test]
+    fn remove_relationship_guards_weak_identity() {
+        let mut s = university();
+        assert!(s.remove_relationship("sec_of").is_err());
+        assert!(s.remove_relationship("advisor").is_ok());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = university();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ErSchema = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

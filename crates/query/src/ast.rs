@@ -1,0 +1,431 @@
+//! The ERQL abstract syntax tree.
+
+use erbium_model::{
+    AttrType, Attribute, Cardinality, EntitySet, ModelResult, Participation, RelEnd, Relationship,
+    ScalarType,
+};
+
+/// A parsed ERQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateEntity(CreateEntity),
+    CreateRelationship(CreateRelationship),
+    DropEntity(String),
+    DropRelationship(String),
+    Select(SelectStmt),
+    /// `EXPLAIN SELECT ...` — show the physical plan chosen under the
+    /// installed mapping instead of executing.
+    Explain(SelectStmt),
+}
+
+/// `CREATE [WEAK] ENTITY name [EXTENDS parent] [OWNED BY owner VIA rel]
+/// (attr defs) [SPECIALIZATION ...] [DESCRIPTION '...']`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateEntity {
+    pub name: String,
+    pub parent: Option<String>,
+    /// `(owner, identifying relationship)` for weak entity sets.
+    pub weak: Option<(String, String)>,
+    pub attributes: Vec<AttrDef>,
+    /// Specialization annotations on a superclass (set when declared).
+    pub total: Option<bool>,
+    pub disjoint: Option<bool>,
+    pub description: Option<String>,
+}
+
+/// One attribute definition in DDL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrDef {
+    pub name: String,
+    pub ty: AttrDefType,
+    pub key: bool,
+    pub multi_valued: bool,
+    pub nullable: bool,
+    pub description: Option<String>,
+    pub tags: Vec<String>,
+}
+
+/// Attribute types in DDL: a named scalar or an inline composite.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrDefType {
+    Scalar(String),
+    Composite(Vec<AttrDef>),
+}
+
+/// `CREATE RELATIONSHIP name FROM e1 [ROLE r] <MANY|ONE> [TOTAL|PARTIAL]
+/// TO e2 [ROLE r] <MANY|ONE> [TOTAL|PARTIAL] [(attrs)] [DESCRIPTION '...']`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateRelationship {
+    pub name: String,
+    pub from: EndDef,
+    pub to: EndDef,
+    pub attributes: Vec<AttrDef>,
+    pub description: Option<String>,
+}
+
+/// One relationship end in DDL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndDef {
+    pub entity: String,
+    pub role: Option<String>,
+    pub many: bool,
+    pub total: bool,
+}
+
+/// A SELECT statement over the logical E/R schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: TableRef,
+    pub joins: Vec<JoinClause>,
+    pub where_clause: Option<QExpr>,
+    /// Explicit GROUP BY (optional — inferred from the select list when
+    /// aggregates or NEST items are present and this is empty).
+    pub group_by: Vec<QExpr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<usize>,
+}
+
+/// An entity reference with an optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub entity: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this reference binds in the query scope.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.entity)
+    }
+}
+
+/// `JOIN entity [alias] [VIA relationship] [ON expr]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    pub table: TableRef,
+    /// Relationship name — the paper's headline query extension.
+    pub via: Option<String>,
+    /// Explicit join predicate (standard SQL fallback).
+    pub on: Option<QExpr>,
+    pub left: bool,
+}
+
+/// One item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// Plain expression (may contain aggregates).
+    Expr { expr: QExpr, alias: Option<String> },
+    /// `NEST(e1 [AS n1], ...) AS name` — hierarchical output.
+    Nest { items: Vec<(QExpr, Option<String>)>, alias: Option<String> },
+    /// `*` or `alias.*`.
+    Wildcard { qualifier: Option<String> },
+}
+
+/// Sort specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: QExpr,
+    pub desc: bool,
+}
+
+/// Literals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+/// Binary operators at the language level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// Aggregate function names at the language level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QAggFunc {
+    Count,
+    CountStar,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    ArrayAgg,
+}
+
+/// Query-level scalar expressions, resolved against the E/R schema by the
+/// mapping layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QExpr {
+    /// `attr` or `alias.attr`.
+    Column { qualifier: Option<String>, name: String },
+    /// Composite-attribute field access: `alias.attr.field`.
+    FieldAccess { base: Box<QExpr>, field: String },
+    Lit(Literal),
+    Binary { op: QBinOp, left: Box<QExpr>, right: Box<QExpr> },
+    Not(Box<QExpr>),
+    Neg(Box<QExpr>),
+    /// Aggregate call; `distinct` only meaningful for COUNT.
+    Agg { func: QAggFunc, arg: Option<Box<QExpr>>, distinct: bool },
+    /// Scalar function call by name (resolved by the mapping layer).
+    Call { name: String, args: Vec<QExpr> },
+    /// `UNNEST(multi_valued_attr)` in the select list.
+    Unnest(Box<QExpr>),
+    InList { expr: Box<QExpr>, list: Vec<Literal> },
+    IsNull(Box<QExpr>),
+    IsNotNull(Box<QExpr>),
+}
+
+impl QExpr {
+    pub fn column(name: impl Into<String>) -> QExpr {
+        QExpr::Column { qualifier: None, name: name.into() }
+    }
+
+    pub fn qualified(qualifier: impl Into<String>, name: impl Into<String>) -> QExpr {
+        QExpr::Column { qualifier: Some(qualifier.into()), name: name.into() }
+    }
+
+    /// Does this expression contain an aggregate call?
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            QExpr::Agg { .. } => true,
+            QExpr::Column { .. } | QExpr::Lit(_) => false,
+            QExpr::FieldAccess { base, .. } => base.contains_aggregate(),
+            QExpr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            QExpr::Not(e) | QExpr::Neg(e) | QExpr::Unnest(e) => e.contains_aggregate(),
+            QExpr::Call { args, .. } => args.iter().any(QExpr::contains_aggregate),
+            QExpr::InList { expr, .. } => expr.contains_aggregate(),
+            QExpr::IsNull(e) | QExpr::IsNotNull(e) => e.contains_aggregate(),
+        }
+    }
+
+    /// Does this expression contain an `UNNEST` call?
+    pub fn contains_unnest(&self) -> bool {
+        match self {
+            QExpr::Unnest(_) => true,
+            QExpr::Column { .. } | QExpr::Lit(_) => false,
+            QExpr::FieldAccess { base, .. } => base.contains_unnest(),
+            QExpr::Binary { left, right, .. } => left.contains_unnest() || right.contains_unnest(),
+            QExpr::Not(e) | QExpr::Neg(e) => e.contains_unnest(),
+            QExpr::Call { args, .. } => args.iter().any(QExpr::contains_unnest),
+            QExpr::Agg { arg, .. } => arg.as_ref().map(|a| a.contains_unnest()).unwrap_or(false),
+            QExpr::InList { expr, .. } => expr.contains_unnest(),
+            QExpr::IsNull(e) | QExpr::IsNotNull(e) => e.contains_unnest(),
+        }
+    }
+}
+
+// ---- DDL → model conversions -------------------------------------------------
+
+impl AttrDef {
+    /// Convert to a model [`Attribute`].
+    pub fn to_attribute(&self) -> ModelResult<Attribute> {
+        let ty = match &self.ty {
+            AttrDefType::Scalar(name) => AttrType::Scalar(parse_scalar(name)?),
+            AttrDefType::Composite(fields) => AttrType::Composite(
+                fields.iter().map(AttrDef::to_attribute).collect::<ModelResult<_>>()?,
+            ),
+        };
+        Ok(Attribute {
+            name: self.name.clone(),
+            ty,
+            multi_valued: self.multi_valued,
+            optional: self.nullable,
+            description: self.description.clone(),
+            tags: self.tags.clone(),
+        })
+    }
+}
+
+fn parse_scalar(name: &str) -> ModelResult<ScalarType> {
+    match name.to_ascii_lowercase().as_str() {
+        "int" | "integer" | "bigint" => Ok(ScalarType::Int),
+        "float" | "double" | "real" => Ok(ScalarType::Float),
+        "text" | "varchar" | "string" => Ok(ScalarType::Text),
+        "bool" | "boolean" => Ok(ScalarType::Bool),
+        other => Err(erbium_model::ModelError::Invalid(format!("unknown scalar type '{other}'"))),
+    }
+}
+
+impl CreateEntity {
+    /// Convert to a model [`EntitySet`].
+    pub fn to_entity_set(&self) -> ModelResult<EntitySet> {
+        let attributes: Vec<Attribute> =
+            self.attributes.iter().map(AttrDef::to_attribute).collect::<ModelResult<_>>()?;
+        let key: Vec<String> =
+            self.attributes.iter().filter(|a| a.key).map(|a| a.name.clone()).collect();
+        let mut e = EntitySet {
+            name: self.name.clone(),
+            attributes,
+            key,
+            parent: self.parent.clone(),
+            specialization: erbium_model::Specialization {
+                total: self.total.unwrap_or(false),
+                disjoint: self.disjoint.unwrap_or(true),
+            },
+            weak: self.weak.as_ref().map(|(owner, rel)| erbium_model::WeakInfo {
+                owner: owner.clone(),
+                identifying_relationship: rel.clone(),
+            }),
+            description: self.description.clone(),
+        };
+        if e.is_subclass() {
+            e.key.clear(); // keys are inherited; tolerate stray KEY markers
+        }
+        Ok(e)
+    }
+}
+
+impl CreateRelationship {
+    /// Convert to a model [`Relationship`].
+    pub fn to_relationship(&self) -> ModelResult<Relationship> {
+        let end = |d: &EndDef| RelEnd {
+            entity: d.entity.clone(),
+            role: d.role.clone(),
+            cardinality: if d.many { Cardinality::Many } else { Cardinality::One },
+            participation: if d.total { Participation::Total } else { Participation::Partial },
+        };
+        Ok(Relationship {
+            name: self.name.clone(),
+            from: end(&self.from),
+            to: end(&self.to),
+            attributes: self
+                .attributes
+                .iter()
+                .map(AttrDef::to_attribute)
+                .collect::<ModelResult<_>>()?,
+            description: self.description.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erbium_model::Cardinality;
+
+    fn attr(name: &str, ty: &str) -> AttrDef {
+        AttrDef {
+            name: name.into(),
+            ty: AttrDefType::Scalar(ty.into()),
+            key: false,
+            multi_valued: false,
+            nullable: false,
+            description: None,
+            tags: vec![],
+        }
+    }
+
+    #[test]
+    fn scalar_type_aliases() {
+        for (name, expected) in [
+            ("int", ScalarType::Int),
+            ("INTEGER", ScalarType::Int),
+            ("bigint", ScalarType::Int),
+            ("float", ScalarType::Float),
+            ("DOUBLE", ScalarType::Float),
+            ("varchar", ScalarType::Text),
+            ("string", ScalarType::Text),
+            ("boolean", ScalarType::Bool),
+        ] {
+            let a = attr("x", name).to_attribute().unwrap();
+            assert_eq!(a.ty, AttrType::Scalar(expected), "{name}");
+        }
+        assert!(attr("x", "jsonb").to_attribute().is_err());
+    }
+
+    #[test]
+    fn nested_composite_conversion() {
+        let mut inner = attr("lat", "float");
+        inner.multi_valued = true;
+        let def = AttrDef {
+            name: "geo".into(),
+            ty: AttrDefType::Composite(vec![inner]),
+            key: false,
+            multi_valued: false,
+            nullable: true,
+            description: Some("where".into()),
+            tags: vec!["pii".into()],
+        };
+        let a = def.to_attribute().unwrap();
+        assert!(a.optional && a.has_tag("pii"));
+        match &a.ty {
+            AttrType::Composite(fields) => assert!(fields[0].multi_valued),
+            other => panic!("expected composite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subclass_key_markers_tolerated_but_cleared() {
+        let mut id = attr("id", "int");
+        id.key = true;
+        let ce = CreateEntity {
+            name: "child".into(),
+            parent: Some("parent".into()),
+            weak: None,
+            attributes: vec![id],
+            total: None,
+            disjoint: None,
+            description: None,
+        };
+        let es = ce.to_entity_set().unwrap();
+        assert!(es.key.is_empty(), "subclasses inherit the key");
+        assert!(es.is_subclass());
+    }
+
+    #[test]
+    fn relationship_conversion_cardinalities() {
+        let cr = CreateRelationship {
+            name: "r".into(),
+            from: EndDef { entity: "a".into(), role: Some("x".into()), many: true, total: true },
+            to: EndDef { entity: "b".into(), role: None, many: false, total: false },
+            attributes: vec![attr("since", "int")],
+            description: Some("d".into()),
+        };
+        let r = cr.to_relationship().unwrap();
+        assert_eq!(r.from.cardinality, Cardinality::Many);
+        assert_eq!(r.to.cardinality, Cardinality::One);
+        assert_eq!(r.from.participation, erbium_model::Participation::Total);
+        assert_eq!(r.from.role.as_deref(), Some("x"));
+        assert_eq!(r.attributes.len(), 1);
+        assert!(r.is_many_to_one());
+    }
+
+    #[test]
+    fn weak_entity_conversion() {
+        let mut d = attr("no", "int");
+        d.key = true;
+        let ce = CreateEntity {
+            name: "w".into(),
+            parent: None,
+            weak: Some(("owner".into(), "ident".into())),
+            attributes: vec![d],
+            total: None,
+            disjoint: None,
+            description: None,
+        };
+        let es = ce.to_entity_set().unwrap();
+        assert!(es.is_weak());
+        assert_eq!(es.weak.as_ref().unwrap().owner, "owner");
+        assert_eq!(es.key, vec!["no"]);
+    }
+}

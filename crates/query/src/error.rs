@@ -1,0 +1,27 @@
+//! Parse errors.
+
+use std::fmt;
+
+/// A lexing or parsing failure, with the byte offset where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl ParseError {
+    pub fn new(message: impl Into<String>, offset: usize) -> ParseError {
+        ParseError { message: message.into(), offset }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for parsing.
+pub type ParseResult<T> = Result<T, ParseError>;

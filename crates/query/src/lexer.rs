@@ -1,0 +1,263 @@
+//! Hand-written lexer for ERQL.
+
+use crate::error::{ParseError, ParseResult};
+
+/// Token kinds. Keywords are recognized case-insensitively and carried as
+/// `Keyword` with an upper-cased payload; everything else that looks like a
+/// name is an `Ident`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Keyword(String),
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    // punctuation
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// A token plus its source offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub token: Token,
+    pub offset: usize,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "DISTINCT", "FROM", "JOIN", "LEFT", "VIA", "ON", "WHERE", "AND", "OR", "NOT",
+    "ORDER", "GROUP", "BY", "ASC", "DESC", "LIMIT", "AS", "NEST", "IN", "IS", "NULL", "TRUE",
+    "FALSE", "CREATE", "DROP", "ENTITY", "WEAK", "OWNED", "EXTENDS", "RELATIONSHIP", "TO",
+    "ONE", "MANY", "TOTAL", "PARTIAL", "DISJOINT", "OVERLAPPING", "KEY", "MULTIVALUED",
+    "NULLABLE", "DESCRIPTION", "TAG", "ROLE", "COUNT", "SUM", "AVG", "MIN", "MAX", "ARRAY_AGG",
+    "UNNEST", "EXPLAIN",
+];
+
+/// Tokenize the whole input.
+pub fn lex(input: &str) -> ParseResult<Vec<Spanned>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Spanned { token: Token::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { token: Token::RParen, offset: i });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { token: Token::Comma, offset: i });
+                i += 1;
+            }
+            ';' => {
+                out.push(Spanned { token: Token::Semi, offset: i });
+                i += 1;
+            }
+            '.' => {
+                out.push(Spanned { token: Token::Dot, offset: i });
+                i += 1;
+            }
+            '*' => {
+                out.push(Spanned { token: Token::Star, offset: i });
+                i += 1;
+            }
+            '+' => {
+                out.push(Spanned { token: Token::Plus, offset: i });
+                i += 1;
+            }
+            '-' => {
+                out.push(Spanned { token: Token::Minus, offset: i });
+                i += 1;
+            }
+            '/' => {
+                out.push(Spanned { token: Token::Slash, offset: i });
+                i += 1;
+            }
+            '%' => {
+                out.push(Spanned { token: Token::Percent, offset: i });
+                i += 1;
+            }
+            '=' => {
+                out.push(Spanned { token: Token::Eq, offset: i });
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Spanned { token: Token::Ne, offset: i });
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::Le, offset: i });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Spanned { token: Token::Ne, offset: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Lt, offset: i });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::Ge, offset: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Gt, offset: i });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(ParseError::new("unterminated string literal", start)),
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Spanned { token: Token::Str(s), offset: start });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                let token = if is_float {
+                    Token::Float(
+                        text.parse()
+                            .map_err(|_| ParseError::new(format!("bad float '{text}'"), start))?,
+                    )
+                } else {
+                    Token::Int(
+                        text.parse()
+                            .map_err(|_| ParseError::new(format!("bad integer '{text}'"), start))?,
+                    )
+                };
+                out.push(Spanned { token, offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[start..i];
+                let upper = word.to_ascii_uppercase();
+                let token = if KEYWORDS.contains(&upper.as_str()) {
+                    Token::Keyword(upper)
+                } else {
+                    Token::Ident(word.to_string())
+                };
+                out.push(Spanned { token, offset: start });
+            }
+            other => {
+                return Err(ParseError::new(format!("unexpected character '{other}'"), i));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let toks = lex("select Select SELECT sel").unwrap();
+        assert_eq!(toks[0].token, Token::Keyword("SELECT".into()));
+        assert_eq!(toks[1].token, Token::Keyword("SELECT".into()));
+        assert_eq!(toks[2].token, Token::Keyword("SELECT".into()));
+        assert_eq!(toks[3].token, Token::Ident("sel".into()));
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let toks = lex("42 3.25 'it''s'").unwrap();
+        assert_eq!(toks[0].token, Token::Int(42));
+        assert_eq!(toks[1].token, Token::Float(3.25));
+        assert_eq!(toks[2].token, Token::Str("it's".into()));
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("= != <> <= >= < >").unwrap();
+        let kinds: Vec<&Token> = toks.iter().map(|t| &t.token).collect();
+        assert_eq!(
+            kinds,
+            vec![&Token::Eq, &Token::Ne, &Token::Ne, &Token::Le, &Token::Ge, &Token::Lt, &Token::Gt]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("a -- comment\n b").unwrap();
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn minus_vs_comment() {
+        let toks = lex("1 - 2").unwrap();
+        assert_eq!(toks[1].token, Token::Minus);
+    }
+}

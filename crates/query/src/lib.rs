@@ -1,0 +1,46 @@
+//! # erbium-query
+//!
+//! ERQL — the SQL-like language of ErbiumDB, spoken against the **logical
+//! E/R schema** rather than physical tables.
+//!
+//! The paper (Section 2) extends SQL in two ways, both supported here:
+//!
+//! 1. **Relationship joins** — `JOIN student VIA advisor` names the E/R
+//!    relationship connecting two entity sets instead of spelling out key
+//!    equalities (which differ per physical mapping);
+//! 2. **Hierarchical outputs** — `NEST(expr, ...) AS name` in the SELECT
+//!    clause builds nested results natively (the paper borrows Apache
+//!    DataFusion's syntax for this). `GROUP BY` is inferred from the
+//!    non-aggregate, non-nested select items, as the paper proposes.
+//!
+//! The DDL mirrors Figure 1(ii): `CREATE ENTITY` with composite and
+//! `MULTIVALUED` attributes, `EXTENDS` for specialization (with
+//! `TOTAL/PARTIAL` + `DISJOINT/OVERLAPPING` annotations), `CREATE WEAK
+//! ENTITY ... OWNED BY ... VIA ...`, and `CREATE RELATIONSHIP ... FROM e1
+//! <card> TO e2 <card>` with participation constraints, plus `DESCRIPTION`
+//! and `TAG` clauses for documentation and governance metadata.
+//!
+//! ```
+//! use erbium_query::parse;
+//! let stmts = parse(
+//!     "CREATE ENTITY person (
+//!          id int KEY,
+//!          name text TAG 'pii',
+//!          address (street text, city text) NULLABLE,
+//!          phone text MULTIVALUED
+//!      ) DESCRIPTION 'people on campus';
+//!      SELECT p.name, NEST(s.sec_id, s.year) AS sections
+//!      FROM person p JOIN section s VIA teaches
+//!      WHERE p.id = 42;",
+//! ).unwrap();
+//! assert_eq!(stmts.len(), 2);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::*;
+pub use error::{ParseError, ParseResult};
+pub use parser::{parse, parse_expression, parse_single};

@@ -1,0 +1,877 @@
+//! Recursive-descent parser for ERQL.
+
+use crate::ast::*;
+use crate::error::{ParseError, ParseResult};
+use crate::lexer::{lex, Spanned, Token};
+
+/// Parse a script of `;`-separated statements.
+pub fn parse(input: &str) -> ParseResult<Vec<Statement>> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    while !p.at_end() {
+        out.push(p.statement()?);
+        while p.eat(&Token::Semi) {}
+    }
+    Ok(out)
+}
+
+/// Parse exactly one statement.
+pub fn parse_single(input: &str) -> ParseResult<Statement> {
+    let mut stmts = parse(input)?;
+    match stmts.len() {
+        1 => Ok(stmts.pop().expect("checked")),
+        n => Err(ParseError::new(format!("expected exactly one statement, found {n}"), 0)),
+    }
+}
+
+/// Parse a standalone scalar expression (used in tests and by the advisor's
+/// workload templates).
+pub fn parse_expression(input: &str) -> ParseResult<QExpr> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    if !p.at_end() {
+        return Err(p.err("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map(|s| s.offset).unwrap_or_else(|| {
+            self.tokens.last().map(|s| s.offset + 1).unwrap_or(0)
+        })
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.offset())
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        match self.peek() {
+            Some(Token::Keyword(k)) if k == kw => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Keyword(k)) if k == kw)
+    }
+
+    fn expect(&mut self, t: &Token) -> ParseResult<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> ParseResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    /// Accept an identifier (or non-reserved keyword used as a name).
+    fn ident(&mut self) -> ParseResult<String> {
+        match self.peek().cloned() {
+            Some(Token::Ident(s)) => {
+                self.pos += 1;
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn string(&mut self) -> ParseResult<String> {
+        match self.peek().cloned() {
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected string literal, found {other:?}"))),
+        }
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    fn statement(&mut self) -> ParseResult<Statement> {
+        if self.peek_kw("CREATE") {
+            self.create()
+        } else if self.eat_kw("DROP") {
+            if self.eat_kw("ENTITY") {
+                Ok(Statement::DropEntity(self.ident()?))
+            } else if self.eat_kw("RELATIONSHIP") {
+                Ok(Statement::DropRelationship(self.ident()?))
+            } else {
+                Err(self.err("expected ENTITY or RELATIONSHIP after DROP"))
+            }
+        } else if self.peek_kw("SELECT") {
+            Ok(Statement::Select(self.select()?))
+        } else if self.eat_kw("EXPLAIN") {
+            Ok(Statement::Explain(self.select()?))
+        } else {
+            Err(self.err(format!("expected statement, found {:?}", self.peek())))
+        }
+    }
+
+    fn create(&mut self) -> ParseResult<Statement> {
+        self.expect_kw("CREATE")?;
+        let weak = self.eat_kw("WEAK");
+        if self.eat_kw("ENTITY") {
+            let name = self.ident()?;
+            let parent = if self.eat_kw("EXTENDS") { Some(self.ident()?) } else { None };
+            let weak_info = if self.eat_kw("OWNED") {
+                self.expect_kw("BY")?;
+                let owner = self.ident()?;
+                self.expect_kw("VIA")?;
+                let rel = self.ident()?;
+                Some((owner, rel))
+            } else {
+                None
+            };
+            if weak && weak_info.is_none() {
+                return Err(self.err("WEAK ENTITY requires OWNED BY ... VIA ..."));
+            }
+            self.expect(&Token::LParen)?;
+            let attributes = self.attr_defs()?;
+            self.expect(&Token::RParen)?;
+            let mut total = None;
+            let mut disjoint = None;
+            loop {
+                if self.eat_kw("TOTAL") {
+                    total = Some(true);
+                } else if self.eat_kw("PARTIAL") {
+                    total = Some(false);
+                } else if self.eat_kw("DISJOINT") {
+                    disjoint = Some(true);
+                } else if self.eat_kw("OVERLAPPING") {
+                    disjoint = Some(false);
+                } else {
+                    break;
+                }
+            }
+            let description =
+                if self.eat_kw("DESCRIPTION") { Some(self.string()?) } else { None };
+            Ok(Statement::CreateEntity(CreateEntity {
+                name,
+                parent,
+                weak: weak_info,
+                attributes,
+                total,
+                disjoint,
+                description,
+            }))
+        } else if self.eat_kw("RELATIONSHIP") {
+            let name = self.ident()?;
+            self.expect_kw("FROM")?;
+            let from = self.end_def()?;
+            self.expect_kw("TO")?;
+            let to = self.end_def()?;
+            let attributes = if self.eat(&Token::LParen) {
+                let a = self.attr_defs()?;
+                self.expect(&Token::RParen)?;
+                a
+            } else {
+                Vec::new()
+            };
+            let description =
+                if self.eat_kw("DESCRIPTION") { Some(self.string()?) } else { None };
+            Ok(Statement::CreateRelationship(CreateRelationship {
+                name,
+                from,
+                to,
+                attributes,
+                description,
+            }))
+        } else {
+            Err(self.err("expected ENTITY or RELATIONSHIP after CREATE"))
+        }
+    }
+
+    fn end_def(&mut self) -> ParseResult<EndDef> {
+        let entity = self.ident()?;
+        let role = if self.eat_kw("ROLE") { Some(self.ident()?) } else { None };
+        let many = if self.eat_kw("MANY") {
+            true
+        } else if self.eat_kw("ONE") {
+            false
+        } else {
+            return Err(self.err("expected MANY or ONE cardinality"));
+        };
+        let total = if self.eat_kw("TOTAL") {
+            true
+        } else {
+            self.eat_kw("PARTIAL");
+            false
+        };
+        Ok(EndDef { entity, role, many, total })
+    }
+
+    fn attr_defs(&mut self) -> ParseResult<Vec<AttrDef>> {
+        let mut out = Vec::new();
+        loop {
+            if matches!(self.peek(), Some(Token::RParen)) {
+                break;
+            }
+            out.push(self.attr_def()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn attr_def(&mut self) -> ParseResult<AttrDef> {
+        let name = self.ident()?;
+        let ty = if self.eat(&Token::LParen) {
+            let fields = self.attr_defs()?;
+            self.expect(&Token::RParen)?;
+            AttrDefType::Composite(fields)
+        } else {
+            AttrDefType::Scalar(self.ident()?)
+        };
+        let mut def = AttrDef {
+            name,
+            ty,
+            key: false,
+            multi_valued: false,
+            nullable: false,
+            description: None,
+            tags: Vec::new(),
+        };
+        loop {
+            if self.eat_kw("KEY") {
+                def.key = true;
+            } else if self.eat_kw("MULTIVALUED") {
+                def.multi_valued = true;
+            } else if self.eat_kw("NULLABLE") {
+                def.nullable = true;
+            } else if self.eat_kw("DESCRIPTION") {
+                def.description = Some(self.string()?);
+            } else if self.eat_kw("TAG") {
+                def.tags.push(self.string()?);
+            } else {
+                break;
+            }
+        }
+        Ok(def)
+    }
+
+    // ---- SELECT -------------------------------------------------------------
+
+    fn select(&mut self) -> ParseResult<SelectStmt> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut items = vec![self.select_item()?];
+        while self.eat(&Token::Comma) {
+            items.push(self.select_item()?);
+        }
+        self.expect_kw("FROM")?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let left = if self.peek_kw("LEFT") {
+                // LEFT JOIN
+                self.pos += 1;
+                self.expect_kw("JOIN")?;
+                true
+            } else if self.eat_kw("JOIN") {
+                false
+            } else {
+                break;
+            };
+            let table = self.table_ref()?;
+            let via = if self.eat_kw("VIA") { Some(self.ident()?) } else { None };
+            let on = if self.eat_kw("ON") { Some(self.expr()?) } else { None };
+            joins.push(JoinClause { table, via, on, left });
+        }
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.expr()?);
+            while self.eat(&Token::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push(OrderItem { expr, desc });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.advance() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                other => return Err(self.err(format!("expected LIMIT count, found {other:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt { distinct, items, from, joins, where_clause, group_by, order_by, limit })
+    }
+
+    fn table_ref(&mut self) -> ParseResult<TableRef> {
+        let entity = self.ident()?;
+        let alias = match self.peek() {
+            Some(Token::Ident(_)) => Some(self.ident()?),
+            _ => None,
+        };
+        Ok(TableRef { entity, alias })
+    }
+
+    fn select_item(&mut self) -> ParseResult<SelectItem> {
+        if self.eat(&Token::Star) {
+            return Ok(SelectItem::Wildcard { qualifier: None });
+        }
+        // alias.* wildcard
+        if let (Some(Token::Ident(q)), Some(Token::Dot), Some(Token::Star)) = (
+            self.tokens.get(self.pos).map(|s| &s.token),
+            self.tokens.get(self.pos + 1).map(|s| &s.token),
+            self.tokens.get(self.pos + 2).map(|s| &s.token),
+        ) {
+            let q = q.clone();
+            self.pos += 3;
+            return Ok(SelectItem::Wildcard { qualifier: Some(q) });
+        }
+        if self.eat_kw("NEST") {
+            self.expect(&Token::LParen)?;
+            let mut items = Vec::new();
+            loop {
+                let e = self.expr()?;
+                let alias = self.optional_alias()?;
+                items.push((e, alias));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            let alias = self.optional_alias()?;
+            return Ok(SelectItem::Nest { items, alias });
+        }
+        let expr = self.expr()?;
+        let alias = self.optional_alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn optional_alias(&mut self) -> ParseResult<Option<String>> {
+        if self.eat_kw("AS") {
+            return Ok(Some(self.ident()?));
+        }
+        if let Some(Token::Ident(_)) = self.peek() {
+            return Ok(Some(self.ident()?));
+        }
+        Ok(None)
+    }
+
+    // ---- expressions ---------------------------------------------------------
+
+    fn expr(&mut self) -> ParseResult<QExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> ParseResult<QExpr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = QExpr::Binary { op: QBinOp::Or, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> ParseResult<QExpr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = QExpr::Binary { op: QBinOp::And, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> ParseResult<QExpr> {
+        if self.eat_kw("NOT") {
+            Ok(QExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> ParseResult<QExpr> {
+        let left = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(QBinOp::Eq),
+            Some(Token::Ne) => Some(QBinOp::Ne),
+            Some(Token::Lt) => Some(QBinOp::Lt),
+            Some(Token::Le) => Some(QBinOp::Le),
+            Some(Token::Gt) => Some(QBinOp::Gt),
+            Some(Token::Ge) => Some(QBinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.add_expr()?;
+            return Ok(QExpr::Binary { op, left: Box::new(left), right: Box::new(right) });
+        }
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(if negated {
+                QExpr::IsNotNull(Box::new(left))
+            } else {
+                QExpr::IsNull(Box::new(left))
+            });
+        }
+        if self.eat_kw("IN") {
+            self.expect(&Token::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.literal()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(QExpr::InList { expr: Box::new(left), list });
+        }
+        Ok(left)
+    }
+
+    fn add_expr(&mut self) -> ParseResult<QExpr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => QBinOp::Add,
+                Some(Token::Minus) => QBinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.mul_expr()?;
+            left = QExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> ParseResult<QExpr> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => QBinOp::Mul,
+                Some(Token::Slash) => QBinOp::Div,
+                Some(Token::Percent) => QBinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary_expr()?;
+            left = QExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> ParseResult<QExpr> {
+        if self.eat(&Token::Minus) {
+            return Ok(QExpr::Neg(Box::new(self.unary_expr()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> ParseResult<QExpr> {
+        match self.peek().cloned() {
+            Some(Token::Int(n)) => {
+                self.pos += 1;
+                Ok(QExpr::Lit(Literal::Int(n)))
+            }
+            Some(Token::Float(x)) => {
+                self.pos += 1;
+                Ok(QExpr::Lit(Literal::Float(x)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(QExpr::Lit(Literal::Str(s)))
+            }
+            Some(Token::Keyword(k)) => match k.as_str() {
+                "NULL" => {
+                    self.pos += 1;
+                    Ok(QExpr::Lit(Literal::Null))
+                }
+                "TRUE" => {
+                    self.pos += 1;
+                    Ok(QExpr::Lit(Literal::Bool(true)))
+                }
+                "FALSE" => {
+                    self.pos += 1;
+                    Ok(QExpr::Lit(Literal::Bool(false)))
+                }
+                "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" | "ARRAY_AGG" => self.agg_call(&k),
+                "UNNEST" => {
+                    self.pos += 1;
+                    self.expect(&Token::LParen)?;
+                    let e = self.expr()?;
+                    self.expect(&Token::RParen)?;
+                    Ok(QExpr::Unnest(Box::new(e)))
+                }
+                other => Err(self.err(format!("unexpected keyword {other} in expression"))),
+            },
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                self.pos += 1;
+                // function call?
+                if self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Token::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    return Ok(QExpr::Call { name: name.to_ascii_lowercase(), args });
+                }
+                // qualified column / field access chain
+                let mut expr = QExpr::Column { qualifier: None, name };
+                while self.eat(&Token::Dot) {
+                    let field = self.ident()?;
+                    expr = match expr {
+                        QExpr::Column { qualifier: None, name } => {
+                            QExpr::Column { qualifier: Some(name), name: field }
+                        }
+                        other => QExpr::FieldAccess { base: Box::new(other), field },
+                    };
+                }
+                Ok(expr)
+            }
+            other => Err(self.err(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+
+    fn agg_call(&mut self, kw: &str) -> ParseResult<QExpr> {
+        self.pos += 1;
+        self.expect(&Token::LParen)?;
+        if kw == "COUNT" && self.eat(&Token::Star) {
+            self.expect(&Token::RParen)?;
+            return Ok(QExpr::Agg { func: QAggFunc::CountStar, arg: None, distinct: false });
+        }
+        let distinct = self.eat_kw("DISTINCT");
+        let arg = self.expr()?;
+        self.expect(&Token::RParen)?;
+        let func = match kw {
+            "COUNT" => QAggFunc::Count,
+            "SUM" => QAggFunc::Sum,
+            "AVG" => QAggFunc::Avg,
+            "MIN" => QAggFunc::Min,
+            "MAX" => QAggFunc::Max,
+            "ARRAY_AGG" => QAggFunc::ArrayAgg,
+            _ => unreachable!("caller checked"),
+        };
+        Ok(QExpr::Agg { func, arg: Some(Box::new(arg)), distinct })
+    }
+
+    fn literal(&mut self) -> ParseResult<Literal> {
+        match self.advance() {
+            Some(Token::Int(n)) => Ok(Literal::Int(n)),
+            Some(Token::Float(x)) => Ok(Literal::Float(x)),
+            Some(Token::Str(s)) => Ok(Literal::Str(s)),
+            Some(Token::Keyword(k)) if k == "NULL" => Ok(Literal::Null),
+            Some(Token::Keyword(k)) if k == "TRUE" => Ok(Literal::Bool(true)),
+            Some(Token::Keyword(k)) if k == "FALSE" => Ok(Literal::Bool(false)),
+            Some(Token::Minus) => match self.advance() {
+                Some(Token::Int(n)) => Ok(Literal::Int(-n)),
+                Some(Token::Float(x)) => Ok(Literal::Float(-x)),
+                other => Err(self.err(format!("expected number after '-', found {other:?}"))),
+            },
+            other => Err(self.err(format!("expected literal, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_create_entity_with_composite_and_multivalued() {
+        let stmt = parse_single(
+            "CREATE ENTITY person (
+                id int KEY,
+                name text TAG 'pii',
+                address (street text, city text) NULLABLE,
+                phone text MULTIVALUED
+            ) PARTIAL DISJOINT DESCRIPTION 'people'",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateEntity(ce) => {
+                assert_eq!(ce.name, "person");
+                assert_eq!(ce.attributes.len(), 4);
+                assert!(ce.attributes[0].key);
+                assert_eq!(ce.attributes[1].tags, vec!["pii"]);
+                assert!(matches!(ce.attributes[2].ty, AttrDefType::Composite(ref f) if f.len() == 2));
+                assert!(ce.attributes[3].multi_valued);
+                assert_eq!(ce.total, Some(false));
+                assert_eq!(ce.disjoint, Some(true));
+                assert_eq!(ce.description.as_deref(), Some("people"));
+                let es = ce.to_entity_set().unwrap();
+                assert_eq!(es.key, vec!["id"]);
+            }
+            other => panic!("expected CreateEntity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_subclass_and_weak_entity() {
+        let stmts = parse(
+            "CREATE ENTITY instructor EXTENDS person (rank text NULLABLE);
+             CREATE WEAK ENTITY section OWNED BY course VIA sec_of (sec_id int KEY);",
+        )
+        .unwrap();
+        match &stmts[0] {
+            Statement::CreateEntity(ce) => assert_eq!(ce.parent.as_deref(), Some("person")),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &stmts[1] {
+            Statement::CreateEntity(ce) => {
+                assert_eq!(ce.weak, Some(("course".to_string(), "sec_of".to_string())));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn weak_without_owner_rejected() {
+        assert!(parse("CREATE WEAK ENTITY s (x int KEY)").is_err());
+    }
+
+    #[test]
+    fn parse_relationship() {
+        let stmt = parse_single(
+            "CREATE RELATIONSHIP takes FROM student MANY TO section MANY (grade text NULLABLE)",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateRelationship(cr) => {
+                assert!(cr.from.many && cr.to.many);
+                assert_eq!(cr.attributes.len(), 1);
+                let r = cr.to_relationship().unwrap();
+                assert!(r.is_many_to_many());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_relationship_with_roles_and_participation() {
+        let stmt = parse_single(
+            "CREATE RELATIONSHIP manages FROM emp ROLE report MANY TOTAL TO emp ROLE boss ONE",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateRelationship(cr) => {
+                assert_eq!(cr.from.role.as_deref(), Some("report"));
+                assert!(cr.from.total);
+                assert!(!cr.to.many);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_select_with_via_and_nest() {
+        let stmt = parse_single(
+            "SELECT d.dept_name, NEST(c.course_id, c.title AS t) AS courses
+             FROM department d
+             JOIN course c VIA offered_by
+             WHERE d.building = 'X' AND c.credits >= 3
+             ORDER BY d.dept_name DESC
+             LIMIT 10",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(s.items.len(), 2);
+                assert!(matches!(&s.items[1], SelectItem::Nest { items, alias }
+                    if items.len() == 2 && alias.as_deref() == Some("courses")));
+                assert_eq!(s.joins.len(), 1);
+                assert_eq!(s.joins[0].via.as_deref(), Some("offered_by"));
+                assert!(s.where_clause.is_some());
+                assert!(s.order_by[0].desc);
+                assert_eq!(s.limit, Some(10));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_aggregates_and_inferred_grouping() {
+        let stmt = parse_single(
+            "SELECT i.id, AVG(s.tot_credits) FROM instructor i JOIN student s VIA advisor",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert!(matches!(&s.items[1], SelectItem::Expr { expr, .. } if expr.contains_aggregate()));
+                assert!(s.group_by.is_empty(), "group by left for inference");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_count_star_and_distinct() {
+        let e = parse_expression("COUNT(*)").unwrap();
+        assert_eq!(e, QExpr::Agg { func: QAggFunc::CountStar, arg: None, distinct: false });
+        let e = parse_expression("COUNT(DISTINCT x)").unwrap();
+        assert!(matches!(e, QExpr::Agg { func: QAggFunc::Count, distinct: true, .. }));
+    }
+
+    #[test]
+    fn parse_unnest_and_functions() {
+        let stmt =
+            parse_single("SELECT r.r_id, UNNEST(r.r_mv1) FROM R r WHERE array_len(r.r_mv2) > 2")
+                .unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert!(matches!(&s.items[1], SelectItem::Expr { expr, .. } if expr.contains_unnest()));
+                assert!(matches!(&s.where_clause, Some(QExpr::Binary { .. })));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_in_list_and_is_null() {
+        let e = parse_expression("x IN (1, 2, 3)").unwrap();
+        assert!(matches!(e, QExpr::InList { list, .. } if list.len() == 3));
+        let e = parse_expression("a.b IS NOT NULL").unwrap();
+        assert!(matches!(e, QExpr::IsNotNull(_)));
+    }
+
+    #[test]
+    fn field_access_chain() {
+        let e = parse_expression("p.address.city").unwrap();
+        match e {
+            QExpr::FieldAccess { base, field } => {
+                assert_eq!(field, "city");
+                assert_eq!(*base, QExpr::qualified("p", "address"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        let e = parse_expression("1 + 2 * 3 = 7 AND NOT FALSE").unwrap();
+        // Shape: ((1 + (2*3)) = 7) AND (NOT FALSE)
+        match e {
+            QExpr::Binary { op: QBinOp::And, left, right } => {
+                assert!(matches!(*left, QExpr::Binary { op: QBinOp::Eq, .. }));
+                assert!(matches!(*right, QExpr::Not(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wildcard_variants() {
+        let stmt = parse_single("SELECT *, s.* FROM S s").unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert!(matches!(&s.items[0], SelectItem::Wildcard { qualifier: None }));
+                assert!(
+                    matches!(&s.items[1], SelectItem::Wildcard { qualifier: Some(q) } if q == "s")
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_join_and_on() {
+        let stmt =
+            parse_single("SELECT * FROM a LEFT JOIN b ON a.x = b.y JOIN c VIA r").unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert!(s.joins[0].left);
+                assert!(s.joins[0].on.is_some());
+                assert!(!s.joins[1].left);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = parse("SELECT FROM").unwrap_err();
+        assert!(err.offset > 0);
+    }
+
+    #[test]
+    fn drop_statements() {
+        let stmts = parse("DROP ENTITY x; DROP RELATIONSHIP y;").unwrap();
+        assert_eq!(stmts[0], Statement::DropEntity("x".into()));
+        assert_eq!(stmts[1], Statement::DropRelationship("y".into()));
+    }
+
+    #[test]
+    fn group_by_explicit() {
+        let stmt = parse_single("SELECT x, COUNT(*) FROM t GROUP BY x").unwrap();
+        match stmt {
+            Statement::Select(s) => assert_eq!(s.group_by.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

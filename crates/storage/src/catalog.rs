@@ -1,0 +1,176 @@
+//! The catalog: named tables plus a persisted metadata area.
+//!
+//! The paper's prototype keeps the chosen E/R mapping "in a table in the
+//! database as a JSON object, ... read into memory at initialization time".
+//! [`Catalog::put_meta`]/[`Catalog::get_meta`] provide that same facility:
+//! an ordinary key→JSON store living beside the data tables, used by the
+//! upper layers to persist the E/R schema, the installed mapping, and the
+//! schema version history.
+
+use crate::error::{StorageError, StorageResult};
+use crate::factorized::FactorizedTable;
+use crate::table::Table;
+use rustc_hash::FxHashMap;
+
+/// All physical state of one database instance.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: FxHashMap<String, Table>,
+    factorized: FxHashMap<String, FactorizedTable>,
+    meta: FxHashMap<String, serde_json::Value>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a new table. Fails if the name is taken (by either a plain
+    /// or a factorized table).
+    pub fn create_table(&mut self, table: Table) -> StorageResult<()> {
+        let name = table.name().to_string();
+        if self.tables.contains_key(&name) || self.factorized.contains_key(&name) {
+            return Err(StorageError::TableExists(name));
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Remove a table, returning it.
+    pub fn drop_table(&mut self, name: &str) -> StorageResult<Table> {
+        self.tables.remove(name).ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    pub fn table(&self, name: &str) -> StorageResult<&Table> {
+        self.tables.get(name).ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> StorageResult<&mut Table> {
+        self.tables.get_mut(name).ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Names of all plain tables, sorted (stable for tests and display).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Register a factorized (multi-relation) structure.
+    pub fn create_factorized(&mut self, name: impl Into<String>, ft: FactorizedTable) -> StorageResult<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) || self.factorized.contains_key(&name) {
+            return Err(StorageError::TableExists(name));
+        }
+        self.factorized.insert(name, ft);
+        Ok(())
+    }
+
+    pub fn drop_factorized(&mut self, name: &str) -> StorageResult<FactorizedTable> {
+        self.factorized.remove(name).ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    pub fn factorized(&self, name: &str) -> StorageResult<&FactorizedTable> {
+        self.factorized.get(name).ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    pub fn factorized_mut(&mut self, name: &str) -> StorageResult<&mut FactorizedTable> {
+        self.factorized.get_mut(name).ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    pub fn has_factorized(&self, name: &str) -> bool {
+        self.factorized.contains_key(name)
+    }
+
+    pub fn factorized_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.factorized.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Store a metadata document under a key (overwrites).
+    pub fn put_meta(&mut self, key: impl Into<String>, value: serde_json::Value) {
+        self.meta.insert(key.into(), value);
+    }
+
+    /// Fetch a metadata document.
+    pub fn get_meta(&self, key: &str) -> Option<&serde_json::Value> {
+        self.meta.get(key)
+    }
+
+    /// Remove a metadata document.
+    pub fn delete_meta(&mut self, key: &str) -> Option<serde_json::Value> {
+        self.meta.remove(key)
+    }
+
+    /// Serialize a typed document into metadata.
+    pub fn put_meta_typed<T: serde::Serialize>(&mut self, key: impl Into<String>, value: &T) -> StorageResult<()> {
+        let v = serde_json::to_value(value).map_err(|e| StorageError::Metadata(e.to_string()))?;
+        self.put_meta(key, v);
+        Ok(())
+    }
+
+    /// Deserialize a typed document from metadata.
+    pub fn get_meta_typed<T: serde::de::DeserializeOwned>(&self, key: &str) -> StorageResult<Option<T>> {
+        match self.meta.get(key) {
+            None => Ok(None),
+            Some(v) => serde_json::from_value(v.clone())
+                .map(Some)
+                .map_err(|e| StorageError::Metadata(e.to_string())),
+        }
+    }
+
+    /// Total live rows across all plain tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, TableSchema};
+    use crate::value::DataType;
+
+    fn t(name: &str) -> Table {
+        Table::new(TableSchema::new(name, vec![Column::not_null("id", DataType::Int)], vec![0]))
+    }
+
+    #[test]
+    fn create_and_drop_tables() {
+        let mut c = Catalog::new();
+        c.create_table(t("a")).unwrap();
+        assert!(c.has_table("a"));
+        assert!(matches!(c.create_table(t("a")), Err(StorageError::TableExists(_))));
+        c.drop_table("a").unwrap();
+        assert!(!c.has_table("a"));
+        assert!(c.drop_table("a").is_err());
+    }
+
+    #[test]
+    fn meta_typed_roundtrip() {
+        #[derive(serde::Serialize, serde::Deserialize, PartialEq, Debug)]
+        struct M {
+            version: u32,
+            tables: Vec<String>,
+        }
+        let mut c = Catalog::new();
+        let m = M { version: 3, tables: vec!["x".into()] };
+        c.put_meta_typed("mapping", &m).unwrap();
+        let got: Option<M> = c.get_meta_typed("mapping").unwrap();
+        assert_eq!(got, Some(m));
+        assert!(c.get_meta_typed::<M>("missing").unwrap().is_none());
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let mut c = Catalog::new();
+        c.create_table(t("zeta")).unwrap();
+        c.create_table(t("alpha")).unwrap();
+        assert_eq!(c.table_names(), vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Storage-layer error type.
+
+use std::fmt;
+
+/// Errors produced by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A table with this name already exists in the catalog.
+    TableExists(String),
+    /// No table with this name exists in the catalog.
+    TableNotFound(String),
+    /// No column with this name exists in the table.
+    ColumnNotFound { table: String, column: String },
+    /// A row violates the table's primary-key uniqueness.
+    DuplicateKey { table: String, key: String },
+    /// A row id does not refer to a live row.
+    RowNotFound { table: String, row: u64 },
+    /// A value does not conform to the declared column type.
+    TypeMismatch { column: String, expected: String, actual: String },
+    /// Row arity differs from the table schema.
+    ArityMismatch { table: String, expected: usize, actual: usize },
+    /// An index with this name already exists.
+    IndexExists(String),
+    /// No index with this name exists.
+    IndexNotFound(String),
+    /// Catalog metadata (de)serialization failure.
+    Metadata(String),
+    /// Anything else.
+    Internal(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TableExists(t) => write!(f, "table '{t}' already exists"),
+            StorageError::TableNotFound(t) => write!(f, "table '{t}' not found"),
+            StorageError::ColumnNotFound { table, column } => {
+                write!(f, "column '{column}' not found in table '{table}'")
+            }
+            StorageError::DuplicateKey { table, key } => {
+                write!(f, "duplicate primary key {key} in table '{table}'")
+            }
+            StorageError::RowNotFound { table, row } => {
+                write!(f, "row {row} not found in table '{table}'")
+            }
+            StorageError::TypeMismatch { column, expected, actual } => {
+                write!(f, "type mismatch for column '{column}': expected {expected}, got {actual}")
+            }
+            StorageError::ArityMismatch { table, expected, actual } => {
+                write!(f, "arity mismatch for table '{table}': expected {expected} values, got {actual}")
+            }
+            StorageError::IndexExists(i) => write!(f, "index '{i}' already exists"),
+            StorageError::IndexNotFound(i) => write!(f, "index '{i}' not found"),
+            StorageError::Metadata(m) => write!(f, "catalog metadata error: {m}"),
+            StorageError::Internal(m) => write!(f, "internal storage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenient result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;

@@ -1,0 +1,44 @@
+//! # erbium-storage
+//!
+//! The in-memory relational storage substrate underneath ErbiumDB.
+//!
+//! The CIDR'25 paper layers its prototype on PostgreSQL; this crate is the
+//! from-scratch Rust substitute. It provides everything the E/R layer needs
+//! from a relational backend:
+//!
+//! * a typed [`Value`] model including arrays and composite (struct) values,
+//!   so that hierarchical physical representations (mapping M2/M5 in the
+//!   paper) can be stored natively;
+//! * slotted row [`Table`]s with primary-key and secondary hash/BTree
+//!   [`index`]es;
+//! * a [`Catalog`] of tables plus a persisted metadata area (the paper stores
+//!   the chosen E/R mapping "in a table in the database as a JSON object");
+//! * undo-log [`txn`] transactions so that a single logical E/R update that
+//!   touches several physical tables commits or rolls back atomically — the
+//!   paper calls this out as one of the two key OLTP challenges;
+//! * [`factorized`] multi-relation storage (the paper's third physical
+//!   representation target): the join of two relations stored compactly with
+//!   physical pointers and aggregate pushdown;
+//! * per-table [`stats`] used by the query optimizer and the mapping advisor.
+
+pub mod catalog;
+pub mod error;
+pub mod factorized;
+pub mod index;
+pub mod row;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod txn;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use error::{StorageError, StorageResult};
+pub use factorized::FactorizedTable;
+pub use index::{BTreeIndex, HashIndex, IndexKind};
+pub use row::{Row, RowId};
+pub use schema::{Column, TableSchema};
+pub use stats::{ColumnStats, TableStats};
+pub use table::Table;
+pub use txn::{Transaction, UndoEntry};
+pub use value::{DataType, Value};

@@ -1,0 +1,43 @@
+//! Rows and row identifiers.
+
+use crate::value::Value;
+
+/// A tuple of values. Arity and types are governed by the owning table's
+/// [`crate::schema::TableSchema`] (or, for intermediate results, by the
+/// producing plan node).
+pub type Row = Vec<Value>;
+
+/// Stable identifier of a row slot within one [`crate::table::Table`].
+///
+/// Row ids survive unrelated inserts and deletes: deletion tombstones the
+/// slot and pushes it on a free list, so a row id is only reused after its
+/// row was deleted. Indexes store row ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub u64);
+
+impl RowId {
+    /// The slot index inside the table's row vector.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for RowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Render a row for debugging / example output.
+pub fn format_row(row: &Row) -> String {
+    let mut s = String::from("(");
+    for (i, v) in row.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&v.to_string());
+    }
+    s.push(')');
+    s
+}

@@ -1,0 +1,166 @@
+//! Physical table schemas.
+
+use crate::error::{StorageError, StorageResult};
+use crate::value::{DataType, Value};
+use serde::{Deserialize, Serialize};
+
+/// One column of a physical table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    pub name: String,
+    pub dtype: DataType,
+    /// Whether NULL is admissible. The mapping layer sets this from E/R
+    /// participation constraints and hierarchy layout (e.g. subclass-only
+    /// attributes in a single-table hierarchy are nullable).
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A nullable column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Column {
+        Column { name: name.into(), dtype, nullable: true }
+    }
+
+    /// A NOT NULL column.
+    pub fn not_null(name: impl Into<String>, dtype: DataType) -> Column {
+        Column { name: name.into(), dtype, nullable: false }
+    }
+}
+
+/// Schema of one physical table: columns plus the primary-key column set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<Column>,
+    /// Indices (into `columns`) of the primary-key columns, in key order.
+    /// Empty means no primary key (e.g. side tables for multi-valued
+    /// attributes, where duplicates are legal).
+    pub primary_key: Vec<usize>,
+}
+
+impl TableSchema {
+    pub fn new(name: impl Into<String>, columns: Vec<Column>, primary_key: Vec<usize>) -> Self {
+        TableSchema { name: name.into(), columns, primary_key }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Position of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Position of a column by name, as a storage error on miss.
+    pub fn require_column(&self, name: &str) -> StorageResult<usize> {
+        self.column_index(name).ok_or_else(|| StorageError::ColumnNotFound {
+            table: self.name.clone(),
+            column: name.to_string(),
+        })
+    }
+
+    /// Validate arity, types, and NOT NULL constraints of a candidate row.
+    pub fn validate_row(&self, row: &[Value]) -> StorageResult<()> {
+        if row.len() != self.columns.len() {
+            return Err(StorageError::ArityMismatch {
+                table: self.name.clone(),
+                expected: self.columns.len(),
+                actual: row.len(),
+            });
+        }
+        for (col, v) in self.columns.iter().zip(row.iter()) {
+            if v.is_null() {
+                if !col.nullable {
+                    return Err(StorageError::TypeMismatch {
+                        column: col.name.clone(),
+                        expected: format!("{} NOT NULL", col.dtype),
+                        actual: "NULL".to_string(),
+                    });
+                }
+            } else if !col.dtype.check(v) {
+                return Err(StorageError::TypeMismatch {
+                    column: col.name.clone(),
+                    expected: col.dtype.to_string(),
+                    actual: v.data_type().map(|t| t.to_string()).unwrap_or_else(|| "?".into()),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Extract the primary-key of a row as a single value (the key value
+    /// itself for single-column keys, a `Struct` for composite keys).
+    pub fn key_of(&self, row: &[Value]) -> Option<Value> {
+        match self.primary_key.as_slice() {
+            [] => None,
+            [i] => Some(row[*i].clone()),
+            ks => Some(Value::Struct(ks.iter().map(|&i| row[i].clone()).collect())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("name", DataType::Text),
+                Column::new("tags", DataType::Text.array_of()),
+            ],
+            vec![0],
+        )
+    }
+
+    #[test]
+    fn validates_good_row() {
+        let s = schema();
+        let row = vec![Value::Int(1), Value::str("a"), Value::Array(vec![Value::str("x")])];
+        assert!(s.validate_row(&row).is_ok());
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let s = schema();
+        assert!(matches!(
+            s.validate_row(&[Value::Int(1)]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_null_in_not_null_column() {
+        let s = schema();
+        let row = vec![Value::Null, Value::Null, Value::Null];
+        assert!(matches!(s.validate_row(&row), Err(StorageError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_wrong_type() {
+        let s = schema();
+        let row = vec![Value::Int(1), Value::Int(2), Value::Null];
+        assert!(matches!(s.validate_row(&row), Err(StorageError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn composite_key_extraction() {
+        let s = TableSchema::new(
+            "t2",
+            vec![Column::not_null("a", DataType::Int), Column::not_null("b", DataType::Text)],
+            vec![0, 1],
+        );
+        let row = vec![Value::Int(7), Value::str("k")];
+        assert_eq!(s.key_of(&row), Some(Value::Struct(vec![Value::Int(7), Value::str("k")])));
+    }
+
+    #[test]
+    fn no_key_tables_have_no_key() {
+        let s = TableSchema::new("t3", vec![Column::new("v", DataType::Int)], vec![]);
+        assert_eq!(s.key_of(&[Value::Int(1)]), None);
+    }
+}

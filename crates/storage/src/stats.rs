@@ -1,0 +1,144 @@
+//! Table and column statistics.
+//!
+//! Consumed by the query optimizer (join ordering, index selection) and by
+//! the mapping advisor's cost model. Statistics are recomputed on demand via
+//! [`crate::table::Table::compute_stats`]; they are estimates, not
+//! transactionally maintained truths.
+
+use crate::value::Value;
+use rustc_hash::FxHashSet;
+use serde::{Deserialize, Serialize};
+
+/// Statistics for one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Estimated number of distinct values.
+    pub ndv: u64,
+    /// Number of NULLs.
+    pub null_count: u64,
+    /// Minimum non-null value, if any.
+    pub min: Option<Value>,
+    /// Maximum non-null value, if any.
+    pub max: Option<Value>,
+    /// Average value width in bytes.
+    pub avg_width: f64,
+    /// For array columns: average element count of non-null arrays.
+    pub avg_array_len: f64,
+}
+
+impl Default for ColumnStats {
+    fn default() -> Self {
+        ColumnStats { ndv: 0, null_count: 0, min: None, max: None, avg_width: 0.0, avg_array_len: 0.0 }
+    }
+}
+
+/// Statistics for a whole table.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TableStats {
+    pub row_count: u64,
+    pub columns: Vec<ColumnStats>,
+    /// Total approximate bytes of live row data.
+    pub total_bytes: u64,
+}
+
+impl TableStats {
+    /// Compute stats over an iterator of rows. Exact NDV up to `ndv_cap`
+    /// distinct values per column, saturating beyond it (good enough for
+    /// costing; avoids unbounded memory on wide text columns).
+    pub fn compute<'a>(rows: impl Iterator<Item = &'a [Value]>, arity: usize) -> TableStats {
+        const NDV_CAP: usize = 1 << 20;
+        let mut row_count = 0u64;
+        let mut total_bytes = 0u64;
+        let mut sets: Vec<FxHashSet<Value>> = (0..arity).map(|_| FxHashSet::default()).collect();
+        let mut saturated = vec![false; arity];
+        let mut cols = vec![ColumnStats::default(); arity];
+        let mut width_sums = vec![0f64; arity];
+        let mut arr_sums = vec![0f64; arity];
+        let mut arr_counts = vec![0u64; arity];
+
+        for row in rows {
+            row_count += 1;
+            for (i, v) in row.iter().enumerate() {
+                let sz = v.approx_size();
+                total_bytes += sz as u64;
+                width_sums[i] += sz as f64;
+                if v.is_null() {
+                    cols[i].null_count += 1;
+                    continue;
+                }
+                if let Value::Array(vs) = v {
+                    arr_sums[i] += vs.len() as f64;
+                    arr_counts[i] += 1;
+                }
+                match (&cols[i].min, v) {
+                    (None, v) => cols[i].min = Some(v.clone()),
+                    (Some(m), v) if v < m => cols[i].min = Some(v.clone()),
+                    _ => {}
+                }
+                match (&cols[i].max, v) {
+                    (None, v) => cols[i].max = Some(v.clone()),
+                    (Some(m), v) if v > m => cols[i].max = Some(v.clone()),
+                    _ => {}
+                }
+                if !saturated[i] {
+                    sets[i].insert(v.clone());
+                    if sets[i].len() >= NDV_CAP {
+                        saturated[i] = true;
+                    }
+                }
+            }
+        }
+        for i in 0..arity {
+            cols[i].ndv = sets[i].len() as u64;
+            cols[i].avg_width = if row_count > 0 { width_sums[i] / row_count as f64 } else { 0.0 };
+            cols[i].avg_array_len =
+                if arr_counts[i] > 0 { arr_sums[i] / arr_counts[i] as f64 } else { 0.0 };
+        }
+        TableStats { row_count, columns: cols, total_bytes }
+    }
+
+    /// Selectivity estimate for an equality predicate on column `col`.
+    pub fn eq_selectivity(&self, col: usize) -> f64 {
+        match self.columns.get(col) {
+            Some(c) if c.ndv > 0 => 1.0 / c.ndv as f64,
+            _ => 0.1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_basic_stats() {
+        let rows: Vec<Vec<Value>> = vec![
+            vec![Value::Int(1), Value::str("a"), Value::Array(vec![Value::Int(1), Value::Int(2)])],
+            vec![Value::Int(2), Value::str("a"), Value::Array(vec![Value::Int(3)])],
+            vec![Value::Int(3), Value::Null, Value::Null],
+        ];
+        let stats = TableStats::compute(rows.iter().map(|r| r.as_slice()), 3);
+        assert_eq!(stats.row_count, 3);
+        assert_eq!(stats.columns[0].ndv, 3);
+        assert_eq!(stats.columns[1].ndv, 1);
+        assert_eq!(stats.columns[1].null_count, 1);
+        assert_eq!(stats.columns[0].min, Some(Value::Int(1)));
+        assert_eq!(stats.columns[0].max, Some(Value::Int(3)));
+        assert!((stats.columns[2].avg_array_len - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq_selectivity_uses_ndv() {
+        let rows: Vec<Vec<Value>> = (0..10).map(|i| vec![Value::Int(i % 5)]).collect();
+        let stats = TableStats::compute(rows.iter().map(|r| r.as_slice()), 1);
+        assert!((stats.eq_selectivity(0) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_table_stats() {
+        let stats = TableStats::compute(std::iter::empty(), 2);
+        assert_eq!(stats.row_count, 0);
+        assert_eq!(stats.columns.len(), 2);
+        assert_eq!(stats.columns[0].ndv, 0);
+    }
+}

@@ -1,0 +1,418 @@
+//! Slotted row tables with primary-key enforcement and secondary indexes.
+
+use crate::error::{StorageError, StorageResult};
+use crate::index::{HashIndex, IndexKind, SecondaryIndex};
+use crate::row::{Row, RowId};
+use crate::schema::TableSchema;
+use crate::stats::TableStats;
+use crate::value::Value;
+
+/// An in-memory table.
+///
+/// Rows live in stable slots: deleting a row tombstones its slot and the
+/// slot is recycled by a later insert, so [`RowId`]s held by indexes remain
+/// valid for live rows. The primary key (if declared in the schema) is
+/// enforced with a unique hash index that is maintained on every mutation.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Option<Row>>,
+    free: Vec<u64>,
+    live: usize,
+    pk_index: Option<HashIndex>,
+    indexes: Vec<SecondaryIndex>,
+}
+
+impl Table {
+    /// Create an empty table. A primary-key index is created automatically
+    /// when the schema declares key columns.
+    pub fn new(schema: TableSchema) -> Table {
+        let pk_index = if schema.primary_key.is_empty() { None } else { Some(HashIndex::new()) };
+        Table { schema, rows: Vec::new(), free: Vec::new(), live: 0, pk_index, indexes: Vec::new() }
+    }
+
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Insert a validated row; returns its id.
+    pub fn insert(&mut self, row: Row) -> StorageResult<RowId> {
+        self.schema.validate_row(&row)?;
+        if let Some(key) = self.schema.key_of(&row) {
+            let pk = self.pk_index.as_ref().expect("pk index exists when key declared");
+            if !pk.get(&key).is_empty() {
+                return Err(StorageError::DuplicateKey {
+                    table: self.schema.name.clone(),
+                    key: key.to_string(),
+                });
+            }
+        }
+        let rid = match self.free.pop() {
+            Some(slot) => {
+                self.rows[slot as usize] = Some(row);
+                RowId(slot)
+            }
+            None => {
+                self.rows.push(Some(row));
+                RowId(self.rows.len() as u64 - 1)
+            }
+        };
+        self.live += 1;
+        let row_ref = self.rows[rid.idx()].as_ref().expect("just inserted");
+        if let Some(key) = self.schema.key_of(row_ref) {
+            self.pk_index.as_mut().expect("pk index").insert(key, rid);
+        }
+        // Borrow juggling: clone the row for index maintenance to keep the
+        // hot path simple; secondary indexes are rare on write-heavy tables.
+        if !self.indexes.is_empty() {
+            let row_clone = row_ref.clone();
+            for idx in &mut self.indexes {
+                idx.insert(&row_clone, rid);
+            }
+        }
+        Ok(rid)
+    }
+
+    /// Fetch a live row.
+    pub fn get(&self, rid: RowId) -> Option<&Row> {
+        self.rows.get(rid.idx()).and_then(|r| r.as_ref())
+    }
+
+    /// Replace a live row in place (same slot, indexes maintained).
+    /// Returns the previous contents.
+    pub fn update(&mut self, rid: RowId, new_row: Row) -> StorageResult<Row> {
+        self.schema.validate_row(&new_row)?;
+        let old = self
+            .rows
+            .get(rid.idx())
+            .and_then(|r| r.as_ref())
+            .cloned()
+            .ok_or_else(|| StorageError::RowNotFound { table: self.schema.name.clone(), row: rid.0 })?;
+        // Primary-key change must stay unique.
+        let old_key = self.schema.key_of(&old);
+        let new_key = self.schema.key_of(&new_row);
+        if let (Some(ok), Some(nk)) = (&old_key, &new_key) {
+            if ok != nk {
+                let pk = self.pk_index.as_ref().expect("pk index");
+                if !pk.get(nk).is_empty() {
+                    return Err(StorageError::DuplicateKey {
+                        table: self.schema.name.clone(),
+                        key: nk.to_string(),
+                    });
+                }
+            }
+        }
+        if let Some(pk) = self.pk_index.as_mut() {
+            if let Some(ok) = &old_key {
+                pk.remove(ok, rid);
+            }
+            if let Some(nk) = new_key {
+                pk.insert(nk, rid);
+            }
+        }
+        for idx in &mut self.indexes {
+            idx.remove(&old, rid);
+            idx.insert(&new_row, rid);
+        }
+        self.rows[rid.idx()] = Some(new_row);
+        Ok(old)
+    }
+
+    /// Delete a live row; returns its contents.
+    pub fn delete(&mut self, rid: RowId) -> StorageResult<Row> {
+        let row = self
+            .rows
+            .get_mut(rid.idx())
+            .and_then(Option::take)
+            .ok_or_else(|| StorageError::RowNotFound { table: self.schema.name.clone(), row: rid.0 })?;
+        self.free.push(rid.0);
+        self.live -= 1;
+        if let Some(key) = self.schema.key_of(&row) {
+            self.pk_index.as_mut().expect("pk index").remove(&key, rid);
+        }
+        for idx in &mut self.indexes {
+            idx.remove(&row, rid);
+        }
+        Ok(row)
+    }
+
+    /// Re-insert a previously deleted row into a specific slot (transaction
+    /// rollback support). The slot must be free.
+    pub(crate) fn restore(&mut self, rid: RowId, row: Row) -> StorageResult<()> {
+        if self.rows.get(rid.idx()).map(|r| r.is_some()).unwrap_or(true) {
+            return Err(StorageError::Internal(format!(
+                "restore into occupied or out-of-range slot {rid} of '{}'",
+                self.schema.name
+            )));
+        }
+        if let Some(pos) = self.free.iter().position(|s| *s == rid.0) {
+            self.free.swap_remove(pos);
+        }
+        self.rows[rid.idx()] = Some(row);
+        self.live += 1;
+        let row_ref = self.rows[rid.idx()].as_ref().expect("just restored").clone();
+        if let Some(key) = self.schema.key_of(&row_ref) {
+            self.pk_index.as_mut().expect("pk index").insert(key, rid);
+        }
+        for idx in &mut self.indexes {
+            idx.insert(&row_ref, rid);
+        }
+        Ok(())
+    }
+
+    /// Iterate live rows with their ids.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|row| (RowId(i as u64), row)))
+    }
+
+    /// Materialize all live rows (cloned).
+    pub fn all_rows(&self) -> Vec<Row> {
+        self.scan().map(|(_, r)| r.clone()).collect()
+    }
+
+    /// Primary-key point lookup.
+    pub fn lookup_pk(&self, key: &Value) -> Option<(RowId, &Row)> {
+        let pk = self.pk_index.as_ref()?;
+        let rid = *pk.get(key).first()?;
+        self.get(rid).map(|r| (rid, r))
+    }
+
+    /// Create a named secondary index over the given columns and backfill it.
+    pub fn create_index(
+        &mut self,
+        name: impl Into<String>,
+        columns: Vec<usize>,
+        kind: IndexKind,
+    ) -> StorageResult<()> {
+        let name = name.into();
+        if self.indexes.iter().any(|i| i.name == name) {
+            return Err(StorageError::IndexExists(name));
+        }
+        for &c in &columns {
+            if c >= self.schema.arity() {
+                return Err(StorageError::ColumnNotFound {
+                    table: self.schema.name.clone(),
+                    column: format!("#{c}"),
+                });
+            }
+        }
+        let mut idx = SecondaryIndex::new(name, columns, kind);
+        for (rid, row) in self
+            .rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|row| (RowId(i as u64), row)))
+        {
+            idx.insert(row, rid);
+        }
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    /// Drop a secondary index by name.
+    pub fn drop_index(&mut self, name: &str) -> StorageResult<()> {
+        let pos = self
+            .indexes
+            .iter()
+            .position(|i| i.name == name)
+            .ok_or_else(|| StorageError::IndexNotFound(name.to_string()))?;
+        self.indexes.remove(pos);
+        Ok(())
+    }
+
+    /// All secondary indexes.
+    pub fn indexes(&self) -> &[SecondaryIndex] {
+        &self.indexes
+    }
+
+    /// Find a secondary index whose key is exactly `columns` (in order), or
+    /// the primary key if it matches. Returns the rows for `key`.
+    pub fn index_lookup(&self, columns: &[usize], key: &Value) -> Option<Vec<(RowId, &Row)>> {
+        if columns == self.schema.primary_key.as_slice() && self.pk_index.is_some() {
+            return Some(self.lookup_pk(key).into_iter().collect());
+        }
+        let idx = self.indexes.iter().find(|i| i.columns == columns)?;
+        Some(
+            idx.lookup(key)
+                .into_iter()
+                .filter_map(|rid| self.get(rid).map(|r| (rid, r)))
+                .collect(),
+        )
+    }
+
+    /// Does an equality-capable index exist on exactly these columns?
+    pub fn has_index_on(&self, columns: &[usize]) -> bool {
+        (!self.schema.primary_key.is_empty() && columns == self.schema.primary_key.as_slice())
+            || self.indexes.iter().any(|i| i.columns == columns)
+    }
+
+    /// Compute fresh statistics over the live rows.
+    pub fn compute_stats(&self) -> TableStats {
+        TableStats::compute(self.scan().map(|(_, r)| r.as_slice()), self.schema.arity())
+    }
+
+    /// Remove all rows (indexes cleared too). Schema is kept.
+    pub fn truncate(&mut self) {
+        self.rows.clear();
+        self.free.clear();
+        self.live = 0;
+        if let Some(pk) = &mut self.pk_index {
+            *pk = HashIndex::new();
+        }
+        let specs: Vec<(String, Vec<usize>, IndexKind)> = self
+            .indexes
+            .iter()
+            .map(|i| (i.name.clone(), i.columns.clone(), i.kind()))
+            .collect();
+        self.indexes.clear();
+        for (name, cols, kind) in specs {
+            let _ = self.create_index(name, cols, kind);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn people() -> Table {
+        Table::new(TableSchema::new(
+            "people",
+            vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("name", DataType::Text),
+                Column::new("age", DataType::Int),
+            ],
+            vec![0],
+        ))
+    }
+
+    fn row(id: i64, name: &str, age: i64) -> Row {
+        vec![Value::Int(id), Value::str(name), Value::Int(age)]
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = people();
+        let rid = t.insert(row(1, "ada", 36)).unwrap();
+        assert_eq!(t.get(rid).unwrap()[1], Value::str("ada"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut t = people();
+        t.insert(row(1, "ada", 36)).unwrap();
+        assert!(matches!(t.insert(row(1, "bob", 20)), Err(StorageError::DuplicateKey { .. })));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn delete_frees_slot_and_reuses_it() {
+        let mut t = people();
+        let r1 = t.insert(row(1, "ada", 36)).unwrap();
+        t.insert(row(2, "bob", 20)).unwrap();
+        let old = t.delete(r1).unwrap();
+        assert_eq!(old[0], Value::Int(1));
+        assert_eq!(t.len(), 1);
+        let r3 = t.insert(row(3, "eve", 25)).unwrap();
+        assert_eq!(r3, r1, "freed slot is recycled");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn pk_lookup_follows_updates() {
+        let mut t = people();
+        let rid = t.insert(row(1, "ada", 36)).unwrap();
+        t.update(rid, row(5, "ada", 37)).unwrap();
+        assert!(t.lookup_pk(&Value::Int(1)).is_none());
+        let (_, r) = t.lookup_pk(&Value::Int(5)).unwrap();
+        assert_eq!(r[2], Value::Int(37));
+    }
+
+    #[test]
+    fn update_to_existing_key_rejected() {
+        let mut t = people();
+        let rid = t.insert(row(1, "ada", 36)).unwrap();
+        t.insert(row(2, "bob", 20)).unwrap();
+        assert!(matches!(t.update(rid, row(2, "ada", 36)), Err(StorageError::DuplicateKey { .. })));
+        // Unchanged on failure.
+        assert_eq!(t.lookup_pk(&Value::Int(1)).unwrap().1[1], Value::str("ada"));
+    }
+
+    #[test]
+    fn secondary_index_maintained_across_mutations() {
+        let mut t = people();
+        let r1 = t.insert(row(1, "ada", 36)).unwrap();
+        t.insert(row(2, "bob", 36)).unwrap();
+        t.create_index("by_age", vec![2], IndexKind::Hash).unwrap();
+        assert_eq!(t.index_lookup(&[2], &Value::Int(36)).unwrap().len(), 2);
+        t.update(r1, row(1, "ada", 40)).unwrap();
+        assert_eq!(t.index_lookup(&[2], &Value::Int(36)).unwrap().len(), 1);
+        assert_eq!(t.index_lookup(&[2], &Value::Int(40)).unwrap().len(), 1);
+        t.delete(r1).unwrap();
+        assert!(t.index_lookup(&[2], &Value::Int(40)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn restore_undoes_delete_exactly() {
+        let mut t = people();
+        let rid = t.insert(row(1, "ada", 36)).unwrap();
+        let old = t.delete(rid).unwrap();
+        t.restore(rid, old).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t.lookup_pk(&Value::Int(1)).is_some());
+        assert!(t.restore(rid, row(1, "x", 0)).is_err(), "occupied slot rejected");
+    }
+
+    #[test]
+    fn scan_skips_tombstones() {
+        let mut t = people();
+        let r1 = t.insert(row(1, "ada", 36)).unwrap();
+        t.insert(row(2, "bob", 20)).unwrap();
+        t.delete(r1).unwrap();
+        let ids: Vec<i64> = t.scan().map(|(_, r)| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![2]);
+    }
+
+    #[test]
+    fn truncate_clears_rows_keeps_indexes() {
+        let mut t = people();
+        t.create_index("by_age", vec![2], IndexKind::BTree).unwrap();
+        t.insert(row(1, "ada", 36)).unwrap();
+        t.truncate();
+        assert_eq!(t.len(), 0);
+        assert!(t.has_index_on(&[2]));
+        t.insert(row(1, "ada", 36)).unwrap();
+        assert_eq!(t.index_lookup(&[2], &Value::Int(36)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn stats_reflect_live_rows() {
+        let mut t = people();
+        let r1 = t.insert(row(1, "ada", 36)).unwrap();
+        t.insert(row(2, "bob", 20)).unwrap();
+        t.delete(r1).unwrap();
+        let stats = t.compute_stats();
+        assert_eq!(stats.row_count, 1);
+        assert_eq!(stats.columns[0].min, Some(Value::Int(2)));
+    }
+}

@@ -1,0 +1,233 @@
+//! Undo-log transactions spanning multiple tables.
+//!
+//! The paper identifies "a single update may require updating multiple
+//! tables (depending on the mapping of the E/R model to the physical
+//! storage)" as a key OLTP challenge of the E/R abstraction. The mapping
+//! layer's CRUD translator emits several physical operations per logical
+//! operation; this module makes that group atomic: run every operation
+//! through a [`Transaction`], then [`Transaction::commit`] (drop the log) or
+//! [`Transaction::rollback`] (replay inverse operations newest-first).
+
+use crate::catalog::Catalog;
+use crate::error::{StorageError, StorageResult};
+use crate::row::{Row, RowId};
+
+/// One inverse operation recorded in the undo log.
+#[derive(Debug, Clone)]
+pub enum UndoEntry {
+    /// A row was inserted; undo by deleting it.
+    Insert { table: String, rid: RowId },
+    /// A row was deleted; undo by restoring the old contents into its slot.
+    Delete { table: String, rid: RowId, old: Row },
+    /// A row was updated; undo by writing the old contents back.
+    Update { table: String, rid: RowId, old: Row },
+    /// A table was created; undo by dropping it.
+    CreateTable { table: String },
+}
+
+/// An in-flight multi-table transaction.
+///
+/// The transaction does not take locks — the storage layer is single-writer
+/// by construction (the `Database` facade serializes writers). What it
+/// provides is atomicity: all-or-nothing application of a group of physical
+/// mutations.
+#[derive(Debug, Default)]
+pub struct Transaction {
+    undo: Vec<UndoEntry>,
+}
+
+impl Transaction {
+    pub fn new() -> Transaction {
+        Transaction::default()
+    }
+
+    /// Number of operations performed so far.
+    pub fn len(&self) -> usize {
+        self.undo.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.undo.is_empty()
+    }
+
+    /// Insert through the transaction.
+    pub fn insert(&mut self, cat: &mut Catalog, table: &str, row: Row) -> StorageResult<RowId> {
+        let rid = cat.table_mut(table)?.insert(row)?;
+        self.undo.push(UndoEntry::Insert { table: table.to_string(), rid });
+        Ok(rid)
+    }
+
+    /// Update through the transaction.
+    pub fn update(&mut self, cat: &mut Catalog, table: &str, rid: RowId, new_row: Row) -> StorageResult<()> {
+        let old = cat.table_mut(table)?.update(rid, new_row)?;
+        self.undo.push(UndoEntry::Update { table: table.to_string(), rid, old });
+        Ok(())
+    }
+
+    /// Delete through the transaction.
+    pub fn delete(&mut self, cat: &mut Catalog, table: &str, rid: RowId) -> StorageResult<Row> {
+        let old = cat.table_mut(table)?.delete(rid)?;
+        self.undo.push(UndoEntry::Delete { table: table.to_string(), rid, old: old.clone() });
+        Ok(old)
+    }
+
+    /// Create a table through the transaction (rolled back by dropping).
+    pub fn create_table(&mut self, cat: &mut Catalog, table: crate::table::Table) -> StorageResult<()> {
+        let name = table.name().to_string();
+        cat.create_table(table)?;
+        self.undo.push(UndoEntry::CreateTable { table: name });
+        Ok(())
+    }
+
+    /// Make the transaction's effects permanent.
+    pub fn commit(self) {
+        // Dropping the undo log is all that is needed.
+    }
+
+    /// Revert every operation, newest first.
+    pub fn rollback(mut self, cat: &mut Catalog) -> StorageResult<()> {
+        while let Some(entry) = self.undo.pop() {
+            match entry {
+                UndoEntry::Insert { table, rid } => {
+                    cat.table_mut(&table)?.delete(rid)?;
+                }
+                UndoEntry::Delete { table, rid, old } => {
+                    cat.table_mut(&table)?.restore(rid, old)?;
+                }
+                UndoEntry::Update { table, rid, old } => {
+                    cat.table_mut(&table)?.update(rid, old)?;
+                }
+                UndoEntry::CreateTable { table } => {
+                    cat.drop_table(&table)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run `f` atomically: commit on `Ok`, roll back on `Err`.
+    pub fn run<T>(
+        cat: &mut Catalog,
+        f: impl FnOnce(&mut Transaction, &mut Catalog) -> StorageResult<T>,
+    ) -> StorageResult<T> {
+        let mut txn = Transaction::new();
+        match f(&mut txn, cat) {
+            Ok(v) => {
+                txn.commit();
+                Ok(v)
+            }
+            Err(e) => {
+                txn.rollback(cat).map_err(|re| {
+                    StorageError::Internal(format!("rollback failed: {re} (original error: {e})"))
+                })?;
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, TableSchema};
+    use crate::table::Table;
+    use crate::value::{DataType, Value};
+
+    fn setup() -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(Table::new(TableSchema::new(
+            "t",
+            vec![Column::not_null("id", DataType::Int), Column::new("v", DataType::Text)],
+            vec![0],
+        )))
+        .unwrap();
+        c
+    }
+
+    fn row(id: i64, v: &str) -> Row {
+        vec![Value::Int(id), Value::str(v)]
+    }
+
+    #[test]
+    fn commit_keeps_changes() {
+        let mut c = setup();
+        let mut txn = Transaction::new();
+        txn.insert(&mut c, "t", row(1, "a")).unwrap();
+        txn.commit();
+        assert_eq!(c.table("t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rollback_reverts_mixed_operations_in_order() {
+        let mut c = setup();
+        let rid0 = c.table_mut("t").unwrap().insert(row(1, "a")).unwrap();
+        c.table_mut("t").unwrap().insert(row(2, "b")).unwrap();
+
+        let mut txn = Transaction::new();
+        txn.insert(&mut c, "t", row(3, "c")).unwrap();
+        txn.update(&mut c, "t", rid0, row(1, "a2")).unwrap();
+        txn.delete(&mut c, "t", rid0).unwrap();
+        txn.rollback(&mut c).unwrap();
+
+        let t = c.table("t").unwrap();
+        assert_eq!(t.len(), 2);
+        let (_, r) = t.lookup_pk(&Value::Int(1)).unwrap();
+        assert_eq!(r[1], Value::str("a"), "update also reverted");
+        assert!(t.lookup_pk(&Value::Int(3)).is_none());
+    }
+
+    #[test]
+    fn run_rolls_back_on_error() {
+        let mut c = setup();
+        let result: StorageResult<()> = Transaction::run(&mut c, |txn, cat| {
+            txn.insert(cat, "t", row(1, "a"))?;
+            txn.insert(cat, "t", row(1, "dup"))?; // duplicate key fails
+            Ok(())
+        });
+        assert!(result.is_err());
+        assert_eq!(c.table("t").unwrap().len(), 0, "first insert rolled back");
+    }
+
+    #[test]
+    fn run_commits_on_success() {
+        let mut c = setup();
+        Transaction::run(&mut c, |txn, cat| {
+            txn.insert(cat, "t", row(1, "a"))?;
+            txn.insert(cat, "t", row(2, "b"))?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(c.table("t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn create_table_rolls_back() {
+        let mut c = setup();
+        let result: StorageResult<()> = Transaction::run(&mut c, |txn, cat| {
+            txn.create_table(
+                cat,
+                Table::new(TableSchema::new(
+                    "side",
+                    vec![Column::not_null("k", DataType::Int)],
+                    vec![0],
+                )),
+            )?;
+            txn.insert(cat, "side", vec![Value::Int(9)])?;
+            Err(StorageError::Internal("boom".into()))
+        });
+        assert!(result.is_err());
+        assert!(!c.has_table("side"));
+    }
+
+    #[test]
+    fn pk_index_consistent_after_rollback() {
+        let mut c = setup();
+        let rid = c.table_mut("t").unwrap().insert(row(1, "a")).unwrap();
+        let mut txn = Transaction::new();
+        txn.delete(&mut c, "t", rid).unwrap();
+        txn.insert(&mut c, "t", row(1, "reborn")).unwrap();
+        txn.rollback(&mut c).unwrap();
+        let (_, r) = c.table("t").unwrap().lookup_pk(&Value::Int(1)).unwrap();
+        assert_eq!(r[1], Value::str("a"));
+    }
+}

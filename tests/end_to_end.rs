@@ -1,0 +1,149 @@
+//! Cross-crate integration: the full pipeline from DDL text to governed,
+//! evolved, re-mapped query answers.
+
+use erbiumdb::advisor::Workload;
+use erbiumdb::core::AccessPolicy;
+use erbiumdb::evolve::{EvolutionOp, MvPlacement};
+use erbiumdb::mapping::presets::{self, paper};
+use erbiumdb::model::fixtures;
+use erbium_datagen::{experiment_database, university_database, ExperimentConfig};
+use erbiumdb::storage::Value;
+
+#[test]
+fn full_lifecycle_on_university() {
+    let mut db = university_database(6, 60, 99).unwrap();
+
+    // Query across three layers of the schema.
+    let q = "SELECT d.dept_name, COUNT(*) AS n \
+             FROM department d JOIN instructor i VIA member_of \
+             ORDER BY n DESC";
+    let baseline = db.query(q).unwrap();
+    assert!(!baseline.rows.is_empty());
+    let total: i64 = baseline.rows.iter().map(|r| r[1].as_int().unwrap()).sum();
+    assert_eq!(total, 6);
+
+    // Remap twice; the answer never changes.
+    let m2 = presets::inline_all_multivalued(presets::normalized(db.schema()), db.schema());
+    db.remap(m2).unwrap();
+    assert_eq!(db.query(q).unwrap().rows, baseline.rows);
+    let m3 = presets::merge_hierarchy(presets::normalized(db.schema()), db.schema(), "person");
+    db.remap(m3).unwrap();
+    assert_eq!(db.query(q).unwrap().rows, baseline.rows);
+
+    // Evolve: phones per person become single-valued.
+    db.evolve(EvolutionOp::MakeSingleValued {
+        entity: "person".into(),
+        attribute: "phone".into(),
+        policy: erbiumdb::evolve::ConflictPolicy::KeepFirst,
+    })
+    .unwrap();
+    assert_eq!(db.query(q).unwrap().rows, baseline.rows);
+
+    // Governance: erase a student and verify the links went with them.
+    let takes_before = db
+        .query("SELECT COUNT(*) AS n FROM student s JOIN section x VIA takes")
+        .unwrap()
+        .rows[0][0]
+        .as_int()
+        .unwrap();
+    db.erase("person", &[Value::Int(10_000)]).unwrap();
+    let takes_after = db
+        .query("SELECT COUNT(*) AS n FROM student s JOIN section x VIA takes")
+        .unwrap()
+        .rows[0][0]
+        .as_int()
+        .unwrap();
+    assert!(takes_after < takes_before);
+
+    // Version log saw everything.
+    let log = db.versions().unwrap();
+    assert!(log.versions().len() >= 4, "{:?}", log.versions().len());
+}
+
+#[test]
+fn experiment_database_runs_all_section6_queries_under_every_mapping() {
+    let cfg = ExperimentConfig { n_r: 300, mv_avg: 3, seed: 5 };
+    let schema = fixtures::experiment();
+    let mappings = vec![
+        paper::m1(&schema),
+        paper::m2(&schema),
+        paper::m3(&schema),
+        paper::m4(&schema),
+        paper::m5(&schema).unwrap(),
+        paper::m6(&schema, erbiumdb::mapping::CoFormat::Denormalized).unwrap(),
+        paper::m6(&schema, erbiumdb::mapping::CoFormat::Factorized).unwrap(),
+    ];
+    let queries = [
+        "SELECT r.r_id, r.r_mv1, r.r_mv2, r.r_mv3 FROM R r",
+        "SELECT UNNEST(r.r_mv1) FROM R r",
+        "SELECT r.r_mv1 FROM R r WHERE r.r_id = 150",
+        "SELECT r.r_id, r.r_a, r.r_b, r.r1_a, r.r1_b, r.r3_a FROM R3 r",
+        "SELECT r.r_id, s.s_id FROM R r JOIN S s VIA r_s WHERE r.r_b < 10 AND s.s_b < 5",
+        "SELECT w.s_id, w.s1_no, r.r_id, r.r_a FROM S1 w JOIN R2 r VIA r2_s1",
+        "SELECT r.r_id, r.r2_a, w.s1_a FROM R2 r JOIN S1 w VIA r2_s1",
+    ];
+    let mut reference: Option<Vec<usize>> = None;
+    for m in mappings {
+        let name = m.name.clone();
+        let db = experiment_database(&m, &cfg).unwrap();
+        let counts: Vec<usize> =
+            queries.iter().map(|q| db.query(q).unwrap().rows.len()).collect();
+        match &reference {
+            None => reference = Some(counts),
+            Some(r) => assert_eq!(r, &counts, "row counts differ under {name}"),
+        }
+    }
+}
+
+#[test]
+fn advisor_recommendation_is_installable_and_correct() {
+    let cfg = ExperimentConfig { n_r: 400, mv_avg: 3, seed: 1 };
+    let schema = fixtures::experiment();
+    let mut db = experiment_database(&paper::m1(&schema), &cfg).unwrap();
+    let wl = Workload::new()
+        .weighted("SELECT r.r_mv1 FROM R r WHERE r.r_id = 100", 50.0)
+        .unwrap()
+        .query("SELECT r.r_id, r.r_a, r.r_b, r.r1_a, r.r1_b, r.r3_a FROM R3 r")
+        .unwrap();
+    let check = "SELECT r.r_id, r.r_mv1 FROM R r WHERE r.r_b < 3";
+    let mut before = db.query(check).unwrap().rows;
+    let rec = db.advise(&wl).unwrap();
+    db.remap(rec.mapping).unwrap();
+    let mut after = db.query(check).unwrap().rows;
+    // Arrays may come back in a different order.
+    for rows in [&mut before, &mut after] {
+        for r in rows.iter_mut() {
+            if let Value::Array(a) = &mut r[1] {
+                a.sort();
+            }
+        }
+        rows.sort();
+    }
+    assert_eq!(before, after);
+}
+
+#[test]
+fn policy_applies_across_mappings() {
+    let mut db = university_database(3, 10, 3).unwrap();
+    db.set_policy(Some(AccessPolicy::deny_tag("pii")));
+    assert!(db.query("SELECT p.name FROM person p").is_err());
+    // The policy lives at the logical layer: remapping does not bypass it.
+    let m = presets::merge_hierarchy(presets::normalized(db.schema()), db.schema(), "person");
+    db.remap(m).unwrap();
+    assert!(db.query("SELECT p.name FROM person p").is_err());
+    assert!(db.query("SELECT s.tot_credits FROM student s").is_ok());
+}
+
+#[test]
+fn evolve_make_multivalued_respects_placement() {
+    let mut db = university_database(2, 5, 4).unwrap();
+    db.evolve(EvolutionOp::MakeMultiValued {
+        entity: "course".into(),
+        attribute: "title".into(),
+        placement: MvPlacement::SideTable,
+    })
+    .unwrap();
+    assert!(db.catalog().has_table("course__title"));
+    let r = db.query("SELECT c.course_id, UNNEST(c.title) AS t FROM course c LIMIT 3").unwrap();
+    assert_eq!(r.rows.len(), 3);
+}

@@ -1,0 +1,286 @@
+//! Property-based tests of the system invariants listed in DESIGN.md:
+//! mapping reversibility, query equivalence across mappings, and
+//! engine-operator agreement with reference semantics — on *randomized*
+//! instances, not just the handcrafted ones.
+
+use erbiumdb::mapping::presets::paper;
+use erbiumdb::mapping::rewrite::run_query;
+use erbiumdb::mapping::{CoFormat, EntityData, EntityStore, Lowering, Mapping};
+use erbiumdb::model::fixtures;
+use erbiumdb::model::ErSchema;
+use erbiumdb::storage::{Catalog, Row, Transaction, Value};
+use proptest::prelude::*;
+
+/// A randomized logical instance of the experiment schema.
+#[derive(Debug, Clone)]
+struct Instance {
+    s: Vec<(i64, String, i64)>,
+    s1: Vec<(usize, i64, i64)>,          // (owner index, s1_a, s1_no assigned later)
+    r: Vec<RInst>,
+    r2_s1_links: Vec<(usize, usize)>,    // (r2 index into r, s1 index)
+}
+
+#[derive(Debug, Clone)]
+struct RInst {
+    ty: u8, // 0..5 => R..R4
+    r_b: i64,
+    mv1: Vec<i64>,
+    mv2: Vec<i64>,
+    s_target: usize,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    let s = prop::collection::vec((0i64..50, "[a-z]{1,6}", 0i64..5), 1..6);
+    let s1 = prop::collection::vec((0usize..8, 0i64..100, Just(0i64)), 0..8);
+    let r = prop::collection::vec(
+        (0u8..5, 0i64..7, prop::collection::vec(0i64..20, 0..4),
+         prop::collection::vec(0i64..20, 0..4), 0usize..8)
+            .prop_map(|(ty, r_b, mv1, mv2, s_target)| RInst { ty, r_b, mv1, mv2, s_target }),
+        1..12,
+    );
+    let links = prop::collection::vec((0usize..12, 0usize..8), 0..6);
+    (s, s1, r, links).prop_map(|(s, s1, r, r2_s1_links)| Instance { s, s1, r, r2_s1_links })
+}
+
+/// Populate a catalog with the instance; returns false if the instance is
+/// degenerate for this step (e.g. duplicate keys), which we simply skip.
+fn populate(inst: &Instance, cat: &mut Catalog, lw: &Lowering) {
+    let store = EntityStore::new(lw);
+    let mut txn = Transaction::new();
+    let data = |pairs: &[(&str, Value)]| -> EntityData {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    };
+    let n_s = inst.s.len() as i64;
+    for (i, (sb, sa, _)) in inst.s.iter().enumerate() {
+        store
+            .insert(
+                cat,
+                &mut txn,
+                "S",
+                &data(&[
+                    ("s_id", Value::Int(i as i64)),
+                    ("s_a", Value::str(sa)),
+                    ("s_b", Value::Int(*sb)),
+                ]),
+                &[],
+            )
+            .unwrap();
+    }
+    let mut s1_keys: Vec<(i64, i64)> = Vec::new();
+    let mut per_owner = vec![0i64; inst.s.len()];
+    for (owner, a, _) in &inst.s1 {
+        let owner = owner % inst.s.len();
+        let no = per_owner[owner];
+        per_owner[owner] += 1;
+        store
+            .insert(
+                cat,
+                &mut txn,
+                "S1",
+                &data(&[
+                    ("s_id", Value::Int(owner as i64)),
+                    ("s1_no", Value::Int(no)),
+                    ("s1_a", Value::Int(*a)),
+                    ("s1_b", Value::str("w")),
+                ]),
+                &[],
+            )
+            .unwrap();
+        s1_keys.push((owner as i64, no));
+    }
+    let types = ["R", "R1", "R2", "R3", "R4"];
+    let mut r2s: Vec<i64> = Vec::new();
+    for (i, ri) in inst.r.iter().enumerate() {
+        let ty = types[(ri.ty % 5) as usize];
+        let mut d = data(&[
+            ("r_id", Value::Int(i as i64)),
+            ("r_a", Value::str(format!("r{i}"))),
+            ("r_b", Value::Int(ri.r_b)),
+            ("r_mv1", Value::Array(ri.mv1.iter().map(|&v| Value::Int(v)).collect())),
+            ("r_mv2", Value::Array(ri.mv2.iter().map(|&v| Value::Int(v)).collect())),
+            ("r_mv3", Value::Array(vec![])),
+        ]);
+        match ty {
+            "R1" | "R3" => {
+                d.insert("r1_a".into(), Value::Int(1));
+                d.insert("r1_b".into(), Value::str("x"));
+            }
+            "R2" | "R4" => {
+                d.insert("r2_a".into(), Value::Int(2));
+                d.insert("r2_b".into(), Value::str("y"));
+                r2s.push(i as i64);
+            }
+            _ => {}
+        }
+        if ty == "R3" {
+            d.insert("r3_a".into(), Value::Int(3));
+        }
+        if ty == "R4" {
+            d.insert("r4_a".into(), Value::str("z"));
+        }
+        let target = (ri.s_target as i64) % n_s;
+        store.insert(cat, &mut txn, ty, &d, &[("r_s", vec![Value::Int(target)])]).unwrap();
+    }
+    let mut seen = std::collections::HashSet::new();
+    for (ri, s1i) in &inst.r2_s1_links {
+        if r2s.is_empty() || s1_keys.is_empty() {
+            break;
+        }
+        let r2 = r2s[ri % r2s.len()];
+        let (o, n) = s1_keys[s1i % s1_keys.len()];
+        if !seen.insert((r2, o, n)) {
+            continue; // duplicate links are a user error; skip
+        }
+        store
+            .link(
+                cat,
+                &mut txn,
+                "r2_s1",
+                &[Value::Int(r2)],
+                &[Value::Int(o), Value::Int(n)],
+                &EntityData::default(),
+            )
+            .unwrap();
+    }
+    txn.commit();
+}
+
+fn mappings(schema: &ErSchema) -> Vec<Mapping> {
+    vec![
+        paper::m1(schema),
+        paper::m2(schema),
+        paper::m3(schema),
+        paper::m4(schema),
+        paper::m5(schema).unwrap(),
+        paper::m6(schema, CoFormat::Denormalized).unwrap(),
+        paper::m6(schema, CoFormat::Factorized).unwrap(),
+    ]
+}
+
+fn canon_rows(mut rows: Vec<Row>) -> Vec<Row> {
+    for r in rows.iter_mut() {
+        for v in r.iter_mut() {
+            if let Value::Array(a) = v {
+                a.sort();
+                if a.is_empty() {
+                    *v = Value::Null;
+                }
+            }
+        }
+    }
+    rows.sort();
+    rows
+}
+
+type CanonRow = Vec<(String, Value)>;
+
+fn canon_extent(store: &EntityStore<'_>, cat: &Catalog, entity: &str) -> Vec<CanonRow> {
+    let mut out: Vec<CanonRow> = store
+        .extract_entities(cat, entity)
+        .unwrap()
+        .into_iter()
+        .map(|d| {
+            let mut kv: Vec<(String, Value)> = d
+                .into_iter()
+                .map(|(k, mut v)| {
+                    if let Value::Array(a) = &mut v {
+                        a.sort();
+                    }
+                    (k, v)
+                })
+                .collect();
+            kv.sort();
+            kv
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// DESIGN.md invariant 1: extents round-trip identically under every
+    /// mapping, for arbitrary instances.
+    #[test]
+    fn random_instances_roundtrip_across_mappings(inst in instance_strategy()) {
+        let schema = fixtures::experiment();
+        let mut reference: Option<Vec<Vec<CanonRow>>> = None;
+        for m in mappings(&schema) {
+            let name = m.name.clone();
+            let lw = Lowering::build(&schema, &m).unwrap();
+            let mut cat = Catalog::new();
+            lw.install(&mut cat).unwrap();
+            populate(&inst, &mut cat, &lw);
+            let store = EntityStore::new(&lw);
+            let snapshot: Vec<_> = ["R", "R2", "R3", "S", "S1"]
+                .iter()
+                .map(|e| canon_extent(&store, &cat, e))
+                .collect();
+            match &reference {
+                None => reference = Some(snapshot),
+                Some(r) => prop_assert_eq!(r, &snapshot, "extent drift under {}", name),
+            }
+        }
+    }
+
+    /// DESIGN.md invariant 2 (logical data independence): the same query
+    /// answers identically under every mapping, for arbitrary instances.
+    #[test]
+    fn random_instances_query_equivalence(inst in instance_strategy()) {
+        let schema = fixtures::experiment();
+        let queries = [
+            "SELECT r.r_id, r.r_mv1 FROM R r",
+            "SELECT r.r_id, s.s_a FROM R r JOIN S s VIA r_s",
+            "SELECT r.r_id, w.s1_a FROM R2 r JOIN S1 w VIA r2_s1",
+            "SELECT s.s_id, COUNT(*) AS n FROM S s JOIN S1 w VIA s_s1",
+            "SELECT r.r_b, COUNT(*) AS n FROM R r GROUP BY r.r_b",
+        ];
+        let mut reference: Option<Vec<Vec<Row>>> = None;
+        for m in mappings(&schema) {
+            let name = m.name.clone();
+            let lw = Lowering::build(&schema, &m).unwrap();
+            let mut cat = Catalog::new();
+            lw.install(&mut cat).unwrap();
+            populate(&inst, &mut cat, &lw);
+            let results: Vec<Vec<Row>> = queries
+                .iter()
+                .map(|q| canon_rows(run_query(&lw, &cat, q).unwrap().1))
+                .collect();
+            match &reference {
+                None => reference = Some(results),
+                Some(r) => prop_assert_eq!(r, &results, "query drift under {}", name),
+            }
+        }
+    }
+
+    /// Deleting an instance then re-extracting equals never inserting it
+    /// (up to generated content), under the normalized mapping.
+    #[test]
+    fn delete_is_inverse_of_insert(inst in instance_strategy()) {
+        prop_assume!(inst.r.len() >= 2);
+        let schema = fixtures::experiment();
+        let lw = Lowering::build(&schema, &paper::m1(&schema)).unwrap();
+        let mut cat = Catalog::new();
+        lw.install(&mut cat).unwrap();
+        populate(&inst, &mut cat, &lw);
+        let store = EntityStore::new(&lw);
+        let n_before = store.extent_keys(&cat, "R").unwrap().len();
+        let mut txn = Transaction::new();
+        store.delete(&mut cat, &mut txn, "R", &[Value::Int(0)]).unwrap();
+        txn.commit();
+        prop_assert_eq!(store.extent_keys(&cat, "R").unwrap().len(), n_before - 1);
+        prop_assert!(store.get(&cat, "R", &[Value::Int(0)]).unwrap().is_none());
+        // No dangling relationship instances: the deleted hierarchy key
+        // must not appear on any R-side end.
+        let gone = vec![Value::Int(0)];
+        for rel in ["r_s", "r2_s1", "r1_r3"] {
+            for i in store.extract_relationship(&cat, rel).unwrap() {
+                prop_assert!(i.from_key != gone, "dangling {} from-link", rel);
+                if rel == "r1_r3" {
+                    prop_assert!(i.to_key != gone, "dangling {} to-link", rel);
+                }
+            }
+        }
+    }
+}
