@@ -1,0 +1,115 @@
+//! Ablation benchmarks for the pull-based streaming executor.
+//!
+//! Three axes:
+//!
+//! * **streaming vs. materializing drain** — `execute` (the compat wrapper
+//!   that drains the stream) against pulling only the batches a consumer
+//!   actually needs, which is where a pull executor wins;
+//! * **LIMIT early termination** — `LIMIT k` over a large scan should cost
+//!   ~k rows, not a full-table materialization;
+//! * **1 vs. N threads** — morsel-parallel leaf scans and hash-join builds
+//!   on scoped threads (on single-core CI boxes the two arms measure the
+//!   scheduling overhead rather than a speedup; the equivalence of results
+//!   is asserted by `crates/engine/tests/streaming.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use erbium_engine::{execute, execute_streaming, ExecContext, Expr, JoinKind, Plan};
+use erbium_storage::{Catalog, Column, DataType, Table, TableSchema, Value};
+use std::time::Duration;
+
+const N: i64 = 100_000;
+
+fn setup() -> Catalog {
+    let mut cat = Catalog::new();
+    let mut t = Table::new(TableSchema::new(
+        "big",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("grp", DataType::Int),
+            Column::new("v", DataType::Int),
+        ],
+        vec![0],
+    ));
+    for i in 0..N {
+        t.insert(vec![Value::Int(i), Value::Int(i % 64), Value::Int(i * 7 % 10_000)]).unwrap();
+    }
+    cat.create_table(t).unwrap();
+
+    let mut dim = Table::new(TableSchema::new(
+        "dim",
+        vec![Column::not_null("k", DataType::Int), Column::new("label", DataType::Int)],
+        vec![0],
+    ));
+    for i in 0..64i64 {
+        dim.insert(vec![Value::Int(i), Value::Int(i * 11)]).unwrap();
+    }
+    cat.create_table(dim).unwrap();
+    cat
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let cat = setup();
+    let mut g = c.benchmark_group("streaming");
+    g.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+
+    let filtered = Plan::scan(&cat, "big")
+        .unwrap()
+        .filter(Expr::binary(erbium_engine::BinOp::Lt, Expr::col(2), Expr::lit(5_000i64)));
+
+    // Materializing compat path: drain everything into one Vec.
+    g.bench_function("scan_filter/drain", |b| {
+        b.iter(|| std::hint::black_box(execute(&filtered, &cat).unwrap().len()));
+    });
+
+    // Streaming consumer that only needs the first batch.
+    g.bench_function("scan_filter/first_batch", |b| {
+        let ctx = ExecContext::default();
+        b.iter(|| {
+            let mut s = execute_streaming(&filtered, &cat, &ctx).unwrap();
+            std::hint::black_box(s.next_batch().unwrap().map(|b| b.len()))
+        });
+    });
+
+    // LIMIT early termination: the scan stops after ~k qualifying rows.
+    let limited = filtered.clone().limit(64);
+    g.bench_function("limit64/streaming", |b| {
+        let ctx = ExecContext::default();
+        b.iter(|| {
+            let mut s = execute_streaming(&limited, &cat, &ctx).unwrap();
+            std::hint::black_box(s.drain().unwrap().len())
+        });
+    });
+
+    // Morsel-parallel scan: 1 thread vs. 4 threads over the same plan.
+    for threads in [1usize, 4] {
+        let ctx = ExecContext::default().with_threads(threads);
+        g.bench_function(format!("scan_filter/drain_t{threads}"), |b| {
+            b.iter(|| {
+                let mut s = execute_streaming(&filtered, &cat, &ctx).unwrap();
+                std::hint::black_box(s.drain().unwrap().len())
+            });
+        });
+    }
+
+    // Hash join (parallel build side when threads > 1).
+    let join = Plan::scan(&cat, "big").unwrap().join(
+        Plan::scan(&cat, "dim").unwrap(),
+        JoinKind::Inner,
+        vec![Expr::col(1)],
+        vec![Expr::col(0)],
+    );
+    for threads in [1usize, 4] {
+        let ctx = ExecContext::default().with_threads(threads);
+        g.bench_function(format!("join/drain_t{threads}"), |b| {
+            b.iter(|| {
+                let mut s = execute_streaming(&join, &cat, &ctx).unwrap();
+                std::hint::black_box(s.drain().unwrap().len())
+            });
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

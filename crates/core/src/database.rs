@@ -2,7 +2,7 @@
 
 use crate::governance::{AccessPolicy, ErasureReport};
 use erbium_advisor::{Advisor, Recommendation, Workload};
-use erbium_engine::Plan;
+use erbium_engine::{ExecContext, Plan};
 use erbium_evolve::{EvolutionOp, MigrationReport, Migrator, VersionLog};
 use erbium_mapping::{
     presets, EntityData, EntityStore, Lowering, Mapping, MappingError, QueryRewriter,
@@ -69,6 +69,11 @@ pub type DbResult<T> = Result<T, DbError>;
 pub struct QueryResult {
     pub columns: Vec<String>,
     pub rows: Vec<Row>,
+    /// Per-operator runtime metrics (`EXPLAIN ANALYZE`-style). Populated
+    /// only by [`Database::query_analyze`]; plain [`Database::query`] leaves
+    /// it `None` so the common path pays nothing for instrumentation
+    /// beyond the executor's atomic counters.
+    pub metrics: Option<erbium_engine::ExecMetrics>,
 }
 
 impl QueryResult {
@@ -357,14 +362,34 @@ impl Database {
                 .lines()
                 .map(|l| vec![Value::str(l)])
                 .collect();
-            return Ok(QueryResult { columns: vec!["plan".into()], rows });
+            return Ok(QueryResult { columns: vec!["plan".into()], rows, metrics: None });
         }
         let plan = self.plan(sql)?;
-        let rows = erbium_engine::execute(&plan, &self.catalog)
-            .map_err(|e| DbError::Mapping(MappingError::Engine(e)))?;
+        let mut stream =
+            erbium_engine::execute_streaming(&plan, &self.catalog, &ExecContext::default())
+                .map_err(|e| DbError::Mapping(MappingError::Engine(e)))?;
+        let rows = stream.drain().map_err(|e| DbError::Mapping(MappingError::Engine(e)))?;
         Ok(QueryResult {
             columns: plan.fields.iter().map(|f| f.name.clone()).collect(),
             rows,
+            metrics: None,
+        })
+    }
+
+    /// Run an ERQL SELECT and additionally return the executed plan's
+    /// per-operator metrics tree (rows in/out, batches, wall-clock time per
+    /// operator) in [`QueryResult::metrics`] — the programmatic equivalent
+    /// of `EXPLAIN ANALYZE`.
+    pub fn query_analyze(&self, sql: &str, ctx: &ExecContext) -> DbResult<QueryResult> {
+        let plan = self.plan(sql)?;
+        let mut stream = erbium_engine::execute_streaming(&plan, &self.catalog, ctx)
+            .map_err(|e| DbError::Mapping(MappingError::Engine(e)))?;
+        let rows = stream.drain().map_err(|e| DbError::Mapping(MappingError::Engine(e)))?;
+        let metrics = stream.metrics();
+        Ok(QueryResult {
+            columns: plan.fields.iter().map(|f| f.name.clone()).collect(),
+            rows,
+            metrics: Some(metrics),
         })
     }
 

@@ -126,7 +126,7 @@ pub fn populate_experiment(
         let data = entity_data(&[
             ("s_id", Value::Int(owner)),
             ("s2_no", Value::Int(no)),
-            ("s2_a", Value::str(VOCAB[rng.gen_range(0..8)])),
+            ("s2_a", Value::str(VOCAB[rng.gen_range(0..8usize)])),
         ]);
         store.insert(cat, &mut txn, "S2", &data, &[])?;
         stats.entities += 1;
@@ -154,19 +154,19 @@ pub fn populate_experiment(
         {
             let n = rng.gen_range(1..mv_hi) as usize;
             let vals: Vec<Value> =
-                (0..n).map(|_| Value::str(VOCAB[rng.gen_range(0..8)])).collect();
+                (0..n).map(|_| Value::str(VOCAB[rng.gen_range(0..8usize)])).collect();
             stats.mv_values += vals.len();
             data.insert("r_mv3".to_string(), Value::Array(vals));
         }
         match ty {
             "R1" | "R3" => {
                 data.insert("r1_a".into(), Value::Int(rng.gen_range(0..1_000)));
-                data.insert("r1_b".into(), Value::str(VOCAB[rng.gen_range(0..8)]));
+                data.insert("r1_b".into(), Value::str(VOCAB[rng.gen_range(0..8usize)]));
                 r1_members.push(i);
             }
             "R2" | "R4" => {
                 data.insert("r2_a".into(), Value::Int(rng.gen_range(0..1_000)));
-                data.insert("r2_b".into(), Value::str(VOCAB[rng.gen_range(0..8)]));
+                data.insert("r2_b".into(), Value::str(VOCAB[rng.gen_range(0..8usize)]));
                 r2_members.push(i);
             }
             _ => {}
@@ -176,7 +176,7 @@ pub fn populate_experiment(
             r3_members.push(i);
         }
         if ty == "R4" {
-            data.insert("r4_a".into(), Value::str(VOCAB[rng.gen_range(0..8)]));
+            data.insert("r4_a".into(), Value::str(VOCAB[rng.gen_range(0..8usize)]));
         }
         let s_target = rng.gen_range(0..n_s);
         store.insert(cat, &mut txn, ty, &data, &[("r_s", vec![Value::Int(s_target)])])?;

@@ -30,12 +30,12 @@ pub fn populate_university(
             "instructor",
             &[
                 ("id", Value::Int(i)),
-                ("name", Value::str(format!("{} {}", FIRST[rng.gen_range(0..8)], i))),
+                ("name", Value::str(format!("{} {}", FIRST[rng.gen_range(0..8usize)], i))),
                 (
                     "address",
                     Value::Struct(vec![
                         Value::str(format!("{} Main St", rng.gen_range(1..999))),
-                        Value::str(CITIES[rng.gen_range(0..4)]),
+                        Value::str(CITIES[rng.gen_range(0..4usize)]),
                     ]),
                 ),
                 (
@@ -46,7 +46,7 @@ pub fn populate_university(
                             .collect(),
                     ),
                 ),
-                ("rank", Value::str(["assistant", "associate", "professor"][rng.gen_range(0..3)])),
+                ("rank", Value::str(["assistant", "associate", "professor"][rng.gen_range(0..3usize)])),
             ],
             &[("member_of", vec![Value::str(dept)])],
         )?;
@@ -58,12 +58,12 @@ pub fn populate_university(
             "student",
             &[
                 ("id", Value::Int(id)),
-                ("name", Value::str(format!("{} {}", FIRST[rng.gen_range(0..8)], id))),
+                ("name", Value::str(format!("{} {}", FIRST[rng.gen_range(0..8usize)], id))),
                 (
                     "address",
                     Value::Struct(vec![
                         Value::str(format!("{} Campus Dr", rng.gen_range(1..999))),
-                        Value::str(CITIES[rng.gen_range(0..4)]),
+                        Value::str(CITIES[rng.gen_range(0..4usize)]),
                     ]),
                 ),
                 ("phone", Value::Array(vec![Value::str(format!("556-{id:05}"))])),

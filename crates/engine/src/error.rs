@@ -12,6 +12,9 @@ pub enum EngineError {
     Eval(String),
     /// A plan is structurally invalid (bad column index, schema mismatch).
     Plan(String),
+    /// The query was cancelled through its [`crate::exec::ExecContext`]
+    /// before the stream was exhausted.
+    Cancelled,
 }
 
 impl fmt::Display for EngineError {
@@ -20,6 +23,7 @@ impl fmt::Display for EngineError {
             EngineError::Storage(e) => write!(f, "storage error: {e}"),
             EngineError::Eval(m) => write!(f, "evaluation error: {m}"),
             EngineError::Plan(m) => write!(f, "plan error: {m}"),
+            EngineError::Cancelled => write!(f, "query cancelled"),
         }
     }
 }

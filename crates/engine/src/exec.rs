@@ -1,360 +1,168 @@
-//! Materializing executor.
+//! Streaming executor entry points.
 //!
-//! Each operator consumes fully-materialized child output. For an in-memory
-//! engine at paper-experiment scale this is simpler than and competitive
-//! with an iterator model, and it keeps operator implementations easy to
-//! verify against reference semantics in tests.
+//! The executor is pull-based: a plan compiles (via [`crate::stream`]) into
+//! a tree of [`RowStream`] operators that exchange small row batches on
+//! demand. Pipeline operators (filter, project, join probe, unnest, limit,
+//! union) never materialize their input; `Limit` terminates early by simply
+//! not pulling; leaf scans and the hash-join build side go morsel-parallel
+//! over scoped threads when [`ExecContext::threads`] `> 1`, with
+//! deterministic (thread-count-independent) output order.
+//!
+//! Entry points:
+//!
+//! * [`execute_streaming`] — compile to a [`QueryStream`] handle that the
+//!   caller pulls batch-by-batch; exposes live per-operator
+//!   [`ExecMetrics`] and cooperative cancellation.
+//! * [`execute`] — compatibility wrapper: drain the stream to a `Vec<Row>`
+//!   under a default context (what the materializing executor returned).
+//! * [`execute_optimized`] — optimize (see [`crate::optimizer`]) then drain.
+//! * [`execute_with_metrics`] — drain and return the metrics tree
+//!   (`EXPLAIN ANALYZE`-style).
 
-use crate::agg::Accumulator;
-use crate::error::{EngineError, EngineResult};
-use crate::expr::Expr;
+use crate::error::EngineResult;
+use crate::metrics::{ExecMetrics, OpMetrics};
 use crate::optimizer;
-use crate::plan::{FactorizedSide, JoinKind, Plan, PlanKind};
-use erbium_storage::{Catalog, Row, Value};
-use rustc_hash::{FxHashMap, FxHashSet};
+use crate::plan::Plan;
+use crate::stream::{self, BoxedRowStream};
+use erbium_storage::{Catalog, Row};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Runtime knobs threaded through every operator of a streaming query.
+///
+/// Cloning the context shares the cancellation flag: keep a clone, hand the
+/// original to [`execute_streaming`], and call [`ExecContext::cancel`] from
+/// anywhere to make every operator of the running query error with
+/// [`crate::EngineError::Cancelled`] at its next pull.
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    /// Target rows per batch. Operators may emit smaller batches, and
+    /// expanding operators (join, unnest) may exceed it.
+    pub batch_size: usize,
+    /// Slot-range granularity handed to scan workers.
+    pub morsel_size: usize,
+    /// Worker threads for morsel-parallel leaves and join builds. `1`
+    /// (default) runs fully inline — no threads are ever spawned.
+    pub threads: usize,
+    cancel: Arc<AtomicBool>,
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        ExecContext {
+            batch_size: 1024,
+            morsel_size: 4096,
+            threads: 1,
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+}
+
+impl ExecContext {
+    pub fn new() -> ExecContext {
+        ExecContext::default()
+    }
+
+    pub fn with_batch_size(mut self, n: usize) -> ExecContext {
+        self.batch_size = n.max(1);
+        self
+    }
+
+    pub fn with_morsel_size(mut self, n: usize) -> ExecContext {
+        self.morsel_size = n.max(1);
+        self
+    }
+
+    pub fn with_threads(mut self, n: usize) -> ExecContext {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Request cooperative cancellation of every query sharing this context.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn cancel_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancel)
+    }
+}
+
+/// A running query: pull batches, snapshot metrics at any point.
+pub struct QueryStream<'a> {
+    root: BoxedRowStream<'a>,
+    metrics: Arc<OpMetrics>,
+}
+
+impl QueryStream<'_> {
+    /// Pull the next (non-empty) batch, or `None` when exhausted.
+    pub fn next_batch(&mut self) -> EngineResult<Option<Vec<Row>>> {
+        self.root.next_batch()
+    }
+
+    /// Pull everything that remains into one vector.
+    pub fn drain(&mut self) -> EngineResult<Vec<Row>> {
+        let mut out = Vec::new();
+        while let Some(batch) = self.next_batch()? {
+            out.extend(batch);
+        }
+        Ok(out)
+    }
+
+    /// Snapshot the per-operator metrics tree (valid mid-stream too).
+    pub fn metrics(&self) -> ExecMetrics {
+        self.metrics.snapshot()
+    }
+}
+
+/// Compile a plan into a pull-based [`QueryStream`] over the catalog.
+pub fn execute_streaming<'a>(
+    plan: &'a Plan,
+    cat: &'a Catalog,
+    ctx: &ExecContext,
+) -> EngineResult<QueryStream<'a>> {
+    let (root, metrics) = stream::compile(plan, cat, ctx)?;
+    Ok(QueryStream { root, metrics })
+}
 
 /// Execute a plan against a catalog, returning the result rows.
+///
+/// Compatibility wrapper over [`execute_streaming`]: drains the stream
+/// under a default [`ExecContext`].
 pub fn execute(plan: &Plan, cat: &Catalog) -> EngineResult<Vec<Row>> {
-    match &plan.kind {
-        PlanKind::Scan { table, filters } => {
-            let t = cat.table(table)?;
-            let mut out = Vec::new();
-            'rows: for (_, row) in t.scan() {
-                for f in filters {
-                    if !f.eval_predicate(row)? {
-                        continue 'rows;
-                    }
-                }
-                out.push(row.clone());
-            }
-            Ok(out)
-        }
-        PlanKind::IndexLookup { table, columns, keys, residual } => {
-            let t = cat.table(table)?;
-            let mut out = Vec::new();
-            for key in keys {
-                let matches = t.index_lookup(columns, key).ok_or_else(|| {
-                    EngineError::Plan(format!("no index on {columns:?} of '{table}'"))
-                })?;
-                'rows: for (_, row) in matches {
-                    for f in residual {
-                        if !f.eval_predicate(row)? {
-                            continue 'rows;
-                        }
-                    }
-                    out.push(row.clone());
-                }
-            }
-            Ok(out)
-        }
-        PlanKind::IndexRange { table, column, lo, hi, residual } => {
-            let t = cat.table(table)?;
-            let idx = t
-                .indexes()
-                .iter()
-                .find(|i| i.columns == [*column])
-                .ok_or_else(|| EngineError::Plan(format!("no index on #{column} of '{table}'")))?;
-            use std::ops::Bound;
-            let lo_b = match lo {
-                None => Bound::Unbounded,
-                Some((v, true)) => Bound::Included(v),
-                Some((v, false)) => Bound::Excluded(v),
-            };
-            let hi_b = match hi {
-                None => Bound::Unbounded,
-                Some((v, true)) => Bound::Included(v),
-                Some((v, false)) => Bound::Excluded(v),
-            };
-            let rids = idx.lookup_range(lo_b, hi_b).ok_or_else(|| {
-                EngineError::Plan(format!("index on #{column} of '{table}' is not ordered"))
-            })?;
-            let mut out = Vec::new();
-            'rows: for rid in rids {
-                let Some(row) = t.get(rid) else { continue };
-                for f in residual {
-                    if !f.eval_predicate(row)? {
-                        continue 'rows;
-                    }
-                }
-                out.push(row.clone());
-            }
-            Ok(out)
-        }
-        PlanKind::FactorizedScan { table, side, filters } => {
-            let ft = cat.factorized(table)?;
-            let rows: Vec<Row> = match side {
-                FactorizedSide::Left => ft.left().scan().map(|(_, r)| r.clone()).collect(),
-                FactorizedSide::Right => ft.right().scan().map(|(_, r)| r.clone()).collect(),
-                FactorizedSide::Join => ft.enumerate_join(),
-            };
-            if filters.is_empty() {
-                return Ok(rows);
-            }
-            let mut out = Vec::with_capacity(rows.len());
-            'rows: for row in rows {
-                for f in filters {
-                    if !f.eval_predicate(&row)? {
-                        continue 'rows;
-                    }
-                }
-                out.push(row);
-            }
-            Ok(out)
-        }
-        PlanKind::FactorizedCount { table } => {
-            let ft = cat.factorized(table)?;
-            Ok(vec![vec![Value::Int(ft.count_join() as i64)]])
-        }
-        PlanKind::Filter { input, predicate } => {
-            let rows = execute(input, cat)?;
-            let mut out = Vec::with_capacity(rows.len());
-            for row in rows {
-                if predicate.eval_predicate(&row)? {
-                    out.push(row);
-                }
-            }
-            Ok(out)
-        }
-        PlanKind::Project { input, exprs } => {
-            let rows = execute(input, cat)?;
-            let mut out = Vec::with_capacity(rows.len());
-            for row in rows {
-                let mut new_row = Vec::with_capacity(exprs.len());
-                for e in exprs {
-                    new_row.push(e.eval(&row)?);
-                }
-                out.push(new_row);
-            }
-            Ok(out)
-        }
-        PlanKind::Join { left, right, kind, left_keys, right_keys } => {
-            exec_join(cat, left, right, *kind, left_keys, right_keys)
-        }
-        PlanKind::Aggregate { input, group, aggs } => {
-            let rows = execute(input, cat)?;
-            exec_aggregate(rows, group, aggs)
-        }
-        PlanKind::Unnest { input, column, keep_empty } => {
-            let rows = execute(input, cat)?;
-            let mut out = Vec::new();
-            for row in rows {
-                match &row[*column] {
-                    Value::Null => {
-                        if *keep_empty {
-                            out.push(row);
-                        }
-                    }
-                    Value::Array(vs) => {
-                        if vs.is_empty() {
-                            if *keep_empty {
-                                let mut new_row = row.clone();
-                                new_row[*column] = Value::Null;
-                                out.push(new_row);
-                            }
-                            continue;
-                        }
-                        for v in vs {
-                            let mut new_row = row.clone();
-                            new_row[*column] = v.clone();
-                            out.push(new_row);
-                        }
-                    }
-                    other => {
-                        return Err(EngineError::Eval(format!(
-                            "unnest over non-array value {other}"
-                        )))
-                    }
-                }
-            }
-            Ok(out)
-        }
-        PlanKind::Sort { input, keys } => {
-            let rows = execute(input, cat)?;
-            let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
-            for row in rows {
-                let mut k = Vec::with_capacity(keys.len());
-                for sk in keys {
-                    k.push(sk.expr.eval(&row)?);
-                }
-                keyed.push((k, row));
-            }
-            keyed.sort_by(|(a, _), (b, _)| {
-                for (i, sk) in keys.iter().enumerate() {
-                    let ord = a[i].cmp(&b[i]);
-                    let ord = if sk.desc { ord.reverse() } else { ord };
-                    if !ord.is_eq() {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
-            Ok(keyed.into_iter().map(|(_, r)| r).collect())
-        }
-        PlanKind::Limit { input, limit } => {
-            let mut rows = execute(input, cat)?;
-            rows.truncate(*limit);
-            Ok(rows)
-        }
-        PlanKind::Distinct { input } => {
-            let rows = execute(input, cat)?;
-            let mut seen = FxHashSet::default();
-            let mut out = Vec::new();
-            for row in rows {
-                if seen.insert(row.clone()) {
-                    out.push(row);
-                }
-            }
-            Ok(out)
-        }
-        PlanKind::Union { inputs } => {
-            let mut out = Vec::new();
-            for p in inputs {
-                out.extend(execute(p, cat)?);
-            }
-            Ok(out)
-        }
-        PlanKind::Values { rows } => Ok(rows.clone()),
-    }
+    execute_streaming(plan, cat, &ExecContext::default())?.drain()
 }
 
 /// Optimize the plan (see [`crate::optimizer`]) and execute it.
 pub fn execute_optimized(plan: &Plan, cat: &Catalog) -> EngineResult<Vec<Row>> {
     let optimized = optimizer::optimize(plan.clone(), cat)?;
-    execute(&optimized, cat)
+    let mut qs = execute_streaming(&optimized, cat, &ExecContext::default())?;
+    qs.drain()
 }
 
-fn exec_join(
+/// Execute and return both the rows and the plan-shaped metrics tree.
+pub fn execute_with_metrics(
+    plan: &Plan,
     cat: &Catalog,
-    left: &Plan,
-    right: &Plan,
-    kind: JoinKind,
-    left_keys: &[Expr],
-    right_keys: &[Expr],
-) -> EngineResult<Vec<Row>> {
-    if left_keys.len() != right_keys.len() {
-        return Err(EngineError::Plan("join key arity mismatch".into()));
-    }
-    let left_rows = execute(left, cat)?;
-    let right_rows = execute(right, cat)?;
-    let right_arity = right.fields.len();
-
-    // Build on the right side.
-    let mut table: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
-    'build: for (i, row) in right_rows.iter().enumerate() {
-        let mut key = Vec::with_capacity(right_keys.len());
-        for e in right_keys {
-            let v = e.eval(row)?;
-            if v.is_null() {
-                continue 'build; // NULL keys never join
-            }
-            key.push(v);
-        }
-        table.entry(key).or_default().push(i);
-    }
-
-    let mut out = Vec::new();
-    for lrow in &left_rows {
-        let mut key = Vec::with_capacity(left_keys.len());
-        let mut null_key = false;
-        for e in left_keys {
-            let v = e.eval(lrow)?;
-            if v.is_null() {
-                null_key = true;
-                break;
-            }
-            key.push(v);
-        }
-        let matches = if null_key { None } else { table.get(&key) };
-        match kind {
-            JoinKind::Inner => {
-                if let Some(idxs) = matches {
-                    for &i in idxs {
-                        let mut row = Vec::with_capacity(lrow.len() + right_arity);
-                        row.extend_from_slice(lrow);
-                        row.extend_from_slice(&right_rows[i]);
-                        out.push(row);
-                    }
-                }
-            }
-            JoinKind::Left => match matches {
-                Some(idxs) if !idxs.is_empty() => {
-                    for &i in idxs {
-                        let mut row = Vec::with_capacity(lrow.len() + right_arity);
-                        row.extend_from_slice(lrow);
-                        row.extend_from_slice(&right_rows[i]);
-                        out.push(row);
-                    }
-                }
-                _ => {
-                    let mut row = Vec::with_capacity(lrow.len() + right_arity);
-                    row.extend_from_slice(lrow);
-                    row.extend(std::iter::repeat_n(Value::Null, right_arity));
-                    out.push(row);
-                }
-            },
-            JoinKind::Semi => {
-                if matches.map(|m| !m.is_empty()).unwrap_or(false) {
-                    out.push(lrow.clone());
-                }
-            }
-        }
-    }
-    Ok(out)
-}
-
-fn exec_aggregate(
-    rows: Vec<Row>,
-    group: &[Expr],
-    aggs: &[crate::agg::AggCall],
-) -> EngineResult<Vec<Row>> {
-    if group.is_empty() {
-        // Global aggregate: always exactly one output row.
-        let mut accs: Vec<Accumulator> = aggs.iter().map(|a| a.accumulator()).collect();
-        for row in &rows {
-            for (acc, call) in accs.iter_mut().zip(aggs) {
-                acc.update(call.arg.eval(row)?)?;
-            }
-        }
-        return Ok(vec![accs.into_iter().map(Accumulator::finish).collect()]);
-    }
-    // Group-by: preserve first-seen group order for determinism.
-    let mut groups: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
-    let mut states: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
-    for row in &rows {
-        let mut key = Vec::with_capacity(group.len());
-        for e in group {
-            key.push(e.eval(row)?);
-        }
-        let slot = match groups.get(&key) {
-            Some(&s) => s,
-            None => {
-                let s = states.len();
-                groups.insert(key.clone(), s);
-                states.push((key, aggs.iter().map(|a| a.accumulator()).collect()));
-                s
-            }
-        };
-        let (_, accs) = &mut states[slot];
-        for (acc, call) in accs.iter_mut().zip(aggs) {
-            acc.update(call.arg.eval(row)?)?;
-        }
-    }
-    let mut out = Vec::with_capacity(states.len());
-    for (key, accs) in states {
-        let mut row = key;
-        row.extend(accs.into_iter().map(Accumulator::finish));
-        out.push(row);
-    }
-    Ok(out)
+    ctx: &ExecContext,
+) -> EngineResult<(Vec<Row>, ExecMetrics)> {
+    let mut qs = execute_streaming(plan, cat, ctx)?;
+    let rows = qs.drain()?;
+    Ok((rows, qs.metrics()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::agg::{AggCall, AggFunc};
-    use crate::expr::ScalarFunc;
-    use crate::plan::SortKey;
-    use erbium_storage::{Column, DataType, Table, TableSchema};
+    use crate::error::EngineError;
+    use crate::expr::{Expr, ScalarFunc};
+    use crate::plan::{JoinKind, PlanKind, SortKey};
+    use erbium_storage::{Column, DataType, Table, TableSchema, Value};
 
     fn cat() -> Catalog {
         let mut c = Catalog::new();
@@ -545,5 +353,123 @@ mod tests {
             vec![vec![Value::Int(1)], vec![Value::Int(2)]],
         );
         assert_eq!(execute(&p, &c).unwrap().len(), 2);
+    }
+
+    // ---- streaming-specific behaviour --------------------------------------
+
+    #[test]
+    fn batches_respect_batch_size_and_cover_scan() {
+        let c = cat();
+        let p = Plan::scan(&c, "emp").unwrap();
+        let ctx = ExecContext::new().with_batch_size(2).with_morsel_size(2);
+        let mut qs = execute_streaming(&p, &c, &ctx).unwrap();
+        let mut sizes = Vec::new();
+        let mut total = 0;
+        while let Some(b) = qs.next_batch().unwrap() {
+            assert!(!b.is_empty(), "streams never emit empty batches");
+            sizes.push(b.len());
+            total += b.len();
+        }
+        assert_eq!(total, 4);
+        assert!(sizes.iter().all(|&s| s <= 2), "{sizes:?}");
+    }
+
+    #[test]
+    fn metrics_tree_mirrors_plan_shape() {
+        let c = cat();
+        let p = Plan::scan(&c, "emp")
+            .unwrap()
+            .filter(Expr::binary(crate::expr::BinOp::Gt, Expr::col(2), Expr::lit(120i64)))
+            .project_columns(&[0]);
+        let (rows, m) = execute_with_metrics(&p, &c, &ExecContext::default()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(m.name, "Project");
+        assert_eq!(m.rows_out, 2);
+        let filter = &m.children[0];
+        assert_eq!(filter.name, "Filter");
+        assert_eq!(filter.rows_out, 2);
+        let scan = &filter.children[0];
+        assert!(scan.name.starts_with("Scan emp"), "{}", scan.name);
+        assert_eq!(scan.rows_in, 4, "scan examined every live row");
+        assert_eq!(scan.rows_out, 4, "filter is a separate node here");
+        assert_eq!(m.rows_in, 2, "project consumed what filter emitted");
+    }
+
+    #[test]
+    fn limit_terminates_scan_early() {
+        let mut c = Catalog::new();
+        let mut t = Table::new(TableSchema::new(
+            "big",
+            vec![Column::not_null("id", DataType::Int)],
+            vec![0],
+        ));
+        for i in 0..1000i64 {
+            t.insert(vec![Value::Int(i)]).unwrap();
+        }
+        c.create_table(t).unwrap();
+        let p = Plan::scan(&c, "big").unwrap().limit(3);
+        let ctx = ExecContext::new().with_batch_size(8).with_morsel_size(8);
+        let (rows, m) = execute_with_metrics(&p, &c, &ctx).unwrap();
+        assert_eq!(rows.len(), 3);
+        let scan = m.find("Scan big").unwrap();
+        assert!(
+            scan.rows_out <= 3 + 8,
+            "limit must stop pulling: scan emitted {} rows",
+            scan.rows_out
+        );
+        assert!(scan.rows_in <= 16, "scan examined {} rows", scan.rows_in);
+    }
+
+    #[test]
+    fn cancellation_surfaces_as_error() {
+        let c = cat();
+        let p = Plan::scan(&c, "emp").unwrap();
+        let ctx = ExecContext::new();
+        let mut qs = execute_streaming(&p, &c, &ctx).unwrap();
+        ctx.cancel();
+        assert_eq!(qs.next_batch(), Err(EngineError::Cancelled));
+    }
+
+    #[test]
+    fn parallel_scan_and_join_match_single_threaded() {
+        let mut c = Catalog::new();
+        let mut l = Table::new(TableSchema::new(
+            "l",
+            vec![Column::not_null("id", DataType::Int), Column::new("k", DataType::Int)],
+            vec![0],
+        ));
+        let mut r = Table::new(TableSchema::new(
+            "r",
+            vec![Column::not_null("id", DataType::Int), Column::new("k", DataType::Int)],
+            vec![0],
+        ));
+        for i in 0..500i64 {
+            l.insert(vec![Value::Int(i), Value::Int(i % 17)]).unwrap();
+            r.insert(vec![Value::Int(i), Value::Int(i % 13)]).unwrap();
+        }
+        c.create_table(l).unwrap();
+        c.create_table(r).unwrap();
+        let plan = Plan::scan(&c, "l")
+            .unwrap()
+            .filter(Expr::binary(crate::expr::BinOp::Lt, Expr::col(1), Expr::lit(9i64)))
+            .join(
+                Plan::scan(&c, "r").unwrap(),
+                JoinKind::Inner,
+                vec![Expr::col(1)],
+                vec![Expr::col(1)],
+            );
+        let seq = execute_streaming(&plan, &c, &ExecContext::new().with_threads(1))
+            .unwrap()
+            .drain()
+            .unwrap();
+        let par = execute_streaming(
+            &plan,
+            &c,
+            &ExecContext::new().with_threads(4).with_morsel_size(64),
+        )
+        .unwrap()
+        .drain()
+        .unwrap();
+        assert_eq!(seq, par, "morsel order keeps parallel output deterministic");
     }
 }

@@ -278,6 +278,40 @@ impl Expr {
     pub fn eval_predicate(&self, row: &[Value]) -> EngineResult<bool> {
         Ok(self.eval(row)? == Value::Bool(true))
     }
+
+    /// Static cost rank of evaluating this expression once.
+    ///
+    /// Used by the optimizer to order conjunctive filter lists so that the
+    /// cheapest, most-likely-pruning predicates run first on every row
+    /// (e.g. an integer comparison before an `array_contains` walk). The
+    /// scale is unitless: literals/columns are near-free, comparisons are
+    /// cheap, allocating or array-walking functions are expensive. Ties
+    /// preserve the original (user/pushdown) order via stable sort.
+    pub fn cost_rank(&self) -> u32 {
+        match self {
+            Expr::Lit(_) => 0,
+            Expr::Col(_) => 1,
+            Expr::IsNull(e) | Expr::IsNotNull(e) => 1 + e.cost_rank(),
+            Expr::Field { expr, .. } => 1 + expr.cost_rank(),
+            Expr::Unary { expr, .. } => 1 + expr.cost_rank(),
+            Expr::Binary { left, right, .. } => 2 + left.cost_rank() + right.cost_rank(),
+            // Hash-set probe: cheap, but hashes a (possibly deep) value.
+            Expr::InSet { expr, .. } => 4 + expr.cost_rank(),
+            Expr::Func { func, args } => {
+                let base = match func {
+                    ScalarFunc::Coalesce | ScalarFunc::ArrayLen => 2,
+                    ScalarFunc::Abs | ScalarFunc::Lower | ScalarFunc::Upper => 4,
+                    // Allocate a new string/struct per row.
+                    ScalarFunc::Concat | ScalarFunc::StructPack => 8,
+                    // Linear walk over an array value.
+                    ScalarFunc::ArrayContains => 16,
+                    // Pairwise intersection — by far the heaviest scalar.
+                    ScalarFunc::ArrayIntersect => 64,
+                };
+                base + args.iter().map(Expr::cost_rank).sum::<u32>()
+            }
+        }
+    }
 }
 
 fn eval_and(l: Value, r: Value) -> EngineResult<Value> {

@@ -17,18 +17,29 @@
 //!   sort/limit/distinct, and **factorized scans** over multi-relation
 //!   structures with aggregate pushdown through the join;
 //! * a rule-based [`optimizer`] (constant folding, filter splitting and
-//!   pushdown, index-lookup selection, trivial-projection elision);
-//! * a materializing [`exec`]utor.
+//!   pushdown, filter cost-rank ordering, index-lookup selection,
+//!   trivial-projection elision);
+//! * a pull-based [`stream`]ing [`exec`]utor: every operator is a
+//!   [`stream::RowStream`] pulling batches from its children, leaf scans and
+//!   hash-join builds run morsel-parallel on scoped threads, `LIMIT`
+//!   terminates its input early, and every operator node records
+//!   [`metrics::ExecMetrics`] (`EXPLAIN ANALYZE`-style) as it runs.
 
 pub mod agg;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod metrics;
 pub mod optimizer;
 pub mod plan;
+pub mod stream;
 
 pub use agg::{AggCall, AggFunc};
 pub use error::{EngineError, EngineResult};
-pub use exec::{execute, execute_optimized};
+pub use exec::{
+    execute, execute_optimized, execute_streaming, execute_with_metrics, ExecContext, QueryStream,
+};
 pub use expr::{BinOp, Expr, ScalarFunc, UnOp};
+pub use metrics::{ExecMetrics, OpMetrics};
 pub use plan::{Field, JoinKind, Plan, PlanKind, SortKey};
+pub use stream::{BoxedRowStream, RowStream};

@@ -1,0 +1,158 @@
+//! Per-operator runtime metrics for the streaming executor.
+//!
+//! Every operator stream created by [`crate::exec::execute_streaming`]
+//! carries a shared [`OpMetrics`] node. The nodes form a tree with the same
+//! shape as the physical plan; counters are plain atomics so leaf scans can
+//! update them from morsel worker threads without locking. A cheap
+//! [`OpMetrics::snapshot`] turns the live tree into a plain [`ExecMetrics`]
+//! value that can be returned to callers (`EXPLAIN ANALYZE`-style) at any
+//! point — including mid-stream.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Live (atomic) metrics for one operator in a running query.
+///
+/// `rows_in` is only written by leaf operators (rows *examined* by a scan,
+/// before filters); for interior operators the input cardinality is derived
+/// at snapshot time as the sum of the children's `rows_out`, because a pull
+/// executor's parent consumes exactly what its children emit.
+#[derive(Debug, Default)]
+pub struct OpMetrics {
+    /// Operator label, e.g. `"Scan emp"` or `"Join Inner"`.
+    pub name: String,
+    /// Rows examined by a leaf (scans count rows visited before filtering).
+    pub rows_in: AtomicU64,
+    /// Rows emitted by this operator.
+    pub rows_out: AtomicU64,
+    /// Batches emitted by this operator.
+    pub batches: AtomicU64,
+    /// Wall-clock nanoseconds spent inside `next_batch`, inclusive of
+    /// children (each child reports its own inclusive time too).
+    pub elapsed_ns: AtomicU64,
+    /// Child operators, in plan order.
+    pub children: Vec<Arc<OpMetrics>>,
+}
+
+impl OpMetrics {
+    pub fn new(name: impl Into<String>, children: Vec<Arc<OpMetrics>>) -> Arc<OpMetrics> {
+        Arc::new(OpMetrics { name: name.into(), children, ..OpMetrics::default() })
+    }
+
+    pub fn add_rows_in(&self, n: u64) {
+        self.rows_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn record_batch(&self, rows: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.rows_out.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    pub fn add_elapsed_ns(&self, ns: u64) {
+        self.elapsed_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Freeze the tree into a plain value.
+    pub fn snapshot(&self) -> ExecMetrics {
+        let children: Vec<ExecMetrics> = self.children.iter().map(|c| c.snapshot()).collect();
+        let rows_in = if children.is_empty() {
+            self.rows_in.load(Ordering::Relaxed)
+        } else {
+            children.iter().map(|c| c.rows_out).sum()
+        };
+        ExecMetrics {
+            name: self.name.clone(),
+            rows_in,
+            rows_out: self.rows_out.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            elapsed_ns: self.elapsed_ns.load(Ordering::Relaxed),
+            children,
+        }
+    }
+}
+
+/// A frozen, plan-shaped metrics tree (one node per operator).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExecMetrics {
+    pub name: String,
+    /// Rows consumed: for leaves, rows examined by the scan; for interior
+    /// nodes, the sum of children `rows_out`.
+    pub rows_in: u64,
+    pub rows_out: u64,
+    pub batches: u64,
+    /// Inclusive wall-clock time spent in this operator's `next_batch`.
+    pub elapsed_ns: u64,
+    pub children: Vec<ExecMetrics>,
+}
+
+impl ExecMetrics {
+    /// Depth-first search for the first node whose name starts with `prefix`.
+    pub fn find(&self, prefix: &str) -> Option<&ExecMetrics> {
+        if self.name.starts_with(prefix) {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(prefix))
+    }
+
+    /// All leaf nodes (scans / values) in plan order.
+    pub fn leaves(&self) -> Vec<&ExecMetrics> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves<'a>(&'a self, out: &mut Vec<&'a ExecMetrics>) {
+        if self.children.is_empty() {
+            out.push(self);
+        } else {
+            for c in &self.children {
+                c.collect_leaves(out);
+            }
+        }
+    }
+
+    /// Multi-line indented rendering, mirroring `Plan::explain`.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.render_into(&mut s, 0);
+        s
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write as _;
+        let pad = "  ".repeat(depth);
+        let _ = writeln!(
+            out,
+            "{pad}{} rows_in={} rows_out={} batches={} time={:.3}ms",
+            self.name,
+            self.rows_in,
+            self.rows_out,
+            self.batches,
+            self.elapsed_ns as f64 / 1e6,
+        );
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_derives_interior_rows_in_from_children() {
+        let leaf = OpMetrics::new("Scan t", vec![]);
+        leaf.add_rows_in(100);
+        leaf.record_batch(40);
+        let root = OpMetrics::new("Filter", vec![Arc::clone(&leaf)]);
+        root.record_batch(7);
+        let snap = root.snapshot();
+        assert_eq!(snap.rows_in, 40, "interior input = child output");
+        assert_eq!(snap.rows_out, 7);
+        assert_eq!(snap.children[0].rows_in, 100, "leaf input = rows examined");
+        assert_eq!(snap.find("Scan").unwrap().rows_out, 40);
+        assert_eq!(snap.leaves().len(), 1);
+        assert!(snap.render().contains("Filter"));
+    }
+}

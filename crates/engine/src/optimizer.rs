@@ -26,7 +26,54 @@ pub fn optimize(plan: Plan, cat: &Catalog) -> EngineResult<Plan> {
     let plan = fold_constants(plan)?;
     let plan = push_filters(plan)?;
     let plan = select_indexes(plan, cat)?;
-    Ok(plan)
+    Ok(rank_filters(plan))
+}
+
+// ---- filter cost ranking ---------------------------------------------------
+
+/// Order every conjunctive filter list in the plan by static evaluation
+/// cost ([`Expr::cost_rank`]), cheapest first.
+///
+/// Pushed-down scan filters and index residuals are applied per examined
+/// row, so running an integer comparison before an `array_contains` walk
+/// lets the cheap predicate prune rows before the expensive one runs. The
+/// sort is stable: equally-ranked predicates keep their pushdown order.
+/// Runs after [`select_indexes`] so index residual lists are ranked too.
+pub fn rank_filters(mut plan: Plan) -> Plan {
+    rank_filters_mut(&mut plan);
+    plan
+}
+
+fn sort_by_cost(filters: &mut [Expr]) {
+    filters.sort_by_key(Expr::cost_rank);
+}
+
+fn rank_filters_mut(plan: &mut Plan) {
+    match &mut plan.kind {
+        PlanKind::Scan { filters, .. } | PlanKind::FactorizedScan { filters, .. } => {
+            sort_by_cost(filters);
+        }
+        PlanKind::IndexLookup { residual, .. } | PlanKind::IndexRange { residual, .. } => {
+            sort_by_cost(residual);
+        }
+        PlanKind::FactorizedCount { .. } | PlanKind::Values { .. } => {}
+        PlanKind::Filter { input, .. }
+        | PlanKind::Project { input, .. }
+        | PlanKind::Aggregate { input, .. }
+        | PlanKind::Unnest { input, .. }
+        | PlanKind::Sort { input, .. }
+        | PlanKind::Limit { input, .. }
+        | PlanKind::Distinct { input } => rank_filters_mut(input),
+        PlanKind::Join { left, right, .. } => {
+            rank_filters_mut(left);
+            rank_filters_mut(right);
+        }
+        PlanKind::Union { inputs } => {
+            for i in inputs {
+                rank_filters_mut(i);
+            }
+        }
+    }
 }
 
 // ---- constant folding ------------------------------------------------------
@@ -547,6 +594,63 @@ mod tests {
         let e = Expr::binary(BinOp::Div, Expr::lit(1i64), Expr::lit(0i64));
         let folded = fold_expr(e.clone());
         assert_eq!(folded, e);
+    }
+
+    #[test]
+    fn rank_filters_orders_scan_conjuncts_cheapest_first() {
+        use crate::expr::ScalarFunc;
+        let c = cat();
+        let cheap = Expr::eq(Expr::col(1), Expr::lit(3i64));
+        let pricey = Expr::func(
+            ScalarFunc::ArrayContains,
+            vec![Expr::col(2), Expr::lit(1i64)],
+        );
+        let null_check = Expr::IsNotNull(Box::new(Expr::col(0)));
+        // Expensive predicate first on purpose.
+        let p = Plan::scan(&c, "t")
+            .unwrap()
+            .filter(pricey.clone())
+            .filter(cheap.clone())
+            .filter(null_check.clone());
+        let opt = push_filters(p).unwrap();
+        let ranked = rank_filters(opt);
+        match &ranked.kind {
+            PlanKind::Scan { filters, .. } => {
+                assert_eq!(filters.len(), 3);
+                // IsNotNull(col) rank 2 < Eq(col,lit) rank 3 < ArrayContains rank 17.
+                assert_eq!(filters[0], null_check);
+                assert_eq!(filters[1], cheap);
+                assert_eq!(filters[2], pricey);
+                let ranks: Vec<u32> = filters.iter().map(Expr::cost_rank).collect();
+                let mut sorted = ranks.clone();
+                sorted.sort_unstable();
+                assert_eq!(ranks, sorted, "filters must be in ascending cost order");
+            }
+            other => panic!("expected scan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rank_filters_orders_index_residuals() {
+        use crate::expr::ScalarFunc;
+        let c = cat();
+        let pricey = Expr::func(
+            ScalarFunc::ArrayContains,
+            vec![Expr::col(2), Expr::lit(1i64)],
+        );
+        let cheap = Expr::binary(BinOp::Lt, Expr::col(2), Expr::lit(50i64));
+        let p = Plan::scan(&c, "t")
+            .unwrap()
+            .filter(pricey.clone())
+            .filter(cheap.clone())
+            .filter(Expr::eq(Expr::col(0), Expr::lit(7i64)));
+        let opt = optimize(p, &c).unwrap();
+        match &opt.kind {
+            PlanKind::IndexLookup { residual, .. } => {
+                assert_eq!(residual, &vec![cheap, pricey], "residuals ranked cheapest first");
+            }
+            other => panic!("expected index lookup, got {other:?}"),
+        }
     }
 
     #[test]

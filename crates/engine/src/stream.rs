@@ -1,0 +1,947 @@
+//! Streaming (pull-based) operator implementations.
+//!
+//! Every [`crate::plan::PlanKind`] compiles to a [`RowStream`]: a cursor
+//! that yields small batches of rows on demand. Operators pull from their
+//! children, so pipeline-friendly nodes (filter, project, join probe,
+//! unnest, limit, union) never materialize their input, and `Limit` stops
+//! pulling as soon as it is satisfied. Pipeline breakers (sort, aggregate,
+//! distinct's seen-set, the join build side) buffer exactly the state their
+//! semantics require and nothing more.
+//!
+//! Leaf scans are **morsel-driven**: the slot space of a table is split
+//! into contiguous ranges, and with [`crate::exec::ExecContext::threads`]
+//! `> 1` each pull processes one *wave* of morsels on scoped worker threads
+//! (`std::thread::scope`; borrowed tables cross into workers without any
+//! `'static` bound). Morsel outputs are re-assembled in morsel order, so
+//! parallel execution is deterministic and bit-identical to
+//! single-threaded execution. The hash-join build side is parallelized the
+//! same way: per-worker partial tables over contiguous chunks are merged in
+//! chunk order, preserving within-key probe order.
+//!
+//! Every compiled operator is wrapped in a metering shim that feeds the
+//! [`crate::metrics::ExecMetrics`] tree and honours cooperative
+//! cancellation.
+
+use crate::agg::{Accumulator, AggCall};
+use crate::error::{EngineError, EngineResult};
+use crate::exec::ExecContext;
+use crate::expr::Expr;
+use crate::metrics::OpMetrics;
+use crate::plan::{FactorizedSide, JoinKind, Plan, PlanKind, SortKey};
+use erbium_storage::{Catalog, Row, RowId, Table, Value};
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A pull-based cursor over row batches.
+///
+/// `Ok(Some(batch))` carries a non-empty batch; `Ok(None)` means the stream
+/// is exhausted (and stays exhausted). Batch sizes are *approximately*
+/// [`crate::exec::ExecContext::batch_size`]: operators may emit smaller
+/// batches, and expanding operators (join, unnest) may emit larger ones.
+pub trait RowStream {
+    fn next_batch(&mut self) -> EngineResult<Option<Vec<Row>>>;
+}
+
+/// An owned, borrowing stream (operators borrow the plan and catalog).
+pub type BoxedRowStream<'a> = Box<dyn RowStream + 'a>;
+
+// ---- compilation -----------------------------------------------------------
+
+/// Compile a plan node into a metered operator stream plus its metrics node.
+pub(crate) fn compile<'a>(
+    plan: &'a Plan,
+    cat: &'a Catalog,
+    ctx: &ExecContext,
+) -> EngineResult<(BoxedRowStream<'a>, Arc<OpMetrics>)> {
+    let (inner, metrics): (BoxedRowStream<'a>, Arc<OpMetrics>) = match &plan.kind {
+        PlanKind::Scan { table, filters } => {
+            let t = cat.table(table)?;
+            let m = OpMetrics::new(format!("Scan {table}"), vec![]);
+            (table_scan_stream(t, filters, Arc::clone(&m), ctx), m)
+        }
+        PlanKind::IndexLookup { table, columns, keys, residual } => {
+            let t = cat.table(table)?;
+            let m = OpMetrics::new(format!("IndexLookup {table}"), vec![]);
+            (
+                Box::new(IndexLookupStream {
+                    t,
+                    table_name: table,
+                    columns,
+                    keys,
+                    residual,
+                    next_key: 0,
+                    batch: ctx.batch_size,
+                    metrics: Arc::clone(&m),
+                }),
+                m,
+            )
+        }
+        PlanKind::IndexRange { table, column, lo, hi, residual } => {
+            let t = cat.table(table)?;
+            let idx = t
+                .indexes()
+                .iter()
+                .find(|i| i.columns == [*column])
+                .ok_or_else(|| EngineError::Plan(format!("no index on #{column} of '{table}'")))?;
+            use std::ops::Bound;
+            let lo_b = match lo {
+                None => Bound::Unbounded,
+                Some((v, true)) => Bound::Included(v),
+                Some((v, false)) => Bound::Excluded(v),
+            };
+            let hi_b = match hi {
+                None => Bound::Unbounded,
+                Some((v, true)) => Bound::Included(v),
+                Some((v, false)) => Bound::Excluded(v),
+            };
+            let rids = idx.lookup_range(lo_b, hi_b).ok_or_else(|| {
+                EngineError::Plan(format!("index on #{column} of '{table}' is not ordered"))
+            })?;
+            let m = OpMetrics::new(format!("IndexRange {table}"), vec![]);
+            (
+                Box::new(IndexRangeStream {
+                    t,
+                    rids,
+                    pos: 0,
+                    residual,
+                    batch: ctx.batch_size,
+                    metrics: Arc::clone(&m),
+                }),
+                m,
+            )
+        }
+        PlanKind::FactorizedScan { table, side, filters } => {
+            let ft = cat.factorized(table)?;
+            let m = OpMetrics::new(format!("FactorizedScan {table} {side:?}"), vec![]);
+            let stream: BoxedRowStream<'a> = match side {
+                FactorizedSide::Left => table_scan_stream(ft.left(), filters, Arc::clone(&m), ctx),
+                FactorizedSide::Right => table_scan_stream(ft.right(), filters, Arc::clone(&m), ctx),
+                FactorizedSide::Join => {
+                    let lm = Arc::clone(&m);
+                    let total = ft.left().slot_count();
+                    let work = move |range: Range<usize>| -> EngineResult<Vec<Row>> {
+                        let mut out = Vec::new();
+                        let mut examined = 0u64;
+                        'pairs: for row in ft.iter_join_slots(range) {
+                            examined += 1;
+                            for f in filters {
+                                if !f.eval_predicate(&row)? {
+                                    continue 'pairs;
+                                }
+                            }
+                            out.push(row);
+                        }
+                        lm.add_rows_in(examined);
+                        Ok(out)
+                    };
+                    Box::new(MorselStream::new(Box::new(work), total, ctx))
+                }
+            };
+            (stream, m)
+        }
+        PlanKind::FactorizedCount { table } => {
+            let ft = cat.factorized(table)?;
+            let m = OpMetrics::new(format!("FactorizedCount {table}"), vec![]);
+            m.add_rows_in(1);
+            (
+                Box::new(OnceStream { rows: Some(vec![vec![Value::Int(ft.count_join() as i64)]]) }),
+                m,
+            )
+        }
+        PlanKind::Filter { input, predicate } => {
+            let (child, cm) = compile(input, cat, ctx)?;
+            let m = OpMetrics::new("Filter", vec![cm]);
+            (Box::new(FilterStream { input: child, predicate }), m)
+        }
+        PlanKind::Project { input, exprs } => {
+            let (child, cm) = compile(input, cat, ctx)?;
+            let m = OpMetrics::new("Project", vec![cm]);
+            (Box::new(ProjectStream { input: child, exprs }), m)
+        }
+        PlanKind::Join { left, right, kind, left_keys, right_keys } => {
+            if left_keys.len() != right_keys.len() {
+                return Err(EngineError::Plan("join key arity mismatch".into()));
+            }
+            let (l, lm) = compile(left, cat, ctx)?;
+            let (r, rm) = compile(right, cat, ctx)?;
+            let m = OpMetrics::new(format!("Join {kind:?}"), vec![lm, rm]);
+            (
+                Box::new(JoinStream {
+                    left: l,
+                    right: Some(r),
+                    kind: *kind,
+                    left_keys,
+                    right_keys,
+                    right_arity: right.fields.len(),
+                    threads: ctx.threads,
+                    build: None,
+                }),
+                m,
+            )
+        }
+        PlanKind::Aggregate { input, group, aggs } => {
+            let (child, cm) = compile(input, cat, ctx)?;
+            let m = OpMetrics::new("Aggregate", vec![cm]);
+            (
+                Box::new(AggregateStream {
+                    input: child,
+                    group,
+                    aggs,
+                    batch: ctx.batch_size,
+                    out: None,
+                }),
+                m,
+            )
+        }
+        PlanKind::Unnest { input, column, keep_empty } => {
+            let (child, cm) = compile(input, cat, ctx)?;
+            let m = OpMetrics::new(format!("Unnest #{column}"), vec![cm]);
+            (
+                Box::new(UnnestStream { input: child, column: *column, keep_empty: *keep_empty }),
+                m,
+            )
+        }
+        PlanKind::Sort { input, keys } => {
+            let (child, cm) = compile(input, cat, ctx)?;
+            let m = OpMetrics::new("Sort", vec![cm]);
+            (Box::new(SortStream { input: child, keys, batch: ctx.batch_size, out: None }), m)
+        }
+        PlanKind::Limit { input, limit } => {
+            let (child, cm) = compile(input, cat, ctx)?;
+            let m = OpMetrics::new(format!("Limit {limit}"), vec![cm]);
+            (Box::new(LimitStream { input: child, remaining: *limit }), m)
+        }
+        PlanKind::Distinct { input } => {
+            let (child, cm) = compile(input, cat, ctx)?;
+            let m = OpMetrics::new("Distinct", vec![cm]);
+            (Box::new(DistinctStream { input: child, seen: FxHashSet::default() }), m)
+        }
+        PlanKind::Union { inputs } => {
+            let mut children = Vec::with_capacity(inputs.len());
+            let mut cms = Vec::with_capacity(inputs.len());
+            for p in inputs {
+                let (c, cm) = compile(p, cat, ctx)?;
+                children.push(c);
+                cms.push(cm);
+            }
+            let m = OpMetrics::new("UnionAll", cms);
+            (Box::new(UnionStream { children, idx: 0 }), m)
+        }
+        PlanKind::Values { rows } => {
+            let m = OpMetrics::new("Values", vec![]);
+            m.add_rows_in(rows.len() as u64);
+            (Box::new(ValuesStream { rows, cursor: 0, batch: ctx.batch_size }), m)
+        }
+    };
+    Ok((
+        Box::new(MeterStream {
+            inner,
+            metrics: Arc::clone(&metrics),
+            cancel: ctx.cancel_flag(),
+        }),
+        metrics,
+    ))
+}
+
+// ---- metering shim ---------------------------------------------------------
+
+struct MeterStream<'a> {
+    inner: BoxedRowStream<'a>,
+    metrics: Arc<OpMetrics>,
+    cancel: Arc<AtomicBool>,
+}
+
+impl RowStream for MeterStream<'_> {
+    fn next_batch(&mut self) -> EngineResult<Option<Vec<Row>>> {
+        if self.cancel.load(Ordering::Relaxed) {
+            return Err(EngineError::Cancelled);
+        }
+        let start = Instant::now();
+        let out = self.inner.next_batch();
+        self.metrics.add_elapsed_ns(start.elapsed().as_nanos() as u64);
+        if let Ok(Some(batch)) = &out {
+            self.metrics.record_batch(batch.len() as u64);
+        }
+        out
+    }
+}
+
+// ---- morsel-driven leaf scans ----------------------------------------------
+
+type MorselWork<'a> = Box<dyn Fn(Range<usize>) -> EngineResult<Vec<Row>> + Sync + 'a>;
+
+/// Leaf stream over a slot space `0..total`, processed in contiguous
+/// morsels. With `threads > 1` each pull runs one wave of up to `threads`
+/// morsels on scoped worker threads; outputs are buffered in morsel order,
+/// so results are deterministic regardless of thread count. The stream is
+/// lazy between waves: a `Limit` upstream that stops pulling stops the scan.
+struct MorselStream<'a> {
+    work: MorselWork<'a>,
+    total: usize,
+    next: usize,
+    threads: usize,
+    morsel: usize,
+    batch: usize,
+    cancel: Arc<AtomicBool>,
+    buffer: VecDeque<Vec<Row>>,
+}
+
+impl<'a> MorselStream<'a> {
+    fn new(work: MorselWork<'a>, total: usize, ctx: &ExecContext) -> MorselStream<'a> {
+        MorselStream {
+            work,
+            total,
+            next: 0,
+            threads: ctx.threads.max(1),
+            morsel: ctx.morsel_size.max(1),
+            batch: ctx.batch_size.max(1),
+            cancel: ctx.cancel_flag(),
+            buffer: VecDeque::new(),
+        }
+    }
+}
+
+impl RowStream for MorselStream<'_> {
+    fn next_batch(&mut self) -> EngineResult<Option<Vec<Row>>> {
+        loop {
+            if let Some(b) = self.buffer.pop_front() {
+                debug_assert!(!b.is_empty());
+                return Ok(Some(b));
+            }
+            if self.next >= self.total {
+                return Ok(None);
+            }
+            if self.cancel.load(Ordering::Relaxed) {
+                return Err(EngineError::Cancelled);
+            }
+            // One wave: up to `threads` contiguous morsels.
+            let mut ranges: Vec<Range<usize>> = Vec::new();
+            while ranges.len() < self.threads && self.next < self.total {
+                let end = (self.next + self.morsel).min(self.total);
+                ranges.push(self.next..end);
+                self.next = end;
+            }
+            let outputs: Vec<Vec<Row>> = if self.threads <= 1 || ranges.len() <= 1 {
+                let mut outs = Vec::with_capacity(ranges.len());
+                for r in ranges {
+                    outs.push((self.work)(r)?);
+                }
+                outs
+            } else {
+                run_wave(&self.work, ranges)?
+            };
+            for rows in outputs {
+                push_chunked(&mut self.buffer, rows, self.batch);
+            }
+        }
+    }
+}
+
+/// Run one wave of morsels on scoped threads; results come back in morsel
+/// (= submission) order.
+fn run_wave(work: &MorselWork<'_>, ranges: Vec<Range<usize>>) -> EngineResult<Vec<Vec<Row>>> {
+    let results: Vec<EngineResult<Vec<Row>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = ranges.into_iter().map(|r| s.spawn(move || (work)(r))).collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(EngineError::Eval("morsel worker panicked".into())))
+            })
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+/// Split `rows` into batches of at most `batch` rows (dropping nothing,
+/// never queueing an empty batch).
+fn push_chunked(buf: &mut VecDeque<Vec<Row>>, mut rows: Vec<Row>, batch: usize) {
+    while rows.len() > batch {
+        let rest = rows.split_off(batch);
+        buf.push_back(std::mem::replace(&mut rows, rest));
+    }
+    if !rows.is_empty() {
+        buf.push_back(rows);
+    }
+}
+
+/// Morsel scan over one table: examine rows in the slot range, apply the
+/// pushed-down filters against borrowed rows, clone only survivors.
+fn table_scan_stream<'a>(
+    t: &'a Table,
+    filters: &'a [Expr],
+    metrics: Arc<OpMetrics>,
+    ctx: &ExecContext,
+) -> BoxedRowStream<'a> {
+    let total = t.slot_count();
+    let work = move |range: Range<usize>| -> EngineResult<Vec<Row>> {
+        let mut out = Vec::new();
+        let mut examined = 0u64;
+        'rows: for (_, row) in t.scan_slots(range) {
+            examined += 1;
+            for f in filters {
+                if !f.eval_predicate(row)? {
+                    continue 'rows;
+                }
+            }
+            out.push(row.clone());
+        }
+        metrics.add_rows_in(examined);
+        Ok(out)
+    };
+    Box::new(MorselStream::new(Box::new(work), total, ctx))
+}
+
+// ---- index leaves ----------------------------------------------------------
+
+struct IndexLookupStream<'a> {
+    t: &'a Table,
+    table_name: &'a str,
+    columns: &'a [usize],
+    keys: &'a [Value],
+    residual: &'a [Expr],
+    next_key: usize,
+    batch: usize,
+    metrics: Arc<OpMetrics>,
+}
+
+impl RowStream for IndexLookupStream<'_> {
+    fn next_batch(&mut self) -> EngineResult<Option<Vec<Row>>> {
+        let mut out = Vec::new();
+        while self.next_key < self.keys.len() && out.len() < self.batch {
+            let key = &self.keys[self.next_key];
+            self.next_key += 1;
+            let matches = self.t.index_lookup(self.columns, key).ok_or_else(|| {
+                EngineError::Plan(format!(
+                    "no index on {:?} of '{}'",
+                    self.columns, self.table_name
+                ))
+            })?;
+            self.metrics.add_rows_in(matches.len() as u64);
+            'rows: for (_, row) in matches {
+                for f in self.residual {
+                    if !f.eval_predicate(row)? {
+                        continue 'rows;
+                    }
+                }
+                out.push(row.clone());
+            }
+        }
+        Ok(if out.is_empty() { None } else { Some(out) })
+    }
+}
+
+struct IndexRangeStream<'a> {
+    t: &'a Table,
+    rids: Vec<RowId>,
+    pos: usize,
+    residual: &'a [Expr],
+    batch: usize,
+    metrics: Arc<OpMetrics>,
+}
+
+impl RowStream for IndexRangeStream<'_> {
+    fn next_batch(&mut self) -> EngineResult<Option<Vec<Row>>> {
+        let mut out = Vec::new();
+        'rids: while self.pos < self.rids.len() && out.len() < self.batch {
+            let rid = self.rids[self.pos];
+            self.pos += 1;
+            let Some(row) = self.t.get(rid) else { continue };
+            self.metrics.add_rows_in(1);
+            for f in self.residual {
+                if !f.eval_predicate(row)? {
+                    continue 'rids;
+                }
+            }
+            out.push(row.clone());
+        }
+        Ok(if out.is_empty() { None } else { Some(out) })
+    }
+}
+
+// ---- simple leaves ---------------------------------------------------------
+
+struct OnceStream {
+    rows: Option<Vec<Row>>,
+}
+
+impl RowStream for OnceStream {
+    fn next_batch(&mut self) -> EngineResult<Option<Vec<Row>>> {
+        Ok(self.rows.take().filter(|r| !r.is_empty()))
+    }
+}
+
+struct ValuesStream<'a> {
+    rows: &'a [Row],
+    cursor: usize,
+    batch: usize,
+}
+
+impl RowStream for ValuesStream<'_> {
+    fn next_batch(&mut self) -> EngineResult<Option<Vec<Row>>> {
+        if self.cursor >= self.rows.len() {
+            return Ok(None);
+        }
+        let end = (self.cursor + self.batch.max(1)).min(self.rows.len());
+        let out = self.rows[self.cursor..end].to_vec();
+        self.cursor = end;
+        Ok(Some(out))
+    }
+}
+
+// ---- pipelined operators ---------------------------------------------------
+
+struct FilterStream<'a> {
+    input: BoxedRowStream<'a>,
+    predicate: &'a Expr,
+}
+
+impl RowStream for FilterStream<'_> {
+    fn next_batch(&mut self) -> EngineResult<Option<Vec<Row>>> {
+        loop {
+            let Some(batch) = self.input.next_batch()? else { return Ok(None) };
+            let mut out = Vec::with_capacity(batch.len());
+            for row in batch {
+                if self.predicate.eval_predicate(&row)? {
+                    out.push(row);
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+    }
+}
+
+struct ProjectStream<'a> {
+    input: BoxedRowStream<'a>,
+    exprs: &'a [Expr],
+}
+
+impl RowStream for ProjectStream<'_> {
+    fn next_batch(&mut self) -> EngineResult<Option<Vec<Row>>> {
+        let Some(batch) = self.input.next_batch()? else { return Ok(None) };
+        let mut out = Vec::with_capacity(batch.len());
+        for row in batch {
+            let mut new_row = Vec::with_capacity(self.exprs.len());
+            for e in self.exprs {
+                new_row.push(e.eval(&row)?);
+            }
+            out.push(new_row);
+        }
+        Ok(Some(out))
+    }
+}
+
+struct UnnestStream<'a> {
+    input: BoxedRowStream<'a>,
+    column: usize,
+    keep_empty: bool,
+}
+
+impl RowStream for UnnestStream<'_> {
+    fn next_batch(&mut self) -> EngineResult<Option<Vec<Row>>> {
+        loop {
+            let Some(batch) = self.input.next_batch()? else { return Ok(None) };
+            let mut out = Vec::with_capacity(batch.len());
+            for mut row in batch {
+                match &row[self.column] {
+                    Value::Null => {
+                        if self.keep_empty {
+                            out.push(row);
+                        }
+                    }
+                    Value::Array(_) => {
+                        let Value::Array(vs) =
+                            std::mem::replace(&mut row[self.column], Value::Null)
+                        else {
+                            unreachable!("just matched Array")
+                        };
+                        if vs.is_empty() {
+                            if self.keep_empty {
+                                // Column already replaced with NULL.
+                                out.push(row);
+                            }
+                            continue;
+                        }
+                        let last = vs.len() - 1;
+                        let mut it = vs.into_iter();
+                        for _ in 0..last {
+                            let v = it.next().expect("length checked");
+                            let mut new_row = row.clone();
+                            new_row[self.column] = v;
+                            out.push(new_row);
+                        }
+                        // Move the original row for the final element: no clone.
+                        row[self.column] = it.next().expect("length checked");
+                        out.push(row);
+                    }
+                    other => {
+                        return Err(EngineError::Eval(format!(
+                            "unnest over non-array value {other}"
+                        )))
+                    }
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+    }
+}
+
+struct LimitStream<'a> {
+    input: BoxedRowStream<'a>,
+    remaining: usize,
+}
+
+impl RowStream for LimitStream<'_> {
+    fn next_batch(&mut self) -> EngineResult<Option<Vec<Row>>> {
+        if self.remaining == 0 {
+            // Early termination: never pull the child again.
+            return Ok(None);
+        }
+        match self.input.next_batch()? {
+            None => {
+                self.remaining = 0;
+                Ok(None)
+            }
+            Some(mut batch) => {
+                if batch.len() > self.remaining {
+                    batch.truncate(self.remaining);
+                }
+                self.remaining -= batch.len();
+                Ok(Some(batch))
+            }
+        }
+    }
+}
+
+struct DistinctStream<'a> {
+    input: BoxedRowStream<'a>,
+    seen: FxHashSet<Row>,
+}
+
+impl RowStream for DistinctStream<'_> {
+    fn next_batch(&mut self) -> EngineResult<Option<Vec<Row>>> {
+        loop {
+            let Some(batch) = self.input.next_batch()? else { return Ok(None) };
+            let mut out = Vec::new();
+            for row in batch {
+                // Clone only first-seen rows; duplicates are dropped without
+                // the per-row clone the materializing executor paid.
+                if !self.seen.contains(&row) {
+                    self.seen.insert(row.clone());
+                    out.push(row);
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+    }
+}
+
+struct UnionStream<'a> {
+    children: Vec<BoxedRowStream<'a>>,
+    idx: usize,
+}
+
+impl RowStream for UnionStream<'_> {
+    fn next_batch(&mut self) -> EngineResult<Option<Vec<Row>>> {
+        while self.idx < self.children.len() {
+            match self.children[self.idx].next_batch()? {
+                Some(b) if !b.is_empty() => return Ok(Some(b)),
+                Some(_) => continue,
+                None => self.idx += 1,
+            }
+        }
+        Ok(None)
+    }
+}
+
+// ---- hash join -------------------------------------------------------------
+
+struct JoinStream<'a> {
+    left: BoxedRowStream<'a>,
+    right: Option<BoxedRowStream<'a>>,
+    kind: JoinKind,
+    left_keys: &'a [Expr],
+    right_keys: &'a [Expr],
+    right_arity: usize,
+    threads: usize,
+    build: Option<JoinBuild>,
+}
+
+struct JoinBuild {
+    rows: Vec<Row>,
+    table: FxHashMap<Vec<Value>, Vec<usize>>,
+}
+
+impl JoinStream<'_> {
+    /// Drain the build (right) side and hash it. With `threads > 1` the key
+    /// evaluation + insertion runs on scoped workers over contiguous chunks
+    /// whose partial tables are merged in chunk order — per-key row indexes
+    /// stay ascending, so probe output order matches sequential execution.
+    fn build_side(&mut self) -> EngineResult<()> {
+        if self.build.is_some() {
+            return Ok(());
+        }
+        let mut right = self.right.take().expect("build side taken once");
+        let mut rows: Vec<Row> = Vec::new();
+        while let Some(b) = right.next_batch()? {
+            rows.extend(b);
+        }
+        let table = if self.threads > 1 && rows.len() >= 2 {
+            parallel_hash_build(&rows, self.right_keys, self.threads)?
+        } else {
+            hash_build_range(&rows, self.right_keys, 0, rows.len())?
+        };
+        self.build = Some(JoinBuild { rows, table });
+        Ok(())
+    }
+}
+
+fn hash_build_range(
+    rows: &[Row],
+    keys: &[Expr],
+    lo: usize,
+    hi: usize,
+) -> EngineResult<FxHashMap<Vec<Value>, Vec<usize>>> {
+    let mut table: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+    'build: for (i, row) in rows[lo..hi].iter().enumerate() {
+        let mut key = Vec::with_capacity(keys.len());
+        for e in keys {
+            let v = e.eval(row)?;
+            if v.is_null() {
+                continue 'build; // NULL keys never join
+            }
+            key.push(v);
+        }
+        table.entry(key).or_default().push(lo + i);
+    }
+    Ok(table)
+}
+
+fn parallel_hash_build(
+    rows: &[Row],
+    keys: &[Expr],
+    threads: usize,
+) -> EngineResult<FxHashMap<Vec<Value>, Vec<usize>>> {
+    let chunk = rows.len().div_ceil(threads).max(1);
+    let parts: Vec<EngineResult<FxHashMap<Vec<Value>, Vec<usize>>>> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let lo = (w * chunk).min(rows.len());
+                    let hi = ((w + 1) * chunk).min(rows.len());
+                    s.spawn(move || hash_build_range(rows, keys, lo, hi))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(EngineError::Eval("join build worker panicked".into()))
+                    })
+                })
+                .collect()
+        });
+    let mut merged: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+    for part in parts {
+        for (k, mut v) in part? {
+            merged.entry(k).or_default().append(&mut v);
+        }
+    }
+    Ok(merged)
+}
+
+impl RowStream for JoinStream<'_> {
+    fn next_batch(&mut self) -> EngineResult<Option<Vec<Row>>> {
+        self.build_side()?;
+        loop {
+            let Some(batch) = self.left.next_batch()? else { return Ok(None) };
+            let build = self.build.as_ref().expect("built above");
+            let mut out = Vec::new();
+            for lrow in batch {
+                let mut key = Vec::with_capacity(self.left_keys.len());
+                let mut null_key = false;
+                for e in self.left_keys {
+                    let v = e.eval(&lrow)?;
+                    if v.is_null() {
+                        null_key = true;
+                        break;
+                    }
+                    key.push(v);
+                }
+                let matches = if null_key { None } else { build.table.get(&key) };
+                match self.kind {
+                    JoinKind::Inner => {
+                        if let Some(idxs) = matches {
+                            for &i in idxs {
+                                let mut row =
+                                    Vec::with_capacity(lrow.len() + self.right_arity);
+                                row.extend_from_slice(&lrow);
+                                row.extend_from_slice(&build.rows[i]);
+                                out.push(row);
+                            }
+                        }
+                    }
+                    JoinKind::Left => match matches {
+                        Some(idxs) if !idxs.is_empty() => {
+                            for &i in idxs {
+                                let mut row =
+                                    Vec::with_capacity(lrow.len() + self.right_arity);
+                                row.extend_from_slice(&lrow);
+                                row.extend_from_slice(&build.rows[i]);
+                                out.push(row);
+                            }
+                        }
+                        _ => {
+                            let mut row = Vec::with_capacity(lrow.len() + self.right_arity);
+                            row.extend_from_slice(&lrow);
+                            row.extend(std::iter::repeat_n(Value::Null, self.right_arity));
+                            out.push(row);
+                        }
+                    },
+                    JoinKind::Semi => {
+                        if matches.is_some_and(|m| !m.is_empty()) {
+                            // Left rows are owned: emit by move, no clone.
+                            out.push(lrow);
+                        }
+                    }
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+    }
+}
+
+// ---- pipeline breakers -----------------------------------------------------
+
+struct AggregateStream<'a> {
+    input: BoxedRowStream<'a>,
+    group: &'a [Expr],
+    aggs: &'a [AggCall],
+    batch: usize,
+    out: Option<VecDeque<Vec<Row>>>,
+}
+
+impl AggregateStream<'_> {
+    /// Consume the input batch-by-batch, feeding accumulators directly —
+    /// the input is never materialized as a whole.
+    fn run(&mut self) -> EngineResult<VecDeque<Vec<Row>>> {
+        let rows = if self.group.is_empty() {
+            // Global aggregate: always exactly one output row.
+            let mut accs: Vec<Accumulator> =
+                self.aggs.iter().map(|a| a.accumulator()).collect();
+            while let Some(batch) = self.input.next_batch()? {
+                for row in &batch {
+                    for (acc, call) in accs.iter_mut().zip(self.aggs) {
+                        acc.update(call.arg.eval(row)?)?;
+                    }
+                }
+            }
+            vec![accs.into_iter().map(Accumulator::finish).collect()]
+        } else {
+            // Group-by: preserve first-seen group order for determinism.
+            let mut groups: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
+            let mut states: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+            while let Some(batch) = self.input.next_batch()? {
+                for row in &batch {
+                    let mut key = Vec::with_capacity(self.group.len());
+                    for e in self.group {
+                        key.push(e.eval(row)?);
+                    }
+                    let slot = match groups.get(&key) {
+                        Some(&s) => s,
+                        None => {
+                            let s = states.len();
+                            groups.insert(key.clone(), s);
+                            states
+                                .push((key, self.aggs.iter().map(|a| a.accumulator()).collect()));
+                            s
+                        }
+                    };
+                    let (_, accs) = &mut states[slot];
+                    for (acc, call) in accs.iter_mut().zip(self.aggs) {
+                        acc.update(call.arg.eval(row)?)?;
+                    }
+                }
+            }
+            let mut rows = Vec::with_capacity(states.len());
+            for (key, accs) in states {
+                let mut row = key;
+                row.extend(accs.into_iter().map(Accumulator::finish));
+                rows.push(row);
+            }
+            rows
+        };
+        let mut out = VecDeque::new();
+        push_chunked(&mut out, rows, self.batch);
+        Ok(out)
+    }
+}
+
+impl RowStream for AggregateStream<'_> {
+    fn next_batch(&mut self) -> EngineResult<Option<Vec<Row>>> {
+        if self.out.is_none() {
+            let out = self.run()?;
+            self.out = Some(out);
+        }
+        Ok(self.out.as_mut().expect("just filled").pop_front())
+    }
+}
+
+struct SortStream<'a> {
+    input: BoxedRowStream<'a>,
+    keys: &'a [SortKey],
+    batch: usize,
+    out: Option<VecDeque<Vec<Row>>>,
+}
+
+impl SortStream<'_> {
+    fn run(&mut self) -> EngineResult<VecDeque<Vec<Row>>> {
+        let mut keyed: Vec<(Vec<Value>, Row)> = Vec::new();
+        while let Some(batch) = self.input.next_batch()? {
+            for row in batch {
+                let mut k = Vec::with_capacity(self.keys.len());
+                for sk in self.keys {
+                    k.push(sk.expr.eval(&row)?);
+                }
+                keyed.push((k, row));
+            }
+        }
+        let keys = self.keys;
+        keyed.sort_by(|(a, _), (b, _)| {
+            for (i, sk) in keys.iter().enumerate() {
+                let ord = a[i].cmp(&b[i]);
+                let ord = if sk.desc { ord.reverse() } else { ord };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let rows: Vec<Row> = keyed.into_iter().map(|(_, r)| r).collect();
+        let mut out = VecDeque::new();
+        push_chunked(&mut out, rows, self.batch);
+        Ok(out)
+    }
+}
+
+impl RowStream for SortStream<'_> {
+    fn next_batch(&mut self) -> EngineResult<Option<Vec<Row>>> {
+        if self.out.is_none() {
+            let out = self.run()?;
+            self.out = Some(out);
+        }
+        Ok(self.out.as_mut().expect("just filled").pop_front())
+    }
+}

@@ -1563,7 +1563,13 @@ pub fn run_query(
     };
     let rewriter = QueryRewriter::new(lw, cat);
     let plan = rewriter.rewrite_optimized(&sel)?;
-    let rows = erbium_engine::execute(&plan, cat)?;
+    // Pull-based streaming execution: operators exchange batches and a
+    // LIMIT plan stops pulling (and scanning) as soon as it is satisfied.
+    let rows = {
+        let mut stream =
+            erbium_engine::execute_streaming(&plan, cat, &erbium_engine::ExecContext::default())?;
+        stream.drain()?
+    };
     Ok((plan.fields, rows))
 }
 

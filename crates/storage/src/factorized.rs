@@ -154,20 +154,38 @@ impl FactorizedTable {
         self.rev.get(r.idx()).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
-    /// Enumerate the full join result: each pair as `left_row ++ right_row`.
-    /// This is the "use physical pointers to avoid joins" path — no hash
-    /// table is built and no key comparison happens.
-    pub fn enumerate_join(&self) -> Vec<Row> {
-        let mut out = Vec::with_capacity(self.pairs);
-        for (l, lrow) in self.left.scan() {
-            for &r in self.neighbours_right(l) {
+    /// Stream the stored join as concatenated `left_row ++ right_row` pairs
+    /// by following the physical pointers — no hash table is built and no
+    /// key comparison happens. Borrows the structure: rows are assembled
+    /// lazily, one pair per step, so a pulling executor can stop early
+    /// (e.g. under LIMIT) without enumerating the whole join.
+    pub fn iter_join(&self) -> impl Iterator<Item = Row> + '_ {
+        self.iter_join_slots(0..self.left.slot_count())
+    }
+
+    /// Stream the stored join restricted to left rows in the given slot
+    /// range (a morsel). Together with [`Table::slot_count`] this lets a
+    /// morsel-parallel executor partition join enumeration by left slots.
+    pub fn iter_join_slots(
+        &self,
+        range: std::ops::Range<usize>,
+    ) -> impl Iterator<Item = Row> + '_ {
+        self.left.scan_slots(range).flat_map(move |(l, lrow)| {
+            self.neighbours_right(l).iter().map(move |&r| {
                 let rrow = self.right.get(r).expect("linked right row is live");
                 let mut row = Vec::with_capacity(lrow.len() + rrow.len());
                 row.extend_from_slice(lrow);
                 row.extend_from_slice(rrow);
-                out.push(row);
-            }
-        }
+                row
+            })
+        })
+    }
+
+    /// Enumerate the full join result: each pair as `left_row ++ right_row`.
+    /// Materializing wrapper around [`FactorizedTable::iter_join`].
+    pub fn enumerate_join(&self) -> Vec<Row> {
+        let mut out = Vec::with_capacity(self.pairs);
+        out.extend(self.iter_join());
         out
     }
 
@@ -323,6 +341,30 @@ mod tests {
 
         let counts = f.count_per_left();
         assert_eq!(counts.iter().find(|(l, _)| l[0] == Value::Int(1)).unwrap().1, 2);
+    }
+
+    #[test]
+    fn iter_join_streams_same_pairs_as_enumerate() {
+        let mut f = ft();
+        for i in 0..6 {
+            let l = f.insert_left(vec![Value::Int(i), Value::str("x")]).unwrap();
+            let r = f.insert_right(vec![Value::Int(100 + i), Value::Int(i)]).unwrap();
+            f.link(l, r).unwrap();
+            if i > 0 {
+                f.link(l, RowId(0)).unwrap(); // shared right row
+            }
+        }
+        let eager = f.enumerate_join();
+        let lazy: Vec<Row> = f.iter_join().collect();
+        assert_eq!(eager, lazy);
+        // Slot-range morsels cover the join exactly once, in order.
+        let mut pieced = Vec::new();
+        for start in (0..f.left().slot_count()).step_by(2) {
+            pieced.extend(f.iter_join_slots(start..start + 2));
+        }
+        assert_eq!(pieced, eager);
+        // Early termination: taking 2 pairs does not walk the whole join.
+        assert_eq!(f.iter_join().take(2).count(), 2);
     }
 
     #[test]

@@ -173,12 +173,28 @@ impl Table {
         Ok(())
     }
 
-    /// Iterate live rows with their ids.
-    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> {
-        self.rows
+    /// Number of physical slots (live rows plus tombstones). Slot indexes
+    /// `0..slot_count()` partition the table into contiguous ranges, which
+    /// is what morsel-driven executors hand out to worker threads.
+    pub fn slot_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Iterate the live rows whose slots fall in `range` (a morsel). The
+    /// iterator borrows the table, so callers stream rows without cloning.
+    /// Out-of-range bounds are clamped.
+    pub fn scan_slots(&self, range: std::ops::Range<usize>) -> impl Iterator<Item = (RowId, &Row)> {
+        let end = range.end.min(self.rows.len());
+        let start = range.start.min(end);
+        self.rows[start..end]
             .iter()
             .enumerate()
-            .filter_map(|(i, r)| r.as_ref().map(|row| (RowId(i as u64), row)))
+            .filter_map(move |(i, r)| r.as_ref().map(move |row| (RowId((start + i) as u64), row)))
+    }
+
+    /// Iterate live rows with their ids.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.scan_slots(0..self.rows.len())
     }
 
     /// Materialize all live rows (cloned).
@@ -391,6 +407,25 @@ mod tests {
         t.delete(r1).unwrap();
         let ids: Vec<i64> = t.scan().map(|(_, r)| r[0].as_int().unwrap()).collect();
         assert_eq!(ids, vec![2]);
+    }
+
+    #[test]
+    fn scan_slots_partitions_scan() {
+        let mut t = people();
+        for i in 0..10 {
+            t.insert(row(i, "p", i)).unwrap();
+        }
+        t.delete(RowId(4)).unwrap();
+        let full: Vec<i64> = t.scan().map(|(_, r)| r[0].as_int().unwrap()).collect();
+        let mut pieced = Vec::new();
+        for start in (0..t.slot_count()).step_by(3) {
+            pieced.extend(
+                t.scan_slots(start..start + 3).map(|(_, r)| r[0].as_int().unwrap()),
+            );
+        }
+        assert_eq!(pieced, full, "contiguous slot morsels cover the scan exactly once");
+        // Clamped out-of-range morsel is empty, not a panic.
+        assert_eq!(t.scan_slots(100..200).count(), 0);
     }
 
     #[test]

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass before merge.
+#
+# Mirrors ROADMAP.md's tier-1 definition. `--offline` is deliberate: the
+# build environment has no registry access, and every dependency is either
+# vendored in the workspace or already in the local cargo cache.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "tier-1 gate: OK"
