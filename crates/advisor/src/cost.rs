@@ -4,9 +4,17 @@
 //! row width where scans are concerned. Only *relative* fidelity matters —
 //! the advisor compares candidate mappings against each other, mirroring
 //! how the paper compares M1–M6.
+//!
+//! Statistics come in as the shared [`erbium_storage::TableStats`] type:
+//! either **synthesized** from logical statistics for a candidate mapping
+//! that does not physically exist (see [`crate::stats::synthesize`] — no
+//! per-column detail, `columns` empty) or **gathered** by
+//! `Catalog::analyze` from a live database (per-column NDV / null counts /
+//! min-max available). When per-column statistics are present, equality
+//! and IN-list selectivities use NDV instead of the shape heuristics.
 
-use crate::stats::SynthTableStats;
 use erbium_engine::{BinOp, Expr, Plan, PlanKind};
+use erbium_storage::TableStats;
 use rustc_hash::FxHashMap;
 
 /// Estimated cardinality and cost of a plan.
@@ -19,49 +27,68 @@ pub struct Estimate {
 /// Default fan-out assumed for unnesting when no statistics are available.
 const DEFAULT_ARRAY_LEN: f64 = 3.0;
 
-/// Estimate a plan bottom-up against synthesized table statistics.
-pub fn estimate_plan(plan: &Plan, stats: &FxHashMap<String, SynthTableStats>) -> Estimate {
+/// Bytes-per-value convention shared with [`crate::stats::synthesize`].
+const BYTES_PER_VALUE: f64 = 8.0;
+
+/// Row count and relative row width (in attribute-value units) of a table,
+/// with `(0, 0)` for unknown tables.
+fn table_shape<'a>(
+    stats: &'a FxHashMap<String, TableStats>,
+    name: &str,
+) -> (f64, f64, Option<&'a TableStats>) {
+    match stats.get(name) {
+        Some(t) => {
+            let rows = t.row_count as f64;
+            let width =
+                if t.row_count > 0 { t.total_bytes as f64 / (BYTES_PER_VALUE * rows) } else { 0.0 };
+            (rows, width, Some(t))
+        }
+        None => (0.0, 0.0, None),
+    }
+}
+
+/// Estimate a plan bottom-up against [`TableStats`] keyed by structure name
+/// (factorized sides under `name#left` / `name#right`, as registered by
+/// both `Catalog::analyze` and [`crate::stats::synthesize`]).
+pub fn estimate_plan(plan: &Plan, stats: &FxHashMap<String, TableStats>) -> Estimate {
     match &plan.kind {
         PlanKind::Scan { table, filters } => {
-            let t = stats.get(table).copied().unwrap_or_default();
-            let sel = filters.iter().map(|f| selectivity(f, t.rows)).product::<f64>();
-            Estimate { rows: (t.rows * sel).max(0.0), cost: t.rows * (1.0 + t.width * 0.1) }
+            let (rows, width, t) = table_shape(stats, table);
+            let sel = filters.iter().map(|f| selectivity(f, rows, t)).product::<f64>();
+            Estimate { rows: (rows * sel).max(0.0), cost: rows * (1.0 + width * 0.1) }
         }
         PlanKind::IndexLookup { table, keys, residual, .. } => {
-            let t = stats.get(table).copied().unwrap_or_default();
+            let (rows, _, t) = table_shape(stats, table);
             // Assume near-unique index reach.
             let base = keys.len() as f64;
-            let sel = residual.iter().map(|f| selectivity(f, t.rows)).product::<f64>();
+            let sel = residual.iter().map(|f| selectivity(f, rows, t)).product::<f64>();
             Estimate { rows: (base * sel).max(0.0), cost: base * 2.0 }
         }
         PlanKind::IndexRange { table, residual, .. } => {
-            let t = stats.get(table).copied().unwrap_or_default();
+            let (rows, _, t) = table_shape(stats, table);
             // Assume the range selects ~20% of the table, reached directly.
-            let base = t.rows * 0.2;
-            let sel = residual.iter().map(|f| selectivity(f, t.rows)).product::<f64>();
-            Estimate { rows: base * sel, cost: base + (t.rows.max(2.0)).log2() }
+            let base = rows * 0.2;
+            let sel = residual.iter().map(|f| selectivity(f, rows, t)).product::<f64>();
+            Estimate { rows: base * sel, cost: base + (rows.max(2.0)).log2() }
         }
         PlanKind::FactorizedScan { table, side, filters } => {
-            let rows = match side {
-                erbium_engine::plan::FactorizedSide::Join => {
-                    stats.get(table).copied().unwrap_or_default().rows
-                }
-                erbium_engine::plan::FactorizedSide::Left => stats
-                    .get(&format!("{table}#left"))
-                    .map(|t| t.rows)
-                    .unwrap_or_else(|| stats.get(table).copied().unwrap_or_default().rows / 2.0),
-                erbium_engine::plan::FactorizedSide::Right => stats
-                    .get(&format!("{table}#right"))
-                    .map(|t| t.rows)
-                    .unwrap_or_else(|| stats.get(table).copied().unwrap_or_default().rows / 2.0),
+            let key = match side {
+                erbium_engine::plan::FactorizedSide::Join => table.clone(),
+                erbium_engine::plan::FactorizedSide::Left => format!("{table}#left"),
+                erbium_engine::plan::FactorizedSide::Right => format!("{table}#right"),
             };
-            let sel = filters.iter().map(|f| selectivity(f, rows)).product::<f64>();
+            let (mut rows, _, t) = table_shape(stats, &key);
+            if t.is_none() && key != *table {
+                // Side entry missing: fall back to half the join volume.
+                rows = table_shape(stats, table).0 / 2.0;
+            }
+            let sel = filters.iter().map(|f| selectivity(f, rows, t)).product::<f64>();
             Estimate { rows: rows * sel, cost: rows }
         }
         PlanKind::FactorizedCount { .. } => Estimate { rows: 1.0, cost: 1.0 },
         PlanKind::Filter { input, predicate } => {
             let e = estimate_plan(input, stats);
-            let sel = selectivity(predicate, e.rows);
+            let sel = selectivity(predicate, e.rows, None);
             Estimate { rows: e.rows * sel, cost: e.cost + e.rows }
         }
         PlanKind::Project { input, exprs } => {
@@ -126,10 +153,30 @@ fn key_join_rows(l: f64, r: f64, keys: &[Expr]) -> f64 {
     l.max(r).max(1.0)
 }
 
-/// Selectivity heuristics by predicate shape.
-fn selectivity(e: &Expr, input_rows: f64) -> f64 {
+/// Per-column NDV-based equality selectivity when gathered statistics carry
+/// column detail; `None` otherwise.
+fn column_eq_sel(col: usize, t: Option<&TableStats>) -> Option<f64> {
+    let t = t?;
+    let c = t.columns.get(col)?;
+    if c.ndv == 0 || t.row_count == 0 {
+        return None;
+    }
+    let null_frac = c.null_count as f64 / t.row_count as f64;
+    Some(((1.0 - null_frac) / c.ndv as f64).clamp(0.000_1, 1.0))
+}
+
+/// Selectivity heuristics by predicate shape, upgraded to NDV-based numbers
+/// when the (optional) table statistics carry per-column detail.
+fn selectivity(e: &Expr, input_rows: f64, t: Option<&TableStats>) -> f64 {
     match e {
-        Expr::Binary { op: BinOp::Eq, .. } => {
+        Expr::Binary { op: BinOp::Eq, left, right } => {
+            let col = match (&**left, &**right) {
+                (Expr::Col(i), Expr::Lit(_)) | (Expr::Lit(_), Expr::Col(i)) => Some(*i),
+                _ => None,
+            };
+            if let Some(sel) = col.and_then(|c| column_eq_sel(c, t)) {
+                return sel;
+            }
             // Equality: assume fairly selective.
             if input_rows > 0.0 {
                 (10.0 / input_rows).clamp(0.000_1, 0.5)
@@ -138,13 +185,20 @@ fn selectivity(e: &Expr, input_rows: f64) -> f64 {
             }
         }
         Expr::Binary { op: BinOp::And, left, right } => {
-            selectivity(left, input_rows) * selectivity(right, input_rows)
+            selectivity(left, input_rows, t) * selectivity(right, input_rows, t)
         }
         Expr::Binary { op: BinOp::Or, left, right } => {
-            (selectivity(left, input_rows) + selectivity(right, input_rows)).min(1.0)
+            (selectivity(left, input_rows, t) + selectivity(right, input_rows, t)).min(1.0)
         }
         Expr::Binary { op, .. } if op.is_comparison() => 0.3,
-        Expr::InSet { set, .. } => {
+        Expr::InSet { expr, set } => {
+            let col = match &**expr {
+                Expr::Col(i) => Some(*i),
+                _ => None,
+            };
+            if let Some(sel) = col.and_then(|c| column_eq_sel(c, t)) {
+                return (sel * set.len() as f64).min(1.0);
+            }
             if input_rows > 0.0 {
                 ((set.len() as f64) / input_rows).clamp(0.000_1, 1.0)
             } else {
@@ -160,14 +214,22 @@ fn selectivity(e: &Expr, input_rows: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stats::SynthTableStats;
     use erbium_engine::Field;
-    use erbium_storage::DataType;
+    use erbium_storage::{ColumnStats, DataType, Value};
 
-    fn stats(pairs: &[(&str, f64)]) -> FxHashMap<String, SynthTableStats> {
+    fn stats(pairs: &[(&str, f64)]) -> FxHashMap<String, TableStats> {
         pairs
             .iter()
-            .map(|(n, r)| (n.to_string(), SynthTableStats { rows: *r, width: 3.0 }))
+            .map(|(n, r)| {
+                (
+                    n.to_string(),
+                    TableStats {
+                        row_count: *r as u64,
+                        columns: vec![],
+                        total_bytes: (r * 3.0 * 8.0) as u64,
+                    },
+                )
+            })
             .collect()
     }
 
@@ -233,5 +295,26 @@ mod tests {
         let u = Plan::union(vec![scan("a", vec![]), scan("a", vec![]), scan("a", vec![])]).unwrap();
         let e = estimate_plan(&u, &s);
         assert!((e.rows - 1500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn gathered_column_stats_sharpen_equality() {
+        // Same table volume, but gathered per-column detail says the
+        // column has only two distinct values: the NDV-based selectivity
+        // (0.5) must replace the 10/N heuristic (0.01).
+        let mut s = stats(&[("t", 1_000.0)]);
+        s.get_mut("t").unwrap().columns = vec![ColumnStats {
+            ndv: 2,
+            null_count: 0,
+            min: Some(Value::Int(0)),
+            max: Some(Value::Int(1)),
+            avg_width: 8.0,
+            avg_array_len: 0.0,
+        }];
+        let filtered = estimate_plan(
+            &scan("t", vec![Expr::eq(Expr::col(0), Expr::lit(1i64))]),
+            &s,
+        );
+        assert!((filtered.rows - 500.0).abs() < 1.0, "rows={}", filtered.rows);
     }
 }

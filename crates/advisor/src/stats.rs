@@ -4,8 +4,27 @@ use erbium_mapping::{
     CoFormat, EntityStore, Fragment, HierarchyLayout, Lowering, MappingResult,
 };
 use erbium_model::ErSchema;
-use erbium_storage::Catalog;
+use erbium_storage::{Catalog, TableStats};
 use rustc_hash::FxHashMap;
+
+/// Average bytes assumed per attribute value when projecting physical sizes
+/// from logical statistics (the same convention
+/// [`erbium_storage::TableStats`] gathering uses for numeric values).
+const BYTES_PER_VALUE: f64 = 8.0;
+
+/// Build a [`TableStats`] for a structure that does not physically exist
+/// yet: a projected row count and total byte volume, with no per-column
+/// detail (`columns` stays empty — consumers fall back to shape-based
+/// selectivity heuristics exactly as the engine's estimator does for
+/// unknown columns).
+fn projected(rows: f64, width: f64) -> TableStats {
+    let rows = rows.max(0.0);
+    TableStats {
+        row_count: rows.round() as u64,
+        columns: Vec::new(),
+        total_bytes: (rows * width * BYTES_PER_VALUE).round() as u64,
+    }
+}
 
 /// Logical statistics of a database instance — properties of the data, not
 /// of any physical layout.
@@ -100,21 +119,17 @@ impl LogicalStats {
     }
 }
 
-/// Projected statistics for one physical structure of a candidate mapping.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct SynthTableStats {
-    pub rows: f64,
-    /// Relative row width (attribute count; arrays weighted by fan-out).
-    pub width: f64,
-}
-
 /// Project physical table statistics for every structure of a candidate
-/// lowering, from logical statistics alone.
+/// lowering, from logical statistics alone. The result uses the same
+/// [`TableStats`] type that `Catalog::analyze` gathers for live tables, so
+/// the advisor's cost model and the engine's cardinality estimator speak
+/// one statistics language; synthesized entries simply carry no per-column
+/// detail.
 pub fn synthesize(
     lw: &Lowering,
     schema: &ErSchema,
     ls: &LogicalStats,
-) -> MappingResult<FxHashMap<String, SynthTableStats>> {
+) -> MappingResult<FxHashMap<String, TableStats>> {
     let mut out = FxHashMap::default();
     for frag in &lw.mapping.fragments {
         let (rows, width) = match frag {
@@ -177,8 +192,8 @@ pub fn synthesize(
                 let r = ls.extent(&rel.to.entity) as f64;
                 // Side-specific entries so member scans are costed by their
                 // actual extents.
-                out.insert(format!("{table}#left"), SynthTableStats { rows: l, width: 4.0 });
-                out.insert(format!("{table}#right"), SynthTableStats { rows: r, width: 4.0 });
+                out.insert(format!("{table}#left"), projected(l, 4.0));
+                out.insert(format!("{table}#right"), projected(r, 4.0));
                 match format {
                     // Denormalized: one row per pair plus dangling rows.
                     CoFormat::Denormalized => (pairs.max(l).max(r), 8.0),
@@ -188,7 +203,7 @@ pub fn synthesize(
                 }
             }
         };
-        out.insert(frag.table().to_string(), SynthTableStats { rows, width });
+        out.insert(frag.table().to_string(), projected(rows, width));
     }
     Ok(out)
 }

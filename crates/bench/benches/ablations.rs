@@ -8,7 +8,11 @@
 //!   compact multi-relation formats are what make M6 viable);
 //! * **A-crud** — logical insert and entity-centric erase cost across
 //!   mappings (the write amplification the mapping choice implies);
-//! * **A-remap** — full physical migration between mappings.
+//! * **A-remap** — full physical migration between mappings;
+//! * **A-stats** — cost-based optimization on vs. off: the same queries
+//!   over the same instance, with and without ANALYZE-gathered statistics
+//!   (stats unlock build-side selection, join reordering, and
+//!   selectivity-ranked filters; without them those passes are no-ops).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
@@ -151,6 +155,30 @@ fn bench_crud(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_stats(c: &mut Criterion) {
+    let cfg = config();
+    let mut g = c.benchmark_group("A-stats");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    // E6 is the skewed VIA join (build-side choice); E5 under M1 is the
+    // paper's 3-way hierarchy join (join-order choice).
+    for (qid, sql) in [("E5", queries::E5), ("E6", queries::E6)] {
+        for name in ["M1", "M4"] {
+            let db = build(name, &cfg);
+            g.bench_function(format!("{name}_{qid}_stats_off"), |b| {
+                b.iter(|| std::hint::black_box(db.run(sql)))
+            });
+            let mut db2 = build(name, &cfg);
+            db2.catalog.analyze();
+            g.bench_function(format!("{name}_{qid}_stats_on"), |b| {
+                b.iter(|| std::hint::black_box(db2.run(sql)))
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench_remap(c: &mut Criterion) {
     let cfg = ExperimentConfig { n_r: 1_000, mv_avg: 3, seed: 42 };
     let mut g = c.benchmark_group("A-remap");
@@ -172,5 +200,12 @@ fn bench_remap(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_index_ablation, bench_m6_format, bench_crud, bench_remap);
+criterion_group!(
+    benches,
+    bench_index_ablation,
+    bench_m6_format,
+    bench_crud,
+    bench_stats,
+    bench_remap
+);
 criterion_main!(benches);

@@ -345,6 +345,19 @@ impl Database {
         Ok(())
     }
 
+    // ---- statistics ---------------------------------------------------------------
+
+    /// ANALYZE: gather fresh table statistics for every physical table (plain
+    /// and factorized) in the catalog. The optimizer's cost-based passes
+    /// (hash-join build-side selection, join reordering, selectivity-ranked
+    /// filters) and the EXPLAIN estimate column activate only after this has
+    /// run; subsequent CRUD writes mark the affected tables' statistics stale
+    /// until the next `analyze()`. Returns the number of statistics entries
+    /// gathered.
+    pub fn analyze(&mut self) -> usize {
+        self.catalog.analyze()
+    }
+
     // ---- queries ------------------------------------------------------------------
 
     /// Run an ERQL SELECT against the logical schema. `EXPLAIN SELECT ...`
@@ -357,8 +370,7 @@ impl Database {
             }
             let rewriter = QueryRewriter::new(lw, &self.catalog);
             let plan = rewriter.rewrite_optimized(&sel)?;
-            let rows = plan
-                .explain()
+            let rows = erbium_engine::explain_with_estimates(&plan, &self.catalog)
                 .lines()
                 .map(|l| vec![Value::str(l)])
                 .collect();
@@ -379,13 +391,17 @@ impl Database {
     /// Run an ERQL SELECT and additionally return the executed plan's
     /// per-operator metrics tree (rows in/out, batches, wall-clock time per
     /// operator) in [`QueryResult::metrics`] — the programmatic equivalent
-    /// of `EXPLAIN ANALYZE`.
+    /// of `EXPLAIN ANALYZE`. When statistics have been gathered (see
+    /// [`Database::analyze`]), each metrics node also carries the
+    /// optimizer's row estimate, so its rendering shows estimate-vs-actual
+    /// q-error per operator.
     pub fn query_analyze(&self, sql: &str, ctx: &ExecContext) -> DbResult<QueryResult> {
         let plan = self.plan(sql)?;
         let mut stream = erbium_engine::execute_streaming(&plan, &self.catalog, ctx)
             .map_err(|e| DbError::Mapping(MappingError::Engine(e)))?;
         let rows = stream.drain().map_err(|e| DbError::Mapping(MappingError::Engine(e)))?;
-        let metrics = stream.metrics();
+        let mut metrics = stream.metrics();
+        erbium_engine::annotate_metrics(&mut metrics, &plan, &self.catalog);
         Ok(QueryResult {
             columns: plan.fields.iter().map(|f| f.name.clone()).collect(),
             rows,
@@ -409,9 +425,12 @@ impl Database {
     }
 
     /// Render the optimized physical plan of a query — shows how the same
-    /// ERQL compiles differently under different mappings.
+    /// ERQL compiles differently under different mappings. After
+    /// [`Database::analyze`] every node is annotated with the optimizer's
+    /// row estimate (`[est=N]`).
     pub fn explain(&self, sql: &str) -> DbResult<String> {
-        Ok(self.plan(sql)?.explain())
+        let plan = self.plan(sql)?;
+        Ok(erbium_engine::explain_with_estimates(&plan, &self.catalog))
     }
 
     // ---- evolution -------------------------------------------------------------------

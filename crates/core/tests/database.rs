@@ -245,6 +245,41 @@ fn advise_over_live_database() {
 }
 
 #[test]
+fn analyze_activates_estimates_without_changing_results() {
+    let mut db = university_db();
+    let q = "SELECT i.name, s.name FROM instructor i JOIN student s VIA advisor";
+    // Before ANALYZE: no estimates anywhere.
+    let before_plan = db.explain(q).unwrap();
+    assert!(!before_plan.contains("est="), "{before_plan}");
+    let mut before = db.query(q).unwrap().rows;
+
+    let entries = db.analyze();
+    assert!(entries > 0, "analyze() gathered {entries} stats entries");
+
+    // After ANALYZE: EXPLAIN carries per-node row estimates...
+    let after_plan = db.explain(q).unwrap();
+    assert!(after_plan.contains("[est="), "{after_plan}");
+    // ...the EXPLAIN statement form too...
+    let r = db.query(&format!("EXPLAIN {q}")).unwrap();
+    let text: String =
+        r.rows.iter().map(|row| row[0].as_str().unwrap().to_string() + "\n").collect();
+    assert!(text.contains("[est="), "{text}");
+    // ...and the result multiset is unchanged by the cost-based passes.
+    let mut after = db.query(q).unwrap().rows;
+    before.sort();
+    after.sort();
+    assert_eq!(before, after);
+
+    // EXPLAIN ANALYZE: metrics nodes carry estimates and q-error.
+    let res = db
+        .query_analyze(q, &erbium_engine::ExecContext::default())
+        .unwrap();
+    let metrics = res.metrics.unwrap();
+    assert!(metrics.est_rows.is_some(), "root metrics node annotated:\n{}", metrics.render());
+    assert!(metrics.render().contains(" q="), "{}", metrics.render());
+}
+
+#[test]
 fn explain_statement_returns_plan_text() {
     let db = university_db();
     let r = db.query("EXPLAIN SELECT s.name FROM student s WHERE s.id = 10").unwrap();

@@ -1,0 +1,592 @@
+//! Cardinality estimation over ANALYZE-gathered statistics.
+//!
+//! [`estimate`] walks a [`Plan`] bottom-up and predicts output rows per
+//! node from the catalog's [`erbium_storage::CatalogStats`]: leaf scans
+//! start from gathered row counts, predicates apply per-column selectivities
+//! derived from NDV / min-max / null-fraction, equi-joins divide by the
+//! larger key NDV, unnest multiplies by the gathered average array fan-out.
+//!
+//! The estimator is deliberately *total or nothing*: it returns `None` as
+//! soon as any leaf table lacks gathered statistics, and the optimizer's
+//! cost-based passes (build-side selection, join reordering, selectivity
+//! filter ranking) disable themselves in that case — an un-ANALYZEd
+//! database plans exactly as it did before this module existed.
+//!
+//! The same estimates annotate `EXPLAIN` output and
+//! [`crate::metrics::ExecMetrics`] trees (`est=` column), which is what
+//! makes estimate-vs-actual q-error visible per operator.
+
+use crate::expr::{BinOp, Expr};
+use crate::metrics::ExecMetrics;
+use crate::plan::{FactorizedSide, JoinKind, Plan, PlanKind};
+use erbium_storage::{Catalog, TableStats, Value};
+
+/// Default array fan-out when a column was never analyzed as an array.
+pub const DEFAULT_ARRAY_LEN: f64 = 3.0;
+/// Selectivity assumed for predicates the estimator cannot decompose.
+const DEFAULT_SEL: f64 = 0.25;
+/// Default selectivity of one comparison when min/max are unusable.
+const DEFAULT_RANGE_SEL: f64 = 0.3;
+/// Default equality selectivity without NDV.
+const DEFAULT_EQ_SEL: f64 = 0.1;
+/// Floor applied to every predicate selectivity so estimates never collapse
+/// to an exact zero (which would make all downstream costs indistinguishable).
+const SEL_FLOOR: f64 = 1e-4;
+
+/// Derived statistics for one output column of a plan node. `None` entries
+/// in [`Estimate::cols`] mean "nothing known" (computed expressions,
+/// aggregate outputs, columns of un-analyzed origin).
+#[derive(Debug, Clone)]
+pub struct ColEst {
+    /// Estimated distinct values.
+    pub ndv: f64,
+    /// Fraction of NULLs.
+    pub null_frac: f64,
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+    /// Average element count for array columns (0 when not an array).
+    pub avg_array_len: f64,
+}
+
+/// Cardinality estimate for one plan node.
+#[derive(Debug, Clone)]
+pub struct Estimate {
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Per-output-column statistics, where derivable.
+    pub cols: Vec<Option<ColEst>>,
+}
+
+impl Estimate {
+    fn unknown_cols(rows: f64, arity: usize) -> Estimate {
+        Estimate { rows, cols: vec![None; arity] }
+    }
+}
+
+/// Build per-column estimates from gathered [`TableStats`].
+fn leaf_cols(stats: &TableStats) -> Vec<Option<ColEst>> {
+    let rc = stats.row_count as f64;
+    stats
+        .columns
+        .iter()
+        .map(|c| {
+            Some(ColEst {
+                ndv: c.ndv as f64,
+                null_frac: if rc > 0.0 { c.null_count as f64 / rc } else { 0.0 },
+                min: c.min.clone(),
+                max: c.max.clone(),
+                avg_array_len: c.avg_array_len,
+            })
+        })
+        .collect()
+}
+
+/// Leaf estimate for a named table (or factorized-stats key such as
+/// `name#left`), from the stats registry.
+pub fn table_estimate(cat: &Catalog, key: &str) -> Option<Estimate> {
+    let stats = cat.table_stats(key)?;
+    Some(Estimate { rows: stats.row_count as f64, cols: leaf_cols(stats) })
+}
+
+/// Estimate output rows of `plan` against gathered statistics. Returns
+/// `None` when any leaf table referenced by the plan lacks statistics.
+pub fn estimate(plan: &Plan, cat: &Catalog) -> Option<Estimate> {
+    match &plan.kind {
+        PlanKind::Scan { table, filters } => {
+            let mut est = table_estimate(cat, table)?;
+            apply_filters(&mut est, filters);
+            Some(est)
+        }
+        PlanKind::IndexLookup { table, columns, keys, residual } => {
+            let base = table_estimate(cat, table)?;
+            let mut sel = 1.0;
+            for &c in columns {
+                sel *= eq_sel(base.cols.get(c).and_then(|c| c.as_ref()));
+            }
+            let mut est = Estimate {
+                rows: (base.rows * sel * keys.len() as f64).max(0.0),
+                cols: base.cols,
+            };
+            apply_filters(&mut est, residual);
+            Some(est)
+        }
+        PlanKind::IndexRange { table, column, lo, hi, residual } => {
+            let base = table_estimate(cat, table)?;
+            let ce = base.cols.get(*column).and_then(|c| c.as_ref());
+            let sel =
+                range_bounds_sel(ce, lo.as_ref().map(|(v, _)| v), hi.as_ref().map(|(v, _)| v));
+            let mut est = Estimate { rows: base.rows * sel, cols: base.cols };
+            apply_filters(&mut est, residual);
+            Some(est)
+        }
+        PlanKind::FactorizedScan { table, side, filters } => {
+            let key = match side {
+                FactorizedSide::Left => format!("{table}#left"),
+                FactorizedSide::Right => format!("{table}#right"),
+                FactorizedSide::Join => table.clone(),
+            };
+            let mut est = table_estimate(cat, &key)?;
+            apply_filters(&mut est, filters);
+            Some(est)
+        }
+        PlanKind::FactorizedCount { .. } => Some(Estimate::unknown_cols(1.0, 1)),
+        PlanKind::Filter { input, predicate } => {
+            let mut est = estimate(input, cat)?;
+            apply_filters(&mut est, std::slice::from_ref(predicate));
+            Some(est)
+        }
+        PlanKind::Project { input, exprs } => {
+            let est = estimate(input, cat)?;
+            let cols = exprs
+                .iter()
+                .map(|e| match e {
+                    Expr::Col(i) => est.cols.get(*i).cloned().flatten(),
+                    _ => None,
+                })
+                .collect();
+            Some(Estimate { rows: est.rows, cols })
+        }
+        PlanKind::Join { left, right, kind, left_keys, right_keys } => {
+            let l = estimate(left, cat)?;
+            let r = estimate(right, cat)?;
+            Some(join_estimate(&l, &r, *kind, left_keys, right_keys))
+        }
+        PlanKind::Aggregate { input, group, aggs } => {
+            let est = estimate(input, cat)?;
+            if group.is_empty() {
+                return Some(Estimate::unknown_cols(1.0, aggs.len()));
+            }
+            // Groups ≈ product of group-key NDVs, capped by input rows.
+            let mut groups = 1.0f64;
+            for g in group {
+                groups *= match g {
+                    Expr::Col(i) => est
+                        .cols
+                        .get(*i)
+                        .and_then(|c| c.as_ref())
+                        .map(|c| c.ndv.max(1.0))
+                        .unwrap_or(10.0),
+                    _ => 10.0,
+                };
+            }
+            let rows = groups.min(est.rows).max(est.rows.min(1.0));
+            let mut cols: Vec<Option<ColEst>> = group
+                .iter()
+                .map(|g| match g {
+                    Expr::Col(i) => est.cols.get(*i).cloned().flatten(),
+                    _ => None,
+                })
+                .collect();
+            cols.extend(std::iter::repeat_with(|| None).take(aggs.len()));
+            Some(Estimate { rows, cols })
+        }
+        PlanKind::Unnest { input, column, keep_empty } => {
+            let est = estimate(input, cat)?;
+            let fan = est
+                .cols
+                .get(*column)
+                .and_then(|c| c.as_ref())
+                .map(|c| if c.avg_array_len > 0.0 { c.avg_array_len } else { DEFAULT_ARRAY_LEN })
+                .unwrap_or(DEFAULT_ARRAY_LEN);
+            let fan = if *keep_empty { fan.max(1.0) } else { fan };
+            let mut cols = est.cols.clone();
+            if let Some(c) = cols.get_mut(*column) {
+                *c = None; // element-level stats unknown
+            }
+            Some(Estimate { rows: est.rows * fan, cols })
+        }
+        PlanKind::Sort { input, .. } => estimate(input, cat),
+        PlanKind::Limit { input, limit } => {
+            let est = estimate(input, cat)?;
+            Some(Estimate { rows: est.rows.min(*limit as f64), cols: est.cols })
+        }
+        PlanKind::Distinct { input } => {
+            let est = estimate(input, cat)?;
+            // Distinct over all columns: capped product of NDVs when every
+            // column is known, otherwise pass the input estimate through.
+            let ndvs: Option<f64> = est
+                .cols
+                .iter()
+                .map(|c| c.as_ref().map(|c| c.ndv.max(1.0)))
+                .try_fold(1.0f64, |acc, n| n.map(|n| acc * n));
+            let rows = match ndvs {
+                Some(n) => n.min(est.rows),
+                None => est.rows,
+            };
+            Some(Estimate { rows, cols: est.cols })
+        }
+        PlanKind::Union { inputs } => {
+            let mut rows = 0.0;
+            for i in inputs {
+                rows += estimate(i, cat)?.rows;
+            }
+            Some(Estimate::unknown_cols(rows, plan.fields.len()))
+        }
+        PlanKind::Values { rows } => {
+            Some(Estimate::unknown_cols(rows.len() as f64, plan.fields.len()))
+        }
+    }
+}
+
+/// Combine two side estimates into a join estimate.
+fn join_estimate(
+    l: &Estimate,
+    r: &Estimate,
+    kind: JoinKind,
+    left_keys: &[Expr],
+    right_keys: &[Expr],
+) -> Estimate {
+    // Classic equi-join formula: |L ⋈ R| = |L|·|R| / Π max(ndv_l, ndv_r),
+    // falling back to max(|L|, |R|) as the denominator for opaque keys.
+    let mut denom = 1.0f64;
+    let mut known = false;
+    for (lk, rk) in left_keys.iter().zip(right_keys.iter()) {
+        let ln = key_ndv(lk, l);
+        let rn = key_ndv(rk, r);
+        if let (Some(ln), Some(rn)) = (ln, rn) {
+            denom *= ln.max(rn).max(1.0);
+            known = true;
+        }
+    }
+    if !known {
+        denom = l.rows.max(r.rows).max(1.0);
+    }
+    let inner = (l.rows * r.rows / denom).max(0.0);
+    let (rows, cols) = match kind {
+        JoinKind::Inner => {
+            let mut cols = l.cols.clone();
+            cols.extend(r.cols.iter().cloned());
+            (inner, cols)
+        }
+        JoinKind::Left => {
+            let mut cols = l.cols.clone();
+            cols.extend(r.cols.iter().cloned());
+            (inner.max(l.rows), cols)
+        }
+        JoinKind::Semi => (inner.min(l.rows), l.cols.clone()),
+    };
+    Estimate { rows, cols }
+}
+
+fn key_ndv(key: &Expr, est: &Estimate) -> Option<f64> {
+    match key {
+        Expr::Col(i) => est.cols.get(*i).and_then(|c| c.as_ref()).map(|c| c.ndv),
+        _ => None,
+    }
+}
+
+/// Multiply a node estimate by the combined selectivity of `filters`.
+fn apply_filters(est: &mut Estimate, filters: &[Expr]) {
+    for f in filters {
+        let sel = selectivity(f, est);
+        est.rows *= sel;
+    }
+}
+
+/// Estimated fraction of rows satisfying `pred`, given per-column stats.
+/// Always in `[SEL_FLOOR, 1.0]`.
+pub fn selectivity(pred: &Expr, est: &Estimate) -> f64 {
+    raw_selectivity(pred, est).clamp(SEL_FLOOR, 1.0)
+}
+
+fn raw_selectivity(pred: &Expr, est: &Estimate) -> f64 {
+    match pred {
+        Expr::Lit(Value::Bool(b)) => {
+            if *b {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        Expr::Binary { op: BinOp::And, left, right } => {
+            raw_selectivity(left, est) * raw_selectivity(right, est)
+        }
+        Expr::Binary { op: BinOp::Or, left, right } => {
+            let a = raw_selectivity(left, est);
+            let b = raw_selectivity(right, est);
+            (a + b - a * b).min(1.0)
+        }
+        Expr::Binary { op, left, right } if op.is_comparison() => {
+            comparison_selectivity(*op, left, right, est)
+        }
+        Expr::InSet { expr, set } => match &**expr {
+            Expr::Col(i) => {
+                let ce = est.cols.get(*i).and_then(|c| c.as_ref());
+                match ce {
+                    Some(c) if c.ndv > 0.0 => {
+                        ((set.len() as f64 / c.ndv) * (1.0 - c.null_frac)).min(1.0)
+                    }
+                    _ => (set.len() as f64 * DEFAULT_EQ_SEL).min(1.0),
+                }
+            }
+            _ => (set.len() as f64 * DEFAULT_EQ_SEL).min(1.0),
+        },
+        Expr::IsNull(e) => match &**e {
+            Expr::Col(i) => est
+                .cols
+                .get(*i)
+                .and_then(|c| c.as_ref())
+                .map(|c| c.null_frac)
+                .unwrap_or(DEFAULT_EQ_SEL),
+            _ => DEFAULT_EQ_SEL,
+        },
+        Expr::IsNotNull(e) => match &**e {
+            Expr::Col(i) => est
+                .cols
+                .get(*i)
+                .and_then(|c| c.as_ref())
+                .map(|c| 1.0 - c.null_frac)
+                .unwrap_or(1.0 - DEFAULT_EQ_SEL),
+            _ => 1.0 - DEFAULT_EQ_SEL,
+        },
+        Expr::Unary { op: crate::expr::UnOp::Not, expr } => 1.0 - raw_selectivity(expr, est),
+        _ => DEFAULT_SEL,
+    }
+}
+
+fn comparison_selectivity(op: BinOp, left: &Expr, right: &Expr, est: &Estimate) -> f64 {
+    // Normalize to Col <op> Lit.
+    let (col, lit, op) = match (left, right) {
+        (Expr::Col(i), Expr::Lit(v)) => (*i, v, op),
+        (Expr::Lit(v), Expr::Col(i)) => {
+            let mirrored = match op {
+                BinOp::Lt => BinOp::Gt,
+                BinOp::Le => BinOp::Ge,
+                BinOp::Gt => BinOp::Lt,
+                BinOp::Ge => BinOp::Le,
+                other => other,
+            };
+            (*i, v, mirrored)
+        }
+        // Col = Col (e.g. self-join residual): 1/max ndv.
+        (Expr::Col(a), Expr::Col(b)) if op == BinOp::Eq => {
+            let na = est.cols.get(*a).and_then(|c| c.as_ref()).map(|c| c.ndv.max(1.0));
+            let nb = est.cols.get(*b).and_then(|c| c.as_ref()).map(|c| c.ndv.max(1.0));
+            return match (na, nb) {
+                (Some(na), Some(nb)) => 1.0 / na.max(nb),
+                _ => DEFAULT_EQ_SEL,
+            };
+        }
+        _ => {
+            return if op == BinOp::Eq { DEFAULT_EQ_SEL } else { DEFAULT_RANGE_SEL };
+        }
+    };
+    let ce = est.cols.get(col).and_then(|c| c.as_ref());
+    match op {
+        BinOp::Eq => eq_sel(ce),
+        BinOp::Ne => 1.0 - eq_sel(ce),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let Some(c) = ce else { return DEFAULT_RANGE_SEL };
+            let (Some(lo), Some(hi), Some(v)) = (
+                c.min.as_ref().and_then(Value::as_float),
+                c.max.as_ref().and_then(Value::as_float),
+                lit.as_float(),
+            ) else {
+                return DEFAULT_RANGE_SEL;
+            };
+            if hi <= lo {
+                // Single-valued or empty column: degenerate range.
+                return DEFAULT_RANGE_SEL;
+            }
+            // Uniform linear interpolation within [min, max].
+            let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+            let frac = match op {
+                BinOp::Lt | BinOp::Le => frac,
+                _ => 1.0 - frac,
+            };
+            frac * (1.0 - c.null_frac)
+        }
+        _ => DEFAULT_SEL,
+    }
+}
+
+fn eq_sel(ce: Option<&ColEst>) -> f64 {
+    match ce {
+        Some(c) if c.ndv > 0.0 => (1.0 - c.null_frac) / c.ndv,
+        _ => DEFAULT_EQ_SEL,
+    }
+}
+
+/// Selectivity of an (optionally half-open) `[lo, hi]` range over a column,
+/// by linear interpolation inside the gathered min/max. Used for the
+/// `IndexRange` plan node, whose bounds are literal [`Value`]s.
+fn range_bounds_sel(ce: Option<&ColEst>, lo: Option<&Value>, hi: Option<&Value>) -> f64 {
+    let Some(c) = ce else { return DEFAULT_RANGE_SEL };
+    let (Some(cmin), Some(cmax)) =
+        (c.min.as_ref().and_then(Value::as_float), c.max.as_ref().and_then(Value::as_float))
+    else {
+        return DEFAULT_RANGE_SEL;
+    };
+    if cmax <= cmin {
+        return DEFAULT_RANGE_SEL;
+    }
+    let width = cmax - cmin;
+    let lo_frac = match lo.and_then(Value::as_float) {
+        Some(v) => ((v - cmin) / width).clamp(0.0, 1.0),
+        None => 0.0,
+    };
+    let hi_frac = match hi.and_then(Value::as_float) {
+        Some(v) => ((v - cmin) / width).clamp(0.0, 1.0),
+        None => 1.0,
+    };
+    ((hi_frac - lo_frac).max(0.0)) * (1.0 - c.null_frac)
+}
+
+// ---- explain / metrics annotation ------------------------------------------
+
+/// Render `plan.explain()` with per-node `est=N` row estimates appended.
+/// Falls back to the plain rendering when no statistics are gathered.
+pub fn explain_with_estimates(plan: &Plan, cat: &Catalog) -> String {
+    if cat.stats().is_empty() {
+        return plan.explain();
+    }
+    plan.explain_annotated(&|node: &Plan| {
+        estimate(node, cat).map(|e| format!("est={:.0}", e.rows))
+    })
+}
+
+/// Attach per-operator row estimates to an executed [`ExecMetrics`] tree.
+///
+/// The metrics tree is plan-shaped (one node per plan operator, join
+/// children ordered `[left, right]`), so the two trees are zipped
+/// structurally. Nodes without a derivable estimate keep `est_rows: None`.
+pub fn annotate_metrics(metrics: &mut ExecMetrics, plan: &Plan, cat: &Catalog) {
+    if cat.stats().is_empty() {
+        return;
+    }
+    zip_annotate(metrics, plan, cat);
+}
+
+fn zip_annotate(metrics: &mut ExecMetrics, plan: &Plan, cat: &Catalog) {
+    metrics.est_rows = estimate(plan, cat).map(|e| e.rows);
+    let children: Vec<&Plan> = match &plan.kind {
+        PlanKind::Filter { input, .. }
+        | PlanKind::Project { input, .. }
+        | PlanKind::Aggregate { input, .. }
+        | PlanKind::Unnest { input, .. }
+        | PlanKind::Sort { input, .. }
+        | PlanKind::Limit { input, .. }
+        | PlanKind::Distinct { input } => vec![input],
+        PlanKind::Join { left, right, .. } => vec![left, right],
+        PlanKind::Union { inputs } => inputs.iter().collect(),
+        _ => vec![],
+    };
+    for (m, p) in metrics.children.iter_mut().zip(children) {
+        zip_annotate(m, p, cat);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erbium_storage::{Column, DataType, Table, TableSchema};
+
+    fn analyzed_cat() -> Catalog {
+        let mut c = Catalog::new();
+        let mut t = Table::new(TableSchema::new(
+            "t",
+            vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("grp", DataType::Int),
+                Column::new("v", DataType::Int),
+            ],
+            vec![0],
+        ));
+        for i in 0..1000i64 {
+            t.insert(vec![Value::Int(i), Value::Int(i % 10), Value::Int(i)]).unwrap();
+        }
+        c.create_table(t).unwrap();
+        let mut dim = Table::new(TableSchema::new(
+            "dim",
+            vec![Column::not_null("k", DataType::Int)],
+            vec![0],
+        ));
+        for i in 0..10i64 {
+            dim.insert(vec![Value::Int(i)]).unwrap();
+        }
+        c.create_table(dim).unwrap();
+        c.analyze();
+        c
+    }
+
+    #[test]
+    fn no_stats_means_no_estimate() {
+        let mut c = Catalog::new();
+        c.create_table(Table::new(TableSchema::new(
+            "t",
+            vec![Column::not_null("id", DataType::Int)],
+            vec![0],
+        )))
+        .unwrap();
+        let p = Plan::scan(&c, "t").unwrap();
+        assert!(estimate(&p, &c).is_none());
+    }
+
+    #[test]
+    fn scan_estimate_is_row_count() {
+        let c = analyzed_cat();
+        let p = Plan::scan(&c, "t").unwrap();
+        let e = estimate(&p, &c).unwrap();
+        assert!((e.rows - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq_filter_uses_ndv() {
+        let c = analyzed_cat();
+        let p = Plan::scan(&c, "t")
+            .unwrap()
+            .filter(Expr::eq(Expr::col(1), Expr::lit(3i64)));
+        let e = estimate(&p, &c).unwrap();
+        // grp has 10 distinct values over 1000 rows → ~100.
+        assert!((e.rows - 100.0).abs() < 1.0, "rows={}", e.rows);
+    }
+
+    #[test]
+    fn range_filter_interpolates_min_max() {
+        let c = analyzed_cat();
+        let p = Plan::scan(&c, "t")
+            .unwrap()
+            .filter(Expr::binary(BinOp::Lt, Expr::col(2), Expr::lit(250i64)));
+        let e = estimate(&p, &c).unwrap();
+        // v uniform over [0, 999] → ~25%.
+        assert!((e.rows - 250.0).abs() < 10.0, "rows={}", e.rows);
+    }
+
+    #[test]
+    fn join_divides_by_key_ndv() {
+        let c = analyzed_cat();
+        let p = Plan::scan(&c, "t").unwrap().join(
+            Plan::scan(&c, "dim").unwrap(),
+            JoinKind::Inner,
+            vec![Expr::col(1)],
+            vec![Expr::col(0)],
+        );
+        let e = estimate(&p, &c).unwrap();
+        // 1000 × 10 / max(10, 10) = 1000.
+        assert!((e.rows - 1000.0).abs() < 1.0, "rows={}", e.rows);
+    }
+
+    #[test]
+    fn limit_caps_estimate() {
+        let c = analyzed_cat();
+        let p = Plan::scan(&c, "t").unwrap().limit(7);
+        assert!((estimate(&p, &c).unwrap().rows - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explain_with_estimates_annotates_nodes() {
+        let c = analyzed_cat();
+        let p = Plan::scan(&c, "t")
+            .unwrap()
+            .filter(Expr::eq(Expr::col(1), Expr::lit(3i64)));
+        let text = explain_with_estimates(&p, &c);
+        assert!(text.contains("est="), "{text}");
+        // Without stats the rendering is byte-identical to plain explain().
+        let bare = Catalog::new();
+        let p2 = Plan {
+            kind: PlanKind::Values { rows: vec![] },
+            fields: vec![],
+        };
+        assert_eq!(explain_with_estimates(&p2, &bare), p2.explain());
+    }
+}

@@ -18,7 +18,10 @@
 //!   structures with aggregate pushdown through the join;
 //! * a rule-based [`optimizer`] (constant folding, filter splitting and
 //!   pushdown, filter cost-rank ordering, index-lookup selection,
-//!   trivial-projection elision);
+//!   trivial-projection elision) with **cost-based passes** layered on top
+//!   when the catalog has ANALYZE-gathered statistics: hash-join build-side
+//!   selection, greedy join reordering and selectivity-ranked filters, all
+//!   driven by the [`cost`] cardinality estimator;
 //! * a pull-based [`stream`]ing [`exec`]utor: every operator is a
 //!   [`stream::RowStream`] pulling batches from its children, leaf scans and
 //!   hash-join builds run morsel-parallel on scoped threads, `LIMIT`
@@ -26,6 +29,7 @@
 //!   [`metrics::ExecMetrics`] (`EXPLAIN ANALYZE`-style) as it runs.
 
 pub mod agg;
+pub mod cost;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -35,6 +39,7 @@ pub mod plan;
 pub mod stream;
 
 pub use agg::{AggCall, AggFunc};
+pub use cost::{annotate_metrics, estimate, explain_with_estimates, ColEst, Estimate};
 pub use error::{EngineError, EngineResult};
 pub use exec::{
     execute, execute_optimized, execute_streaming, execute_with_metrics, ExecContext, QueryStream,

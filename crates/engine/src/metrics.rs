@@ -66,6 +66,7 @@ impl OpMetrics {
             rows_out: self.rows_out.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             elapsed_ns: self.elapsed_ns.load(Ordering::Relaxed),
+            est_rows: None,
             children,
         }
     }
@@ -82,6 +83,10 @@ pub struct ExecMetrics {
     pub batches: u64,
     /// Inclusive wall-clock time spent in this operator's `next_batch`.
     pub elapsed_ns: u64,
+    /// Optimizer row estimate for this operator, attached after execution by
+    /// [`crate::cost::annotate_metrics`] when statistics were gathered.
+    /// `None` when no estimate was derivable (no ANALYZE, phantom tables).
+    pub est_rows: Option<f64>,
     pub children: Vec<ExecMetrics>,
 }
 
@@ -118,10 +123,19 @@ impl ExecMetrics {
         s
     }
 
+    /// Estimate-vs-actual q-error for this node: `max(est/actual,
+    /// actual/est)` with both sides floored at one row. `None` when no
+    /// estimate is attached.
+    pub fn q_error(&self) -> Option<f64> {
+        let est = self.est_rows?.max(1.0);
+        let actual = (self.rows_out as f64).max(1.0);
+        Some((est / actual).max(actual / est))
+    }
+
     fn render_into(&self, out: &mut String, depth: usize) {
         use std::fmt::Write as _;
         let pad = "  ".repeat(depth);
-        let _ = writeln!(
+        let _ = write!(
             out,
             "{pad}{} rows_in={} rows_out={} batches={} time={:.3}ms",
             self.name,
@@ -130,6 +144,10 @@ impl ExecMetrics {
             self.batches,
             self.elapsed_ns as f64 / 1e6,
         );
+        if let (Some(est), Some(q)) = (self.est_rows, self.q_error()) {
+            let _ = write!(out, " est={est:.0} q={q:.2}");
+        }
+        out.push('\n');
         for c in &self.children {
             c.render_into(out, depth + 1);
         }

@@ -10,15 +10,23 @@
 //! 3. **Index selection** — a scan filtered by `col = literal` or
 //!    `col IN <set>` turns into an [`PlanKind::IndexLookup`] when the table
 //!    has an index on exactly that column.
+//! 4. **Cost-based passes** — only when the catalog carries
+//!    ANALYZE-gathered statistics (see [`crate::cost`]): greedy reordering
+//!    of inner-join chains ([`reorder_joins`]) and hash-join build-side
+//!    selection ([`choose_build_side`]). Both are strict no-ops on an
+//!    un-analyzed catalog.
+//! 5. **Filter cost ranking** — order conjunct lists cheapest-first;
+//!    with statistics the rank is weighted by estimated selectivity.
 //!
 //! The paper's argument for logical independence rests on the system (not
 //! the user) being able to exploit physical choices like indexes and
 //! pushed-down predicates regardless of the mapping; this module is where
 //! that happens for the relational substrate.
 
+use crate::cost;
 use crate::error::EngineResult;
 use crate::expr::{BinOp, Expr};
-use crate::plan::{Plan, PlanKind};
+use crate::plan::{FactorizedSide, Field, JoinKind, Plan, PlanKind};
 use erbium_storage::{Catalog, Value};
 
 /// Run all optimizer passes.
@@ -26,35 +34,105 @@ pub fn optimize(plan: Plan, cat: &Catalog) -> EngineResult<Plan> {
     let plan = fold_constants(plan)?;
     let plan = push_filters(plan)?;
     let plan = select_indexes(plan, cat)?;
-    Ok(rank_filters(plan))
+    let plan = if cat.stats().is_empty() {
+        plan
+    } else {
+        let plan = reorder_joins(plan, cat);
+        choose_build_side(plan, cat)
+    };
+    Ok(rank_filters(plan, cat))
+}
+
+/// Rebuild a plan node with every child mapped through `f` (leaves are
+/// returned unchanged). Shared recursion scaffold for the cost-based passes.
+fn map_children(plan: Plan, f: &impl Fn(Plan) -> Plan) -> Plan {
+    let fields = plan.fields;
+    let kind = match plan.kind {
+        PlanKind::Filter { input, predicate } => {
+            PlanKind::Filter { input: Box::new(f(*input)), predicate }
+        }
+        PlanKind::Project { input, exprs } => {
+            PlanKind::Project { input: Box::new(f(*input)), exprs }
+        }
+        PlanKind::Join { left, right, kind, left_keys, right_keys } => PlanKind::Join {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+            kind,
+            left_keys,
+            right_keys,
+        },
+        PlanKind::Aggregate { input, group, aggs } => {
+            PlanKind::Aggregate { input: Box::new(f(*input)), group, aggs }
+        }
+        PlanKind::Unnest { input, column, keep_empty } => {
+            PlanKind::Unnest { input: Box::new(f(*input)), column, keep_empty }
+        }
+        PlanKind::Sort { input, keys } => PlanKind::Sort { input: Box::new(f(*input)), keys },
+        PlanKind::Limit { input, limit } => PlanKind::Limit { input: Box::new(f(*input)), limit },
+        PlanKind::Distinct { input } => PlanKind::Distinct { input: Box::new(f(*input)) },
+        PlanKind::Union { inputs } => {
+            PlanKind::Union { inputs: inputs.into_iter().map(f).collect() }
+        }
+        leaf => leaf,
+    };
+    Plan { kind, fields }
 }
 
 // ---- filter cost ranking ---------------------------------------------------
 
-/// Order every conjunctive filter list in the plan by static evaluation
-/// cost ([`Expr::cost_rank`]), cheapest first.
+/// Order every conjunctive filter list in the plan so the most effective
+/// predicate runs first.
 ///
 /// Pushed-down scan filters and index residuals are applied per examined
 /// row, so running an integer comparison before an `array_contains` walk
-/// lets the cheap predicate prune rows before the expensive one runs. The
-/// sort is stable: equally-ranked predicates keep their pushdown order.
-/// Runs after [`select_indexes`] so index residual lists are ranked too.
-pub fn rank_filters(mut plan: Plan) -> Plan {
-    rank_filters_mut(&mut plan);
+/// lets the cheap predicate prune rows before the expensive one runs.
+/// Without statistics the key is the static evaluation cost
+/// ([`Expr::cost_rank`]); when the filtered table has gathered statistics
+/// the key becomes `selectivity × (1 + cost_rank)`, which lets a highly
+/// selective (but slightly pricier) predicate run before a cheap one that
+/// keeps almost every row. The sort is stable: equally-ranked predicates
+/// keep their pushdown order. Runs after [`select_indexes`] so index
+/// residual lists are ranked too.
+pub fn rank_filters(mut plan: Plan, cat: &Catalog) -> Plan {
+    rank_filters_mut(&mut plan, cat);
     plan
 }
 
-fn sort_by_cost(filters: &mut [Expr]) {
-    filters.sort_by_key(Expr::cost_rank);
+fn sort_filters(filters: &mut [Expr], est: Option<&cost::Estimate>) {
+    match est {
+        Some(est) => filters.sort_by(|a, b| {
+            let ka = cost::selectivity(a, est) * (1.0 + f64::from(a.cost_rank()));
+            let kb = cost::selectivity(b, est) * (1.0 + f64::from(b.cost_rank()));
+            ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+        }),
+        None => filters.sort_by_key(Expr::cost_rank),
+    }
 }
 
-fn rank_filters_mut(plan: &mut Plan) {
+/// Stats key for a factorized-scan side (mirrors how `Catalog::analyze`
+/// registers the three per-structure entries).
+fn factorized_stats_key(table: &str, side: FactorizedSide) -> String {
+    match side {
+        FactorizedSide::Left => format!("{table}#left"),
+        FactorizedSide::Right => format!("{table}#right"),
+        FactorizedSide::Join => table.to_string(),
+    }
+}
+
+fn rank_filters_mut(plan: &mut Plan, cat: &Catalog) {
     match &mut plan.kind {
-        PlanKind::Scan { filters, .. } | PlanKind::FactorizedScan { filters, .. } => {
-            sort_by_cost(filters);
+        PlanKind::Scan { table, filters } => {
+            let est = cost::table_estimate(cat, table);
+            sort_filters(filters, est.as_ref());
         }
-        PlanKind::IndexLookup { residual, .. } | PlanKind::IndexRange { residual, .. } => {
-            sort_by_cost(residual);
+        PlanKind::FactorizedScan { table, side, filters } => {
+            let est = cost::table_estimate(cat, &factorized_stats_key(table, *side));
+            sort_filters(filters, est.as_ref());
+        }
+        PlanKind::IndexLookup { table, residual, .. }
+        | PlanKind::IndexRange { table, residual, .. } => {
+            let est = cost::table_estimate(cat, table);
+            sort_filters(residual, est.as_ref());
         }
         PlanKind::FactorizedCount { .. } | PlanKind::Values { .. } => {}
         PlanKind::Filter { input, .. }
@@ -63,17 +141,274 @@ fn rank_filters_mut(plan: &mut Plan) {
         | PlanKind::Unnest { input, .. }
         | PlanKind::Sort { input, .. }
         | PlanKind::Limit { input, .. }
-        | PlanKind::Distinct { input } => rank_filters_mut(input),
+        | PlanKind::Distinct { input } => rank_filters_mut(input, cat),
         PlanKind::Join { left, right, .. } => {
-            rank_filters_mut(left);
-            rank_filters_mut(right);
+            rank_filters_mut(left, cat);
+            rank_filters_mut(right, cat);
         }
         PlanKind::Union { inputs } => {
             for i in inputs {
-                rank_filters_mut(i);
+                rank_filters_mut(i, cat);
             }
         }
     }
+}
+
+// ---- cost-based join passes -------------------------------------------------
+
+/// Pick the cheaper build side for every Inner hash join.
+///
+/// The executor materializes the **right** input of a hash join into the
+/// build table ([`crate::stream`]'s `JoinStream` drains `right` first and
+/// probes with `left` batches). When statistics say the left input is the
+/// smaller one, swapping the inputs builds the smaller hash table and
+/// probes with the larger stream — the classic build-side heuristic. A
+/// column-restoring projection goes on top so the output schema is
+/// unchanged. Only Inner joins are swapped (Left/Semi joins are not
+/// symmetric), and joins whose sides lack estimates are left alone.
+pub fn choose_build_side(plan: Plan, cat: &Catalog) -> Plan {
+    let fields = plan.fields;
+    match plan.kind {
+        PlanKind::Join { left, right, kind: JoinKind::Inner, left_keys, right_keys } => {
+            let left = choose_build_side(*left, cat);
+            let right = choose_build_side(*right, cat);
+            let swap = match (cost::estimate(&left, cat), cost::estimate(&right, cat)) {
+                (Some(l), Some(r)) => l.rows < r.rows,
+                _ => false,
+            };
+            if swap {
+                swap_join(left, right, left_keys, right_keys, fields)
+            } else {
+                Plan {
+                    kind: PlanKind::Join {
+                        left: Box::new(left),
+                        right: Box::new(right),
+                        kind: JoinKind::Inner,
+                        left_keys,
+                        right_keys,
+                    },
+                    fields,
+                }
+            }
+        }
+        other => {
+            map_children(Plan { kind: other, fields }, &|p| choose_build_side(p, cat))
+        }
+    }
+}
+
+/// Build `right ⋈ left` from an Inner `left ⋈ right` and restore the
+/// original column order (and field names) with a projection on top.
+fn swap_join(
+    left: Plan,
+    right: Plan,
+    left_keys: Vec<Expr>,
+    right_keys: Vec<Expr>,
+    fields: Vec<Field>,
+) -> Plan {
+    let l_arity = left.fields.len();
+    let r_arity = right.fields.len();
+    let mut swapped_fields: Vec<Field> = right.fields.clone();
+    swapped_fields.extend(left.fields.iter().cloned());
+    let swapped = Plan {
+        kind: PlanKind::Join {
+            left: Box::new(right),
+            right: Box::new(left),
+            kind: JoinKind::Inner,
+            left_keys: right_keys,
+            right_keys: left_keys,
+        },
+        fields: swapped_fields,
+    };
+    // Original column i < l_arity now lives at r_arity + i; original
+    // l_arity + j now lives at j.
+    let exprs: Vec<Expr> = (0..l_arity)
+        .map(|i| Expr::col(r_arity + i))
+        .chain((0..r_arity).map(Expr::col))
+        .collect();
+    Plan { kind: PlanKind::Project { input: Box::new(swapped), exprs }, fields }
+}
+
+/// Greedily reorder chains of Inner equi-joins so small inputs join first.
+///
+/// A maximal tree of Inner joins whose keys are all plain columns is
+/// flattened into leaves plus equality predicates, then rebuilt left-deep:
+/// start from the leaf with the fewest estimated rows and repeatedly join
+/// the smallest leaf connected to the joined set by some predicate. Each
+/// predicate is applied at the join where its second endpoint enters, so
+/// multi-predicate and cyclic join graphs stay intact. A projection on top
+/// restores the original column order. The pass bails to the original tree
+/// when the chain has fewer than three leaves, when any leaf lacks an
+/// estimate, when the join graph is disconnected (cross joins), or when
+/// the greedy order is the original order.
+pub fn reorder_joins(plan: Plan, cat: &Catalog) -> Plan {
+    if is_flattenable(&plan) {
+        reorder_join_tree(plan, cat)
+    } else {
+        map_children(plan, &|p| reorder_joins(p, cat))
+    }
+}
+
+/// An Inner join whose keys are all plain `Col` references can take part
+/// in flattening/reordering.
+fn is_flattenable(plan: &Plan) -> bool {
+    matches!(
+        &plan.kind,
+        PlanKind::Join { kind: JoinKind::Inner, left_keys, right_keys, .. }
+            if !left_keys.is_empty()
+                && left_keys
+                    .iter()
+                    .chain(right_keys.iter())
+                    .all(|k| matches!(k, Expr::Col(_)))
+    )
+}
+
+/// Flatten a maximal Inner-join tree rooted at `plan` into `leaves` (in
+/// in-order traversal order, which equals the output column order of pure
+/// Inner joins) and equality `preds` over **global** column positions.
+/// Returns the subtree arity.
+fn flatten_join(plan: Plan, base: usize, leaves: &mut Vec<Plan>, preds: &mut Vec<(usize, usize)>) -> usize {
+    if is_flattenable(&plan) {
+        let PlanKind::Join { left, right, left_keys, right_keys, .. } = plan.kind else {
+            unreachable!("is_flattenable checked the kind")
+        };
+        let l_arity = flatten_join(*left, base, leaves, preds);
+        let r_arity = flatten_join(*right, base + l_arity, leaves, preds);
+        for (lk, rk) in left_keys.iter().zip(right_keys.iter()) {
+            let (Expr::Col(i), Expr::Col(j)) = (lk, rk) else {
+                unreachable!("is_flattenable checked the keys")
+            };
+            preds.push((base + i, base + l_arity + j));
+        }
+        l_arity + r_arity
+    } else {
+        let arity = plan.fields.len();
+        leaves.push(plan);
+        arity
+    }
+}
+
+fn reorder_join_tree(plan: Plan, cat: &Catalog) -> Plan {
+    let original = plan.clone();
+    let fields = plan.fields.clone();
+    let mut leaves: Vec<Plan> = Vec::new();
+    let mut global_preds: Vec<(usize, usize)> = Vec::new();
+    let total_arity = flatten_join(plan, 0, &mut leaves, &mut global_preds);
+    let bail = |original: Plan| map_children(original, &|p| reorder_joins(p, cat));
+    if leaves.len() < 3 {
+        // Two-way joins have nothing to reorder; build-side selection
+        // handles them.
+        return bail(original);
+    }
+    // Recurse into the leaves first (they may hide further join chains
+    // under aggregates, outer joins, ...).
+    let leaves: Vec<Plan> = leaves.into_iter().map(|l| reorder_joins(l, cat)).collect();
+    let Some(est_rows) = leaves
+        .iter()
+        .map(|l| cost::estimate(l, cat).map(|e| e.rows))
+        .collect::<Option<Vec<f64>>>()
+    else {
+        return bail(original);
+    };
+    // Map global column positions to (leaf index, column within leaf).
+    let mut starts = Vec::with_capacity(leaves.len());
+    let mut acc = 0usize;
+    for l in &leaves {
+        starts.push(acc);
+        acc += l.fields.len();
+    }
+    debug_assert_eq!(acc, total_arity);
+    let to_leaf = |g: usize| -> (usize, usize) {
+        let li = starts.partition_point(|&s| s <= g) - 1;
+        (li, g - starts[li])
+    };
+    let preds: Vec<((usize, usize), (usize, usize))> =
+        global_preds.iter().map(|&(a, b)| (to_leaf(a), to_leaf(b))).collect();
+    // Greedy order: smallest leaf first, then repeatedly the smallest leaf
+    // connected to the joined set by at least one predicate.
+    let n = leaves.len();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut joined = vec![false; n];
+    let start = (0..n)
+        .min_by(|&a, &b| est_rows[a].partial_cmp(&est_rows[b]).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("n >= 3");
+    order.push(start);
+    joined[start] = true;
+    while order.len() < n {
+        let mut best: Option<usize> = None;
+        for &((al, _), (bl, _)) in &preds {
+            for (x, y) in [(al, bl), (bl, al)] {
+                if joined[x] && !joined[y] && best.is_none_or(|b| est_rows[y] < est_rows[b]) {
+                    best = Some(y);
+                }
+            }
+        }
+        match best {
+            Some(b) => {
+                order.push(b);
+                joined[b] = true;
+            }
+            // Disconnected join graph (a cross join somewhere): reordering
+            // a cross join is never a clear win, keep the written order.
+            None => return bail(original),
+        }
+    }
+    if order.iter().enumerate().all(|(i, &l)| i == l) {
+        // Greedy agrees with the written order: keep the original tree
+        // (and its exact fields/shape).
+        return bail(original);
+    }
+    // Rebuild left-deep in greedy order. Each predicate becomes a join key
+    // at the join where its second endpoint enters the joined set.
+    let mut slots: Vec<Option<Plan>> = leaves.into_iter().map(Some).collect();
+    let mut out_start: Vec<Option<usize>> = vec![None; n];
+    let mut current = slots[order[0]].take().expect("leaf taken once");
+    out_start[order[0]] = Some(0);
+    let mut used = vec![false; preds.len()];
+    for &next in &order[1..] {
+        let right = slots[next].take().expect("leaf taken once");
+        let cur_arity = current.fields.len();
+        let mut left_keys = Vec::new();
+        let mut right_keys = Vec::new();
+        for (pi, &((al, ac), (bl, bc))) in preds.iter().enumerate() {
+            if used[pi] {
+                continue;
+            }
+            let (inner, inner_col, next_col) = if al == next && out_start[bl].is_some() {
+                (bl, bc, ac)
+            } else if bl == next && out_start[al].is_some() {
+                (al, ac, bc)
+            } else {
+                continue;
+            };
+            used[pi] = true;
+            left_keys.push(Expr::col(out_start[inner].expect("endpoint joined") + inner_col));
+            right_keys.push(Expr::col(next_col));
+        }
+        debug_assert!(!left_keys.is_empty(), "greedy order guarantees connectivity");
+        let mut join_fields = current.fields.clone();
+        join_fields.extend(right.fields.iter().cloned());
+        current = Plan {
+            kind: PlanKind::Join {
+                left: Box::new(current),
+                right: Box::new(right),
+                kind: JoinKind::Inner,
+                left_keys,
+                right_keys,
+            },
+            fields: join_fields,
+        };
+        out_start[next] = Some(cur_arity);
+    }
+    // Restore the original column order with a projection carrying the
+    // original output fields.
+    let exprs: Vec<Expr> = (0..total_arity)
+        .map(|g| {
+            let (li, c) = to_leaf(g);
+            Expr::col(out_start[li].expect("all leaves joined") + c)
+        })
+        .collect();
+    Plan { kind: PlanKind::Project { input: Box::new(current), exprs }, fields }
 }
 
 // ---- constant folding ------------------------------------------------------
@@ -613,7 +948,7 @@ mod tests {
             .filter(cheap.clone())
             .filter(null_check.clone());
         let opt = push_filters(p).unwrap();
-        let ranked = rank_filters(opt);
+        let ranked = rank_filters(opt, &c);
         match &ranked.kind {
             PlanKind::Scan { filters, .. } => {
                 assert_eq!(filters.len(), 3);
@@ -882,5 +1217,268 @@ mod range_tests {
         );
         assert_eq!(execute(&opt, &c).unwrap(), vec![vec![Value::Int(5)]]);
         assert_eq!(execute(&p, &c).unwrap(), execute(&opt, &c).unwrap());
+    }
+}
+
+#[cfg(test)]
+mod cost_tests {
+    use super::*;
+    use crate::exec::execute;
+    use erbium_storage::{Column, DataType, Table, TableSchema};
+
+    /// big(id, k): 1000 rows, k = id % 10; small(k): 10 rows; mid(k): 100
+    /// rows — all ANALYZEd.
+    fn analyzed_cat3() -> Catalog {
+        let mut c = Catalog::new();
+        let mut big = Table::new(TableSchema::new(
+            "big",
+            vec![Column::not_null("id", DataType::Int), Column::new("k", DataType::Int)],
+            vec![0],
+        ));
+        for i in 0..1000i64 {
+            big.insert(vec![Value::Int(i), Value::Int(i % 10)]).unwrap();
+        }
+        c.create_table(big).unwrap();
+        let mut small =
+            Table::new(TableSchema::new("small", vec![Column::not_null("k", DataType::Int)], vec![0]));
+        for i in 0..10i64 {
+            small.insert(vec![Value::Int(i)]).unwrap();
+        }
+        c.create_table(small).unwrap();
+        let mut mid =
+            Table::new(TableSchema::new("mid", vec![Column::not_null("k", DataType::Int)], vec![0]));
+        for i in 0..100i64 {
+            mid.insert(vec![Value::Int(i)]).unwrap();
+        }
+        c.create_table(mid).unwrap();
+        c.analyze();
+        c
+    }
+
+    fn sorted(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn build_side_swapped_when_left_is_smaller() {
+        let c = analyzed_cat3();
+        // small ⋈ big: the executor builds the RIGHT side, so without the
+        // pass it would build the 1000-row table.
+        let p = Plan::scan(&c, "small").unwrap().join(
+            Plan::scan(&c, "big").unwrap(),
+            JoinKind::Inner,
+            vec![Expr::col(0)],
+            vec![Expr::col(1)],
+        );
+        let opt = optimize(p.clone(), &c).unwrap();
+        match &opt.kind {
+            PlanKind::Project { input, .. } => match &input.kind {
+                PlanKind::Join { left, right, left_keys, right_keys, .. } => {
+                    assert!(
+                        matches!(&left.kind, PlanKind::Scan { table, .. } if table == "big"),
+                        "probe side must be big:\n{}",
+                        opt.explain()
+                    );
+                    assert!(
+                        matches!(&right.kind, PlanKind::Scan { table, .. } if table == "small"),
+                        "build side must be small:\n{}",
+                        opt.explain()
+                    );
+                    assert_eq!(left_keys, &vec![Expr::col(1)], "keys swapped with the sides");
+                    assert_eq!(right_keys, &vec![Expr::col(0)]);
+                }
+                other => panic!("expected join under project, got {other:?}"),
+            },
+            other => panic!("expected restore projection on top, got {other:?}"),
+        }
+        // Field names survive the swap.
+        let names: Vec<&str> = opt.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["k", "id", "k"]);
+        // Same multiset of rows, same column order.
+        assert_eq!(sorted(execute(&p, &c).unwrap()), sorted(execute(&opt, &c).unwrap()));
+    }
+
+    #[test]
+    fn build_side_not_swapped_when_right_is_smaller() {
+        let c = analyzed_cat3();
+        let p = Plan::scan(&c, "big").unwrap().join(
+            Plan::scan(&c, "small").unwrap(),
+            JoinKind::Inner,
+            vec![Expr::col(1)],
+            vec![Expr::col(0)],
+        );
+        let opt = optimize(p.clone(), &c).unwrap();
+        assert!(matches!(&opt.kind, PlanKind::Join { .. }), "{}", opt.explain());
+        assert_eq!(sorted(execute(&p, &c).unwrap()), sorted(execute(&opt, &c).unwrap()));
+    }
+
+    #[test]
+    fn left_join_never_swapped() {
+        let c = analyzed_cat3();
+        let p = Plan::scan(&c, "small").unwrap().join(
+            Plan::scan(&c, "big").unwrap(),
+            JoinKind::Left,
+            vec![Expr::col(0)],
+            vec![Expr::col(1)],
+        );
+        let opt = optimize(p.clone(), &c).unwrap();
+        assert!(
+            matches!(&opt.kind, PlanKind::Join { kind: JoinKind::Left, left, .. }
+                if matches!(&left.kind, PlanKind::Scan { table, .. } if table == "small")),
+            "{}",
+            opt.explain()
+        );
+        assert_eq!(sorted(execute(&p, &c).unwrap()), sorted(execute(&opt, &c).unwrap()));
+    }
+
+    #[test]
+    fn join_chain_reordered_smallest_first() {
+        let c = analyzed_cat3();
+        // Written order: (big ⋈ small) ⋈ mid. Greedy should join the two
+        // small tables into big instead: (small ⋈ big) ⋈ mid.
+        let p = Plan::scan(&c, "big")
+            .unwrap()
+            .join(
+                Plan::scan(&c, "small").unwrap(),
+                JoinKind::Inner,
+                vec![Expr::col(1)],
+                vec![Expr::col(0)],
+            )
+            .join(
+                Plan::scan(&c, "mid").unwrap(),
+                JoinKind::Inner,
+                vec![Expr::col(1)],
+                vec![Expr::col(0)],
+            );
+        let reordered = reorder_joins(p.clone(), &c);
+        match &reordered.kind {
+            PlanKind::Project { input, .. } => match &input.kind {
+                PlanKind::Join { left, right, .. } => {
+                    assert!(
+                        matches!(&right.kind, PlanKind::Scan { table, .. } if table == "mid"),
+                        "mid joins last:\n{}",
+                        reordered.explain()
+                    );
+                    match &left.kind {
+                        PlanKind::Join { left: ll, right: lr, .. } => {
+                            assert!(matches!(&ll.kind, PlanKind::Scan { table, .. } if table == "small"));
+                            assert!(matches!(&lr.kind, PlanKind::Scan { table, .. } if table == "big"));
+                        }
+                        other => panic!("expected inner join, got {other:?}"),
+                    }
+                }
+                other => panic!("expected join under project, got {other:?}"),
+            },
+            other => panic!("expected restore projection, got {other:?}"),
+        }
+        // Column order and field names restored.
+        assert_eq!(reordered.fields, p.fields);
+        assert_eq!(sorted(execute(&p, &c).unwrap()), sorted(execute(&reordered, &c).unwrap()));
+        // The full pipeline also stays correct (build-side pass runs on the
+        // rebuilt tree afterwards).
+        let opt = optimize(p.clone(), &c).unwrap();
+        assert_eq!(sorted(execute(&p, &c).unwrap()), sorted(execute(&opt, &c).unwrap()));
+    }
+
+    #[test]
+    fn reorder_keeps_already_good_order() {
+        let c = analyzed_cat3();
+        // (small ⋈ big) ⋈ mid is already the greedy order: no projection is
+        // inserted, the tree shape is untouched.
+        let p = Plan::scan(&c, "small")
+            .unwrap()
+            .join(
+                Plan::scan(&c, "big").unwrap(),
+                JoinKind::Inner,
+                vec![Expr::col(0)],
+                vec![Expr::col(1)],
+            )
+            .join(
+                Plan::scan(&c, "mid").unwrap(),
+                JoinKind::Inner,
+                vec![Expr::col(2)],
+                vec![Expr::col(0)],
+            );
+        let reordered = reorder_joins(p.clone(), &c);
+        assert_eq!(reordered, p);
+    }
+
+    #[test]
+    fn cost_passes_are_noops_without_stats() {
+        // Same tables, no ANALYZE: the plan shape must be exactly what the
+        // rule-based passes alone produce.
+        let mut c = Catalog::new();
+        let mut big = Table::new(TableSchema::new(
+            "big",
+            vec![Column::not_null("id", DataType::Int), Column::new("k", DataType::Int)],
+            vec![0],
+        ));
+        for i in 0..50i64 {
+            big.insert(vec![Value::Int(i), Value::Int(i % 5)]).unwrap();
+        }
+        c.create_table(big).unwrap();
+        let mut small =
+            Table::new(TableSchema::new("small", vec![Column::not_null("k", DataType::Int)], vec![0]));
+        for i in 0..5i64 {
+            small.insert(vec![Value::Int(i)]).unwrap();
+        }
+        c.create_table(small).unwrap();
+        assert!(c.stats().is_empty());
+        let p = Plan::scan(&c, "small").unwrap().join(
+            Plan::scan(&c, "big").unwrap(),
+            JoinKind::Inner,
+            vec![Expr::col(0)],
+            vec![Expr::col(1)],
+        );
+        let opt = optimize(p.clone(), &c).unwrap();
+        // No restore projection, no swap: left is still `small`.
+        assert!(
+            matches!(&opt.kind, PlanKind::Join { left, .. }
+                if matches!(&left.kind, PlanKind::Scan { table, .. } if table == "small")),
+            "{}",
+            opt.explain()
+        );
+    }
+
+    #[test]
+    fn stats_rank_selective_filter_first() {
+        let c = analyzed_cat3();
+        // Both predicates have the same static cost rank (Binary over
+        // Col/Lit). `k >= 0` keeps every row; `id = 3` keeps one in a
+        // thousand. With stats the selective one must run first; without
+        // stats the pushdown order is kept.
+        let keep_all = Expr::binary(BinOp::Ge, Expr::col(1), Expr::lit(0i64));
+        let selective = Expr::eq(Expr::col(0), Expr::lit(3i64));
+        let one_in_ten = Expr::and(keep_all.clone(), selective.clone());
+        let p = Plan::scan(&c, "big").unwrap().filter(one_in_ten.clone());
+        let with_stats = rank_filters(push_filters(p.clone()).unwrap(), &c);
+        match &with_stats.kind {
+            PlanKind::Scan { filters, .. } => {
+                assert_eq!(filters[0], selective, "selective predicate first with stats");
+                assert_eq!(filters[1], keep_all);
+            }
+            other => panic!("expected scan, got {other:?}"),
+        }
+        let bare = {
+            let mut c2 = Catalog::new();
+            let mut big = Table::new(TableSchema::new(
+                "big",
+                vec![Column::not_null("id", DataType::Int), Column::new("k", DataType::Int)],
+                vec![0],
+            ));
+            big.insert(vec![Value::Int(0), Value::Int(0)]).unwrap();
+            c2.create_table(big).unwrap();
+            c2
+        };
+        let q = Plan::scan(&bare, "big").unwrap().filter(one_in_ten);
+        let without_stats = rank_filters(push_filters(q).unwrap(), &bare);
+        match &without_stats.kind {
+            PlanKind::Scan { filters, .. } => {
+                assert_eq!(filters[0], keep_all, "stable static order without stats");
+                assert_eq!(filters[1], selective);
+            }
+            other => panic!("expected scan, got {other:?}"),
+        }
     }
 }

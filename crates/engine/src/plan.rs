@@ -297,18 +297,30 @@ impl Plan {
     /// Multi-line indented plan rendering (EXPLAIN).
     pub fn explain(&self) -> String {
         let mut s = String::new();
-        self.explain_into(&mut s, 0);
+        self.explain_into(&mut s, 0, &|_| None);
         s
     }
 
-    fn explain_into(&self, out: &mut String, depth: usize) {
+    /// Like [`Plan::explain`], but appends `annot(node)` (when `Some`) to
+    /// each node's line — used by the cost module to render per-node row
+    /// estimates. With an always-`None` closure the output is byte-identical
+    /// to `explain()`.
+    pub fn explain_annotated(&self, annot: &dyn Fn(&Plan) -> Option<String>) -> String {
+        let mut s = String::new();
+        self.explain_into(&mut s, 0, annot);
+        s
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize, annot: &dyn Fn(&Plan) -> Option<String>) {
         let pad = "  ".repeat(depth);
+        let suffix = annot(self).map(|a| format!(" [{a}]")).unwrap_or_default();
         match &self.kind {
             PlanKind::Scan { table, filters } => {
                 let _ = write!(out, "{pad}Scan {table}");
                 if !filters.is_empty() {
                     let _ = write!(out, " filter=[{}]", join_exprs(filters));
                 }
+                out.push_str(&suffix);
                 out.push('\n');
             }
             PlanKind::IndexLookup { table, columns, keys, residual } => {
@@ -316,6 +328,7 @@ impl Plan {
                 if !residual.is_empty() {
                     let _ = write!(out, " residual=[{}]", join_exprs(residual));
                 }
+                out.push_str(&suffix);
                 out.push('\n');
             }
             PlanKind::IndexRange { table, column, lo, hi, residual } => {
@@ -333,6 +346,7 @@ impl Plan {
                 if !residual.is_empty() {
                     let _ = write!(out, " residual=[{}]", join_exprs(residual));
                 }
+                out.push_str(&suffix);
                 out.push('\n');
             }
             PlanKind::FactorizedScan { table, side, filters } => {
@@ -340,72 +354,73 @@ impl Plan {
                 if !filters.is_empty() {
                     let _ = write!(out, " filter=[{}]", join_exprs(filters));
                 }
+                out.push_str(&suffix);
                 out.push('\n');
             }
             PlanKind::FactorizedCount { table } => {
-                let _ = writeln!(out, "{pad}FactorizedCount {table}");
+                let _ = writeln!(out, "{pad}FactorizedCount {table}{suffix}");
             }
             PlanKind::Filter { input, predicate } => {
-                let _ = writeln!(out, "{pad}Filter {predicate}");
-                input.explain_into(out, depth + 1);
+                let _ = writeln!(out, "{pad}Filter {predicate}{suffix}");
+                input.explain_into(out, depth + 1, annot);
             }
             PlanKind::Project { input, exprs } => {
-                let _ = writeln!(out, "{pad}Project [{}]", join_exprs(exprs));
-                input.explain_into(out, depth + 1);
+                let _ = writeln!(out, "{pad}Project [{}]{suffix}", join_exprs(exprs));
+                input.explain_into(out, depth + 1, annot);
             }
             PlanKind::Join { left, right, kind, left_keys, right_keys } => {
                 let _ = writeln!(
                     out,
-                    "{pad}Join {kind:?} on [{}] = [{}]",
+                    "{pad}Join {kind:?} on [{}] = [{}]{suffix}",
                     join_exprs(left_keys),
                     join_exprs(right_keys)
                 );
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
+                left.explain_into(out, depth + 1, annot);
+                right.explain_into(out, depth + 1, annot);
             }
             PlanKind::Aggregate { input, group, aggs } => {
                 let agg_names: Vec<String> =
                     aggs.iter().map(|a| format!("{:?}({})", a.func, a.arg)).collect();
                 let _ = writeln!(
                     out,
-                    "{pad}Aggregate group=[{}] aggs=[{}]",
+                    "{pad}Aggregate group=[{}] aggs=[{}]{suffix}",
                     join_exprs(group),
                     agg_names.join(", ")
                 );
-                input.explain_into(out, depth + 1);
+                input.explain_into(out, depth + 1, annot);
             }
             PlanKind::Unnest { input, column, keep_empty } => {
                 let _ = writeln!(
                     out,
-                    "{pad}Unnest #{column}{}",
+                    "{pad}Unnest #{column}{}{suffix}",
                     if *keep_empty { " (outer)" } else { "" }
                 );
-                input.explain_into(out, depth + 1);
+                input.explain_into(out, depth + 1, annot);
             }
             PlanKind::Sort { input, keys } => {
                 let ks: Vec<String> = keys
                     .iter()
                     .map(|k| format!("{}{}", k.expr, if k.desc { " DESC" } else { "" }))
                     .collect();
-                let _ = writeln!(out, "{pad}Sort [{}]", ks.join(", "));
-                input.explain_into(out, depth + 1);
+                let _ = writeln!(out, "{pad}Sort [{}]{suffix}", ks.join(", "));
+                input.explain_into(out, depth + 1, annot);
             }
             PlanKind::Limit { input, limit } => {
-                let _ = writeln!(out, "{pad}Limit {limit}");
-                input.explain_into(out, depth + 1);
+                let _ = writeln!(out, "{pad}Limit {limit}{suffix}");
+                input.explain_into(out, depth + 1, annot);
             }
             PlanKind::Distinct { input } => {
-                let _ = writeln!(out, "{pad}Distinct");
-                input.explain_into(out, depth + 1);
+                let _ = writeln!(out, "{pad}Distinct{suffix}");
+                input.explain_into(out, depth + 1, annot);
             }
             PlanKind::Union { inputs } => {
-                let _ = writeln!(out, "{pad}UnionAll ({})", inputs.len());
+                let _ = writeln!(out, "{pad}UnionAll ({}){suffix}", inputs.len());
                 for i in inputs {
-                    i.explain_into(out, depth + 1);
+                    i.explain_into(out, depth + 1, annot);
                 }
             }
             PlanKind::Values { rows } => {
-                let _ = writeln!(out, "{pad}Values ({} rows)", rows.len());
+                let _ = writeln!(out, "{pad}Values ({} rows){suffix}", rows.len());
             }
         }
     }

@@ -677,9 +677,74 @@ struct JoinStream<'a> {
     build: Option<JoinBuild>,
 }
 
+/// Build-side hash table keyed either by a bare [`Value`] (single join key
+/// — the overwhelmingly common case for FK joins produced by the mapping
+/// layer) or by a composed `Vec<Value>` for multi-key joins. The
+/// single-key form avoids one heap allocation per build row *and* per
+/// probe row.
+enum KeyMap {
+    Single(FxHashMap<Value, Vec<usize>>),
+    Multi(FxHashMap<Vec<Value>, Vec<usize>>),
+}
+
+impl KeyMap {
+    fn for_keys(keys: &[Expr]) -> KeyMap {
+        if keys.len() == 1 {
+            KeyMap::Single(FxHashMap::default())
+        } else {
+            KeyMap::Multi(FxHashMap::default())
+        }
+    }
+
+    /// Merge `part` into `self` (both sides must come from the same key
+    /// list, so the variants always agree).
+    fn merge(&mut self, part: KeyMap) {
+        match (self, part) {
+            (KeyMap::Single(m), KeyMap::Single(p)) => {
+                for (k, mut v) in p {
+                    m.entry(k).or_default().append(&mut v);
+                }
+            }
+            (KeyMap::Multi(m), KeyMap::Multi(p)) => {
+                for (k, mut v) in p {
+                    m.entry(k).or_default().append(&mut v);
+                }
+            }
+            _ => unreachable!("partial key maps built from one key list"),
+        }
+    }
+}
+
 struct JoinBuild {
     rows: Vec<Row>,
-    table: FxHashMap<Vec<Value>, Vec<usize>>,
+    table: KeyMap,
+}
+
+impl JoinBuild {
+    /// Evaluate the probe keys over `row` and look up the matching build
+    /// rows. NULL keys never join.
+    fn probe(&self, keys: &[Expr], row: &[Value]) -> EngineResult<Option<&Vec<usize>>> {
+        match (&self.table, keys) {
+            (KeyMap::Single(m), [e]) => {
+                let v = e.eval(row)?;
+                Ok(if v.is_null() { None } else { m.get(&v) })
+            }
+            (KeyMap::Multi(m), keys) => {
+                let mut key = Vec::with_capacity(keys.len());
+                for e in keys {
+                    let v = e.eval(row)?;
+                    if v.is_null() {
+                        return Ok(None);
+                    }
+                    key.push(v);
+                }
+                Ok(m.get(&key))
+            }
+            (KeyMap::Single(_), _) => {
+                Err(EngineError::Plan("join key arity mismatch".into()))
+            }
+        }
+    }
 }
 
 impl JoinStream<'_> {
@@ -706,12 +771,19 @@ impl JoinStream<'_> {
     }
 }
 
-fn hash_build_range(
-    rows: &[Row],
-    keys: &[Expr],
-    lo: usize,
-    hi: usize,
-) -> EngineResult<FxHashMap<Vec<Value>, Vec<usize>>> {
+fn hash_build_range(rows: &[Row], keys: &[Expr], lo: usize, hi: usize) -> EngineResult<KeyMap> {
+    if let [e] = keys {
+        // Single-key fast path: no per-row Vec allocation.
+        let mut table: FxHashMap<Value, Vec<usize>> = FxHashMap::default();
+        for (i, row) in rows[lo..hi].iter().enumerate() {
+            let v = e.eval(row)?;
+            if v.is_null() {
+                continue; // NULL keys never join
+            }
+            table.entry(v).or_default().push(lo + i);
+        }
+        return Ok(KeyMap::Single(table));
+    }
     let mut table: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
     'build: for (i, row) in rows[lo..hi].iter().enumerate() {
         let mut key = Vec::with_capacity(keys.len());
@@ -724,38 +796,31 @@ fn hash_build_range(
         }
         table.entry(key).or_default().push(lo + i);
     }
-    Ok(table)
+    Ok(KeyMap::Multi(table))
 }
 
-fn parallel_hash_build(
-    rows: &[Row],
-    keys: &[Expr],
-    threads: usize,
-) -> EngineResult<FxHashMap<Vec<Value>, Vec<usize>>> {
+fn parallel_hash_build(rows: &[Row], keys: &[Expr], threads: usize) -> EngineResult<KeyMap> {
     let chunk = rows.len().div_ceil(threads).max(1);
-    let parts: Vec<EngineResult<FxHashMap<Vec<Value>, Vec<usize>>>> =
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..threads)
-                .map(|w| {
-                    let lo = (w * chunk).min(rows.len());
-                    let hi = ((w + 1) * chunk).min(rows.len());
-                    s.spawn(move || hash_build_range(rows, keys, lo, hi))
+    let parts: Vec<EngineResult<KeyMap>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let lo = (w * chunk).min(rows.len());
+                let hi = ((w + 1) * chunk).min(rows.len());
+                s.spawn(move || hash_build_range(rows, keys, lo, hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(EngineError::Eval("join build worker panicked".into()))
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or_else(|_| {
-                        Err(EngineError::Eval("join build worker panicked".into()))
-                    })
-                })
-                .collect()
-        });
-    let mut merged: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+            })
+            .collect()
+    });
+    let mut merged = KeyMap::for_keys(keys);
     for part in parts {
-        for (k, mut v) in part? {
-            merged.entry(k).or_default().append(&mut v);
-        }
+        merged.merge(part?);
     }
     Ok(merged)
 }
@@ -768,17 +833,7 @@ impl RowStream for JoinStream<'_> {
             let build = self.build.as_ref().expect("built above");
             let mut out = Vec::new();
             for lrow in batch {
-                let mut key = Vec::with_capacity(self.left_keys.len());
-                let mut null_key = false;
-                for e in self.left_keys {
-                    let v = e.eval(&lrow)?;
-                    if v.is_null() {
-                        null_key = true;
-                        break;
-                    }
-                    key.push(v);
-                }
-                let matches = if null_key { None } else { build.table.get(&key) };
+                let matches = build.probe(self.left_keys, &lrow)?;
                 match self.kind {
                     JoinKind::Inner => {
                         if let Some(idxs) = matches {
@@ -849,6 +904,38 @@ impl AggregateStream<'_> {
                 }
             }
             vec![accs.into_iter().map(Accumulator::finish).collect()]
+        } else if let [g] = self.group {
+            // Single-key group-by fast path: key directly on `Value`, no
+            // per-row `Vec<Value>` allocation. First-seen order preserved.
+            let mut groups: FxHashMap<Value, usize> = FxHashMap::default();
+            let mut states: Vec<(Value, Vec<Accumulator>)> = Vec::new();
+            while let Some(batch) = self.input.next_batch()? {
+                for row in &batch {
+                    let key = g.eval(row)?;
+                    let slot = match groups.get(&key) {
+                        Some(&s) => s,
+                        None => {
+                            let s = states.len();
+                            groups.insert(key.clone(), s);
+                            states
+                                .push((key, self.aggs.iter().map(|a| a.accumulator()).collect()));
+                            s
+                        }
+                    };
+                    let (_, accs) = &mut states[slot];
+                    for (acc, call) in accs.iter_mut().zip(self.aggs) {
+                        acc.update(call.arg.eval(row)?)?;
+                    }
+                }
+            }
+            let mut rows = Vec::with_capacity(states.len());
+            for (key, accs) in states {
+                let mut row = Vec::with_capacity(1 + accs.len());
+                row.push(key);
+                row.extend(accs.into_iter().map(Accumulator::finish));
+                rows.push(row);
+            }
+            rows
         } else {
             // Group-by: preserve first-seen group order for determinism.
             let mut groups: FxHashMap<Vec<Value>, usize> = FxHashMap::default();

@@ -158,6 +158,56 @@ fn metrics_tree_mirrors_rewritten_plan_for_e5_under_m1() {
     assert_eq!(metrics.rows_out as usize, rows.len());
 }
 
+/// Regression: `Value::Int` bound to a Float column is canonicalized to
+/// `Value::Float` at ingest, so hash-join keys over that column match rows
+/// inserted with the literal float form. Before canonicalization, the hash
+/// of `Int(2)` differed from `Float(2.0)` and the join silently dropped
+/// matches.
+#[test]
+fn hash_join_matches_int_populated_float_column() {
+    use erbium_engine::{Expr, JoinKind};
+    use erbium_storage::{Column, DataType, Table, TableSchema, Value};
+
+    let mut cat = Catalog::new();
+    let mut readings = Table::new(TableSchema::new(
+        "readings",
+        vec![Column::not_null("id", DataType::Int), Column::new("score", DataType::Float)],
+        vec![0],
+    ));
+    // Mixed ingest: whole-number scores arrive as Ints, others as Floats.
+    readings.insert(vec![Value::Int(1), Value::Int(2)]).unwrap();
+    readings.insert(vec![Value::Int(2), Value::Float(2.0)]).unwrap();
+    readings.insert(vec![Value::Int(3), Value::Float(3.5)]).unwrap();
+    cat.create_table(readings).unwrap();
+
+    let mut thresholds = Table::new(TableSchema::new(
+        "thresholds",
+        vec![Column::not_null("score", DataType::Float)],
+        vec![0],
+    ));
+    thresholds.insert(vec![Value::Float(2.0)]).unwrap();
+    thresholds.insert(vec![Value::Int(3)]).unwrap(); // canonicalized too
+    cat.create_table(thresholds).unwrap();
+
+    let plan = Plan::scan(&cat, "readings").unwrap().join(
+        Plan::scan(&cat, "thresholds").unwrap(),
+        JoinKind::Inner,
+        vec![Expr::col(1)],
+        vec![Expr::col(0)],
+    );
+    let mut rows = drain(&plan, &cat, &ExecContext::default());
+    rows.sort();
+    // Both the Int-ingested and Float-ingested score=2 rows must join.
+    assert_eq!(
+        rows,
+        vec![
+            vec![Value::Int(1), Value::Float(2.0), Value::Float(2.0)],
+            vec![Value::Int(2), Value::Float(2.0), Value::Float(2.0)],
+        ],
+        "Int-populated Float column must hash-join against Float literals"
+    );
+}
+
 #[test]
 fn cancellation_mid_stream_stops_execution() {
     let (lw, cat) = setup("M1");

@@ -9,6 +9,7 @@
 
 use crate::error::{StorageError, StorageResult};
 use crate::factorized::FactorizedTable;
+use crate::stats::{CatalogStats, TableStats};
 use crate::table::Table;
 use rustc_hash::FxHashMap;
 
@@ -18,6 +19,9 @@ pub struct Catalog {
     tables: FxHashMap<String, Table>,
     factorized: FxHashMap<String, FactorizedTable>,
     meta: FxHashMap<String, serde_json::Value>,
+    /// ANALYZE-gathered statistics, keyed by table name (factorized
+    /// structures contribute `name`, `name#left`, `name#right`).
+    stats: CatalogStats,
 }
 
 impl Catalog {
@@ -36,17 +40,28 @@ impl Catalog {
         Ok(())
     }
 
-    /// Remove a table, returning it.
+    /// Remove a table, returning it. Any gathered statistics are dropped.
     pub fn drop_table(&mut self, name: &str) -> StorageResult<Table> {
-        self.tables.remove(name).ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+        let t =
+            self.tables.remove(name).ok_or_else(|| StorageError::TableNotFound(name.to_string()))?;
+        self.stats.remove(name);
+        Ok(t)
     }
 
     pub fn table(&self, name: &str) -> StorageResult<&Table> {
         self.tables.get(name).ok_or_else(|| StorageError::TableNotFound(name.to_string()))
     }
 
+    /// Mutable access to a table. Handing out `&mut` is the choke point for
+    /// every CRUD path, so gathered statistics are conservatively marked
+    /// stale here: the caller may be about to write.
     pub fn table_mut(&mut self, name: &str) -> StorageResult<&mut Table> {
-        self.tables.get_mut(name).ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+        let t = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))?;
+        self.stats.mark_stale(name);
+        Ok(t)
     }
 
     pub fn has_table(&self, name: &str) -> bool {
@@ -71,15 +86,30 @@ impl Catalog {
     }
 
     pub fn drop_factorized(&mut self, name: &str) -> StorageResult<FactorizedTable> {
-        self.factorized.remove(name).ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+        let ft = self
+            .factorized
+            .remove(name)
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))?;
+        self.stats.remove(name);
+        self.stats.remove(&format!("{name}#left"));
+        self.stats.remove(&format!("{name}#right"));
+        Ok(ft)
     }
 
     pub fn factorized(&self, name: &str) -> StorageResult<&FactorizedTable> {
         self.factorized.get(name).ok_or_else(|| StorageError::TableNotFound(name.to_string()))
     }
 
+    /// Mutable access to a factorized structure; marks all three of its
+    /// statistics entries stale (see [`Catalog::table_mut`]).
     pub fn factorized_mut(&mut self, name: &str) -> StorageResult<&mut FactorizedTable> {
-        self.factorized.get_mut(name).ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+        if !self.factorized.contains_key(name) {
+            return Err(StorageError::TableNotFound(name.to_string()));
+        }
+        self.stats.mark_stale(name);
+        self.stats.mark_stale(&format!("{name}#left"));
+        self.stats.mark_stale(&format!("{name}#right"));
+        Ok(self.factorized.get_mut(name).expect("checked above"))
     }
 
     pub fn has_factorized(&self, name: &str) -> bool {
@@ -128,6 +158,55 @@ impl Catalog {
     pub fn total_rows(&self) -> usize {
         self.tables.values().map(Table::len).sum()
     }
+
+    /// The gathered statistics registry (empty until [`Catalog::analyze`]
+    /// or [`Catalog::put_stats`] runs).
+    pub fn stats(&self) -> &CatalogStats {
+        &self.stats
+    }
+
+    /// Gathered statistics for one table (or factorized-stats key such as
+    /// `name#left`), stale or not.
+    pub fn table_stats(&self, name: &str) -> Option<&TableStats> {
+        self.stats.get(name)
+    }
+
+    /// Install externally computed statistics under `name`. The advisor uses
+    /// this to cost candidate mappings over *synthesized* statistics without
+    /// populating any data.
+    pub fn put_stats(&mut self, name: impl Into<String>, stats: TableStats) {
+        self.stats.put(name, stats);
+    }
+
+    /// ANALYZE: gather fresh statistics for every plain table and every
+    /// factorized structure in one pass each. Factorized structures yield
+    /// three entries — the stored join under the structure's own name and
+    /// the member sides under `name#left` / `name#right`. Returns the number
+    /// of statistics entries written.
+    pub fn analyze(&mut self) -> usize {
+        let mut written = 0;
+        let table_stats: Vec<(String, TableStats)> =
+            self.tables.iter().map(|(n, t)| (n.clone(), t.compute_stats())).collect();
+        for (name, stats) in table_stats {
+            self.stats.put(name, stats);
+            written += 1;
+        }
+        let fact_stats: Vec<(String, TableStats, TableStats, TableStats)> = self
+            .factorized
+            .iter()
+            .map(|(n, ft)| {
+                let (left, right, join) = ft.compute_stats();
+                (n.clone(), left, right, join)
+            })
+            .collect();
+        for (name, left, right, join) in fact_stats {
+            self.stats.put(format!("{name}#left"), left);
+            self.stats.put(format!("{name}#right"), right);
+            self.stats.put(name, join);
+            written += 3;
+        }
+        written
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +243,77 @@ mod tests {
         let got: Option<M> = c.get_meta_typed("mapping").unwrap();
         assert_eq!(got, Some(m));
         assert!(c.get_meta_typed::<M>("missing").unwrap().is_none());
+    }
+
+    #[test]
+    fn analyze_gathers_and_writes_invalidate() {
+        use crate::value::Value;
+        let mut c = Catalog::new();
+        let mut a = t("a");
+        for i in 0..10 {
+            a.insert(vec![Value::Int(i)]).unwrap();
+        }
+        c.create_table(a).unwrap();
+        assert!(c.stats().is_empty(), "no stats before ANALYZE");
+
+        let n = c.analyze();
+        assert_eq!(n, 1);
+        let s = c.table_stats("a").unwrap();
+        assert_eq!(s.row_count, 10);
+        assert_eq!(s.columns[0].ndv, 10);
+        assert!(!c.stats().is_stale("a"));
+
+        // A write through the mutable accessor marks stats stale but keeps them.
+        c.table_mut("a").unwrap().insert(vec![Value::Int(99)]).unwrap();
+        assert!(c.stats().is_stale("a"));
+        assert_eq!(c.table_stats("a").unwrap().row_count, 10, "stale stats still served");
+
+        // Re-ANALYZE refreshes.
+        c.analyze();
+        assert!(!c.stats().is_stale("a"));
+        assert_eq!(c.table_stats("a").unwrap().row_count, 11);
+
+        // Dropping the table drops its stats.
+        c.drop_table("a").unwrap();
+        assert!(c.table_stats("a").is_none());
+    }
+
+    #[test]
+    fn analyze_factorized_writes_three_entries() {
+        use crate::value::{DataType, Value};
+        let left = TableSchema::new(
+            "l",
+            vec![Column::not_null("lid", DataType::Int)],
+            vec![0],
+        );
+        let right = TableSchema::new(
+            "r",
+            vec![Column::not_null("rid", DataType::Int)],
+            vec![0],
+        );
+        let mut ft = FactorizedTable::new("f", left, right);
+        let l0 = ft.insert_left(vec![Value::Int(1)]).unwrap();
+        let r0 = ft.insert_right(vec![Value::Int(10)]).unwrap();
+        let r1 = ft.insert_right(vec![Value::Int(20)]).unwrap();
+        ft.link(l0, r0).unwrap();
+        ft.link(l0, r1).unwrap();
+
+        let mut c = Catalog::new();
+        c.create_factorized("f", ft).unwrap();
+        assert_eq!(c.analyze(), 3);
+        assert_eq!(c.table_stats("f#left").unwrap().row_count, 1);
+        assert_eq!(c.table_stats("f#right").unwrap().row_count, 2);
+        assert_eq!(c.table_stats("f").unwrap().row_count, 2, "join stats count pairs");
+        assert_eq!(c.table_stats("f").unwrap().columns.len(), 2, "join stats span both sides");
+
+        c.factorized_mut("f").unwrap();
+        assert!(c.stats().is_stale("f"));
+        assert!(c.stats().is_stale("f#left"));
+        assert!(c.stats().is_stale("f#right"));
+
+        c.drop_factorized("f").unwrap();
+        assert!(c.table_stats("f").is_none());
+        assert!(c.table_stats("f#left").is_none());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use crate::error::{StorageError, StorageResult};
 use crate::row::{Row, RowId};
 use crate::schema::TableSchema;
+use crate::stats::TableStats;
 use crate::table::Table;
 use crate::value::Value;
 
@@ -268,6 +269,19 @@ impl FactorizedTable {
         let right: usize =
             self.right.scan().map(|(_, r)| r.iter().map(Value::approx_size).sum::<usize>()).sum();
         left + right + self.pairs * 2 * std::mem::size_of::<RowId>()
+    }
+
+    /// Gather statistics for the structure: `(left, right, join)`. The two
+    /// member sides are ordinary single-pass table scans; the join entry is
+    /// computed by streaming the stored join through the pointer lists (one
+    /// pass over the pairs, nothing materialized), so its `row_count` is the
+    /// join cardinality and its columns span `left ++ right`.
+    pub fn compute_stats(&self) -> (TableStats, TableStats, TableStats) {
+        let left = self.left.compute_stats();
+        let right = self.right.compute_stats();
+        let arity = self.left.schema().arity() + self.right.schema().arity();
+        let join = TableStats::compute(self.iter_join(), arity);
+        (left, right, join)
     }
 
     /// Approximate bytes a denormalized join table would need.

@@ -38,7 +38,7 @@ pub use factorized::FactorizedTable;
 pub use index::{BTreeIndex, HashIndex, IndexKind};
 pub use row::{Row, RowId};
 pub use schema::{Column, TableSchema};
-pub use stats::{ColumnStats, TableStats};
+pub use stats::{CatalogStats, ColumnStats, TableStats};
 pub use table::Table;
 pub use txn::{Transaction, UndoEntry};
 pub use value::{DataType, Value};

@@ -90,6 +90,22 @@ impl TableSchema {
         Ok(())
     }
 
+    /// Canonicalize a row's physical representation to the column types.
+    ///
+    /// [`DataType::check`] admits `Value::Int` in Float columns ("implicit
+    /// widening"), which would otherwise let one Float column hold a mix of
+    /// `Int(5)` and `Float(5.0)` representations. Cross-type numeric `Hash`/
+    /// `Ord` keeps that working for |i| ≤ 2^53, but beyond f64's exact-int
+    /// range ordering transitivity breaks and min/max statistics get
+    /// inconsistent typing — so ingest normalizes: every non-null value in a
+    /// Float column (recursively through arrays and structs) is stored as
+    /// `Value::Float`.
+    pub fn canonicalize_row(&self, row: &mut [Value]) {
+        for (col, v) in self.columns.iter().zip(row.iter_mut()) {
+            canonicalize_value(&col.dtype, v);
+        }
+    }
+
     /// Extract the primary-key of a row as a single value (the key value
     /// itself for single-column keys, a `Struct` for composite keys).
     pub fn key_of(&self, row: &[Value]) -> Option<Value> {
@@ -98,6 +114,27 @@ impl TableSchema {
             [i] => Some(row[*i].clone()),
             ks => Some(Value::Struct(ks.iter().map(|&i| row[i].clone()).collect())),
         }
+    }
+}
+
+/// Recursive worker for [`TableSchema::canonicalize_row`].
+fn canonicalize_value(dtype: &DataType, v: &mut Value) {
+    match (dtype, v) {
+        (DataType::Float, v @ Value::Int(_)) => {
+            let Value::Int(i) = *v else { unreachable!() };
+            *v = Value::Float(i as f64);
+        }
+        (DataType::Array(elem), Value::Array(vs)) => {
+            for x in vs {
+                canonicalize_value(elem, x);
+            }
+        }
+        (DataType::Struct(fields), Value::Struct(vs)) if fields.len() == vs.len() => {
+            for ((_, t), x) in fields.iter().zip(vs.iter_mut()) {
+                canonicalize_value(t, x);
+            }
+        }
+        _ => {}
     }
 }
 
@@ -156,6 +193,40 @@ mod tests {
         );
         let row = vec![Value::Int(7), Value::str("k")];
         assert_eq!(s.key_of(&row), Some(Value::Struct(vec![Value::Int(7), Value::str("k")])));
+    }
+
+    #[test]
+    fn canonicalize_widens_ints_in_float_columns() {
+        let s = TableSchema::new(
+            "t4",
+            vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("score", DataType::Float),
+                Column::new("samples", DataType::Float.array_of()),
+                Column::new(
+                    "pt",
+                    DataType::Struct(vec![
+                        ("x".into(), DataType::Float),
+                        ("n".into(), DataType::Int),
+                    ]),
+                ),
+            ],
+            vec![0],
+        );
+        let mut row = vec![
+            Value::Int(1),
+            Value::Int(5),
+            Value::Array(vec![Value::Int(2), Value::Float(3.5), Value::Null]),
+            Value::Struct(vec![Value::Int(7), Value::Int(9)]),
+        ];
+        s.canonicalize_row(&mut row);
+        assert_eq!(row[0], Value::Int(1), "Int column untouched");
+        assert!(matches!(row[1], Value::Float(f) if f == 5.0));
+        assert!(matches!(row[2], Value::Array(ref vs)
+            if matches!(vs[0], Value::Float(f) if f == 2.0) && vs[2] == Value::Null));
+        let Value::Struct(fields) = &row[3] else { panic!("struct") };
+        assert!(matches!(fields[0], Value::Float(f) if f == 7.0), "Float struct field widened");
+        assert_eq!(fields[1], Value::Int(9), "Int struct field untouched");
     }
 
     #[test]

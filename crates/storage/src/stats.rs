@@ -6,7 +6,7 @@
 //! transactionally maintained truths.
 
 use crate::value::Value;
-use rustc_hash::FxHashSet;
+use rustc_hash::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
 
 /// Statistics for one column.
@@ -45,7 +45,11 @@ impl TableStats {
     /// Compute stats over an iterator of rows. Exact NDV up to `ndv_cap`
     /// distinct values per column, saturating beyond it (good enough for
     /// costing; avoids unbounded memory on wide text columns).
-    pub fn compute<'a>(rows: impl Iterator<Item = &'a [Value]>, arity: usize) -> TableStats {
+    ///
+    /// Accepts anything row-shaped (`&[Value]`, `Vec<Value>`, …) so callers
+    /// can stream borrowed slots or lazily assembled join rows without
+    /// materializing them first.
+    pub fn compute<R: AsRef<[Value]>>(rows: impl Iterator<Item = R>, arity: usize) -> TableStats {
         const NDV_CAP: usize = 1 << 20;
         let mut row_count = 0u64;
         let mut total_bytes = 0u64;
@@ -58,7 +62,7 @@ impl TableStats {
 
         for row in rows {
             row_count += 1;
-            for (i, v) in row.iter().enumerate() {
+            for (i, v) in row.as_ref().iter().enumerate() {
                 let sz = v.approx_size();
                 total_bytes += sz as u64;
                 width_sums[i] += sz as f64;
@@ -104,6 +108,109 @@ impl TableStats {
             _ => 0.1,
         }
     }
+
+    /// Fraction of NULLs in column `col` (0.0 when the table is empty or the
+    /// column is unknown).
+    pub fn null_frac(&self, col: usize) -> f64 {
+        if self.row_count == 0 {
+            return 0.0;
+        }
+        match self.columns.get(col) {
+            Some(c) => c.null_count as f64 / self.row_count as f64,
+            None => 0.0,
+        }
+    }
+
+    /// Average row width in bytes (0.0 when empty).
+    pub fn avg_row_bytes(&self) -> f64 {
+        if self.row_count == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.row_count as f64
+        }
+    }
+}
+
+/// One registry entry: gathered statistics plus a staleness flag flipped by
+/// CRUD writes after the gather.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct StatsEntry {
+    stats: TableStats,
+    stale: bool,
+}
+
+/// Per-table statistics registry held on the
+/// [`crate::catalog::Catalog`].
+///
+/// Entries are keyed by table name; factorized structures contribute three
+/// entries (`name`, `name#left`, `name#right` — the stored join and the two
+/// member sides), matching the plan-level naming the engine and advisor use.
+///
+/// Writes through the catalog's mutable accessors mark entries **stale**
+/// rather than dropping them: slightly-off statistics still beat none for
+/// costing, and `stale_tables()` tells callers what a re-ANALYZE would
+/// refresh.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CatalogStats {
+    entries: FxHashMap<String, StatsEntry>,
+}
+
+impl CatalogStats {
+    /// Gathered statistics for `table`, if any. Stale entries are still
+    /// returned — check [`CatalogStats::is_stale`] when freshness matters.
+    pub fn get(&self, table: &str) -> Option<&TableStats> {
+        self.entries.get(table).map(|e| &e.stats)
+    }
+
+    /// Install fresh statistics for `table` (clears any staleness).
+    pub fn put(&mut self, table: impl Into<String>, stats: TableStats) {
+        self.entries.insert(table.into(), StatsEntry { stats, stale: false });
+    }
+
+    /// Flag `table`'s statistics as out of date (no-op when none gathered).
+    pub fn mark_stale(&mut self, table: &str) {
+        if let Some(e) = self.entries.get_mut(table) {
+            e.stale = true;
+        }
+    }
+
+    /// Whether `table` has statistics that predate a write.
+    pub fn is_stale(&self, table: &str) -> bool {
+        self.entries.get(table).map(|e| e.stale).unwrap_or(false)
+    }
+
+    /// Drop statistics for `table` (e.g. when the table itself is dropped).
+    pub fn remove(&mut self, table: &str) {
+        self.entries.remove(table);
+    }
+
+    /// True when no table has gathered statistics — the optimizer's
+    /// cost-based passes disable themselves in that case.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of tables with gathered statistics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Sorted names of tables whose statistics are stale.
+    pub fn stale_tables(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.stale)
+            .map(|(k, _)| k.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Drop every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
 }
 
 #[cfg(test)]
@@ -135,8 +242,27 @@ mod tests {
     }
 
     #[test]
+    fn catalog_stats_staleness_lifecycle() {
+        let mut reg = CatalogStats::default();
+        assert!(reg.is_empty());
+        reg.put("t", TableStats { row_count: 5, ..TableStats::default() });
+        assert_eq!(reg.get("t").unwrap().row_count, 5);
+        assert!(!reg.is_stale("t"));
+        reg.mark_stale("t");
+        assert!(reg.is_stale("t"), "write flags stats stale");
+        assert_eq!(reg.get("t").unwrap().row_count, 5, "stale stats still served");
+        assert_eq!(reg.stale_tables(), vec!["t".to_string()]);
+        reg.put("t", TableStats { row_count: 6, ..TableStats::default() });
+        assert!(!reg.is_stale("t"), "re-analyze clears staleness");
+        reg.mark_stale("never-analyzed"); // no-op
+        assert!(!reg.is_stale("never-analyzed"));
+        reg.remove("t");
+        assert!(reg.is_empty());
+    }
+
+    #[test]
     fn empty_table_stats() {
-        let stats = TableStats::compute(std::iter::empty(), 2);
+        let stats = TableStats::compute(std::iter::empty::<&[Value]>(), 2);
         assert_eq!(stats.row_count, 0);
         assert_eq!(stats.columns.len(), 2);
         assert_eq!(stats.columns[0].ndv, 0);

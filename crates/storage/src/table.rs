@@ -48,9 +48,13 @@ impl Table {
         self.live == 0
     }
 
-    /// Insert a validated row; returns its id.
-    pub fn insert(&mut self, row: Row) -> StorageResult<RowId> {
+    /// Insert a validated row; returns its id. The stored representation is
+    /// canonicalized (Ints bound for Float columns widen to `Value::Float`,
+    /// see [`TableSchema::canonicalize_row`]) so join/group/index keys over
+    /// a column always share one physical type.
+    pub fn insert(&mut self, mut row: Row) -> StorageResult<RowId> {
         self.schema.validate_row(&row)?;
+        self.schema.canonicalize_row(&mut row);
         if let Some(key) = self.schema.key_of(&row) {
             let pk = self.pk_index.as_ref().expect("pk index exists when key declared");
             if !pk.get(&key).is_empty() {
@@ -92,9 +96,10 @@ impl Table {
     }
 
     /// Replace a live row in place (same slot, indexes maintained).
-    /// Returns the previous contents.
-    pub fn update(&mut self, rid: RowId, new_row: Row) -> StorageResult<Row> {
+    /// Returns the previous contents. Canonicalizes like [`Table::insert`].
+    pub fn update(&mut self, rid: RowId, mut new_row: Row) -> StorageResult<Row> {
         self.schema.validate_row(&new_row)?;
+        self.schema.canonicalize_row(&mut new_row);
         let old = self
             .rows
             .get(rid.idx())
@@ -438,6 +443,27 @@ mod tests {
         assert!(t.has_index_on(&[2]));
         t.insert(row(1, "ada", 36)).unwrap();
         assert_eq!(t.index_lookup(&[2], &Value::Int(36)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn float_column_canonicalizes_int_ingest() {
+        let mut t = Table::new(TableSchema::new(
+            "m",
+            vec![Column::not_null("id", DataType::Int), Column::new("score", DataType::Float)],
+            vec![0],
+        ));
+        let rid = t.insert(vec![Value::Int(1), Value::Int(5)]).unwrap();
+        assert!(
+            matches!(t.get(rid).unwrap()[1], Value::Float(f) if f == 5.0),
+            "Int widened to Float at ingest"
+        );
+        // Index keys see the canonical representation too.
+        t.create_index("by_score", vec![1], IndexKind::Hash).unwrap();
+        t.insert(vec![Value::Int(2), Value::Float(5.0)]).unwrap();
+        assert_eq!(t.index_lookup(&[1], &Value::Float(5.0)).unwrap().len(), 2);
+        // Update path canonicalizes as well.
+        t.update(rid, vec![Value::Int(1), Value::Int(7)]).unwrap();
+        assert!(matches!(t.get(rid).unwrap()[1], Value::Float(f) if f == 7.0));
     }
 
     #[test]

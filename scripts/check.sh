@@ -10,5 +10,7 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
+# Benches must at least compile; running them is opt-in (slow).
+cargo bench --offline --workspace --no-run
 
 echo "tier-1 gate: OK"
