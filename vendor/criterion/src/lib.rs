@@ -1,0 +1,273 @@
+//! Vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! Implements the benchmark-definition API surface this workspace uses
+//! (`criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `Bencher::iter` / `iter_batched`) with a simple but
+//! honest wall-clock harness: per benchmark it warms up for the configured
+//! warm-up time, then repeatedly times batches until the measurement time
+//! elapses, and reports min/mean/median nanoseconds per iteration. There
+//! are no statistical regressions reports or HTML output.
+//!
+//! `--bench` / `--test` harness flags and a name filter argument are
+//! accepted so `cargo bench [filter]` and `cargo test --benches` work.
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark measurement settings.
+#[derive(Debug, Clone)]
+struct Settings {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            sample_size: 10,
+        }
+    }
+}
+
+/// The harness entry point handed to benchmark functions.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        // cargo bench passes "--bench"; cargo test --benches passes
+        // "--test"; a bare positional argument is a name filter.
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => test_mode = true,
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { filter, test_mode, settings: Settings::default() }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            settings: Settings::default(),
+        }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let settings = self.settings.clone();
+        self.run_one(&id, settings, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: &str, settings: Settings, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            settings: if self.test_mode {
+                Settings {
+                    warm_up: Duration::from_millis(1),
+                    measurement: Duration::from_millis(1),
+                    sample_size: 1,
+                }
+            } else {
+                settings
+            },
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {id} ... ok");
+            return;
+        }
+        let mut s = bencher.samples_ns;
+        if s.is_empty() {
+            println!("{id:<48} (no samples)");
+            return;
+        }
+        s.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let min = s[0];
+        let median = s[s.len() / 2];
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        println!(
+            "{id:<48} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(mean),
+            format_ns(median)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let settings = self.settings.clone();
+        self.criterion.run_one(&id, settings, f);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// How much setup output to hold per batch in [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Times closures; handed to each benchmark body.
+pub struct Bencher {
+    settings: Settings,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly; one sample = a timed batch of calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, and estimate the per-call cost to size batches.
+        let warm_start = Instant::now();
+        let mut warm_calls = 0u64;
+        while warm_start.elapsed() < self.settings.warm_up || warm_calls == 0 {
+            std::hint::black_box(routine());
+            warm_calls += 1;
+            if warm_calls >= 1_000_000 {
+                break;
+            }
+        }
+        let per_call = warm_start.elapsed().as_nanos() as f64 / warm_calls as f64;
+        let sample_budget =
+            self.settings.measurement.as_nanos() as f64 / self.settings.sample_size as f64;
+        let batch = ((sample_budget / per_call.max(1.0)).round() as u64).clamp(1, 1_000_000);
+
+        let deadline = Instant::now() + self.settings.measurement;
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples_ns.push(start.elapsed().as_nanos() as f64 / batch as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` with fresh input from `setup` each call; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up: at least one call.
+        let warm_start = Instant::now();
+        let mut warm_calls = 0u64;
+        while warm_start.elapsed() < self.settings.warm_up || warm_calls == 0 {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            warm_calls += 1;
+            if warm_calls >= 100_000 {
+                break;
+            }
+        }
+
+        let deadline = Instant::now() + self.settings.measurement;
+        for _ in 0..self.settings.sample_size.max(1) {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce the `main` function running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

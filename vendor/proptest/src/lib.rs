@@ -1,0 +1,679 @@
+//! Vendored, dependency-free stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace uses: the
+//! [`Strategy`] trait with `prop_map`, range / tuple / `Just` / regex-lite
+//! string strategies, `prop::collection::vec`, `prop::option::of`,
+//! `any::<T>()`, the `proptest!` macro with `#![proptest_config(..)]`, and
+//! the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream: failing cases are reported but **not
+//! shrunk**, and value streams are deterministic (fixed seed) rather than
+//! OS-entropy seeded. Neither matters for the invariant tests here.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// Mirror of `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Upper bound on `prop_assume!` rejections before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// A `prop_assert*` failed: the whole test fails.
+        Fail(String),
+        /// A `prop_assume!` rejected the inputs: try another case.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Drives value generation for one test function.
+    pub struct TestRunner {
+        pub(crate) rng: rand::StdRng,
+    }
+
+    impl TestRunner {
+        pub fn new(_config: &Config) -> Self {
+            // Deterministic runs: a fixed seed, overridable via
+            // PROPTEST_SEED for exploration.
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0x5eed_cafe_f00d_u64);
+            TestRunner { rng: rand::StdRng::seed_from_u64(seed) }
+        }
+    }
+}
+
+use test_runner::TestRunner;
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f, reason }
+    }
+
+    /// Type-erase the strategy (API-compatibility helper).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+/// Result of [`Strategy::prop_filter`]: re-samples until the predicate
+/// accepts (bounded, then panics — good enough without shrinking).
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn new_value(&self, runner: &mut TestRunner) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.new_value(runner);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected too many values: {}", self.reason)
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn ErasedStrategy<T>>);
+
+trait ErasedStrategy<T> {
+    fn erased_new_value(&self, runner: &mut TestRunner) -> T;
+}
+
+impl<S: Strategy> ErasedStrategy<S::Value> for S {
+    fn erased_new_value(&self, runner: &mut TestRunner) -> S::Value {
+        self.new_value(runner)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        self.0.erased_new_value(runner)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                use rand::Rng;
+                runner.rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+// ---------------------------------------------------------------------------
+// Tuples (up to arity 6)
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$n.new_value(runner),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-lite string strategies
+// ---------------------------------------------------------------------------
+
+/// `&str` acts as a string strategy interpreting a small regex subset:
+/// a sequence of atoms (`.`, `[a-z0-9_]` classes, or literal characters),
+/// each with an optional `{m,n}` / `{m}` / `*` / `+` / `?` quantifier.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, runner: &mut TestRunner) -> String {
+        generate_from_pattern(self, runner)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, runner: &mut TestRunner) -> String {
+    use rand::Rng;
+    const PRINTABLE: Range<u32> = 0x20..0x7F;
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom.
+        enum Atom {
+            Any,
+            Class(Vec<(char, char)>),
+            Lit(char),
+        }
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                i += 1; // ']'
+                if ranges.is_empty() {
+                    ranges.push(('a', 'z'));
+                }
+                Atom::Class(ranges)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Atom::Lit(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                Atom::Lit(c)
+            }
+        };
+        // Parse an optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..].iter().position(|&c| c == '}').map(|p| p + i);
+                    if let Some(close) = close {
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        if let Some((lo, hi)) = body.split_once(',') {
+                            (
+                                lo.trim().parse().unwrap_or(0),
+                                hi.trim().parse().unwrap_or(8),
+                            )
+                        } else {
+                            let n = body.trim().parse().unwrap_or(1);
+                            (n, n)
+                        }
+                    } else {
+                        (1, 1)
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        let count = if min == max {
+            min
+        } else {
+            runner.rng.gen_range(min..max + 1)
+        };
+        for _ in 0..count {
+            let c = match &atom {
+                Atom::Any => {
+                    char::from_u32(runner.rng.gen_range(PRINTABLE.start..PRINTABLE.end))
+                        .unwrap_or('?')
+                }
+                Atom::Class(ranges) => {
+                    let (lo, hi) = ranges[runner.rng.gen_range(0..ranges.len())];
+                    char::from_u32(runner.rng.gen_range(lo as u32..hi as u32 + 1)).unwrap_or(lo)
+                }
+                Atom::Lit(c) => *c,
+            };
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// any / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        use rand::Rng;
+        runner.rng.gen::<bool>()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> Self {
+                use rand::RngCore;
+                runner.rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        use rand::Rng;
+        runner.rng.gen::<f64>() * 2e6 - 1e6
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+/// Mirror of `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRunner};
+    use std::ops::Range;
+
+    /// A size specification for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_excl: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange { min: r.start, max_excl: r.end.max(r.start + 1) }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_excl: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors of values from `element` with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+            use rand::Rng;
+            let len = runner.rng.gen_range(self.size.min..self.size.max_excl);
+            (0..len).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+}
+
+/// Mirror of `proptest::option`.
+pub mod option {
+    use super::{Strategy, TestRunner};
+
+    /// Strategy for `Option<S::Value>` (≈25% `None`).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+            use rand::RngCore;
+            if runner.rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.new_value(runner))
+            }
+        }
+    }
+}
+
+/// Mirror of `proptest::strategy` (trait re-exports).
+pub mod strategy {
+    pub use super::{BoxedStrategy, Just, Map, Strategy};
+}
+
+/// The prelude: everything the `proptest!` tests import.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        BoxedStrategy, Just, Strategy,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of test functions whose
+/// arguments are drawn from strategies via `pattern in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __pt_config = $config;
+            let mut __pt_runner = $crate::test_runner::TestRunner::new(&__pt_config);
+            let mut __pt_passed: u32 = 0;
+            let mut __pt_rejected: u32 = 0;
+            while __pt_passed < __pt_config.cases {
+                $(let $arg = $crate::Strategy::new_value(&($strat), &mut __pt_runner);)+
+                let __pt_result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                match __pt_result {
+                    Ok(()) => __pt_passed += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        __pt_rejected += 1;
+                        if __pt_rejected > __pt_config.max_global_rejects {
+                            panic!(
+                                "proptest: too many prop_assume! rejections in {} ({} rejects)",
+                                stringify!($name),
+                                __pt_rejected,
+                            );
+                        }
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case failed in {}: {}", stringify!($name), msg);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert a condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!(),
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond),
+                format!($($fmt)+),
+                file!(),
+                line!(),
+            )));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __pt_l = &$left;
+        let __pt_r = &$right;
+        if !(*__pt_l == *__pt_r) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `left == right` at {}:{}\n  left: {:?}\n right: {:?}",
+                file!(),
+                line!(),
+                __pt_l,
+                __pt_r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __pt_l = &$left;
+        let __pt_r = &$right;
+        if !(*__pt_l == *__pt_r) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `left == right` ({}) at {}:{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                file!(),
+                line!(),
+                __pt_l,
+                __pt_r,
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __pt_l = &$left;
+        let __pt_r = &$right;
+        if *__pt_l == *__pt_r {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `left != right` at {}:{}\n  both: {:?}",
+                file!(),
+                line!(),
+                __pt_l,
+            )));
+        }
+    }};
+}
+
+/// Reject the current case (it does not count towards `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_tuples(x in 0i64..10, (a, b) in (0usize..3, -2i64..2)) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert!(a < 3);
+            prop_assert!((-2..2).contains(&b), "b = {}", b);
+        }
+
+        #[test]
+        fn vec_and_option(v in prop::collection::vec((0i64..5, prop::option::of(0i64..4)), 0..6)) {
+            prop_assert!(v.len() < 6);
+            for (a, o) in &v {
+                prop_assert!(*a < 5);
+                if let Some(o) = o {
+                    prop_assert!(*o < 4);
+                }
+            }
+        }
+
+        #[test]
+        fn strings_match_patterns(s in "[a-z]{1,6}", t in ".{0,10}") {
+            prop_assert!(!s.is_empty() && s.len() <= 6);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(t.chars().count() <= 10);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0i64..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+
+        #[test]
+        fn map_and_just(y in (0i64..4, Just(7i64)).prop_map(|(a, b)| a + b)) {
+            prop_assert!((7..11).contains(&y));
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! Vendored, dependency-free stand-in for the `serde` crate.
+//!
+//! This workspace builds fully offline, so the external crates it uses are
+//! vendored with API-compatible minimal implementations. This `serde`
+//! substitute collapses the serializer/deserializer abstraction to a single
+//! JSON-shaped data model ([`json::Value`]): [`Serialize`] renders a value
+//! into the model and [`Deserialize`] reads it back. The companion
+//! `serde_json` crate re-exports the model and provides
+//! `to_value`/`from_value`/`to_string`/`from_str`; the companion
+//! `serde_derive` crate derives both traits for plain structs and enums.
+//!
+//! Only self-consistency is required (everything this workspace serializes
+//! it also deserializes itself); wire compatibility with upstream serde is
+//! a non-goal.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+use std::sync::Arc;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+
+    /// Prefix the error with a location context (used by derived impls).
+    pub fn ctx(self, at: &str) -> Self {
+        Error(format!("{at}: {}", self.0))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into the JSON-shaped data model.
+pub trait Serialize {
+    fn to_json_value(&self) -> json::Value;
+}
+
+/// A type that can reconstruct itself from the JSON-shaped data model.
+pub trait Deserialize: Sized {
+    fn from_json_value(v: &json::Value) -> Result<Self, Error>;
+}
+
+/// Compatibility module mirroring `serde::de`.
+pub mod de {
+    /// Owned deserialization marker; blanket-implemented for every
+    /// [`crate::Deserialize`] type (this vendored model has no borrowed
+    /// deserialization, so the two traits coincide).
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+    pub use crate::Error;
+}
+
+/// Compatibility module mirroring `serde::ser`.
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Number(json::Number::from_i64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &json::Value) -> Result<Self, Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(concat!("expected integer for ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(concat!("integer out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_ser_int!(i8, i16, i32, i64, u8, u16, u32, usize, isize);
+
+impl Serialize for u64 {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Number(json::Number::from_u64(*self))
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_json_value(v: &json::Value) -> Result<Self, Error> {
+        v.as_u64().ok_or_else(|| Error::custom("expected non-negative integer for u64"))
+    }
+}
+
+impl Serialize for u128 {
+    fn to_json_value(&self) -> json::Value {
+        // Stored as a decimal string: preserves full range.
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_json_value(v: &json::Value) -> Result<Self, Error> {
+        match v {
+            json::Value::String(s) => {
+                s.parse().map_err(|_| Error::custom("invalid u128 string"))
+            }
+            _ => v
+                .as_u64()
+                .map(u128::from)
+                .ok_or_else(|| Error::custom("expected u128")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Number(json::Number::from_f64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &json::Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom("expected number for f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Number(json::Number::from_f64(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(v: &json::Value) -> Result<Self, Error> {
+        Ok(v.as_f64().ok_or_else(|| Error::custom("expected number for f32"))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &json::Value) -> Result<Self, Error> {
+        match v {
+            json::Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected boolean")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &json::Value) -> Result<Self, Error> {
+        match v {
+            json::Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json_value(v: &json::Value) -> Result<Self, Error> {
+        match v {
+            json::Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_json_value(_v: &json::Value) -> Result<Self, Error> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> json::Value {
+        match self {
+            None => json::Value::Null,
+            Some(v) => v.to_json_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &json::Value) -> Result<Self, Error> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &json::Value) -> Result<Self, Error> {
+        match v {
+            json::Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            _ => Err(Error::custom("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &json::Value) -> Result<Self, Error> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
+impl Serialize for Arc<str> {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn from_json_value(v: &json::Value) -> Result<Self, Error> {
+        match v {
+            json::Value::String(s) => Ok(Arc::from(s.as_str())),
+            _ => Err(Error::custom("expected string for Arc<str>")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Arc<T> {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_json_value(v: &json::Value) -> Result<Self, Error> {
+        T::from_json_value(v).map(Arc::new)
+    }
+}
+
+// Maps serialize as arrays of [key, value] pairs: this works for arbitrary
+// serializable key types (JSON objects would restrict keys to strings) and
+// is deterministic for BTreeMap. Only self-consistency is required.
+impl<K: Serialize, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_json_value(&self) -> json::Value {
+        let mut pairs: Vec<json::Value> = self
+            .iter()
+            .map(|(k, v)| json::Value::Array(vec![k.to_json_value(), v.to_json_value()]))
+            .collect();
+        // Deterministic output regardless of hasher iteration order.
+        pairs.sort_by(json::cmp_values);
+        json::Value::Array(pairs)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn from_json_value(v: &json::Value) -> Result<Self, Error> {
+        deserialize_pairs(v)?.into_iter().collect::<Result<_, _>>()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(
+            self.iter()
+                .map(|(k, v)| json::Value::Array(vec![k.to_json_value(), v.to_json_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json_value(v: &json::Value) -> Result<Self, Error> {
+        deserialize_pairs(v)?.into_iter().collect::<Result<_, _>>()
+    }
+}
+
+type PairResults<K, V> = Vec<Result<(K, V), Error>>;
+
+fn deserialize_pairs<K: Deserialize, V: Deserialize>(
+    v: &json::Value,
+) -> Result<PairResults<K, V>, Error> {
+    match v {
+        json::Value::Array(items) => Ok(items
+            .iter()
+            .map(|item| match item {
+                json::Value::Array(kv) if kv.len() == 2 => {
+                    Ok((K::from_json_value(&kv[0])?, V::from_json_value(&kv[1])?))
+                }
+                _ => Err(Error::custom("expected [key, value] pair")),
+            })
+            .collect()),
+        _ => Err(Error::custom("expected array of pairs for map")),
+    }
+}
+
+impl<T: Serialize + Eq + Hash, S: BuildHasher> Serialize for std::collections::HashSet<T, S> {
+    fn to_json_value(&self) -> json::Value {
+        let mut items: Vec<json::Value> = self.iter().map(Serialize::to_json_value).collect();
+        items.sort_by(json::cmp_values);
+        json::Value::Array(items)
+    }
+}
+
+impl<T, S> Deserialize for std::collections::HashSet<T, S>
+where
+    T: Deserialize + Eq + Hash,
+    S: BuildHasher + Default,
+{
+    fn from_json_value(v: &json::Value) -> Result<Self, Error> {
+        match v {
+            json::Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            _ => Err(Error::custom("expected array for set")),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_json_value(v: &json::Value) -> Result<Self, Error> {
+        match v {
+            json::Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            _ => Err(Error::custom("expected array for set")),
+        }
+    }
+}
+
+// Tuples up to arity 4 (the workspace uses at most (String, T) pairs).
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Array(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json_value(v: &json::Value) -> Result<Self, Error> {
+                match v {
+                    json::Value::Array(items) if items.len() == [$($n),+].len() => {
+                        Ok(($($t::from_json_value(&items[$n])?,)+))
+                    }
+                    _ => Err(Error::custom("expected tuple array")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+// The data model serializes itself (identity): lets `json::Value` be used
+// anywhere a `Serialize`/`Deserialize` bound appears.
+impl Serialize for json::Value {
+    fn to_json_value(&self) -> json::Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for json::Value {
+    fn from_json_value(v: &json::Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,463 @@
+//! Vendored, dependency-free stand-in for the `serde_derive` crate.
+//!
+//! Derives the vendored `serde::Serialize` / `serde::Deserialize` traits
+//! (single JSON-shaped data model, see `vendor/serde`) for plain structs
+//! and enums. The input is parsed directly from the `proc_macro` token
+//! stream — no `syn`/`quote` — which is sufficient because every derive
+//! site in this workspace is a non-generic item without `#[serde(...)]`
+//! attributes.
+//!
+//! Encoding:
+//! * named struct        → `{"field": value, ...}`
+//! * newtype struct      → transparent (the inner value)
+//! * tuple struct (n≥2)  → `[v0, v1, ...]`
+//! * unit enum variant   → `"Variant"`
+//! * newtype variant     → `{"Variant": value}`
+//! * tuple variant (n≥2) → `{"Variant": [v0, ...]}`
+//! * struct variant      → `{"Variant": {"field": value, ...}}`
+//!
+//! Missing object fields deserialize as `null` (so `Option` fields added
+//! later read back as `None` from older payloads).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip `#[...]` attribute groups and `pub` / `pub(...)` visibility at the
+/// current position of the iterator.
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The bracketed attribute body.
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    iter.next();
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    iter.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse named fields out of a brace-delimited field list: returns the field
+/// names in declaration order.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            None => return Ok(fields),
+            Some(TokenTree::Ident(name)) => {
+                fields.push(name.to_string());
+                // Expect ':' then the type; skip type tokens to the next
+                // top-level comma (tracking angle-bracket depth, because
+                // generic argument commas are not inside token groups).
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => return Err(format!("expected ':' after field name, got {other:?}")),
+                }
+                let mut angle_depth = 0i32;
+                loop {
+                    match iter.peek() {
+                        None => break,
+                        Some(TokenTree::Punct(p)) => {
+                            let c = p.as_char();
+                            if c == '<' {
+                                angle_depth += 1;
+                            } else if c == '>' {
+                                angle_depth -= 1;
+                            } else if c == ',' && angle_depth == 0 {
+                                iter.next();
+                                break;
+                            }
+                            iter.next();
+                        }
+                        Some(_) => {
+                            iter.next();
+                        }
+                    }
+                }
+            }
+            other => return Err(format!("unexpected token in field list: {other:?}")),
+        }
+    }
+}
+
+/// Count the top-level comma-separated items of a paren-delimited tuple
+/// field list (tracking angle-bracket depth).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    let mut count = 0usize;
+    let mut saw_any = false;
+    let mut angle_depth = 0i32;
+    while let Some(tt) = iter.next() {
+        saw_any = true;
+        if let TokenTree::Punct(p) = &tt {
+            let c = p.as_char();
+            if c == '<' {
+                angle_depth += 1;
+            } else if c == '>' {
+                angle_depth -= 1;
+            } else if c == ',' && angle_depth == 0 {
+                count += 1;
+                // A trailing comma should not add a phantom field.
+                if iter.peek().is_none() {
+                    return count;
+                }
+            }
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(name)) => {
+                let shape = match iter.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g.stream());
+                        iter.next();
+                        Shape::Tuple(n)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream())?;
+                        iter.next();
+                        Shape::Named(fields)
+                    }
+                    _ => Shape::Unit,
+                };
+                variants.push(Variant { name: name.to_string(), shape });
+                // Skip an optional discriminant (`= expr`) and the comma.
+                let mut angle_depth = 0i32;
+                loop {
+                    match iter.peek() {
+                        None => break,
+                        Some(TokenTree::Punct(p)) => {
+                            let c = p.as_char();
+                            if c == '<' {
+                                angle_depth += 1;
+                            } else if c == '>' {
+                                angle_depth -= 1;
+                            } else if c == ',' && angle_depth == 0 {
+                                iter.next();
+                                break;
+                            }
+                            iter.next();
+                        }
+                        Some(_) => {
+                            iter.next();
+                        }
+                    }
+                }
+            }
+            other => return Err(format!("unexpected token in enum body: {other:?}")),
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let item_kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the vendored serde_derive does not support generic types ({name})"
+        ));
+    }
+    let kind = match item_kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Input { name, kind })
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut m = ::serde::json::Map::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert({f:?}.to_string(), ::serde::Serialize::to_json_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::json::Value::Object(m)");
+            s
+        }
+        Kind::TupleStruct(1) => {
+            "::serde::Serialize::to_json_value(&self.0)".to_string()
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            format!("::serde::json::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::json::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::json::Value::String({vn:?}.to_string()),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => {{\n\
+                         let mut m = ::serde::json::Map::new();\n\
+                         m.insert({vn:?}.to_string(), ::serde::Serialize::to_json_value(x0));\n\
+                         ::serde::json::Value::Object(m)\n}}\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                             let mut m = ::serde::json::Map::new();\n\
+                             m.insert({vn:?}.to_string(), ::serde::json::Value::Array(vec![{}]));\n\
+                             ::serde::json::Value::Object(m)\n}}\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from(
+                            "let mut fm = ::serde::json::Map::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert({f:?}.to_string(), ::serde::Serialize::to_json_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{inner}\
+                             let mut m = ::serde::json::Map::new();\n\
+                             m.insert({vn:?}.to_string(), ::serde::json::Value::Object(fm));\n\
+                             ::serde::json::Value::Object(m)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::json::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected object for struct {name}\"))?;\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_json_value(\
+                     obj.get({f:?}).unwrap_or(&::serde::json::Value::Null))\
+                     .map_err(|e| e.ctx(\"{name}.{f}\"))?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Kind::TupleStruct(1) => format!(
+            "Ok({name}(::serde::Deserialize::from_json_value(v)\
+             .map_err(|e| e.ctx(\"{name}.0\"))?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let mut s = format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected array for struct {name}\"))?;\n\
+                 if items.len() != {n} {{\n\
+                 return Err(::serde::Error::custom(\"wrong arity for struct {name}\"));\n}}\n\
+                 Ok({name}(\n"
+            );
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "::serde::Deserialize::from_json_value(&items[{i}])\
+                     .map_err(|e| e.ctx(\"{name}.{i}\"))?,\n"
+                ));
+            }
+            s.push_str("))");
+            s
+        }
+        Kind::UnitStruct => format!("Ok({name})"),
+        Kind::Enum(variants) => {
+            // Unit variants come in as strings; data variants as
+            // single-entry objects keyed by the variant name.
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("{vn:?} => return Ok({name}::{vn}),\n"));
+                    }
+                    Shape::Tuple(1) => data_arms.push_str(&format!(
+                        "{vn:?} => return Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_json_value(_payload)\
+                         .map_err(|e| e.ctx(\"{name}::{vn}\"))?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let mut items = String::new();
+                        for i in 0..*n {
+                            items.push_str(&format!(
+                                "::serde::Deserialize::from_json_value(&items[{i}])\
+                                 .map_err(|e| e.ctx(\"{name}::{vn}.{i}\"))?,\n"
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                             let items = _payload.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n\
+                             if items.len() != {n} {{\n\
+                             return Err(::serde::Error::custom(\"wrong arity for {name}::{vn}\"));\n}}\n\
+                             return Ok({name}::{vn}({items}));\n}}\n"
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let mut inner = String::new();
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_json_value(\
+                                 fobj.get({f:?}).unwrap_or(&::serde::json::Value::Null))\
+                                 .map_err(|e| e.ctx(\"{name}::{vn}.{f}\"))?,\n"
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                             let fobj = _payload.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {name}::{vn}\"))?;\n\
+                             return Ok({name}::{vn} {{ {inner} }});\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::json::Value::String(s) => {{\n\
+                 match s.as_str() {{\n{unit_arms}\
+                 _ => {{}}\n}}\n\
+                 Err(::serde::Error::custom(format!(\"unknown variant {{s}} for enum {name}\")))\n\
+                 }}\n\
+                 ::serde::json::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (tag, _payload) = m.iter().next().unwrap();\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 _ => {{}}\n}}\n\
+                 Err(::serde::Error::custom(format!(\"unknown variant {{tag}} for enum {name}\")))\n\
+                 }}\n\
+                 _ => Err(::serde::Error::custom(\"expected string or object for enum {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_json_value(v: &::serde::json::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_serialize(&parsed).parse().unwrap(),
+        Err(e) => compile_error(&format!("derive(Serialize): {e}")),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_deserialize(&parsed).parse().unwrap(),
+        Err(e) => compile_error(&format!("derive(Deserialize): {e}")),
+    }
+}

@@ -1,0 +1,64 @@
+//! Vendored, dependency-free stand-in for the `serde_json` crate.
+//!
+//! Re-exports the JSON-shaped data model that lives in the vendored
+//! `serde` facade and provides the four entry points the workspace uses:
+//! [`to_value`], [`from_value`], [`to_string`], and [`from_str`].
+
+pub use serde::json::{Map, Number, Value};
+pub use serde::Error;
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Render any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_json_value())
+}
+
+/// Reconstruct a value from a [`Value`] tree.
+pub fn from_value<T: serde::de::DeserializeOwned>(value: Value) -> Result<T> {
+    T::from_json_value(&value)
+}
+
+/// Serialize a value to compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().to_string())
+}
+
+/// Serialize a value to pretty-printed JSON text.
+///
+/// The vendored emitter is compact-only; pretty output is not needed for
+/// self-consistency, so this simply forwards to [`to_string`].
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    to_string(value)
+}
+
+/// Parse JSON text and reconstruct a value.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T> {
+    T::from_json_value(&serde::json::parse(s)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip_through_text() {
+        let v = Value::Array(vec![
+            Value::Number(Number::I(1)),
+            Value::String("x".into()),
+            Value::Null,
+        ]);
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let v: Vec<(String, i64)> = vec![("a".into(), 1), ("b".into(), -2)];
+        let j = to_value(&v).unwrap();
+        let back: Vec<(String, i64)> = from_value(j).unwrap();
+        assert_eq!(v, back);
+    }
+}
