@@ -1,0 +1,125 @@
+//! Durability ablation: the price of the write-ahead log, per commit,
+//! under the three sync policies (`Always`, `EveryN(32)`, `Never`),
+//! against the in-memory engine as the zero-cost baseline.
+//!
+//! Each iteration is one `Database::transaction` that inserts a single
+//! entity — i.e. one WAL commit group (Begin + ops + Commit) under the
+//! durable configurations. Reported in EXPERIMENTS.md as the durability
+//! ablation row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use erbium_core::{Database, DurabilityOptions};
+use erbium_storage::{SyncPolicy, Value};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const DDL: &str = "CREATE ENTITY event (
+    id int KEY,
+    kind text,
+    amount int NULLABLE
+)";
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("erbium-walbench-{}-{}", std::process::id(), tag));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_db(tag: &str, sync: SyncPolicy) -> Database {
+    let dir = bench_dir(tag);
+    let mut db = Database::open_with(&dir, DurabilityOptions { sync }).expect("open durable db");
+    db.execute(DDL).unwrap();
+    db.install_default().unwrap();
+    db
+}
+
+fn memory_db() -> Database {
+    let mut db = Database::new();
+    db.execute(DDL).unwrap();
+    db.install_default().unwrap();
+    db
+}
+
+fn insert_one(db: &mut Database, id: i64) {
+    db.insert(
+        "event",
+        &[
+            ("id", Value::Int(id)),
+            ("kind", Value::str("click")),
+            ("amount", Value::Int(id % 97)),
+        ],
+    )
+    .unwrap();
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+
+    g.bench_function("commit_memory_baseline", |b| {
+        let mut db = memory_db();
+        let mut id = 0i64;
+        b.iter(|| {
+            id += 1;
+            insert_one(&mut db, id);
+        });
+    });
+
+    g.bench_function("commit_sync_never", |b| {
+        let mut db = durable_db("never", SyncPolicy::Never);
+        let mut id = 0i64;
+        b.iter(|| {
+            id += 1;
+            insert_one(&mut db, id);
+        });
+    });
+
+    g.bench_function("commit_sync_every32", |b| {
+        let mut db = durable_db("every32", SyncPolicy::EveryN(32));
+        let mut id = 0i64;
+        b.iter(|| {
+            id += 1;
+            insert_one(&mut db, id);
+        });
+    });
+
+    g.bench_function("commit_sync_always", |b| {
+        let mut db = durable_db("always", SyncPolicy::Always);
+        let mut id = 0i64;
+        b.iter(|| {
+            id += 1;
+            insert_one(&mut db, id);
+        });
+    });
+
+    // A 32-entity transaction is still one commit group: batching amortises
+    // both the group framing and the fsync.
+    g.bench_function("commit_batch32_sync_always", |b| {
+        let mut db = durable_db("batch32", SyncPolicy::Always);
+        let mut id = 0i64;
+        b.iter(|| {
+            db.transaction(|tx| {
+                for _ in 0..32 {
+                    id += 1;
+                    tx.insert(
+                        "event",
+                        &[
+                            ("id", Value::Int(id)),
+                            ("kind", Value::str("click")),
+                            ("amount", Value::Int(id % 97)),
+                        ],
+                    )?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_wal);
+criterion_main!(benches);

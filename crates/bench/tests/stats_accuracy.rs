@@ -82,7 +82,7 @@ fn analyze_never_changes_results_under_any_mapping() {
 
 /// Root-level q-error of a query under an analyzed database.
 fn root_q(db: &Database, sql: &str) -> f64 {
-    let res = db.query_analyze(sql, &ExecContext::default()).unwrap();
+    let res = db.query_with(sql, &ExecContext::default()).unwrap();
     let metrics = res.metrics.unwrap();
     metrics
         .q_error()
@@ -144,7 +144,7 @@ fn skewed_via_join_builds_the_smaller_side_after_analyze() {
         pos(&cost_plan, "Scan S") < pos(&cost_plan, "Scan R"),
         "cost-based plan must flip the build side to filtered R:\n{cost_plan}"
     );
-    let res = db.query_analyze(sql, &ExecContext::default()).unwrap();
+    let res = db.query_with(sql, &ExecContext::default()).unwrap();
     let metrics = res.metrics.clone().unwrap();
     let join = first_join(&metrics).expect("join operator in metrics");
     let [probe, build] = &join.children[..] else {

@@ -5,12 +5,16 @@ use erbium_advisor::{Advisor, Recommendation, Workload};
 use erbium_engine::{ExecContext, Plan};
 use erbium_evolve::{EvolutionOp, MigrationReport, Migrator, VersionLog};
 use erbium_mapping::{
+    lower::{META_MAPPING, META_SCHEMA},
     presets, EntityData, EntityStore, Lowering, Mapping, MappingError, QueryRewriter,
 };
 use erbium_model::{ErGraph, ErSchema};
 use erbium_query::Statement;
-use erbium_storage::{Catalog, Row, Transaction, Value};
+use erbium_storage::{
+    snapshot, Catalog, Row, SyncPolicy, Transaction, Value, Wal, WAL_FILE,
+};
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// Top-level error type of ErbiumDB.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,7 +74,7 @@ pub struct QueryResult {
     pub columns: Vec<String>,
     pub rows: Vec<Row>,
     /// Per-operator runtime metrics (`EXPLAIN ANALYZE`-style). Populated
-    /// only by [`Database::query_analyze`]; plain [`Database::query`] leaves
+    /// only by [`Database::query_with`]; plain [`Database::query`] leaves
     /// it `None` so the common path pays nothing for instrumentation
     /// beyond the executor's atomic counters.
     pub metrics: Option<erbium_engine::ExecMetrics>,
@@ -117,12 +121,30 @@ impl QueryResult {
     }
 }
 
+/// How a durable database syncs and checkpoints. See
+/// [`Database::open_with`].
+#[derive(Debug, Clone, Default)]
+pub struct DurabilityOptions {
+    /// WAL fsync policy (see [`SyncPolicy`]); defaults to `EveryN(32)`.
+    pub sync: SyncPolicy,
+}
+
+/// Durable-state handles attached to an opened database.
+struct Durability {
+    dir: PathBuf,
+    wal: Wal,
+}
+
 /// An ErbiumDB database instance.
 pub struct Database {
     schema: ErSchema,
     catalog: Catalog,
     lowering: Option<Lowering>,
     policy: Option<AccessPolicy>,
+    /// `Some` for databases opened from a directory ([`Database::open`]);
+    /// `None` for in-memory instances — the CRUD paths then skip WAL
+    /// logging entirely, so the in-memory fast path pays nothing.
+    durability: Option<Durability>,
 }
 
 impl Default for Database {
@@ -137,13 +159,25 @@ impl Database {
     ///
     /// [`install`]: Database::install
     pub fn new() -> Database {
-        Database { schema: ErSchema::new(), catalog: Catalog::new(), lowering: None, policy: None }
+        Database {
+            schema: ErSchema::new(),
+            catalog: Catalog::new(),
+            lowering: None,
+            policy: None,
+            durability: None,
+        }
     }
 
     /// Create a database from a prebuilt schema.
     pub fn with_schema(schema: ErSchema) -> DbResult<Database> {
         schema.validate()?;
-        Ok(Database { schema, catalog: Catalog::new(), lowering: None, policy: None })
+        Ok(Database {
+            schema,
+            catalog: Catalog::new(),
+            lowering: None,
+            policy: None,
+            durability: None,
+        })
     }
 
     /// Assemble a database around an already-installed, possibly populated
@@ -155,7 +189,86 @@ impl Database {
             catalog,
             lowering: Some(lowering),
             policy: None,
+            durability: None,
         }
+    }
+
+    // ---- durability ------------------------------------------------------------
+
+    /// Open (or create) a durable database rooted at directory `dir` with
+    /// default [`DurabilityOptions`]. Recovery runs automatically: the
+    /// latest checkpoint snapshot is loaded and the committed WAL suffix is
+    /// replayed on top of it; an installed mapping is rebuilt from the
+    /// persisted catalog metadata.
+    pub fn open(dir: impl AsRef<Path>) -> DbResult<Database> {
+        Self::open_with(dir, DurabilityOptions::default())
+    }
+
+    /// [`Database::open`] with explicit durability options.
+    pub fn open_with(dir: impl AsRef<Path>, opts: DurabilityOptions) -> DbResult<Database> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            DbError::Mapping(MappingError::Storage(erbium_storage::StorageError::Io(format!(
+                "create database directory {}: {e}",
+                dir.display()
+            ))))
+        })?;
+        let recovered = Catalog::recover(&dir)?;
+        let catalog = recovered.catalog;
+
+        // Rebuild the installed mapping (if any) from the persisted catalog
+        // metadata: the typed E/R schema plus the mapping JSON. `build` is
+        // pure — the physical tables already exist in the recovered catalog.
+        let lowering = match (
+            catalog.get_meta_typed::<ErSchema>(META_SCHEMA)?,
+            catalog.get_meta(META_MAPPING),
+        ) {
+            (Some(schema), Some(mapping_json)) => {
+                let mapping = Mapping::from_json(mapping_json).map_err(|e| {
+                    DbError::Mapping(MappingError::Storage(
+                        erbium_storage::StorageError::Metadata(format!(
+                            "persisted mapping does not parse: {e}"
+                        )),
+                    ))
+                })?;
+                Some(Lowering::build(&schema, &mapping)?)
+            }
+            _ => None,
+        };
+        let schema = lowering.as_ref().map(|lw| lw.schema.clone()).unwrap_or_default();
+
+        let wal = Wal::open(dir.join(WAL_FILE), opts.sync, recovered.next_txn)?;
+        Ok(Database {
+            schema,
+            catalog,
+            lowering,
+            policy: None,
+            durability: Some(Durability { dir, wal }),
+        })
+    }
+
+    /// Is this database backed by a WAL + checkpoint directory?
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Write a full checkpoint snapshot of the catalog and truncate the
+    /// WAL. A crash during checkpointing leaves either the old snapshot
+    /// plus the full log, or the new snapshot — never a hybrid. No-op
+    /// (`Ok`) for in-memory databases.
+    pub fn checkpoint(&mut self) -> DbResult<()> {
+        let Some(d) = self.durability.as_mut() else { return Ok(()) };
+        d.wal.sync()?;
+        snapshot::write_snapshot(&self.catalog, d.wal.next_txn_id(), &d.dir)?;
+        d.wal.truncate()?;
+        Ok(())
+    }
+
+    /// Heavyweight structural operations (install / evolve / remap /
+    /// rollback) rewrite whole tables outside the WAL, so they are made
+    /// durable by checkpointing instead of logging.
+    fn checkpoint_after_structural_change(&mut self) -> DbResult<()> {
+        self.checkpoint()
     }
 
     // ---- DDL -------------------------------------------------------------------
@@ -236,6 +349,7 @@ impl Database {
         log.record(&lw, format!("install mapping '{}'", mapping.name));
         log.save(&mut self.catalog)?;
         self.lowering = Some(lw);
+        self.checkpoint_after_structural_change()?;
         Ok(())
     }
 
@@ -245,12 +359,75 @@ impl Database {
         self.install(mapping)
     }
 
+    // ---- transactions ------------------------------------------------------------
+
+    /// Run several logical CRUD operations as one atomic transaction.
+    ///
+    /// The closure receives a [`Tx`] handle exposing the full CRUD surface
+    /// (insert / update / delete / link / unlink / erase). If the closure
+    /// returns `Ok`, every change is kept and — for durable databases — the
+    /// whole group is written to the WAL under a single Begin/Commit pair,
+    /// so recovery replays it all-or-nothing. If the closure returns `Err`
+    /// (or any single operation fails), every change made so far is rolled
+    /// back, including secondary indexes and factorized link structures,
+    /// and nothing reaches the log.
+    ///
+    /// ```no_run
+    /// # use erbium_core::Database;
+    /// # use erbium_storage::Value;
+    /// # let mut db = Database::new();
+    /// db.transaction(|tx| {
+    ///     tx.insert("Person", &[("name", Value::str("ada"))])?;
+    ///     tx.insert("Person", &[("name", Value::str("lin"))])?;
+    ///     tx.link("Knows", &[Value::str("ada")], &[Value::str("lin")], &[])
+    /// })?;
+    /// # Ok::<(), erbium_core::DbError>(())
+    /// ```
+    pub fn transaction<T>(
+        &mut self,
+        f: impl FnOnce(&mut Tx<'_>) -> DbResult<T>,
+    ) -> DbResult<T> {
+        let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
+        let durable = self.durability.is_some();
+        let mut tx = Tx {
+            store: EntityStore::new(lw),
+            cat: &mut self.catalog,
+            txn: if durable { Transaction::logged() } else { Transaction::new() },
+        };
+        match f(&mut tx) {
+            Ok(out) => {
+                let Tx { cat, mut txn, .. } = tx;
+                if let Some(d) = self.durability.as_mut() {
+                    if let Err(e) = txn.flush_to_wal(&mut d.wal) {
+                        txn.rollback(cat).map_err(|re| {
+                            DbError::from(erbium_storage::StorageError::Internal(format!(
+                                "rollback failed: {re} (original error: {e})"
+                            )))
+                        })?;
+                        return Err(e.into());
+                    }
+                }
+                txn.commit();
+                Ok(out)
+            }
+            Err(e) => {
+                let Tx { cat, txn, .. } = tx;
+                txn.rollback(cat).map_err(|re| {
+                    DbError::from(erbium_storage::StorageError::Internal(format!(
+                        "rollback failed: {re} (original error: {e})"
+                    )))
+                })?;
+                Err(e)
+            }
+        }
+    }
+
     // ---- CRUD --------------------------------------------------------------------
 
     /// Insert an entity instance. `data` uses attribute names; multi-valued
     /// attributes take `Value::Array`, composite attributes `Value::Struct`.
     pub fn insert(&mut self, entity: &str, data: &[(&str, Value)]) -> DbResult<()> {
-        self.insert_linked(entity, data, &[])
+        self.transaction(|tx| tx.insert(entity, data))
     }
 
     /// Insert with many-to-one relationship targets applied atomically
@@ -261,18 +438,7 @@ impl Database {
         data: &[(&str, Value)],
         links: &[(&str, Vec<Value>)],
     ) -> DbResult<()> {
-        let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
-        let store = EntityStore::new(lw);
-        let map: EntityData =
-            data.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
-        let cat = &mut self.catalog;
-        erbium_storage::Transaction::run(cat, |txn, cat| {
-            store
-                .insert(cat, txn, entity, &map, links)
-                .map_err(storage_shim)
-        })
-        .map_err(unshim)?;
-        Ok(())
+        self.transaction(|tx| tx.insert_linked(entity, data, links))
     }
 
     /// Fetch one instance by key (all attributes at this entity's level).
@@ -288,35 +454,30 @@ impl Database {
         key: &[Value],
         changes: &[(&str, Value)],
     ) -> DbResult<()> {
-        let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
-        let store = EntityStore::new(lw);
-        let map: EntityData =
-            changes.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
-        Transaction::run(&mut self.catalog, |txn, cat| {
-            store.update(cat, txn, entity, key, &map).map_err(storage_shim)
-        })
-        .map_err(unshim)?;
-        Ok(())
+        self.transaction(|tx| tx.update_entity(entity, key, changes))
     }
 
     /// Delete one instance entirely (hierarchy rows, multi-valued side
     /// rows, owned weak entities, relationship instances).
     pub fn delete_entity(&mut self, entity: &str, key: &[Value]) -> DbResult<()> {
-        let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
-        let store = EntityStore::new(lw);
-        Transaction::run(&mut self.catalog, |txn, cat| {
-            store.delete(cat, txn, entity, key).map_err(storage_shim)
-        })
-        .map_err(unshim)?;
-        Ok(())
+        self.transaction(|tx| tx.delete_entity(entity, key))
     }
 
-    /// Create a relationship instance.
-    pub fn link(&mut self, rel: &str, from_key: &[Value], to_key: &[Value]) -> DbResult<()> {
-        self.link_with_attrs(rel, from_key, to_key, &[])
+    /// Create a relationship instance, optionally carrying relationship
+    /// attributes (`&[]` for none).
+    pub fn link(
+        &mut self,
+        rel: &str,
+        from_key: &[Value],
+        to_key: &[Value],
+        attrs: &[(&str, Value)],
+    ) -> DbResult<()> {
+        self.transaction(|tx| tx.link(rel, from_key, to_key, attrs))
     }
 
     /// Create a relationship instance carrying relationship attributes.
+    #[deprecated(note = "use `link(rel, from, to, attrs)` — the attribute \
+                         slice is now part of `link` itself")]
     pub fn link_with_attrs(
         &mut self,
         rel: &str,
@@ -324,25 +485,12 @@ impl Database {
         to_key: &[Value],
         attrs: &[(&str, Value)],
     ) -> DbResult<()> {
-        let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
-        let store = EntityStore::new(lw);
-        let map: EntityData = attrs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
-        Transaction::run(&mut self.catalog, |txn, cat| {
-            store.link(cat, txn, rel, from_key, to_key, &map).map_err(storage_shim)
-        })
-        .map_err(unshim)?;
-        Ok(())
+        self.link(rel, from_key, to_key, attrs)
     }
 
     /// Remove a relationship instance.
     pub fn unlink(&mut self, rel: &str, from_key: &[Value], to_key: &[Value]) -> DbResult<()> {
-        let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
-        let store = EntityStore::new(lw);
-        Transaction::run(&mut self.catalog, |txn, cat| {
-            store.unlink(cat, txn, rel, from_key, to_key).map_err(storage_shim)
-        })
-        .map_err(unshim)?;
-        Ok(())
+        self.transaction(|tx| tx.unlink(rel, from_key, to_key))
     }
 
     // ---- statistics ---------------------------------------------------------------
@@ -360,9 +508,15 @@ impl Database {
 
     // ---- queries ------------------------------------------------------------------
 
-    /// Run an ERQL SELECT against the logical schema. `EXPLAIN SELECT ...`
-    /// returns the rendered physical plan as a one-column result instead.
-    pub fn query(&self, sql: &str) -> DbResult<QueryResult> {
+    /// Single entry point behind [`Database::query`] and
+    /// [`Database::query_with`]: handles `EXPLAIN SELECT ...`, plans,
+    /// executes, and optionally collects the per-operator metrics tree.
+    fn run_query(
+        &self,
+        sql: &str,
+        ctx: &ExecContext,
+        collect_metrics: bool,
+    ) -> DbResult<QueryResult> {
         if let Ok(Statement::Explain(sel)) = erbium_query::parse_single(sql) {
             let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
             if let Some(policy) = &self.policy {
@@ -377,36 +531,47 @@ impl Database {
             return Ok(QueryResult { columns: vec!["plan".into()], rows, metrics: None });
         }
         let plan = self.plan(sql)?;
-        let mut stream =
-            erbium_engine::execute_streaming(&plan, &self.catalog, &ExecContext::default())
-                .map_err(|e| DbError::Mapping(MappingError::Engine(e)))?;
-        let rows = stream.drain().map_err(|e| DbError::Mapping(MappingError::Engine(e)))?;
-        Ok(QueryResult {
-            columns: plan.fields.iter().map(|f| f.name.clone()).collect(),
-            rows,
-            metrics: None,
-        })
-    }
-
-    /// Run an ERQL SELECT and additionally return the executed plan's
-    /// per-operator metrics tree (rows in/out, batches, wall-clock time per
-    /// operator) in [`QueryResult::metrics`] — the programmatic equivalent
-    /// of `EXPLAIN ANALYZE`. When statistics have been gathered (see
-    /// [`Database::analyze`]), each metrics node also carries the
-    /// optimizer's row estimate, so its rendering shows estimate-vs-actual
-    /// q-error per operator.
-    pub fn query_analyze(&self, sql: &str, ctx: &ExecContext) -> DbResult<QueryResult> {
-        let plan = self.plan(sql)?;
         let mut stream = erbium_engine::execute_streaming(&plan, &self.catalog, ctx)
             .map_err(|e| DbError::Mapping(MappingError::Engine(e)))?;
         let rows = stream.drain().map_err(|e| DbError::Mapping(MappingError::Engine(e)))?;
-        let mut metrics = stream.metrics();
-        erbium_engine::annotate_metrics(&mut metrics, &plan, &self.catalog);
+        let metrics = if collect_metrics {
+            let mut metrics = stream.metrics();
+            erbium_engine::annotate_metrics(&mut metrics, &plan, &self.catalog);
+            Some(metrics)
+        } else {
+            None
+        };
         Ok(QueryResult {
             columns: plan.fields.iter().map(|f| f.name.clone()).collect(),
             rows,
-            metrics: Some(metrics),
+            metrics,
         })
+    }
+
+    /// Run an ERQL SELECT against the logical schema. `EXPLAIN SELECT ...`
+    /// returns the rendered physical plan as a one-column result instead.
+    /// Metrics collection is off — the common path pays nothing for
+    /// instrumentation beyond the executor's atomic counters; use
+    /// [`Database::query_with`] for the instrumented variant.
+    pub fn query(&self, sql: &str) -> DbResult<QueryResult> {
+        self.run_query(sql, &ExecContext::default(), false)
+    }
+
+    /// Run an ERQL SELECT under an explicit [`ExecContext`] and return the
+    /// executed plan's per-operator metrics tree (rows in/out, batches,
+    /// wall-clock time per operator) in [`QueryResult::metrics`] — the
+    /// programmatic equivalent of `EXPLAIN ANALYZE`. When statistics have
+    /// been gathered (see [`Database::analyze`]), each metrics node also
+    /// carries the optimizer's row estimate, so its rendering shows
+    /// estimate-vs-actual q-error per operator.
+    pub fn query_with(&self, sql: &str, ctx: &ExecContext) -> DbResult<QueryResult> {
+        self.run_query(sql, ctx, true)
+    }
+
+    /// Former name of [`Database::query_with`].
+    #[deprecated(note = "use `query_with(sql, ctx)`")]
+    pub fn query_analyze(&self, sql: &str, ctx: &ExecContext) -> DbResult<QueryResult> {
+        self.query_with(sql, ctx)
     }
 
     /// Compile an ERQL SELECT to an optimized physical plan.
@@ -446,6 +611,7 @@ impl Database {
                 log.record(&new_lw, report.description.clone());
                 log.save(&mut self.catalog)?;
                 self.lowering = Some(new_lw);
+                self.checkpoint_after_structural_change()?;
                 Ok(report)
             }
             Err(e) => {
@@ -464,6 +630,7 @@ impl Database {
                 log.record(&new_lw, report.description.clone());
                 log.save(&mut self.catalog)?;
                 self.lowering = Some(new_lw);
+                self.checkpoint_after_structural_change()?;
                 Ok(report)
             }
             Err(e) => {
@@ -486,6 +653,7 @@ impl Database {
             Ok((new_lw, report)) => {
                 self.schema = new_lw.schema.clone();
                 self.lowering = Some(new_lw);
+                self.checkpoint_after_structural_change()?;
                 Ok(report)
             }
             Err(e) => {
@@ -508,22 +676,7 @@ impl Database {
     /// (all fragments, side tables, owned weak entities, relationship
     /// instances), reporting what was touched.
     pub fn erase(&mut self, entity: &str, key: &[Value]) -> DbResult<ErasureReport> {
-        let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
-        let store = EntityStore::new(lw);
-        let before: usize = self.catalog.total_rows();
-        let mut ops = 0usize;
-        Transaction::run(&mut self.catalog, |txn, cat| {
-            store.delete(cat, txn, entity, key).map_err(storage_shim)?;
-            ops = txn.len();
-            Ok(())
-        })
-        .map_err(unshim)?;
-        let after: usize = self.catalog.total_rows();
-        Ok(ErasureReport {
-            entity: entity.to_string(),
-            physical_operations: ops,
-            rows_removed: before.saturating_sub(after),
-        })
+        self.transaction(|tx| tx.erase(entity, key))
     }
 
     /// Install (or clear) the tag-based access policy applied to queries.
@@ -538,19 +691,96 @@ impl Database {
     }
 }
 
-/// `Transaction::run` expects `StorageResult`; tunnel `MappingError`
-/// through a storage `Internal` error and restore it on the way out.
-fn storage_shim(e: MappingError) -> erbium_storage::StorageError {
-    erbium_storage::StorageError::Internal(format!("__mapping__:{e}"))
+/// An open transaction on a [`Database`], handed to the closure of
+/// [`Database::transaction`]. Exposes the CRUD surface; every call records
+/// undo information (and, for durable databases, a WAL record) so the whole
+/// group commits or rolls back as a unit.
+pub struct Tx<'a> {
+    store: EntityStore<'a>,
+    cat: &'a mut Catalog,
+    txn: Transaction,
 }
 
-fn unshim(e: erbium_storage::StorageError) -> DbError {
-    match &e {
-        erbium_storage::StorageError::Internal(m) if m.starts_with("__mapping__:") => {
-            DbError::Mapping(MappingError::Unsupported(
-                m.trim_start_matches("__mapping__:").to_string(),
-            ))
-        }
-        _ => DbError::Mapping(MappingError::Storage(e)),
+impl Tx<'_> {
+    /// Insert an entity instance (see [`Database::insert`]).
+    pub fn insert(&mut self, entity: &str, data: &[(&str, Value)]) -> DbResult<()> {
+        self.insert_linked(entity, data, &[])
+    }
+
+    /// Insert with many-to-one relationship targets applied atomically
+    /// (see [`Database::insert_linked`]).
+    pub fn insert_linked(
+        &mut self,
+        entity: &str,
+        data: &[(&str, Value)],
+        links: &[(&str, Vec<Value>)],
+    ) -> DbResult<()> {
+        let map: EntityData = data.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+        self.store.insert(self.cat, &mut self.txn, entity, &map, links)?;
+        Ok(())
+    }
+
+    /// Fetch one instance by key. Reads inside a transaction see its own
+    /// uncommitted writes.
+    pub fn get(&self, entity: &str, key: &[Value]) -> DbResult<Option<EntityData>> {
+        Ok(self.store.get(self.cat, entity, key)?)
+    }
+
+    /// Update attributes of one instance (see [`Database::update_entity`]).
+    pub fn update_entity(
+        &mut self,
+        entity: &str,
+        key: &[Value],
+        changes: &[(&str, Value)],
+    ) -> DbResult<()> {
+        let map: EntityData =
+            changes.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+        self.store.update(self.cat, &mut self.txn, entity, key, &map)?;
+        Ok(())
+    }
+
+    /// Delete one instance entirely (see [`Database::delete_entity`]).
+    pub fn delete_entity(&mut self, entity: &str, key: &[Value]) -> DbResult<()> {
+        self.store.delete(self.cat, &mut self.txn, entity, key)?;
+        Ok(())
+    }
+
+    /// Create a relationship instance, optionally with attributes.
+    pub fn link(
+        &mut self,
+        rel: &str,
+        from_key: &[Value],
+        to_key: &[Value],
+        attrs: &[(&str, Value)],
+    ) -> DbResult<()> {
+        let map: EntityData =
+            attrs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+        self.store.link(self.cat, &mut self.txn, rel, from_key, to_key, &map)?;
+        Ok(())
+    }
+
+    /// Remove a relationship instance.
+    pub fn unlink(&mut self, rel: &str, from_key: &[Value], to_key: &[Value]) -> DbResult<()> {
+        self.store.unlink(self.cat, &mut self.txn, rel, from_key, to_key)?;
+        Ok(())
+    }
+
+    /// Entity-centric erasure (see [`Database::erase`]): delete the
+    /// instance and every trace of it, reporting what was touched.
+    pub fn erase(&mut self, entity: &str, key: &[Value]) -> DbResult<ErasureReport> {
+        let rows_before = self.cat.total_rows();
+        let ops_before = self.txn.len();
+        self.store.delete(self.cat, &mut self.txn, entity, key)?;
+        let rows_after = self.cat.total_rows();
+        Ok(ErasureReport {
+            entity: entity.to_string(),
+            physical_operations: self.txn.len() - ops_before,
+            rows_removed: rows_before.saturating_sub(rows_after),
+        })
+    }
+
+    /// Number of physical operations recorded so far in this transaction.
+    pub fn ops(&self) -> usize {
+        self.txn.len()
     }
 }

@@ -52,7 +52,7 @@
 pub mod database;
 pub mod governance;
 
-pub use database::{Database, DbError, DbResult, QueryResult};
+pub use database::{Database, DbError, DbResult, DurabilityOptions, QueryResult, Tx};
 pub use governance::{AccessPolicy, ErasureReport};
 
 // Re-export the layer crates for downstream convenience.

@@ -272,7 +272,7 @@ fn analyze_activates_estimates_without_changing_results() {
 
     // EXPLAIN ANALYZE: metrics nodes carry estimates and q-error.
     let res = db
-        .query_analyze(q, &erbium_engine::ExecContext::default())
+        .query_with(q, &erbium_engine::ExecContext::default())
         .unwrap();
     let metrics = res.metrics.unwrap();
     assert!(metrics.est_rows.is_some(), "root metrics node annotated:\n{}", metrics.render());
@@ -287,4 +287,136 @@ fn explain_statement_returns_plan_text() {
     let text: String =
         r.rows.iter().map(|row| row[0].as_str().unwrap().to_string() + "\n").collect();
     assert!(text.contains("IndexLookup"), "{text}");
+}
+
+// ---- transactions ----------------------------------------------------------
+
+#[test]
+fn transaction_commits_multiple_operations_atomically() {
+    let mut db = university_db();
+    db.transaction(|tx| {
+        tx.insert(
+            "student",
+            &[
+                ("id", Value::Int(99)),
+                ("name", Value::str("late-add")),
+                ("phone", Value::Array(vec![Value::str("557-9")])),
+            ],
+        )?;
+        tx.link("advisor", &[Value::Int(99)], &[Value::Int(1)], &[])?;
+        // Reads inside the transaction see its own writes.
+        assert!(tx.get("student", &[Value::Int(99)])?.is_some());
+        Ok(())
+    })
+    .unwrap();
+    let rows = db
+        .query("SELECT s.id FROM student s JOIN instructor i VIA advisor WHERE s.id = 99")
+        .unwrap()
+        .rows;
+    assert_eq!(rows, vec![vec![Value::Int(99)]]);
+}
+
+#[test]
+fn transaction_rolls_back_every_operation_on_error() {
+    let mut db = university_db();
+    let before = db.query("SELECT s.id FROM student s").unwrap().rows.len();
+    let err = db
+        .transaction(|tx| {
+            tx.insert(
+                "student",
+                &[("id", Value::Int(77)), ("name", Value::str("phantom"))],
+            )?;
+            tx.link("advisor", &[Value::Int(77)], &[Value::Int(1)], &[])?;
+            Err::<(), _>(DbError::Parse("business rule violated".into()))
+        })
+        .unwrap_err();
+    assert_eq!(err, DbError::Parse("business rule violated".into()));
+    // Nothing from the aborted transaction is visible.
+    assert!(db.get("student", &[Value::Int(77)]).unwrap().is_none());
+    assert_eq!(db.query("SELECT s.id FROM student s").unwrap().rows.len(), before);
+    // Point lookups (secondary index paths) also see the rollback.
+    let rows = db
+        .query("SELECT s.name FROM student s WHERE s.id = 77")
+        .unwrap()
+        .rows;
+    assert!(rows.is_empty());
+}
+
+#[test]
+fn transaction_failed_operation_rolls_back_earlier_ones() {
+    let mut db = university_db();
+    let err = db
+        .transaction(|tx| {
+            tx.insert(
+                "student",
+                &[("id", Value::Int(55)), ("name", Value::str("half"))],
+            )?;
+            // Duplicate key: fails after the first insert succeeded.
+            tx.insert(
+                "student",
+                &[("id", Value::Int(10)), ("name", Value::str("dup"))],
+            )
+        })
+        .unwrap_err();
+    assert!(matches!(err, DbError::Mapping(_)), "{err}");
+    assert!(db.get("student", &[Value::Int(55)]).unwrap().is_none());
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_delegate_to_new_entry_points() {
+    let mut db = university_db();
+    // link_with_attrs == link(.., attrs).
+    db.link_with_attrs("advisor", &[Value::Int(11)], &[Value::Int(1)], &[]).unwrap_or(());
+    // query_analyze == query_with.
+    let a = db
+        .query_analyze("SELECT s.id FROM student s", &erbium_engine::ExecContext::default())
+        .unwrap();
+    let b = db
+        .query_with("SELECT s.id FROM student s", &erbium_engine::ExecContext::default())
+        .unwrap();
+    assert_eq!(a.rows, b.rows);
+    assert!(a.metrics.is_some() && b.metrics.is_some());
+}
+
+// ---- value canonicalization across ingest paths ----------------------------
+
+/// Regression test: relationship attributes ingested as `Int` into a
+/// `float` column must be canonicalized to `Float` at storage time, so
+/// filters and joins on the attribute behave identically regardless of
+/// which Rust literal the caller happened to use.
+#[test]
+fn relationship_attribute_int_ingest_canonicalizes_to_float() {
+    let mut db = Database::new();
+    db.execute(
+        "CREATE ENTITY student (id int KEY);
+         CREATE ENTITY course (id int KEY);
+         CREATE RELATIONSHIP takes FROM student MANY TO course MANY (score float);",
+    )
+    .unwrap();
+    db.install_default().unwrap();
+    db.insert("student", &[("id", Value::Int(1))]).unwrap();
+    db.insert("student", &[("id", Value::Int(2))]).unwrap();
+    db.insert("course", &[("id", Value::Int(7))]).unwrap();
+    // Mixed ingest: one link passes an Int for the float attribute, the
+    // other a Float.
+    db.link("takes", &[Value::Int(1)], &[Value::Int(7)], &[("score", Value::Int(4))]).unwrap();
+    db.link("takes", &[Value::Int(2)], &[Value::Int(7)], &[("score", Value::Float(4.5))])
+        .unwrap();
+
+    // A float-literal filter on the relationship attribute must match the
+    // Int-ingested instance.
+    let rows = db
+        .query(
+            "SELECT s.id FROM student s JOIN course c VIA takes WHERE score = 4.0",
+        )
+        .unwrap()
+        .rows;
+    assert_eq!(rows, vec![vec![Value::Int(1)]]);
+    // And aggregating over the mixed-ingest attribute sees uniform floats.
+    let rows = db
+        .query("SELECT AVG(score) AS avg_score FROM student s JOIN course c VIA takes")
+        .unwrap()
+        .rows;
+    assert_eq!(rows, vec![vec![Value::Float(4.25)]]);
 }

@@ -98,6 +98,7 @@ pub fn populate_university(
                 "teaches",
                 &[Value::Int(inst)],
                 &[Value::str(&course_id), Value::Int(sec), Value::str(if sec == 1 { "Spring" } else { "Fall" }), Value::Int(2026)],
+                &[],
             )?;
         }
     }
@@ -114,6 +115,7 @@ pub fn populate_university(
                 "takes",
                 &[Value::Int(id)],
                 &[Value::str(format!("C{c:03}")), Value::Int(sec), Value::str(sem), Value::Int(2026)],
+                &[],
             );
         }
     }

@@ -13,16 +13,25 @@
 //! mapping contract and the engine behind the governance operations the
 //! paper motivates (entity-centric deletion for GDPR-style erasure).
 //!
-//! Caveat: co-located *factorized* structures are mutated directly (the
-//! undo log covers plain tables only), so transactions spanning factorized
-//! CRUD roll back their plain-table effects but not factorized ones.
+//! Co-located *factorized* structures are routed through the same
+//! [`Transaction`] as plain tables (via its `fact_*` methods), so a logical
+//! operation spanning both rolls back — and reaches the write-ahead log —
+//! as one atomic group.
 
 use crate::error::{MappingError, MappingResult};
 use crate::fragment::{CoFormat, HierarchyLayout};
 use crate::lower::{co_col, fk_col, rel_attr_col, EntityHome, Lowering, MvHome, RelHome, Side, TYPE_COL};
 use erbium_model::{EntitySet, Relationship};
-use erbium_storage::{Catalog, Row, RowId, Transaction, Value};
+use erbium_storage::{Catalog, FactSide, Row, RowId, Transaction, Value};
 use rustc_hash::FxHashMap;
+
+/// Map a lowering [`Side`] onto the storage layer's [`FactSide`].
+fn fact_side(side: Side) -> FactSide {
+    match side {
+        Side::Left => FactSide::Left,
+        Side::Right => FactSide::Right,
+    }
+}
 
 /// Attribute-name → value map describing one entity instance. Multi-valued
 /// attributes are `Value::Array`, composite attributes `Value::Struct`
@@ -200,7 +209,7 @@ impl<'a> EntityStore<'a> {
     ) -> MappingResult<()> {
         match format {
             CoFormat::Factorized => {
-                let ft = cat.factorized_mut(table)?;
+                let ft = cat.factorized(table)?;
                 let member = match side {
                     Side::Left => ft.left(),
                     Side::Right => ft.right(),
@@ -209,10 +218,7 @@ impl<'a> EntityStore<'a> {
                 for c in &member.schema().columns {
                     row.push(data.get(&c.name).cloned().unwrap_or(Value::Null));
                 }
-                match side {
-                    Side::Left => ft.insert_left(row)?,
-                    Side::Right => ft.insert_right(row)?,
-                };
+                txn.fact_insert(cat, table, fact_side(side), row)?;
                 Ok(())
             }
             CoFormat::Denormalized => {
@@ -612,11 +618,11 @@ impl<'a> EntityStore<'a> {
             }
             EntityHome::CoLocated { table, side, format } => match format {
                 CoFormat::Factorized => {
-                    let ft = cat.factorized_mut(&table)?;
+                    let ft = cat.factorized(&table)?;
                     let kv = Self::key_value(key);
-                    let (member_t, is_left) = match side {
-                        Side::Left => (ft.left(), true),
-                        Side::Right => (ft.right(), false),
+                    let member_t = match side {
+                        Side::Left => ft.left(),
+                        Side::Right => ft.right(),
                     };
                     let (rid, row) = member_t.lookup_pk(&kv).ok_or_else(|| {
                         MappingError::BadPayload(format!("instance {key:?} of '{entity}' not found"))
@@ -624,15 +630,9 @@ impl<'a> EntityStore<'a> {
                     let col = member_t.schema().require_column(name)?;
                     let mut row = row.clone();
                     row[col] = value.clone();
-                    // Direct member mutation: delete + re-insert would drop
-                    // links, so update in place through the member table.
-                    if is_left {
-                        // Safety: left()/right() expose &Table; use the
-                        // dedicated mutators below.
-                        ft.update_left(rid, row)?;
-                    } else {
-                        ft.update_right(rid, row)?;
-                    }
+                    // Member update in place (delete + re-insert would drop
+                    // links), routed through the transaction for undo + WAL.
+                    txn.fact_update(cat, &table, fact_side(side), rid, row)?;
                 }
                 CoFormat::Denormalized => {
                     // Every duplicated row must be rewritten — the update
@@ -799,17 +799,14 @@ impl<'a> EntityStore<'a> {
                 }
                 EntityHome::CoLocated { table, side, format } => match format {
                     CoFormat::Factorized => {
-                        let ft = cat.factorized_mut(&table)?;
+                        let ft = cat.factorized(&table)?;
                         let kv = Self::key_value(key);
                         let hit = match side {
                             Side::Left => ft.left().lookup_pk(&kv).map(|(rid, _)| rid),
                             Side::Right => ft.right().lookup_pk(&kv).map(|(rid, _)| rid),
                         };
                         if let Some(rid) = hit {
-                            match side {
-                                Side::Left => ft.delete_left(rid)?,
-                                Side::Right => ft.delete_right(rid)?,
-                            };
+                            txn.fact_delete(cat, &table, fact_side(side), rid)?;
                             removed_any = true;
                         }
                     }
@@ -1086,7 +1083,18 @@ impl<'a> EntityStore<'a> {
             }
             RelHome::CoLocated { table, format } => match format {
                 CoFormat::Factorized => {
-                    let ft = cat.factorized_mut(&table)?;
+                    if !attrs.is_empty() {
+                        // Mapping validation rejects factorized co-location
+                        // for relationships WITH declared attributes, so any
+                        // attrs supplied here have nowhere to live. Error
+                        // instead of silently dropping them.
+                        return Err(MappingError::BadPayload(format!(
+                            "relationship '{rel}' is stored factorized and cannot carry \
+                             attributes ({} supplied)",
+                            attrs.len()
+                        )));
+                    }
+                    let ft = cat.factorized(&table)?;
                     let l = ft
                         .left()
                         .lookup_pk(&Self::key_value(from_key))
@@ -1105,7 +1113,7 @@ impl<'a> EntityStore<'a> {
                                 "right instance {to_key:?} not found in '{table}'"
                             ))
                         })?;
-                    ft.link(l, rr)?;
+                    txn.fact_link(cat, &table, l, rr)?;
                     Ok(())
                 }
                 CoFormat::Denormalized => {
@@ -1262,11 +1270,11 @@ impl<'a> EntityStore<'a> {
             }
             RelHome::CoLocated { table, format } => match format {
                 CoFormat::Factorized => {
-                    let ft = cat.factorized_mut(&table)?;
+                    let ft = cat.factorized(&table)?;
                     let l = ft.left().lookup_pk(&Self::key_value(from_key)).map(|(rid, _)| rid);
                     let rr = ft.right().lookup_pk(&Self::key_value(to_key)).map(|(rid, _)| rid);
                     if let (Some(l), Some(rr)) = (l, rr) {
-                        ft.unlink(l, rr);
+                        txn.fact_unlink(cat, &table, l, rr)?;
                     }
                     Ok(())
                 }

@@ -154,6 +154,33 @@ impl Catalog {
         }
     }
 
+    /// Iterate all metadata entries (checkpoint support).
+    pub fn meta_entries(&self) -> impl Iterator<Item = (&String, &serde_json::Value)> {
+        self.meta.iter()
+    }
+
+    /// Iterate all plain tables (checkpoint support).
+    pub(crate) fn tables_iter(&self) -> impl Iterator<Item = (&String, &Table)> {
+        self.tables.iter()
+    }
+
+    /// Iterate all factorized structures (checkpoint support).
+    pub(crate) fn factorized_iter(&self) -> impl Iterator<Item = (&String, &FactorizedTable)> {
+        self.factorized.iter()
+    }
+
+    /// Mutable sweep over all plain tables without stats bookkeeping
+    /// (WAL-redo epilogue: free-list rebuild).
+    pub(crate) fn tables_iter_mut(&mut self) -> impl Iterator<Item = &mut Table> {
+        self.tables.values_mut()
+    }
+
+    /// Mutable sweep over all factorized structures without stats
+    /// bookkeeping (WAL-redo epilogue: free-list rebuild).
+    pub(crate) fn factorized_iter_mut(&mut self) -> impl Iterator<Item = &mut FactorizedTable> {
+        self.factorized.values_mut()
+    }
+
     /// Total live rows across all plain tables.
     pub fn total_rows(&self) -> usize {
         self.tables.values().map(Table::len).sum()

@@ -25,6 +25,11 @@ pub enum StorageError {
     IndexNotFound(String),
     /// Catalog metadata (de)serialization failure.
     Metadata(String),
+    /// Durability I/O failure (WAL append, checkpoint write, recovery read).
+    Io(String),
+    /// A WAL or snapshot file failed framing/CRC/decode validation at a
+    /// point where corruption is not tolerable (snapshot body, WAL header).
+    Corrupt(String),
     /// Anything else.
     Internal(String),
 }
@@ -52,6 +57,8 @@ impl fmt::Display for StorageError {
             StorageError::IndexExists(i) => write!(f, "index '{i}' already exists"),
             StorageError::IndexNotFound(i) => write!(f, "index '{i}' not found"),
             StorageError::Metadata(m) => write!(f, "catalog metadata error: {m}"),
+            StorageError::Io(m) => write!(f, "durability I/O error: {m}"),
+            StorageError::Corrupt(m) => write!(f, "corrupt durable state: {m}"),
             StorageError::Internal(m) => write!(f, "internal storage error: {m}"),
         }
     }

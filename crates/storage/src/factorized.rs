@@ -145,6 +145,81 @@ impl FactorizedTable {
         Ok(row)
     }
 
+    /// Restore a previously deleted left row into its exact slot
+    /// (transaction rollback). Links are NOT restored — re-link explicitly.
+    pub(crate) fn restore_left(&mut self, l: RowId, row: Row) -> StorageResult<()> {
+        self.left.restore(l, row)?;
+        if self.fwd.len() <= l.idx() {
+            self.fwd.resize_with(l.idx() + 1, Vec::new);
+        }
+        Ok(())
+    }
+
+    /// Restore a previously deleted right row into its exact slot.
+    pub(crate) fn restore_right(&mut self, r: RowId, row: Row) -> StorageResult<()> {
+        self.right.restore(r, row)?;
+        if self.rev.len() <= r.idx() {
+            self.rev.resize_with(r.idx() + 1, Vec::new);
+        }
+        Ok(())
+    }
+
+    /// Place a left row at an exact slot (WAL redo), growing as needed.
+    pub(crate) fn place_left(&mut self, l: RowId, row: Row) -> StorageResult<()> {
+        self.left.place_at(l, row)?;
+        if self.fwd.len() <= l.idx() {
+            self.fwd.resize_with(l.idx() + 1, Vec::new);
+        }
+        Ok(())
+    }
+
+    /// Place a right row at an exact slot (WAL redo), growing as needed.
+    pub(crate) fn place_right(&mut self, r: RowId, row: Row) -> StorageResult<()> {
+        self.right.place_at(r, row)?;
+        if self.rev.len() <= r.idx() {
+            self.rev.resize_with(r.idx() + 1, Vec::new);
+        }
+        Ok(())
+    }
+
+    /// Recompute both member free lists after WAL redo.
+    pub(crate) fn rebuild_free(&mut self) {
+        self.left.rebuild_free();
+        self.right.rebuild_free();
+    }
+
+    /// Dump every stored `(left, right)` link pair (checkpoint support).
+    pub(crate) fn link_pairs(&self) -> Vec<(RowId, RowId)> {
+        let mut out = Vec::with_capacity(self.pairs);
+        for (l, rs) in self.fwd.iter().enumerate() {
+            for &r in rs {
+                out.push((RowId(l as u64), r));
+            }
+        }
+        out
+    }
+
+    /// Rebuild a factorized table from checkpointed members and link pairs.
+    pub(crate) fn from_parts(
+        name: impl Into<String>,
+        left: Table,
+        right: Table,
+        links: Vec<(RowId, RowId)>,
+    ) -> StorageResult<FactorizedTable> {
+        let mut ft = FactorizedTable {
+            name: name.into(),
+            fwd: vec![Vec::new(); left.slot_count()],
+            rev: vec![Vec::new(); right.slot_count()],
+            left,
+            right,
+            pairs: 0,
+        };
+        for (l, r) in links {
+            ft.link(l, r)?;
+        }
+        Ok(ft)
+    }
+
     /// Right neighbours of a left row.
     pub fn neighbours_right(&self, l: RowId) -> &[RowId] {
         self.fwd.get(l.idx()).map(|v| v.as_slice()).unwrap_or(&[])

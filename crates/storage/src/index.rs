@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use std::ops::Bound;
 
 /// Which index structure to build.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum IndexKind {
     Hash,
     BTree,

@@ -27,10 +27,12 @@ pub mod factorized;
 pub mod index;
 pub mod row;
 pub mod schema;
+pub mod snapshot;
 pub mod stats;
 pub mod table;
 pub mod txn;
 pub mod value;
+pub mod wal;
 
 pub use catalog::Catalog;
 pub use error::{StorageError, StorageResult};
@@ -38,7 +40,9 @@ pub use factorized::FactorizedTable;
 pub use index::{BTreeIndex, HashIndex, IndexKind};
 pub use row::{Row, RowId};
 pub use schema::{Column, TableSchema};
+pub use snapshot::{Recovered, SNAPSHOT_FILE, WAL_FILE};
 pub use stats::{CatalogStats, ColumnStats, TableStats};
 pub use table::Table;
 pub use txn::{Transaction, UndoEntry};
 pub use value::{DataType, Value};
+pub use wal::{FactSide, SyncPolicy, Wal, WalRecord};

@@ -1,0 +1,620 @@
+//! Checkpoint snapshots and crash recovery.
+//!
+//! A snapshot is a full, self-contained image of one [`Catalog`]: every
+//! plain table (schema, secondary-index specs, and the raw slot vector —
+//! tombstones included, because [`crate::row::RowId`]s in the WAL suffix
+//! and in factorized pointer lists are slot positions), every factorized
+//! structure (both members plus the link pairs), and the metadata area
+//! (which is where the upper layers keep the E/R schema, the installed
+//! mapping, and the version log — so those ride along for free). Gathered
+//! statistics are deliberately NOT persisted: they are advisory, and a
+//! recovered database re-runs ANALYZE when it wants them.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! [magic "ERBSNAP1": 8 bytes] [body_len: u32 LE] [crc32(body): u32 LE] [body]
+//! ```
+//!
+//! The body reuses the WAL's binary value codec. Unlike the WAL — where a
+//! torn tail is expected and tolerated — any framing/CRC/decode failure in
+//! a snapshot is a hard [`StorageError::Corrupt`]: the file is written
+//! atomically (tmp + fsync + rename), so a damaged snapshot means real
+//! corruption, not a crash artifact.
+//!
+//! ## Recovery protocol
+//!
+//! [`Catalog::recover`] = load the latest snapshot (or start empty), then
+//! redo the *committed* suffix of the WAL on top of it, placing rows at the
+//! exact slots the log recorded, and finally rebuild the free lists. The
+//! combination is exactly the committed prefix of history: rolled-back
+//! transactions never reached the log, and a torn tail loses only the
+//! in-flight group.
+
+use crate::catalog::Catalog;
+use crate::error::{StorageError, StorageResult};
+use crate::factorized::FactorizedTable;
+use crate::index::IndexKind;
+use crate::row::{Row, RowId};
+use crate::schema::TableSchema;
+use crate::table::Table;
+use crate::wal::{
+    crc32, get_row, put_row, put_str, put_u32, put_u64, scan_wal, Cursor, FactSide, WalRecord,
+};
+use std::io::Write;
+use std::path::Path;
+
+/// File name of the checkpoint snapshot inside a database directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.erb";
+/// File name of the write-ahead log inside a database directory.
+pub const WAL_FILE: &str = "wal.erb";
+
+const MAGIC: &[u8; 8] = b"ERBSNAP1";
+
+fn corrupt(msg: impl Into<String>) -> StorageError {
+    StorageError::Corrupt(msg.into())
+}
+
+fn io_err(ctx: &str, e: std::io::Error) -> StorageError {
+    StorageError::Io(format!("{ctx}: {e}"))
+}
+
+// ---- encoding --------------------------------------------------------------
+
+fn put_table(buf: &mut Vec<u8>, t: &Table) {
+    let schema_json = serde_json::to_string(t.schema()).expect("schema serializes");
+    put_str(buf, &schema_json);
+    let indexes = t.indexes();
+    put_u32(buf, indexes.len() as u32);
+    for idx in indexes {
+        put_str(buf, &idx.name);
+        put_u32(buf, idx.columns.len() as u32);
+        for &c in &idx.columns {
+            put_u32(buf, c as u32);
+        }
+        buf.push(match idx.kind() {
+            IndexKind::Hash => 0,
+            IndexKind::BTree => 1,
+        });
+    }
+    put_slots(buf, t.slots());
+}
+
+fn put_slots(buf: &mut Vec<u8>, slots: &[Option<Row>]) {
+    put_u32(buf, slots.len() as u32);
+    for slot in slots {
+        match slot {
+            None => buf.push(0),
+            Some(row) => {
+                buf.push(1);
+                put_row(buf, row);
+            }
+        }
+    }
+}
+
+/// Serialize a whole catalog (plus the WAL's next transaction id) into the
+/// snapshot body.
+fn encode_body(cat: &Catalog, next_txn: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4096);
+    put_u64(&mut buf, next_txn);
+
+    // Plain tables, sorted for deterministic bytes.
+    let mut tables: Vec<(&String, &Table)> = cat.tables_iter().collect();
+    tables.sort_by_key(|(n, _)| n.as_str());
+    put_u32(&mut buf, tables.len() as u32);
+    for (_, t) in tables {
+        put_table(&mut buf, t);
+    }
+
+    // Factorized structures.
+    let mut facts: Vec<(&String, &FactorizedTable)> = cat.factorized_iter().collect();
+    facts.sort_by_key(|(n, _)| n.as_str());
+    put_u32(&mut buf, facts.len() as u32);
+    for (name, ft) in facts {
+        put_str(&mut buf, name);
+        put_table(&mut buf, ft.left());
+        put_table(&mut buf, ft.right());
+        let pairs = ft.link_pairs();
+        put_u32(&mut buf, pairs.len() as u32);
+        for (l, r) in pairs {
+            put_u64(&mut buf, l.0);
+            put_u64(&mut buf, r.0);
+        }
+    }
+
+    // Metadata area (E/R schema, mapping, version log all live here).
+    let mut meta: Vec<(&String, &serde_json::Value)> = cat.meta_entries().collect();
+    meta.sort_by_key(|(k, _)| k.as_str());
+    put_u32(&mut buf, meta.len() as u32);
+    for (k, v) in meta {
+        put_str(&mut buf, k);
+        put_str(&mut buf, &v.to_string());
+    }
+    buf
+}
+
+// ---- decoding --------------------------------------------------------------
+
+fn get_table(c: &mut Cursor<'_>) -> StorageResult<Table> {
+    let schema_json = c.str().ok_or_else(|| corrupt("snapshot: short table schema"))?;
+    let schema: TableSchema = serde_json::from_str(&schema_json)
+        .map_err(|e| corrupt(format!("snapshot: bad table schema: {e}")))?;
+    let n_indexes = c.u32().ok_or_else(|| corrupt("snapshot: short index count"))? as usize;
+    let mut specs = Vec::with_capacity(n_indexes.min(1 << 10));
+    for _ in 0..n_indexes {
+        let name = c.str().ok_or_else(|| corrupt("snapshot: short index name"))?;
+        let n_cols = c.u32().ok_or_else(|| corrupt("snapshot: short index columns"))? as usize;
+        let mut cols = Vec::with_capacity(n_cols.min(1 << 10));
+        for _ in 0..n_cols {
+            cols.push(c.u32().ok_or_else(|| corrupt("snapshot: short index column"))? as usize);
+        }
+        let kind = match c.u8().ok_or_else(|| corrupt("snapshot: short index kind"))? {
+            0 => IndexKind::Hash,
+            1 => IndexKind::BTree,
+            k => return Err(corrupt(format!("snapshot: unknown index kind {k}"))),
+        };
+        specs.push((name, cols, kind));
+    }
+    let slots = get_slots(c)?;
+    let mut t = Table::from_slots(schema, slots)
+        .map_err(|e| corrupt(format!("snapshot: table rebuild failed: {e}")))?;
+    for (name, cols, kind) in specs {
+        t.create_index(name, cols, kind)
+            .map_err(|e| corrupt(format!("snapshot: index rebuild failed: {e}")))?;
+    }
+    Ok(t)
+}
+
+fn get_slots(c: &mut Cursor<'_>) -> StorageResult<Vec<Option<Row>>> {
+    let n = c.u32().ok_or_else(|| corrupt("snapshot: short slot count"))? as usize;
+    let mut slots = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        match c.u8().ok_or_else(|| corrupt("snapshot: short slot flag"))? {
+            0 => slots.push(None),
+            1 => slots.push(Some(get_row(c).ok_or_else(|| corrupt("snapshot: short row"))?)),
+            f => return Err(corrupt(format!("snapshot: bad slot flag {f}"))),
+        }
+    }
+    Ok(slots)
+}
+
+fn decode_body(body: &[u8]) -> StorageResult<(Catalog, u64)> {
+    let mut c = Cursor::new(body);
+    let next_txn = c.u64().ok_or_else(|| corrupt("snapshot: short header"))?;
+    let mut cat = Catalog::new();
+
+    let n_tables = c.u32().ok_or_else(|| corrupt("snapshot: short table count"))? as usize;
+    for _ in 0..n_tables {
+        let t = get_table(&mut c)?;
+        cat.create_table(t).map_err(|e| corrupt(format!("snapshot: duplicate table: {e}")))?;
+    }
+
+    let n_facts = c.u32().ok_or_else(|| corrupt("snapshot: short factorized count"))? as usize;
+    for _ in 0..n_facts {
+        let name = c.str().ok_or_else(|| corrupt("snapshot: short factorized name"))?;
+        let left = get_table(&mut c)?;
+        let right = get_table(&mut c)?;
+        let n_pairs = c.u32().ok_or_else(|| corrupt("snapshot: short pair count"))? as usize;
+        let mut links = Vec::with_capacity(n_pairs.min(1 << 20));
+        for _ in 0..n_pairs {
+            let l = c.u64().ok_or_else(|| corrupt("snapshot: short link"))?;
+            let r = c.u64().ok_or_else(|| corrupt("snapshot: short link"))?;
+            links.push((RowId(l), RowId(r)));
+        }
+        let ft = FactorizedTable::from_parts(&name, left, right, links)
+            .map_err(|e| corrupt(format!("snapshot: factorized rebuild failed: {e}")))?;
+        cat.create_factorized(name, ft)
+            .map_err(|e| corrupt(format!("snapshot: duplicate factorized: {e}")))?;
+    }
+
+    let n_meta = c.u32().ok_or_else(|| corrupt("snapshot: short meta count"))? as usize;
+    for _ in 0..n_meta {
+        let k = c.str().ok_or_else(|| corrupt("snapshot: short meta key"))?;
+        let v = c.str().ok_or_else(|| corrupt("snapshot: short meta value"))?;
+        let v: serde_json::Value = serde_json::from_str(&v)
+            .map_err(|e| corrupt(format!("snapshot: bad meta JSON under '{k}': {e}")))?;
+        cat.put_meta(k, v);
+    }
+
+    if !c.is_done() {
+        return Err(corrupt("snapshot: trailing bytes after body"));
+    }
+    Ok((cat, next_txn))
+}
+
+// ---- file I/O --------------------------------------------------------------
+
+/// Write a checkpoint snapshot of `cat` to `dir/`[`SNAPSHOT_FILE`]
+/// atomically: the image lands in a temp file first, is fsynced, and then
+/// renamed over the previous snapshot, so a crash during checkpointing
+/// leaves either the old or the new snapshot — never a hybrid.
+pub fn write_snapshot(cat: &Catalog, next_txn: u64, dir: &Path) -> StorageResult<()> {
+    let body = encode_body(cat, next_txn);
+    let mut out = Vec::with_capacity(body.len() + 16);
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, body.len() as u32);
+    put_u32(&mut out, crc32(&body));
+    out.extend_from_slice(&body);
+
+    let final_path = dir.join(SNAPSHOT_FILE);
+    let tmp_path = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+    {
+        let mut f = std::fs::File::create(&tmp_path)
+            .map_err(|e| io_err(&format!("create {}", tmp_path.display()), e))?;
+        f.write_all(&out).map_err(|e| io_err("snapshot write", e))?;
+        f.sync_all().map_err(|e| io_err("snapshot fsync", e))?;
+    }
+    std::fs::rename(&tmp_path, &final_path).map_err(|e| io_err("snapshot rename", e))?;
+    // Persist the rename itself (best effort — not all platforms allow
+    // fsyncing a directory handle).
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Load a snapshot file. Any malformation is [`StorageError::Corrupt`].
+pub fn load_snapshot(path: &Path) -> StorageResult<(Catalog, u64)> {
+    let bytes =
+        std::fs::read(path).map_err(|e| io_err(&format!("read {}", path.display()), e))?;
+    if bytes.len() < MAGIC.len() + 8 || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(corrupt("snapshot: bad magic"));
+    }
+    let len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    let body = bytes.get(16..16 + len).ok_or_else(|| corrupt("snapshot: short body"))?;
+    if bytes.len() != 16 + len {
+        return Err(corrupt("snapshot: trailing bytes after frame"));
+    }
+    if crc32(body) != crc {
+        return Err(corrupt("snapshot: body CRC mismatch"));
+    }
+    decode_body(body)
+}
+
+// ---- recovery --------------------------------------------------------------
+
+/// The result of [`Catalog::recover`].
+#[derive(Debug)]
+pub struct Recovered {
+    /// The reconstructed catalog: snapshot state plus the committed WAL
+    /// suffix.
+    pub catalog: Catalog,
+    /// One past the highest transaction id ever assigned — seed for the
+    /// reopened [`crate::wal::Wal`].
+    pub next_txn: u64,
+    /// Number of committed WAL groups redone on top of the snapshot.
+    pub replayed_groups: usize,
+    /// True if the WAL ended in a torn/corrupt tail (the in-flight group
+    /// was discarded — expected after a crash, worth logging upstream).
+    pub torn_tail: bool,
+}
+
+fn redo(cat: &mut Catalog, rec: WalRecord) -> StorageResult<()> {
+    match rec {
+        WalRecord::Begin { .. } | WalRecord::Commit { .. } | WalRecord::Abort { .. } => {}
+        WalRecord::Insert { table, rid, row } => {
+            cat.table_mut(&table)?.place_at(RowId(rid), row)?;
+        }
+        WalRecord::Update { table, rid, row } => {
+            cat.table_mut(&table)?.update(RowId(rid), row)?;
+        }
+        WalRecord::Delete { table, rid } => {
+            cat.table_mut(&table)?.delete(RowId(rid))?;
+        }
+        WalRecord::CreateTable { schema_json } => {
+            let schema: TableSchema = serde_json::from_str(&schema_json)
+                .map_err(|e| corrupt(format!("WAL: bad CreateTable schema: {e}")))?;
+            cat.create_table(Table::new(schema))?;
+        }
+        WalRecord::FactInsert { name, side, rid, row } => {
+            let ft = cat.factorized_mut(&name)?;
+            match side {
+                FactSide::Left => ft.place_left(RowId(rid), row)?,
+                FactSide::Right => ft.place_right(RowId(rid), row)?,
+            }
+        }
+        WalRecord::FactUpdate { name, side, rid, row } => {
+            let ft = cat.factorized_mut(&name)?;
+            match side {
+                FactSide::Left => ft.update_left(RowId(rid), row)?,
+                FactSide::Right => ft.update_right(RowId(rid), row)?,
+            };
+        }
+        WalRecord::FactDelete { name, side, rid } => {
+            let ft = cat.factorized_mut(&name)?;
+            match side {
+                FactSide::Left => ft.delete_left(RowId(rid))?,
+                FactSide::Right => ft.delete_right(RowId(rid))?,
+            };
+        }
+        WalRecord::FactLink { name, l, r } => {
+            cat.factorized_mut(&name)?.link(RowId(l), RowId(r))?;
+        }
+        WalRecord::FactUnlink { name, l, r } => {
+            cat.factorized_mut(&name)?.unlink(RowId(l), RowId(r));
+        }
+    }
+    Ok(())
+}
+
+impl Catalog {
+    /// Reconstruct the catalog stored in `dir`: load `dir/snapshot.erb`
+    /// when present (a missing snapshot means "start empty" — a fresh
+    /// database or one that has never checkpointed), then redo every
+    /// *committed* group in `dir/wal.erb` on top of it. Rows are placed at
+    /// the exact slots the log recorded; free lists are rebuilt afterwards.
+    ///
+    /// A torn or corrupt WAL tail is tolerated (that is what a crash looks
+    /// like); a corrupt snapshot is not, because snapshots are written
+    /// atomically.
+    pub fn recover(dir: &Path) -> StorageResult<Recovered> {
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        let (mut cat, mut next_txn) = if snap_path.exists() {
+            load_snapshot(&snap_path)?
+        } else {
+            (Catalog::new(), 1)
+        };
+        let scan = scan_wal(&dir.join(WAL_FILE))?;
+        next_txn = next_txn.max(scan.next_txn);
+        let replayed_groups = scan.committed.len();
+        for group in scan.committed {
+            for rec in group {
+                redo(&mut cat, rec)?;
+            }
+        }
+        for t in cat.tables_iter_mut() {
+            t.rebuild_free();
+        }
+        for ft in cat.factorized_iter_mut() {
+            ft.rebuild_free();
+        }
+        Ok(Recovered { catalog: cat, next_txn, replayed_groups, torn_tail: scan.torn_tail })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::txn::Transaction;
+    use crate::value::{DataType, Value};
+    use crate::wal::{SyncPolicy, Wal};
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        p.push(format!("erbium-snap-test-{tag}-{}-{nanos}", std::process::id()));
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn sample_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let mut t = Table::new(TableSchema::new(
+            "people",
+            vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("name", DataType::Text),
+                Column::new("score", DataType::Float),
+                Column::new("tags", DataType::Array(Box::new(DataType::Text))),
+            ],
+            vec![0],
+        ));
+        t.create_index("by_name", vec![1], IndexKind::Hash).unwrap();
+        let r0 = t
+            .insert(vec![
+                Value::Int(1),
+                Value::str("ada"),
+                Value::Int(5), // canonicalizes to Float(5.0)
+                Value::Array(vec![Value::str("x"), Value::str("y")]),
+            ])
+            .unwrap();
+        t.insert(vec![Value::Int(2), Value::str("bob"), Value::Float(2.5), Value::Null]).unwrap();
+        t.delete(r0).unwrap(); // leave a tombstone so slot layout matters
+        t.insert(vec![Value::Int(3), Value::str("eve"), Value::Null, Value::Null]).unwrap();
+        cat.create_table(t).unwrap();
+
+        let left = TableSchema::new(
+            "l",
+            vec![Column::not_null("lid", DataType::Int), Column::new("lv", DataType::Text)],
+            vec![0],
+        );
+        let right = TableSchema::new(
+            "r",
+            vec![Column::not_null("rid", DataType::Int), Column::new("rv", DataType::Int)],
+            vec![0],
+        );
+        let mut ft = FactorizedTable::new("f", left, right);
+        let l0 = ft.insert_left(vec![Value::Int(1), Value::str("a")]).unwrap();
+        let l1 = ft.insert_left(vec![Value::Int(2), Value::str("b")]).unwrap();
+        let r0 = ft.insert_right(vec![Value::Int(10), Value::Int(100)]).unwrap();
+        let r1 = ft.insert_right(vec![Value::Int(20), Value::Int(200)]).unwrap();
+        ft.link(l0, r0).unwrap();
+        ft.link(l0, r1).unwrap();
+        ft.link(l1, r1).unwrap();
+        cat.create_factorized("f", ft).unwrap();
+
+        let doc: serde_json::Value =
+            serde_json::from_str(r#"{"preset": "m3", "v": 2}"#).unwrap();
+        cat.put_meta("mapping", doc);
+        cat
+    }
+
+    fn assert_catalogs_equal(a: &Catalog, b: &Catalog) {
+        assert_eq!(a.table_names(), b.table_names());
+        for name in a.table_names() {
+            let (ta, tb) = (a.table(&name).unwrap(), b.table(&name).unwrap());
+            assert_eq!(ta.schema(), tb.schema(), "schema of '{name}'");
+            assert_eq!(ta.slots(), tb.slots(), "slots of '{name}'");
+            let mut ia: Vec<_> =
+                ta.indexes().iter().map(|i| (i.name.clone(), i.columns.clone(), i.kind())).collect();
+            let mut ib: Vec<_> =
+                tb.indexes().iter().map(|i| (i.name.clone(), i.columns.clone(), i.kind())).collect();
+            ia.sort();
+            ib.sort();
+            assert_eq!(ia, ib, "indexes of '{name}'");
+        }
+        assert_eq!(a.factorized_names(), b.factorized_names());
+        for name in a.factorized_names() {
+            let (fa, fb) = (a.factorized(&name).unwrap(), b.factorized(&name).unwrap());
+            assert_eq!(fa.left().slots(), fb.left().slots());
+            assert_eq!(fa.right().slots(), fb.right().slots());
+            let mut la = fa.link_pairs();
+            let mut lb = fb.link_pairs();
+            la.sort();
+            lb.sort();
+            assert_eq!(la, lb, "links of '{name}'");
+            assert_eq!(fa.pair_count(), fb.pair_count());
+        }
+        let mut ma: Vec<_> = a.meta_entries().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let mut mb: Vec<_> = b.meta_entries().map(|(k, v)| (k.clone(), v.clone())).collect();
+        ma.sort_by(|x, y| x.0.cmp(&y.0));
+        mb.sort_by(|x, y| x.0.cmp(&y.0));
+        assert_eq!(ma, mb, "metadata");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_everything() {
+        let dir = temp_dir("roundtrip");
+        let cat = sample_catalog();
+        write_snapshot(&cat, 17, &dir).unwrap();
+        let (back, next_txn) = load_snapshot(&dir.join(SNAPSHOT_FILE)).unwrap();
+        assert_eq!(next_txn, 17);
+        assert_catalogs_equal(&cat, &back);
+        // Indexes answer queries after the rebuild.
+        let t = back.table("people").unwrap();
+        assert_eq!(t.index_lookup(&[1], &Value::str("bob")).unwrap().len(), 1);
+        assert!(t.lookup_pk(&Value::Int(3)).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_hard_error() {
+        let dir = temp_dir("corrupt");
+        write_snapshot(&sample_catalog(), 1, &dir).unwrap();
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load_snapshot(&path), Err(StorageError::Corrupt(_))));
+        // Truncation is also corruption.
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        assert!(matches!(load_snapshot(&path), Err(StorageError::Corrupt(_))));
+        std::fs::write(&path, b"ERBSNAPX").unwrap();
+        assert!(matches!(load_snapshot(&path), Err(StorageError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_replays_committed_wal_over_snapshot() {
+        let dir = temp_dir("recover");
+        let mut cat = sample_catalog();
+        write_snapshot(&cat, 5, &dir).unwrap();
+
+        // Post-snapshot traffic through logged transactions.
+        let mut wal = Wal::open(dir.join(WAL_FILE), SyncPolicy::Always, 5).unwrap();
+        Transaction::run_with(&mut cat, Some(&mut wal), |txn, cat| {
+            txn.insert(
+                cat,
+                "people",
+                vec![Value::Int(4), Value::str("dan"), Value::Int(9), Value::Null],
+            )?;
+            let (rid, _) = cat.table("people").unwrap().lookup_pk(&Value::Int(2)).unwrap();
+            txn.update(
+                cat,
+                "people",
+                rid,
+                vec![Value::Int(2), Value::str("bob2"), Value::Float(2.5), Value::Null],
+            )?;
+            Ok(())
+        })
+        .unwrap();
+        Transaction::run_with(&mut cat, Some(&mut wal), |txn, cat| {
+            let l2 = txn.fact_insert(cat, "f", FactSide::Left, vec![Value::Int(3), Value::str("c")])?;
+            txn.fact_link(cat, "f", l2, RowId(0))?;
+            let (rid, _) = cat.table("people").unwrap().lookup_pk(&Value::Int(3)).unwrap();
+            txn.delete(cat, "people", rid)?;
+            Ok(())
+        })
+        .unwrap();
+        // A rolled-back transaction must leave no trace on disk.
+        let _ = Transaction::run_with(&mut cat, Some(&mut wal), |txn, cat| {
+            txn.insert(cat, "people", vec![Value::Int(99), Value::Null, Value::Null, Value::Null])?;
+            Err::<(), _>(StorageError::Internal("deliberate".into()))
+        });
+
+        let rec = Catalog::recover(&dir).unwrap();
+        assert_eq!(rec.replayed_groups, 2);
+        assert!(!rec.torn_tail);
+        assert!(rec.next_txn >= 7);
+        assert_catalogs_equal(&cat, &rec.catalog);
+        // Live-data sanity on the recovered side.
+        let t = rec.catalog.table("people").unwrap();
+        assert!(t.lookup_pk(&Value::Int(99)).is_none(), "aborted txn invisible");
+        assert_eq!(t.lookup_pk(&Value::Int(2)).unwrap().1[1], Value::str("bob2"));
+        assert!(matches!(
+            t.lookup_pk(&Value::Int(4)).unwrap().1[2],
+            Value::Float(f) if f == 9.0
+        ), "redo reproduces canonicalized state");
+        assert_eq!(rec.catalog.factorized("f").unwrap().pair_count(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_without_snapshot_replays_from_empty() {
+        let dir = temp_dir("nosnap");
+        let mut cat = Catalog::new();
+        let mut wal = Wal::open(dir.join(WAL_FILE), SyncPolicy::Always, 1).unwrap();
+        Transaction::run_with(&mut cat, Some(&mut wal), |txn, cat| {
+            txn.create_table(
+                cat,
+                Table::new(TableSchema::new(
+                    "t",
+                    vec![Column::not_null("id", DataType::Int)],
+                    vec![0],
+                )),
+            )?;
+            txn.insert(cat, "t", vec![Value::Int(1)])?;
+            txn.insert(cat, "t", vec![Value::Int(2)])?;
+            Ok(())
+        })
+        .unwrap();
+        let rec = Catalog::recover(&dir).unwrap();
+        assert_eq!(rec.catalog.table("t").unwrap().len(), 2);
+        assert_eq!(rec.replayed_groups, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovered_free_list_recycles_slots() {
+        let dir = temp_dir("freelist");
+        let mut cat = Catalog::new();
+        cat.create_table(Table::new(TableSchema::new(
+            "t",
+            vec![Column::not_null("id", DataType::Int)],
+            vec![0],
+        )))
+        .unwrap();
+        let mut wal = Wal::open(dir.join(WAL_FILE), SyncPolicy::Always, 1).unwrap();
+        write_snapshot(&cat, 1, &dir).unwrap();
+        Transaction::run_with(&mut cat, Some(&mut wal), |txn, cat| {
+            let r1 = txn.insert(cat, "t", vec![Value::Int(1)])?;
+            txn.insert(cat, "t", vec![Value::Int(2)])?;
+            txn.delete(cat, "t", r1)?;
+            Ok(())
+        })
+        .unwrap();
+        let rec = Catalog::recover(&dir).unwrap();
+        let mut cat2 = rec.catalog;
+        let rid = cat2.table_mut("t").unwrap().insert(vec![Value::Int(3)]).unwrap();
+        assert_eq!(rid, RowId(0), "tombstoned slot recycled after recovery");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -155,14 +155,17 @@ impl Table {
     }
 
     /// Re-insert a previously deleted row into a specific slot (transaction
-    /// rollback support). The slot must be free.
-    pub(crate) fn restore(&mut self, rid: RowId, row: Row) -> StorageResult<()> {
+    /// rollback support). The slot must be free. The row is canonicalized
+    /// like [`Table::insert`] so restored state is physically identical to
+    /// freshly ingested state.
+    pub(crate) fn restore(&mut self, rid: RowId, mut row: Row) -> StorageResult<()> {
         if self.rows.get(rid.idx()).map(|r| r.is_some()).unwrap_or(true) {
             return Err(StorageError::Internal(format!(
                 "restore into occupied or out-of-range slot {rid} of '{}'",
                 self.schema.name
             )));
         }
+        self.schema.canonicalize_row(&mut row);
         if let Some(pos) = self.free.iter().position(|s| *s == rid.0) {
             self.free.swap_remove(pos);
         }
@@ -176,6 +179,52 @@ impl Table {
             idx.insert(&row_ref, rid);
         }
         Ok(())
+    }
+
+    /// Place a row into an exact slot, growing the slot vector with
+    /// tombstones as needed (WAL redo support: rows must land at the ids
+    /// the log recorded, which free-list replay cannot guarantee because
+    /// rolled-back transactions never reach the log). The caller is
+    /// expected to call [`Table::rebuild_free`] once after replay.
+    pub(crate) fn place_at(&mut self, rid: RowId, row: Row) -> StorageResult<()> {
+        if rid.idx() >= self.rows.len() {
+            self.rows.resize(rid.idx() + 1, None);
+        }
+        self.restore(rid, row)
+    }
+
+    /// Recompute the free list from the slot vector (after WAL redo, which
+    /// places rows at exact slots rather than popping the free list).
+    pub(crate) fn rebuild_free(&mut self) {
+        self.free = self
+            .rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.is_none().then_some(i as u64))
+            .collect();
+    }
+
+    /// Raw slot vector (live rows and tombstones), for checkpointing. The
+    /// snapshot must preserve slot positions exactly so that [`RowId`]s in
+    /// the WAL suffix and in factorized link vectors stay valid.
+    pub(crate) fn slots(&self) -> &[Option<Row>] {
+        &self.rows
+    }
+
+    /// Rebuild a table from a checkpointed slot vector: rows are validated,
+    /// canonicalized, and indexed; the free list is derived from the
+    /// tombstone positions.
+    pub(crate) fn from_slots(schema: TableSchema, slots: Vec<Option<Row>>) -> StorageResult<Table> {
+        let mut t = Table::new(schema);
+        t.rows = vec![None; slots.len()];
+        for (i, slot) in slots.into_iter().enumerate() {
+            if let Some(row) = slot {
+                t.schema.validate_row(&row)?;
+                t.restore(RowId(i as u64), row)?;
+            }
+        }
+        t.rebuild_free();
+        Ok(t)
     }
 
     /// Number of physical slots (live rows plus tombstones). Slot indexes

@@ -1,4 +1,4 @@
-//! Undo-log transactions spanning multiple tables.
+//! Undo-log transactions spanning multiple tables — now WAL-aware.
 //!
 //! The paper identifies "a single update may require updating multiple
 //! tables (depending on the mapping of the E/R model to the physical
@@ -7,10 +7,23 @@
 //! operation; this module makes that group atomic: run every operation
 //! through a [`Transaction`], then [`Transaction::commit`] (drop the log) or
 //! [`Transaction::rollback`] (replay inverse operations newest-first).
+//!
+//! Durability rides the same grouping. A logging transaction additionally
+//! accumulates redo records ([`WalRecord`]s, post-canonicalization so redo
+//! reproduces bit-exact state) and, on success, flushes them as ONE
+//! `Begin .. ops .. Commit` group to the [`Wal`] — see
+//! [`Transaction::run_with`]. Rolled-back transactions never touch disk,
+//! and a crash tears at most the (discarded) tail of one group.
+//!
+//! Factorized structures are covered too: the `fact_*` methods route member
+//! inserts/updates/deletes and link/unlink through the same undo log and
+//! WAL group, closing the gap where factorized co-location used to bypass
+//! atomicity entirely.
 
 use crate::catalog::Catalog;
 use crate::error::{StorageError, StorageResult};
 use crate::row::{Row, RowId};
+use crate::wal::{FactSide, Wal, WalRecord};
 
 /// One inverse operation recorded in the undo log.
 #[derive(Debug, Clone)]
@@ -23,6 +36,17 @@ pub enum UndoEntry {
     Update { table: String, rid: RowId, old: Row },
     /// A table was created; undo by dropping it.
     CreateTable { table: String },
+    /// A factorized member row was inserted; undo by deleting it.
+    FactInsert { table: String, side: FactSide, rid: RowId },
+    /// A factorized member row was updated; undo by writing the old back.
+    FactUpdate { table: String, side: FactSide, rid: RowId, old: Row },
+    /// A factorized member row was deleted (cascading its links); undo by
+    /// restoring the row and re-adding every cascaded link.
+    FactDelete { table: String, side: FactSide, rid: RowId, old: Row, links: Vec<RowId> },
+    /// A link pair was added; undo by unlinking.
+    FactLink { table: String, l: RowId, r: RowId },
+    /// A link pair was removed; undo by re-linking.
+    FactUnlink { table: String, l: RowId, r: RowId },
 }
 
 /// An in-flight multi-table transaction.
@@ -30,15 +54,26 @@ pub enum UndoEntry {
 /// The transaction does not take locks — the storage layer is single-writer
 /// by construction (the `Database` facade serializes writers). What it
 /// provides is atomicity: all-or-nothing application of a group of physical
-/// mutations.
+/// mutations, plus (when constructed with [`Transaction::logged`]) a redo
+/// log destined for the WAL.
 #[derive(Debug, Default)]
 pub struct Transaction {
     undo: Vec<UndoEntry>,
+    /// Redo records accumulated for the WAL. Empty unless `logging`.
+    log: Vec<WalRecord>,
+    logging: bool,
 }
 
 impl Transaction {
     pub fn new() -> Transaction {
         Transaction::default()
+    }
+
+    /// A transaction that additionally accumulates WAL redo records; flush
+    /// them at commit with [`Transaction::flush_to_wal`] (or use
+    /// [`Transaction::run_with`], which does both ends).
+    pub fn logged() -> Transaction {
+        Transaction { logging: true, ..Transaction::default() }
     }
 
     /// Number of operations performed so far.
@@ -54,13 +89,29 @@ impl Transaction {
     pub fn insert(&mut self, cat: &mut Catalog, table: &str, row: Row) -> StorageResult<RowId> {
         let rid = cat.table_mut(table)?.insert(row)?;
         self.undo.push(UndoEntry::Insert { table: table.to_string(), rid });
+        if self.logging {
+            // Log the canonicalized stored representation, not the input:
+            // redo bypasses validation and must reproduce bit-exact state.
+            let stored = cat.table(table)?.get(rid).cloned().unwrap_or_default();
+            self.log.push(WalRecord::Insert { table: table.to_string(), rid: rid.0, row: stored });
+        }
         Ok(rid)
     }
 
     /// Update through the transaction.
-    pub fn update(&mut self, cat: &mut Catalog, table: &str, rid: RowId, new_row: Row) -> StorageResult<()> {
+    pub fn update(
+        &mut self,
+        cat: &mut Catalog,
+        table: &str,
+        rid: RowId,
+        new_row: Row,
+    ) -> StorageResult<()> {
         let old = cat.table_mut(table)?.update(rid, new_row)?;
         self.undo.push(UndoEntry::Update { table: table.to_string(), rid, old });
+        if self.logging {
+            let stored = cat.table(table)?.get(rid).cloned().unwrap_or_default();
+            self.log.push(WalRecord::Update { table: table.to_string(), rid: rid.0, row: stored });
+        }
         Ok(())
     }
 
@@ -68,15 +119,159 @@ impl Transaction {
     pub fn delete(&mut self, cat: &mut Catalog, table: &str, rid: RowId) -> StorageResult<Row> {
         let old = cat.table_mut(table)?.delete(rid)?;
         self.undo.push(UndoEntry::Delete { table: table.to_string(), rid, old: old.clone() });
+        if self.logging {
+            self.log.push(WalRecord::Delete { table: table.to_string(), rid: rid.0 });
+        }
         Ok(old)
     }
 
     /// Create a table through the transaction (rolled back by dropping).
     pub fn create_table(&mut self, cat: &mut Catalog, table: crate::table::Table) -> StorageResult<()> {
         let name = table.name().to_string();
+        let schema_json = if self.logging {
+            serde_json::to_string(table.schema())
+                .map_err(|e| StorageError::Metadata(e.to_string()))?
+        } else {
+            String::new()
+        };
         cat.create_table(table)?;
         self.undo.push(UndoEntry::CreateTable { table: name });
+        if self.logging {
+            self.log.push(WalRecord::CreateTable { schema_json });
+        }
         Ok(())
+    }
+
+    /// Insert a member row of a factorized structure.
+    pub fn fact_insert(
+        &mut self,
+        cat: &mut Catalog,
+        name: &str,
+        side: FactSide,
+        row: Row,
+    ) -> StorageResult<RowId> {
+        let ft = cat.factorized_mut(name)?;
+        let rid = match side {
+            FactSide::Left => ft.insert_left(row)?,
+            FactSide::Right => ft.insert_right(row)?,
+        };
+        self.undo.push(UndoEntry::FactInsert { table: name.to_string(), side, rid });
+        if self.logging {
+            let ft = cat.factorized(name)?;
+            let member = match side {
+                FactSide::Left => ft.left(),
+                FactSide::Right => ft.right(),
+            };
+            let stored = member.get(rid).cloned().unwrap_or_default();
+            self.log.push(WalRecord::FactInsert {
+                name: name.to_string(),
+                side,
+                rid: rid.0,
+                row: stored,
+            });
+        }
+        Ok(rid)
+    }
+
+    /// Update a member row of a factorized structure (links preserved).
+    pub fn fact_update(
+        &mut self,
+        cat: &mut Catalog,
+        name: &str,
+        side: FactSide,
+        rid: RowId,
+        new_row: Row,
+    ) -> StorageResult<()> {
+        let ft = cat.factorized_mut(name)?;
+        let old = match side {
+            FactSide::Left => ft.update_left(rid, new_row)?,
+            FactSide::Right => ft.update_right(rid, new_row)?,
+        };
+        self.undo.push(UndoEntry::FactUpdate { table: name.to_string(), side, rid, old });
+        if self.logging {
+            let ft = cat.factorized(name)?;
+            let member = match side {
+                FactSide::Left => ft.left(),
+                FactSide::Right => ft.right(),
+            };
+            let stored = member.get(rid).cloned().unwrap_or_default();
+            self.log.push(WalRecord::FactUpdate {
+                name: name.to_string(),
+                side,
+                rid: rid.0,
+                row: stored,
+            });
+        }
+        Ok(())
+    }
+
+    /// Delete a member row of a factorized structure. Its links cascade
+    /// (exactly as online); the undo entry remembers them so rollback can
+    /// restore both row and pointers.
+    pub fn fact_delete(
+        &mut self,
+        cat: &mut Catalog,
+        name: &str,
+        side: FactSide,
+        rid: RowId,
+    ) -> StorageResult<Row> {
+        let ft = cat.factorized_mut(name)?;
+        let links: Vec<RowId> = match side {
+            FactSide::Left => ft.neighbours_right(rid).to_vec(),
+            FactSide::Right => ft.neighbours_left(rid).to_vec(),
+        };
+        let old = match side {
+            FactSide::Left => ft.delete_left(rid)?,
+            FactSide::Right => ft.delete_right(rid)?,
+        };
+        self.undo.push(UndoEntry::FactDelete {
+            table: name.to_string(),
+            side,
+            rid,
+            old: old.clone(),
+            links,
+        });
+        if self.logging {
+            self.log.push(WalRecord::FactDelete { name: name.to_string(), side, rid: rid.0 });
+        }
+        Ok(old)
+    }
+
+    /// Add a (left, right) link pair in a factorized structure.
+    pub fn fact_link(&mut self, cat: &mut Catalog, name: &str, l: RowId, r: RowId) -> StorageResult<()> {
+        cat.factorized_mut(name)?.link(l, r)?;
+        self.undo.push(UndoEntry::FactLink { table: name.to_string(), l, r });
+        if self.logging {
+            self.log.push(WalRecord::FactLink { name: name.to_string(), l: l.0, r: r.0 });
+        }
+        Ok(())
+    }
+
+    /// Remove a (left, right) link pair; `Ok(false)` when absent.
+    pub fn fact_unlink(
+        &mut self,
+        cat: &mut Catalog,
+        name: &str,
+        l: RowId,
+        r: RowId,
+    ) -> StorageResult<bool> {
+        let removed = cat.factorized_mut(name)?.unlink(l, r);
+        if removed {
+            self.undo.push(UndoEntry::FactUnlink { table: name.to_string(), l, r });
+            if self.logging {
+                self.log.push(WalRecord::FactUnlink { name: name.to_string(), l: l.0, r: r.0 });
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Write the accumulated redo records to the WAL as one committed
+    /// group. Returns the group's transaction id (0 for an empty group).
+    /// The redo log is drained; the undo log is untouched, so the caller
+    /// can still roll back if the flush itself fails.
+    pub fn flush_to_wal(&mut self, wal: &mut Wal) -> StorageResult<u64> {
+        let records = std::mem::take(&mut self.log);
+        wal.commit_group(&records)
     }
 
     /// Make the transaction's effects permanent.
@@ -100,6 +295,43 @@ impl Transaction {
                 UndoEntry::CreateTable { table } => {
                     cat.drop_table(&table)?;
                 }
+                UndoEntry::FactInsert { table, side, rid } => {
+                    let ft = cat.factorized_mut(&table)?;
+                    match side {
+                        FactSide::Left => ft.delete_left(rid)?,
+                        FactSide::Right => ft.delete_right(rid)?,
+                    };
+                }
+                UndoEntry::FactUpdate { table, side, rid, old } => {
+                    let ft = cat.factorized_mut(&table)?;
+                    match side {
+                        FactSide::Left => ft.update_left(rid, old)?,
+                        FactSide::Right => ft.update_right(rid, old)?,
+                    };
+                }
+                UndoEntry::FactDelete { table, side, rid, old, links } => {
+                    let ft = cat.factorized_mut(&table)?;
+                    match side {
+                        FactSide::Left => {
+                            ft.restore_left(rid, old)?;
+                            for r in links {
+                                ft.link(rid, r)?;
+                            }
+                        }
+                        FactSide::Right => {
+                            ft.restore_right(rid, old)?;
+                            for l in links {
+                                ft.link(l, rid)?;
+                            }
+                        }
+                    }
+                }
+                UndoEntry::FactLink { table, l, r } => {
+                    cat.factorized_mut(&table)?.unlink(l, r);
+                }
+                UndoEntry::FactUnlink { table, l, r } => {
+                    cat.factorized_mut(&table)?.link(l, r)?;
+                }
             }
         }
         Ok(())
@@ -110,9 +342,31 @@ impl Transaction {
         cat: &mut Catalog,
         f: impl FnOnce(&mut Transaction, &mut Catalog) -> StorageResult<T>,
     ) -> StorageResult<T> {
-        let mut txn = Transaction::new();
+        Transaction::run_with(cat, None, f)
+    }
+
+    /// Run `f` atomically AND durably: on `Ok`, the group's redo records
+    /// are written to `wal` (when present) before the in-memory commit is
+    /// acknowledged; on `Err` — including a failed WAL flush — every
+    /// in-memory effect is rolled back and nothing reaches disk.
+    pub fn run_with<T>(
+        cat: &mut Catalog,
+        wal: Option<&mut Wal>,
+        f: impl FnOnce(&mut Transaction, &mut Catalog) -> StorageResult<T>,
+    ) -> StorageResult<T> {
+        let mut txn = if wal.is_some() { Transaction::logged() } else { Transaction::new() };
         match f(&mut txn, cat) {
             Ok(v) => {
+                if let Some(w) = wal {
+                    if let Err(e) = txn.flush_to_wal(w) {
+                        txn.rollback(cat).map_err(|re| {
+                            StorageError::Internal(format!(
+                                "rollback failed: {re} (original error: {e})"
+                            ))
+                        })?;
+                        return Err(e);
+                    }
+                }
                 txn.commit();
                 Ok(v)
             }
@@ -177,6 +431,32 @@ mod tests {
     }
 
     #[test]
+    fn rollback_restores_secondary_indexes() {
+        use crate::index::IndexKind;
+        let mut c = setup();
+        c.table_mut("t").unwrap().create_index("ix_v", vec![1], IndexKind::Hash).unwrap();
+        let rid0 = c.table_mut("t").unwrap().insert(row(1, "a")).unwrap();
+        let rid1 = c.table_mut("t").unwrap().insert(row(2, "b")).unwrap();
+
+        let mut txn = Transaction::new();
+        txn.update(&mut c, "t", rid0, row(1, "zz")).unwrap();
+        txn.delete(&mut c, "t", rid1).unwrap();
+        txn.insert(&mut c, "t", row(3, "c")).unwrap();
+        txn.rollback(&mut c).unwrap();
+
+        let t = c.table("t").unwrap();
+        let by = |v: &str| {
+            t.index_lookup(&[1], &Value::str(v))
+                .map(|hits| hits.into_iter().map(|(rid, _)| rid).collect::<Vec<_>>())
+                .unwrap_or_default()
+        };
+        assert_eq!(by("a"), vec![rid0], "updated key restored in the index");
+        assert_eq!(by("b"), vec![rid1], "deleted row restored in the index");
+        assert!(by("zz").is_empty(), "transient update key removed");
+        assert!(by("c").is_empty(), "rolled-back insert not indexed");
+    }
+
+    #[test]
     fn run_rolls_back_on_error() {
         let mut c = setup();
         let result: StorageResult<()> = Transaction::run(&mut c, |txn, cat| {
@@ -229,5 +509,103 @@ mod tests {
         txn.rollback(&mut c).unwrap();
         let (_, r) = c.table("t").unwrap().lookup_pk(&Value::Int(1)).unwrap();
         assert_eq!(r[1], Value::str("a"));
+    }
+
+    // ---- factorized coverage -------------------------------------------
+
+    fn setup_fact() -> Catalog {
+        let mut c = Catalog::new();
+        let left = TableSchema::new(
+            "l",
+            vec![Column::not_null("lid", DataType::Int), Column::new("lv", DataType::Text)],
+            vec![0],
+        );
+        let right = TableSchema::new(
+            "r",
+            vec![Column::not_null("rid", DataType::Int), Column::new("rv", DataType::Int)],
+            vec![0],
+        );
+        c.create_factorized("f", crate::factorized::FactorizedTable::new("f", left, right))
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn fact_rollback_restores_rows_and_links() {
+        let mut c = setup_fact();
+        // Pre-existing state: one linked pair.
+        let (l0, r0) = {
+            let ft = c.factorized_mut("f").unwrap();
+            let l0 = ft.insert_left(vec![Value::Int(1), Value::str("a")]).unwrap();
+            let r0 = ft.insert_right(vec![Value::Int(10), Value::Int(100)]).unwrap();
+            ft.link(l0, r0).unwrap();
+            (l0, r0)
+        };
+
+        let mut txn = Transaction::new();
+        // New member rows + link.
+        let l1 = txn.fact_insert(&mut c, "f", FactSide::Left, vec![Value::Int(2), Value::str("b")]).unwrap();
+        txn.fact_link(&mut c, "f", l1, r0).unwrap();
+        // Update pre-existing member.
+        txn.fact_update(&mut c, "f", FactSide::Right, r0, vec![Value::Int(10), Value::Int(999)]).unwrap();
+        // Unlink, then delete the pre-existing left row (cascades nothing now).
+        txn.fact_unlink(&mut c, "f", l0, r0).unwrap();
+        txn.fact_delete(&mut c, "f", FactSide::Left, l0).unwrap();
+
+        txn.rollback(&mut c).unwrap();
+
+        let ft = c.factorized("f").unwrap();
+        assert_eq!(ft.left().len(), 1, "inserted left row gone, deleted one restored");
+        assert_eq!(ft.right().len(), 1);
+        assert_eq!(ft.count_join(), 1, "original link restored, new link removed");
+        assert_eq!(ft.neighbours_right(l0), &[r0]);
+        let (_, r) = ft.right().lookup_pk(&Value::Int(10)).unwrap();
+        assert_eq!(r[1], Value::Int(100), "member update reverted");
+        // PK index of the member restored too.
+        assert!(ft.left().lookup_pk(&Value::Int(1)).is_some());
+        assert!(ft.left().lookup_pk(&Value::Int(2)).is_none());
+    }
+
+    #[test]
+    fn fact_delete_rollback_restores_cascaded_links() {
+        let mut c = setup_fact();
+        let (l0, r0, r1) = {
+            let ft = c.factorized_mut("f").unwrap();
+            let l0 = ft.insert_left(vec![Value::Int(1), Value::Null]).unwrap();
+            let r0 = ft.insert_right(vec![Value::Int(10), Value::Null]).unwrap();
+            let r1 = ft.insert_right(vec![Value::Int(20), Value::Null]).unwrap();
+            ft.link(l0, r0).unwrap();
+            ft.link(l0, r1).unwrap();
+            (l0, r0, r1)
+        };
+        let mut txn = Transaction::new();
+        txn.fact_delete(&mut c, "f", FactSide::Left, l0).unwrap();
+        assert_eq!(c.factorized("f").unwrap().count_join(), 0);
+        txn.rollback(&mut c).unwrap();
+        let ft = c.factorized("f").unwrap();
+        assert_eq!(ft.count_join(), 2, "both cascaded links restored");
+        let mut ns = ft.neighbours_right(l0).to_vec();
+        ns.sort();
+        assert_eq!(ns, vec![r0, r1]);
+    }
+
+    #[test]
+    fn logged_txn_accumulates_canonical_rows() {
+        let mut c = Catalog::new();
+        c.create_table(Table::new(TableSchema::new(
+            "m",
+            vec![Column::not_null("id", DataType::Int), Column::new("score", DataType::Float)],
+            vec![0],
+        )))
+        .unwrap();
+        let mut txn = Transaction::logged();
+        txn.insert(&mut c, "m", vec![Value::Int(1), Value::Int(5)]).unwrap();
+        match &txn.log[0] {
+            WalRecord::Insert { row, .. } => {
+                assert!(matches!(row[1], Value::Float(f) if f == 5.0), "logged post-canonicalization");
+            }
+            other => panic!("unexpected record {other:?}"),
+        }
+        txn.commit();
     }
 }

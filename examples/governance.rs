@@ -39,7 +39,10 @@ fn main() {
         .unwrap()
         .rows[0][0]
         .clone();
-    let report = db.erase("person", std::slice::from_ref(&victim)).unwrap();
+    // Erasure rides the atomic transaction API: every physical delete in
+    // the cascade commits as one group (and, for a durable database, as a
+    // single WAL commit record).
+    let report = db.transaction(|tx| tx.erase("person", std::slice::from_ref(&victim))).unwrap();
     println!(
         "erased person {victim}: {} physical operations, {} rows removed",
         report.physical_operations, report.rows_removed

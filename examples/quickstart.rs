@@ -4,7 +4,9 @@
 //! multi-valued phone, an ISA hierarchy, a weak entity set), installs the
 //! default mapping, inserts a few entities, and runs the paper's example
 //! query shapes — including a relationship join (`VIA`) and a nested
-//! output (`NEST`).
+//! output (`NEST`). Writes go through the atomic `transaction` API; for
+//! a database opened with `Database::open(dir)` the same closure is also
+//! logged to the write-ahead log as one durable commit group.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -62,19 +64,62 @@ fn main() {
         &[("member_of", vec![Value::str("cs")])],
     )
     .unwrap();
-    for (id, name, credits) in [(2, "Bob", 30i64), (3, "Carol", 90), (4, "Dan", 60)] {
-        db.insert_linked(
-            "student",
+    // Multi-entity writes compose atomically: every operation inside the
+    // closure commits together, or none of them do.
+    db.transaction(|tx| {
+        for (id, name, credits) in [(2, "Bob", 30i64), (3, "Carol", 90), (4, "Dan", 60)] {
+            tx.insert_linked(
+                "student",
+                &[
+                    ("id", Value::Int(id)),
+                    ("name", Value::str(name)),
+                    ("phone", Value::Array(vec![])),
+                    ("tot_credits", Value::Int(credits)),
+                ],
+                &[("advisor", vec![Value::Int(1)])],
+            )?;
+        }
+        Ok(())
+    })
+    .unwrap();
+
+    // A course, one of its sections, and Carol's enrollment — inserted as
+    // one atomic group, with the relationship attribute on the link itself.
+    db.transaction(|tx| {
+        tx.insert(
+            "course",
             &[
-                ("id", Value::Int(id)),
-                ("name", Value::str(name)),
-                ("phone", Value::Array(vec![])),
-                ("tot_credits", Value::Int(credits)),
+                ("course_id", Value::str("CS101")),
+                ("title", Value::str("Databases")),
+                ("credits", Value::Int(4)),
             ],
-            &[("advisor", vec![Value::Int(1)])],
+        )?;
+        tx.insert(
+            "section",
+            &[
+                ("course_id", Value::str("CS101")),
+                ("sec_id", Value::Int(1)),
+                ("semester", Value::str("Fall")),
+                ("year", Value::Int(2025)),
+            ],
+        )?;
+        tx.link(
+            "takes",
+            &[Value::Int(3)],
+            &[Value::str("CS101"), Value::Int(1), Value::str("Fall"), Value::Int(2025)],
+            &[("grade", Value::str("A"))],
         )
-        .unwrap();
-    }
+    })
+    .unwrap();
+
+    // An error anywhere in the closure rolls back every operation in it.
+    let failed: Result<(), _> = db.transaction(|tx| {
+        tx.insert("department", &[("dept_name", Value::str("ee")), ("building", Value::Null)])?;
+        tx.insert("department", &[("dept_name", Value::str("cs"))]) // duplicate key
+    });
+    assert!(failed.is_err());
+    assert!(db.get("department", &[Value::str("ee")]).unwrap().is_none());
+    println!("failed transaction rolled back cleanly\n");
 
     // A relationship join spelled with VIA — no key equalities, no
     // knowledge of the physical layout.

@@ -47,7 +47,7 @@ fn main() {
 
     // 2. Many-to-one → many-to-many: students may now have co-advisors.
     db.evolve(EvolutionOp::MakeManyToMany { relationship: "advisor".into() }).unwrap();
-    db.link("advisor", &[Value::Int(10_000)], &[Value::Int(1)]).unwrap_or(());
+    db.link("advisor", &[Value::Int(10_000)], &[Value::Int(1)], &[]).unwrap_or(());
     let after = db.query(canary).unwrap();
     println!("canary query after the cardinality change (unchanged SQL):\n{}", after.to_table());
 

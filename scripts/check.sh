@@ -9,6 +9,11 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+# Durability fault-injection suite (simulated crash at every WAL byte
+# offset, M1–M6, plus corruption). It already ran above as part of the
+# workspace tests; the named re-run makes a recovery regression visible
+# at a glance and keeps the suite from being silently filtered out.
+cargo test -q --offline --test property_durability
 cargo clippy --offline --workspace --all-targets -- -D warnings
 # Benches must at least compile; running them is opt-in (slow).
 cargo bench --offline --workspace --no-run

@@ -1,0 +1,392 @@
+//! Crash-recovery fault injection: for a sequence of committed CRUD
+//! transactions against a durable database, truncating (or corrupting) the
+//! WAL at *every* byte offset and reopening must always recover a
+//! committed-prefix state — never a torn write, never a panic — and the
+//! recovered database must still satisfy the mapping invariants, across all
+//! six preset mappings of the paper's Section 6.
+
+use erbiumdb::core::Database;
+use erbiumdb::mapping::{validate::validate, CoFormat, Mapping};
+use erbiumdb::model::ErSchema;
+use erbiumdb::storage::Value;
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+
+/// The Figure-4 experiment schema, expressed as ERQL DDL (matching
+/// `erbium_model::fixtures::experiment`): a 5-set hierarchy, two weak
+/// entity sets, and three relationships including the M6 co-location
+/// target `r2_s1`.
+const EXPERIMENT_DDL: &str = "
+    CREATE ENTITY R (r_id int KEY, r_a text, r_b int,
+        r_mv1 int MULTIVALUED, r_mv2 int MULTIVALUED,
+        r_mv3 text MULTIVALUED) PARTIAL DISJOINT;
+    CREATE ENTITY R1 EXTENDS R (r1_a int NULLABLE, r1_b text NULLABLE) PARTIAL DISJOINT;
+    CREATE ENTITY R2 EXTENDS R (r2_a int NULLABLE, r2_b text NULLABLE) PARTIAL DISJOINT;
+    CREATE ENTITY R3 EXTENDS R1 (r3_a int NULLABLE);
+    CREATE ENTITY R4 EXTENDS R2 (r4_a text NULLABLE);
+    CREATE ENTITY S (s_id int KEY, s_a text, s_b int);
+    CREATE RELATIONSHIP s_s1 FROM S1 MANY TOTAL TO S ONE;
+    CREATE RELATIONSHIP s_s2 FROM S2 MANY TOTAL TO S ONE;
+    CREATE WEAK ENTITY S1 OWNED BY S VIA s_s1
+        (s1_no int KEY, s1_a int NULLABLE, s1_b text NULLABLE);
+    CREATE WEAK ENTITY S2 OWNED BY S VIA s_s2 (s2_no int KEY, s2_a text NULLABLE);
+    CREATE RELATIONSHIP r_s FROM R MANY TO S ONE;
+    CREATE RELATIONSHIP r2_s1 FROM R2 MANY TO S1 MANY;
+    CREATE RELATIONSHIP r1_r3 FROM R1 ROLE src MANY TO R3 ROLE dst MANY;
+";
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("erbium-dur-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Content fingerprint of the catalog: every table's live rows (with their
+/// row ids) plus every factorized table's members and link pairs, in a
+/// canonical order. Statistics and free lists are deliberately excluded —
+/// they are not part of the durable state contract.
+fn fingerprint(db: &Database) -> String {
+    use std::fmt::Write as _;
+    let cat = db.catalog();
+    let mut out = String::new();
+    let mut names = cat.table_names();
+    names.sort();
+    for name in names {
+        let t = cat.table(&name).unwrap();
+        let mut rows: Vec<String> =
+            t.scan().map(|(rid, r)| format!("{}:{r:?}", rid.0)).collect();
+        rows.sort();
+        writeln!(out, "T {name} {rows:?}").unwrap();
+    }
+    let mut names = cat.factorized_names();
+    names.sort();
+    for name in names {
+        let f = cat.factorized(&name).unwrap();
+        let mut left: Vec<String> =
+            f.left().scan().map(|(rid, r)| format!("{}:{r:?}", rid.0)).collect();
+        left.sort();
+        let mut right: Vec<String> =
+            f.right().scan().map(|(rid, r)| format!("{}:{r:?}", rid.0)).collect();
+        right.sort();
+        let mut pairs: Vec<String> = f.enumerate_join().iter().map(|r| format!("{r:?}")).collect();
+        pairs.sort();
+        writeln!(out, "F {name} L{left:?} R{right:?} J{pairs:?}").unwrap();
+    }
+    out
+}
+
+/// One logical operation; indices are resolved against the shadow state so
+/// generated sequences are always applicable (or skipped).
+#[derive(Debug, Clone)]
+enum Op {
+    InsertS { b: i64 },
+    InsertS1 { owner: usize, a: i64 },
+    InsertR2 { b: i64, mv: Vec<i64> },
+    LinkR2S1 { r2: usize, s1: usize },
+    UpdateS { which: usize, b: i64 },
+    DeleteR2 { which: usize },
+    UnlinkR2S1 { which: usize },
+}
+
+/// Tracks which keys exist so ops can be validated before they are issued.
+#[derive(Default)]
+struct Shadow {
+    s_ids: Vec<i64>,
+    s1_keys: Vec<(i64, i64)>, // (owner s_id, s1_no)
+    r2_ids: Vec<i64>,
+    links: Vec<(i64, (i64, i64))>,
+    next_s: i64,
+    next_s1: i64,
+    next_r: i64,
+}
+
+/// Apply one op as one committed transaction. Returns `false` when the op
+/// is inapplicable in the current state (nothing touches the database).
+fn apply(db: &mut Database, sh: &mut Shadow, op: &Op) -> bool {
+    match op {
+        Op::InsertS { b } => {
+            let id = sh.next_s;
+            sh.next_s += 1;
+            db.insert(
+                "S",
+                &[
+                    ("s_id", Value::Int(id)),
+                    ("s_a", Value::str(format!("s{id}"))),
+                    ("s_b", Value::Int(*b)),
+                ],
+            )
+            .unwrap();
+            sh.s_ids.push(id);
+            true
+        }
+        Op::InsertS1 { owner, a } => {
+            if sh.s_ids.is_empty() {
+                return false;
+            }
+            let owner = sh.s_ids[owner % sh.s_ids.len()];
+            let no = sh.next_s1;
+            sh.next_s1 += 1;
+            // Weak entities carry their owner's key as part of the data
+            // (the identifying relationship is implied).
+            db.insert(
+                "S1",
+                &[
+                    ("s_id", Value::Int(owner)),
+                    ("s1_no", Value::Int(no)),
+                    ("s1_a", Value::Int(*a)),
+                ],
+            )
+            .unwrap();
+            sh.s1_keys.push((owner, no));
+            true
+        }
+        Op::InsertR2 { b, mv } => {
+            let id = sh.next_r;
+            sh.next_r += 1;
+            db.insert(
+                "R2",
+                &[
+                    ("r_id", Value::Int(id)),
+                    ("r_a", Value::str(format!("r{id}"))),
+                    ("r_b", Value::Int(*b)),
+                    ("r_mv1", Value::Array(mv.iter().map(|v| Value::Int(*v)).collect())),
+                    ("r_mv2", Value::Array(vec![])),
+                    ("r_mv3", Value::Array(vec![])),
+                ],
+            )
+            .unwrap();
+            sh.r2_ids.push(id);
+            true
+        }
+        Op::LinkR2S1 { r2, s1 } => {
+            if sh.r2_ids.is_empty() || sh.s1_keys.is_empty() {
+                return false;
+            }
+            let r = sh.r2_ids[r2 % sh.r2_ids.len()];
+            let sk = sh.s1_keys[s1 % sh.s1_keys.len()];
+            if sh.links.contains(&(r, sk)) {
+                return false;
+            }
+            db.link("r2_s1", &[Value::Int(r)], &[Value::Int(sk.0), Value::Int(sk.1)], &[])
+                .unwrap();
+            sh.links.push((r, sk));
+            true
+        }
+        Op::UpdateS { which, b } => {
+            if sh.s_ids.is_empty() {
+                return false;
+            }
+            let id = sh.s_ids[which % sh.s_ids.len()];
+            db.update_entity("S", &[Value::Int(id)], &[("s_b", Value::Int(*b))]).unwrap();
+            true
+        }
+        Op::DeleteR2 { which } => {
+            if sh.r2_ids.is_empty() {
+                return false;
+            }
+            let id = sh.r2_ids.remove(which % sh.r2_ids.len());
+            db.delete_entity("R2", &[Value::Int(id)]).unwrap();
+            sh.links.retain(|(r, _)| *r != id);
+            true
+        }
+        Op::UnlinkR2S1 { which } => {
+            if sh.links.is_empty() {
+                return false;
+            }
+            let (r, sk) = sh.links.remove(which % sh.links.len());
+            db.unlink("r2_s1", &[Value::Int(r)], &[Value::Int(sk.0), Value::Int(sk.1)])
+                .unwrap();
+            true
+        }
+    }
+}
+
+/// Build a durable database under `mapping_of(schema)`, commit `ops` (one
+/// transaction each), then crash at every WAL byte offset and verify the
+/// recovered state is exactly one of the committed-prefix fingerprints.
+fn crash_at_every_offset(ops: &[Op], mapping_of: &dyn Fn(&ErSchema) -> Mapping, tag: &str) {
+    let dir = tmpdir(tag);
+    let mut db = Database::open(&dir).unwrap();
+    db.execute(EXPERIMENT_DDL).unwrap();
+    let mapping = mapping_of(&db.schema().clone());
+    db.install(mapping).unwrap();
+
+    let mut prefixes = vec![fingerprint(&db)];
+    let mut sh = Shadow::default();
+    for op in ops {
+        if apply(&mut db, &mut sh, op) {
+            prefixes.push(fingerprint(&db));
+        }
+    }
+    drop(db);
+
+    let wal = fs::read(dir.join("wal.erb")).unwrap();
+    let crash_dir = tmpdir(&format!("{tag}-crash"));
+    fs::copy(dir.join("snapshot.erb"), crash_dir.join("snapshot.erb")).unwrap();
+    for cut in 0..=wal.len() {
+        fs::write(crash_dir.join("wal.erb"), &wal[..cut]).unwrap();
+        let rdb = Database::open(&crash_dir)
+            .unwrap_or_else(|e| panic!("[{tag}] open after cut at {cut}: {e}"));
+        let fp = fingerprint(&rdb);
+        assert!(
+            prefixes.contains(&fp),
+            "[{tag}] cut at byte {cut}/{}: recovered state is not a committed prefix",
+            wal.len(),
+        );
+        validate(rdb.schema(), rdb.mapping().expect("mapping survives recovery"))
+            .unwrap_or_else(|e| panic!("[{tag}] cut at {cut}: mapping invariants broken: {e}"));
+        if cut == wal.len() {
+            assert_eq!(fp, *prefixes.last().unwrap(), "[{tag}] full WAL = final state");
+        }
+    }
+    // Single-byte corruption anywhere in the log must likewise yield a
+    // committed prefix (the CRC catches the damage), never a panic.
+    for flip in (0..wal.len()).step_by(7) {
+        let mut bytes = wal.clone();
+        bytes[flip] ^= 0x40;
+        fs::write(crash_dir.join("wal.erb"), &bytes).unwrap();
+        let rdb = Database::open(&crash_dir)
+            .unwrap_or_else(|e| panic!("[{tag}] open after flip at {flip}: {e}"));
+        assert!(
+            prefixes.contains(&fingerprint(&rdb)),
+            "[{tag}] flip at byte {flip}: recovered state is not a committed prefix",
+        );
+    }
+    fs::remove_dir_all(&dir).ok();
+    fs::remove_dir_all(&crash_dir).ok();
+}
+
+/// A fixed sequence exercising every op kind (including factorized link /
+/// unlink and a cascading delete).
+fn mixed_ops() -> Vec<Op> {
+    vec![
+        Op::InsertS { b: 10 },
+        Op::InsertS1 { owner: 0, a: 1 },
+        Op::InsertR2 { b: 20, mv: vec![7, 8] },
+        Op::InsertR2 { b: 21, mv: vec![] },
+        Op::LinkR2S1 { r2: 0, s1: 0 },
+        Op::LinkR2S1 { r2: 1, s1: 0 },
+        Op::UpdateS { which: 0, b: 99 },
+        Op::UnlinkR2S1 { which: 0 },
+        Op::DeleteR2 { which: 0 },
+    ]
+}
+
+/// Deterministic sweep: all six Section-6 preset mappings (plus the
+/// factorized M6 variant) survive crash-at-every-offset recovery.
+#[test]
+fn crash_recovery_prefix_consistent_across_m1_to_m6() {
+    use erbiumdb::mapping::presets::paper;
+    type MapFn = Box<dyn Fn(&ErSchema) -> Mapping>;
+    let mappings: Vec<(&str, MapFn)> = vec![
+        ("m1", Box::new(paper::m1)),
+        ("m2", Box::new(paper::m2)),
+        ("m3", Box::new(paper::m3)),
+        ("m4", Box::new(paper::m4)),
+        ("m5", Box::new(|s| paper::m5(s).unwrap())),
+        ("m6d", Box::new(|s| paper::m6(s, CoFormat::Denormalized).unwrap())),
+        ("m6f", Box::new(|s| paper::m6(s, CoFormat::Factorized).unwrap())),
+    ];
+    let ops = mixed_ops();
+    for (tag, mk) in &mappings {
+        crash_at_every_offset(&ops, mk.as_ref(), tag);
+    }
+}
+
+/// Aborted transactions never reach the log: a rolled-back multi-op group
+/// is invisible after reopen, while the committed groups around it survive.
+#[test]
+fn aborted_transaction_is_invisible_after_restart() {
+    let dir = tmpdir("abort");
+    let mut db = Database::open(&dir).unwrap();
+    db.execute(EXPERIMENT_DDL).unwrap();
+    db.install_default().unwrap();
+    db.insert("S", &[("s_id", Value::Int(1)), ("s_a", Value::str("keep")), ("s_b", Value::Int(0))])
+        .unwrap();
+    let err = db.transaction(|tx| {
+        tx.insert(
+            "S",
+            &[("s_id", Value::Int(2)), ("s_a", Value::str("phantom")), ("s_b", Value::Int(0))],
+        )?;
+        Err::<(), _>(erbiumdb::core::DbError::Parse("abort".into()))
+    });
+    assert!(err.is_err());
+    db.insert("S", &[("s_id", Value::Int(3)), ("s_a", Value::str("keep2")), ("s_b", Value::Int(0))])
+        .unwrap();
+    drop(db);
+
+    let db = Database::open(&dir).unwrap();
+    assert!(db.get("S", &[Value::Int(1)]).unwrap().is_some());
+    assert!(db.get("S", &[Value::Int(2)]).unwrap().is_none(), "aborted insert resurrected");
+    assert!(db.get("S", &[Value::Int(3)]).unwrap().is_some());
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Checkpoint truncates the log and recovery proceeds from the snapshot;
+/// groups committed after the checkpoint replay on top of it.
+#[test]
+fn checkpoint_then_wal_suffix_recovers() {
+    let dir = tmpdir("ckpt");
+    let mut db = Database::open(&dir).unwrap();
+    db.execute(EXPERIMENT_DDL).unwrap();
+    db.install_default().unwrap();
+    let mut sh = Shadow::default();
+    for op in mixed_ops().iter().take(5) {
+        apply(&mut db, &mut sh, op);
+    }
+    db.checkpoint().unwrap();
+    assert_eq!(fs::metadata(dir.join("wal.erb")).unwrap().len(), 0, "checkpoint truncates");
+    for op in mixed_ops().iter().skip(5) {
+        apply(&mut db, &mut sh, op);
+    }
+    let expect = fingerprint(&db);
+    drop(db);
+    let db = Database::open(&dir).unwrap();
+    assert_eq!(fingerprint(&db), expect);
+    // The reopened database stays writable and queryable.
+    let mut db = db;
+    db.insert("S", &[("s_id", Value::Int(900)), ("s_a", Value::str("post")), ("s_b", Value::Int(1))])
+        .unwrap();
+    assert_eq!(db.query("SELECT s.s_id FROM S s WHERE s.s_id = 900").unwrap().rows.len(), 1);
+    fs::remove_dir_all(&dir).ok();
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..7, 0usize..8, 0usize..8, 0i64..100, prop::collection::vec(0i64..20, 0..3)).prop_map(
+        |(kind, i, j, n, mv)| match kind {
+            0 => Op::InsertS { b: n },
+            1 => Op::InsertS1 { owner: i, a: n },
+            2 => Op::InsertR2 { b: n, mv },
+            3 => Op::LinkR2S1 { r2: i, s1: j },
+            4 => Op::UpdateS { which: i, b: n },
+            5 => Op::DeleteR2 { which: i },
+            _ => Op::UnlinkR2S1 { which: i },
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// Random op sequences: recovery is prefix-consistent at every WAL
+    /// offset under both the fully normalized mapping and the factorized
+    /// co-location (the two structurally extreme presets).
+    #[test]
+    fn random_ops_crash_recovery_is_prefix_consistent(
+        ops in prop::collection::vec(op_strategy(), 1..10),
+        fact in any::<bool>(),
+    ) {
+        use erbiumdb::mapping::presets::paper;
+        if fact {
+            crash_at_every_offset(
+                &ops,
+                &|s: &ErSchema| paper::m6(s, CoFormat::Factorized).unwrap(),
+                "prop-m6f",
+            );
+        } else {
+            crash_at_every_offset(&ops, &|s: &ErSchema| paper::m1(s), "prop-m1");
+        }
+    }
+}
