@@ -135,6 +135,22 @@ fn bench_micro(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(execute(&optimized, &cat).unwrap().len()));
     });
 
+    // Wave-heavy pull pattern: a tiny morsel size forces many waves per
+    // drain, so this arm is dominated by per-wave overheads — it is the
+    // sentinel for the per-worker batch-buffer reuse in `MorselStream`
+    // (buffers keep their capacity across waves instead of a fresh
+    // `Vec<Row>` per morsel per pull; see EXPERIMENTS.md A-parallel).
+    g.bench_function("morsel_waves", |b| {
+        let plan = Plan::scan(&cat, "base")
+            .unwrap()
+            .filter(Expr::binary(erbium_engine::BinOp::Lt, Expr::col(2), Expr::lit(500i64)));
+        let ctx = erbium_engine::ExecContext::default().with_threads(1).with_morsel_size(64);
+        b.iter(|| {
+            let mut s = erbium_engine::execute_streaming(&plan, &cat, &ctx).unwrap();
+            std::hint::black_box(s.drain().unwrap().len())
+        });
+    });
+
     g.bench_function("sort_limit", |b| {
         let plan = Plan::scan(&cat, "base")
             .unwrap()

@@ -130,6 +130,55 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Absorb a partial accumulator of the same kind (parallel partial
+    /// aggregation). The merge is order-sensitive for `ArrayAgg` and for
+    /// float `Sum`/`Avg`, so callers must absorb partials in a fixed,
+    /// config-independent order (the executor merges per-chunk partials in
+    /// ascending chunk order) to keep results bit-identical to the
+    /// sequential fold.
+    pub fn merge(&mut self, other: Accumulator) -> EngineResult<()> {
+        match (self, other) {
+            (Accumulator::CountStar(n), Accumulator::CountStar(m)) => *n += m,
+            (Accumulator::Count(n), Accumulator::Count(m)) => *n += m,
+            (Accumulator::CountDistinct(set), Accumulator::CountDistinct(other)) => {
+                set.extend(other);
+            }
+            (
+                Accumulator::Sum { sum, any, all_int },
+                Accumulator::Sum { sum: s2, any: a2, all_int: i2 },
+            ) => {
+                *sum += s2;
+                *any |= a2;
+                *all_int &= i2;
+            }
+            (Accumulator::Avg { sum, n }, Accumulator::Avg { sum: s2, n: n2 }) => {
+                *sum += s2;
+                *n += n2;
+            }
+            (Accumulator::Min(m), Accumulator::Min(o)) => {
+                if let Some(v) = o {
+                    if m.as_ref().map(|m| v < *m).unwrap_or(true) {
+                        *m = Some(v);
+                    }
+                }
+            }
+            (Accumulator::Max(m), Accumulator::Max(o)) => {
+                if let Some(v) = o {
+                    if m.as_ref().map(|m| v > *m).unwrap_or(true) {
+                        *m = Some(v);
+                    }
+                }
+            }
+            (Accumulator::ArrayAgg(vs), Accumulator::ArrayAgg(o)) => vs.extend(o),
+            _ => {
+                return Err(EngineError::Eval(
+                    "cannot merge accumulators of different kinds".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
     /// Produce the final aggregate value.
     pub fn finish(self) -> Value {
         match self {
@@ -211,5 +260,51 @@ mod tests {
     fn sum_over_text_is_error() {
         let mut acc = Accumulator::new(AggFunc::Sum);
         assert!(acc.update(Value::str("x")).is_err());
+    }
+
+    /// Splitting any input sequence at a chunk boundary and merging the two
+    /// partials in order must reproduce the sequential fold exactly —
+    /// including Int-ness of SUM and ARRAY_AGG element order.
+    #[test]
+    fn merge_equals_sequential_fold() {
+        let funcs = [
+            AggFunc::CountStar,
+            AggFunc::Count,
+            AggFunc::CountDistinct,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::ArrayAgg,
+        ];
+        let vals = vec![
+            Value::Int(3),
+            Value::Null,
+            Value::Float(0.25),
+            Value::Int(3),
+            Value::Float(-1.5),
+            Value::Int(7),
+        ];
+        for func in funcs {
+            for split in 0..=vals.len() {
+                let sequential = run(func, vals.clone());
+                let mut left = Accumulator::new(func);
+                for v in &vals[..split] {
+                    left.update(v.clone()).unwrap();
+                }
+                let mut right = Accumulator::new(func);
+                for v in &vals[split..] {
+                    right.update(v.clone()).unwrap();
+                }
+                left.merge(right).unwrap();
+                assert_eq!(left.finish(), sequential, "{func:?} split at {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_kind_mismatch_is_error() {
+        let mut acc = Accumulator::new(AggFunc::Sum);
+        assert!(acc.merge(Accumulator::new(AggFunc::Avg)).is_err());
     }
 }

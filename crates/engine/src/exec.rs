@@ -4,9 +4,13 @@
 //! a tree of [`RowStream`] operators that exchange small row batches on
 //! demand. Pipeline operators (filter, project, join probe, unnest, limit,
 //! union) never materialize their input; `Limit` terminates early by simply
-//! not pulling; leaf scans and the hash-join build side go morsel-parallel
-//! over scoped threads when [`ExecContext::threads`] `> 1`, with
-//! deterministic (thread-count-independent) output order.
+//! not pulling. When [`ExecContext::threads`] `> 1`, work is dispatched in
+//! morsel waves to the shared persistent [`crate::pool::WorkerPool`] (no
+//! per-wave thread spawn): leaf scans *and the Filter/Project chain fused
+//! directly above them*, hash-join build and probe sides, and partial
+//! aggregation all run in parallel — with deterministic
+//! (thread-count-independent, bit-identical) output. See `DESIGN.md` §9 for
+//! the determinism argument.
 //!
 //! Entry points:
 //!
@@ -41,10 +45,29 @@ pub struct ExecContext {
     pub batch_size: usize,
     /// Slot-range granularity handed to scan workers.
     pub morsel_size: usize,
-    /// Worker threads for morsel-parallel leaves and join builds. `1`
-    /// (default) runs fully inline — no threads are ever spawned.
+    /// Worker threads for morsel-parallel operators (leaf scans + fused
+    /// Filter/Project, hash-join build and probe, partial aggregation).
+    /// `1` runs fully inline — no pool dispatch at all. Defaults to
+    /// [`default_threads`] (the machine's available parallelism, clamped).
+    ///
+    /// Changing this never changes query results: every parallel operator
+    /// reassembles its output in morsel/chunk order and merges aggregate
+    /// partials over fixed, config-independent chunk boundaries, so results
+    /// are bit-identical to single-threaded execution (including float
+    /// aggregates and `ARRAY_AGG` order).
     pub threads: usize,
+    /// Fuse Filter/Project chains into the scan's morsel workers instead of
+    /// running them as serial post-passes. On by default; disable to ablate.
+    pub fusion: bool,
     cancel: Arc<AtomicBool>,
+}
+
+/// Default worker count: the machine's available parallelism, clamped to
+/// `1..=16`. Safe as a *default* because parallel execution is
+/// deterministic (see [`ExecContext::threads`]); override per-query with
+/// [`ExecContext::with_threads`].
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(1, 16)
 }
 
 impl Default for ExecContext {
@@ -52,7 +75,8 @@ impl Default for ExecContext {
         ExecContext {
             batch_size: 1024,
             morsel_size: 4096,
-            threads: 1,
+            threads: default_threads(),
+            fusion: true,
             cancel: Arc::new(AtomicBool::new(false)),
         }
     }
@@ -75,6 +99,12 @@ impl ExecContext {
 
     pub fn with_threads(mut self, n: usize) -> ExecContext {
         self.threads = n.max(1);
+        self
+    }
+
+    /// Enable or disable pipeline fusion (on by default).
+    pub fn with_fusion(mut self, on: bool) -> ExecContext {
+        self.fusion = on;
         self
     }
 
@@ -408,12 +438,14 @@ mod tests {
         }
         c.create_table(t).unwrap();
         let p = Plan::scan(&c, "big").unwrap().limit(3);
-        let ctx = ExecContext::new().with_batch_size(8).with_morsel_size(8);
+        // Threads pinned: one wave examines at most threads x morsel rows,
+        // so the examined-row bound below depends on the thread count.
+        let ctx = ExecContext::new().with_batch_size(8).with_morsel_size(8).with_threads(2);
         let (rows, m) = execute_with_metrics(&p, &c, &ctx).unwrap();
         assert_eq!(rows.len(), 3);
         let scan = m.find("Scan big").unwrap();
         assert!(
-            scan.rows_out <= 3 + 8,
+            scan.rows_out <= 3 + 2 * 8,
             "limit must stop pulling: scan emitted {} rows",
             scan.rows_out
         );
@@ -428,6 +460,82 @@ mod tests {
         let mut qs = execute_streaming(&p, &c, &ctx).unwrap();
         ctx.cancel();
         assert_eq!(qs.next_batch(), Err(EngineError::Cancelled));
+    }
+
+    /// A panic inside a morsel worker must surface the panic payload, not a
+    /// generic "morsel worker panicked" with no diagnosis. `i64::MIN.abs()`
+    /// panics with "attempt to negate with overflow" in debug builds only,
+    /// so the test is debug-gated; the profile-independent panic plumbing is
+    /// covered by `pool::tests::panics_propagate_payload_message`.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn morsel_worker_panic_carries_payload_message() {
+        let mut c = Catalog::new();
+        let mut t = Table::new(TableSchema::new(
+            "edge",
+            vec![Column::not_null("x", DataType::Int)],
+            vec![0],
+        ));
+        for i in 0..8i64 {
+            t.insert(vec![Value::Int(if i == 6 { i64::MIN } else { i })]).unwrap();
+        }
+        c.create_table(t).unwrap();
+        // abs(x) >= 0 is fused into the scan's morsel workers; the i64::MIN
+        // row makes one worker panic mid-wave.
+        let p = Plan::scan(&c, "edge").unwrap().filter(Expr::binary(
+            crate::expr::BinOp::Ge,
+            Expr::func(ScalarFunc::Abs, vec![Expr::col(0)]),
+            Expr::lit(0i64),
+        ));
+        let ctx = ExecContext::new().with_threads(4).with_morsel_size(2);
+        let err = execute_streaming(&p, &c, &ctx).unwrap().drain().unwrap_err();
+        let EngineError::Eval(msg) = err else { panic!("expected Eval error, got {err:?}") };
+        assert!(msg.contains("panicked"), "not a panic report: {msg}");
+        assert!(
+            msg.contains("overflow"),
+            "panic payload must be preserved for diagnosis, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn fused_chain_reports_parallelism_in_metrics() {
+        let mut c = Catalog::new();
+        let mut t = Table::new(TableSchema::new(
+            "nums",
+            vec![Column::not_null("x", DataType::Int)],
+            vec![0],
+        ));
+        for i in 0..64i64 {
+            t.insert(vec![Value::Int(i)]).unwrap();
+        }
+        c.create_table(t).unwrap();
+        let p = Plan::scan(&c, "nums")
+            .unwrap()
+            .filter(Expr::binary(crate::expr::BinOp::Lt, Expr::col(0), Expr::lit(32i64)))
+            .project(vec![
+                (Expr::binary(crate::expr::BinOp::Add, Expr::col(0), Expr::lit(1i64)), "y".into()),
+            ]);
+        let ctx = ExecContext::new().with_threads(4).with_morsel_size(8);
+        let (rows, m) = execute_with_metrics(&p, &c, &ctx).unwrap();
+        assert_eq!(rows.len(), 32);
+        assert_eq!(rows[0], vec![Value::Int(1)]);
+        // Plan shape is preserved: Project -> Filter -> Scan, but the whole
+        // chain executed inside the scan's morsel workers.
+        assert_eq!(m.name, "Project");
+        assert!(m.fused, "top of a fused chain is marked fused\n{}", m.render());
+        let filter = &m.children[0];
+        assert!(filter.fused, "inner fused node marked\n{}", m.render());
+        assert_eq!(filter.rows_out, 32);
+        let scan = &filter.children[0];
+        assert_eq!(scan.rows_in, 64);
+        assert!(scan.waves > 0, "scan should have run pool waves\n{}", m.render());
+        // At least the submitting thread participates in every wave; on a
+        // multi-core machine pool workers join it (peak is recorded).
+        assert!(scan.workers >= 1, "expected participant count\n{}", m.render());
+        // With fusion disabled the same plan yields identical rows.
+        let plain =
+            execute_streaming(&p, &c, &ctx.clone().with_fusion(false)).unwrap().drain().unwrap();
+        assert_eq!(plain, rows);
     }
 
     #[test]

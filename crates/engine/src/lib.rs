@@ -23,10 +23,15 @@
 //!   selection, greedy join reordering and selectivity-ranked filters, all
 //!   driven by the [`cost`] cardinality estimator;
 //! * a pull-based [`stream`]ing [`exec`]utor: every operator is a
-//!   [`stream::RowStream`] pulling batches from its children, leaf scans and
-//!   hash-join builds run morsel-parallel on scoped threads, `LIMIT`
-//!   terminates its input early, and every operator node records
-//!   [`metrics::ExecMetrics`] (`EXPLAIN ANALYZE`-style) as it runs.
+//!   [`stream::RowStream`] pulling batches from its children and `LIMIT`
+//!   terminates its input early. Parallel work — morsel-parallel leaf scans
+//!   with Filter/Project chains *fused* into the scan workers, hash-join
+//!   build and probe, and partial aggregation — is dispatched in waves to a
+//!   shared persistent [`pool::WorkerPool`] (lazily spawned, reused across
+//!   pulls and queries; no per-wave thread spawn), with bit-identical
+//!   results at any thread count; every operator node records
+//!   [`metrics::ExecMetrics`] (`EXPLAIN ANALYZE`-style, including workers /
+//!   waves / fusion markers) as it runs.
 
 pub mod agg;
 pub mod cost;
@@ -36,15 +41,18 @@ pub mod expr;
 pub mod metrics;
 pub mod optimizer;
 pub mod plan;
+pub mod pool;
 pub mod stream;
 
 pub use agg::{AggCall, AggFunc};
 pub use cost::{annotate_metrics, estimate, explain_with_estimates, ColEst, Estimate};
 pub use error::{EngineError, EngineResult};
 pub use exec::{
-    execute, execute_optimized, execute_streaming, execute_with_metrics, ExecContext, QueryStream,
+    default_threads, execute, execute_optimized, execute_streaming, execute_with_metrics,
+    ExecContext, QueryStream,
 };
 pub use expr::{BinOp, Expr, ScalarFunc, UnOp};
 pub use metrics::{ExecMetrics, OpMetrics};
 pub use plan::{Field, JoinKind, Plan, PlanKind, SortKey};
+pub use pool::WorkerPool;
 pub use stream::{BoxedRowStream, RowStream};

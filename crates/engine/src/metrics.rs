@@ -8,7 +8,7 @@
 //! value that can be returned to callers (`EXPLAIN ANALYZE`-style) at any
 //! point — including mid-stream.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Live (atomic) metrics for one operator in a running query.
@@ -30,6 +30,16 @@ pub struct OpMetrics {
     /// Wall-clock nanoseconds spent inside `next_batch`, inclusive of
     /// children (each child reports its own inclusive time too).
     pub elapsed_ns: AtomicU64,
+    /// Parallel waves executed by this operator (a wave is one batch of
+    /// morsels/chunks dispatched to the worker pool together).
+    pub waves: AtomicU64,
+    /// Peak number of distinct workers observed participating in one wave
+    /// (incl. the submitting thread). `0` for purely serial operators.
+    pub workers: AtomicU64,
+    /// `true` when this operator was fused into the morsel workers of the
+    /// scan below it (pipeline fusion) instead of running as its own
+    /// serial post-pass.
+    pub fused: AtomicBool,
     /// Child operators, in plan order.
     pub children: Vec<Arc<OpMetrics>>,
 }
@@ -52,6 +62,17 @@ impl OpMetrics {
         self.elapsed_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Record one parallel wave that engaged `workers` distinct threads.
+    pub fn record_wave(&self, workers: u64) {
+        self.waves.fetch_add(1, Ordering::Relaxed);
+        self.workers.fetch_max(workers, Ordering::Relaxed);
+    }
+
+    /// Mark this operator as pipeline-fused into the scan's morsel workers.
+    pub fn mark_fused(&self) {
+        self.fused.store(true, Ordering::Relaxed);
+    }
+
     /// Freeze the tree into a plain value.
     pub fn snapshot(&self) -> ExecMetrics {
         let children: Vec<ExecMetrics> = self.children.iter().map(|c| c.snapshot()).collect();
@@ -66,6 +87,9 @@ impl OpMetrics {
             rows_out: self.rows_out.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             elapsed_ns: self.elapsed_ns.load(Ordering::Relaxed),
+            waves: self.waves.load(Ordering::Relaxed),
+            workers: self.workers.load(Ordering::Relaxed),
+            fused: self.fused.load(Ordering::Relaxed),
             est_rows: None,
             children,
         }
@@ -83,6 +107,13 @@ pub struct ExecMetrics {
     pub batches: u64,
     /// Inclusive wall-clock time spent in this operator's `next_batch`.
     pub elapsed_ns: u64,
+    /// Parallel waves executed (0 when the operator never used the pool).
+    pub waves: u64,
+    /// Peak distinct workers participating in one wave (0 = serial).
+    pub workers: u64,
+    /// Whether this operator was pipeline-fused into the scan's morsel
+    /// workers rather than running as its own serial pass.
+    pub fused: bool,
     /// Optimizer row estimate for this operator, attached after execution by
     /// [`crate::cost::annotate_metrics`] when statistics were gathered.
     /// `None` when no estimate was derivable (no ANALYZE, phantom tables).
@@ -144,6 +175,12 @@ impl ExecMetrics {
             self.batches,
             self.elapsed_ns as f64 / 1e6,
         );
+        if self.workers > 0 {
+            let _ = write!(out, " workers={} waves={}", self.workers, self.waves);
+        }
+        if self.fused {
+            out.push_str(" [fused]");
+        }
         if let (Some(est), Some(q)) = (self.est_rows, self.q_error()) {
             let _ = write!(out, " est={est:.0} q={q:.2}");
         }
@@ -172,5 +209,22 @@ mod tests {
         assert_eq!(snap.find("Scan").unwrap().rows_out, 40);
         assert_eq!(snap.leaves().len(), 1);
         assert!(snap.render().contains("Filter"));
+    }
+
+    #[test]
+    fn waves_track_peak_workers_and_render() {
+        let leaf = OpMetrics::new("Scan t", vec![]);
+        leaf.record_wave(3);
+        leaf.record_wave(2);
+        let filt = OpMetrics::new("Filter", vec![Arc::clone(&leaf)]);
+        filt.mark_fused();
+        let snap = filt.snapshot();
+        assert_eq!(snap.children[0].waves, 2);
+        assert_eq!(snap.children[0].workers, 3, "workers is the per-wave peak");
+        assert!(snap.fused);
+        assert!(!snap.children[0].fused);
+        let rendered = snap.render();
+        assert!(rendered.contains("workers=3 waves=2"), "{rendered}");
+        assert!(rendered.contains("[fused]"), "{rendered}");
     }
 }

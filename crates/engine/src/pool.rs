@@ -1,0 +1,356 @@
+//! Shared, lazily-initialized executor worker pool.
+//!
+//! The first streaming executor (PR 1) parallelized leaf scans and
+//! hash-join builds by spawning *fresh scoped threads for every wave of
+//! every pull* — thread creation and teardown sat directly on the hot
+//! path, once per `next_batch` of every morsel-driven operator. This
+//! module replaces that with a process-wide pool of long-lived workers
+//! ([`WorkerPool::global`]) that is reused across pulls, across operators,
+//! and across queries.
+//!
+//! ## Scoped-borrow-safe job submission
+//!
+//! Executor jobs borrow non-`'static` data: tables borrowed from the
+//! catalog, filter expressions borrowed from the plan, per-wave output
+//! buffers borrowed from the operator. Long-lived workers, however, can
+//! only be handed `'static` jobs. [`WorkerPool::run_scoped`] bridges the
+//! two the same way `std::thread::scope` does: the submitting thread
+//! **blocks until every job of the wave has finished**, so the jobs can
+//! never outlive the borrows they capture, and the lifetime can be erased
+//! at the pool boundary. The submitter does not merely wait — it
+//! participates, draining jobs from its own wave, which both removes one
+//! thread of latency and makes nested submission deadlock-free (a wave
+//! can always be finished by the thread that submitted it, even when
+//! every pool worker is busy).
+//!
+//! ## Determinism
+//!
+//! `run_scoped` returns results **in submission order** regardless of
+//! which thread ran which job or in which order they finished. Callers
+//! that reassemble morsel outputs in submission order therefore produce
+//! bit-identical results at every thread count.
+//!
+//! ## Panics
+//!
+//! A panicking job never poisons the pool or hangs the wave: the panic is
+//! caught at the job boundary, its payload message is captured, and the
+//! submitter receives `Err(message)` for that job while every other job
+//! completes normally.
+//!
+//! The pool is intentionally the **only** thread-spawn site in the engine
+//! (`scripts/check.sh` enforces this), and no worker is ever spawned
+//! until some query actually requests parallelism — `threads = 1`
+//! executions never touch this module.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// Hard cap on pool workers, whatever `ExecContext::threads` asks for.
+/// Requests beyond the cap still complete — excess jobs queue and run as
+/// workers free up (plus on the submitting thread itself).
+pub const MAX_WORKERS: usize = 64;
+
+/// A type-erased wave job. Jobs write their own result into a slot owned
+/// by the submitting stack frame; see [`WorkerPool::run_scoped`].
+type Job<'scope> = Box<dyn FnOnce() + Send + 'scope>;
+
+/// Shared state of one in-flight wave ("scope"): the not-yet-started jobs
+/// plus the bookkeeping the submitter blocks on.
+struct ScopeCore<'scope> {
+    /// Jobs not yet claimed by any thread.
+    pending: Mutex<VecDeque<Job<'scope>>>,
+    /// Jobs not yet *finished* (claimed included). Guards the `done`
+    /// condvar.
+    remaining: Mutex<usize>,
+    done: Condvar,
+    /// Distinct threads that executed at least one job of this wave
+    /// (submitter included) — surfaced as `workers` in `ExecMetrics`.
+    participants: Mutex<Vec<thread::ThreadId>>,
+}
+
+impl ScopeCore<'_> {
+    /// Claim and run one pending job. Returns `false` when none were left
+    /// to claim (another thread may still be *running* one).
+    fn run_one(&self) -> bool {
+        let job = { self.pending.lock().expect("pool lock").pop_front() };
+        let Some(job) = job else { return false };
+        {
+            let mut p = self.participants.lock().expect("pool lock");
+            let id = thread::current().id();
+            if !p.contains(&id) {
+                p.push(id);
+            }
+        }
+        // Jobs are already panic-wrapped at submission (they record their
+        // own panic payload); this outer guard only ensures the
+        // `remaining` count still reaches zero if that wrapping itself
+        // ever failed, so a submitter can never be left waiting forever.
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        let mut rem = self.remaining.lock().expect("pool lock");
+        *rem -= 1;
+        if *rem == 0 {
+            self.done.notify_all();
+        }
+        drop(rem);
+        debug_assert!(outcome.is_ok(), "wave jobs are panic-wrapped at submission");
+        true
+    }
+
+    /// Block until every job of the wave has finished.
+    fn wait_done(&self) {
+        let mut rem = self.remaining.lock().expect("pool lock");
+        while *rem > 0 {
+            rem = self.done.wait(rem).expect("pool lock");
+        }
+    }
+}
+
+/// Wave handles crossing into long-lived workers have their borrow
+/// lifetime erased; soundness is argued in [`WorkerPool::run_scoped`].
+type ScopeHandle = Arc<ScopeCore<'static>>;
+
+struct PoolState {
+    /// One entry per claimable job of each submitted wave. Entries whose
+    /// wave was already drained by the submitter are no-ops.
+    queue: VecDeque<ScopeHandle>,
+    /// Workers spawned so far (monotone, `<= MAX_WORKERS`).
+    workers: usize,
+}
+
+/// A persistent pool of executor worker threads. See the module docs.
+pub struct WorkerPool {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+}
+
+static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+
+impl WorkerPool {
+    /// The process-wide pool shared by every query of every database in
+    /// the process. Created empty; workers are spawned lazily on first
+    /// parallel wave and then live for the rest of the process, parked on
+    /// a condvar while idle.
+    pub fn global() -> &'static WorkerPool {
+        GLOBAL.get_or_init(|| WorkerPool {
+            state: Mutex::new(PoolState { queue: VecDeque::new(), workers: 0 }),
+            work_ready: Condvar::new(),
+        })
+    }
+
+    /// Number of workers spawned so far (diagnostics only).
+    pub fn workers(&self) -> usize {
+        self.state.lock().expect("pool lock").workers
+    }
+
+    /// Grow the pool to at least `target` workers (capped at
+    /// [`MAX_WORKERS`]). Never shrinks.
+    fn ensure_workers(&'static self, target: usize) {
+        let target = target.min(MAX_WORKERS);
+        let mut st = self.state.lock().expect("pool lock");
+        while st.workers < target {
+            let idx = st.workers;
+            st.workers += 1;
+            thread::Builder::new()
+                .name(format!("erbium-exec-{idx}"))
+                .spawn(move || self.worker_loop())
+                .expect("spawn executor worker");
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let scope = {
+                let mut st = self.state.lock().expect("pool lock");
+                loop {
+                    if let Some(s) = st.queue.pop_front() {
+                        break s;
+                    }
+                    st = self.work_ready.wait(st).expect("pool lock");
+                }
+            };
+            scope.run_one();
+        }
+    }
+
+    /// Run a wave of jobs to completion, in parallel when workers are
+    /// available, and return per-job results **in submission order** plus
+    /// the number of distinct threads that participated.
+    ///
+    /// Jobs may borrow any data that outlives this call (tables, plan
+    /// expressions, `&mut` output buffers): like `std::thread::scope`,
+    /// this function does not return until every job has run and been
+    /// dropped, which is what makes erasing the borrow lifetime at the
+    /// pool boundary sound — a straggler worker that later pops this
+    /// wave's handle off the queue only ever observes an empty job list.
+    ///
+    /// A job that panics yields `Err(payload_message)` in its slot; the
+    /// remaining jobs are unaffected.
+    pub fn run_scoped<T, F>(&'static self, tasks: Vec<F>) -> (Vec<Result<T, String>>, usize)
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return (Vec::new(), 0);
+        }
+        if n == 1 {
+            // Nothing to fan out: run inline, skip all queue traffic.
+            let f = tasks.into_iter().next().expect("n == 1");
+            let r = catch_unwind(AssertUnwindSafe(f)).map_err(|p| panic_message(&*p));
+            return (vec![r], 1);
+        }
+        self.ensure_workers(n - 1); // the submitter is the n-th worker
+
+        type Slot<T> = Mutex<Option<Result<T, String>>>;
+        let slots: Vec<Slot<T>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let core = Arc::new(ScopeCore {
+            pending: Mutex::new(VecDeque::with_capacity(n)),
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+            participants: Mutex::new(Vec::new()),
+        });
+        {
+            let mut pending = core.pending.lock().expect("pool lock");
+            for (slot, f) in slots.iter().zip(tasks) {
+                pending.push_back(Box::new(move || {
+                    let r = catch_unwind(AssertUnwindSafe(f)).map_err(|p| panic_message(&*p));
+                    *slot.lock().expect("pool lock") = Some(r);
+                }));
+            }
+        }
+        // Erase the borrow lifetime so the handle can sit in the
+        // long-lived queue. Sound because `wait_done` below blocks until
+        // every job has been consumed and dropped (see doc comment).
+        let handle: ScopeHandle = unsafe {
+            std::mem::transmute::<Arc<ScopeCore<'_>>, Arc<ScopeCore<'static>>>(Arc::clone(&core))
+        };
+        {
+            let mut st = self.state.lock().expect("pool lock");
+            // n-1 claimable entries for workers; the submitter claims the
+            // rest itself below.
+            for _ in 0..n - 1 {
+                st.queue.push_back(Arc::clone(&handle));
+            }
+        }
+        self.work_ready.notify_all();
+        // Participate: drain jobs from our own wave until none are left,
+        // then wait for stragglers still running on workers.
+        while core.run_one() {}
+        core.wait_done();
+        let workers_used = core.participants.lock().expect("pool lock").len();
+        // Every job has been consumed and dropped at this point, so the
+        // scope core no longer holds any borrow of `slots`; drop our typed
+        // handle before moving the slots out (stragglers may briefly keep
+        // the type-erased `handle` alive, but only to observe an empty
+        // job list).
+        drop(core);
+        let results = slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("pool lock")
+                    .unwrap_or_else(|| Err("executor job produced no result".into()))
+            })
+            .collect();
+        (results, workers_used)
+    }
+}
+
+/// Best-effort extraction of a panic payload message (`panic!("...")`
+/// payloads are `&str` or `String`; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = WorkerPool::global();
+        let tasks: Vec<_> = (0..32usize).map(|i| move || i * i).collect();
+        let (results, workers) = pool.run_scoped(tasks);
+        let got: Vec<usize> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, (0..32usize).map(|i| i * i).collect::<Vec<_>>());
+        assert!(workers >= 1);
+    }
+
+    #[test]
+    fn jobs_can_borrow_non_static_data() {
+        let data: Vec<i64> = (0..100).collect();
+        let chunks: Vec<&[i64]> = data.chunks(10).collect();
+        let pool = WorkerPool::global();
+        let tasks: Vec<_> =
+            chunks.into_iter().map(|c| move || c.iter().sum::<i64>()).collect();
+        let (results, _) = pool.run_scoped(tasks);
+        let total: i64 = results.into_iter().map(|r| r.unwrap()).sum();
+        assert_eq!(total, (0..100).sum::<i64>());
+    }
+
+    #[test]
+    fn panic_payload_is_propagated_without_hanging_the_wave() {
+        let pool = WorkerPool::global();
+        let tasks: Vec<Box<dyn FnOnce() -> i64 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("morsel 7 exploded: bad value")),
+            Box::new(|| 3),
+        ];
+        let (results, _) = pool.run_scoped(tasks);
+        assert_eq!(results[0], Ok(1));
+        assert_eq!(results[2], Ok(3));
+        let msg = results[1].as_ref().unwrap_err();
+        assert!(msg.contains("morsel 7 exploded"), "payload lost: {msg}");
+    }
+
+    #[test]
+    fn pool_is_reused_and_never_exceeds_the_cap() {
+        let pool = WorkerPool::global();
+        for _ in 0..8 {
+            let tasks: Vec<_> = (0..4).map(|i| move || i).collect();
+            let (r, _) = pool.run_scoped(tasks);
+            assert_eq!(r.len(), 4);
+        }
+        assert!(pool.workers() <= MAX_WORKERS);
+    }
+
+    #[test]
+    fn single_job_runs_inline_without_touching_the_queue() {
+        let pool = WorkerPool::global();
+        let before = pool.workers();
+        let (r, workers) = pool.run_scoped(vec![|| 42]);
+        assert_eq!(r, vec![Ok(42)]);
+        assert_eq!(workers, 1);
+        assert_eq!(pool.workers(), before, "inline path must not spawn");
+    }
+
+    #[test]
+    fn mutable_borrows_of_disjoint_buffers_work() {
+        let mut bufs: Vec<Vec<i64>> = vec![Vec::new(); 8];
+        let pool = WorkerPool::global();
+        let tasks: Vec<_> = bufs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, b)| {
+                move || {
+                    for k in 0..10 {
+                        b.push((i * 10 + k) as i64);
+                    }
+                }
+            })
+            .collect();
+        let (results, _) = pool.run_scoped(tasks);
+        assert!(results.into_iter().all(|r| r.is_ok()));
+        let flat: Vec<i64> = bufs.concat();
+        assert_eq!(flat, (0..80).collect::<Vec<_>>());
+    }
+}

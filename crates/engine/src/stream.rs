@@ -4,23 +4,45 @@
 //! that yields small batches of rows on demand. Operators pull from their
 //! children, so pipeline-friendly nodes (filter, project, join probe,
 //! unnest, limit, union) never materialize their input, and `Limit` stops
-//! pulling as soon as it is satisfied. Pipeline breakers (sort, aggregate,
-//! distinct's seen-set, the join build side) buffer exactly the state their
-//! semantics require and nothing more.
+//! pulling as soon as it is satisfied. Pipeline breakers (sort, distinct's
+//! seen-set, the join build side) buffer exactly the state their semantics
+//! require and nothing more.
 //!
-//! Leaf scans are **morsel-driven**: the slot space of a table is split
-//! into contiguous ranges, and with [`crate::exec::ExecContext::threads`]
-//! `> 1` each pull processes one *wave* of morsels on scoped worker threads
-//! (`std::thread::scope`; borrowed tables cross into workers without any
-//! `'static` bound). Morsel outputs are re-assembled in morsel order, so
-//! parallel execution is deterministic and bit-identical to
-//! single-threaded execution. The hash-join build side is parallelized the
-//! same way: per-worker partial tables over contiguous chunks are merged in
-//! chunk order, preserving within-key probe order.
+//! ## Morsel parallelism on the persistent worker pool
+//!
+//! With [`crate::exec::ExecContext::threads`] `> 1`, parallel work runs as
+//! *waves* of jobs on the shared, long-lived [`crate::pool::WorkerPool`] —
+//! no thread is ever spawned per pull (the pool is the engine's only
+//! thread-spawn site). Four operator families engage the pool:
+//!
+//! * **leaf scans** — the slot space is split into contiguous morsels;
+//!   each pull runs one wave of up to `threads` morsels, reassembled in
+//!   morsel order;
+//! * **fused pipelines** — `Filter`/`Project` chains sitting directly
+//!   above a leaf execute *inside* the scan's morsel jobs instead of as
+//!   serial post-passes (disable with `ExecContext::with_fusion(false)`);
+//! * **hash joins** — the build side is hashed in parallel over contiguous
+//!   chunks merged in chunk order, and the probe side is morsel-partitioned
+//!   against the shared read-only build table, outputs concatenated in
+//!   chunk order;
+//! * **aggregation** — input rows are folded through fixed-size chunks
+//!   ([`AGG_CHUNK`]) whose partial hash tables merge into the global state
+//!   in chunk order.
+//!
+//! ## Determinism
+//!
+//! Parallel execution is **bit-identical** to single-threaded execution:
+//! every parallel decomposition above is a pure function of the input row
+//! order (never of the thread count or scheduling), and every merge happens
+//! in submission order. Aggregation chunk boundaries in particular depend
+//! only on the global input row index, so even float accumulation applies
+//! the exact same reduction tree at every `threads`/`batch_size`/
+//! `morsel_size` setting.
 //!
 //! Every compiled operator is wrapped in a metering shim that feeds the
 //! [`crate::metrics::ExecMetrics`] tree and honours cooperative
-//! cancellation.
+//! cancellation; pool-engaged operators additionally record waves and the
+//! number of distinct worker threads used.
 
 use crate::agg::{Accumulator, AggCall};
 use crate::error::{EngineError, EngineResult};
@@ -28,7 +50,8 @@ use crate::exec::ExecContext;
 use crate::expr::Expr;
 use crate::metrics::OpMetrics;
 use crate::plan::{FactorizedSide, JoinKind, Plan, PlanKind, SortKey};
-use erbium_storage::{Catalog, Row, RowId, Table, Value};
+use crate::pool::WorkerPool;
+use erbium_storage::{Catalog, FactorizedTable, Row, RowId, Table, Value};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -57,11 +80,21 @@ pub(crate) fn compile<'a>(
     cat: &'a Catalog,
     ctx: &ExecContext,
 ) -> EngineResult<(BoxedRowStream<'a>, Arc<OpMetrics>)> {
+    if let Some((inner, metrics)) = compile_fused(plan, cat, ctx)? {
+        return Ok((
+            Box::new(MeterStream {
+                inner,
+                metrics: Arc::clone(&metrics),
+                cancel: ctx.cancel_flag(),
+            }),
+            metrics,
+        ));
+    }
     let (inner, metrics): (BoxedRowStream<'a>, Arc<OpMetrics>) = match &plan.kind {
         PlanKind::Scan { table, filters } => {
             let t = cat.table(table)?;
             let m = OpMetrics::new(format!("Scan {table}"), vec![]);
-            (table_scan_stream(t, filters, Arc::clone(&m), ctx), m)
+            (table_scan_stream(t, filters, Arc::clone(&m), Vec::new(), ctx), m)
         }
         PlanKind::IndexLookup { table, columns, keys, residual } => {
             let t = cat.table(table)?;
@@ -118,27 +151,14 @@ pub(crate) fn compile<'a>(
             let ft = cat.factorized(table)?;
             let m = OpMetrics::new(format!("FactorizedScan {table} {side:?}"), vec![]);
             let stream: BoxedRowStream<'a> = match side {
-                FactorizedSide::Left => table_scan_stream(ft.left(), filters, Arc::clone(&m), ctx),
-                FactorizedSide::Right => table_scan_stream(ft.right(), filters, Arc::clone(&m), ctx),
+                FactorizedSide::Left => {
+                    table_scan_stream(ft.left(), filters, Arc::clone(&m), Vec::new(), ctx)
+                }
+                FactorizedSide::Right => {
+                    table_scan_stream(ft.right(), filters, Arc::clone(&m), Vec::new(), ctx)
+                }
                 FactorizedSide::Join => {
-                    let lm = Arc::clone(&m);
-                    let total = ft.left().slot_count();
-                    let work = move |range: Range<usize>| -> EngineResult<Vec<Row>> {
-                        let mut out = Vec::new();
-                        let mut examined = 0u64;
-                        'pairs: for row in ft.iter_join_slots(range) {
-                            examined += 1;
-                            for f in filters {
-                                if !f.eval_predicate(&row)? {
-                                    continue 'pairs;
-                                }
-                            }
-                            out.push(row);
-                        }
-                        lm.add_rows_in(examined);
-                        Ok(out)
-                    };
-                    Box::new(MorselStream::new(Box::new(work), total, ctx))
+                    factorized_join_stream(ft, filters, Arc::clone(&m), Vec::new(), ctx)
                 }
             };
             (stream, m)
@@ -177,7 +197,8 @@ pub(crate) fn compile<'a>(
                     left_keys,
                     right_keys,
                     right_arity: right.fields.len(),
-                    threads: ctx.threads,
+                    threads: ctx.threads.max(1),
+                    metrics: Arc::clone(&m),
                     build: None,
                 }),
                 m,
@@ -192,6 +213,8 @@ pub(crate) fn compile<'a>(
                     group,
                     aggs,
                     batch: ctx.batch_size,
+                    threads: ctx.threads.max(1),
+                    metrics: Arc::clone(&m),
                     out: None,
                 }),
                 m,
@@ -247,6 +270,128 @@ pub(crate) fn compile<'a>(
     ))
 }
 
+// ---- pipeline fusion -------------------------------------------------------
+
+/// One operator fused into a leaf's morsel jobs.
+enum FusedOp<'a> {
+    Filter(&'a Expr),
+    Project(&'a [Expr]),
+}
+
+/// A fused operator plus its metrics node. The chain's *top* operator is
+/// metered by the enclosing [`MeterStream`] and carries `metrics: None`
+/// here; interior operators record their own rows/batches from inside the
+/// morsel job (one "batch" per morsel).
+struct FusedStep<'a> {
+    op: FusedOp<'a>,
+    metrics: Option<Arc<OpMetrics>>,
+}
+
+/// Run the fused operator chain over one morsel's rows, in place.
+fn apply_fused(steps: &[FusedStep<'_>], rows: &mut Vec<Row>) -> EngineResult<()> {
+    for step in steps {
+        match step.op {
+            FusedOp::Filter(pred) => {
+                // Stable in-place compaction: survivors keep their order,
+                // dropped rows are truncated away.
+                let mut kept = 0;
+                for i in 0..rows.len() {
+                    if pred.eval_predicate(&rows[i])? {
+                        rows.swap(kept, i);
+                        kept += 1;
+                    }
+                }
+                rows.truncate(kept);
+            }
+            FusedOp::Project(exprs) => {
+                for row in rows.iter_mut() {
+                    let mut new_row = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        new_row.push(e.eval(row)?);
+                    }
+                    *row = new_row;
+                }
+            }
+        }
+        if let Some(m) = &step.metrics {
+            m.record_batch(rows.len() as u64);
+        }
+    }
+    Ok(())
+}
+
+/// Try to compile `plan` as a fused leaf pipeline: a chain of
+/// `Filter`/`Project` nodes sitting directly above a morsel-driven leaf
+/// (`Scan` or `FactorizedScan`) executes inside the leaf's morsel jobs
+/// instead of as serial post-passes. The metrics tree keeps one node per
+/// plan operator (same shape as unfused execution) with each node marked
+/// `[fused]`.
+fn compile_fused<'a>(
+    plan: &'a Plan,
+    cat: &'a Catalog,
+    ctx: &ExecContext,
+) -> EngineResult<Option<(BoxedRowStream<'a>, Arc<OpMetrics>)>> {
+    if !ctx.fusion {
+        return Ok(None);
+    }
+    // Collect the Filter/Project chain (top-down) above the leaf.
+    let mut chain: Vec<&'a Plan> = Vec::new();
+    let mut base = plan;
+    while let PlanKind::Filter { input, .. } | PlanKind::Project { input, .. } = &base.kind {
+        chain.push(base);
+        base = input;
+    }
+    if chain.is_empty() {
+        return Ok(None);
+    }
+    // The base must be a morsel-driven leaf.
+    enum Leaf<'a> {
+        Table(&'a Table, &'a [Expr], String),
+        FactJoin(&'a FactorizedTable, &'a [Expr], String),
+    }
+    let leaf = match &base.kind {
+        PlanKind::Scan { table, filters } => {
+            Leaf::Table(cat.table(table)?, filters, format!("Scan {table}"))
+        }
+        PlanKind::FactorizedScan { table, side, filters } => {
+            let ft = cat.factorized(table)?;
+            let label = format!("FactorizedScan {table} {side:?}");
+            match side {
+                FactorizedSide::Left => Leaf::Table(ft.left(), filters, label),
+                FactorizedSide::Right => Leaf::Table(ft.right(), filters, label),
+                FactorizedSide::Join => Leaf::FactJoin(ft, filters, label),
+            }
+        }
+        _ => return Ok(None),
+    };
+    let label = match &leaf {
+        Leaf::Table(_, _, l) | Leaf::FactJoin(_, _, l) => l.clone(),
+    };
+    // Build the plan-shaped metrics chain bottom-up plus the fused steps.
+    let scan_m = OpMetrics::new(label, vec![]);
+    scan_m.mark_fused();
+    let mut steps: Vec<FusedStep<'a>> = Vec::with_capacity(chain.len());
+    let mut top_m = Arc::clone(&scan_m);
+    for node in chain.iter().rev() {
+        let (op, name) = match &node.kind {
+            PlanKind::Filter { predicate, .. } => (FusedOp::Filter(predicate), "Filter"),
+            PlanKind::Project { exprs, .. } => (FusedOp::Project(exprs), "Project"),
+            _ => unreachable!("chain holds only Filter/Project nodes"),
+        };
+        let m = OpMetrics::new(name, vec![top_m]);
+        m.mark_fused();
+        steps.push(FusedStep { op, metrics: Some(Arc::clone(&m)) });
+        top_m = m;
+    }
+    // The chain's top node is metered by the enclosing MeterStream.
+    steps.last_mut().expect("chain is non-empty").metrics = None;
+    let stream: BoxedRowStream<'a> = match leaf {
+        Leaf::Table(t, filters, _) => table_scan_stream(t, filters, scan_m, steps, ctx),
+        Leaf::FactJoin(ft, filters, _) => factorized_join_stream(ft, filters, scan_m, steps, ctx),
+    };
+    Ok(Some((stream, top_m)))
+}
+
 // ---- metering shim ---------------------------------------------------------
 
 struct MeterStream<'a> {
@@ -272,13 +417,17 @@ impl RowStream for MeterStream<'_> {
 
 // ---- morsel-driven leaf scans ----------------------------------------------
 
-type MorselWork<'a> = Box<dyn Fn(Range<usize>) -> EngineResult<Vec<Row>> + Sync + 'a>;
+/// A morsel job: process the slot range, appending output rows to `out`
+/// (a reusable per-worker buffer that arrives cleared, with its previous
+/// wave's capacity intact).
+type MorselWork<'a> = Box<dyn Fn(Range<usize>, &mut Vec<Row>) -> EngineResult<()> + Sync + 'a>;
 
 /// Leaf stream over a slot space `0..total`, processed in contiguous
 /// morsels. With `threads > 1` each pull runs one wave of up to `threads`
-/// morsels on scoped worker threads; outputs are buffered in morsel order,
-/// so results are deterministic regardless of thread count. The stream is
-/// lazy between waves: a `Limit` upstream that stops pulling stops the scan.
+/// morsels on the shared [`WorkerPool`]; outputs are buffered in morsel
+/// order, so results are deterministic regardless of thread count. The
+/// stream is lazy between waves: a `Limit` upstream that stops pulling
+/// stops the scan.
 struct MorselStream<'a> {
     work: MorselWork<'a>,
     total: usize,
@@ -288,10 +437,20 @@ struct MorselStream<'a> {
     batch: usize,
     cancel: Arc<AtomicBool>,
     buffer: VecDeque<Vec<Row>>,
+    /// Per-worker output buffers, reused (capacity and all) across waves
+    /// instead of allocating a fresh `Vec<Row>` per morsel per pull.
+    scratch: Vec<Vec<Row>>,
+    /// Node that records pool waves / workers used.
+    metrics: Arc<OpMetrics>,
 }
 
 impl<'a> MorselStream<'a> {
-    fn new(work: MorselWork<'a>, total: usize, ctx: &ExecContext) -> MorselStream<'a> {
+    fn new(
+        work: MorselWork<'a>,
+        total: usize,
+        ctx: &ExecContext,
+        metrics: Arc<OpMetrics>,
+    ) -> MorselStream<'a> {
         MorselStream {
             work,
             total,
@@ -301,6 +460,8 @@ impl<'a> MorselStream<'a> {
             batch: ctx.batch_size.max(1),
             cancel: ctx.cancel_flag(),
             buffer: VecDeque::new(),
+            scratch: Vec::new(),
+            metrics,
         }
     }
 }
@@ -325,40 +486,58 @@ impl RowStream for MorselStream<'_> {
                 ranges.push(self.next..end);
                 self.next = end;
             }
-            let outputs: Vec<Vec<Row>> = if self.threads <= 1 || ranges.len() <= 1 {
-                let mut outs = Vec::with_capacity(ranges.len());
-                for r in ranges {
-                    outs.push((self.work)(r)?);
-                }
-                outs
-            } else {
-                run_wave(&self.work, ranges)?
-            };
-            for rows in outputs {
-                push_chunked(&mut self.buffer, rows, self.batch);
+            let mut bufs = std::mem::take(&mut self.scratch);
+            if bufs.len() < ranges.len() {
+                bufs.resize_with(ranges.len(), Vec::new);
             }
+            for b in &mut bufs {
+                b.clear();
+            }
+            if self.threads <= 1 || ranges.len() <= 1 {
+                for (r, buf) in ranges.into_iter().zip(&mut bufs) {
+                    (self.work)(r, buf)?;
+                }
+            } else {
+                let work = &self.work;
+                let tasks: Vec<_> = ranges
+                    .into_iter()
+                    .zip(bufs.iter_mut())
+                    .map(|(r, buf)| move || work(r, buf))
+                    .collect();
+                let (results, workers) = WorkerPool::global().run_scoped(tasks);
+                self.metrics.record_wave(workers as u64);
+                for res in results {
+                    res.map_err(|m| {
+                        EngineError::Eval(format!("morsel worker panicked: {m}"))
+                    })??;
+                }
+            }
+            for buf in &mut bufs {
+                drain_chunked(&mut self.buffer, buf, self.batch);
+            }
+            self.scratch = bufs;
         }
     }
 }
 
-/// Run one wave of morsels on scoped threads; results come back in morsel
-/// (= submission) order.
-fn run_wave(work: &MorselWork<'_>, ranges: Vec<Range<usize>>) -> EngineResult<Vec<Vec<Row>>> {
-    let results: Vec<EngineResult<Vec<Row>>> = std::thread::scope(|s| {
-        let handles: Vec<_> = ranges.into_iter().map(|r| s.spawn(move || (work)(r))).collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .unwrap_or_else(|_| Err(EngineError::Eval("morsel worker panicked".into())))
-            })
-            .collect()
-    });
-    results.into_iter().collect()
+/// Move rows out of `buf` into `queue` in batches of at most `batch`
+/// (dropping nothing, never queueing an empty batch), preserving order.
+/// `buf` is left empty but keeps its capacity for the next wave.
+fn drain_chunked(queue: &mut VecDeque<Vec<Row>>, buf: &mut Vec<Row>, batch: usize) {
+    if buf.is_empty() {
+        return;
+    }
+    let mut it = buf.drain(..);
+    loop {
+        let chunk: Vec<Row> = it.by_ref().take(batch).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        queue.push_back(chunk);
+    }
 }
 
-/// Split `rows` into batches of at most `batch` rows (dropping nothing,
-/// never queueing an empty batch).
+/// Split owned `rows` into at most `batch`-sized batches on a queue.
 fn push_chunked(buf: &mut VecDeque<Vec<Row>>, mut rows: Vec<Row>, batch: usize) {
     while rows.len() > batch {
         let rest = rows.split_off(batch);
@@ -370,16 +549,18 @@ fn push_chunked(buf: &mut VecDeque<Vec<Row>>, mut rows: Vec<Row>, batch: usize) 
 }
 
 /// Morsel scan over one table: examine rows in the slot range, apply the
-/// pushed-down filters against borrowed rows, clone only survivors.
+/// pushed-down filters against borrowed rows, clone only survivors, then
+/// run any fused operator chain over the morsel's survivors in place.
 fn table_scan_stream<'a>(
     t: &'a Table,
     filters: &'a [Expr],
-    metrics: Arc<OpMetrics>,
+    scan_m: Arc<OpMetrics>,
+    steps: Vec<FusedStep<'a>>,
     ctx: &ExecContext,
 ) -> BoxedRowStream<'a> {
     let total = t.slot_count();
-    let work = move |range: Range<usize>| -> EngineResult<Vec<Row>> {
-        let mut out = Vec::new();
+    let wave_m = Arc::clone(&scan_m);
+    let work = move |range: Range<usize>, out: &mut Vec<Row>| -> EngineResult<()> {
         let mut examined = 0u64;
         'rows: for (_, row) in t.scan_slots(range) {
             examined += 1;
@@ -390,10 +571,47 @@ fn table_scan_stream<'a>(
             }
             out.push(row.clone());
         }
-        metrics.add_rows_in(examined);
-        Ok(out)
+        scan_m.add_rows_in(examined);
+        if !steps.is_empty() {
+            // Fused pipeline: record the scan's own emission here (the
+            // enclosing meter only sees the chain's top operator).
+            scan_m.record_batch(out.len() as u64);
+            apply_fused(&steps, out)?;
+        }
+        Ok(())
     };
-    Box::new(MorselStream::new(Box::new(work), total, ctx))
+    Box::new(MorselStream::new(Box::new(work), total, ctx, wave_m))
+}
+
+/// Morsel scan enumerating the stored join of a factorized structure.
+fn factorized_join_stream<'a>(
+    ft: &'a FactorizedTable,
+    filters: &'a [Expr],
+    scan_m: Arc<OpMetrics>,
+    steps: Vec<FusedStep<'a>>,
+    ctx: &ExecContext,
+) -> BoxedRowStream<'a> {
+    let total = ft.left().slot_count();
+    let wave_m = Arc::clone(&scan_m);
+    let work = move |range: Range<usize>, out: &mut Vec<Row>| -> EngineResult<()> {
+        let mut examined = 0u64;
+        'pairs: for row in ft.iter_join_slots(range) {
+            examined += 1;
+            for f in filters {
+                if !f.eval_predicate(&row)? {
+                    continue 'pairs;
+                }
+            }
+            out.push(row);
+        }
+        scan_m.add_rows_in(examined);
+        if !steps.is_empty() {
+            scan_m.record_batch(out.len() as u64);
+            apply_fused(&steps, out)?;
+        }
+        Ok(())
+    };
+    Box::new(MorselStream::new(Box::new(work), total, ctx, wave_m))
 }
 
 // ---- index leaves ----------------------------------------------------------
@@ -666,6 +884,10 @@ impl RowStream for UnionStream<'_> {
 
 // ---- hash join -------------------------------------------------------------
 
+/// Minimum probe-chunk size (rows) before the probe side fans out to the
+/// pool; smaller batches probe inline to keep small queries cheap.
+const PROBE_FANOUT_MIN: usize = 16;
+
 struct JoinStream<'a> {
     left: BoxedRowStream<'a>,
     right: Option<BoxedRowStream<'a>>,
@@ -674,6 +896,7 @@ struct JoinStream<'a> {
     right_keys: &'a [Expr],
     right_arity: usize,
     threads: usize,
+    metrics: Arc<OpMetrics>,
     build: Option<JoinBuild>,
 }
 
@@ -749,7 +972,7 @@ impl JoinBuild {
 
 impl JoinStream<'_> {
     /// Drain the build (right) side and hash it. With `threads > 1` the key
-    /// evaluation + insertion runs on scoped workers over contiguous chunks
+    /// evaluation + insertion runs on pool workers over contiguous chunks
     /// whose partial tables are merged in chunk order — per-key row indexes
     /// stay ascending, so probe output order matches sequential execution.
     fn build_side(&mut self) -> EngineResult<()> {
@@ -762,7 +985,7 @@ impl JoinStream<'_> {
             rows.extend(b);
         }
         let table = if self.threads > 1 && rows.len() >= 2 {
-            parallel_hash_build(&rows, self.right_keys, self.threads)?
+            parallel_hash_build(&rows, self.right_keys, self.threads, &self.metrics)?
         } else {
             hash_build_range(&rows, self.right_keys, 0, rows.len())?
         };
@@ -799,30 +1022,93 @@ fn hash_build_range(rows: &[Row], keys: &[Expr], lo: usize, hi: usize) -> Engine
     Ok(KeyMap::Multi(table))
 }
 
-fn parallel_hash_build(rows: &[Row], keys: &[Expr], threads: usize) -> EngineResult<KeyMap> {
+fn parallel_hash_build(
+    rows: &[Row],
+    keys: &[Expr],
+    threads: usize,
+    metrics: &OpMetrics,
+) -> EngineResult<KeyMap> {
     let chunk = rows.len().div_ceil(threads).max(1);
-    let parts: Vec<EngineResult<KeyMap>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|w| {
-                let lo = (w * chunk).min(rows.len());
-                let hi = ((w + 1) * chunk).min(rows.len());
-                s.spawn(move || hash_build_range(rows, keys, lo, hi))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join().unwrap_or_else(|_| {
-                    Err(EngineError::Eval("join build worker panicked".into()))
-                })
-            })
-            .collect()
-    });
+    let mut tasks = Vec::with_capacity(threads);
+    let mut lo = 0;
+    while lo < rows.len() {
+        let hi = (lo + chunk).min(rows.len());
+        tasks.push(move || hash_build_range(rows, keys, lo, hi));
+        lo = hi;
+    }
+    let (results, workers) = WorkerPool::global().run_scoped(tasks);
+    metrics.record_wave(workers as u64);
     let mut merged = KeyMap::for_keys(keys);
-    for part in parts {
-        merged.merge(part?);
+    for part in results {
+        let part = part
+            .map_err(|m| EngineError::Eval(format!("join build worker panicked: {m}")))??;
+        merged.merge(part);
     }
     Ok(merged)
+}
+
+/// Probe one chunk of owned left rows against the shared build table.
+/// Pure function of the chunk's row order, so chunk outputs concatenated
+/// in chunk order are identical to a sequential probe of the whole batch.
+fn probe_batch(
+    build: &JoinBuild,
+    kind: JoinKind,
+    left_keys: &[Expr],
+    right_arity: usize,
+    batch: Vec<Row>,
+) -> EngineResult<Vec<Row>> {
+    let mut out = Vec::new();
+    for lrow in batch {
+        let matches = build.probe(left_keys, &lrow)?;
+        match kind {
+            JoinKind::Inner => {
+                if let Some(idxs) = matches {
+                    for &i in idxs {
+                        let mut row = Vec::with_capacity(lrow.len() + right_arity);
+                        row.extend_from_slice(&lrow);
+                        row.extend_from_slice(&build.rows[i]);
+                        out.push(row);
+                    }
+                }
+            }
+            JoinKind::Left => match matches {
+                Some(idxs) if !idxs.is_empty() => {
+                    for &i in idxs {
+                        let mut row = Vec::with_capacity(lrow.len() + right_arity);
+                        row.extend_from_slice(&lrow);
+                        row.extend_from_slice(&build.rows[i]);
+                        out.push(row);
+                    }
+                }
+                _ => {
+                    let mut row = Vec::with_capacity(lrow.len() + right_arity);
+                    row.extend_from_slice(&lrow);
+                    row.extend(std::iter::repeat_n(Value::Null, right_arity));
+                    out.push(row);
+                }
+            },
+            JoinKind::Semi => {
+                if matches.is_some_and(|m| !m.is_empty()) {
+                    // Left rows are owned: emit by move, no clone.
+                    out.push(lrow);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Split owned `rows` into up to `parts` contiguous chunks of at least
+/// `min_chunk` rows, preserving order.
+fn split_owned(mut rows: Vec<Row>, parts: usize, min_chunk: usize) -> Vec<Vec<Row>> {
+    let per = rows.len().div_ceil(parts.max(1)).max(min_chunk).max(1);
+    let mut out = Vec::with_capacity(parts);
+    while rows.len() > per {
+        let tail = rows.split_off(per);
+        out.push(std::mem::replace(&mut rows, tail));
+    }
+    out.push(rows);
+    out
 }
 
 impl RowStream for JoinStream<'_> {
@@ -831,46 +1117,27 @@ impl RowStream for JoinStream<'_> {
         loop {
             let Some(batch) = self.left.next_batch()? else { return Ok(None) };
             let build = self.build.as_ref().expect("built above");
-            let mut out = Vec::new();
-            for lrow in batch {
-                let matches = build.probe(self.left_keys, &lrow)?;
-                match self.kind {
-                    JoinKind::Inner => {
-                        if let Some(idxs) = matches {
-                            for &i in idxs {
-                                let mut row =
-                                    Vec::with_capacity(lrow.len() + self.right_arity);
-                                row.extend_from_slice(&lrow);
-                                row.extend_from_slice(&build.rows[i]);
-                                out.push(row);
-                            }
-                        }
-                    }
-                    JoinKind::Left => match matches {
-                        Some(idxs) if !idxs.is_empty() => {
-                            for &i in idxs {
-                                let mut row =
-                                    Vec::with_capacity(lrow.len() + self.right_arity);
-                                row.extend_from_slice(&lrow);
-                                row.extend_from_slice(&build.rows[i]);
-                                out.push(row);
-                            }
-                        }
-                        _ => {
-                            let mut row = Vec::with_capacity(lrow.len() + self.right_arity);
-                            row.extend_from_slice(&lrow);
-                            row.extend(std::iter::repeat_n(Value::Null, self.right_arity));
-                            out.push(row);
-                        }
-                    },
-                    JoinKind::Semi => {
-                        if matches.is_some_and(|m| !m.is_empty()) {
-                            // Left rows are owned: emit by move, no clone.
-                            out.push(lrow);
-                        }
-                    }
+            let out = if self.threads > 1 && batch.len() >= 2 * PROBE_FANOUT_MIN {
+                // Morsel-partition the probe batch across the pool; chunk
+                // outputs concatenate in chunk order (deterministic).
+                let parts = split_owned(batch, self.threads, PROBE_FANOUT_MIN);
+                let (kind, keys, arity) = (self.kind, self.left_keys, self.right_arity);
+                let tasks: Vec<_> = parts
+                    .into_iter()
+                    .map(|chunk| move || probe_batch(build, kind, keys, arity, chunk))
+                    .collect();
+                let (results, workers) = WorkerPool::global().run_scoped(tasks);
+                self.metrics.record_wave(workers as u64);
+                let mut out = Vec::new();
+                for r in results {
+                    out.extend(r.map_err(|m| {
+                        EngineError::Eval(format!("join probe worker panicked: {m}"))
+                    })??);
                 }
-            }
+                out
+            } else {
+                probe_batch(build, self.kind, self.left_keys, self.right_arity, batch)?
+            };
             if !out.is_empty() {
                 return Ok(Some(out));
             }
@@ -880,99 +1147,247 @@ impl RowStream for JoinStream<'_> {
 
 // ---- pipeline breakers -----------------------------------------------------
 
+/// Fixed partial-aggregation chunk size (rows). Chunk boundaries are a
+/// pure function of the global input row index — independent of batch
+/// size, morsel size, and thread count — so the partial-merge tree (and
+/// with it any float rounding) is identical across every configuration,
+/// including fully sequential execution.
+const AGG_CHUNK: usize = 1024;
+
 struct AggregateStream<'a> {
     input: BoxedRowStream<'a>,
     group: &'a [Expr],
     aggs: &'a [AggCall],
     batch: usize,
+    threads: usize,
+    metrics: Arc<OpMetrics>,
     out: Option<VecDeque<Vec<Row>>>,
 }
 
+/// Partial (or global) aggregation state: one hash table of group keys to
+/// accumulator rows, preserving first-seen group order. `Single` is the
+/// single-key fast path (keys directly on `Value`, no per-row `Vec`
+/// allocation).
+enum GroupedAcc {
+    /// Global aggregate (no GROUP BY): exactly one accumulator row.
+    Global(Vec<Accumulator>),
+    Single { map: FxHashMap<Value, usize>, states: Vec<(Value, Vec<Accumulator>)> },
+    Multi { map: FxHashMap<Vec<Value>, usize>, states: Vec<(Vec<Value>, Vec<Accumulator>)> },
+}
+
+impl GroupedAcc {
+    fn new(group: &[Expr], aggs: &[AggCall]) -> GroupedAcc {
+        match group.len() {
+            0 => GroupedAcc::Global(aggs.iter().map(|a| a.accumulator()).collect()),
+            1 => GroupedAcc::Single { map: FxHashMap::default(), states: Vec::new() },
+            _ => GroupedAcc::Multi { map: FxHashMap::default(), states: Vec::new() },
+        }
+    }
+
+    fn update(&mut self, group: &[Expr], aggs: &[AggCall], row: &Row) -> EngineResult<()> {
+        match self {
+            GroupedAcc::Global(accs) => {
+                for (acc, call) in accs.iter_mut().zip(aggs) {
+                    acc.update(call.arg.eval(row)?)?;
+                }
+            }
+            GroupedAcc::Single { map, states } => {
+                let [g] = group else { unreachable!("Single requires one group key") };
+                let key = g.eval(row)?;
+                let slot = match map.get(&key) {
+                    Some(&s) => s,
+                    None => {
+                        let s = states.len();
+                        map.insert(key.clone(), s);
+                        states.push((key, aggs.iter().map(|a| a.accumulator()).collect()));
+                        s
+                    }
+                };
+                let (_, accs) = &mut states[slot];
+                for (acc, call) in accs.iter_mut().zip(aggs) {
+                    acc.update(call.arg.eval(row)?)?;
+                }
+            }
+            GroupedAcc::Multi { map, states } => {
+                let mut key = Vec::with_capacity(group.len());
+                for e in group {
+                    key.push(e.eval(row)?);
+                }
+                let slot = match map.get(&key) {
+                    Some(&s) => s,
+                    None => {
+                        let s = states.len();
+                        map.insert(key.clone(), s);
+                        states.push((key, aggs.iter().map(|a| a.accumulator()).collect()));
+                        s
+                    }
+                };
+                let (_, accs) = &mut states[slot];
+                for (acc, call) in accs.iter_mut().zip(aggs) {
+                    acc.update(call.arg.eval(row)?)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge a later partial into `self`. Groups first seen in `other`
+    /// append in `other`'s order, so absorbing partials in chunk order
+    /// reproduces the global first-seen group order (and `ARRAY_AGG`
+    /// element order) of sequential execution exactly.
+    fn absorb(&mut self, other: GroupedAcc) -> EngineResult<()> {
+        match (self, other) {
+            (GroupedAcc::Global(a), GroupedAcc::Global(b)) => {
+                for (acc, part) in a.iter_mut().zip(b) {
+                    acc.merge(part)?;
+                }
+            }
+            (GroupedAcc::Single { map, states }, GroupedAcc::Single { states: ostates, .. }) => {
+                for (key, accs) in ostates {
+                    match map.get(&key) {
+                        Some(&s) => {
+                            for (acc, part) in states[s].1.iter_mut().zip(accs) {
+                                acc.merge(part)?;
+                            }
+                        }
+                        None => {
+                            map.insert(key.clone(), states.len());
+                            states.push((key, accs));
+                        }
+                    }
+                }
+            }
+            (GroupedAcc::Multi { map, states }, GroupedAcc::Multi { states: ostates, .. }) => {
+                for (key, accs) in ostates {
+                    match map.get(&key) {
+                        Some(&s) => {
+                            for (acc, part) in states[s].1.iter_mut().zip(accs) {
+                                acc.merge(part)?;
+                            }
+                        }
+                        None => {
+                            map.insert(key.clone(), states.len());
+                            states.push((key, accs));
+                        }
+                    }
+                }
+            }
+            _ => return Err(EngineError::Eval("aggregate partial shape mismatch".into())),
+        }
+        Ok(())
+    }
+
+    /// Finalize into output rows (first-seen group order).
+    fn finish(self) -> Vec<Row> {
+        match self {
+            GroupedAcc::Global(accs) => {
+                vec![accs.into_iter().map(Accumulator::finish).collect()]
+            }
+            GroupedAcc::Single { states, .. } => {
+                let mut rows = Vec::with_capacity(states.len());
+                for (key, accs) in states {
+                    let mut row = Vec::with_capacity(1 + accs.len());
+                    row.push(key);
+                    row.extend(accs.into_iter().map(Accumulator::finish));
+                    rows.push(row);
+                }
+                rows
+            }
+            GroupedAcc::Multi { states, .. } => {
+                let mut rows = Vec::with_capacity(states.len());
+                for (key, accs) in states {
+                    let mut row = key;
+                    row.extend(accs.into_iter().map(Accumulator::finish));
+                    rows.push(row);
+                }
+                rows
+            }
+        }
+    }
+}
+
 impl AggregateStream<'_> {
-    /// Consume the input batch-by-batch, feeding accumulators directly —
-    /// the input is never materialized as a whole.
+    /// Consume the input batch-by-batch, folding fixed-size row chunks
+    /// into partial hash tables that merge into the global state in chunk
+    /// order. With `threads > 1`, waves of complete chunks aggregate in
+    /// parallel on the pool; the chunk boundaries and merge order — and
+    /// therefore the result, bit for bit — are the same either way.
     fn run(&mut self) -> EngineResult<VecDeque<Vec<Row>>> {
-        let rows = if self.group.is_empty() {
-            // Global aggregate: always exactly one output row.
-            let mut accs: Vec<Accumulator> =
-                self.aggs.iter().map(|a| a.accumulator()).collect();
-            while let Some(batch) = self.input.next_batch()? {
-                for row in &batch {
-                    for (acc, call) in accs.iter_mut().zip(self.aggs) {
-                        acc.update(call.arg.eval(row)?)?;
-                    }
-                }
+        let mut global = GroupedAcc::new(self.group, self.aggs);
+        let mut pending: Vec<Row> = Vec::new();
+        loop {
+            let batch = self.input.next_batch()?;
+            let done = batch.is_none();
+            if let Some(b) = batch {
+                pending.extend(b);
             }
-            vec![accs.into_iter().map(Accumulator::finish).collect()]
-        } else if let [g] = self.group {
-            // Single-key group-by fast path: key directly on `Value`, no
-            // per-row `Vec<Value>` allocation. First-seen order preserved.
-            let mut groups: FxHashMap<Value, usize> = FxHashMap::default();
-            let mut states: Vec<(Value, Vec<Accumulator>)> = Vec::new();
-            while let Some(batch) = self.input.next_batch()? {
-                for row in &batch {
-                    let key = g.eval(row)?;
-                    let slot = match groups.get(&key) {
-                        Some(&s) => s,
-                        None => {
-                            let s = states.len();
-                            groups.insert(key.clone(), s);
-                            states
-                                .push((key, self.aggs.iter().map(|a| a.accumulator()).collect()));
-                            s
-                        }
-                    };
-                    let (_, accs) = &mut states[slot];
-                    for (acc, call) in accs.iter_mut().zip(self.aggs) {
-                        acc.update(call.arg.eval(row)?)?;
-                    }
-                }
+            // Fold once `threads` complete chunks are buffered (one wave's
+            // worth), or everything that remains at end of input.
+            let ready = if done {
+                pending.len()
+            } else {
+                let full = pending.len() / AGG_CHUNK;
+                if full < self.threads { 0 } else { full * AGG_CHUNK }
+            };
+            if ready > 0 {
+                let rest = pending.split_off(ready);
+                let take = std::mem::replace(&mut pending, rest);
+                self.fold_chunks(&mut global, &take)?;
             }
-            let mut rows = Vec::with_capacity(states.len());
-            for (key, accs) in states {
-                let mut row = Vec::with_capacity(1 + accs.len());
-                row.push(key);
-                row.extend(accs.into_iter().map(Accumulator::finish));
-                rows.push(row);
+            if done {
+                break;
             }
-            rows
-        } else {
-            // Group-by: preserve first-seen group order for determinism.
-            let mut groups: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
-            let mut states: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
-            while let Some(batch) = self.input.next_batch()? {
-                for row in &batch {
-                    let mut key = Vec::with_capacity(self.group.len());
-                    for e in self.group {
-                        key.push(e.eval(row)?);
-                    }
-                    let slot = match groups.get(&key) {
-                        Some(&s) => s,
-                        None => {
-                            let s = states.len();
-                            groups.insert(key.clone(), s);
-                            states
-                                .push((key, self.aggs.iter().map(|a| a.accumulator()).collect()));
-                            s
-                        }
-                    };
-                    let (_, accs) = &mut states[slot];
-                    for (acc, call) in accs.iter_mut().zip(self.aggs) {
-                        acc.update(call.arg.eval(row)?)?;
-                    }
-                }
-            }
-            let mut rows = Vec::with_capacity(states.len());
-            for (key, accs) in states {
-                let mut row = key;
-                row.extend(accs.into_iter().map(Accumulator::finish));
-                rows.push(row);
-            }
-            rows
-        };
+        }
+        let rows = global.finish();
         let mut out = VecDeque::new();
         push_chunked(&mut out, rows, self.batch);
         Ok(out)
+    }
+
+    /// Aggregate `rows` in [`AGG_CHUNK`]-sized chunks and absorb the
+    /// partials into `global` in chunk order.
+    fn fold_chunks(&self, global: &mut GroupedAcc, rows: &[Row]) -> EngineResult<()> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let (group, aggs) = (self.group, self.aggs);
+        let build = |chunk: &[Row]| -> EngineResult<GroupedAcc> {
+            let mut partial = GroupedAcc::new(group, aggs);
+            for row in chunk {
+                partial.update(group, aggs, row)?;
+            }
+            Ok(partial)
+        };
+        let chunks: Vec<&[Row]> = rows.chunks(AGG_CHUNK).collect();
+        let partials: Vec<GroupedAcc> = if self.threads > 1 && chunks.len() > 1 {
+            let build = &build;
+            let tasks: Vec<_> = chunks
+                .iter()
+                .map(|c| {
+                    let c: &[Row] = c;
+                    move || build(c)
+                })
+                .collect();
+            let (results, workers) = WorkerPool::global().run_scoped(tasks);
+            self.metrics.record_wave(workers as u64);
+            let mut parts = Vec::with_capacity(results.len());
+            for r in results {
+                parts.push(r.map_err(|m| {
+                    EngineError::Eval(format!("aggregate worker panicked: {m}"))
+                })??);
+            }
+            parts
+        } else {
+            let mut parts = Vec::with_capacity(chunks.len());
+            for c in chunks {
+                parts.push(build(c)?);
+            }
+            parts
+        };
+        for p in partials {
+            global.absorb(p)?;
+        }
+        Ok(())
     }
 }
 

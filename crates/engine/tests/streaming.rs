@@ -82,8 +82,11 @@ fn streaming_is_invariant_under_batch_morsel_and_thread_configs() {
             let configs = [
                 ExecContext::default().with_batch_size(1),
                 ExecContext::default().with_batch_size(7).with_morsel_size(3),
+                ExecContext::default().with_threads(1),
                 ExecContext::default().with_threads(4),
                 ExecContext::default().with_threads(4).with_batch_size(2).with_morsel_size(5),
+                ExecContext::default().with_fusion(false),
+                ExecContext::default().with_fusion(false).with_threads(4).with_morsel_size(3),
             ];
             for (i, ctx) in configs.iter().enumerate() {
                 let rows = drain(&plan, &cat, ctx);
@@ -117,7 +120,9 @@ fn limit_terminates_upstream_scan_early() {
     let (lw, cat) = setup("M4");
     // E9b under M4 is a plain single-table scan; wrap it in LIMIT 3.
     let plan = plan_for(&lw, &cat, QUERIES[6].1).limit(3);
-    let ctx = ExecContext::default().with_batch_size(4).with_morsel_size(4);
+    // Threads pinned: one scan wave examines up to threads x morsel slots,
+    // so the rows_in bound below depends on the thread count.
+    let ctx = ExecContext::default().with_batch_size(4).with_morsel_size(4).with_threads(2);
     let (rows, metrics) = execute_with_metrics(&plan, &cat, &ctx).unwrap();
     assert_eq!(rows.len(), 3);
     let limit = metrics.find("Limit").expect("limit node in metrics");

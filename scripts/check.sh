@@ -14,6 +14,16 @@ cargo test -q --offline --workspace
 # workspace tests; the named re-run makes a recovery regression visible
 # at a glance and keeps the suite from being silently filtered out.
 cargo test -q --offline --test property_durability
+# Parallel-execution invariance sweep (bit-identical results across
+# threads × morsel × batch × fusion on M1–M6 + concurrent-query stress).
+cargo test -q --offline --test parallel_invariance
+# The persistent worker pool must be the engine's only thread-spawn site:
+# no operator may spawn (or scope) threads per wave.
+if grep -rn "thread::spawn\|thread::scope\|thread::Builder" crates/engine/src \
+    --include='*.rs' | grep -v "^crates/engine/src/pool.rs:" | grep -v "^ *//"; then
+    echo "ERROR: thread spawn outside crates/engine/src/pool.rs" >&2
+    exit 1
+fi
 cargo clippy --offline --workspace --all-targets -- -D warnings
 # Benches must at least compile; running them is opt-in (slow).
 cargo bench --offline --workspace --no-run

@@ -1,0 +1,181 @@
+//! Parallel-execution invariance: the streaming executor guarantees
+//! **bit-identical** results regardless of thread count, morsel size,
+//! batch size, or pipeline fusion (see `DESIGN.md` §9 — morsel-ordered
+//! reassembly, chunk-ordered aggregate merges over fixed chunk
+//! boundaries). This sweep pins that guarantee across every parallel
+//! operator family on the paper's mappings M1–M6:
+//!
+//! * scan + fused Filter/Project chains,
+//! * hash-join build and morsel-partitioned probe,
+//! * partial aggregation with and without GROUP BY (COUNT/SUM/AVG/MIN/MAX
+//!   and the group-order-sensitive single-key fast path),
+//! * LIMIT early-exit above a parallel scan,
+//! * cancellation mid-wave,
+//!
+//! plus a many-threads stress test hammering one `Database` from
+//! concurrent `query_with` callers.
+
+use erbium_datagen::{experiment_database, ExperimentConfig};
+use erbiumdb::core::Database;
+use erbiumdb::engine::{EngineError, ExecContext};
+use erbiumdb::mapping::presets::paper;
+use erbiumdb::mapping::CoFormat;
+use erbiumdb::model::fixtures;
+use erbiumdb::storage::Value;
+
+fn databases() -> Vec<(String, Database)> {
+    let cfg = ExperimentConfig { n_r: 150, mv_avg: 3, seed: 11 };
+    let schema = fixtures::experiment();
+    let mappings = vec![
+        paper::m1(&schema),
+        paper::m2(&schema),
+        paper::m3(&schema),
+        paper::m4(&schema),
+        paper::m5(&schema).unwrap(),
+        paper::m6(&schema, CoFormat::Denormalized).unwrap(),
+        paper::m6(&schema, CoFormat::Factorized).unwrap(),
+    ];
+    mappings
+        .into_iter()
+        .map(|m| {
+            let name = m.name.clone();
+            (name, experiment_database(&m, &cfg).unwrap())
+        })
+        .collect()
+}
+
+/// One query per parallel operator family.
+const QUERIES: &[(&str, &str)] = &[
+    // Scan with a Filter/Project chain fused into the morsel workers.
+    ("fusion", "SELECT r.r_id, r.r_a FROM R r WHERE r.r_b < 10"),
+    // Hash-join build + morsel-partitioned probe (E6 class).
+    (
+        "probe",
+        "SELECT r.r_id, s.s_id FROM R r JOIN S s VIA r_s \
+         WHERE r.r_b < 10 AND s.s_b < 5",
+    ),
+    // 3-way join (E5 class): factorized under M5/M6f, hash joins elsewhere.
+    ("join3", "SELECT r.r_id, r.r_a, r.r_b, r.r1_a, r.r1_b, r.r3_a FROM R3 r"),
+    // Grouped partial aggregation: output *order* (first-seen group order)
+    // and float AVG must both be invariant; exercises the single-key fast
+    // path.
+    (
+        "agg_group",
+        "SELECT r.r_b, COUNT(*) AS n, SUM(r.r_id) AS s, AVG(r.r_id) AS a \
+         FROM R r GROUP BY r.r_b",
+    ),
+    // Global (no GROUP BY) aggregation.
+    (
+        "agg_global",
+        "SELECT COUNT(*) AS n, SUM(r.r_b) AS s, AVG(r.r_b) AS a, \
+         MIN(r.r_a) AS lo, MAX(r.r_a) AS hi FROM R r",
+    ),
+    // Array reassembly + unnest above a parallel scan.
+    ("unnest", "SELECT UNNEST(r.r_mv1) FROM R r"),
+    // LIMIT early-exit above a parallel scan: which 7 rows come out must
+    // not depend on the execution config.
+    ("limit", "SELECT r.r_id, r.r_b FROM R r LIMIT 7"),
+];
+
+#[test]
+fn results_are_bit_identical_across_thread_morsel_batch_and_fusion_configs() {
+    for (mapping, db) in databases() {
+        for &(family, sql) in QUERIES {
+            let reference = db
+                .query_with(sql, &ExecContext::default().with_threads(1))
+                .unwrap_or_else(|e| panic!("{mapping}/{family}: {e}"))
+                .rows;
+            assert!(!reference.is_empty(), "{mapping}/{family}: fixture should produce rows");
+            for threads in [1usize, 2, 4, 8] {
+                for morsel in [1usize, 7, 4096] {
+                    for batch in [3usize, 1024] {
+                        for fusion in [true, false] {
+                            let ctx = ExecContext::default()
+                                .with_threads(threads)
+                                .with_morsel_size(morsel)
+                                .with_batch_size(batch)
+                                .with_fusion(fusion);
+                            let rows = db.query_with(sql, &ctx).unwrap().rows;
+                            assert_eq!(
+                                rows, reference,
+                                "{mapping}/{family}: threads={threads} morsel={morsel} \
+                                 batch={batch} fusion={fusion} diverged from single-threaded"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn limit_early_exit_holds_under_parallel_scan() {
+    let cfg = ExperimentConfig { n_r: 500, mv_avg: 2, seed: 3 };
+    let db = experiment_database(&paper::m1(&fixtures::experiment()), &cfg).unwrap();
+    let ctx = ExecContext::default().with_threads(2).with_morsel_size(16).with_batch_size(16);
+    let res = db.query_with("SELECT r.r_id FROM R r LIMIT 5", &ctx).unwrap();
+    assert_eq!(res.rows.len(), 5);
+    let m = res.metrics.expect("query_with returns metrics");
+    let scan = m.leaves()[0];
+    assert!(
+        scan.rows_in < 500,
+        "LIMIT must stop the parallel scan early; examined {} rows\n{}",
+        scan.rows_in,
+        m.render()
+    );
+}
+
+#[test]
+fn cancellation_mid_wave_surfaces_cancelled() {
+    let cfg = ExperimentConfig { n_r: 300, mv_avg: 2, seed: 5 };
+    let db = experiment_database(&paper::m1(&fixtures::experiment()), &cfg).unwrap();
+    let plan = db.plan("SELECT r.r_id, s.s_id FROM R r JOIN S s VIA r_s").unwrap();
+    let ctx = ExecContext::default().with_threads(4).with_morsel_size(8).with_batch_size(1);
+    let mut stream =
+        erbiumdb::engine::execute_streaming(&plan, db.catalog(), &ctx).unwrap();
+    assert!(stream.next_batch().unwrap().is_some(), "first batch should arrive");
+    ctx.cancel();
+    let err = loop {
+        match stream.next_batch() {
+            Ok(Some(_)) => continue,
+            Ok(None) => panic!("stream completed despite cancellation"),
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(err, EngineError::Cancelled);
+}
+
+/// Many concurrent `query_with` callers against one shared `Database`,
+/// each itself requesting parallel execution — the global worker pool is
+/// shared by every wave of every query, and nested submission must never
+/// deadlock or cross-contaminate results.
+#[test]
+fn concurrent_parallel_queries_share_the_pool_without_interference() {
+    let cfg = ExperimentConfig { n_r: 200, mv_avg: 3, seed: 9 };
+    let db = experiment_database(&paper::m1(&fixtures::experiment()), &cfg).unwrap();
+    let expected: Vec<Vec<Vec<Value>>> = QUERIES
+        .iter()
+        .map(|(_, sql)| db.query_with(sql, &ExecContext::default().with_threads(1)).unwrap().rows)
+        .collect();
+    std::thread::scope(|s| {
+        for caller in 0..8usize {
+            let db = &db;
+            let expected = &expected;
+            s.spawn(move || {
+                for round in 0..4usize {
+                    for (qi, (family, sql)) in QUERIES.iter().enumerate() {
+                        let ctx = ExecContext::default()
+                            .with_threads(1 + (caller + round) % 8)
+                            .with_morsel_size([1, 7, 64, 4096][(caller + qi) % 4]);
+                        let rows = db.query_with(sql, &ctx).unwrap().rows;
+                        assert_eq!(
+                            &rows, &expected[qi],
+                            "caller {caller} round {round} family {family} diverged"
+                        );
+                    }
+                }
+            });
+        }
+    });
+}
