@@ -13,8 +13,11 @@ use erbium_query::Statement;
 use erbium_storage::{
     snapshot, Catalog, Row, SyncPolicy, Transaction, Value, Wal, WAL_FILE,
 };
+use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Top-level error type of ErbiumDB.
 #[derive(Debug, Clone, PartialEq)]
@@ -129,10 +132,112 @@ pub struct DurabilityOptions {
     pub sync: SyncPolicy,
 }
 
+/// Observability configuration, applied with
+/// [`Database::configure_observability`]. Mirrors the
+/// [`DurabilityOptions`] style: a plain struct of knobs with sensible
+/// zero-cost defaults (no slow-query capture, tracing off).
+#[derive(Debug, Clone, Default)]
+pub struct ObservabilityOptions {
+    /// Queries running at least this long are recorded in the slow-query
+    /// log with their SQL, plan digest, metrics tree and q-error.
+    /// `None` disables capture. `Some(Duration::ZERO)` records every query
+    /// (useful for offline workload analysis feeding the advisor).
+    pub slow_query_threshold: Option<Duration>,
+    /// Enable structured tracing spans (process-wide; see
+    /// [`erbium_obs::trace`]). Off by default — a disabled span costs one
+    /// relaxed atomic load.
+    pub tracing: bool,
+    /// Stream finished spans to this JSONL file (one object per line) in
+    /// addition to the in-memory ring buffer. Requires `tracing: true` to
+    /// produce anything.
+    pub trace_file: Option<PathBuf>,
+}
+
+/// One slow-query log entry (see [`Database::slow_queries`]).
+#[derive(Debug, Clone)]
+pub struct SlowQueryRecord {
+    /// Tracing query id — correlates with span records in the trace sink.
+    pub query_id: u64,
+    /// The ERQL text as submitted.
+    pub sql: String,
+    /// Stable digest of the optimized physical plan's rendering: queries
+    /// with the same digest executed the same plan shape, so a workload
+    /// analysis can group records by plan rather than by SQL string.
+    pub plan_digest: u64,
+    /// End-to-end latency (parse → plan → optimize → execute → drain).
+    pub elapsed: Duration,
+    /// Per-operator metrics tree, annotated with optimizer estimates when
+    /// statistics were available.
+    pub metrics: erbium_engine::ExecMetrics,
+    /// Worst estimate-vs-actual q-error across the plan (`None` when no
+    /// node carried an estimate — e.g. stats were never gathered).
+    pub max_q_error: Option<f64>,
+}
+
+/// Interior-mutable slow-query state. `run_query` takes `&self`, so the
+/// ring lives behind a mutex; the lock is touched once per query (a load
+/// of the threshold) and only contended when records are actually pushed.
+struct SlowLog {
+    threshold: Option<Duration>,
+    ring: VecDeque<SlowQueryRecord>,
+}
+
+/// Retained slow-query records (oldest evicted first).
+const SLOW_LOG_CAP: usize = 128;
+
 /// Durable-state handles attached to an opened database.
 struct Durability {
     dir: PathBuf,
     wal: Wal,
+}
+
+// ---- process-wide query metrics --------------------------------------------
+
+fn m_queries() -> &'static erbium_obs::Counter {
+    static H: std::sync::OnceLock<std::sync::Arc<erbium_obs::Counter>> =
+        std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global()
+            .counter("erbium_queries_total", "Queries executed (EXPLAIN excluded)")
+    })
+}
+
+fn m_query_seconds() -> &'static erbium_obs::Histogram {
+    static H: std::sync::OnceLock<std::sync::Arc<erbium_obs::Histogram>> =
+        std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global()
+            .histogram("erbium_query_seconds", "End-to-end query latency")
+    })
+}
+
+fn m_rows_scanned() -> &'static erbium_obs::Counter {
+    static H: std::sync::OnceLock<std::sync::Arc<erbium_obs::Counter>> =
+        std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global().counter(
+            "erbium_rows_scanned_total",
+            "Rows produced by leaf scan operators across all queries",
+        )
+    })
+}
+
+fn m_rows_emitted() -> &'static erbium_obs::Counter {
+    static H: std::sync::OnceLock<std::sync::Arc<erbium_obs::Counter>> =
+        std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global()
+            .counter("erbium_rows_emitted_total", "Result rows returned to callers")
+    })
+}
+
+fn m_slow_queries() -> &'static erbium_obs::Counter {
+    static H: std::sync::OnceLock<std::sync::Arc<erbium_obs::Counter>> =
+        std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global()
+            .counter("erbium_slow_queries_total", "Queries recorded in the slow-query log")
+    })
 }
 
 /// An ErbiumDB database instance.
@@ -145,6 +250,12 @@ pub struct Database {
     /// `None` for in-memory instances — the CRUD paths then skip WAL
     /// logging entirely, so the in-memory fast path pays nothing.
     durability: Option<Durability>,
+    /// Slow-query capture state (threshold + bounded ring of records).
+    slow_log: Mutex<SlowLog>,
+}
+
+fn new_slow_log() -> Mutex<SlowLog> {
+    Mutex::new(SlowLog { threshold: None, ring: VecDeque::new() })
 }
 
 impl Default for Database {
@@ -165,6 +276,7 @@ impl Database {
             lowering: None,
             policy: None,
             durability: None,
+            slow_log: new_slow_log(),
         }
     }
 
@@ -177,6 +289,7 @@ impl Database {
             lowering: None,
             policy: None,
             durability: None,
+            slow_log: new_slow_log(),
         })
     }
 
@@ -190,6 +303,7 @@ impl Database {
             lowering: Some(lowering),
             policy: None,
             durability: None,
+            slow_log: new_slow_log(),
         }
     }
 
@@ -244,6 +358,7 @@ impl Database {
             lowering,
             policy: None,
             durability: Some(Durability { dir, wal }),
+            slow_log: new_slow_log(),
         })
     }
 
@@ -475,19 +590,6 @@ impl Database {
         self.transaction(|tx| tx.link(rel, from_key, to_key, attrs))
     }
 
-    /// Create a relationship instance carrying relationship attributes.
-    #[deprecated(note = "use `link(rel, from, to, attrs)` — the attribute \
-                         slice is now part of `link` itself")]
-    pub fn link_with_attrs(
-        &mut self,
-        rel: &str,
-        from_key: &[Value],
-        to_key: &[Value],
-        attrs: &[(&str, Value)],
-    ) -> DbResult<()> {
-        self.link(rel, from_key, to_key, attrs)
-    }
-
     /// Remove a relationship instance.
     pub fn unlink(&mut self, rel: &str, from_key: &[Value], to_key: &[Value]) -> DbResult<()> {
         self.transaction(|tx| tx.unlink(rel, from_key, to_key))
@@ -530,12 +632,44 @@ impl Database {
                 .collect();
             return Ok(QueryResult { columns: vec!["plan".into()], rows, metrics: None });
         }
+        // Query lifecycle instrumentation: a fresh query id scopes every
+        // span opened below (parse/plan/optimize in `self.plan`, execute
+        // here, plus any storage spans the query triggers on this thread).
+        let qid = erbium_obs::Tracer::global().next_query_id();
+        let _qscope = erbium_obs::QueryIdScope::enter(qid);
+        let _span = erbium_obs::span("query").with_detail(|| sql.to_string());
+        let t0 = std::time::Instant::now();
+
         let plan = self.plan(sql)?;
         let mut stream = erbium_engine::execute_streaming(&plan, &self.catalog, ctx)
             .map_err(|e| DbError::Mapping(MappingError::Engine(e)))?;
-        let rows = stream.drain().map_err(|e| DbError::Mapping(MappingError::Engine(e)))?;
+        let rows = {
+            let _exec_span = erbium_obs::span("execute");
+            stream.drain().map_err(|e| DbError::Mapping(MappingError::Engine(e)))?
+        };
+        let elapsed = t0.elapsed();
+
+        // Process-wide counters ride the executor's always-on atomic
+        // counters, so they cost the same whether or not the caller asked
+        // for a metrics tree.
+        let snapshot = stream.metrics();
+        let scanned: u64 = snapshot.leaves().iter().map(|l| l.rows_out).sum();
+        m_queries().inc();
+        m_query_seconds().observe_duration(elapsed);
+        m_rows_scanned().add(scanned);
+        m_rows_emitted().add(rows.len() as u64);
+
+        // Slow-query capture: one cheap threshold load per query; the
+        // expensive work (annotation, digest) happens only for offenders.
+        let threshold = self.slow_log.lock().threshold;
+        if let Some(th) = threshold {
+            if elapsed >= th {
+                self.record_slow_query(qid, sql, elapsed, &plan, snapshot.clone());
+            }
+        }
+
         let metrics = if collect_metrics {
-            let mut metrics = stream.metrics();
+            let mut metrics = snapshot;
             erbium_engine::annotate_metrics(&mut metrics, &plan, &self.catalog);
             Some(metrics)
         } else {
@@ -546,6 +680,45 @@ impl Database {
             rows,
             metrics,
         })
+    }
+
+    /// Annotate, digest and append one slow-query record.
+    fn record_slow_query(
+        &self,
+        query_id: u64,
+        sql: &str,
+        elapsed: Duration,
+        plan: &Plan,
+        mut metrics: erbium_engine::ExecMetrics,
+    ) {
+        use std::hash::{Hash, Hasher};
+        erbium_engine::annotate_metrics(&mut metrics, plan, &self.catalog);
+        let rendered = erbium_engine::explain_with_estimates(plan, &self.catalog);
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        rendered.hash(&mut hasher);
+        let plan_digest = hasher.finish();
+        fn max_q(m: &erbium_engine::ExecMetrics) -> Option<f64> {
+            let mine = m.q_error();
+            m.children
+                .iter()
+                .filter_map(max_q)
+                .chain(mine)
+                .fold(None, |acc, q| Some(acc.map_or(q, |a: f64| a.max(q))))
+        }
+        let rec = SlowQueryRecord {
+            query_id,
+            sql: sql.to_string(),
+            plan_digest,
+            elapsed,
+            max_q_error: max_q(&metrics),
+            metrics,
+        };
+        m_slow_queries().inc();
+        let mut log = self.slow_log.lock();
+        if log.ring.len() == SLOW_LOG_CAP {
+            log.ring.pop_front();
+        }
+        log.ring.push_back(rec);
     }
 
     /// Run an ERQL SELECT against the logical schema. `EXPLAIN SELECT ...`
@@ -568,25 +741,58 @@ impl Database {
         self.run_query(sql, ctx, true)
     }
 
-    /// Former name of [`Database::query_with`].
-    #[deprecated(note = "use `query_with(sql, ctx)`")]
-    pub fn query_analyze(&self, sql: &str, ctx: &ExecContext) -> DbResult<QueryResult> {
-        self.query_with(sql, ctx)
-    }
-
     /// Compile an ERQL SELECT to an optimized physical plan.
     pub fn plan(&self, sql: &str) -> DbResult<Plan> {
         let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
-        let stmt =
-            erbium_query::parse_single(sql).map_err(|e| DbError::Parse(e.to_string()))?;
+        let stmt = {
+            let _span = erbium_obs::span("parse");
+            erbium_query::parse_single(sql).map_err(|e| DbError::Parse(e.to_string()))?
+        };
         let Statement::Select(sel) = stmt else {
             return Err(DbError::Parse("query() expects a SELECT".into()));
         };
         if let Some(policy) = &self.policy {
             policy.check(&self.schema, &sel).map_err(DbError::PolicyViolation)?;
         }
+        // The `plan` span covers mapping-aware rewrite + optimization; the
+        // optimizer emits its own nested `optimize` span.
+        let _span = erbium_obs::span("plan");
         let rewriter = QueryRewriter::new(lw, &self.catalog);
         Ok(rewriter.rewrite_optimized(&sel)?)
+    }
+
+    // ---- observability ----------------------------------------------------------
+
+    /// Render every process-wide metric (counters, gauges, histograms across
+    /// queries, WAL/checkpoint/recovery, the executor pool and the
+    /// optimizer) in Prometheus text exposition format.
+    ///
+    /// The registry is process-global — it aggregates over every `Database`
+    /// in the process, exactly like a `/metrics` endpoint would.
+    pub fn metrics_text(&self) -> String {
+        erbium_obs::Registry::global().render()
+    }
+
+    /// Apply observability configuration: the slow-query threshold is
+    /// per-database; tracing enablement and the JSONL sink are process-wide
+    /// (spans from all databases interleave in one stream, distinguished by
+    /// query id).
+    pub fn configure_observability(&self, opts: ObservabilityOptions) -> DbResult<()> {
+        self.slow_log.lock().threshold = opts.slow_query_threshold;
+        let tracer = erbium_obs::Tracer::global();
+        tracer
+            .set_jsonl_sink(opts.trace_file.as_deref())
+            .map_err(|e| DbError::Mapping(MappingError::Storage(
+                erbium_storage::StorageError::Io(format!("trace sink: {e}")),
+            )))?;
+        tracer.set_enabled(opts.tracing);
+        Ok(())
+    }
+
+    /// Snapshot of the slow-query log, oldest first (bounded ring; see
+    /// [`ObservabilityOptions::slow_query_threshold`]).
+    pub fn slow_queries(&self) -> Vec<SlowQueryRecord> {
+        self.slow_log.lock().ring.iter().cloned().collect()
     }
 
     /// Render the optimized physical plan of a query — shows how the same

@@ -52,11 +52,15 @@
 pub mod database;
 pub mod governance;
 
-pub use database::{Database, DbError, DbResult, DurabilityOptions, QueryResult, Tx};
+pub use database::{
+    Database, DbError, DbResult, DurabilityOptions, ObservabilityOptions, QueryResult,
+    SlowQueryRecord, Tx,
+};
 pub use governance::{AccessPolicy, ErasureReport};
 
 // Re-export the layer crates for downstream convenience.
 pub use erbium_advisor as advisor;
+pub use erbium_obs as obs;
 pub use erbium_engine as engine;
 pub use erbium_evolve as evolve;
 pub use erbium_mapping as mapping;

@@ -363,20 +363,18 @@ fn transaction_failed_operation_rolls_back_earlier_ones() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_delegate_to_new_entry_points() {
+fn consolidated_entry_points_cover_former_shims() {
+    // `link(.., attrs)` with an empty attribute slice and `query_with`
+    // are the single entry points (the PR-3 `link_with_attrs` /
+    // `query_analyze` shims are gone).
     let mut db = university_db();
-    // link_with_attrs == link(.., attrs).
-    db.link_with_attrs("advisor", &[Value::Int(11)], &[Value::Int(1)], &[]).unwrap_or(());
-    // query_analyze == query_with.
+    db.link("advisor", &[Value::Int(11)], &[Value::Int(1)], &[]).unwrap_or(());
     let a = db
-        .query_analyze("SELECT s.id FROM student s", &erbium_engine::ExecContext::default())
-        .unwrap();
-    let b = db
         .query_with("SELECT s.id FROM student s", &erbium_engine::ExecContext::default())
         .unwrap();
+    let b = db.query("SELECT s.id FROM student s").unwrap();
     assert_eq!(a.rows, b.rows);
-    assert!(a.metrics.is_some() && b.metrics.is_some());
+    assert!(a.metrics.is_some() && b.metrics.is_none());
 }
 
 // ---- value canonicalization across ingest paths ----------------------------

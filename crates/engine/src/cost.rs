@@ -589,4 +589,88 @@ mod tests {
         };
         assert_eq!(explain_with_estimates(&p2, &bare), p2.explain());
     }
+
+    // ---- edge cases ---------------------------------------------------
+
+    #[test]
+    fn empty_table_estimates_zero_without_nan() {
+        // An ANALYZEd table with zero rows must yield rc=0 estimates, not
+        // NaN from the 0/0 null-fraction division in `leaf_cols`.
+        let mut c = Catalog::new();
+        c.create_table(Table::new(TableSchema::new(
+            "empty",
+            vec![Column::not_null("id", DataType::Int), Column::new("v", DataType::Int)],
+            vec![0],
+        )))
+        .unwrap();
+        c.analyze();
+        let p = Plan::scan(&c, "empty").unwrap();
+        let e = estimate(&p, &c).unwrap();
+        assert_eq!(e.rows, 0.0);
+        for ce in e.cols.iter().flatten() {
+            assert!(ce.null_frac.is_finite(), "null_frac must not be NaN on rc=0");
+        }
+        // Filters over the empty estimate stay at zero and finite.
+        let pf = Plan::scan(&c, "empty")
+            .unwrap()
+            .filter(Expr::eq(Expr::col(1), Expr::lit(3i64)));
+        let ef = estimate(&pf, &c).unwrap();
+        assert!(ef.rows == 0.0 && ef.rows.is_finite(), "rows={}", ef.rows);
+    }
+
+    #[test]
+    fn all_null_column_uses_null_fraction() {
+        let mut c = Catalog::new();
+        let mut t = Table::new(TableSchema::new(
+            "n",
+            vec![Column::not_null("id", DataType::Int), Column::new("v", DataType::Int)],
+            vec![0],
+        ));
+        for i in 0..100i64 {
+            t.insert(vec![Value::Int(i), Value::Null]).unwrap();
+        }
+        c.create_table(t).unwrap();
+        c.analyze();
+        let base = Plan::scan(&c, "n").unwrap();
+        let e = estimate(&base, &c).unwrap();
+        let ce = e.cols[1].as_ref().expect("stats for all-NULL column");
+        assert!((ce.null_frac - 1.0).abs() < 1e-9, "null_frac={}", ce.null_frac);
+        // IS NULL keeps everything; IS NOT NULL collapses to the floor.
+        let is_null = base.clone().filter(Expr::IsNull(Box::new(Expr::col(1))));
+        let en = estimate(&is_null, &c).unwrap();
+        assert!((en.rows - 100.0).abs() < 1e-6, "rows={}", en.rows);
+        let not_null =
+            Plan::scan(&c, "n").unwrap().filter(Expr::IsNotNull(Box::new(Expr::col(1))));
+        let enn = estimate(&not_null, &c).unwrap();
+        assert!(enn.rows <= 100.0 * SEL_FLOOR + 1e-9, "rows={}", enn.rows);
+        assert!(enn.rows.is_finite());
+    }
+
+    #[test]
+    fn limit_zero_estimates_zero_rows() {
+        let c = analyzed_cat();
+        let p = Plan::scan(&c, "t").unwrap().limit(0);
+        let e = estimate(&p, &c).unwrap();
+        assert_eq!(e.rows, 0.0);
+        let text = explain_with_estimates(&p, &c);
+        assert!(text.contains("est=0"), "{text}");
+    }
+
+    #[test]
+    fn q_error_handles_zero_actual_rows() {
+        // est=50 but the operator emitted nothing: both sides are floored at
+        // one row, so q-error is 50 — finite, renderable, no divide-by-zero.
+        let m = ExecMetrics {
+            name: "Scan(t)".into(),
+            rows_out: 0,
+            est_rows: Some(50.0),
+            ..ExecMetrics::default()
+        };
+        assert_eq!(m.q_error(), Some(50.0));
+        let text = m.render();
+        assert!(text.contains("est=50 q=50.00"), "{text}");
+        // est=0 and actual=0 floor to 1/1 → perfect score, not NaN.
+        let z = ExecMetrics { est_rows: Some(0.0), ..ExecMetrics::default() };
+        assert_eq!(z.q_error(), Some(1.0));
+    }
 }

@@ -29,14 +29,46 @@ use crate::expr::{BinOp, Expr};
 use crate::plan::{FactorizedSide, Field, JoinKind, Plan, PlanKind};
 use erbium_storage::{Catalog, Value};
 
+fn m_stats_missing() -> &'static erbium_obs::Counter {
+    static H: std::sync::OnceLock<std::sync::Arc<erbium_obs::Counter>> =
+        std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global().counter(
+            "erbium_optimizer_stats_missing_total",
+            "Optimizations that skipped the cost-based passes because the \
+             catalog carried no statistics (run ANALYZE, or investigate \
+             stats loss across restarts)",
+        )
+    })
+}
+
+fn m_cbo_applied() -> &'static erbium_obs::Counter {
+    static H: std::sync::OnceLock<std::sync::Arc<erbium_obs::Counter>> =
+        std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global().counter(
+            "erbium_optimizer_cbo_applied_total",
+            "Optimizations where the cost-based passes ran over gathered statistics",
+        )
+    })
+}
+
 /// Run all optimizer passes.
 pub fn optimize(plan: Plan, cat: &Catalog) -> EngineResult<Plan> {
+    let _span = erbium_obs::span("optimize");
     let plan = fold_constants(plan)?;
     let plan = push_filters(plan)?;
     let plan = select_indexes(plan, cat)?;
+    // The cost-based passes are strict no-ops without statistics. That
+    // degradation must be *visible*: a database whose stats were lost (the
+    // classic case being a recovery path that failed to restore them) would
+    // otherwise silently plan every query on the heuristic paths. The
+    // `stats_missing` counter is the alarm wire for exactly that drift.
     let plan = if cat.stats().is_empty() {
+        m_stats_missing().inc();
         plan
     } else {
+        m_cbo_applied().inc();
         let plan = reorder_joins(plan, cat);
         choose_build_side(plan, cat)
     };

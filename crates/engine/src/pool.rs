@@ -127,6 +127,40 @@ pub struct WorkerPool {
 
 static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
 
+fn m_pool_waves() -> &'static erbium_obs::Counter {
+    static H: std::sync::OnceLock<Arc<erbium_obs::Counter>> = std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global()
+            .counter("erbium_pool_waves_total", "Job waves submitted to the executor pool")
+    })
+}
+
+fn m_pool_jobs() -> &'static erbium_obs::Counter {
+    static H: std::sync::OnceLock<Arc<erbium_obs::Counter>> = std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global()
+            .counter("erbium_pool_jobs_total", "Individual jobs run by the executor pool")
+    })
+}
+
+fn m_pool_workers() -> &'static erbium_obs::Gauge {
+    static H: std::sync::OnceLock<Arc<erbium_obs::Gauge>> = std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global()
+            .gauge("erbium_pool_workers", "Executor worker threads spawned (never shrinks)")
+    })
+}
+
+fn m_pool_queue_depth() -> &'static erbium_obs::Gauge {
+    static H: std::sync::OnceLock<Arc<erbium_obs::Gauge>> = std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global().gauge(
+            "erbium_pool_queue_depth",
+            "High-water mark of the executor pool's pending-wave queue",
+        )
+    })
+}
+
 impl WorkerPool {
     /// The process-wide pool shared by every query of every database in
     /// the process. Created empty; workers are spawned lazily on first
@@ -157,6 +191,7 @@ impl WorkerPool {
                 .spawn(move || self.worker_loop())
                 .expect("spawn executor worker");
         }
+        m_pool_workers().record_max(st.workers as i64);
     }
 
     fn worker_loop(&self) {
@@ -196,6 +231,13 @@ impl WorkerPool {
         if n == 0 {
             return (Vec::new(), 0);
         }
+        // Wave accounting: a handful of relaxed atomic adds (plus one
+        // relaxed load for the disabled-span check) — cheap enough to sit
+        // on the per-wave path; the `morsel_waves` sentinel bench enforces
+        // that this stays within noise.
+        m_pool_waves().inc();
+        m_pool_jobs().add(n as u64);
+        let _span = erbium_obs::span("pool_wave");
         if n == 1 {
             // Nothing to fan out: run inline, skip all queue traffic.
             let f = tasks.into_iter().next().expect("n == 1");
@@ -234,6 +276,7 @@ impl WorkerPool {
             for _ in 0..n - 1 {
                 st.queue.push_back(Arc::clone(&handle));
             }
+            m_pool_queue_depth().record_max(st.queue.len() as i64);
         }
         self.work_ready.notify_all();
         // Participate: drain jobs from our own wave until none are left,

@@ -179,6 +179,47 @@ fn add_rename_drop_attribute() {
     assert!(!s.contains_key("grade_point_avg"));
 }
 
+/// Regression test (Int→Float canonicalization audit): the migrate path
+/// re-ingests every entity through a snapshot → transform → re-insert
+/// cycle. An `AddAttribute` whose Float-typed default is given as
+/// `Value::Int` must land in storage as canonical `Value::Float`, and a
+/// `MakeMultiValued` wrap of a Float attribute must canonicalize the array
+/// elements — otherwise post-migration filters/joins on the attribute would
+/// compare mixed Int/Float representations.
+#[test]
+fn migration_reingest_canonicalizes_int_defaults_for_float_attrs() {
+    let (mut cat, lw) = setup_university();
+    let op = EvolutionOp::AddAttribute {
+        entity: "student".into(),
+        attribute: Attribute::scalar("gpa", ScalarType::Float).nullable(),
+        default: Value::Int(4), // Int literal into a Float attribute
+        placement: MvPlacement::SideTable,
+    };
+    let (lw2, _) = Migrator::apply(&mut cat, &lw, &op).unwrap();
+    let store = EntityStore::new(&lw2);
+    let s = store.get(&cat, "student", &[Value::Int(10)]).unwrap().unwrap();
+    assert!(
+        matches!(s.get("gpa"), Some(Value::Float(f)) if *f == 4.0),
+        "Int default for a Float attribute must be stored canonically, got {:?}",
+        s.get("gpa"),
+    );
+    // The canonical form is what queries compare against.
+    let (_, rows) =
+        run_query(&lw2, &cat, "SELECT s.id FROM student s WHERE s.gpa = 4.0").unwrap();
+    assert_eq!(rows.len(), 5);
+
+    // Wrap it multi-valued: the singleton array element stays canonical.
+    let op = EvolutionOp::MakeMultiValued {
+        entity: "student".into(),
+        attribute: "gpa".into(),
+        placement: MvPlacement::SideTable,
+    };
+    let (lw3, _) = Migrator::apply(&mut cat, &lw2, &op).unwrap();
+    let store = EntityStore::new(&lw3);
+    let s = store.get(&cat, "student", &[Value::Int(10)]).unwrap().unwrap();
+    assert_eq!(s.get("gpa"), Some(&Value::Array(vec![Value::Float(4.0)])));
+}
+
 #[test]
 fn make_single_valued_with_policies() {
     let (mut cat, lw) = setup_university();

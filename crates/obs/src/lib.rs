@@ -1,0 +1,23 @@
+//! # erbium-obs — engine-wide observability for ErbiumDB
+//!
+//! Sits *below* the storage/engine/core crates in the dependency graph so
+//! every layer can record into the same process-wide instruments:
+//!
+//! * [`metrics`] — a global [`Registry`] of counters, gauges and
+//!   log-scale-bucket histograms, rendered as Prometheus text by
+//!   `Database::metrics_text()`.
+//! * [`trace`] — zero-cost-when-disabled structured spans (parse → plan
+//!   → optimize → execute, WAL append/fsync, checkpoint, recovery, pool
+//!   waves), correlated by query id, emitted to an in-memory ring buffer
+//!   and optionally a JSONL file.
+//!
+//! The crate is std-only by design: it must never drag dependencies into
+//! storage's build, and its hot-path cost budget (one relaxed atomic load
+//! per disabled span; a handful of relaxed adds per metric update) is
+//! enforced by the `morsel_waves` overhead sentinel in `crates/bench`.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use trace::{current_query_id, span, QueryIdScope, Span, SpanRecord, Tracer};

@@ -205,6 +205,15 @@ impl Catalog {
         self.stats.put(name, stats);
     }
 
+    /// Replace the whole statistics registry. Recovery uses this to restore
+    /// the registry persisted in a checkpoint snapshot *before* redoing the
+    /// WAL suffix, so mutations in the suffix re-derive staleness through
+    /// the ordinary [`Catalog::table_mut`] / [`Catalog::factorized_mut`]
+    /// paths.
+    pub(crate) fn set_stats(&mut self, stats: CatalogStats) {
+        self.stats = stats;
+    }
+
     /// ANALYZE: gather fresh statistics for every plain table and every
     /// factorized structure in one pass each. Factorized structures yield
     /// three entries — the stored join under the structure's own name and

@@ -542,4 +542,47 @@ mod update_tests {
         assert_eq!(f.right().lookup_pk(&Value::Int(7)).unwrap().0, r);
         assert_eq!(f.enumerate_join()[0][2], Value::Int(7));
     }
+
+    /// Regression test (Int→Float canonicalization audit): every factorized
+    /// member ingest path — `insert_*`, `update_*`, and the WAL-redo
+    /// `place_*` — must store `Value::Int` payloads bound for Float columns
+    /// as canonical `Value::Float`, exactly like plain-table ingest. All
+    /// three delegate to the member [`Table`]'s canonicalizing entry points;
+    /// this pins that contract so a future "optimized" direct-slot path
+    /// can't silently regress it.
+    #[test]
+    fn member_ingest_canonicalizes_int_to_float() {
+        let is_float = |v: &Value, want: f64| matches!(v, Value::Float(f) if *f == want);
+        let left = TableSchema::new(
+            "l",
+            vec![Column::not_null("lid", DataType::Int), Column::new("w", DataType::Float)],
+            vec![0],
+        );
+        let right = TableSchema::new(
+            "r",
+            vec![Column::not_null("rid", DataType::Int), Column::new("x", DataType::Float)],
+            vec![0],
+        );
+        let mut f = FactorizedTable::new("f", left, right);
+
+        // insert path
+        let l = f.insert_left(vec![Value::Int(1), Value::Int(5)]).unwrap();
+        let r = f.insert_right(vec![Value::Int(2), Value::Int(6)]).unwrap();
+        assert!(is_float(&f.left().get(l).unwrap()[1], 5.0), "insert_left");
+        assert!(is_float(&f.right().get(r).unwrap()[1], 6.0), "insert_right");
+
+        // update path
+        f.update_left(l, vec![Value::Int(1), Value::Int(7)]).unwrap();
+        f.update_right(r, vec![Value::Int(2), Value::Int(8)]).unwrap();
+        assert!(is_float(&f.left().get(l).unwrap()[1], 7.0), "update_left");
+        assert!(is_float(&f.right().get(r).unwrap()[1], 8.0), "update_right");
+
+        // WAL-redo placement path (exact-slot placement used by recovery):
+        // a logged row may carry Int payloads, so placement must
+        // canonicalize just like live ingest did.
+        f.place_left(RowId(9), vec![Value::Int(3), Value::Int(9)]).unwrap();
+        f.place_right(RowId(9), vec![Value::Int(4), Value::Int(10)]).unwrap();
+        assert!(is_float(&f.left().get(RowId(9)).unwrap()[1], 9.0), "place_left");
+        assert!(is_float(&f.right().get(RowId(9)).unwrap()[1], 10.0), "place_right");
+    }
 }

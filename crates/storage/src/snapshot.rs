@@ -7,8 +7,13 @@
 //! structure (both members plus the link pairs), and the metadata area
 //! (which is where the upper layers keep the E/R schema, the installed
 //! mapping, and the version log — so those ride along for free). Gathered
-//! statistics are deliberately NOT persisted: they are advisory, and a
-//! recovered database re-runs ANALYZE when it wants them.
+//! statistics ride along too: an optional trailing section carries the
+//! [`CatalogStats`] registry, so a recovered database keeps its cost-based
+//! optimizer passes armed instead of silently degrading to the no-stats
+//! no-op paths. The section is emitted only when the registry is
+//! non-empty, which keeps stat-less snapshots byte-identical to the
+//! original `ERBSNAP1` layout (backward- and forward-compatible decode:
+//! old files simply have no trailing section).
 //!
 //! ## On-disk format
 //!
@@ -37,6 +42,7 @@ use crate::factorized::FactorizedTable;
 use crate::index::IndexKind;
 use crate::row::{Row, RowId};
 use crate::schema::TableSchema;
+use crate::stats::CatalogStats;
 use crate::table::Table;
 use crate::wal::{
     crc32, get_row, put_row, put_str, put_u32, put_u64, scan_wal, Cursor, FactSide, WalRecord,
@@ -131,6 +137,16 @@ fn encode_body(cat: &Catalog, next_txn: u64) -> Vec<u8> {
         put_str(&mut buf, k);
         put_str(&mut buf, &v.to_string());
     }
+
+    // Optional trailing section: the statistics registry. Only emitted when
+    // non-empty so a stat-less snapshot stays byte-identical to the
+    // pre-stats format (and old readers that stop at the meta section would
+    // reject only files that actually carry stats).
+    if !cat.stats().is_empty() {
+        let stats_json =
+            serde_json::to_string(cat.stats()).expect("catalog stats serialize");
+        put_str(&mut buf, &stats_json);
+    }
     buf
 }
 
@@ -217,6 +233,15 @@ fn decode_body(body: &[u8]) -> StorageResult<(Catalog, u64)> {
         cat.put_meta(k, v);
     }
 
+    // Optional trailing section: the statistics registry (absent in
+    // pre-stats snapshots and in snapshots taken before any ANALYZE).
+    if !c.is_done() {
+        let s = c.str().ok_or_else(|| corrupt("snapshot: short stats section"))?;
+        let stats: CatalogStats = serde_json::from_str(&s)
+            .map_err(|e| corrupt(format!("snapshot: bad stats JSON: {e}")))?;
+        cat.set_stats(stats);
+    }
+
     if !c.is_done() {
         return Err(corrupt("snapshot: trailing bytes after body"));
     }
@@ -230,6 +255,13 @@ fn decode_body(body: &[u8]) -> StorageResult<(Catalog, u64)> {
 /// renamed over the previous snapshot, so a crash during checkpointing
 /// leaves either the old or the new snapshot — never a hybrid.
 pub fn write_snapshot(cat: &Catalog, next_txn: u64, dir: &Path) -> StorageResult<()> {
+    use erbium_obs::{Counter, Histogram, Registry};
+    use std::sync::{Arc, OnceLock};
+    static CHECKPOINTS: OnceLock<Arc<Counter>> = OnceLock::new();
+    static CHECKPOINT_SECONDS: OnceLock<Arc<Histogram>> = OnceLock::new();
+    let t0 = std::time::Instant::now();
+    let _span = erbium_obs::span("checkpoint");
+
     let body = encode_body(cat, next_txn);
     let mut out = Vec::with_capacity(body.len() + 16);
     out.extend_from_slice(MAGIC);
@@ -251,6 +283,20 @@ pub fn write_snapshot(cat: &Catalog, next_txn: u64, dir: &Path) -> StorageResult
     if let Ok(d) = std::fs::File::open(dir) {
         let _ = d.sync_all();
     }
+    CHECKPOINTS
+        .get_or_init(|| {
+            Registry::global()
+                .counter("erbium_checkpoints_total", "Checkpoint snapshots written")
+        })
+        .inc();
+    CHECKPOINT_SECONDS
+        .get_or_init(|| {
+            Registry::global().histogram(
+                "erbium_checkpoint_seconds",
+                "Wall-clock duration of checkpoint snapshot writes",
+            )
+        })
+        .observe_duration(t0.elapsed());
     Ok(())
 }
 
@@ -350,12 +396,23 @@ impl Catalog {
     /// like); a corrupt snapshot is not, because snapshots are written
     /// atomically.
     pub fn recover(dir: &Path) -> StorageResult<Recovered> {
+        use erbium_obs::{Counter, Registry};
+        use std::sync::{Arc, OnceLock};
+        static RECOVERIES: OnceLock<Arc<Counter>> = OnceLock::new();
+        static REPLAYED: OnceLock<Arc<Counter>> = OnceLock::new();
+        static STATS_RESTORED: OnceLock<Arc<Counter>> = OnceLock::new();
+        let _span = erbium_obs::span("recover");
+
         let snap_path = dir.join(SNAPSHOT_FILE);
         let (mut cat, mut next_txn) = if snap_path.exists() {
             load_snapshot(&snap_path)?
         } else {
             (Catalog::new(), 1)
         };
+        // Count restored stats entries now: the WAL redo below may mark
+        // some of them stale (that is the re-derived-staleness contract),
+        // but they were restored from the snapshot either way.
+        let stats_restored = cat.stats().len();
         let scan = scan_wal(&dir.join(WAL_FILE))?;
         next_txn = next_txn.max(scan.next_txn);
         let replayed_groups = scan.committed.len();
@@ -370,6 +427,28 @@ impl Catalog {
         for ft in cat.factorized_iter_mut() {
             ft.rebuild_free();
         }
+        RECOVERIES
+            .get_or_init(|| {
+                Registry::global()
+                    .counter("erbium_recoveries_total", "Catalog recoveries performed")
+            })
+            .inc();
+        REPLAYED
+            .get_or_init(|| {
+                Registry::global().counter(
+                    "erbium_recovery_replayed_groups_total",
+                    "Committed WAL groups redone during recovery",
+                )
+            })
+            .add(replayed_groups as u64);
+        STATS_RESTORED
+            .get_or_init(|| {
+                Registry::global().counter(
+                    "erbium_recovery_stats_restored_total",
+                    "Statistics entries restored from checkpoint snapshots during recovery",
+                )
+            })
+            .add(stats_restored as u64);
         Ok(Recovered { catalog: cat, next_txn, replayed_groups, torn_tail: scan.torn_tail })
     }
 }
@@ -491,6 +570,73 @@ mod tests {
         let t = back.table("people").unwrap();
         assert_eq!(t.index_lookup(&[1], &Value::str("bob")).unwrap().len(), 1);
         assert!(t.lookup_pk(&Value::Int(3)).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_stats() {
+        let dir = temp_dir("stats-roundtrip");
+        let mut cat = sample_catalog();
+        let written = cat.analyze();
+        assert!(written >= 4, "people + f + f#left + f#right");
+        write_snapshot(&cat, 9, &dir).unwrap();
+        let (back, _) = load_snapshot(&dir.join(SNAPSHOT_FILE)).unwrap();
+        assert_eq!(back.stats(), cat.stats(), "stats registry survives the snapshot");
+        assert!(!back.stats().is_empty());
+        assert!(!back.stats().is_stale("people"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_less_snapshot_keeps_legacy_byte_layout() {
+        // A catalog that never ran ANALYZE must produce a snapshot with no
+        // trailing stats section — i.e. exactly the pre-stats `ERBSNAP1`
+        // bytes. That makes old files (which *are* such snapshots) decode
+        // under the new reader, proving backward compatibility.
+        let cat = sample_catalog();
+        assert!(cat.stats().is_empty());
+        let body = encode_body(&cat, 3);
+        let (back, next_txn) = decode_body(&body).unwrap();
+        assert_eq!(next_txn, 3);
+        assert!(back.stats().is_empty(), "no stats section, no stats");
+        assert_catalogs_equal(&cat, &back);
+        // And the new encoder appends bytes only when stats exist.
+        let mut with_stats = sample_catalog();
+        with_stats.analyze();
+        assert!(encode_body(&with_stats, 3).len() > body.len());
+    }
+
+    #[test]
+    fn recover_restores_stats_and_rederives_staleness() {
+        let dir = temp_dir("stats-recover");
+        let mut cat = sample_catalog();
+        cat.analyze();
+        let n_stats = cat.stats().len();
+        write_snapshot(&cat, 5, &dir).unwrap();
+
+        // Post-checkpoint traffic touches only `people`; the factorized
+        // structure `f` stays untouched.
+        let mut wal = Wal::open(dir.join(WAL_FILE), SyncPolicy::Always, 5).unwrap();
+        Transaction::run_with(&mut cat, Some(&mut wal), |txn, cat| {
+            txn.insert(
+                cat,
+                "people",
+                vec![Value::Int(7), Value::str("gil"), Value::Null, Value::Null],
+            )?;
+            Ok(())
+        })
+        .unwrap();
+
+        let rec = Catalog::recover(&dir).unwrap();
+        assert_eq!(rec.replayed_groups, 1);
+        let stats = rec.catalog.stats();
+        assert!(!stats.is_empty(), "recovery must not silently drop stats");
+        assert_eq!(stats.len(), n_stats);
+        // WAL-redone tables re-derive staleness; untouched entries stay fresh.
+        assert!(stats.is_stale("people"), "redone table is stale");
+        assert!(!stats.is_stale("f"), "untouched structure stays fresh");
+        assert!(!stats.is_stale("f#left"));
+        assert!(!stats.is_stale("f#right"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

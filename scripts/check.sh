@@ -17,6 +17,19 @@ cargo test -q --offline --test property_durability
 # Parallel-execution invariance sweep (bit-identical results across
 # threads × morsel × batch × fusion on M1–M6 + concurrent-query stress).
 cargo test -q --offline --test parallel_invariance
+# Observability suite: tracing spans over the full query lifecycle,
+# Prometheus export coverage, slow-query log, and the stats-survive-
+# recovery regression (optimizer statistics must outlive a checkpoint +
+# reopen; see DESIGN.md §10). Runs as part of the workspace tests too;
+# the named re-run keeps the regression visible at a glance.
+cargo test -q --offline -p erbium-core --test observability
+cargo test -q --offline -p erbium-obs
+# Overhead sentinel: with tracing disabled (the default), the
+# instrumentation added along the hot path must stay within run-to-run
+# noise of the PR-4 baseline on the morsel_waves bench (~9.7 ms).
+# Criterion flags regressions against its saved baseline when run; the
+# gate only requires the bench to compile (running is opt-in, slow):
+#   cargo bench --offline -p erbium-bench --bench engine_micro -- morsel_waves
 # The persistent worker pool must be the engine's only thread-spawn site:
 # no operator may spawn (or scope) threads per wave.
 if grep -rn "thread::spawn\|thread::scope\|thread::Builder" crates/engine/src \
