@@ -52,7 +52,7 @@ fn table_shape<'a>(
 /// both `Catalog::analyze` and [`crate::stats::synthesize`]).
 pub fn estimate_plan(plan: &Plan, stats: &FxHashMap<String, TableStats>) -> Estimate {
     match &plan.kind {
-        PlanKind::Scan { table, filters } => {
+        PlanKind::Scan { table, filters, .. } => {
             let (rows, width, t) = table_shape(stats, table);
             let sel = filters.iter().map(|f| selectivity(f, rows, t)).product::<f64>();
             Estimate { rows: (rows * sel).max(0.0), cost: rows * (1.0 + width * 0.1) }
@@ -235,7 +235,7 @@ mod tests {
 
     fn scan(table: &str, filters: Vec<Expr>) -> Plan {
         Plan {
-            kind: PlanKind::Scan { table: table.into(), filters },
+            kind: PlanKind::Scan { table: table.into(), filters, projection: None },
             fields: vec![Field::new("x", DataType::Int)],
         }
     }

@@ -1,0 +1,152 @@
+//! Ablation: columnar (vectorized) kernels vs. the row-at-a-time path
+//! (A-columnar in EXPERIMENTS.md).
+//!
+//! Same E5/E6-class shapes as the `parallel` bench — the scan-heavy
+//! operators where the paper's mapping comparisons are decided — run
+//! with `ExecContext::with_columnar` on vs. off, everything else equal
+//! (results are asserted bit-identical by `tests/parallel_invariance.rs`):
+//!
+//! * **selective scan** with a fused Filter/Project chain — vectorized
+//!   predicates retain a selection vector over raw `i64` slices instead
+//!   of cloning rows and re-entering the `Value` enum per cell;
+//! * **pruned scan** — projection pruning narrows the gather to one
+//!   column of a five-column table (with a 64-byte string column that
+//!   the row path clones and the columnar path never touches);
+//! * **dictionary predicate** — an equality filter on a text column,
+//!   evaluated once per *distinct* string against the dictionary;
+//! * **single-key join** — columnar build from a typed key slice;
+//! * **single-key aggregate** — chunked columnar aggregation reading
+//!   only the grouping and aggregate input columns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use erbium_engine::{
+    execute_streaming, optimizer::optimize, AggCall, AggFunc, BinOp, ExecContext, Expr, JoinKind,
+    Plan,
+};
+use erbium_storage::{Catalog, Column, DataType, Table, TableSchema, Value};
+use std::time::Duration;
+
+const N: i64 = 200_000;
+
+fn setup() -> Catalog {
+    let mut cat = Catalog::new();
+    let mut r = Table::new(TableSchema::new(
+        "r",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("k", DataType::Int),
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Int),
+            Column::new("tag", DataType::Text),
+        ],
+        vec![0],
+    ));
+    let tags = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"];
+    for i in 0..N {
+        r.insert(vec![
+            Value::Int(i),
+            Value::Int(i % 1_000),
+            Value::Int(i * 7 % 10_000),
+            Value::Int(i % 97),
+            Value::str(format!("{}-{}", tags[(i % 8) as usize], "x".repeat(56))),
+        ])
+        .unwrap();
+    }
+    cat.create_table(r).unwrap();
+
+    let mut s = Table::new(TableSchema::new(
+        "s",
+        vec![Column::not_null("k", DataType::Int), Column::new("w", DataType::Int)],
+        vec![0],
+    ));
+    for i in 0..1_000i64 {
+        s.insert(vec![Value::Int(i), Value::Int(i * 3)]).unwrap();
+    }
+    cat.create_table(s).unwrap();
+    cat
+}
+
+fn drain(plan: &Plan, cat: &Catalog, ctx: &ExecContext) -> usize {
+    execute_streaming(plan, cat, ctx).unwrap().drain().unwrap().len()
+}
+
+fn bench_columnar(c: &mut Criterion) {
+    let cat = setup();
+    let mut g = c.benchmark_group("columnar");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+
+    // Selective scan + fused Filter/Project (E5/E6 front end).
+    let pipeline = Plan::scan(&cat, "r")
+        .unwrap()
+        .filter(Expr::binary(BinOp::Lt, Expr::col(2), Expr::lit(5_000i64)))
+        .project(vec![
+            (Expr::col(0), "id".into()),
+            (Expr::binary(BinOp::Add, Expr::col(2), Expr::col(3)), "ab".into()),
+        ]);
+
+    // Pruned scan: one narrow column out of a wide row; the optimizer
+    // stamps `projection` on the scan so the string column is never
+    // gathered on the columnar path.
+    let pruned = optimize(
+        Plan::scan(&cat, "r")
+            .unwrap()
+            .filter(Expr::binary(BinOp::Ge, Expr::col(2), Expr::lit(2_500i64)))
+            .project(vec![(Expr::col(3), "b".into())]),
+        &cat,
+    )
+    .unwrap();
+
+    // Dictionary predicate: text equality evaluated against the dict.
+    let dict = Plan::scan(&cat, "r").unwrap().filter(Expr::eq(
+        Expr::col(4),
+        Expr::lit(Value::str(format!("gamma-{}", "x".repeat(56)))),
+    ));
+
+    // Single-key join: bare-scan build side → columnar build.
+    let join = Plan::scan(&cat, "r")
+        .unwrap()
+        .filter(Expr::binary(BinOp::Lt, Expr::col(3), Expr::lit(48i64)))
+        .join(
+            Plan::scan(&cat, "s").unwrap(),
+            JoinKind::Inner,
+            vec![Expr::col(1)],
+            vec![Expr::col(0)],
+        );
+
+    // Single-key aggregate over a bare scan — the columnar fast path
+    // reads only columns k, a, b of the five-column table.
+    let agg = Plan::scan(&cat, "r").unwrap().aggregate(
+        vec![(Expr::col(1), "k".into())],
+        vec![
+            (AggCall::new(AggFunc::Sum, Expr::col(2)), "total".into()),
+            (AggCall::new(AggFunc::Avg, Expr::col(3)), "avg_b".into()),
+            (AggCall::count_star(), "n".into()),
+        ],
+    );
+
+    let cases: [(&str, &Plan); 5] = [
+        ("scan_filter_project", &pipeline),
+        ("pruned_scan", &pruned),
+        ("dict_filter", &dict),
+        ("join_single_key", &join),
+        ("group_agg_single_key", &agg),
+    ];
+    for (name, plan) in cases {
+        for threads in [1usize, 4] {
+            for columnar in [true, false] {
+                let ctx = ExecContext::default().with_threads(threads).with_columnar(columnar);
+                let tag = if columnar { "col" } else { "row" };
+                g.bench_function(format!("{name}/t{threads}_{tag}"), |b| {
+                    b.iter(|| std::hint::black_box(drain(plan, &cat, &ctx)));
+                });
+            }
+        }
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_columnar);
+criterion_main!(benches);

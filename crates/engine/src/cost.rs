@@ -92,7 +92,7 @@ pub fn table_estimate(cat: &Catalog, key: &str) -> Option<Estimate> {
 /// `None` when any leaf table referenced by the plan lacks statistics.
 pub fn estimate(plan: &Plan, cat: &Catalog) -> Option<Estimate> {
     match &plan.kind {
-        PlanKind::Scan { table, filters } => {
+        PlanKind::Scan { table, filters, .. } => {
             let mut est = table_estimate(cat, table)?;
             apply_filters(&mut est, filters);
             Some(est)

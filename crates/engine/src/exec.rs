@@ -59,6 +59,14 @@ pub struct ExecContext {
     /// Fuse Filter/Project chains into the scan's morsel workers instead of
     /// running them as serial post-passes. On by default; disable to ablate.
     pub fusion: bool,
+    /// Execute eligible leaf pipelines over the tables' typed column
+    /// vectors (selection-vector kernels + late row materialization)
+    /// instead of cloning row-shaped slots. On by default; disable to
+    /// ablate. Results are bit-identical either way — the columnar
+    /// kernels replicate `Value` comparison semantics exactly and
+    /// non-vectorizable predicates fall back to row evaluation in the
+    /// original order.
+    pub columnar: bool,
     cancel: Arc<AtomicBool>,
 }
 
@@ -77,6 +85,7 @@ impl Default for ExecContext {
             morsel_size: 4096,
             threads: default_threads(),
             fusion: true,
+            columnar: true,
             cancel: Arc::new(AtomicBool::new(false)),
         }
     }
@@ -105,6 +114,12 @@ impl ExecContext {
     /// Enable or disable pipeline fusion (on by default).
     pub fn with_fusion(mut self, on: bool) -> ExecContext {
         self.fusion = on;
+        self
+    }
+
+    /// Enable or disable columnar (vectorized) execution (on by default).
+    pub fn with_columnar(mut self, on: bool) -> ExecContext {
+        self.columnar = on;
         self
     }
 

@@ -43,6 +43,8 @@ pub mod optimizer;
 pub mod plan;
 pub mod pool;
 pub mod stream;
+pub mod vector;
+pub mod vplan;
 
 pub use agg::{AggCall, AggFunc};
 pub use cost::{annotate_metrics, estimate, explain_with_estimates, ColEst, Estimate};

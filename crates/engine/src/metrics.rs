@@ -40,6 +40,10 @@ pub struct OpMetrics {
     /// scan below it (pipeline fusion) instead of running as its own
     /// serial post-pass.
     pub fused: AtomicBool,
+    /// `true` when this operator executed on the columnar (vectorized)
+    /// path: selection-vector kernels over typed column slices instead of
+    /// per-row `Value` evaluation over cloned rows.
+    pub columnar: AtomicBool,
     /// Child operators, in plan order.
     pub children: Vec<Arc<OpMetrics>>,
 }
@@ -73,6 +77,11 @@ impl OpMetrics {
         self.fused.store(true, Ordering::Relaxed);
     }
 
+    /// Mark this operator as having run on the columnar (vectorized) path.
+    pub fn mark_columnar(&self) {
+        self.columnar.store(true, Ordering::Relaxed);
+    }
+
     /// Freeze the tree into a plain value.
     pub fn snapshot(&self) -> ExecMetrics {
         let children: Vec<ExecMetrics> = self.children.iter().map(|c| c.snapshot()).collect();
@@ -90,6 +99,7 @@ impl OpMetrics {
             waves: self.waves.load(Ordering::Relaxed),
             workers: self.workers.load(Ordering::Relaxed),
             fused: self.fused.load(Ordering::Relaxed),
+            columnar: self.columnar.load(Ordering::Relaxed),
             est_rows: None,
             children,
         }
@@ -114,6 +124,8 @@ pub struct ExecMetrics {
     /// Whether this operator was pipeline-fused into the scan's morsel
     /// workers rather than running as its own serial pass.
     pub fused: bool,
+    /// Whether this operator ran on the columnar (vectorized) path.
+    pub columnar: bool,
     /// Optimizer row estimate for this operator, attached after execution by
     /// [`crate::cost::annotate_metrics`] when statistics were gathered.
     /// `None` when no estimate was derivable (no ANALYZE, phantom tables).
@@ -180,6 +192,9 @@ impl ExecMetrics {
         }
         if self.fused {
             out.push_str(" [fused]");
+        }
+        if self.columnar {
+            out.push_str(" [columnar]");
         }
         if let (Some(est), Some(q)) = (self.est_rows, self.q_error()) {
             let _ = write!(out, " est={est:.0} q={q:.2}");

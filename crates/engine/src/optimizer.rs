@@ -15,7 +15,13 @@
 //!    of inner-join chains ([`reorder_joins`]) and hash-join build-side
 //!    selection ([`choose_build_side`]). Both are strict no-ops on an
 //!    un-analyzed catalog.
-//! 5. **Filter cost ranking** — order conjunct lists cheapest-first;
+//! 5. **Projection pruning** — stacked bare-column `Project`s collapse
+//!    into one ([`collapse_projects`] — the SQL lowering emits identity
+//!    shapes that would otherwise hide the scan), then a
+//!    `Project`/`Aggregate` over a (filtered) scan narrows the scan to
+//!    the columns the subtree actually reads, so untouched columns are
+//!    never materialized (`EXPLAIN` shows the kept set as `[cols=...]`).
+//! 6. **Filter cost ranking** — order conjunct lists cheapest-first;
 //!    with statistics the rank is weighted by estimated selectivity.
 //!
 //! The paper's argument for logical independence rests on the system (not
@@ -23,6 +29,7 @@
 //! pushed-down predicates regardless of the mapping; this module is where
 //! that happens for the relational substrate.
 
+use crate::agg::AggCall;
 use crate::cost;
 use crate::error::EngineResult;
 use crate::expr::{BinOp, Expr};
@@ -72,7 +79,166 @@ pub fn optimize(plan: Plan, cat: &Catalog) -> EngineResult<Plan> {
         let plan = reorder_joins(plan, cat);
         choose_build_side(plan, cat)
     };
-    Ok(rank_filters(plan, cat))
+    Ok(rank_filters(prune_projections(collapse_projects(plan)), cat))
+}
+
+// ---- projection pruning ------------------------------------------------------
+
+/// Collapse a `Project` (or `Aggregate`) sitting on a `Project` whose
+/// expressions are a pure column selection (every one a bare
+/// `Expr::Col`), remapping the consumer's expressions into the inner
+/// input's column space. The SQL lowering emits identity-shaped projects
+/// (mapping views, `SELECT`-list shaping) that would otherwise hide the
+/// `Filter*`·`Scan` chain from projection pruning below. A bare-column
+/// project computes nothing and cannot error, so inlining it is always
+/// safe; projects with computed expressions are left alone (inlining
+/// could duplicate work into several consumer references).
+fn collapse_projects(plan: Plan) -> Plan {
+    fn bare_map(input: &Plan) -> Option<Vec<usize>> {
+        let PlanKind::Project { exprs, .. } = &input.kind else { return None };
+        exprs
+            .iter()
+            .map(|e| if let Expr::Col(c) = e { Some(*c) } else { None })
+            .collect()
+    }
+    let Plan { kind, fields } = map_children(plan, &collapse_projects);
+    match kind {
+        PlanKind::Project { input, exprs } => {
+            let Some(map) = bare_map(&input) else {
+                return Plan { kind: PlanKind::Project { input, exprs }, fields };
+            };
+            let PlanKind::Project { input: grand, .. } = input.kind else { unreachable!() };
+            let exprs = exprs.into_iter().map(|e| e.map_columns(&|c| map[c])).collect();
+            // Re-run on the rewritten node: three or more stacked
+            // projects collapse pairwise from the bottom up.
+            collapse_projects(Plan { kind: PlanKind::Project { input: grand, exprs }, fields })
+        }
+        PlanKind::Aggregate { input, group, aggs } => {
+            let Some(map) = bare_map(&input) else {
+                return Plan { kind: PlanKind::Aggregate { input, group, aggs }, fields };
+            };
+            let PlanKind::Project { input: grand, .. } = input.kind else { unreachable!() };
+            let group = group.into_iter().map(|e| e.map_columns(&|c| map[c])).collect();
+            let aggs = aggs
+                .into_iter()
+                .map(|a| AggCall { func: a.func, arg: a.arg.map_columns(&|c| map[c]) })
+                .collect();
+            collapse_projects(Plan { kind: PlanKind::Aggregate { input: grand, group, aggs }, fields })
+        }
+        kind => Plan { kind, fields },
+    }
+}
+
+/// Prune scan materialization to the columns the query actually reads.
+///
+/// A `Project` or `Aggregate` sitting on a `Scan` — possibly through a
+/// chain of `Filter`s — names every column the subtree will ever touch.
+/// This pass computes that set, sets the scan's `projection` to it (so
+/// the executor never materializes the untouched columns; `EXPLAIN`
+/// surfaces the set as `[cols=...]`), and remaps every expression above
+/// the scan into the pruned column space. The scan's own pushed-down
+/// `filters` stay in the table's column space: they are evaluated against
+/// borrowed full-width rows *before* materialization, so a filter-only
+/// column costs nothing and is not added to the set. Scans under joins,
+/// unnests, and sorts are left unpruned — those consumers take whole
+/// rows. An empty set is legal (`COUNT(*)` materializes zero-width rows).
+pub fn prune_projections(plan: Plan) -> Plan {
+    let plan = map_children(plan, &prune_projections);
+    let fields = plan.fields;
+    let kind = match plan.kind {
+        PlanKind::Project { input, exprs } => {
+            let needed: Vec<usize> = columns_of(exprs.iter());
+            match prune_chain(*input, needed) {
+                Ok((input, remap)) => PlanKind::Project {
+                    input: Box::new(input),
+                    exprs: exprs.iter().map(|e| e.map_columns(&remap)).collect(),
+                },
+                Err(input) => PlanKind::Project { input: Box::new(input), exprs },
+            }
+        }
+        PlanKind::Aggregate { input, group, aggs } => {
+            let needed: Vec<usize> = columns_of(group.iter().chain(aggs.iter().map(|a| &a.arg)));
+            match prune_chain(*input, needed) {
+                Ok((input, remap)) => PlanKind::Aggregate {
+                    input: Box::new(input),
+                    group: group.iter().map(|e| e.map_columns(&remap)).collect(),
+                    aggs: aggs
+                        .iter()
+                        .map(|a| AggCall { func: a.func, arg: a.arg.map_columns(&remap) })
+                        .collect(),
+                },
+                Err(input) => PlanKind::Aggregate { input: Box::new(input), group, aggs },
+            }
+        }
+        other => other,
+    };
+    Plan { kind, fields }
+}
+
+/// Sorted, deduplicated set of columns referenced by `exprs`.
+fn columns_of<'a>(exprs: impl Iterator<Item = &'a Expr>) -> Vec<usize> {
+    let mut cols: Vec<usize> = exprs.flat_map(|e| e.columns()).collect();
+    cols.sort_unstable();
+    cols.dedup();
+    cols
+}
+
+/// Try to prune the `Filter*·Scan` chain under a consumer that reads only
+/// `needed` columns. On success returns the rebuilt chain (scan projected
+/// to the final needed set, filter predicates remapped, fields narrowed)
+/// plus the old→new column remap for the consumer's own expressions. On
+/// failure returns the chain untouched.
+#[allow(clippy::result_large_err)]
+fn prune_chain(input: Plan, mut needed: Vec<usize>) -> Result<(Plan, impl Fn(usize) -> usize), Plan> {
+    // Shape check (immutably): a chain of Filters over a bare, not yet
+    // pruned Scan. Filter predicates read scan-output columns, so they
+    // join the needed set.
+    {
+        let mut cur = &input;
+        loop {
+            match &cur.kind {
+                PlanKind::Filter { input, predicate } => {
+                    needed.extend(predicate.columns());
+                    cur = input;
+                }
+                PlanKind::Scan { projection: None, .. } => break,
+                _ => return Err(input),
+            }
+        }
+        needed.sort_unstable();
+        needed.dedup();
+        if needed.len() == cur.fields.len() {
+            return Err(input); // nothing to prune
+        }
+    }
+    let pruned = rebuild_pruned(input, &needed);
+    let remap = move |c: usize| {
+        needed.binary_search(&c).expect("pruned set covers every referenced column")
+    };
+    Ok((pruned, remap))
+}
+
+/// Rebuild the checked `Filter*·Scan` chain with the scan projected to
+/// `needed` and every filter predicate remapped into the pruned space.
+fn rebuild_pruned(plan: Plan, needed: &[usize]) -> Plan {
+    match plan.kind {
+        PlanKind::Filter { input, predicate } => {
+            let input = rebuild_pruned(*input, needed);
+            let fields = input.fields.clone();
+            let predicate = predicate.map_columns(&|c| {
+                needed.binary_search(&c).expect("pruned set covers every referenced column")
+            });
+            Plan { kind: PlanKind::Filter { input: Box::new(input), predicate }, fields }
+        }
+        PlanKind::Scan { table, filters, .. } => {
+            let fields = needed.iter().map(|&c| plan.fields[c].clone()).collect();
+            Plan {
+                kind: PlanKind::Scan { table, filters, projection: Some(needed.to_vec()) },
+                fields,
+            }
+        }
+        _ => unreachable!("prune_chain verified the chain shape"),
+    }
 }
 
 /// Rebuild a plan node with every child mapped through `f` (leaves are
@@ -153,7 +319,7 @@ fn factorized_stats_key(table: &str, side: FactorizedSide) -> String {
 
 fn rank_filters_mut(plan: &mut Plan, cat: &Catalog) {
     match &mut plan.kind {
-        PlanKind::Scan { table, filters } => {
+        PlanKind::Scan { table, filters, .. } => {
             let est = cost::table_estimate(cat, table);
             sort_filters(filters, est.as_ref());
         }
@@ -499,8 +665,8 @@ fn fold_expr(e: Expr) -> Expr {
 fn map_exprs(plan: Plan, f: &impl Fn(Expr) -> Expr) -> EngineResult<Plan> {
     let fields = plan.fields;
     let kind = match plan.kind {
-        PlanKind::Scan { table, filters } => {
-            PlanKind::Scan { table, filters: filters.into_iter().map(f).collect() }
+        PlanKind::Scan { table, filters, projection } => {
+            PlanKind::Scan { table, filters: filters.into_iter().map(f).collect(), projection }
         }
         PlanKind::IndexLookup { table, columns, keys, residual } => PlanKind::IndexLookup {
             table,
@@ -625,9 +791,9 @@ fn push_conjuncts_into(plan: Plan, conjuncts: Vec<Expr>) -> Plan {
     }
     let fields = plan.fields.clone();
     match plan.kind {
-        PlanKind::Scan { table, mut filters } => {
+        PlanKind::Scan { table, mut filters, projection } => {
             filters.extend(conjuncts);
-            Plan { kind: PlanKind::Scan { table, filters }, fields }
+            Plan { kind: PlanKind::Scan { table, filters, projection }, fields }
         }
         PlanKind::FactorizedScan { table, side, mut filters } => {
             filters.extend(conjuncts);
@@ -755,7 +921,7 @@ fn substitute_columns(pred: &Expr, projection: &[Expr]) -> Expr {
 pub fn select_indexes(plan: Plan, cat: &Catalog) -> EngineResult<Plan> {
     let fields = plan.fields;
     let kind = match plan.kind {
-        PlanKind::Scan { table, filters } => {
+        PlanKind::Scan { table, filters, projection } => {
             if let Ok(t) = cat.table(&table) {
                 match extract_index_lookup(t, &filters) {
                     Some((columns, keys, residual)) => {
@@ -765,11 +931,11 @@ pub fn select_indexes(plan: Plan, cat: &Catalog) -> EngineResult<Plan> {
                         Some((column, lo, hi, residual)) => {
                             PlanKind::IndexRange { table, column, lo, hi, residual }
                         }
-                        None => PlanKind::Scan { table, filters },
+                        None => PlanKind::Scan { table, filters, projection },
                     },
                 }
             } else {
-                PlanKind::Scan { table, filters }
+                PlanKind::Scan { table, filters, projection }
             }
         }
         PlanKind::Filter { input, predicate } => PlanKind::Filter {
@@ -1145,6 +1311,171 @@ mod tests {
         }
         assert_eq!(execute(&u, &c).unwrap(), execute(&opt, &c).unwrap());
     }
+
+    #[test]
+    fn prune_narrows_scan_under_project_and_remaps() {
+        let c = cat();
+        // SELECT v FROM t WHERE grp = 3 — reads grp (filter) and v
+        // (projection); id must be pruned away.
+        let p = Plan::scan(&c, "t")
+            .unwrap()
+            .filter(Expr::eq(Expr::col(1), Expr::lit(3i64)))
+            .project(vec![(Expr::col(2), "v".into())]);
+        let before = execute(&p, &c).unwrap();
+        let opt = optimize(p, &c).unwrap();
+        let after = execute(&opt, &c).unwrap();
+        assert_eq!(before, after, "pruning must not change results");
+        // Filter was pushed into the scan (table column space, no pruning
+        // pressure), so the scan keeps only the projected column.
+        let explain = opt.explain();
+        assert!(explain.contains("[cols=v]"), "pruned set surfaced in EXPLAIN:\n{explain}");
+        let PlanKind::Project { input, exprs } = &opt.kind else {
+            panic!("expected project root, got:\n{explain}")
+        };
+        assert_eq!(exprs[0], Expr::col(0), "projection remapped into pruned space");
+        let PlanKind::Scan { projection, filters, .. } = &input.kind else {
+            panic!("expected scan input, got:\n{explain}")
+        };
+        assert_eq!(projection.as_deref(), Some(&[2usize][..]));
+        assert_eq!(
+            filters[0],
+            Expr::eq(Expr::col(1), Expr::lit(3i64)),
+            "pushed-down filters stay in the table's column space"
+        );
+        assert_eq!(input.fields.len(), 1);
+        assert_eq!(input.fields[0].name, "v");
+    }
+
+    #[test]
+    fn prune_covers_aggregate_and_unprojected_filter_chains() {
+        let c = cat();
+        // SELECT grp, SUM(v) FROM t GROUP BY grp: id is never read.
+        let agg = Plan::scan(&c, "t").unwrap().aggregate(
+            vec![(Expr::col(1), "grp".into())],
+            vec![(AggCall::new(crate::agg::AggFunc::Sum, Expr::col(2)), "s".into())],
+        );
+        let before = execute(&agg, &c).unwrap();
+        let opt = optimize(agg, &c).unwrap();
+        assert_eq!(execute(&opt, &c).unwrap(), before);
+        let PlanKind::Aggregate { input, group, aggs } = &opt.kind else {
+            panic!("expected aggregate root:\n{}", opt.explain())
+        };
+        let PlanKind::Scan { projection, .. } = &input.kind else {
+            panic!("expected scan input:\n{}", opt.explain())
+        };
+        assert_eq!(projection.as_deref(), Some(&[1usize, 2][..]));
+        assert_eq!(group[0], Expr::col(0), "group key remapped");
+        assert_eq!(aggs[0].arg, Expr::col(1), "agg argument remapped");
+
+        // A residual Filter that pushdown cannot fold into the scan (it
+        // stays a Filter node) contributes its columns and is remapped.
+        let p = Plan::scan(&c, "t")
+            .unwrap()
+            .filter(Expr::eq(
+                Expr::binary(BinOp::Mod, Expr::col(0), Expr::lit(7i64)),
+                Expr::col(1),
+            ))
+            .project(vec![(Expr::col(2), "v".into())]);
+        let before = execute(&p, &c).unwrap();
+        let pruned = prune_projections(p);
+        assert_eq!(execute(&pruned, &c).unwrap(), before);
+        let PlanKind::Project { input, .. } = &pruned.kind else { panic!("project root") };
+        let PlanKind::Filter { input: scan, predicate } = &input.kind else {
+            panic!("filter kept: {}", pruned.explain())
+        };
+        assert_eq!(
+            *predicate,
+            Expr::eq(Expr::binary(BinOp::Mod, Expr::col(0), Expr::lit(7i64)), Expr::col(1)),
+            "id,grp,v pruned to id,grp,v? no: all three referenced -> unchanged"
+        );
+        // All three columns are referenced here, so no pruning happened.
+        let PlanKind::Scan { projection, .. } = &scan.kind else { panic!("scan leaf") };
+        assert!(projection.is_none(), "full-width scans stay unprojected");
+    }
+
+    #[test]
+    fn stacked_identity_projects_collapse_and_prune() {
+        let c = cat();
+        // The SQL lowering emits this exact shape: SELECT-list project
+        // over identity mapping-view projects over the scan. Pruning
+        // must see through the stack or it never fires for real queries.
+        let p = Plan::scan(&c, "t")
+            .unwrap()
+            .filter(Expr::eq(Expr::col(1), Expr::lit(3i64)))
+            .project(vec![
+                (Expr::col(0), "id".into()),
+                (Expr::col(1), "grp".into()),
+                (Expr::col(2), "v".into()),
+            ])
+            .project(vec![
+                (Expr::col(0), "id".into()),
+                (Expr::col(1), "grp".into()),
+                (Expr::col(2), "v".into()),
+            ])
+            .project(vec![(Expr::col(2), "v".into())]);
+        let before = execute(&p, &c).unwrap();
+        let opt = optimize(p, &c).unwrap();
+        assert_eq!(execute(&opt, &c).unwrap(), before);
+        let explain = opt.explain();
+        assert!(explain.contains("[cols=v]"), "pruning fires through the stack:\n{explain}");
+        let PlanKind::Project { input, exprs } = &opt.kind else {
+            panic!("single collapsed project:\n{explain}")
+        };
+        assert_eq!(exprs.as_slice(), &[Expr::col(0)]);
+        assert!(
+            matches!(&input.kind, PlanKind::Scan { projection: Some(cols), .. } if cols == &[2]),
+            "scan directly below the collapsed project:\n{explain}"
+        );
+        // Computed inner projections must NOT be inlined (work would be
+        // duplicated per outer reference).
+        let q = Plan::scan(&c, "t")
+            .unwrap()
+            .project(vec![(
+                Expr::binary(BinOp::Add, Expr::col(0), Expr::col(2)),
+                "sum".into(),
+            )])
+            .project(vec![(Expr::col(0), "a".into()), (Expr::col(0), "b".into())]);
+        let collapsed = collapse_projects(q.clone());
+        assert_eq!(collapsed, q, "computed projections stay stacked");
+
+        // An identity project between Aggregate and Scan (the SQL GROUP
+        // BY shape) collapses too, unlocking the columnar agg fast path.
+        let a = Plan::scan(&c, "t")
+            .unwrap()
+            .project(vec![
+                (Expr::col(0), "id".into()),
+                (Expr::col(1), "grp".into()),
+                (Expr::col(2), "v".into()),
+            ])
+            .aggregate(
+                vec![(Expr::col(1), "grp".into())],
+                vec![(AggCall::new(crate::agg::AggFunc::Sum, Expr::col(2)), "s".into())],
+            );
+        let before = execute(&a, &c).unwrap();
+        let opt = optimize(a, &c).unwrap();
+        assert_eq!(execute(&opt, &c).unwrap(), before);
+        let PlanKind::Aggregate { input, .. } = &opt.kind else {
+            panic!("aggregate root:\n{}", opt.explain())
+        };
+        assert!(
+            matches!(&input.kind, PlanKind::Scan { projection: Some(cols), .. } if cols == &[1, 2]),
+            "pruned scan directly under the aggregate:\n{}",
+            opt.explain()
+        );
+    }
+
+    #[test]
+    fn prune_allows_zero_width_count_star() {
+        let c = cat();
+        let p = Plan::scan(&c, "t")
+            .unwrap()
+            .aggregate(vec![], vec![(AggCall::count_star(), "n".into())]);
+        let opt = prune_projections(p);
+        let PlanKind::Aggregate { input, .. } = &opt.kind else { panic!("aggregate root") };
+        let PlanKind::Scan { projection, .. } = &input.kind else { panic!("scan leaf") };
+        assert_eq!(projection.as_deref(), Some(&[][..]), "COUNT(*) reads no columns");
+        assert_eq!(execute(&opt, &c).unwrap(), vec![vec![Value::Int(100)]]);
+    }
 }
 
 #[cfg(test)]
@@ -1513,4 +1844,5 @@ mod cost_tests {
             other => panic!("expected scan, got {other:?}"),
         }
     }
+
 }

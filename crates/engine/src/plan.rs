@@ -64,7 +64,13 @@ pub struct Plan {
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlanKind {
     /// Full scan with conjunctive pushed-down filters.
-    Scan { table: String, filters: Vec<Expr> },
+    ///
+    /// `projection`, when set by the optimizer's pruning pass, lists the
+    /// table columns (ascending) the scan materializes; the node's `fields`
+    /// are the corresponding subset. `filters` always stay in the *original*
+    /// table column space — they are evaluated during the scan, before
+    /// projection, so filter-only columns are read but never materialized.
+    Scan { table: String, filters: Vec<Expr>, projection: Option<Vec<usize>> },
     /// Point lookups through an index on `columns` for each key in `keys`,
     /// with residual filters applied to fetched rows.
     IndexLookup { table: String, columns: Vec<usize>, keys: Vec<Value>, residual: Vec<Expr> },
@@ -114,7 +120,10 @@ impl Plan {
             .iter()
             .map(|c| Field::new(c.name.clone(), c.dtype.clone()))
             .collect();
-        Ok(Plan { kind: PlanKind::Scan { table: table.to_string(), filters: Vec::new() }, fields })
+        Ok(Plan {
+            kind: PlanKind::Scan { table: table.to_string(), filters: Vec::new(), projection: None },
+            fields,
+        })
     }
 
     /// Scan one side (or the stored join) of a factorized structure.
@@ -315,10 +324,14 @@ impl Plan {
         let pad = "  ".repeat(depth);
         let suffix = annot(self).map(|a| format!(" [{a}]")).unwrap_or_default();
         match &self.kind {
-            PlanKind::Scan { table, filters } => {
+            PlanKind::Scan { table, filters, projection } => {
                 let _ = write!(out, "{pad}Scan {table}");
                 if !filters.is_empty() {
                     let _ = write!(out, " filter=[{}]", join_exprs(filters));
+                }
+                if projection.is_some() {
+                    let cols: Vec<&str> = self.fields.iter().map(|f| f.name.as_str()).collect();
+                    let _ = write!(out, " [cols={}]", cols.join(","));
                 }
                 out.push_str(&suffix);
                 out.push('\n');

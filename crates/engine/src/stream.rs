@@ -29,6 +29,27 @@
 //!   ([`AGG_CHUNK`]) whose partial hash tables merge into the global state
 //!   in chunk order.
 //!
+//! ## Columnar (vectorized) execution
+//!
+//! With [`crate::exec::ExecContext::columnar`] (on by default), leaf table
+//! scans run over the table's typed column vectors instead of cloning
+//! row-shaped slots: each morsel builds a *selection vector* of live slot
+//! ids, applies the vectorizable prefix of the pushed-down filters (and of
+//! the fused Filter/Project chain) as tight per-column kernels compiled by
+//! [`crate::vplan`], row-evaluates any residual predicates against
+//! borrowed rows in the original order, and only then materializes the
+//! surviving rows — restricted to the scan's pruned projection — via a
+//! column-at-a-time gather ([`crate::vector`]). Single-key hash-join
+//! builds and single-key aggregates over a bare scan skip row streams
+//! entirely and run the same selection + gather pass against the column
+//! vectors. Everything else falls back to the row-batch operators; the
+//! split is observable via the `engine_columnar_batches_total` /
+//! `engine_fallback_row_batches_total` counters and the `[columnar]`
+//! marker on metric nodes. Columnar execution is bit-identical to the row
+//! path at every configuration: the kernels replicate `Value` comparison
+//! semantics (including NULL and cross-type ordering) exactly, and
+//! selection order is slot order, the same order the row path visits.
+//!
 //! ## Determinism
 //!
 //! Parallel execution is **bit-identical** to single-threaded execution:
@@ -51,13 +72,54 @@ use crate::expr::Expr;
 use crate::metrics::OpMetrics;
 use crate::plan::{FactorizedSide, JoinKind, Plan, PlanKind, SortKey};
 use crate::pool::WorkerPool;
-use erbium_storage::{Catalog, FactorizedTable, Row, RowId, Table, Value};
+use crate::vector;
+use crate::vplan::{self, VecPred};
+use erbium_storage::{Catalog, ColumnSlice, FactorizedTable, Row, RowId, Table, Value};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Batches produced by columnar (vectorized) kernels: selection-vector
+/// scan morsels, columnar join builds, columnar aggregate passes.
+fn m_columnar_batches() -> &'static erbium_obs::Counter {
+    static H: OnceLock<Arc<erbium_obs::Counter>> = OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global().counter(
+            "engine_columnar_batches_total",
+            "batches produced by columnar (vectorized) kernels",
+        )
+    })
+}
+
+/// Batches a kernel produced on the row path *while columnar execution
+/// was enabled* — the observable fallback: factorized-join enumeration
+/// morsels and stream-drained join builds.
+fn m_fallback_row_batches() -> &'static erbium_obs::Counter {
+    static H: OnceLock<Arc<erbium_obs::Counter>> = OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global().counter(
+            "engine_fallback_row_batches_total",
+            "row-path batches produced while columnar execution was enabled",
+        )
+    })
+}
+
+/// Cells (row x column values) materialized by columnar kernels. With
+/// projection pruning this grows by `rows x pruned_arity`, not
+/// `rows x table_arity` — the direct evidence that untouched columns are
+/// never materialized.
+fn m_columnar_cells() -> &'static erbium_obs::Counter {
+    static H: OnceLock<Arc<erbium_obs::Counter>> = OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global().counter(
+            "engine_columnar_cells_total",
+            "cells materialized by columnar kernels (rows x columns gathered)",
+        )
+    })
+}
 
 /// A pull-based cursor over row batches.
 ///
@@ -91,10 +153,10 @@ pub(crate) fn compile<'a>(
         ));
     }
     let (inner, metrics): (BoxedRowStream<'a>, Arc<OpMetrics>) = match &plan.kind {
-        PlanKind::Scan { table, filters } => {
+        PlanKind::Scan { table, filters, projection } => {
             let t = cat.table(table)?;
             let m = OpMetrics::new(format!("Scan {table}"), vec![]);
-            (table_scan_stream(t, filters, Arc::clone(&m), Vec::new(), ctx), m)
+            (table_scan_stream(t, filters, projection.as_deref(), Arc::clone(&m), Vec::new(), ctx), m)
         }
         PlanKind::IndexLookup { table, columns, keys, residual } => {
             let t = cat.table(table)?;
@@ -152,10 +214,10 @@ pub(crate) fn compile<'a>(
             let m = OpMetrics::new(format!("FactorizedScan {table} {side:?}"), vec![]);
             let stream: BoxedRowStream<'a> = match side {
                 FactorizedSide::Left => {
-                    table_scan_stream(ft.left(), filters, Arc::clone(&m), Vec::new(), ctx)
+                    table_scan_stream(ft.left(), filters, None, Arc::clone(&m), Vec::new(), ctx)
                 }
                 FactorizedSide::Right => {
-                    table_scan_stream(ft.right(), filters, Arc::clone(&m), Vec::new(), ctx)
+                    table_scan_stream(ft.right(), filters, None, Arc::clone(&m), Vec::new(), ctx)
                 }
                 FactorizedSide::Join => {
                     factorized_join_stream(ft, filters, Arc::clone(&m), Vec::new(), ctx)
@@ -187,38 +249,56 @@ pub(crate) fn compile<'a>(
                 return Err(EngineError::Plan("join key arity mismatch".into()));
             }
             let (l, lm) = compile(left, cat, ctx)?;
-            let (r, rm) = compile(right, cat, ctx)?;
+            // Single-key columnar build fast path: when the build side is a
+            // bare scan keyed by one column with a typed vector, hash it
+            // straight off the column vectors instead of compiling and
+            // draining a row stream.
+            let columnar_build =
+                if ctx.columnar { columnar_build_source(right, right_keys, cat) } else { None };
+            let track_fallback = ctx.columnar && columnar_build.is_none();
+            let (src, rm) = match columnar_build {
+                Some((src, rm)) => (src, rm),
+                None => {
+                    let (r, rm) = compile(right, cat, ctx)?;
+                    (BuildSource::Stream(r), rm)
+                }
+            };
             let m = OpMetrics::new(format!("Join {kind:?}"), vec![lm, rm]);
             (
                 Box::new(JoinStream {
                     left: l,
-                    right: Some(r),
+                    right: src,
                     kind: *kind,
                     left_keys,
                     right_keys,
                     right_arity: right.fields.len(),
                     threads: ctx.threads.max(1),
                     metrics: Arc::clone(&m),
+                    track_fallback,
                     build: None,
                 }),
                 m,
             )
         }
         PlanKind::Aggregate { input, group, aggs } => {
-            let (child, cm) = compile(input, cat, ctx)?;
-            let m = OpMetrics::new("Aggregate", vec![cm]);
-            (
-                Box::new(AggregateStream {
-                    input: child,
-                    group,
-                    aggs,
-                    batch: ctx.batch_size,
-                    threads: ctx.threads.max(1),
-                    metrics: Arc::clone(&m),
-                    out: None,
-                }),
-                m,
-            )
+            if let Some(pair) = columnar_agg_stream(input, group, aggs, cat, ctx)? {
+                pair
+            } else {
+                let (child, cm) = compile(input, cat, ctx)?;
+                let m = OpMetrics::new("Aggregate", vec![cm]);
+                (
+                    Box::new(AggregateStream {
+                        input: child,
+                        group,
+                        aggs,
+                        batch: ctx.batch_size,
+                        threads: ctx.threads.max(1),
+                        metrics: Arc::clone(&m),
+                        out: None,
+                    }),
+                    m,
+                )
+            }
         }
         PlanKind::Unnest { input, column, keep_empty } => {
             let (child, cm) = compile(input, cat, ctx)?;
@@ -346,26 +426,26 @@ fn compile_fused<'a>(
     }
     // The base must be a morsel-driven leaf.
     enum Leaf<'a> {
-        Table(&'a Table, &'a [Expr], String),
+        Table(&'a Table, &'a [Expr], Option<&'a [usize]>, String),
         FactJoin(&'a FactorizedTable, &'a [Expr], String),
     }
     let leaf = match &base.kind {
-        PlanKind::Scan { table, filters } => {
-            Leaf::Table(cat.table(table)?, filters, format!("Scan {table}"))
+        PlanKind::Scan { table, filters, projection } => {
+            Leaf::Table(cat.table(table)?, filters, projection.as_deref(), format!("Scan {table}"))
         }
         PlanKind::FactorizedScan { table, side, filters } => {
             let ft = cat.factorized(table)?;
             let label = format!("FactorizedScan {table} {side:?}");
             match side {
-                FactorizedSide::Left => Leaf::Table(ft.left(), filters, label),
-                FactorizedSide::Right => Leaf::Table(ft.right(), filters, label),
+                FactorizedSide::Left => Leaf::Table(ft.left(), filters, None, label),
+                FactorizedSide::Right => Leaf::Table(ft.right(), filters, None, label),
                 FactorizedSide::Join => Leaf::FactJoin(ft, filters, label),
             }
         }
         _ => return Ok(None),
     };
     let label = match &leaf {
-        Leaf::Table(_, _, l) | Leaf::FactJoin(_, _, l) => l.clone(),
+        Leaf::Table(_, _, _, l) | Leaf::FactJoin(_, _, l) => l.clone(),
     };
     // Build the plan-shaped metrics chain bottom-up plus the fused steps.
     let scan_m = OpMetrics::new(label, vec![]);
@@ -386,7 +466,7 @@ fn compile_fused<'a>(
     // The chain's top node is metered by the enclosing MeterStream.
     steps.last_mut().expect("chain is non-empty").metrics = None;
     let stream: BoxedRowStream<'a> = match leaf {
-        Leaf::Table(t, filters, _) => table_scan_stream(t, filters, scan_m, steps, ctx),
+        Leaf::Table(t, filters, proj, _) => table_scan_stream(t, filters, proj, scan_m, steps, ctx),
         Leaf::FactJoin(ft, filters, _) => factorized_join_stream(ft, filters, scan_m, steps, ctx),
     };
     Ok(Some((stream, top_m)))
@@ -522,17 +602,32 @@ impl RowStream for MorselStream<'_> {
 
 /// Move rows out of `buf` into `queue` in batches of at most `batch`
 /// (dropping nothing, never queueing an empty batch), preserving order.
-/// `buf` is left empty but keeps its capacity for the next wave.
+///
+/// Allocation behaviour: when the whole buffer fits one batch — the
+/// common case, since morsels are sized near the batch target — the
+/// buffer's allocation is handed to the queue wholesale (zero per-row
+/// moves, zero copies); the scratch slot then starts the next wave empty
+/// and regrows once, which costs the same single allocation the old
+/// per-chunk `collect` paid but skips the row-by-row copy. Larger buffers
+/// are split into exact-capacity chunks (`Drain` is an
+/// `ExactSizeIterator`, so each chunk allocates exactly once) and `buf`
+/// keeps its capacity for the next wave.
 fn drain_chunked(queue: &mut VecDeque<Vec<Row>>, buf: &mut Vec<Row>, batch: usize) {
     if buf.is_empty() {
         return;
     }
+    if buf.len() <= batch {
+        queue.push_back(std::mem::take(buf));
+        return;
+    }
     let mut it = buf.drain(..);
     loop {
-        let chunk: Vec<Row> = it.by_ref().take(batch).collect();
-        if chunk.is_empty() {
+        let n = it.len().min(batch);
+        if n == 0 {
             break;
         }
+        let mut chunk = Vec::with_capacity(n);
+        chunk.extend(it.by_ref().take(n));
         queue.push_back(chunk);
     }
 }
@@ -549,15 +644,25 @@ fn push_chunked(buf: &mut VecDeque<Vec<Row>>, mut rows: Vec<Row>, batch: usize) 
 }
 
 /// Morsel scan over one table: examine rows in the slot range, apply the
-/// pushed-down filters against borrowed rows, clone only survivors, then
-/// run any fused operator chain over the morsel's survivors in place.
+/// pushed-down filters against borrowed rows, clone only survivors
+/// (restricted to the pruned `projection` when one is set), then run any
+/// fused operator chain over the morsel's survivors in place.
+///
+/// With [`ExecContext::columnar`] the scan dispatches to
+/// [`columnar_scan_stream`] instead: same morsel structure, same output,
+/// but filters run as vector kernels over a selection of slot ids and
+/// rows materialize late, column at a time.
 fn table_scan_stream<'a>(
     t: &'a Table,
     filters: &'a [Expr],
+    projection: Option<&'a [usize]>,
     scan_m: Arc<OpMetrics>,
     steps: Vec<FusedStep<'a>>,
     ctx: &ExecContext,
 ) -> BoxedRowStream<'a> {
+    if ctx.columnar {
+        return columnar_scan_stream(t, filters, projection, scan_m, steps, ctx);
+    }
     let total = t.slot_count();
     let wave_m = Arc::clone(&scan_m);
     let work = move |range: Range<usize>, out: &mut Vec<Row>| -> EngineResult<()> {
@@ -569,7 +674,10 @@ fn table_scan_stream<'a>(
                     continue 'rows;
                 }
             }
-            out.push(row.clone());
+            out.push(match projection {
+                Some(cols) => cols.iter().map(|&c| row[c].clone()).collect(),
+                None => row.clone(),
+            });
         }
         scan_m.add_rows_in(examined);
         if !steps.is_empty() {
@@ -577,6 +685,139 @@ fn table_scan_stream<'a>(
             // enclosing meter only sees the chain's top operator).
             scan_m.record_batch(out.len() as u64);
             apply_fused(&steps, out)?;
+        }
+        Ok(())
+    };
+    Box::new(MorselStream::new(Box::new(work), total, ctx, wave_m))
+}
+
+// ---- columnar (vectorized) kernels -----------------------------------------
+
+/// One fused step compiled onto the columnar path: either a vector
+/// predicate narrowing the selection, or a pure column remap (a
+/// `Project` of bare column references, folded into the gather mapping).
+enum VOp {
+    Filter(VecPred),
+    Remap,
+}
+
+/// A compiled columnar step plus the plan node's metrics (mirrors
+/// [`FusedStep`]: `None` for the chain's top node, which the enclosing
+/// meter records).
+struct VStep {
+    op: VOp,
+    metrics: Option<Arc<OpMetrics>>,
+}
+
+/// Row-evaluate residual (non-vectorizable) predicates over the selected
+/// slots, compacting `sel` in place in selection order — the same
+/// left-to-right, row-at-a-time order the row path uses, so error
+/// behaviour is identical.
+fn apply_residual(
+    t: &Table,
+    residual: &[Expr],
+    sel: &mut Vec<usize>,
+) -> EngineResult<()> {
+    if residual.is_empty() {
+        return Ok(());
+    }
+    let mut kept = 0;
+    'slots: for i in 0..sel.len() {
+        let s = sel[i];
+        let row = t.get(RowId(s as u64)).expect("selected slot is live");
+        for f in residual {
+            if !f.eval_predicate(row)? {
+                continue 'slots;
+            }
+        }
+        sel[kept] = s;
+        kept += 1;
+    }
+    sel.truncate(kept);
+    Ok(())
+}
+
+/// Columnar morsel scan: build a selection vector of live slots, narrow it
+/// with compiled vector predicates (scan filters first, then the
+/// vectorizable prefix of the fused chain), row-evaluate residuals, and
+/// late-materialize survivors column-at-a-time through the pruned
+/// projection. Bit-identical to the row path: selection order is slot
+/// order, predicates replicate `Value` semantics, and any fused suffix
+/// that could not vectorize runs via [`apply_fused`] on the gathered rows
+/// exactly as it would on cloned rows.
+fn columnar_scan_stream<'a>(
+    t: &'a Table,
+    filters: &'a [Expr],
+    projection: Option<&'a [usize]>,
+    scan_m: Arc<OpMetrics>,
+    steps: Vec<FusedStep<'a>>,
+    ctx: &ExecContext,
+) -> BoxedRowStream<'a> {
+    scan_m.mark_columnar();
+    let total = t.slot_count();
+    let wave_m = Arc::clone(&scan_m);
+    let fused = !steps.is_empty();
+    // Scan filters live in the table's own column space.
+    let identity: Vec<usize> = (0..t.schema().arity()).collect();
+    let (preds, residual) = vplan::split_filters(filters, t, &identity);
+    // `mapping[out_col]` = table column feeding output column `out_col`.
+    let mut mapping: Vec<usize> = match projection {
+        Some(p) => p.to_vec(),
+        None => identity,
+    };
+    // Compile the maximal vectorizable prefix of the fused chain; the
+    // remainder runs row-shaped on the gathered output (`tail`).
+    let mut vsteps: Vec<VStep> = Vec::new();
+    let mut tail: Vec<FusedStep<'a>> = Vec::new();
+    let mut it = steps.into_iter();
+    for step in it.by_ref() {
+        let compiled = match &step.op {
+            FusedOp::Filter(pred) => vplan::compile_pred(pred, t, &mapping).map(VOp::Filter),
+            FusedOp::Project(exprs) => vplan::compose_projection(exprs, &mapping).map(|m| {
+                mapping = m;
+                VOp::Remap
+            }),
+        };
+        match compiled {
+            Some(op) => {
+                if let Some(m) = &step.metrics {
+                    m.mark_columnar();
+                }
+                vsteps.push(VStep { op, metrics: step.metrics });
+            }
+            None => {
+                tail.push(step);
+                break;
+            }
+        }
+    }
+    tail.extend(it);
+    let work = move |range: Range<usize>, out: &mut Vec<Row>| -> EngineResult<()> {
+        let mut sel: Vec<usize> = Vec::new();
+        vector::live_selection(t.live_slots(), range, &mut sel);
+        scan_m.add_rows_in(sel.len() as u64);
+        for p in &preds {
+            vector::apply_pred(p, t, &mut sel);
+        }
+        apply_residual(t, residual, &mut sel)?;
+        if fused {
+            // Fused pipeline: record the scan's own emission here (the
+            // enclosing meter only sees the chain's top operator).
+            scan_m.record_batch(sel.len() as u64);
+        }
+        for v in &vsteps {
+            if let VOp::Filter(p) = &v.op {
+                vector::apply_pred(p, t, &mut sel);
+            }
+            if let Some(m) = &v.metrics {
+                m.record_batch(sel.len() as u64);
+            }
+        }
+        vector::gather_rows(t, &mapping, &sel, out);
+        m_columnar_cells().add((sel.len() * mapping.len()) as u64);
+        m_columnar_batches().inc();
+        if !tail.is_empty() {
+            apply_fused(&tail, out)?;
         }
         Ok(())
     };
@@ -593,6 +834,9 @@ fn factorized_join_stream<'a>(
 ) -> BoxedRowStream<'a> {
     let total = ft.left().slot_count();
     let wave_m = Arc::clone(&scan_m);
+    // Factorized join enumeration synthesizes rows pair-by-pair; it has no
+    // columnar form, so under columnar mode its morsels count as fallback.
+    let track_fallback = ctx.columnar;
     let work = move |range: Range<usize>, out: &mut Vec<Row>| -> EngineResult<()> {
         let mut examined = 0u64;
         'pairs: for row in ft.iter_join_slots(range) {
@@ -605,6 +849,9 @@ fn factorized_join_stream<'a>(
             out.push(row);
         }
         scan_m.add_rows_in(examined);
+        if track_fallback {
+            m_fallback_row_batches().inc();
+        }
         if !steps.is_empty() {
             scan_m.record_batch(out.len() as u64);
             apply_fused(&steps, out)?;
@@ -888,16 +1135,62 @@ impl RowStream for UnionStream<'_> {
 /// pool; smaller batches probe inline to keep small queries cheap.
 const PROBE_FANOUT_MIN: usize = 16;
 
+/// Where the join's build (right) side comes from.
+enum BuildSource<'a> {
+    /// Compiled row stream, drained and hashed row by row.
+    Stream(BoxedRowStream<'a>),
+    /// Single-key columnar fast path: a bare scan hashed straight off the
+    /// table's column vectors — the build rows are selected and gathered
+    /// without ever compiling a row stream. `mapping` is the scan's
+    /// (possibly pruned) projection; `key_col` is the *table* column the
+    /// single join key resolves to.
+    Columnar {
+        t: &'a Table,
+        filters: &'a [Expr],
+        mapping: Vec<usize>,
+        key_col: usize,
+        metrics: Arc<OpMetrics>,
+    },
+    /// Build already consumed.
+    Done,
+}
+
 struct JoinStream<'a> {
     left: BoxedRowStream<'a>,
-    right: Option<BoxedRowStream<'a>>,
+    right: BuildSource<'a>,
     kind: JoinKind,
     left_keys: &'a [Expr],
     right_keys: &'a [Expr],
     right_arity: usize,
     threads: usize,
     metrics: Arc<OpMetrics>,
+    /// Count drained build batches toward the fallback counter (columnar
+    /// mode is on but this build side could not take the columnar path).
+    track_fallback: bool,
     build: Option<JoinBuild>,
+}
+
+/// Probe the build-side plan for columnar-build eligibility: a bare
+/// `Scan` whose single join key is a column reference with a typed
+/// column vector. Returns the build source plus a `Scan` metrics node
+/// standing in for the uncompiled right child.
+fn columnar_build_source<'a>(
+    right: &'a Plan,
+    right_keys: &'a [Expr],
+    cat: &'a Catalog,
+) -> Option<(BuildSource<'a>, Arc<OpMetrics>)> {
+    let PlanKind::Scan { table, filters, projection } = &right.kind else { return None };
+    let [Expr::Col(k)] = right_keys else { return None };
+    let t = cat.table(table).ok()?;
+    let mapping: Vec<usize> = match projection {
+        Some(p) => p.clone(),
+        None => (0..right.fields.len()).collect(),
+    };
+    let key_col = *mapping.get(*k)?;
+    t.column_slice(key_col)?;
+    let m = OpMetrics::new(format!("Scan {table}"), vec![]);
+    m.mark_columnar();
+    Some((BuildSource::Columnar { t, filters, mapping, key_col, metrics: Arc::clone(&m) }, m))
 }
 
 /// Build-side hash table keyed either by a bare [`Value`] (single join key
@@ -979,17 +1272,52 @@ impl JoinStream<'_> {
         if self.build.is_some() {
             return Ok(());
         }
-        let mut right = self.right.take().expect("build side taken once");
-        let mut rows: Vec<Row> = Vec::new();
-        while let Some(b) = right.next_batch()? {
-            rows.extend(b);
+        match std::mem::replace(&mut self.right, BuildSource::Done) {
+            BuildSource::Done => unreachable!("build side taken once"),
+            BuildSource::Stream(mut right) => {
+                let mut rows: Vec<Row> = Vec::new();
+                while let Some(b) = right.next_batch()? {
+                    if self.track_fallback {
+                        m_fallback_row_batches().inc();
+                    }
+                    rows.extend(b);
+                }
+                let table = if self.threads > 1 && rows.len() >= 2 {
+                    parallel_hash_build(&rows, self.right_keys, self.threads, &self.metrics)?
+                } else {
+                    hash_build_range(&rows, self.right_keys, 0, rows.len())?
+                };
+                self.build = Some(JoinBuild { rows, table });
+            }
+            BuildSource::Columnar { t, filters, mapping, key_col, metrics } => {
+                // Select build rows in slot order — exactly the order the
+                // row path would have drained them — then hash the key
+                // column without materializing it into the rows twice.
+                let identity: Vec<usize> = (0..t.schema().arity()).collect();
+                let (preds, residual) = vplan::split_filters(filters, t, &identity);
+                let mut sel: Vec<usize> = Vec::new();
+                vector::live_selection(t.live_slots(), 0..t.slot_count(), &mut sel);
+                metrics.add_rows_in(sel.len() as u64);
+                for p in &preds {
+                    vector::apply_pred(p, t, &mut sel);
+                }
+                apply_residual(t, residual, &mut sel)?;
+                let mut rows: Vec<Row> = Vec::with_capacity(sel.len());
+                vector::gather_rows(t, &mapping, &sel, &mut rows);
+                let mut table: FxHashMap<Value, Vec<usize>> = FxHashMap::default();
+                for (i, &s) in sel.iter().enumerate() {
+                    // NULL keys never join: key_at returns None for them,
+                    // matching the row path's skip.
+                    if let Some(v) = vector::key_at(t, key_col, s) {
+                        table.entry(v).or_default().push(i);
+                    }
+                }
+                metrics.record_batch(rows.len() as u64);
+                m_columnar_cells().add((rows.len() * mapping.len()) as u64);
+                m_columnar_batches().inc();
+                self.build = Some(JoinBuild { rows, table: KeyMap::Single(table) });
+            }
         }
-        let table = if self.threads > 1 && rows.len() >= 2 {
-            parallel_hash_build(&rows, self.right_keys, self.threads, &self.metrics)?
-        } else {
-            hash_build_range(&rows, self.right_keys, 0, rows.len())?
-        };
-        self.build = Some(JoinBuild { rows, table });
         Ok(())
     }
 }
@@ -1392,6 +1720,159 @@ impl AggregateStream<'_> {
 }
 
 impl RowStream for AggregateStream<'_> {
+    fn next_batch(&mut self) -> EngineResult<Option<Vec<Row>>> {
+        if self.out.is_none() {
+            let out = self.run()?;
+            self.out = Some(out);
+        }
+        Ok(self.out.as_mut().expect("just filled").pop_front())
+    }
+}
+
+/// Columnar aggregate over a bare scan: when an `Aggregate` sits directly
+/// on a `Scan` (at most one group key — the single-key fast path; larger
+/// group lists fall back to the row operator) and columnar execution is
+/// on, skip the row stream entirely. The scan's selection + filters run
+/// once over the column vectors, and the aggregate folds
+/// [`AGG_CHUNK`]-sized chunks of the selection, reading only the columns
+/// the group/agg expressions actually touch — unreferenced columns are
+/// never materialized at all. Chunk boundaries are the same pure function
+/// of the post-filter row index as the row path's, and partials absorb in
+/// chunk order, so results (floats included) are bit-identical.
+fn columnar_agg_stream<'a>(
+    input: &'a Plan,
+    group: &'a [Expr],
+    aggs: &'a [AggCall],
+    cat: &'a Catalog,
+    ctx: &ExecContext,
+) -> EngineResult<Option<(BoxedRowStream<'a>, Arc<OpMetrics>)>> {
+    if !ctx.columnar || group.len() > 1 {
+        return Ok(None);
+    }
+    let PlanKind::Scan { table, filters, projection } = &input.kind else { return Ok(None) };
+    let t = cat.table(table)?;
+    let mapping: Vec<usize> = match projection {
+        Some(p) => p.clone(),
+        None => (0..input.fields.len()).collect(),
+    };
+    let scan_m = OpMetrics::new(format!("Scan {table}"), vec![]);
+    scan_m.mark_columnar();
+    let m = OpMetrics::new("Aggregate", vec![Arc::clone(&scan_m)]);
+    m.mark_columnar();
+    let stream: BoxedRowStream<'a> = Box::new(ColumnarAggStream {
+        t,
+        filters,
+        mapping,
+        group,
+        aggs,
+        batch: ctx.batch_size,
+        threads: ctx.threads.max(1),
+        metrics: Arc::clone(&m),
+        scan_m,
+        cancel: ctx.cancel_flag(),
+        out: None,
+    });
+    Ok(Some((stream, m)))
+}
+
+struct ColumnarAggStream<'a> {
+    t: &'a Table,
+    filters: &'a [Expr],
+    /// Scan output column -> table column (the scan's pruned projection).
+    mapping: Vec<usize>,
+    group: &'a [Expr],
+    aggs: &'a [AggCall],
+    batch: usize,
+    threads: usize,
+    metrics: Arc<OpMetrics>,
+    scan_m: Arc<OpMetrics>,
+    cancel: Arc<AtomicBool>,
+    out: Option<VecDeque<Vec<Row>>>,
+}
+
+impl ColumnarAggStream<'_> {
+    fn run(&self) -> EngineResult<VecDeque<Vec<Row>>> {
+        let t = self.t;
+        let identity: Vec<usize> = (0..t.schema().arity()).collect();
+        let (preds, residual) = vplan::split_filters(self.filters, t, &identity);
+        let mut sel: Vec<usize> = Vec::new();
+        vector::live_selection(t.live_slots(), 0..t.slot_count(), &mut sel);
+        self.scan_m.add_rows_in(sel.len() as u64);
+        for p in &preds {
+            vector::apply_pred(p, t, &mut sel);
+        }
+        apply_residual(t, residual, &mut sel)?;
+        self.scan_m.record_batch(sel.len() as u64);
+        // Columns the group/agg expressions actually read, in the scan's
+        // output space — everything else is never materialized.
+        let mut needed: Vec<usize> = self
+            .group
+            .iter()
+            .chain(self.aggs.iter().map(|a| &a.arg))
+            .flat_map(|e| e.columns())
+            .collect();
+        needed.sort_unstable();
+        needed.dedup();
+        let readers: Vec<(usize, Option<ColumnSlice<'_>>, usize)> = needed
+            .iter()
+            .map(|&oc| (oc, t.column_slice(self.mapping[oc]), self.mapping[oc]))
+            .collect();
+        let (group, aggs) = (self.group, self.aggs);
+        let arity = self.mapping.len();
+        let build = |chunk: &[usize]| -> EngineResult<GroupedAcc> {
+            let mut partial = GroupedAcc::new(group, aggs);
+            // One reusable scratch row per chunk; only the referenced
+            // cells are ever written (the accumulators read owned copies,
+            // so carrying stale cells between rows is impossible for the
+            // referenced set, and unreferenced cells are never read).
+            let mut scratch: Row = vec![Value::Null; arity];
+            for &s in chunk {
+                for (oc, slice, tc) in &readers {
+                    scratch[*oc] = match slice {
+                        Some(sl) => sl.value_at(s),
+                        None => t.get(RowId(s as u64)).expect("selected slot is live")[*tc].clone(),
+                    };
+                }
+                partial.update(group, aggs, &scratch)?;
+            }
+            Ok(partial)
+        };
+        let mut global = GroupedAcc::new(group, aggs);
+        let chunks: Vec<&[usize]> = sel.chunks(AGG_CHUNK).collect();
+        if self.threads > 1 && chunks.len() > 1 {
+            let build = &build;
+            let tasks: Vec<_> = chunks
+                .iter()
+                .map(|c| {
+                    let c: &[usize] = c;
+                    move || build(c)
+                })
+                .collect();
+            let (results, workers) = WorkerPool::global().run_scoped(tasks);
+            self.metrics.record_wave(workers as u64);
+            for r in results {
+                let part = r
+                    .map_err(|m| EngineError::Eval(format!("aggregate worker panicked: {m}")))??;
+                global.absorb(part)?;
+            }
+        } else {
+            for c in chunks {
+                if self.cancel.load(Ordering::Relaxed) {
+                    return Err(EngineError::Cancelled);
+                }
+                global.absorb(build(c)?)?;
+            }
+        }
+        m_columnar_cells().add((sel.len() * needed.len()) as u64);
+        m_columnar_batches().inc();
+        let rows = global.finish();
+        let mut out = VecDeque::new();
+        push_chunked(&mut out, rows, self.batch);
+        Ok(out)
+    }
+}
+
+impl RowStream for ColumnarAggStream<'_> {
     fn next_batch(&mut self) -> EngineResult<Option<Vec<Row>>> {
         if self.out.is_none() {
             let out = self.run()?;

@@ -22,6 +22,7 @@
 //! * per-table [`stats`] used by the query optimizer and the mapping advisor.
 
 pub mod catalog;
+pub mod column;
 pub mod error;
 pub mod factorized;
 pub mod index;
@@ -35,6 +36,7 @@ pub mod value;
 pub mod wal;
 
 pub use catalog::Catalog;
+pub use column::{Bitmap, ColumnSlice, Columns, StringDict};
 pub use error::{StorageError, StorageResult};
 pub use factorized::FactorizedTable;
 pub use index::{BTreeIndex, HashIndex, IndexKind};

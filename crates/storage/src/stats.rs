@@ -9,6 +9,12 @@ use crate::value::Value;
 use rustc_hash::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
 
+/// Per-column NDV sets stop growing at this many distinct values: exact
+/// NDV up to the cap, saturating beyond it (good enough for costing;
+/// avoids unbounded memory on wide text columns). Shared with the
+/// columnar one-pass gather in [`crate::table::Table::compute_stats`].
+pub(crate) const NDV_CAP: usize = 1 << 20;
+
 /// Statistics for one column.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ColumnStats {
@@ -50,7 +56,6 @@ impl TableStats {
     /// can stream borrowed slots or lazily assembled join rows without
     /// materializing them first.
     pub fn compute<R: AsRef<[Value]>>(rows: impl Iterator<Item = R>, arity: usize) -> TableStats {
-        const NDV_CAP: usize = 1 << 20;
         let mut row_count = 0u64;
         let mut total_bytes = 0u64;
         let mut sets: Vec<FxHashSet<Value>> = (0..arity).map(|_| FxHashSet::default()).collect();

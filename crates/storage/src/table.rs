@@ -1,11 +1,14 @@
 //! Slotted row tables with primary-key enforcement and secondary indexes.
 
+use crate::column::{Bitmap, ColumnSlice, Columns};
 use crate::error::{StorageError, StorageResult};
 use crate::index::{HashIndex, IndexKind, SecondaryIndex};
 use crate::row::{Row, RowId};
 use crate::schema::TableSchema;
-use crate::stats::TableStats;
+use crate::stats::{ColumnStats, TableStats, NDV_CAP};
 use crate::value::Value;
+use rustc_hash::FxHashSet;
+use std::hash::Hash;
 
 /// An in-memory table.
 ///
@@ -13,10 +16,19 @@ use crate::value::Value;
 /// slot is recycled by a later insert, so [`RowId`]s held by indexes remain
 /// valid for live rows. The primary key (if declared in the schema) is
 /// enforced with a unique hash index that is maintained on every mutation.
+///
+/// Alongside the row-shaped slot vector, every scalar column is mirrored in
+/// a typed column vector ([`Columns`]) maintained eagerly by all five write
+/// paths (insert / update / delete / restore / truncate — `place_at` and
+/// `from_slots` both funnel through `restore`). The row view stays
+/// authoritative for WAL, snapshots, CRUD, and the txn undo log; the column
+/// view feeds the engine's vectorized kernels and one-pass statistics. The
+/// two views are slot-aligned by construction.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: TableSchema,
     rows: Vec<Option<Row>>,
+    cols: Columns,
     free: Vec<u64>,
     live: usize,
     pk_index: Option<HashIndex>,
@@ -28,7 +40,8 @@ impl Table {
     /// when the schema declares key columns.
     pub fn new(schema: TableSchema) -> Table {
         let pk_index = if schema.primary_key.is_empty() { None } else { Some(HashIndex::new()) };
-        Table { schema, rows: Vec::new(), free: Vec::new(), live: 0, pk_index, indexes: Vec::new() }
+        let cols = Columns::from_schema(&schema);
+        Table { schema, rows: Vec::new(), cols, free: Vec::new(), live: 0, pk_index, indexes: Vec::new() }
     }
 
     pub fn schema(&self) -> &TableSchema {
@@ -76,6 +89,7 @@ impl Table {
         };
         self.live += 1;
         let row_ref = self.rows[rid.idx()].as_ref().expect("just inserted");
+        self.cols.set_row(rid.idx(), row_ref);
         if let Some(key) = self.schema.key_of(row_ref) {
             self.pk_index.as_mut().expect("pk index").insert(key, rid);
         }
@@ -132,6 +146,7 @@ impl Table {
             idx.remove(&old, rid);
             idx.insert(&new_row, rid);
         }
+        self.cols.set_row(rid.idx(), &new_row);
         self.rows[rid.idx()] = Some(new_row);
         Ok(old)
     }
@@ -145,6 +160,7 @@ impl Table {
             .ok_or_else(|| StorageError::RowNotFound { table: self.schema.name.clone(), row: rid.0 })?;
         self.free.push(rid.0);
         self.live -= 1;
+        self.cols.clear_slot(rid.idx());
         if let Some(key) = self.schema.key_of(&row) {
             self.pk_index.as_mut().expect("pk index").remove(&key, rid);
         }
@@ -172,6 +188,7 @@ impl Table {
         self.rows[rid.idx()] = Some(row);
         self.live += 1;
         let row_ref = self.rows[rid.idx()].as_ref().expect("just restored").clone();
+        self.cols.set_row(rid.idx(), &row_ref);
         if let Some(key) = self.schema.key_of(&row_ref) {
             self.pk_index.as_mut().expect("pk index").insert(key, rid);
         }
@@ -236,8 +253,23 @@ impl Table {
 
     /// Iterate the live rows whose slots fall in `range` (a morsel). The
     /// iterator borrows the table, so callers stream rows without cloning.
-    /// Out-of-range bounds are clamped.
+    ///
+    /// # Bounds
+    ///
+    /// `range.end` may overshoot [`Table::slot_count`] — the final morsel of
+    /// a fixed-size partition legitimately does — and is clamped. A
+    /// `range.start` beyond `slot_count`, however, is caller off-by-one
+    /// morsel math (a partition scheme can never produce one): it yields an
+    /// empty iterator in release builds but panics under `debug_assertions`
+    /// so kernel code cannot silently mask the bug.
     pub fn scan_slots(&self, range: std::ops::Range<usize>) -> impl Iterator<Item = (RowId, &Row)> {
+        debug_assert!(
+            range.start <= self.rows.len(),
+            "scan_slots range starts at {} but '{}' has only {} slots",
+            range.start,
+            self.schema.name,
+            self.rows.len()
+        );
         let end = range.end.min(self.rows.len());
         let start = range.start.min(end);
         self.rows[start..end]
@@ -249,6 +281,27 @@ impl Table {
     /// Iterate live rows with their ids.
     pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> {
         self.scan_slots(0..self.rows.len())
+    }
+
+    /// Column-major view of the table: typed vectors per scalar column plus
+    /// the live-slot bitmap, slot-aligned with the row view. Array/struct
+    /// columns have no typed vector (`Columns::slice` returns `None`);
+    /// readers fall back to [`Table::get`] for those.
+    pub fn columns(&self) -> &Columns {
+        &self.cols
+    }
+
+    /// Typed read view of one column (`None` for array/struct columns).
+    /// Shorthand for `self.columns().slice(col)`.
+    pub fn column_slice(&self, col: usize) -> Option<ColumnSlice<'_>> {
+        self.cols.slice(col)
+    }
+
+    /// Live-slot bitmap: bit `i` is set iff slot `i` holds a live row.
+    /// Bits beyond the column view's length read as unset (trailing
+    /// tombstones may leave the bitmap shorter than [`Table::slot_count`]).
+    pub fn live_slots(&self) -> &Bitmap {
+        self.cols.live()
     }
 
     /// Materialize all live rows (cloned).
@@ -332,14 +385,114 @@ impl Table {
             || self.indexes.iter().any(|i| i.columns == columns)
     }
 
-    /// Compute fresh statistics over the live rows.
+    /// Compute fresh statistics in one pass over the typed column vectors.
+    ///
+    /// Produces exactly what [`TableStats::compute`] produces over the live
+    /// rows — same NDV saturation at the cap, same total-order min/max
+    /// (floats by `total_cmp`), same width accumulation order — but without
+    /// materializing or re-matching row cells: Int/Float/Bool columns hash
+    /// raw scalars, and dictionary-encoded text columns get NDV for free
+    /// from a per-code presence vector. Array/struct columns (no typed
+    /// vector) fall back to a row pass for that column only.
     pub fn compute_stats(&self) -> TableStats {
-        TableStats::compute(self.scan().map(|(_, r)| r.as_slice()), self.schema.arity())
+        let row_count = self.live as u64;
+        let slot_count = self.rows.len();
+        let live = self.cols.live();
+        let mut columns = Vec::with_capacity(self.schema.arity());
+        let mut total_bytes = 0u64;
+        for c in 0..self.schema.arity() {
+            let (stats, bytes) = match self.cols.slice(c) {
+                Some(ColumnSlice::Int { data, valid }) => typed_column_stats(
+                    live,
+                    valid,
+                    slot_count,
+                    row_count,
+                    |i| (8, data[i]),
+                    |a, b| a < b,
+                    |k| Value::Int(*k),
+                ),
+                // Floats key NDV by bit pattern: `Value` equality over
+                // floats is `total_cmp == Equal`, which holds iff the bits
+                // match, so the u64 set has identical cardinality.
+                Some(ColumnSlice::Float { data, valid }) => typed_column_stats(
+                    live,
+                    valid,
+                    slot_count,
+                    row_count,
+                    |i| (8, data[i].to_bits()),
+                    |a, b| f64::from_bits(*a).total_cmp(&f64::from_bits(*b)).is_lt(),
+                    |k| Value::Float(f64::from_bits(*k)),
+                ),
+                Some(ColumnSlice::Bool { data, valid }) => typed_column_stats(
+                    live,
+                    valid,
+                    slot_count,
+                    row_count,
+                    |i| (1, data[i]),
+                    |a, b| !*a & *b,
+                    |k| Value::Bool(*k),
+                ),
+                Some(ColumnSlice::Str { codes, valid, dict }) => {
+                    dict_column_stats(live, valid, codes, dict, slot_count, row_count)
+                }
+                None => self.row_column_stats(c, row_count),
+            };
+            total_bytes += bytes;
+            columns.push(stats);
+        }
+        TableStats { row_count, columns, total_bytes }
+    }
+
+    /// Row-pass statistics for one array/struct column (no typed vector).
+    /// Mirrors the per-cell bookkeeping of [`TableStats::compute`].
+    fn row_column_stats(&self, col: usize, row_count: u64) -> (ColumnStats, u64) {
+        let mut out = ColumnStats::default();
+        let mut bytes = 0u64;
+        let mut width_sum = 0f64;
+        let mut arr_sum = 0f64;
+        let mut arr_count = 0u64;
+        let mut set: FxHashSet<&Value> = FxHashSet::default();
+        let mut saturated = false;
+        for (_, row) in self.scan() {
+            let v = &row[col];
+            let sz = v.approx_size();
+            bytes += sz as u64;
+            width_sum += sz as f64;
+            if v.is_null() {
+                out.null_count += 1;
+                continue;
+            }
+            if let Value::Array(vs) = v {
+                arr_sum += vs.len() as f64;
+                arr_count += 1;
+            }
+            match (&out.min, v) {
+                (None, v) => out.min = Some(v.clone()),
+                (Some(m), v) if v < m => out.min = Some(v.clone()),
+                _ => {}
+            }
+            match (&out.max, v) {
+                (None, v) => out.max = Some(v.clone()),
+                (Some(m), v) if v > m => out.max = Some(v.clone()),
+                _ => {}
+            }
+            if !saturated {
+                set.insert(v);
+                if set.len() >= NDV_CAP {
+                    saturated = true;
+                }
+            }
+        }
+        out.ndv = set.len() as u64;
+        out.avg_width = if row_count > 0 { width_sum / row_count as f64 } else { 0.0 };
+        out.avg_array_len = if arr_count > 0 { arr_sum / arr_count as f64 } else { 0.0 };
+        (out, bytes)
     }
 
     /// Remove all rows (indexes cleared too). Schema is kept.
     pub fn truncate(&mut self) {
         self.rows.clear();
+        self.cols.reset();
         self.free.clear();
         self.live = 0;
         if let Some(pk) = &mut self.pk_index {
@@ -355,6 +508,118 @@ impl Table {
             let _ = self.create_index(name, cols, kind);
         }
     }
+}
+
+/// One-pass statistics over a typed scalar column. Generic over the raw
+/// key type `K` (i64 / f64-bits / bool) so Int, Float, and Bool columns
+/// share the loop; `cell(slot)` yields the value's byte width and key,
+/// `lt` is the column's total order, `to_value` lifts a key back into a
+/// [`Value`] for the min/max fields.
+fn typed_column_stats<K: Copy + Eq + Hash>(
+    live: &Bitmap,
+    valid: &Bitmap,
+    slot_count: usize,
+    row_count: u64,
+    mut cell: impl FnMut(usize) -> (u64, K),
+    mut lt: impl FnMut(&K, &K) -> bool,
+    to_value: impl Fn(&K) -> Value,
+) -> (ColumnStats, u64) {
+    let mut out = ColumnStats::default();
+    let mut bytes = 0u64;
+    let mut width_sum = 0f64;
+    let mut set: FxHashSet<K> = FxHashSet::default();
+    let mut saturated = false;
+    let mut min: Option<K> = None;
+    let mut max: Option<K> = None;
+    for slot in 0..slot_count {
+        if !live.get(slot) {
+            continue;
+        }
+        if !valid.get(slot) {
+            out.null_count += 1;
+            bytes += 1;
+            width_sum += 1.0;
+            continue;
+        }
+        let (w, k) = cell(slot);
+        bytes += w;
+        width_sum += w as f64;
+        match &min {
+            None => min = Some(k),
+            Some(m) if lt(&k, m) => min = Some(k),
+            _ => {}
+        }
+        match &max {
+            None => max = Some(k),
+            Some(m) if lt(m, &k) => max = Some(k),
+            _ => {}
+        }
+        if !saturated {
+            set.insert(k);
+            if set.len() >= NDV_CAP {
+                saturated = true;
+            }
+        }
+    }
+    out.ndv = set.len() as u64;
+    out.avg_width = if row_count > 0 { width_sum / row_count as f64 } else { 0.0 };
+    out.min = min.as_ref().map(&to_value);
+    out.max = max.as_ref().map(&to_value);
+    (out, bytes)
+}
+
+/// One-pass statistics over a dictionary-encoded text column: NDV comes
+/// free from a per-code presence vector (no hashing of string payloads),
+/// min/max compare the dictionary strings behind the codes.
+fn dict_column_stats(
+    live: &Bitmap,
+    valid: &Bitmap,
+    codes: &[u32],
+    dict: &crate::column::StringDict,
+    slot_count: usize,
+    row_count: u64,
+) -> (ColumnStats, u64) {
+    let mut out = ColumnStats::default();
+    let mut bytes = 0u64;
+    let mut width_sum = 0f64;
+    let mut present = vec![false; dict.len()];
+    let mut live_codes = 0usize;
+    let mut min: Option<u32> = None;
+    let mut max: Option<u32> = None;
+    for (slot, &code) in codes.iter().enumerate().take(slot_count) {
+        if !live.get(slot) {
+            continue;
+        }
+        if !valid.get(slot) {
+            out.null_count += 1;
+            bytes += 1;
+            width_sum += 1.0;
+            continue;
+        }
+        let s = dict.get(code);
+        let w = 16 + s.len() as u64;
+        bytes += w;
+        width_sum += w as f64;
+        if !present[code as usize] {
+            present[code as usize] = true;
+            live_codes += 1;
+        }
+        match min {
+            None => min = Some(code),
+            Some(m) if s.as_ref() < dict.get(m).as_ref() => min = Some(code),
+            _ => {}
+        }
+        match max {
+            None => max = Some(code),
+            Some(m) if s.as_ref() > dict.get(m).as_ref() => max = Some(code),
+            _ => {}
+        }
+    }
+    out.ndv = live_codes.min(NDV_CAP) as u64;
+    out.avg_width = if row_count > 0 { width_sum / row_count as f64 } else { 0.0 };
+    out.min = min.map(|c| Value::Str(std::sync::Arc::clone(dict.get(c))));
+    out.max = max.map(|c| Value::Str(std::sync::Arc::clone(dict.get(c))));
+    (out, bytes)
 }
 
 #[cfg(test)]
@@ -478,8 +743,20 @@ mod tests {
             );
         }
         assert_eq!(pieced, full, "contiguous slot morsels cover the scan exactly once");
-        // Clamped out-of-range morsel is empty, not a panic.
-        assert_eq!(t.scan_slots(100..200).count(), 0);
+        // A tail morsel may overshoot slot_count at its *end*; it is clamped.
+        let tail: Vec<i64> = t.scan_slots(8..200).map(|(_, r)| r[0].as_int().unwrap()).collect();
+        assert_eq!(tail, vec![8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scan_slots range starts at")]
+    #[cfg(debug_assertions)]
+    fn scan_slots_start_past_end_is_caller_bug() {
+        let mut t = people();
+        t.insert(row(1, "ada", 36)).unwrap();
+        // A start beyond slot_count can never come from a correct morsel
+        // partition; it must panic loudly in debug builds.
+        let _ = t.scan_slots(100..200).count();
     }
 
     #[test]
@@ -524,5 +801,90 @@ mod tests {
         let stats = t.compute_stats();
         assert_eq!(stats.row_count, 1);
         assert_eq!(stats.columns[0].min, Some(Value::Int(2)));
+    }
+
+    /// A table with every column shape, churned through insert / update /
+    /// delete / restore so the column view has tombstones, recycled slots,
+    /// and dead dictionary entries.
+    fn churned_mixed_table() -> Table {
+        let mut t = Table::new(TableSchema::new(
+            "mixed",
+            vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("score", DataType::Float),
+                Column::new("flag", DataType::Bool),
+                Column::new("tag", DataType::Text),
+                Column::new("mv", DataType::Int.array_of()),
+            ],
+            vec![0],
+        ));
+        for i in 0..20i64 {
+            t.insert(vec![
+                Value::Int(i),
+                if i % 4 == 0 { Value::Null } else { Value::Int(i * 3) }, // widens to Float
+                if i % 5 == 0 { Value::Null } else { Value::Bool(i % 2 == 0) },
+                if i % 3 == 0 { Value::Null } else { Value::str(["red", "green", "blue"][(i % 3) as usize]) },
+                if i % 6 == 0 { Value::Null } else { Value::Array(vec![Value::Int(i), Value::Int(i + 1)]) },
+            ])
+            .unwrap();
+        }
+        let gone = t.delete(RowId(3)).unwrap();
+        t.delete(RowId(7)).unwrap();
+        t.delete(RowId(19)).unwrap(); // trailing tombstone
+        t.restore(RowId(3), gone).unwrap();
+        t.update(RowId(5), vec![Value::Int(105), Value::Float(-0.0), Value::Bool(false), Value::str("red"), Value::Null])
+            .unwrap();
+        t.insert(vec![Value::Int(200), Value::Float(f64::NAN), Value::Null, Value::str("violet"), Value::Null])
+            .unwrap(); // recycles a freed slot
+        t
+    }
+
+    #[test]
+    fn columnar_stats_match_row_pass_exactly() {
+        let t = churned_mixed_table();
+        let row_pass = TableStats::compute(t.scan().map(|(_, r)| r.as_slice()), t.schema().arity());
+        assert_eq!(t.compute_stats(), row_pass, "columnar one-pass stats must be identical");
+        // Dictionary NDV counts *live* strings only: "violet" replaced one
+        // deleted row; dead codes must not inflate the count.
+        assert_eq!(row_pass.columns[3].ndv, t.compute_stats().columns[3].ndv);
+    }
+
+    #[test]
+    fn column_view_tracks_all_write_paths() {
+        let t = churned_mixed_table();
+        assert_eq!(t.live_slots().count_ones(), t.len());
+        for c in 0..4 {
+            let s = t.column_slice(c).expect("scalar column");
+            for (rid, row) in t.scan() {
+                let got = s.value_at(rid.idx());
+                match (&got, &row[c]) {
+                    (Value::Float(a), Value::Float(b)) => {
+                        assert_eq!(a.to_bits(), b.to_bits(), "col {c} slot {rid}")
+                    }
+                    (a, b) => assert_eq!(a, b, "col {c} slot {rid}"),
+                }
+            }
+        }
+        assert!(t.column_slice(4).is_none(), "array column is row-only");
+        // The trailing tombstone is dead in the live bitmap; the restored
+        // slot and the recycled slot (the 200-row reused freed slot 7) live.
+        assert!(!t.live_slots().get(19));
+        assert!(t.live_slots().get(3), "restored slot is live again");
+        assert_eq!(t.column_slice(0).unwrap().value_at(7), Value::Int(200), "freed slot recycled");
+    }
+
+    #[test]
+    fn column_view_survives_snapshot_roundtrip_and_truncate() {
+        let t = churned_mixed_table();
+        let rebuilt = Table::from_slots(t.schema().clone(), t.slots().to_vec()).unwrap();
+        assert_eq!(rebuilt.compute_stats(), t.compute_stats());
+        assert_eq!(rebuilt.live_slots().count_ones(), t.len());
+        let mut t2 = t.clone();
+        t2.truncate();
+        assert_eq!(t2.live_slots().count_ones(), 0);
+        assert_eq!(t2.compute_stats().row_count, 0);
+        // Insert after truncate repopulates the column view from scratch.
+        t2.insert(vec![Value::Int(1), Value::Null, Value::Null, Value::str("x"), Value::Null]).unwrap();
+        assert_eq!(t2.column_slice(0).unwrap().value_at(0), Value::Int(1));
     }
 }

@@ -15,8 +15,13 @@ cargo test -q --offline --workspace
 # at a glance and keeps the suite from being silently filtered out.
 cargo test -q --offline --test property_durability
 # Parallel-execution invariance sweep (bit-identical results across
-# threads × morsel × batch × fusion on M1–M6 + concurrent-query stress).
+# columnar × threads × morsel × batch × fusion on M1–M6, an all-Value-
+# variant property fixture, + concurrent-query stress).
 cargo test -q --offline --test parallel_invariance
+# Columnar observability: EXPLAIN [cols=...], [columnar] metrics marker,
+# and the non-materialization proof via engine_columnar_cells_total
+# (pruned scans gather rows × pruned arity, not × table arity).
+cargo test -q --offline --test columnar_metrics
 # Observability suite: tracing spans over the full query lifecycle,
 # Prometheus export coverage, slow-query log, and the stats-survive-
 # recovery regression (optimizer statistics must outlive a checkpoint +
@@ -35,6 +40,17 @@ cargo test -q --offline -p erbium-obs
 if grep -rn "thread::spawn\|thread::scope\|thread::Builder" crates/engine/src \
     --include='*.rs' | grep -v "^crates/engine/src/pool.rs:" | grep -v "^ *//"; then
     echo "ERROR: thread spawn outside crates/engine/src/pool.rs" >&2
+    exit 1
+fi
+# The vectorized kernels must stay vectorized: vector.rs operates on raw
+# column slices and selection vectors, so a per-row `Value` enum match
+# arm appearing there means someone re-introduced scalar dispatch into
+# the hot loop (decompose the enum once per predicate in vplan.rs
+# instead). Constructing values (Value::Int(x)) is fine; matching on
+# them (`Value::Int(x) =>`) is not.
+if grep -n "Value::[A-Za-z_]*\s*(\?[^)]*)\?\s*=>" crates/engine/src/vector.rs \
+    | grep -v "^ *[0-9]*: *//"; then
+    echo "ERROR: per-row Value enum match in crates/engine/src/vector.rs" >&2
     exit 1
 fi
 cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -1,9 +1,11 @@
 //! Parallel-execution invariance: the streaming executor guarantees
 //! **bit-identical** results regardless of thread count, morsel size,
-//! batch size, or pipeline fusion (see `DESIGN.md` §9 — morsel-ordered
-//! reassembly, chunk-ordered aggregate merges over fixed chunk
-//! boundaries). This sweep pins that guarantee across every parallel
-//! operator family on the paper's mappings M1–M6:
+//! batch size, pipeline fusion, or columnar execution (see `DESIGN.md`
+//! §9 — morsel-ordered reassembly, chunk-ordered aggregate merges over
+//! fixed chunk boundaries — and §11 — vectorized kernels reproduce the
+//! row path's visit order and `Value::cmp` semantics exactly). This
+//! sweep pins that guarantee across every parallel operator family on
+//! the paper's mappings M1–M6:
 //!
 //! * scan + fused Filter/Project chains,
 //! * hash-join build and morsel-partitioned probe,
@@ -78,11 +80,14 @@ const QUERIES: &[(&str, &str)] = &[
 ];
 
 #[test]
-fn results_are_bit_identical_across_thread_morsel_batch_and_fusion_configs() {
+fn results_are_bit_identical_across_thread_morsel_batch_fusion_and_columnar_configs() {
     for (mapping, db) in databases() {
         for &(family, sql) in QUERIES {
+            // The reference is the serial, row-at-a-time interpreter: one
+            // thread, columnar kernels off. Every other configuration —
+            // including the vectorized path — must reproduce it bit for bit.
             let reference = db
-                .query_with(sql, &ExecContext::default().with_threads(1))
+                .query_with(sql, &ExecContext::default().with_threads(1).with_columnar(false))
                 .unwrap_or_else(|e| panic!("{mapping}/{family}: {e}"))
                 .rows;
             assert!(!reference.is_empty(), "{mapping}/{family}: fixture should produce rows");
@@ -90,17 +95,21 @@ fn results_are_bit_identical_across_thread_morsel_batch_and_fusion_configs() {
                 for morsel in [1usize, 7, 4096] {
                     for batch in [3usize, 1024] {
                         for fusion in [true, false] {
-                            let ctx = ExecContext::default()
-                                .with_threads(threads)
-                                .with_morsel_size(morsel)
-                                .with_batch_size(batch)
-                                .with_fusion(fusion);
-                            let rows = db.query_with(sql, &ctx).unwrap().rows;
-                            assert_eq!(
-                                rows, reference,
-                                "{mapping}/{family}: threads={threads} morsel={morsel} \
-                                 batch={batch} fusion={fusion} diverged from single-threaded"
-                            );
+                            for columnar in [true, false] {
+                                let ctx = ExecContext::default()
+                                    .with_threads(threads)
+                                    .with_morsel_size(morsel)
+                                    .with_batch_size(batch)
+                                    .with_fusion(fusion)
+                                    .with_columnar(columnar);
+                                let rows = db.query_with(sql, &ctx).unwrap().rows;
+                                assert_eq!(
+                                    rows, reference,
+                                    "{mapping}/{family}: threads={threads} morsel={morsel} \
+                                     batch={batch} fusion={fusion} columnar={columnar} \
+                                     diverged from the serial row-path reference"
+                                );
+                            }
                         }
                     }
                 }
@@ -144,6 +153,239 @@ fn cancellation_mid_wave_surfaces_cancelled() {
         }
     };
     assert_eq!(err, EngineError::Cancelled);
+}
+
+/// Property sweep over **every `Value` variant** the storage layer can
+/// hold: the columnar kernels must agree bit-for-bit with the row-path
+/// interpreter on a table that mixes NULLs, booleans, extreme and
+/// ordinary integers, adversarial floats (NaN, ±0.0, ±∞ — compared via
+/// `f64::total_cmp`), dictionary-encoded strings (duplicates, the empty
+/// string), and the fallback `Other` column kinds (arrays, structs).
+/// Predicates cover every comparison operator, literal-first mirroring,
+/// cross-type rank comparisons, NULL literals, IS [NOT] NULL, residual
+/// (non-vectorizable) conjuncts, projection pruning, hash-join builds
+/// keyed on each scalar type, and grouped/global aggregation.
+#[test]
+fn all_value_variants_bit_identical_columnar_on_off() {
+    use erbiumdb::engine::{
+        execute_with_metrics, AggCall, AggFunc, BinOp, Expr, Plan, ScalarFunc,
+    };
+    use erbiumdb::storage::{Catalog, Column, DataType, Table, TableSchema};
+
+    // Deterministic xorshift so the fixture is reproducible yet messy.
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+
+    let mut cat = Catalog::new();
+    let mut t = Table::new(TableSchema::new(
+        "z",
+        vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("i", DataType::Int),
+            Column::new("f", DataType::Float),
+            Column::new("b", DataType::Bool),
+            Column::new("s", DataType::Text),
+            Column::new("a", DataType::Array(Box::new(DataType::Int))),
+            Column::new("st", DataType::Struct(vec![("x".into(), DataType::Int)])),
+        ],
+        vec![0],
+    ));
+    let floats = [
+        f64::NAN,
+        -f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        -0.0,
+        0.0,
+        1.5,
+        -2.5,
+        f64::MIN_POSITIVE,
+        f64::EPSILON,
+    ];
+    let ints = [i64::MIN, i64::MAX, -1, 0, 1, 7, 42];
+    let words = ["", "a", "ab", "b", "zig", "zag", "zig"]; // dups exercise the dictionary
+    for id in 0..240i64 {
+        let r = rng();
+        let i = if r % 11 == 0 { Value::Null } else { Value::Int(ints[(r % 7) as usize]) };
+        let f = match r % 13 {
+            0 => Value::Null,
+            // Int into a Float column: ingest canonicalizes to Float,
+            // keeping the column vector type-pure.
+            1 => Value::Int((r % 5) as i64),
+            _ => Value::Float(floats[(r % 10) as usize]),
+        };
+        let b = match r % 5 {
+            0 => Value::Null,
+            n => Value::Bool(n % 2 == 0),
+        };
+        let s = if r % 9 == 0 { Value::Null } else { Value::str(words[(r % 7) as usize]) };
+        let a = if r % 6 == 0 {
+            Value::Null
+        } else {
+            Value::Array(vec![Value::Int((r % 3) as i64), Value::Null])
+        };
+        let st = if r % 8 == 0 {
+            Value::Null
+        } else {
+            Value::Struct(vec![Value::Int((r % 4) as i64)])
+        };
+        t.insert(vec![Value::Int(id), i, f, b, s, a, st]).unwrap();
+    }
+    // Deleted slots leave tombstones the live bitmap must skip.
+    for slot in [3u64, 77, 201] {
+        t.delete(erbiumdb::storage::RowId(slot)).unwrap();
+    }
+    cat.create_table(t).unwrap();
+
+    let scan = |cat: &Catalog| Plan::scan(cat, "z").unwrap();
+    let cmp_ops = [BinOp::Lt, BinOp::Le, BinOp::Eq, BinOp::Ne, BinOp::Ge, BinOp::Gt];
+    let mut plans: Vec<(String, Plan)> = Vec::new();
+    for op in cmp_ops {
+        // Typed comparisons on every vectorizable column, plus the
+        // literal-first mirrored form.
+        plans.push((format!("i {op:?} 1"), scan(&cat).filter(Expr::binary(op, Expr::col(1), Expr::lit(1i64)))));
+        plans.push((format!("1 {op:?} i"), scan(&cat).filter(Expr::binary(op, Expr::lit(1i64), Expr::col(1)))));
+        plans.push((format!("f {op:?} 0.0"), scan(&cat).filter(Expr::binary(op, Expr::col(2), Expr::lit(0.0f64)))));
+        plans.push((format!("f {op:?} NaN"), scan(&cat).filter(Expr::binary(op, Expr::col(2), Expr::lit(f64::NAN)))));
+        plans.push((format!("f {op:?} 2 (int lit)"), scan(&cat).filter(Expr::binary(op, Expr::col(2), Expr::lit(2i64)))));
+        plans.push((format!("i {op:?} 1.5 (float lit)"), scan(&cat).filter(Expr::binary(op, Expr::col(1), Expr::lit(1.5f64)))));
+        plans.push((format!("s {op:?} 'b'"), scan(&cat).filter(Expr::binary(op, Expr::col(4), Expr::lit(Value::str("b"))))));
+        plans.push((format!("b {op:?} true"), scan(&cat).filter(Expr::binary(op, Expr::col(3), Expr::lit(true)))));
+        // Cross-type rank comparison (Int column vs Str literal) and a
+        // NULL literal (selects nothing).
+        plans.push((format!("i {op:?} 'x'"), scan(&cat).filter(Expr::binary(op, Expr::col(1), Expr::lit(Value::str("x"))))));
+        plans.push((format!("i {op:?} NULL"), scan(&cat).filter(Expr::binary(op, Expr::col(1), Expr::lit(Value::Null)))));
+        // Arrays and structs are `Other` columns: the conjunct stays
+        // residual and row-evaluates in selection order.
+        plans.push((format!("a {op:?} [1,NULL]"), scan(&cat).filter(Expr::binary(op, Expr::col(5), Expr::lit(Value::Array(vec![Value::Int(1), Value::Null]))))));
+        plans.push((format!("st {op:?} {{2}}"), scan(&cat).filter(Expr::binary(op, Expr::col(6), Expr::lit(Value::Struct(vec![Value::Int(2)]))))));
+    }
+    for c in 1..=6usize {
+        plans.push((format!("col{c} IS NULL"), scan(&cat).filter(Expr::IsNull(Box::new(Expr::col(c))))));
+        plans.push((format!("col{c} IS NOT NULL"), scan(&cat).filter(Expr::IsNotNull(Box::new(Expr::col(c))))));
+    }
+    // Vectorizable prefix + residual arithmetic conjunct, then a pruned
+    // projection on top.
+    plans.push((
+        "prefix+residual+prune".into(),
+        scan(&cat)
+            .filter(Expr::and(
+                Expr::binary(BinOp::Ge, Expr::col(1), Expr::lit(0i64)),
+                Expr::eq(Expr::binary(BinOp::Mod, Expr::col(0), Expr::lit(3i64)), Expr::lit(1i64)),
+            ))
+            .project(vec![(Expr::col(4), "s".into()), (Expr::col(2), "f".into())]),
+    ));
+    plans.push((
+        "scalar func over floats".into(),
+        scan(&cat).project(vec![(Expr::func(ScalarFunc::Abs, vec![Expr::col(2)]), "af".into())]),
+    ));
+    // Hash-join build keyed on each scalar type (NULL keys never join);
+    // the single-key columnar build must match the drained-stream build.
+    for (name, key) in [("int", 1usize), ("float", 2), ("bool", 3), ("str", 4), ("array", 5)] {
+        plans.push((
+            format!("self-join on {name}"),
+            scan(&cat).join(scan(&cat), erbiumdb::engine::JoinKind::Inner, vec![Expr::col(key)], vec![Expr::col(key)]),
+        ));
+    }
+    // Aggregation: global, single-key (dict / bool / float keys — the
+    // columnar fast path), and multi-key (row fallback).
+    plans.push((
+        "global aggs".into(),
+        scan(&cat).aggregate(
+            vec![],
+            vec![
+                (AggCall::count_star(), "n".into()),
+                (AggCall::new(AggFunc::Sum, Expr::col(2)), "sf".into()),
+                (AggCall::new(AggFunc::Avg, Expr::col(1)), "ai".into()),
+                (AggCall::new(AggFunc::Min, Expr::col(2)), "lo".into()),
+                (AggCall::new(AggFunc::Max, Expr::col(2)), "hi".into()),
+            ],
+        ),
+    ));
+    for (name, key) in [("str", 4usize), ("bool", 3), ("float", 2), ("int", 1)] {
+        plans.push((
+            format!("group by {name}"),
+            scan(&cat).aggregate(
+                vec![(Expr::col(key), "k".into())],
+                vec![(AggCall::count_star(), "n".into()), (AggCall::new(AggFunc::Sum, Expr::col(0)), "s".into())],
+            ),
+        ));
+    }
+    plans.push((
+        "group by two keys".into(),
+        scan(&cat).aggregate(
+            vec![(Expr::col(3), "b".into()), (Expr::col(4), "s".into())],
+            vec![(AggCall::new(AggFunc::Min, Expr::col(2)), "lo".into())],
+        ),
+    ));
+
+    for (name, plan) in &plans {
+        let reference = execute_with_metrics(
+            plan,
+            &cat,
+            &ExecContext::default().with_threads(1).with_columnar(false),
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+        .0;
+        for threads in [1usize, 4] {
+            for morsel in [7usize, 4096] {
+                for fusion in [true, false] {
+                    for columnar in [true, false] {
+                        let ctx = ExecContext::default()
+                            .with_threads(threads)
+                            .with_morsel_size(morsel)
+                            .with_batch_size(64)
+                            .with_fusion(fusion)
+                            .with_columnar(columnar);
+                        let (rows, _) = execute_with_metrics(plan, &cat, &ctx).unwrap();
+                        // Vec<Value> equality is bit-faithful for floats
+                        // only via to_bits; compare a rendered form that
+                        // distinguishes NaN payload sign and -0.0.
+                        assert_eq!(
+                            bits(&rows),
+                            bits(&reference),
+                            "{name}: threads={threads} morsel={morsel} fusion={fusion} \
+                             columnar={columnar} diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Render rows with floats expanded to raw bit patterns so NaN vs
+    /// NaN and -0.0 vs +0.0 mismatches are caught, not masked.
+    fn bits(rows: &[Vec<Value>]) -> Vec<String> {
+        fn one(v: &Value, out: &mut String) {
+            match v {
+                Value::Float(f) => out.push_str(&format!("F:{:016x}", f.to_bits())),
+                Value::Array(xs) | Value::Struct(xs) => {
+                    out.push('[');
+                    for x in xs {
+                        one(x, out);
+                        out.push(',');
+                    }
+                    out.push(']');
+                }
+                other => out.push_str(&format!("{other:?}")),
+            }
+        }
+        rows.iter()
+            .map(|r| {
+                let mut s = String::new();
+                for v in r {
+                    one(v, &mut s);
+                    s.push('|');
+                }
+                s
+            })
+            .collect()
+    }
 }
 
 /// Many concurrent `query_with` callers against one shared `Database`,
