@@ -1,0 +1,283 @@
+//! Multi-client throughput: N reader threads running the mixed E1–E9
+//! workload over [`SharedDatabase`] snapshots while a writer commits
+//! continuously, at N ∈ {1, 2, 4, 8, 16}.
+//!
+//! Reports QPS and p50/p99 read latency per fan-out, plus the
+//! A-concurrency ablation (plan cache hit vs forced-miss point queries;
+//! WAL group commit vs one-fsync-per-commit), and writes the repo-root
+//! `BENCH_throughput.json` via [`erbium_bench::report`].
+//!
+//! Not a criterion harness: the workload is wall-clock-window driven and
+//! the interesting numbers are aggregate QPS and tail latency, which the
+//! per-iteration criterion model does not express.
+
+use erbium_bench::{build, queries, report};
+use erbium_core::{Database, DurabilityOptions, SharedDatabase};
+use erbium_datagen::ExperimentConfig;
+use erbium_storage::{SyncPolicy, Value};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Globally unique ids for writer-inserted S entities, far above the
+/// populated id range so sweeps never collide with the dataset or each
+/// other.
+static NEXT_ID: AtomicI64 = AtomicI64::new(50_000_000);
+
+/// The read mix: every experiment query E1–E9 (point lookups, scans,
+/// unnests, relationship joins), as fixed SQL texts so repeated
+/// executions exercise the plan cache the way real prepared workloads do.
+fn workload(cfg: &ExperimentConfig) -> Vec<String> {
+    vec![
+        queries::E1.to_string(),
+        queries::E2.to_string(),
+        queries::e3((cfg.n_r / 2) as i64),
+        queries::E4.to_string(),
+        queries::E5.to_string(),
+        queries::E6.to_string(),
+        queries::e7(cfg),
+        queries::E8.to_string(),
+        queries::E9A.to_string(),
+        queries::E9B.to_string(),
+    ]
+}
+
+struct Sweep {
+    clients: usize,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    writer_commits: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx] as f64 / 1e3
+}
+
+/// One fan-out point: `clients` reader threads loop the workload for
+/// `window` wall-clock time while a writer thread commits small
+/// transactions as fast as it can.
+fn run_sweep(db: &SharedDatabase, sqls: &[String], clients: usize, window: Duration) -> Sweep {
+    let stop = AtomicBool::new(false);
+    let commits = AtomicU64::new(0);
+    let mut latencies: Vec<u64> = Vec::new();
+
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            while !stop.load(Ordering::Relaxed) {
+                db.transaction(|tx| {
+                    for _ in 0..4 {
+                        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+                        tx.insert(
+                            "S",
+                            &[
+                                ("s_id", Value::Int(id)),
+                                ("s_a", Value::str(format!("w-{id}"))),
+                                ("s_b", Value::Int(id % 50)),
+                            ],
+                        )?;
+                    }
+                    Ok(())
+                })
+                .expect("writer commit");
+                commits.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+
+        let readers: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut lat = Vec::new();
+                    let mut i = c; // offset so threads interleave the mix
+                    let t0 = Instant::now();
+                    while t0.elapsed() < window {
+                        let sql = &sqls[i % sqls.len()];
+                        let t = Instant::now();
+                        let rows = db.query(sql).expect("read query").rows;
+                        lat.push(t.elapsed().as_nanos() as u64);
+                        black_box(rows);
+                        i += 1;
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for r in readers {
+            latencies.extend(r.join().expect("reader thread"));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    latencies.sort_unstable();
+    Sweep {
+        clients,
+        qps: latencies.len() as f64 / window.as_secs_f64(),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        writer_commits: commits.load(Ordering::Relaxed),
+    }
+}
+
+/// Plan-cache ablation: median latency of a point query when every run
+/// hits the cache vs when a per-iteration comment forces a distinct cache
+/// key (full parse + plan every time — the "cache off" path). Runs on a
+/// small dedicated table so planning cost is visible next to execution.
+fn plan_cache_ablation(reps: usize) -> report::Value {
+    let mut db = Database::new();
+    db.execute("CREATE ENTITY pt (id int KEY, v int)").unwrap();
+    db.install_default().unwrap();
+    for i in 0..100 {
+        db.insert("pt", &[("id", Value::Int(i)), ("v", Value::Int(i % 7))]).unwrap();
+    }
+    let db = db.into_shared();
+    let point = "SELECT p.v FROM pt p WHERE p.id = 50";
+    let cached = erbium_bench::measure(reps, || {
+        black_box(db.query(point).expect("cached point query").rows.len());
+    });
+    let mut i = 0u64;
+    let uncached = erbium_bench::measure(reps, || {
+        i += 1;
+        let sql = format!("{point} -- miss {i}");
+        black_box(db.query(&sql).expect("uncached point query").rows.len());
+    });
+    let stats = db.plan_cache_stats();
+    report::obj([
+        ("point_query_cached_us", report::num(cached.as_secs_f64() * 1e6)),
+        ("point_query_uncached_us", report::num(uncached.as_secs_f64() * 1e6)),
+        ("cache_hits", report::int(stats.hits)),
+        ("cache_misses", report::int(stats.misses)),
+    ])
+}
+
+/// Group-commit ablation: K threads committing through the shared handle
+/// (one fsync covers a batch) vs the same commit count fsynced one-by-one
+/// on an exclusive handle. Both run `SyncPolicy::Always`.
+fn group_commit_ablation(k: usize, per_thread: usize) -> report::Value {
+    let base = std::env::temp_dir().join(format!("erbium-tputbench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let open = |tag: &str, window: Duration| {
+        let dir = base.join(tag);
+        let mut db = Database::open_with(
+            &dir,
+            DurabilityOptions { sync: SyncPolicy::Always, group_commit_window: window },
+        )
+        .expect("open durable db");
+        db.execute("CREATE ENTITY ev (id int KEY, n int)").unwrap();
+        db.install_default().unwrap();
+        db
+    };
+    let commit = |db: &SharedDatabase, id: i64| {
+        db.transaction(|tx| tx.insert("ev", &[("id", Value::Int(id)), ("n", Value::Int(0))]))
+            .expect("durable commit");
+    };
+
+    // Serial baseline: every commit pays its own fsync.
+    let serial_db = open("serial", Duration::ZERO).into_shared();
+    let t = Instant::now();
+    for id in 0..(k * per_thread) as i64 {
+        commit(&serial_db, id);
+    }
+    let serial = t.elapsed();
+
+    // Grouped: K concurrent committers share fsyncs via the commit queue.
+    // Zero dally window — batching comes purely from commits that queue up
+    // while the current leader's fsync is in flight.
+    let grouped_db = open("grouped", Duration::ZERO).into_shared();
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..k {
+            let db = &grouped_db;
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    commit(db, (c * per_thread + i) as i64);
+                }
+            });
+        }
+    });
+    let grouped = t.elapsed();
+    let (batches, commits) = grouped_db.group_commit_stats().expect("group committer active");
+    let _ = std::fs::remove_dir_all(&base);
+
+    let n = (k * per_thread) as f64;
+    report::obj([
+        ("threads", report::int(k as u64)),
+        ("commits", report::int(commits)),
+        ("fsync_batches", report::int(batches)),
+        ("serial_commits_per_s", report::num(n / serial.as_secs_f64())),
+        ("grouped_commits_per_s", report::num(n / grouped.as_secs_f64())),
+    ])
+}
+
+fn main() {
+    // `cargo test --benches` smoke mode: tiny scale, no report file.
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let cfg = if test_mode {
+        ExperimentConfig { n_r: 200, mv_avg: 2, seed: 42 }
+    } else {
+        ExperimentConfig { n_r: 2_000, mv_avg: 3, seed: 42 }
+    };
+    let window = if test_mode { Duration::from_millis(40) } else { Duration::from_millis(1500) };
+    let fan: &[usize] = if test_mode { &[1, 2] } else { &[1, 2, 4, 8, 16] };
+
+    let built = build("M1", &cfg);
+    let db = Database::from_parts(built.catalog, built.lowering).into_shared();
+    let sqls = workload(&cfg);
+    for sql in &sqls {
+        db.query(sql).unwrap_or_else(|e| panic!("workload query failed: {e}\n{sql}"));
+    }
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("throughput: mapping=M1 n_r={} cores={} window={:?}", cfg.n_r, cores, window);
+    let mut sweeps = Vec::new();
+    for &n in fan {
+        let s = run_sweep(&db, &sqls, n, window);
+        println!(
+            "  clients={:<2} qps={:>8.1} p50={:>8.1}us p99={:>8.1}us writer_commits={}",
+            s.clients, s.qps, s.p50_us, s.p99_us, s.writer_commits
+        );
+        sweeps.push(s);
+    }
+
+    if test_mode {
+        return;
+    }
+
+    let cache = plan_cache_ablation(200);
+    let group = group_commit_ablation(8, 24);
+    report::merge(
+        "BENCH_throughput.json",
+        "meta",
+        report::obj([
+            ("mapping", report::text("M1")),
+            ("n_r", report::int(cfg.n_r as u64)),
+            ("cores", report::int(cores as u64)),
+            ("window_ms", report::int(window.as_millis() as u64)),
+            ("queries_in_mix", report::int(sqls.len() as u64)),
+        ]),
+    );
+    report::merge(
+        "BENCH_throughput.json",
+        "read_throughput",
+        report::Value::Array(
+            sweeps
+                .iter()
+                .map(|s| {
+                    report::obj([
+                        ("clients", report::int(s.clients as u64)),
+                        ("qps", report::num(s.qps)),
+                        ("p50_us", report::num(s.p50_us)),
+                        ("p99_us", report::num(s.p99_us)),
+                        ("writer_commits", report::int(s.writer_commits)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    report::merge("BENCH_throughput.json", "plan_cache", cache);
+    report::merge("BENCH_throughput.json", "group_commit", group);
+    println!("wrote {}", report::path("BENCH_throughput.json").display());
+}

@@ -7,7 +7,8 @@
 //! durable configurations. Reported in EXPERIMENTS.md as the durability
 //! ablation row.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
+use erbium_bench::report;
 use erbium_core::{Database, DurabilityOptions};
 use erbium_storage::{SyncPolicy, Value};
 use std::path::PathBuf;
@@ -27,7 +28,8 @@ fn bench_dir(tag: &str) -> PathBuf {
 
 fn durable_db(tag: &str, sync: SyncPolicy) -> Database {
     let dir = bench_dir(tag);
-    let mut db = Database::open_with(&dir, DurabilityOptions { sync }).expect("open durable db");
+    let mut db = Database::open_with(&dir, DurabilityOptions { sync, ..Default::default() })
+        .expect("open durable db");
     db.execute(DDL).unwrap();
     db.install_default().unwrap();
     db
@@ -121,5 +123,40 @@ fn bench_wal(c: &mut Criterion) {
     g.finish();
 }
 
+/// Headline numbers for the machine-readable report: median per-commit
+/// cost under each sync policy, merged into the repo-root results file.
+fn write_headline() {
+    let mut entries = Vec::new();
+    for (name, mut db) in [
+        ("memory_us", memory_db()),
+        ("sync_never_us", durable_db("hl-never", SyncPolicy::Never)),
+        ("sync_always_us", durable_db("hl-always", SyncPolicy::Always)),
+    ] {
+        let mut id = 1_000_000i64;
+        let t = erbium_bench::measure(20, || {
+            id += 1;
+            insert_one(&mut db, id);
+        });
+        entries.push((name, report::num(t.as_secs_f64() * 1e6)));
+    }
+    report::merge(
+        "BENCH_throughput.json",
+        "wal_commit",
+        report::obj([
+            ("unit", report::text("median microseconds per single-entity commit")),
+            (entries[0].0, entries[0].1.clone()),
+            (entries[1].0, entries[1].1.clone()),
+            (entries[2].0, entries[2].1.clone()),
+        ]),
+    );
+}
+
 criterion_group!(benches, bench_wal);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    // `cargo test --benches` smoke-runs with --test: skip the report.
+    if !std::env::args().any(|a| a == "--test") {
+        write_headline();
+    }
+}

@@ -1,0 +1,115 @@
+//! Multi-client smoke for the tier-1 gate: two writer threads churn
+//! insert/update/delete transactions through a [`SharedDatabase`] while
+//! four reader threads hammer aggregate queries over snapshots.
+//!
+//! Every committed transaction preserves the invariant `SUM(item.qty) = 0`
+//! (rows are inserted and deleted in `+v`/`-v` pairs), so any reader that
+//! observes a nonzero sum caught a torn transaction. The process exits
+//! nonzero on any query/commit error, a broken invariant, an unstable
+//! snapshot, or a cold plan cache.
+
+use erbium_core::{Database, SharedDatabase};
+use erbium_storage::Value;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+const SUM_SQL: &str = "SELECT SUM(i.qty) AS s FROM item i";
+const COUNT_SQL: &str = "SELECT COUNT(*) AS n FROM item i";
+
+fn total(db_sum: &erbium_core::QueryResult) -> i64 {
+    match db_sum.rows[0][0] {
+        Value::Int(v) => v,
+        Value::Float(v) => v as i64,
+        ref other => panic!("unexpected SUM value {other:?}"),
+    }
+}
+
+fn writer(db: &SharedDatabase, w: i64, stop: &AtomicBool, commits: &AtomicU64) {
+    let mut next = 0i64;
+    let mut live: Vec<i64> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        let id = w * 10_000_000 + next * 2;
+        next += 1;
+        let v = 1 + (next % 9);
+        db.transaction(|tx| {
+            tx.insert("item", &[("id", Value::Int(id)), ("qty", Value::Int(v))])?;
+            tx.insert("item", &[("id", Value::Int(id + 1)), ("qty", Value::Int(-v))])?;
+            Ok(())
+        })
+        .expect("writer insert txn");
+        live.push(id);
+        commits.fetch_add(1, Ordering::Relaxed);
+
+        // Every fourth pair: bump both sides (sum stays 0), then retire
+        // the oldest pair — update and delete churn in one loop.
+        if next % 4 == 0 {
+            let bump = live[live.len() / 2];
+            db.transaction(|tx| {
+                tx.update_entity("item", &[Value::Int(bump)], &[("qty", Value::Int(v + 1))])?;
+                tx.update_entity("item", &[Value::Int(bump + 1)], &[("qty", Value::Int(-v - 1))])?;
+                let old = live[0];
+                tx.delete_entity("item", &[Value::Int(old)])?;
+                tx.delete_entity("item", &[Value::Int(old + 1)])?;
+                Ok(())
+            })
+            .expect("writer churn txn");
+            live.remove(0);
+            commits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn reader(db: &SharedDatabase, window: Duration, reads: &AtomicU64) {
+    let t0 = Instant::now();
+    while t0.elapsed() < window {
+        // Live one-shot read: the pair invariant must hold.
+        let sum = db.query(SUM_SQL).expect("live read");
+        assert_eq!(total(&sum), 0, "reader saw a torn transaction");
+
+        // Pinned snapshot: answers are stable across concurrent commits.
+        let snap = db.snapshot();
+        let n1 = snap.query(COUNT_SQL).expect("snapshot read");
+        let s1 = snap.query(SUM_SQL).expect("snapshot read");
+        let n2 = snap.query(COUNT_SQL).expect("snapshot re-read");
+        assert_eq!(n1.rows, n2.rows, "snapshot answer changed between reads");
+        assert_eq!(total(&s1), 0, "snapshot saw a torn transaction");
+        reads.fetch_add(4, Ordering::Relaxed);
+    }
+}
+
+fn main() {
+    let mut db = Database::new();
+    db.execute("CREATE ENTITY item (id int KEY, qty int)").unwrap();
+    db.install_default().unwrap();
+    // Seed one balanced pair so aggregates never run over an empty table.
+    db.insert("item", &[("id", Value::Int(-2)), ("qty", Value::Int(5))]).unwrap();
+    db.insert("item", &[("id", Value::Int(-1)), ("qty", Value::Int(-5))]).unwrap();
+    let db = db.into_shared();
+
+    let window = Duration::from_millis(800);
+    let stop = AtomicBool::new(false);
+    let commits = AtomicU64::new(0);
+    let reads = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for w in 0..2i64 {
+            let (db, stop, commits) = (&db, &stop, &commits);
+            s.spawn(move || writer(db, w, stop, commits));
+        }
+        let readers: Vec<_> = (0..4).map(|_| s.spawn(|| reader(&db, window, &reads))).collect();
+        for r in readers {
+            r.join().expect("reader thread");
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let stats = db.plan_cache_stats();
+    assert!(stats.hits > 0, "plan cache served no hits under the smoke workload");
+    assert!(commits.load(Ordering::Relaxed) > 0, "writers made no commits");
+    println!(
+        "multi-client smoke: OK (commits={}, reads={}, plan cache hits={} misses={})",
+        commits.load(Ordering::Relaxed),
+        reads.load(Ordering::Relaxed),
+        stats.hits,
+        stats.misses
+    );
+}

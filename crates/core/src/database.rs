@@ -2,7 +2,7 @@
 
 use crate::governance::{AccessPolicy, ErasureReport};
 use erbium_advisor::{Advisor, Recommendation, Workload};
-use erbium_engine::{ExecContext, Plan};
+use erbium_engine::{ExecContext, Plan, PlanCache, PlanCacheStats};
 use erbium_evolve::{EvolutionOp, MigrationReport, Migrator, VersionLog};
 use erbium_mapping::{
     lower::{META_MAPPING, META_SCHEMA},
@@ -17,6 +17,7 @@ use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Top-level error type of ErbiumDB.
@@ -130,6 +131,13 @@ impl QueryResult {
 pub struct DurabilityOptions {
     /// WAL fsync policy (see [`SyncPolicy`]); defaults to `EveryN(32)`.
     pub sync: SyncPolicy,
+    /// Leader dally window for WAL group commit, used only by
+    /// [`crate::SharedDatabase`] under `SyncPolicy::Always`: the first
+    /// committer to reach the fsync waits this long so concurrent commits
+    /// can join its batch. `Duration::ZERO` (the default) adds no
+    /// artificial latency — commits that overlap a running `fdatasync`
+    /// still share the next one.
+    pub group_commit_window: Duration,
 }
 
 /// Observability configuration, applied with
@@ -177,18 +185,20 @@ pub struct SlowQueryRecord {
 /// Interior-mutable slow-query state. `run_query` takes `&self`, so the
 /// ring lives behind a mutex; the lock is touched once per query (a load
 /// of the threshold) and only contended when records are actually pushed.
-struct SlowLog {
-    threshold: Option<Duration>,
-    ring: VecDeque<SlowQueryRecord>,
+/// Shared (`Arc`) so snapshots record offenders into the same ring as the
+/// database they were pinned from.
+pub(crate) struct SlowLog {
+    pub(crate) threshold: Option<Duration>,
+    pub(crate) ring: VecDeque<SlowQueryRecord>,
 }
 
 /// Retained slow-query records (oldest evicted first).
 const SLOW_LOG_CAP: usize = 128;
 
 /// Durable-state handles attached to an opened database.
-struct Durability {
-    dir: PathBuf,
-    wal: Wal,
+pub(crate) struct Durability {
+    pub(crate) dir: PathBuf,
+    pub(crate) wal: Wal,
 }
 
 // ---- process-wide query metrics --------------------------------------------
@@ -242,20 +252,29 @@ fn m_slow_queries() -> &'static erbium_obs::Counter {
 
 /// An ErbiumDB database instance.
 pub struct Database {
-    schema: ErSchema,
-    catalog: Catalog,
-    lowering: Option<Lowering>,
-    policy: Option<AccessPolicy>,
+    pub(crate) schema: ErSchema,
+    pub(crate) catalog: Catalog,
+    /// `Arc` so a pinned [`crate::Snapshot`] keeps the lowering it was
+    /// planned against alive while the writer remaps underneath it.
+    pub(crate) lowering: Option<Arc<Lowering>>,
+    pub(crate) policy: Option<AccessPolicy>,
     /// `Some` for databases opened from a directory ([`Database::open`]);
     /// `None` for in-memory instances — the CRUD paths then skip WAL
     /// logging entirely, so the in-memory fast path pays nothing.
-    durability: Option<Durability>,
+    pub(crate) durability: Option<Durability>,
     /// Slow-query capture state (threshold + bounded ring of records).
-    slow_log: Mutex<SlowLog>,
+    pub(crate) slow_log: Arc<Mutex<SlowLog>>,
+    /// Cache of optimized plans, keyed on (generation, normalized SQL);
+    /// shared with snapshots, invalidated on anything that changes plan
+    /// shape (install/evolve/remap/rollback/ANALYZE/policy change).
+    pub(crate) plan_cache: Arc<PlanCache>,
+    /// Group-commit dally window carried from [`DurabilityOptions`] to
+    /// [`Database::into_shared`].
+    pub(crate) group_commit_window: Duration,
 }
 
-fn new_slow_log() -> Mutex<SlowLog> {
-    Mutex::new(SlowLog { threshold: None, ring: VecDeque::new() })
+fn new_slow_log() -> Arc<Mutex<SlowLog>> {
+    Arc::new(Mutex::new(SlowLog { threshold: None, ring: VecDeque::new() }))
 }
 
 impl Default for Database {
@@ -277,6 +296,8 @@ impl Database {
             policy: None,
             durability: None,
             slow_log: new_slow_log(),
+            plan_cache: Arc::new(PlanCache::default()),
+            group_commit_window: Duration::ZERO,
         }
     }
 
@@ -290,6 +311,8 @@ impl Database {
             policy: None,
             durability: None,
             slow_log: new_slow_log(),
+            plan_cache: Arc::new(PlanCache::default()),
+            group_commit_window: Duration::ZERO,
         })
     }
 
@@ -300,10 +323,12 @@ impl Database {
         Database {
             schema: lowering.schema.clone(),
             catalog,
-            lowering: Some(lowering),
+            lowering: Some(Arc::new(lowering)),
             policy: None,
             durability: None,
             slow_log: new_slow_log(),
+            plan_cache: Arc::new(PlanCache::default()),
+            group_commit_window: Duration::ZERO,
         }
     }
 
@@ -355,10 +380,12 @@ impl Database {
         Ok(Database {
             schema,
             catalog,
-            lowering,
+            lowering: lowering.map(Arc::new),
             policy: None,
             durability: Some(Durability { dir, wal }),
             slow_log: new_slow_log(),
+            plan_cache: Arc::new(PlanCache::default()),
+            group_commit_window: opts.group_commit_window,
         })
     }
 
@@ -388,32 +415,42 @@ impl Database {
 
     // ---- DDL -------------------------------------------------------------------
 
-    /// Execute a script of ERQL DDL statements (`;`-separated). SELECTs are
-    /// rejected here — use [`Database::query`].
+    /// Execute a script of ERQL statements (`;`-separated). DDL statements
+    /// mutate the schema; SELECT / EXPLAIN statements run through the
+    /// plan-cached query path (results are discarded — use
+    /// [`Database::query`] to get rows back). The script is split at lexed
+    /// statement boundaries so each SELECT keeps its own source text,
+    /// which is what the plan cache keys on: re-executing a script hits
+    /// the cache instead of replanning every statement.
     pub fn execute(&mut self, script: &str) -> DbResult<()> {
-        let stmts = erbium_query::parse(script).map_err(|e| DbError::Parse(e.to_string()))?;
-        for stmt in stmts {
+        let pieces =
+            erbium_query::split_statements(script).map_err(|e| DbError::Parse(e.to_string()))?;
+        for sql in pieces {
+            let stmt =
+                erbium_query::parse_single(sql).map_err(|e| DbError::Parse(e.to_string()))?;
             match stmt {
                 Statement::CreateEntity(ce) => {
                     self.require_not_installed()?;
                     self.schema.add_entity(ce.to_entity_set()?)?;
+                    self.plan_cache.invalidate();
                 }
                 Statement::CreateRelationship(cr) => {
                     self.require_not_installed()?;
                     self.schema.add_relationship(cr.to_relationship()?)?;
+                    self.plan_cache.invalidate();
                 }
                 Statement::DropEntity(name) => {
                     self.require_not_installed()?;
                     self.schema.remove_entity(&name)?;
+                    self.plan_cache.invalidate();
                 }
                 Statement::DropRelationship(name) => {
                     self.require_not_installed()?;
                     self.schema.remove_relationship(&name)?;
+                    self.plan_cache.invalidate();
                 }
                 Statement::Select(_) | Statement::Explain(_) => {
-                    return Err(DbError::Parse(
-                        "SELECT passed to execute(); use query()".into(),
-                    ))
+                    self.query_ctx().run_query(sql, &ExecContext::default(), false)?;
                 }
             }
         }
@@ -449,7 +486,7 @@ impl Database {
 
     /// The lowering (homes + physical specs), if installed.
     pub fn lowering(&self) -> DbResult<&Lowering> {
-        self.lowering.as_ref().ok_or(DbError::NotInstalled)
+        self.lowering.as_deref().ok_or(DbError::NotInstalled)
     }
 
     // ---- mapping installation --------------------------------------------------
@@ -463,7 +500,8 @@ impl Database {
         let mut log = VersionLog::load(&self.catalog)?;
         log.record(&lw, format!("install mapping '{}'", mapping.name));
         log.save(&mut self.catalog)?;
-        self.lowering = Some(lw);
+        self.lowering = Some(Arc::new(lw));
+        self.plan_cache.invalidate();
         self.checkpoint_after_structural_change()?;
         Ok(())
     }
@@ -502,28 +540,56 @@ impl Database {
         &mut self,
         f: impl FnOnce(&mut Tx<'_>) -> DbResult<T>,
     ) -> DbResult<T> {
-        let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
+        self.transaction_inner(f, false).map(|(out, _)| out)
+    }
+
+    /// [`Database::transaction`] plus the machinery shared mode needs:
+    /// every transaction commits under a fresh catalog epoch (so slot
+    /// epoch stamps order writes against pinned snapshots), and with
+    /// `defer_sync` the WAL group is appended but *not* fsynced — the
+    /// returned LSN is handed to a [`erbium_storage::GroupCommitter`]
+    /// after the writer lock is released, so concurrent committers share
+    /// fsyncs. An LSN of 0 means there is nothing to wait for (in-memory
+    /// database, empty transaction, or `defer_sync == false`). A failed
+    /// WAL append still rolls back here, under the writer's exclusive
+    /// borrow.
+    pub(crate) fn transaction_inner<T>(
+        &mut self,
+        f: impl FnOnce(&mut Tx<'_>) -> DbResult<T>,
+        defer_sync: bool,
+    ) -> DbResult<(T, u64)> {
+        let lw = Arc::clone(self.lowering.as_ref().ok_or(DbError::NotInstalled)?);
         let durable = self.durability.is_some();
+        self.catalog.advance_epoch();
         let mut tx = Tx {
-            store: EntityStore::new(lw),
+            store: EntityStore::new(&lw),
             cat: &mut self.catalog,
             txn: if durable { Transaction::logged() } else { Transaction::new() },
         };
         match f(&mut tx) {
             Ok(out) => {
                 let Tx { cat, mut txn, .. } = tx;
+                let mut lsn = 0;
                 if let Some(d) = self.durability.as_mut() {
-                    if let Err(e) = txn.flush_to_wal(&mut d.wal) {
-                        txn.rollback(cat).map_err(|re| {
-                            DbError::from(erbium_storage::StorageError::Internal(format!(
-                                "rollback failed: {re} (original error: {e})"
-                            )))
-                        })?;
-                        return Err(e.into());
+                    let flushed = if defer_sync {
+                        txn.flush_to_wal_deferred(&mut d.wal).map(|(_, l)| l)
+                    } else {
+                        txn.flush_to_wal(&mut d.wal).map(|_| 0)
+                    };
+                    match flushed {
+                        Ok(l) => lsn = l,
+                        Err(e) => {
+                            txn.rollback(cat).map_err(|re| {
+                                DbError::from(erbium_storage::StorageError::Internal(format!(
+                                    "rollback failed: {re} (original error: {e})"
+                                )))
+                            })?;
+                            return Err(e.into());
+                        }
                     }
                 }
                 txn.commit();
-                Ok(out)
+                Ok((out, lsn))
             }
             Err(e) => {
                 let Tx { cat, txn, .. } = tx;
@@ -558,7 +624,7 @@ impl Database {
 
     /// Fetch one instance by key (all attributes at this entity's level).
     pub fn get(&self, entity: &str, key: &[Value]) -> DbResult<Option<EntityData>> {
-        let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
+        let lw = self.lowering.as_deref().ok_or(DbError::NotInstalled)?;
         Ok(EntityStore::new(lw).get(&self.catalog, entity, key)?)
     }
 
@@ -605,120 +671,29 @@ impl Database {
     /// until the next `analyze()`. Returns the number of statistics entries
     /// gathered.
     pub fn analyze(&mut self) -> usize {
-        self.catalog.analyze()
+        let gathered = self.catalog.analyze();
+        // Fresh statistics can change plan shape (join order, build side),
+        // so cached plans are stale the useful way: replan once, re-cache.
+        self.plan_cache.invalidate();
+        gathered
     }
 
     // ---- queries ------------------------------------------------------------------
 
-    /// Single entry point behind [`Database::query`] and
-    /// [`Database::query_with`]: handles `EXPLAIN SELECT ...`, plans,
-    /// executes, and optionally collects the per-operator metrics tree.
-    fn run_query(
-        &self,
-        sql: &str,
-        ctx: &ExecContext,
-        collect_metrics: bool,
-    ) -> DbResult<QueryResult> {
-        if let Ok(Statement::Explain(sel)) = erbium_query::parse_single(sql) {
-            let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
-            if let Some(policy) = &self.policy {
-                policy.check(&self.schema, &sel).map_err(DbError::PolicyViolation)?;
-            }
-            let rewriter = QueryRewriter::new(lw, &self.catalog);
-            let plan = rewriter.rewrite_optimized(&sel)?;
-            let rows = erbium_engine::explain_with_estimates(&plan, &self.catalog)
-                .lines()
-                .map(|l| vec![Value::str(l)])
-                .collect();
-            return Ok(QueryResult { columns: vec!["plan".into()], rows, metrics: None });
+    /// The borrowed query context of this database's current state (see
+    /// [`QueryCtx`]). The plan-cache generation is captured here, so a
+    /// context assembled before an invalidation can't serve plans cached
+    /// after it (and vice versa).
+    pub(crate) fn query_ctx(&self) -> QueryCtx<'_> {
+        QueryCtx {
+            schema: &self.schema,
+            catalog: &self.catalog,
+            lowering: self.lowering.as_deref(),
+            policy: self.policy.as_ref(),
+            slow_log: &self.slow_log,
+            plan_cache: &self.plan_cache,
+            plan_generation: self.plan_cache.generation(),
         }
-        // Query lifecycle instrumentation: a fresh query id scopes every
-        // span opened below (parse/plan/optimize in `self.plan`, execute
-        // here, plus any storage spans the query triggers on this thread).
-        let qid = erbium_obs::Tracer::global().next_query_id();
-        let _qscope = erbium_obs::QueryIdScope::enter(qid);
-        let _span = erbium_obs::span("query").with_detail(|| sql.to_string());
-        let t0 = std::time::Instant::now();
-
-        let plan = self.plan(sql)?;
-        let mut stream = erbium_engine::execute_streaming(&plan, &self.catalog, ctx)
-            .map_err(|e| DbError::Mapping(MappingError::Engine(e)))?;
-        let rows = {
-            let _exec_span = erbium_obs::span("execute");
-            stream.drain().map_err(|e| DbError::Mapping(MappingError::Engine(e)))?
-        };
-        let elapsed = t0.elapsed();
-
-        // Process-wide counters ride the executor's always-on atomic
-        // counters, so they cost the same whether or not the caller asked
-        // for a metrics tree.
-        let snapshot = stream.metrics();
-        let scanned: u64 = snapshot.leaves().iter().map(|l| l.rows_out).sum();
-        m_queries().inc();
-        m_query_seconds().observe_duration(elapsed);
-        m_rows_scanned().add(scanned);
-        m_rows_emitted().add(rows.len() as u64);
-
-        // Slow-query capture: one cheap threshold load per query; the
-        // expensive work (annotation, digest) happens only for offenders.
-        let threshold = self.slow_log.lock().threshold;
-        if let Some(th) = threshold {
-            if elapsed >= th {
-                self.record_slow_query(qid, sql, elapsed, &plan, snapshot.clone());
-            }
-        }
-
-        let metrics = if collect_metrics {
-            let mut metrics = snapshot;
-            erbium_engine::annotate_metrics(&mut metrics, &plan, &self.catalog);
-            Some(metrics)
-        } else {
-            None
-        };
-        Ok(QueryResult {
-            columns: plan.fields.iter().map(|f| f.name.clone()).collect(),
-            rows,
-            metrics,
-        })
-    }
-
-    /// Annotate, digest and append one slow-query record.
-    fn record_slow_query(
-        &self,
-        query_id: u64,
-        sql: &str,
-        elapsed: Duration,
-        plan: &Plan,
-        mut metrics: erbium_engine::ExecMetrics,
-    ) {
-        use std::hash::{Hash, Hasher};
-        erbium_engine::annotate_metrics(&mut metrics, plan, &self.catalog);
-        let rendered = erbium_engine::explain_with_estimates(plan, &self.catalog);
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        rendered.hash(&mut hasher);
-        let plan_digest = hasher.finish();
-        fn max_q(m: &erbium_engine::ExecMetrics) -> Option<f64> {
-            let mine = m.q_error();
-            m.children
-                .iter()
-                .filter_map(max_q)
-                .chain(mine)
-                .fold(None, |acc, q| Some(acc.map_or(q, |a: f64| a.max(q))))
-        }
-        let rec = SlowQueryRecord {
-            query_id,
-            sql: sql.to_string(),
-            plan_digest,
-            elapsed,
-            max_q_error: max_q(&metrics),
-            metrics,
-        };
-        m_slow_queries().inc();
-        let mut log = self.slow_log.lock();
-        if log.ring.len() == SLOW_LOG_CAP {
-            log.ring.pop_front();
-        }
-        log.ring.push_back(rec);
     }
 
     /// Run an ERQL SELECT against the logical schema. `EXPLAIN SELECT ...`
@@ -727,7 +702,7 @@ impl Database {
     /// instrumentation beyond the executor's atomic counters; use
     /// [`Database::query_with`] for the instrumented variant.
     pub fn query(&self, sql: &str) -> DbResult<QueryResult> {
-        self.run_query(sql, &ExecContext::default(), false)
+        self.query_ctx().run_query(sql, &ExecContext::default(), false)
     }
 
     /// Run an ERQL SELECT under an explicit [`ExecContext`] and return the
@@ -738,27 +713,18 @@ impl Database {
     /// carries the optimizer's row estimate, so its rendering shows
     /// estimate-vs-actual q-error per operator.
     pub fn query_with(&self, sql: &str, ctx: &ExecContext) -> DbResult<QueryResult> {
-        self.run_query(sql, ctx, true)
+        self.query_ctx().run_query(sql, ctx, true)
     }
 
-    /// Compile an ERQL SELECT to an optimized physical plan.
+    /// Compile an ERQL SELECT to an optimized physical plan (through the
+    /// plan cache).
     pub fn plan(&self, sql: &str) -> DbResult<Plan> {
-        let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
-        let stmt = {
-            let _span = erbium_obs::span("parse");
-            erbium_query::parse_single(sql).map_err(|e| DbError::Parse(e.to_string()))?
-        };
-        let Statement::Select(sel) = stmt else {
-            return Err(DbError::Parse("query() expects a SELECT".into()));
-        };
-        if let Some(policy) = &self.policy {
-            policy.check(&self.schema, &sel).map_err(DbError::PolicyViolation)?;
-        }
-        // The `plan` span covers mapping-aware rewrite + optimization; the
-        // optimizer emits its own nested `optimize` span.
-        let _span = erbium_obs::span("plan");
-        let rewriter = QueryRewriter::new(lw, &self.catalog);
-        Ok(rewriter.rewrite_optimized(&sel)?)
+        self.query_ctx().plan(sql).map(|p| (*p).clone())
+    }
+
+    /// Per-database plan-cache counters (hits/misses/invalidations/entries).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
     }
 
     // ---- observability ----------------------------------------------------------
@@ -800,7 +766,7 @@ impl Database {
     /// [`Database::analyze`] every node is annotated with the optimizer's
     /// row estimate (`[est=N]`).
     pub fn explain(&self, sql: &str) -> DbResult<String> {
-        let plan = self.plan(sql)?;
+        let plan = self.query_ctx().plan(sql)?;
         Ok(erbium_engine::explain_with_estimates(&plan, &self.catalog))
     }
 
@@ -816,7 +782,8 @@ impl Database {
                 let mut log = VersionLog::load(&self.catalog)?;
                 log.record(&new_lw, report.description.clone());
                 log.save(&mut self.catalog)?;
-                self.lowering = Some(new_lw);
+                self.lowering = Some(Arc::new(new_lw));
+                self.plan_cache.invalidate();
                 self.checkpoint_after_structural_change()?;
                 Ok(report)
             }
@@ -835,7 +802,8 @@ impl Database {
                 let mut log = VersionLog::load(&self.catalog)?;
                 log.record(&new_lw, report.description.clone());
                 log.save(&mut self.catalog)?;
-                self.lowering = Some(new_lw);
+                self.lowering = Some(Arc::new(new_lw));
+                self.plan_cache.invalidate();
                 self.checkpoint_after_structural_change()?;
                 Ok(report)
             }
@@ -858,7 +826,8 @@ impl Database {
         match log.rollback_to(&mut self.catalog, &lw, version) {
             Ok((new_lw, report)) => {
                 self.schema = new_lw.schema.clone();
-                self.lowering = Some(new_lw);
+                self.lowering = Some(Arc::new(new_lw));
+                self.plan_cache.invalidate();
                 self.checkpoint_after_structural_change()?;
                 Ok(report)
             }
@@ -871,7 +840,7 @@ impl Database {
 
     /// Run the workload-aware advisor against the current data.
     pub fn advise(&self, workload: &Workload) -> DbResult<Recommendation> {
-        let lw = self.lowering.as_ref().ok_or(DbError::NotInstalled)?;
+        let lw = self.lowering.as_deref().ok_or(DbError::NotInstalled)?;
         let advisor = Advisor::from_database(&self.catalog, lw)?;
         Ok(advisor.recommend(workload)?)
     }
@@ -888,12 +857,192 @@ impl Database {
     /// Install (or clear) the tag-based access policy applied to queries.
     pub fn set_policy(&mut self, policy: Option<AccessPolicy>) {
         self.policy = policy;
+        // Policy approval is baked into cached plans (a cache hit skips
+        // the check), so a policy change must discard them all.
+        self.plan_cache.invalidate();
     }
 
     /// Markdown description of the schema, generated from the attached
     /// `DESCRIPTION` texts and governance tags.
     pub fn describe_schema(&self) -> String {
         crate::governance::describe_schema(&self.schema)
+    }
+}
+
+/// Everything the read path needs, borrowed. Both [`Database`] (borrowing
+/// its own live state) and [`crate::Snapshot`] (borrowing a pinned
+/// [`crate::shared::ReadView`]) assemble one of these, so a snapshot query
+/// runs the *identical* code as a direct query — same plan cache, same
+/// slow-query ring, same instrumentation — just against different borrows.
+pub(crate) struct QueryCtx<'a> {
+    pub(crate) schema: &'a ErSchema,
+    pub(crate) catalog: &'a Catalog,
+    pub(crate) lowering: Option<&'a Lowering>,
+    pub(crate) policy: Option<&'a AccessPolicy>,
+    pub(crate) slow_log: &'a Mutex<SlowLog>,
+    pub(crate) plan_cache: &'a PlanCache,
+    /// Plan-cache generation this context plans under. A [`Database`]
+    /// context reads the current generation; a snapshot carries the
+    /// generation captured when its view was published, so it keeps
+    /// hitting (and repopulating) entries consistent with its pinned
+    /// schema and statistics even after the writer invalidates.
+    pub(crate) plan_generation: u64,
+}
+
+impl QueryCtx<'_> {
+    /// Compile `sql` through the plan cache: probe, plan fresh on a miss.
+    pub(crate) fn plan(&self, sql: &str) -> DbResult<Arc<Plan>> {
+        if let Some(plan) = self.plan_cache.get(self.plan_generation, sql) {
+            return Ok(plan);
+        }
+        self.plan_fresh(sql)
+    }
+
+    /// Parse, policy-check, rewrite, optimize, and cache. The policy check
+    /// runs only here — a cache hit skips it, which is sound because
+    /// [`Database::set_policy`] invalidates the cache (the generation
+    /// encodes the policy a plan was approved under).
+    fn plan_fresh(&self, sql: &str) -> DbResult<Arc<Plan>> {
+        let lw = self.lowering.ok_or(DbError::NotInstalled)?;
+        let stmt = {
+            let _span = erbium_obs::span("parse");
+            erbium_query::parse_single(sql).map_err(|e| DbError::Parse(e.to_string()))?
+        };
+        let Statement::Select(sel) = stmt else {
+            return Err(DbError::Parse("query() expects a SELECT".into()));
+        };
+        if let Some(policy) = self.policy {
+            policy.check(self.schema, &sel).map_err(DbError::PolicyViolation)?;
+        }
+        // The `plan` span covers mapping-aware rewrite + optimization; the
+        // optimizer emits its own nested `optimize` span.
+        let _span = erbium_obs::span("plan");
+        let rewriter = QueryRewriter::new(lw, self.catalog);
+        let plan = Arc::new(rewriter.rewrite_optimized(&sel)?);
+        self.plan_cache.insert(self.plan_generation, sql, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Single entry point behind `query`/`query_with` (on both `Database`
+    /// and `Snapshot`): handles `EXPLAIN SELECT ...`, plans through the
+    /// cache, executes, and optionally collects the per-operator metrics
+    /// tree.
+    pub(crate) fn run_query(
+        &self,
+        sql: &str,
+        ctx: &ExecContext,
+        collect_metrics: bool,
+    ) -> DbResult<QueryResult> {
+        // Probe the cache before anything else: a hit skips parsing
+        // entirely. Only SELECT plans are ever inserted, so an
+        // `EXPLAIN ...` text can't false-hit — it misses and is recognized
+        // by the parse below.
+        let cached = self.plan_cache.get(self.plan_generation, sql);
+        if cached.is_none() {
+            if let Ok(Statement::Explain(sel)) = erbium_query::parse_single(sql) {
+                let lw = self.lowering.ok_or(DbError::NotInstalled)?;
+                if let Some(policy) = self.policy {
+                    policy.check(self.schema, &sel).map_err(DbError::PolicyViolation)?;
+                }
+                let rewriter = QueryRewriter::new(lw, self.catalog);
+                let plan = rewriter.rewrite_optimized(&sel)?;
+                let rows = erbium_engine::explain_with_estimates(&plan, self.catalog)
+                    .lines()
+                    .map(|l| vec![Value::str(l)])
+                    .collect();
+                return Ok(QueryResult { columns: vec!["plan".into()], rows, metrics: None });
+            }
+        }
+        // Query lifecycle instrumentation: a fresh query id scopes every
+        // span opened below (parse/plan/optimize on a cache miss, execute
+        // here, plus any storage spans the query triggers on this thread).
+        let qid = erbium_obs::Tracer::global().next_query_id();
+        let _qscope = erbium_obs::QueryIdScope::enter(qid);
+        let _span = erbium_obs::span("query").with_detail(|| sql.to_string());
+        let t0 = std::time::Instant::now();
+
+        let plan = match cached {
+            Some(plan) => plan,
+            None => self.plan_fresh(sql)?,
+        };
+        let mut stream = erbium_engine::execute_streaming(&plan, self.catalog, ctx)
+            .map_err(|e| DbError::Mapping(MappingError::Engine(e)))?;
+        let rows = {
+            let _exec_span = erbium_obs::span("execute");
+            stream.drain().map_err(|e| DbError::Mapping(MappingError::Engine(e)))?
+        };
+        let elapsed = t0.elapsed();
+
+        // Process-wide counters ride the executor's always-on atomic
+        // counters, so they cost the same whether or not the caller asked
+        // for a metrics tree.
+        let snapshot = stream.metrics();
+        let scanned: u64 = snapshot.leaves().iter().map(|l| l.rows_out).sum();
+        m_queries().inc();
+        m_query_seconds().observe_duration(elapsed);
+        m_rows_scanned().add(scanned);
+        m_rows_emitted().add(rows.len() as u64);
+
+        // Slow-query capture: one cheap threshold load per query; the
+        // expensive work (annotation, digest) happens only for offenders.
+        let threshold = self.slow_log.lock().threshold;
+        if let Some(th) = threshold {
+            if elapsed >= th {
+                self.record_slow_query(qid, sql, elapsed, &plan, snapshot.clone());
+            }
+        }
+
+        let metrics = if collect_metrics {
+            let mut metrics = snapshot;
+            erbium_engine::annotate_metrics(&mut metrics, &plan, self.catalog);
+            Some(metrics)
+        } else {
+            None
+        };
+        Ok(QueryResult {
+            columns: plan.fields.iter().map(|f| f.name.clone()).collect(),
+            rows,
+            metrics,
+        })
+    }
+
+    /// Annotate, digest and append one slow-query record.
+    fn record_slow_query(
+        &self,
+        query_id: u64,
+        sql: &str,
+        elapsed: Duration,
+        plan: &Plan,
+        mut metrics: erbium_engine::ExecMetrics,
+    ) {
+        use std::hash::{Hash, Hasher};
+        erbium_engine::annotate_metrics(&mut metrics, plan, self.catalog);
+        let rendered = erbium_engine::explain_with_estimates(plan, self.catalog);
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        rendered.hash(&mut hasher);
+        let plan_digest = hasher.finish();
+        fn max_q(m: &erbium_engine::ExecMetrics) -> Option<f64> {
+            let mine = m.q_error();
+            m.children
+                .iter()
+                .filter_map(max_q)
+                .chain(mine)
+                .fold(None, |acc, q| Some(acc.map_or(q, |a: f64| a.max(q))))
+        }
+        let rec = SlowQueryRecord {
+            query_id,
+            sql: sql.to_string(),
+            plan_digest,
+            elapsed,
+            max_q_error: max_q(&metrics),
+            metrics,
+        };
+        m_slow_queries().inc();
+        let mut log = self.slow_log.lock();
+        if log.ring.len() == SLOW_LOG_CAP {
+            log.ring.pop_front();
+        }
+        log.ring.push_back(rec);
     }
 }
 

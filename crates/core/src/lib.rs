@@ -51,12 +51,14 @@
 
 pub mod database;
 pub mod governance;
+pub mod shared;
 
 pub use database::{
     Database, DbError, DbResult, DurabilityOptions, ObservabilityOptions, QueryResult,
     SlowQueryRecord, Tx,
 };
 pub use governance::{AccessPolicy, ErasureReport};
+pub use shared::{SharedDatabase, Snapshot};
 
 // Re-export the layer crates for downstream convenience.
 pub use erbium_advisor as advisor;

@@ -418,3 +418,90 @@ fn relationship_attribute_int_ingest_canonicalizes_to_float() {
         .rows;
     assert_eq!(rows, vec![vec![Value::Float(4.25)]]);
 }
+
+// ---- plan cache (PR-7) -----------------------------------------------------
+
+#[test]
+fn repeated_queries_hit_the_plan_cache() {
+    let db = university_db();
+    const Q: &str = "SELECT p.name FROM instructor p WHERE p.id = 1";
+    let first = db.query(Q).unwrap().rows;
+    let s0 = db.plan_cache_stats();
+    assert!(s0.misses >= 1 && s0.entries >= 1, "first run populates: {s0:?}");
+    let hits_before = s0.hits;
+    for _ in 0..3 {
+        assert_eq!(db.query(Q).unwrap().rows, first);
+    }
+    // Trivially reformatted SQL shares the entry (whitespace-insensitive).
+    assert_eq!(db.query("SELECT p.name  FROM instructor p\n WHERE p.id = 1").unwrap().rows, first);
+    let s1 = db.plan_cache_stats();
+    assert_eq!(s1.hits, hits_before + 4, "repeats must be cache hits: {s1:?}");
+    assert_eq!(s1.misses, s0.misses, "no replans for repeats");
+}
+
+#[test]
+fn execute_routes_selects_through_the_plan_cache() {
+    let mut db = university_db();
+    const SCRIPT: &str = "SELECT p.name FROM instructor p;
+         SELECT s.tot_credits FROM student s WHERE s.id = 11;";
+    db.execute(SCRIPT).unwrap();
+    let s0 = db.plan_cache_stats();
+    assert!(s0.entries >= 2, "both statements cached: {s0:?}");
+    let (hits0, misses0) = (s0.hits, s0.misses);
+    // Re-executing the same script must replan nothing.
+    db.execute(SCRIPT).unwrap();
+    let s1 = db.plan_cache_stats();
+    assert_eq!(s1.hits, hits0 + 2, "re-executed statements must hit: {s1:?}");
+    assert_eq!(s1.misses, misses0, "re-executed statements must not replan");
+}
+
+#[test]
+fn plan_cache_invalidates_on_analyze_remap_and_policy() {
+    let mut db = university_db();
+    const Q: &str = "SELECT p.name FROM instructor p WHERE p.id = 1";
+    let rows = db.query(Q).unwrap().rows;
+    let inv0 = db.plan_cache_stats().invalidations;
+
+    // ANALYZE: fresh statistics can change plan shape.
+    db.analyze();
+    let s = db.plan_cache_stats();
+    assert!(s.invalidations > inv0, "ANALYZE must invalidate");
+    assert_eq!(s.entries, 0, "entries purged");
+    let misses_before = s.misses;
+    assert_eq!(db.query(Q).unwrap().rows, rows, "same answer after replan");
+    assert_eq!(db.plan_cache_stats().misses, misses_before + 1, "replanned once");
+
+    // Remap: the physical mapping the cached plans were lowered against
+    // is gone.
+    let inv1 = db.plan_cache_stats().invalidations;
+    db.remap(presets::inline_all_multivalued(presets::normalized(db.schema()), db.schema()))
+        .unwrap();
+    assert!(db.plan_cache_stats().invalidations > inv1, "remap must invalidate");
+    assert_eq!(db.query(Q).unwrap().rows, rows, "same answer under the new mapping");
+
+    // Policy change: cache hits skip the policy check, so installing a
+    // policy must discard plans approved under the old one.
+    let inv2 = db.plan_cache_stats().invalidations;
+    db.set_policy(Some(AccessPolicy { forbidden_tags: vec!["pii".into()] }));
+    assert!(db.plan_cache_stats().invalidations > inv2, "set_policy must invalidate");
+    let err = db.query(Q).unwrap_err();
+    assert!(matches!(err, DbError::PolicyViolation(_)), "policy enforced, not a stale hit: {err}");
+}
+
+#[test]
+fn plan_cache_invalidates_on_evolve() {
+    let mut db = university_db();
+    const Q: &str = "SELECT p.name FROM instructor p";
+    let n = db.query(Q).unwrap().rows.len();
+    let inv0 = db.plan_cache_stats().invalidations;
+    db.evolve(EvolutionOp::AddAttribute {
+        entity: "instructor".into(),
+        attribute: erbium_model::Attribute::scalar("office", erbium_model::ScalarType::Text)
+            .nullable(),
+        default: Value::Null,
+        placement: MvPlacement::SideTable,
+    })
+    .unwrap();
+    assert!(db.plan_cache_stats().invalidations > inv0, "evolve must invalidate");
+    assert_eq!(db.query(Q).unwrap().rows.len(), n);
+}

@@ -82,12 +82,13 @@ fn optimizer_stats_survive_checkpoint_and_reopen() {
     );
 
     // Cost-based planning still works after the restart: EXPLAIN carries
-    // row estimates, and running a query exercises the CBO branch without
-    // a single stats_missing event.
-    let explain = db.explain("SELECT p.name FROM person p WHERE p.score = 3").unwrap();
-    assert!(explain.contains("[est="), "estimates survive reopen:\n{explain}");
+    // row estimates, and planning exercises the CBO branch without a
+    // single stats_missing event. Counters are read before the EXPLAIN —
+    // the query() below reuses its cached plan rather than re-optimizing.
     let missing_before = counter("erbium_optimizer_stats_missing_total").get();
     let cbo_before = counter("erbium_optimizer_cbo_applied_total").get();
+    let explain = db.explain("SELECT p.name FROM person p WHERE p.score = 3").unwrap();
+    assert!(explain.contains("[est="), "estimates survive reopen:\n{explain}");
     let rows = db.query("SELECT p.name FROM person p WHERE p.score = 3").unwrap().rows;
     assert_eq!(rows.len(), 6);
     assert_eq!(

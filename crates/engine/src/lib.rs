@@ -41,6 +41,7 @@ pub mod expr;
 pub mod metrics;
 pub mod optimizer;
 pub mod plan;
+pub mod plan_cache;
 pub mod pool;
 pub mod stream;
 pub mod vector;
@@ -56,5 +57,6 @@ pub use exec::{
 pub use expr::{BinOp, Expr, ScalarFunc, UnOp};
 pub use metrics::{ExecMetrics, OpMetrics};
 pub use plan::{Field, JoinKind, Plan, PlanKind, SortKey};
+pub use plan_cache::{normalize_sql, PlanCache, PlanCacheStats};
 pub use pool::WorkerPool;
 pub use stream::{BoxedRowStream, RowStream};

@@ -1,0 +1,306 @@
+//! A bounded LRU cache of optimized plans.
+//!
+//! Parsing, lowering, and cost-based optimization are pure functions of
+//! three inputs: the SQL text, the installed schema/mapping, and the
+//! gathered statistics. The cache therefore keys entries on
+//! `(generation, normalized SQL)`, where *generation* is a counter the
+//! database layer bumps on anything that could change plan shape — schema
+//! install/evolve, remap, rollback, ANALYZE, governance policy change.
+//! Invalidation is a generation bump plus a purge: there is no per-entry
+//! dependency tracking to get wrong, and snapshots that pinned an older
+//! generation keep planning (and caching) against it without polluting the
+//! writer's entries.
+//!
+//! Plain CRUD deliberately does **not** invalidate: the optimizer reads
+//! gathered statistics only (writes mark them stale but they are still
+//! served until the next ANALYZE), so replanning after a write would
+//! produce the identical plan the cache already holds.
+//!
+//! Normalization collapses whitespace runs so trivially reformatted
+//! repeats of a query share an entry. Case is preserved — string literals
+//! are case-significant, and folding identifiers only would require a
+//! lexer pass that costs a good fraction of what the cache saves.
+
+use crate::plan::Plan;
+use std::sync::Mutex;
+use rustc_hash::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn m_hits() -> &'static erbium_obs::Counter {
+    static H: std::sync::OnceLock<Arc<erbium_obs::Counter>> = std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global()
+            .counter("erbium_plan_cache_hits_total", "Plan cache lookups served from cache")
+    })
+}
+
+fn m_misses() -> &'static erbium_obs::Counter {
+    static H: std::sync::OnceLock<Arc<erbium_obs::Counter>> = std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global()
+            .counter("erbium_plan_cache_misses_total", "Plan cache lookups that had to plan")
+    })
+}
+
+fn m_invalidations() -> &'static erbium_obs::Counter {
+    static H: std::sync::OnceLock<Arc<erbium_obs::Counter>> = std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global().counter(
+            "erbium_plan_cache_invalidations_total",
+            "Plan cache generation bumps (schema/mapping/stats/policy changes)",
+        )
+    })
+}
+
+fn m_entries() -> &'static erbium_obs::Gauge {
+    static H: std::sync::OnceLock<Arc<erbium_obs::Gauge>> = std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global()
+            .gauge("erbium_plan_cache_entries", "Plans currently held in the plan cache")
+    })
+}
+
+/// Collapse whitespace runs to single spaces and trim, so reformatted
+/// repeats of one query share a cache entry. Case and everything inside
+/// single-quoted string literals are preserved byte-for-byte — collapsing
+/// a literal's spaces would key `'A  B'` and `'A B'` to the same plan.
+pub fn normalize_sql(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut in_ws = true; // leading whitespace is dropped
+    let mut in_str = false;
+    for ch in sql.chars() {
+        if in_str {
+            out.push(ch);
+            if ch == '\'' {
+                // Closes the literal; a doubled quote ('') re-enters on the
+                // next char, so escaped quotes stay inside by pairing.
+                in_str = false;
+            }
+            continue;
+        }
+        if ch == '\'' {
+            out.push(ch);
+            in_str = true;
+            in_ws = false;
+        } else if ch.is_whitespace() {
+            if !in_ws {
+                out.push(' ');
+                in_ws = true;
+            }
+        } else {
+            out.push(ch);
+            in_ws = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+#[derive(Debug)]
+struct Entry {
+    plan: Arc<Plan>,
+    /// Last-use tick for LRU eviction.
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: FxHashMap<(u64, String), Entry>,
+    tick: u64,
+}
+
+/// Per-instance hit/miss/invalidation statistics (tests and ablations read
+/// these; the global `erbium_plan_cache_*` metrics aggregate across all
+/// databases in the process).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub invalidations: u64,
+    pub entries: usize,
+}
+
+/// The cache. Cheap to share (`Arc<PlanCache>`); one per database.
+#[derive(Debug)]
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    generation: AtomicU64,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+/// Default number of cached plans. Plans are small (an operator tree); the
+/// bound exists to keep pathological workloads (unique SQL per query) from
+/// growing without limit, not to economize memory.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::with_capacity(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    pub fn with_capacity(capacity: usize) -> PlanCache {
+        PlanCache {
+            inner: Mutex::new(Inner::default()),
+            generation: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// The current generation. Read views capture this at publish time so
+    /// snapshot queries hit entries planned against the same schema +
+    /// stats they were pinned with.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Look up a plan for `sql` under `generation`. Counts a hit or miss.
+    pub fn get(&self, generation: u64, sql: &str) -> Option<Arc<Plan>> {
+        let key = (generation, normalize_sql(sql));
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(&key) {
+            Some(e) => {
+                e.tick = tick;
+                let plan = Arc::clone(&e.plan);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                m_hits().inc();
+                Some(plan)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                m_misses().inc();
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly built plan under `generation`, evicting the least
+    /// recently used entry when full.
+    pub fn insert(&self, generation: u64, sql: &str, plan: Arc<Plan>) {
+        let key = (generation, normalize_sql(sql));
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.entries.contains_key(&key) && inner.entries.len() >= self.capacity {
+            // O(n) min-tick scan: the capacity is small and eviction only
+            // runs once the cache is full, so this beats the bookkeeping of
+            // an intrusive LRU list at this size.
+            if let Some(victim) =
+                inner.entries.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| k.clone())
+            {
+                inner.entries.remove(&victim);
+            }
+        }
+        inner.entries.insert(key, Entry { plan, tick });
+        m_entries().set(inner.entries.len() as i64);
+    }
+
+    /// Anything that can change plan shape happened (schema change, remap,
+    /// rollback, ANALYZE, policy change): bump the generation and drop all
+    /// entries. Queries planned after this miss once and repopulate.
+    pub fn invalidate(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        inner.entries.clear();
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        m_invalidations().inc();
+        m_entries().set(0);
+    }
+
+    /// Per-instance counters (see [`PlanCacheStats`]).
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: self.inner.lock().unwrap_or_else(|p| p.into_inner()).entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Field, Plan};
+
+    fn plan(marker: &str) -> Arc<Plan> {
+        Arc::new(Plan::values(
+            vec![Field::new(marker, erbium_storage::DataType::Int)],
+            Vec::new(),
+        ))
+    }
+
+    fn marker(p: &Plan) -> &str {
+        &p.fields[0].name
+    }
+
+    #[test]
+    fn normalize_collapses_whitespace_only() {
+        assert_eq!(normalize_sql("  SELECT  *\n\tFROM t  "), "SELECT * FROM t");
+        assert_eq!(
+            normalize_sql("SELECT  'A  B'  FROM t"),
+            "SELECT 'A  B' FROM t",
+            "whitespace inside a string literal is data, not formatting"
+        );
+        assert_eq!(
+            normalize_sql("SELECT 'it''s  ok'  , x FROM t"),
+            "SELECT 'it''s  ok' , x FROM t",
+            "doubled-quote escape keeps the literal open"
+        );
+        assert_eq!(normalize_sql("select x from t"), "select x from t", "case preserved");
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let c = PlanCache::default();
+        let g = c.generation();
+        assert!(c.get(g, "SELECT * FROM t").is_none());
+        c.insert(g, "SELECT * FROM t", plan("t"));
+        let got = c.get(g, "select * from t");
+        assert!(got.is_none(), "case differs: distinct entry");
+        let got = c.get(g, "SELECT  *  FROM   t").expect("whitespace-insensitive hit");
+        assert_eq!(marker(&got), "t");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 1));
+    }
+
+    #[test]
+    fn invalidate_bumps_generation_and_purges() {
+        let c = PlanCache::default();
+        let g0 = c.generation();
+        c.insert(g0, "q", plan("t"));
+        c.invalidate();
+        let g1 = c.generation();
+        assert_eq!(g1, g0 + 1);
+        assert!(c.get(g1, "q").is_none(), "new generation misses");
+        assert!(c.get(g0, "q").is_none(), "old entries purged too");
+        assert_eq!(c.stats().invalidations, 1);
+        assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let c = PlanCache::with_capacity(2);
+        let g = c.generation();
+        c.insert(g, "a", plan("a"));
+        c.insert(g, "b", plan("b"));
+        assert!(c.get(g, "a").is_some(), "touch a so b is the LRU");
+        c.insert(g, "c", plan("c"));
+        assert!(c.get(g, "a").is_some());
+        assert!(c.get(g, "b").is_none(), "b evicted");
+        assert!(c.get(g, "c").is_some());
+        assert_eq!(c.stats().entries, 2);
+    }
+}

@@ -44,3 +44,57 @@ pub mod parser;
 pub use ast::*;
 pub use error::{ParseError, ParseResult};
 pub use parser::{parse, parse_expression, parse_single};
+
+/// Split a multi-statement script into the source text of each statement,
+/// without parsing. Splitting happens at lexed `;` tokens, so semicolons
+/// inside string literals and comments don't break statements. Empty
+/// pieces (leading/trailing/double semicolons) are dropped.
+///
+/// Callers that execute scripts statement-by-statement use this to
+/// preserve each statement's own SQL text — which is what a plan cache
+/// keys on — instead of re-serializing the parsed AST.
+pub fn split_statements(script: &str) -> ParseResult<Vec<&str>> {
+    let tokens = lexer::lex(script)?;
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    // Track whether the current piece contains any real token, so pieces
+    // that are empty or comment-only (e.g. a trailing `-- note` after the
+    // last semicolon) are dropped instead of handed to the parser.
+    let mut has_token = false;
+    for t in &tokens {
+        if matches!(t.token, lexer::Token::Semi) {
+            if has_token {
+                out.push(script[start..t.offset].trim());
+            }
+            start = t.offset + 1;
+            has_token = false;
+        } else {
+            has_token = true;
+        }
+    }
+    if has_token {
+        out.push(script[start..].trim());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod split_tests {
+    use super::split_statements;
+
+    #[test]
+    fn splits_on_semicolons_outside_literals() {
+        let pieces =
+            split_statements("SELECT ';' FROM t; -- trailing; comment\n SELECT 2;;").unwrap();
+        assert_eq!(pieces, vec!["SELECT ';' FROM t", "-- trailing; comment\n SELECT 2"]);
+    }
+
+    #[test]
+    fn empty_script_yields_nothing() {
+        assert!(split_statements("  ;; \n").unwrap().is_empty());
+        assert!(
+            split_statements("-- only a comment; nothing else\n").unwrap().is_empty(),
+            "comment-only scripts produce no statements"
+        );
+    }
+}

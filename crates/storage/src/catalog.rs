@@ -12,21 +12,50 @@ use crate::factorized::FactorizedTable;
 use crate::stats::{CatalogStats, TableStats};
 use crate::table::Table;
 use rustc_hash::FxHashMap;
+use std::sync::Arc;
 
 /// All physical state of one database instance.
+///
+/// Tables live behind `Arc`s so that cloning a `Catalog` is shallow — a
+/// handful of pointer bumps, independent of data size. That clone *is* the
+/// snapshot mechanism for concurrent reads: a published read view holds a
+/// cloned `Catalog`, and every mutation goes through [`Catalog::table_mut`]
+/// / [`Catalog::factorized_mut`], which copy-on-write (`Arc::make_mut`) the
+/// table iff a snapshot still shares it. Readers therefore keep a fully
+/// consistent, immutable view (rows, columns, indexes, stats) with no locks
+/// held while the writer keeps mutating.
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
-    tables: FxHashMap<String, Table>,
-    factorized: FxHashMap<String, FactorizedTable>,
+    tables: FxHashMap<String, Arc<Table>>,
+    factorized: FxHashMap<String, Arc<FactorizedTable>>,
     meta: FxHashMap<String, serde_json::Value>,
     /// ANALYZE-gathered statistics, keyed by table name (factorized
     /// structures contribute `name`, `name#left`, `name#right`).
     stats: CatalogStats,
+    /// Commit epoch: advanced once per transaction by the database layer
+    /// ([`Catalog::advance_epoch`]) and stamped into every table a
+    /// transaction touches, so row slots record the `[created, deleted)`
+    /// epoch interval they were live in. Process-local: recovery restarts
+    /// at 0 (slot stamps are visibility bookkeeping, never persisted).
+    epoch: u64,
 }
 
 impl Catalog {
     pub fn new() -> Catalog {
         Catalog::default()
+    }
+
+    /// The current commit epoch (see the `epoch` field).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advance the commit epoch and return the new value. The database
+    /// layer calls this once at the start of every writing transaction;
+    /// tables touched afterwards stamp their slots with it.
+    pub fn advance_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
     }
 
     /// Register a new table. Fails if the name is taken (by either a plain
@@ -36,31 +65,43 @@ impl Catalog {
         if self.tables.contains_key(&name) || self.factorized.contains_key(&name) {
             return Err(StorageError::TableExists(name));
         }
-        self.tables.insert(name, table);
+        self.tables.insert(name, Arc::new(table));
         Ok(())
     }
 
     /// Remove a table, returning it. Any gathered statistics are dropped.
+    /// If a pinned snapshot still shares the table, it keeps its `Arc` and
+    /// the returned value is a clone.
     pub fn drop_table(&mut self, name: &str) -> StorageResult<Table> {
         let t =
             self.tables.remove(name).ok_or_else(|| StorageError::TableNotFound(name.to_string()))?;
         self.stats.remove(name);
-        Ok(t)
+        Ok(Arc::try_unwrap(t).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     pub fn table(&self, name: &str) -> StorageResult<&Table> {
-        self.tables.get(name).ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+        self.tables
+            .get(name)
+            .map(|t| t.as_ref())
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
     }
 
     /// Mutable access to a table. Handing out `&mut` is the choke point for
-    /// every CRUD path, so gathered statistics are conservatively marked
-    /// stale here: the caller may be about to write.
+    /// every CRUD path, so two pieces of bookkeeping live here: gathered
+    /// statistics are conservatively marked stale (the caller may be about
+    /// to write), and the current commit epoch is stamped into the table so
+    /// slot mutations record which epoch they happened in. If a snapshot
+    /// still shares the table, `Arc::make_mut` detaches a private copy
+    /// first (copy-on-write) — the snapshot keeps the old version.
     pub fn table_mut(&mut self, name: &str) -> StorageResult<&mut Table> {
+        let epoch = self.epoch;
         let t = self
             .tables
             .get_mut(name)
             .ok_or_else(|| StorageError::TableNotFound(name.to_string()))?;
         self.stats.mark_stale(name);
+        let t = Arc::make_mut(t);
+        t.set_write_epoch(epoch);
         Ok(t)
     }
 
@@ -81,7 +122,7 @@ impl Catalog {
         if self.tables.contains_key(&name) || self.factorized.contains_key(&name) {
             return Err(StorageError::TableExists(name));
         }
-        self.factorized.insert(name, ft);
+        self.factorized.insert(name, Arc::new(ft));
         Ok(())
     }
 
@@ -93,15 +134,20 @@ impl Catalog {
         self.stats.remove(name);
         self.stats.remove(&format!("{name}#left"));
         self.stats.remove(&format!("{name}#right"));
-        Ok(ft)
+        Ok(Arc::try_unwrap(ft).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     pub fn factorized(&self, name: &str) -> StorageResult<&FactorizedTable> {
-        self.factorized.get(name).ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+        self.factorized
+            .get(name)
+            .map(|ft| ft.as_ref())
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
     }
 
     /// Mutable access to a factorized structure; marks all three of its
-    /// statistics entries stale (see [`Catalog::table_mut`]).
+    /// statistics entries stale, copy-on-writes the structure if a
+    /// snapshot still shares it, and stamps the commit epoch into both
+    /// member tables (see [`Catalog::table_mut`]).
     pub fn factorized_mut(&mut self, name: &str) -> StorageResult<&mut FactorizedTable> {
         if !self.factorized.contains_key(name) {
             return Err(StorageError::TableNotFound(name.to_string()));
@@ -109,7 +155,10 @@ impl Catalog {
         self.stats.mark_stale(name);
         self.stats.mark_stale(&format!("{name}#left"));
         self.stats.mark_stale(&format!("{name}#right"));
-        Ok(self.factorized.get_mut(name).expect("checked above"))
+        let epoch = self.epoch;
+        let ft = Arc::make_mut(self.factorized.get_mut(name).expect("checked above"));
+        ft.set_write_epoch(epoch);
+        Ok(ft)
     }
 
     pub fn has_factorized(&self, name: &str) -> bool {
@@ -161,29 +210,29 @@ impl Catalog {
 
     /// Iterate all plain tables (checkpoint support).
     pub(crate) fn tables_iter(&self) -> impl Iterator<Item = (&String, &Table)> {
-        self.tables.iter()
+        self.tables.iter().map(|(n, t)| (n, t.as_ref()))
     }
 
     /// Iterate all factorized structures (checkpoint support).
     pub(crate) fn factorized_iter(&self) -> impl Iterator<Item = (&String, &FactorizedTable)> {
-        self.factorized.iter()
+        self.factorized.iter().map(|(n, ft)| (n, ft.as_ref()))
     }
 
     /// Mutable sweep over all plain tables without stats bookkeeping
     /// (WAL-redo epilogue: free-list rebuild).
     pub(crate) fn tables_iter_mut(&mut self) -> impl Iterator<Item = &mut Table> {
-        self.tables.values_mut()
+        self.tables.values_mut().map(Arc::make_mut)
     }
 
     /// Mutable sweep over all factorized structures without stats
     /// bookkeeping (WAL-redo epilogue: free-list rebuild).
     pub(crate) fn factorized_iter_mut(&mut self) -> impl Iterator<Item = &mut FactorizedTable> {
-        self.factorized.values_mut()
+        self.factorized.values_mut().map(Arc::make_mut)
     }
 
     /// Total live rows across all plain tables.
     pub fn total_rows(&self) -> usize {
-        self.tables.values().map(Table::len).sum()
+        self.tables.values().map(|t| t.len()).sum()
     }
 
     /// The gathered statistics registry (empty until [`Catalog::analyze`]
@@ -350,6 +399,36 @@ mod tests {
         c.drop_factorized("f").unwrap();
         assert!(c.table_stats("f").is_none());
         assert!(c.table_stats("f#left").is_none());
+    }
+
+    #[test]
+    fn cloned_catalog_is_a_snapshot_under_cow() {
+        use crate::value::Value;
+        let mut c = Catalog::new();
+        let mut a = t("a");
+        a.insert(vec![Value::Int(1)]).unwrap();
+        c.create_table(a).unwrap();
+
+        // A clone shares table storage (shallow), then copy-on-write
+        // detaches the writer's version on the first mutation.
+        let snap = c.clone();
+        c.advance_epoch();
+        c.table_mut("a").unwrap().insert(vec![Value::Int(2)]).unwrap();
+        c.table_mut("a").unwrap().delete(crate::row::RowId(0)).unwrap();
+        assert_eq!(snap.table("a").unwrap().len(), 1, "snapshot still sees the old version");
+        assert_eq!(c.table("a").unwrap().len(), 1);
+        assert!(snap.table("a").unwrap().get(crate::row::RowId(0)).is_some());
+        assert!(c.table("a").unwrap().get(crate::row::RowId(0)).is_none());
+
+        // Epoch stamps: slot 0 lived [0, 1), slot 1 lives [1, MAX).
+        let wt = c.table("a").unwrap();
+        assert_eq!(wt.slot_epochs(0), Some((0, 1)));
+        assert_eq!(wt.slot_epochs(1), Some((1, u64::MAX)));
+        assert!(wt.slot_visible_at(0, 0) && !wt.slot_visible_at(0, 1));
+        // Dropping a shared table hands the snapshot's copy back by clone.
+        let dropped = c.drop_table("a").unwrap();
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(snap.table("a").unwrap().len(), 1);
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod catalog;
 pub mod column;
 pub mod error;
 pub mod factorized;
+pub mod group_commit;
 pub mod index;
 pub mod row;
 pub mod schema;
@@ -39,6 +40,7 @@ pub use catalog::Catalog;
 pub use column::{Bitmap, ColumnSlice, Columns, StringDict};
 pub use error::{StorageError, StorageResult};
 pub use factorized::FactorizedTable;
+pub use group_commit::GroupCommitter;
 pub use index::{BTreeIndex, HashIndex, IndexKind};
 pub use row::{Row, RowId};
 pub use schema::{Column, TableSchema};

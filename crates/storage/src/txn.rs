@@ -274,6 +274,21 @@ impl Transaction {
         wal.commit_group(&records)
     }
 
+    /// Like [`Transaction::flush_to_wal`] but *deferring durability*: the
+    /// group is appended without applying the sync policy, and the caller
+    /// receives `(txn_id, lsn)` to park on a
+    /// [`crate::group_commit::GroupCommitter`] after releasing the writer
+    /// lock. An empty transaction returns LSN 0 (nothing to make durable —
+    /// `wait_durable(0)` is an immediate no-op).
+    pub fn flush_to_wal_deferred(&mut self, wal: &mut Wal) -> StorageResult<(u64, u64)> {
+        let records = std::mem::take(&mut self.log);
+        if records.is_empty() {
+            let (txn, _) = wal.append_group(&records)?;
+            return Ok((txn, 0));
+        }
+        wal.append_group(&records)
+    }
+
     /// Make the transaction's effects permanent.
     pub fn commit(self) {
         // Dropping the undo log is all that is needed.

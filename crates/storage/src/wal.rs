@@ -468,13 +468,24 @@ fn m_wal_fsync_seconds() -> &'static erbium_obs::Histogram {
 /// so no internal locking. Each committed group is assembled in memory and
 /// written with one `write_all`, so a crash inside the write tears at most
 /// the tail of one group — which recovery discards wholesale.
+///
+/// The file handle and the appended-byte counter are shared (`Arc`) so a
+/// [`crate::group_commit::GroupCommitter`] can fsync on behalf of several
+/// queued committers without holding the writer lock: appends stay
+/// serialized by the writer, durability is driven by whoever is elected
+/// group leader (see [`Wal::sync_handle`]).
 #[derive(Debug)]
 pub struct Wal {
-    file: File,
+    file: Arc<File>,
     path: PathBuf,
     policy: SyncPolicy,
     unsynced_commits: u32,
     next_txn: u64,
+    /// Total bytes ever appended — a monotonic LSN. Deliberately *not*
+    /// reset by [`Wal::truncate`]: group commit compares LSNs to decide
+    /// which committers an fsync covered, and monotonicity is what makes
+    /// `durable_lsn >= my_lsn` a one-way gate.
+    appended_lsn: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl Wal {
@@ -488,7 +499,21 @@ impl Wal {
             .append(true)
             .open(&path)
             .map_err(|e| io_err(&format!("open WAL {}", path.display()), e))?;
-        Ok(Wal { file, path, policy, unsynced_commits: 0, next_txn })
+        Ok(Wal {
+            file: Arc::new(file),
+            path,
+            policy,
+            unsynced_commits: 0,
+            next_txn,
+            appended_lsn: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        })
+    }
+
+    /// Shared handles for a group committer: the log file (for fsync from
+    /// outside the writer lock) and the appended-LSN counter (to observe
+    /// how far appends have progressed). See `crate::group_commit`.
+    pub fn sync_handle(&self) -> (Arc<File>, Arc<std::sync::atomic::AtomicU64>) {
+        (Arc::clone(&self.file), Arc::clone(&self.appended_lsn))
     }
 
     /// The log file path.
@@ -510,21 +535,10 @@ impl Wal {
     /// single buffered write, then flush/fsync per [`SyncPolicy`]. Returns
     /// the assigned transaction id. Empty groups are not written.
     pub fn commit_group(&mut self, records: &[WalRecord]) -> StorageResult<u64> {
-        let txn = self.next_txn;
-        self.next_txn += 1;
+        let txn = self.append_records(records)?;
         if records.is_empty() {
             return Ok(txn);
         }
-        let mut buf = Vec::with_capacity(records.len() * 64 + 48);
-        frame_record(&mut buf, &WalRecord::Begin { txn });
-        for r in records {
-            frame_record(&mut buf, r);
-        }
-        frame_record(&mut buf, &WalRecord::Commit { txn });
-        let _span = erbium_obs::span("wal_append");
-        self.file.write_all(&buf).map_err(|e| io_err("WAL append", e))?;
-        m_wal_bytes().add(buf.len() as u64);
-        m_wal_commit_groups().inc();
         match self.policy {
             SyncPolicy::Always => {
                 self.fsync()?;
@@ -537,6 +551,39 @@ impl Wal {
             }
             SyncPolicy::Never => {}
         }
+        Ok(txn)
+    }
+
+    /// Append one committed group *without* applying the sync policy,
+    /// returning the assigned transaction id and the log's appended LSN
+    /// after the write. The caller owns durability: group commit parks the
+    /// committer on its LSN and lets the elected leader fsync one batch on
+    /// behalf of everyone queued behind it (see `crate::group_commit`).
+    pub fn append_group(&mut self, records: &[WalRecord]) -> StorageResult<(u64, u64)> {
+        let txn = self.append_records(records)?;
+        Ok((txn, self.appended_lsn.load(std::sync::atomic::Ordering::Acquire)))
+    }
+
+    /// Frame and write one `Begin … ops … Commit` group in a single
+    /// `write_all`, advancing the appended LSN. Empty groups write nothing
+    /// but still consume a transaction id.
+    fn append_records(&mut self, records: &[WalRecord]) -> StorageResult<u64> {
+        let txn = self.next_txn;
+        self.next_txn += 1;
+        if records.is_empty() {
+            return Ok(txn);
+        }
+        let mut buf = Vec::with_capacity(records.len() * 64 + 48);
+        frame_record(&mut buf, &WalRecord::Begin { txn });
+        for r in records {
+            frame_record(&mut buf, r);
+        }
+        frame_record(&mut buf, &WalRecord::Commit { txn });
+        let _span = erbium_obs::span("wal_append");
+        (&*self.file).write_all(&buf).map_err(|e| io_err("WAL append", e))?;
+        self.appended_lsn.fetch_add(buf.len() as u64, std::sync::atomic::Ordering::AcqRel);
+        m_wal_bytes().add(buf.len() as u64);
+        m_wal_commit_groups().inc();
         Ok(txn)
     }
 

@@ -53,6 +53,11 @@ if grep -n "Value::[A-Za-z_]*\s*(\?[^)]*)\?\s*=>" crates/engine/src/vector.rs \
     echo "ERROR: per-row Value enum match in crates/engine/src/vector.rs" >&2
     exit 1
 fi
+# Multi-client smoke: 2 writer threads churn insert/update/delete
+# transactions while 4 readers assert transactional invariants on live
+# reads and pinned snapshots. Fails on any error, a torn transaction, an
+# unstable snapshot answer, or a plan cache that served zero hits.
+cargo run -q --release --offline -p erbium-bench --bin multi_client_smoke
 cargo clippy --offline --workspace --all-targets -- -D warnings
 # Benches must at least compile; running them is opt-in (slow).
 cargo bench --offline --workspace --no-run

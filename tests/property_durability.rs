@@ -368,7 +368,7 @@ fn clean_shutdown_under_everyn_flushes_the_tail() {
             .histogram("erbium_wal_fsync_seconds", "")
             .count()
     };
-    let opts = DurabilityOptions { sync: SyncPolicy::EveryN(1000) };
+    let opts = DurabilityOptions { sync: SyncPolicy::EveryN(1000), ..Default::default() };
     let dir = tmpdir("everyn");
     let mut db = Database::open_with(&dir, opts.clone()).unwrap();
     db.execute(EXPERIMENT_DDL).unwrap();
@@ -423,4 +423,116 @@ proptest! {
             crash_at_every_offset(&ops, &|s: &ErSchema| paper::m1(s), "prop-m1");
         }
     }
+}
+
+// ---- WAL group commit (PR-7) -----------------------------------------------
+
+/// Build a shared, durable database under `SyncPolicy::Always` with a
+/// group-commit dally window, ready for concurrent committers.
+fn shared_always_db(dir: &std::path::Path) -> erbiumdb::core::SharedDatabase {
+    use erbiumdb::core::DurabilityOptions;
+    use erbiumdb::storage::SyncPolicy;
+    let opts = DurabilityOptions {
+        sync: SyncPolicy::Always,
+        group_commit_window: std::time::Duration::from_millis(25),
+    };
+    let mut db = Database::open_with(dir, opts).unwrap();
+    db.execute("CREATE ENTITY acct (id int KEY, batch int, score int)").unwrap();
+    db.install_default().unwrap();
+    db.into_shared()
+}
+
+/// One committed group per batch: two rows, all-or-nothing.
+fn commit_batch(db: &erbiumdb::core::SharedDatabase, b: i64) {
+    db.transaction(|tx| {
+        tx.insert(
+            "acct",
+            &[("id", Value::Int(2 * b)), ("batch", Value::Int(b)), ("score", Value::Int(50))],
+        )?;
+        tx.insert(
+            "acct",
+            &[("id", Value::Int(2 * b + 1)), ("batch", Value::Int(b)), ("score", Value::Int(50))],
+        )
+    })
+    .unwrap();
+}
+
+/// K concurrent small transactions under group commit must share fsyncs:
+/// strictly fewer than K fsyncs for K commits (measured through the same
+/// `erbium_wal_fsync_seconds` histogram the per-commit path ticks), while
+/// every commit still reaches disk.
+#[test]
+fn k_concurrent_commits_take_fewer_than_k_fsyncs() {
+    const K: i64 = 8;
+    let fsyncs = || {
+        erbiumdb::core::obs::Registry::global()
+            .histogram("erbium_wal_fsync_seconds", "")
+            .count()
+    };
+    let dir = tmpdir("group-fsync");
+    let db = shared_always_db(&dir);
+    let before = fsyncs();
+    std::thread::scope(|s| {
+        for b in 0..K {
+            let db = db.clone();
+            s.spawn(move || commit_batch(&db, b));
+        }
+    });
+    let spent = fsyncs() - before;
+    assert!(spent >= 1, "commits must fsync");
+    assert!(spent < K as u64, "{K} concurrent commits took {spent} fsyncs — no batching");
+    let (batches, commits) = db.group_commit_stats().expect("group commit active");
+    assert_eq!(commits, K as u64);
+    assert!(batches < commits, "batches={batches} commits={commits}");
+    // Nothing was traded away for the batching: all K groups are durable.
+    drop(db);
+    let rdb = Database::open(&dir).unwrap();
+    let rows = rdb.query("SELECT a.batch, COUNT(*) AS n FROM acct a GROUP BY a.batch").unwrap();
+    assert_eq!(rows.rows.len(), K as usize);
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Crash-at-every-byte over a WAL written by concurrent group-committed
+/// transactions: recovery must always see whole commit groups — for every
+/// batch either both rows or neither, never one — and the full WAL must
+/// recover every batch.
+#[test]
+fn crash_mid_group_loses_or_keeps_whole_groups() {
+    const K: i64 = 6;
+    let dir = tmpdir("group-crash");
+    let db = shared_always_db(&dir);
+    std::thread::scope(|s| {
+        for b in 0..K {
+            let db = db.clone();
+            s.spawn(move || commit_batch(&db, b));
+        }
+    });
+    drop(db);
+
+    let wal = fs::read(dir.join("wal.erb")).unwrap();
+    let crash_dir = tmpdir("group-crash-cut");
+    fs::copy(dir.join("snapshot.erb"), crash_dir.join("snapshot.erb")).unwrap();
+    for cut in 0..=wal.len() {
+        fs::write(crash_dir.join("wal.erb"), &wal[..cut]).unwrap();
+        let rdb = Database::open(&crash_dir)
+            .unwrap_or_else(|e| panic!("open after cut at {cut}: {e}"));
+        let rows = rdb
+            .query("SELECT a.batch, COUNT(*) AS n FROM acct a GROUP BY a.batch")
+            .unwrap()
+            .rows;
+        for row in &rows {
+            assert_eq!(
+                row[1],
+                Value::Int(2),
+                "cut at byte {cut}/{}: batch {:?} recovered torn (a partial commit group)",
+                wal.len(),
+                row[0],
+            );
+        }
+        if cut == wal.len() {
+            assert_eq!(rows.len(), K as usize, "full WAL recovers all {K} groups");
+        }
+    }
+    fs::remove_dir_all(&dir).ok();
+    fs::remove_dir_all(&crash_dir).ok();
 }
