@@ -12,8 +12,10 @@
 //! per-iteration criterion model does not express.
 
 use erbium_bench::{build, queries, report};
-use erbium_core::{Database, DurabilityOptions, SharedDatabase};
+use erbium_client::RemoteClient;
+use erbium_core::{Connection, Database, DurabilityOptions, SharedDatabase};
 use erbium_datagen::ExperimentConfig;
+use erbium_server::{Server, ServerOptions};
 use erbium_storage::{SyncPolicy, Value};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
@@ -120,6 +122,74 @@ fn run_sweep(db: &SharedDatabase, sqls: &[String], clients: usize, window: Durat
         p99_us: percentile(&latencies, 0.99),
         writer_commits: commits.load(Ordering::Relaxed),
     }
+}
+
+/// One A-server fan-out point: `clients` reader threads, each with its own
+/// connection from `connect`, looping the read mix through the
+/// [`Connection`] trait — the *same* loop body whether the connection is a
+/// `SharedDatabase` clone or a `RemoteClient` socket.
+fn conn_sweep<C, F>(connect: &F, sqls: &[String], clients: usize, window: Duration) -> Sweep
+where
+    C: Connection,
+    F: Fn() -> C + Sync,
+{
+    let mut latencies: Vec<u64> = Vec::new();
+    std::thread::scope(|s| {
+        let readers: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut conn = connect();
+                    let mut lat = Vec::new();
+                    let mut i = c;
+                    let t0 = Instant::now();
+                    while t0.elapsed() < window {
+                        let sql = &sqls[i % sqls.len()];
+                        let t = Instant::now();
+                        let rows = conn.query(sql).expect("read query").rows;
+                        lat.push(t.elapsed().as_nanos() as u64);
+                        black_box(rows);
+                        i += 1;
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for r in readers {
+            latencies.extend(r.join().expect("reader thread"));
+        }
+    });
+    latencies.sort_unstable();
+    Sweep {
+        clients,
+        qps: latencies.len() as f64 / window.as_secs_f64(),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        writer_commits: 0,
+    }
+}
+
+/// A-server: in-process vs ERSP/TCP for the identical read mix — what one
+/// network hop and a frame encode/decode cost at each fan-out.
+fn server_sweep(
+    db: &SharedDatabase,
+    sqls: &[String],
+    fan: &[usize],
+    window: Duration,
+) -> Vec<(Sweep, Sweep)> {
+    let mut server =
+        Server::bind("127.0.0.1:0", db.clone(), ServerOptions::default()).expect("bind server");
+    let addr = server.local_addr();
+    let points = fan
+        .iter()
+        .map(|&n| {
+            let inproc = conn_sweep(&|| db.clone(), sqls, n, window);
+            let tcp =
+                conn_sweep(&|| RemoteClient::connect(addr).expect("dial server"), sqls, n, window);
+            (inproc, tcp)
+        })
+        .collect();
+    assert!(server.drain(Duration::from_secs(10)), "bench server failed to drain");
+    points
 }
 
 /// Plan-cache ablation: median latency of a point query when every run
@@ -242,6 +312,16 @@ fn main() {
         sweeps.push(s);
     }
 
+    let server_fan: &[usize] = if test_mode { &[1, 2] } else { &[1, 4, 8] };
+    let server_points = server_sweep(&db, &sqls, server_fan, window);
+    for (inproc, tcp) in &server_points {
+        println!(
+            "  A-server clients={:<2} in-process qps={:>8.1} p50={:>7.1}us | \
+             tcp qps={:>8.1} p50={:>7.1}us p99={:>8.1}us",
+            inproc.clients, inproc.qps, inproc.p50_us, tcp.qps, tcp.p50_us, tcp.p99_us
+        );
+    }
+
     if test_mode {
         return;
     }
@@ -272,6 +352,25 @@ fn main() {
                         ("p50_us", report::num(s.p50_us)),
                         ("p99_us", report::num(s.p99_us)),
                         ("writer_commits", report::int(s.writer_commits)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    report::merge(
+        "BENCH_throughput.json",
+        "server",
+        report::Value::Array(
+            server_points
+                .iter()
+                .map(|(inproc, tcp)| {
+                    report::obj([
+                        ("clients", report::int(inproc.clients as u64)),
+                        ("inprocess_qps", report::num(inproc.qps)),
+                        ("inprocess_p50_us", report::num(inproc.p50_us)),
+                        ("tcp_qps", report::num(tcp.qps)),
+                        ("tcp_p50_us", report::num(tcp.p50_us)),
+                        ("tcp_p99_us", report::num(tcp.p99_us)),
                     ])
                 })
                 .collect(),

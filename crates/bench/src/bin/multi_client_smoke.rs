@@ -1,6 +1,14 @@
 //! Multi-client smoke for the tier-1 gate: two writer threads churn
-//! insert/update/delete transactions through a [`SharedDatabase`] while
-//! four reader threads hammer aggregate queries over snapshots.
+//! insert/update/delete transactions while four reader threads hammer
+//! aggregate queries over snapshots.
+//!
+//! The whole workload is written once against the [`Connection`] trait and
+//! runs over either transport:
+//!
+//! * default — each thread holds a [`SharedDatabase`] clone (in-process);
+//! * `--remote` — an ERSP [`Server`] is started on an ephemeral port and
+//!   each thread dials its own [`RemoteClient`]; the run ends with a
+//!   graceful-drain assertion.
 //!
 //! Every committed transaction preserves the invariant `SUM(item.qty) = 0`
 //! (rows are inserted and deleted in `+v`/`-v` pairs), so any reader that
@@ -8,30 +16,31 @@
 //! nonzero on any query/commit error, a broken invariant, an unstable
 //! snapshot, or a cold plan cache.
 
-use erbium_core::{Database, SharedDatabase};
-use erbium_storage::Value;
+use erbium_client::RemoteClient;
+use erbium_core::{Connection, Database, ReadSession, Rows, Value};
+use erbium_server::{Server, ServerOptions};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 const SUM_SQL: &str = "SELECT SUM(i.qty) AS s FROM item i";
 const COUNT_SQL: &str = "SELECT COUNT(*) AS n FROM item i";
 
-fn total(db_sum: &erbium_core::QueryResult) -> i64 {
-    match db_sum.rows[0][0] {
+fn total(rows: &Rows) -> i64 {
+    match rows.rows[0][0] {
         Value::Int(v) => v,
         Value::Float(v) => v as i64,
         ref other => panic!("unexpected SUM value {other:?}"),
     }
 }
 
-fn writer(db: &SharedDatabase, w: i64, stop: &AtomicBool, commits: &AtomicU64) {
+fn writer<C: Connection>(conn: &mut C, w: i64, stop: &AtomicBool, commits: &AtomicU64) {
     let mut next = 0i64;
     let mut live: Vec<i64> = Vec::new();
     while !stop.load(Ordering::Relaxed) {
         let id = w * 10_000_000 + next * 2;
         next += 1;
         let v = 1 + (next % 9);
-        db.transaction(|tx| {
+        conn.transaction(|tx| {
             tx.insert("item", &[("id", Value::Int(id)), ("qty", Value::Int(v))])?;
             tx.insert("item", &[("id", Value::Int(id + 1)), ("qty", Value::Int(-v))])?;
             Ok(())
@@ -44,10 +53,10 @@ fn writer(db: &SharedDatabase, w: i64, stop: &AtomicBool, commits: &AtomicU64) {
         // the oldest pair — update and delete churn in one loop.
         if next % 4 == 0 {
             let bump = live[live.len() / 2];
-            db.transaction(|tx| {
+            let old = live[0];
+            conn.transaction(|tx| {
                 tx.update_entity("item", &[Value::Int(bump)], &[("qty", Value::Int(v + 1))])?;
                 tx.update_entity("item", &[Value::Int(bump + 1)], &[("qty", Value::Int(-v - 1))])?;
-                let old = live[0];
                 tx.delete_entity("item", &[Value::Int(old)])?;
                 tx.delete_entity("item", &[Value::Int(old + 1)])?;
                 Ok(())
@@ -59,15 +68,15 @@ fn writer(db: &SharedDatabase, w: i64, stop: &AtomicBool, commits: &AtomicU64) {
     }
 }
 
-fn reader(db: &SharedDatabase, window: Duration, reads: &AtomicU64) {
+fn reader<C: Connection>(conn: &mut C, window: Duration, reads: &AtomicU64) {
     let t0 = Instant::now();
     while t0.elapsed() < window {
         // Live one-shot read: the pair invariant must hold.
-        let sum = db.query(SUM_SQL).expect("live read");
+        let sum = conn.query(SUM_SQL).expect("live read");
         assert_eq!(total(&sum), 0, "reader saw a torn transaction");
 
         // Pinned snapshot: answers are stable across concurrent commits.
-        let snap = db.snapshot();
+        let mut snap = conn.snapshot().expect("pin snapshot");
         let n1 = snap.query(COUNT_SQL).expect("snapshot read");
         let s1 = snap.query(SUM_SQL).expect("snapshot read");
         let n2 = snap.query(COUNT_SQL).expect("snapshot re-read");
@@ -77,39 +86,75 @@ fn reader(db: &SharedDatabase, window: Duration, reads: &AtomicU64) {
     }
 }
 
-fn main() {
+/// The transport-independent smoke: 2 writers + 4 readers, each thread
+/// with its own connection from `connect`. Returns `(commits, reads,
+/// cache_hits, cache_misses)`.
+fn run_smoke<C, F>(connect: F, window: Duration) -> (u64, u64, u64, u64)
+where
+    C: Connection,
+    F: Fn() -> C + Sync,
+{
+    let stop = AtomicBool::new(false);
+    let commits = AtomicU64::new(0);
+    let reads = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for w in 0..2i64 {
+            let (connect, stop, commits) = (&connect, &stop, &commits);
+            s.spawn(move || writer(&mut connect(), w, stop, commits));
+        }
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let (connect, reads) = (&connect, &reads);
+                s.spawn(move || reader(&mut connect(), window, reads))
+            })
+            .collect();
+        for r in readers {
+            r.join().expect("reader thread");
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let stats = connect().cache_stats().expect("cache stats");
+    (commits.load(Ordering::Relaxed), reads.load(Ordering::Relaxed), stats.hits, stats.misses)
+}
+
+fn seeded_shared() -> erbium_core::SharedDatabase {
     let mut db = Database::new();
     db.execute("CREATE ENTITY item (id int KEY, qty int)").unwrap();
     db.install_default().unwrap();
     // Seed one balanced pair so aggregates never run over an empty table.
     db.insert("item", &[("id", Value::Int(-2)), ("qty", Value::Int(5))]).unwrap();
     db.insert("item", &[("id", Value::Int(-1)), ("qty", Value::Int(-5))]).unwrap();
-    let db = db.into_shared();
+    db.into_shared()
+}
 
+fn main() {
+    let remote = std::env::args().any(|a| a == "--remote");
     let window = Duration::from_millis(800);
-    let stop = AtomicBool::new(false);
-    let commits = AtomicU64::new(0);
-    let reads = AtomicU64::new(0);
-    std::thread::scope(|s| {
-        for w in 0..2i64 {
-            let (db, stop, commits) = (&db, &stop, &commits);
-            s.spawn(move || writer(db, w, stop, commits));
-        }
-        let readers: Vec<_> = (0..4).map(|_| s.spawn(|| reader(&db, window, &reads))).collect();
-        for r in readers {
-            r.join().expect("reader thread");
-        }
-        stop.store(true, Ordering::Relaxed);
-    });
+    let db = seeded_shared();
 
-    let stats = db.plan_cache_stats();
-    assert!(stats.hits > 0, "plan cache served no hits under the smoke workload");
-    assert!(commits.load(Ordering::Relaxed) > 0, "writers made no commits");
+    let (transport, commits, reads, hits, misses) = if remote {
+        let mut server =
+            Server::bind("127.0.0.1:0", db, ServerOptions::default()).expect("bind server");
+        let addr = server.local_addr();
+        let (commits, reads, hits, misses) =
+            run_smoke(|| RemoteClient::connect(addr).expect("dial server"), window);
+        // Every client (including run_smoke's stats probe) is gone; the
+        // server must drain to empty promptly.
+        assert!(
+            server.drain(Duration::from_secs(10)),
+            "server failed to drain after clients disconnected"
+        );
+        assert_eq!(server.active_sessions(), 0, "sessions left behind after drain");
+        ("remote", commits, reads, hits, misses)
+    } else {
+        let (commits, reads, hits, misses) = run_smoke(|| db.clone(), window);
+        ("in-process", commits, reads, hits, misses)
+    };
+
+    assert!(hits > 0, "plan cache served no hits under the smoke workload");
+    assert!(commits > 0, "writers made no commits");
     println!(
-        "multi-client smoke: OK (commits={}, reads={}, plan cache hits={} misses={})",
-        commits.load(Ordering::Relaxed),
-        reads.load(Ordering::Relaxed),
-        stats.hits,
-        stats.misses
+        "multi-client smoke [{transport}]: OK (commits={commits}, reads={reads}, \
+         plan cache hits={hits} misses={misses})"
     );
 }

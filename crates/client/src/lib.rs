@@ -1,0 +1,18 @@
+//! # erbium-client
+//!
+//! The ERSP wire client: [`RemoteClient`] speaks the E/R Server Protocol
+//! (see [`protocol`]) to an `erbium-server` over TCP and implements the
+//! transport-independent [`erbium_model::Connection`] API — the same trait
+//! the embedded handles implement — so a workload written once against
+//! `Connection` runs unmodified in-process or over the network.
+//!
+//! The crate deliberately links only `erbium-model` (the API contract and
+//! the `Value`/`DbError` types) and `erbium-query` (client-side syntax
+//! pre-validation): no storage, no engine, no core. All execution happens
+//! server-side; the client is encode → send → receive → decode.
+
+pub mod protocol;
+
+mod remote;
+
+pub use remote::{RemoteClient, RemoteSnapshot, RemoteStatement};

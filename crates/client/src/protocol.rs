@@ -1,0 +1,894 @@
+//! ERSP — the E/R Server Protocol.
+//!
+//! A length-framed, checksummed binary protocol over any `Read`/`Write`
+//! byte stream (in practice TCP). Both peers exchange *frames*:
+//!
+//! ```text
+//! [len: u32 LE][crc32: u32 LE][payload: len bytes]
+//! ```
+//!
+//! `len` counts payload bytes only; `crc32` is the IEEE CRC-32 of the
+//! payload, so a bit flip anywhere in the body is detected before the
+//! payload is decoded (the header itself is covered indirectly: a
+//! corrupted `len` misaligns the stream and the next CRC check fails, a
+//! corrupted CRC fails immediately). Frames larger than [`MAX_FRAME`] are
+//! rejected without allocating — a garbage length can't OOM the peer.
+//!
+//! The payload is one [`Request`] or [`Response`] message in a hand-rolled
+//! tag-prefixed little-endian encoding (no serde on the wire: the format
+//! is frozen by `PROTOCOL_VERSION`, not by Rust type layout). Every
+//! [`Value`] round-trips losslessly, including nested arrays and structs.
+//!
+//! This module is deliberately I/O-agnostic and panic-free: malformed
+//! input of any shape yields [`WireError`], never a panic — the server
+//! feeds it bytes from the network, and the frame-robustness property
+//! suite (crates/server/tests) hammers exactly that contract.
+
+use erbium_model::{DbError, Value};
+use std::io::{Read, Write};
+
+/// Protocol version exchanged in the `Hello` handshake. Bump on any wire
+/// format change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a frame payload (16 MiB). Large enough for any sane
+/// result set in this prototype; small enough that a corrupted length
+/// field cannot trigger a giant allocation.
+pub const MAX_FRAME: usize = 16 << 20;
+
+// ---- CRC-32 (IEEE 802.3, reflected) -----------------------------------------
+//
+// Reimplemented here rather than reusing the WAL's copy: the client crate
+// must not depend on erbium-storage. Same polynomial, so nothing is
+// gained by sharing it anyway.
+
+fn crc32_table() -> &'static [u32; 256] {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// IEEE CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---- errors -----------------------------------------------------------------
+
+/// Anything that can go wrong between the socket and a decoded message.
+#[derive(Debug)]
+pub enum WireError {
+    /// Transport failure (includes clean EOF mid-frame and read timeouts).
+    Io(std::io::Error),
+    /// The peer closed the connection at a frame boundary — the one
+    /// *orderly* way a stream ends.
+    Closed,
+    /// Structurally invalid bytes: bad CRC, oversized length, truncated or
+    /// trailing payload, unknown tags.
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o: {e}"),
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+impl From<WireError> for DbError {
+    fn from(e: WireError) -> DbError {
+        match e {
+            WireError::Io(io) => DbError::Connection(io.to_string()),
+            WireError::Closed => DbError::Connection("connection closed by peer".into()),
+            WireError::Malformed(m) => DbError::Protocol(m),
+        }
+    }
+}
+
+// ---- framing ----------------------------------------------------------------
+
+/// Write one frame: header (length + CRC) and payload, no flush.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    let mut header = [0u8; 8];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Read one frame and verify its checksum. Returns [`WireError::Closed`]
+/// on EOF at a frame boundary (the peer hung up cleanly), `Malformed` on
+/// oversized length or CRC mismatch, `Io` on everything else including
+/// EOF mid-frame.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut header = [0u8; 8];
+    // Distinguish "no more frames" from "frame cut short": EOF on the
+    // very first header byte is a clean close.
+    match r.read(&mut header[..1])? {
+        0 => return Err(WireError::Closed),
+        1 => {}
+        _ => unreachable!(),
+    }
+    r.read_exact(&mut header[1..])?;
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(WireError::Malformed(format!(
+            "frame length {len} exceeds maximum {MAX_FRAME}"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let actual = crc32(&payload);
+    if actual != crc {
+        return Err(WireError::Malformed(format!(
+            "crc mismatch: header says {crc:#010x}, payload hashes to {actual:#010x}"
+        )));
+    }
+    Ok(payload)
+}
+
+// ---- primitive encoding ------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Cursor over a received payload. All `take_*` methods are bounds-checked
+/// — decoding attacker-controlled bytes must fail with an error, never
+/// slice out of range.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+type DecodeResult<T> = Result<T, WireError>;
+
+fn bad<T>(what: &str) -> DecodeResult<T> {
+    Err(WireError::Malformed(what.to_string()))
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> DecodeResult<&'a [u8]> {
+        let end = match self.pos.checked_add(n) {
+            Some(e) if e <= self.buf.len() => e,
+            _ => return bad("truncated payload"),
+        };
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn take_u8(&mut self) -> DecodeResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn take_u16(&mut self) -> DecodeResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn take_u32(&mut self) -> DecodeResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn take_u64(&mut self) -> DecodeResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn take_str(&mut self) -> DecodeResult<String> {
+        let len = self.take_u32()? as usize;
+        let bytes = self.take(len)?;
+        match std::str::from_utf8(bytes) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => bad("string is not valid UTF-8"),
+        }
+    }
+
+    /// A collection length. Bounded by what could physically fit in the
+    /// remaining payload so a corrupt count can't pre-allocate gigabytes.
+    fn take_len(&mut self) -> DecodeResult<usize> {
+        let n = self.take_u32()? as usize;
+        if n > self.buf.len().saturating_sub(self.pos) {
+            return bad("collection length exceeds payload");
+        }
+        Ok(n)
+    }
+
+    fn finish(&self) -> DecodeResult<()> {
+        if self.pos != self.buf.len() {
+            return bad("trailing bytes after message");
+        }
+        Ok(())
+    }
+}
+
+// ---- Value codec -------------------------------------------------------------
+
+const V_NULL: u8 = 0;
+const V_BOOL: u8 = 1;
+const V_INT: u8 = 2;
+const V_FLOAT: u8 = 3;
+const V_STR: u8 = 4;
+const V_ARRAY: u8 = 5;
+const V_STRUCT: u8 = 6;
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(V_NULL),
+        Value::Bool(b) => {
+            out.push(V_BOOL);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(V_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(x) => {
+            out.push(V_FLOAT);
+            // Bit pattern, not text: NaN and -0.0 round-trip exactly.
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(V_STR);
+            put_str(out, s);
+        }
+        Value::Array(items) => {
+            out.push(V_ARRAY);
+            put_u32(out, items.len() as u32);
+            for item in items {
+                put_value(out, item);
+            }
+        }
+        Value::Struct(fields) => {
+            out.push(V_STRUCT);
+            put_u32(out, fields.len() as u32);
+            for field in fields {
+                put_value(out, field);
+            }
+        }
+    }
+}
+
+fn take_value(c: &mut Cursor<'_>) -> DecodeResult<Value> {
+    // Depth is naturally bounded: every nesting level consumes at least
+    // one payload byte, and the payload is at most MAX_FRAME — but a
+    // recursive decoder would still blow the stack long before that, so
+    // cap nesting explicitly.
+    take_value_depth(c, 0)
+}
+
+fn take_value_depth(c: &mut Cursor<'_>, depth: u32) -> DecodeResult<Value> {
+    if depth > 64 {
+        return bad("value nesting deeper than 64");
+    }
+    match c.take_u8()? {
+        V_NULL => Ok(Value::Null),
+        V_BOOL => match c.take_u8()? {
+            0 => Ok(Value::Bool(false)),
+            1 => Ok(Value::Bool(true)),
+            b => bad(&format!("bool byte {b}")),
+        },
+        V_INT => Ok(Value::Int(i64::from_le_bytes(c.take(8)?.try_into().unwrap()))),
+        V_FLOAT => Ok(Value::Float(f64::from_bits(u64::from_le_bytes(
+            c.take(8)?.try_into().unwrap(),
+        )))),
+        V_STR => Ok(Value::str(c.take_str()?)),
+        V_ARRAY => {
+            let n = c.take_len()?;
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(take_value_depth(c, depth + 1)?);
+            }
+            Ok(Value::Array(items))
+        }
+        V_STRUCT => {
+            let n = c.take_len()?;
+            let mut fields = Vec::with_capacity(n);
+            for _ in 0..n {
+                fields.push(take_value_depth(c, depth + 1)?);
+            }
+            Ok(Value::Struct(fields))
+        }
+        t => bad(&format!("unknown value tag {t}")),
+    }
+}
+
+fn put_values(out: &mut Vec<u8>, vs: &[Value]) {
+    put_u32(out, vs.len() as u32);
+    for v in vs {
+        put_value(out, v);
+    }
+}
+
+fn take_values(c: &mut Cursor<'_>) -> DecodeResult<Vec<Value>> {
+    let n = c.take_len()?;
+    let mut vs = Vec::with_capacity(n);
+    for _ in 0..n {
+        vs.push(take_value(c)?);
+    }
+    Ok(vs)
+}
+
+fn put_named_values(out: &mut Vec<u8>, nvs: &[(String, Value)]) {
+    put_u32(out, nvs.len() as u32);
+    for (name, v) in nvs {
+        put_str(out, name);
+        put_value(out, v);
+    }
+}
+
+fn take_named_values(c: &mut Cursor<'_>) -> DecodeResult<Vec<(String, Value)>> {
+    let n = c.take_len()?;
+    let mut nvs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = c.take_str()?;
+        nvs.push((name, take_value(c)?));
+    }
+    Ok(nvs)
+}
+
+// ---- transaction operations --------------------------------------------------
+
+/// One buffered write inside a remote transaction — the wire mirror of the
+/// [`erbium_model::TxOps`] surface. The client records these; the server
+/// replays them inside a single embedded transaction, so the batch commits
+/// or rolls back atomically exactly like an embedded closure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TxOp {
+    Insert { entity: String, data: Vec<(String, Value)> },
+    InsertLinked {
+        entity: String,
+        data: Vec<(String, Value)>,
+        links: Vec<(String, Vec<Value>)>,
+    },
+    UpdateEntity { entity: String, key: Vec<Value>, changes: Vec<(String, Value)> },
+    DeleteEntity { entity: String, key: Vec<Value> },
+    Link { rel: String, from: Vec<Value>, to: Vec<Value>, attrs: Vec<(String, Value)> },
+    Unlink { rel: String, from: Vec<Value>, to: Vec<Value> },
+}
+
+const OP_INSERT: u8 = 1;
+const OP_INSERT_LINKED: u8 = 2;
+const OP_UPDATE: u8 = 3;
+const OP_DELETE: u8 = 4;
+const OP_LINK: u8 = 5;
+const OP_UNLINK: u8 = 6;
+
+fn put_tx_op(out: &mut Vec<u8>, op: &TxOp) {
+    match op {
+        TxOp::Insert { entity, data } => {
+            out.push(OP_INSERT);
+            put_str(out, entity);
+            put_named_values(out, data);
+        }
+        TxOp::InsertLinked { entity, data, links } => {
+            out.push(OP_INSERT_LINKED);
+            put_str(out, entity);
+            put_named_values(out, data);
+            put_u32(out, links.len() as u32);
+            for (rel, key) in links {
+                put_str(out, rel);
+                put_values(out, key);
+            }
+        }
+        TxOp::UpdateEntity { entity, key, changes } => {
+            out.push(OP_UPDATE);
+            put_str(out, entity);
+            put_values(out, key);
+            put_named_values(out, changes);
+        }
+        TxOp::DeleteEntity { entity, key } => {
+            out.push(OP_DELETE);
+            put_str(out, entity);
+            put_values(out, key);
+        }
+        TxOp::Link { rel, from, to, attrs } => {
+            out.push(OP_LINK);
+            put_str(out, rel);
+            put_values(out, from);
+            put_values(out, to);
+            put_named_values(out, attrs);
+        }
+        TxOp::Unlink { rel, from, to } => {
+            out.push(OP_UNLINK);
+            put_str(out, rel);
+            put_values(out, from);
+            put_values(out, to);
+        }
+    }
+}
+
+fn take_tx_op(c: &mut Cursor<'_>) -> DecodeResult<TxOp> {
+    match c.take_u8()? {
+        OP_INSERT => Ok(TxOp::Insert { entity: c.take_str()?, data: take_named_values(c)? }),
+        OP_INSERT_LINKED => {
+            let entity = c.take_str()?;
+            let data = take_named_values(c)?;
+            let n = c.take_len()?;
+            let mut links = Vec::with_capacity(n);
+            for _ in 0..n {
+                let rel = c.take_str()?;
+                links.push((rel, take_values(c)?));
+            }
+            Ok(TxOp::InsertLinked { entity, data, links })
+        }
+        OP_UPDATE => Ok(TxOp::UpdateEntity {
+            entity: c.take_str()?,
+            key: take_values(c)?,
+            changes: take_named_values(c)?,
+        }),
+        OP_DELETE => Ok(TxOp::DeleteEntity { entity: c.take_str()?, key: take_values(c)? }),
+        OP_LINK => Ok(TxOp::Link {
+            rel: c.take_str()?,
+            from: take_values(c)?,
+            to: take_values(c)?,
+            attrs: take_named_values(c)?,
+        }),
+        OP_UNLINK => Ok(TxOp::Unlink {
+            rel: c.take_str()?,
+            from: take_values(c)?,
+            to: take_values(c)?,
+        }),
+        t => bad(&format!("unknown tx-op tag {t}")),
+    }
+}
+
+// ---- requests ----------------------------------------------------------------
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake; must be the first message on a connection.
+    Hello { version: u32 },
+    /// Run an ERQL script (DDL and/or discarded SELECTs).
+    Execute { script: String },
+    /// One SELECT, optionally `?`-parameterized (`params` empty = none).
+    Query { sql: String, params: Vec<Value> },
+    /// Bind a `?`-template server-side, returning a statement id.
+    Prepare { sql: String },
+    /// Execute a previously prepared statement.
+    ExecutePrepared { stmt_id: u32, params: Vec<Value> },
+    /// Atomically apply a batch of buffered writes.
+    Transaction { ops: Vec<TxOp> },
+    /// Pin the current state, returning a snapshot id scoped to this
+    /// session.
+    PinSnapshot,
+    /// Query a pinned snapshot.
+    SnapshotQuery { snap_id: u32, sql: String, params: Vec<Value> },
+    /// Release a pinned snapshot (dropping the connection releases all).
+    ReleaseSnapshot { snap_id: u32 },
+    /// Set a session-scoped option (never visible to other sessions).
+    SetOption { key: String, value: String },
+    /// Plan-cache counters of the serving database.
+    CacheStats,
+    /// Orderly goodbye; the server acknowledges and closes.
+    Close,
+}
+
+const RQ_HELLO: u8 = 1;
+const RQ_EXECUTE: u8 = 2;
+const RQ_QUERY: u8 = 3;
+const RQ_PREPARE: u8 = 4;
+const RQ_EXECUTE_PREPARED: u8 = 5;
+const RQ_TRANSACTION: u8 = 6;
+const RQ_PIN_SNAPSHOT: u8 = 7;
+const RQ_SNAPSHOT_QUERY: u8 = 8;
+const RQ_RELEASE_SNAPSHOT: u8 = 9;
+const RQ_SET_OPTION: u8 = 10;
+const RQ_CACHE_STATS: u8 = 11;
+const RQ_CLOSE: u8 = 12;
+
+impl Request {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Hello { version } => {
+                out.push(RQ_HELLO);
+                put_u32(&mut out, *version);
+            }
+            Request::Execute { script } => {
+                out.push(RQ_EXECUTE);
+                put_str(&mut out, script);
+            }
+            Request::Query { sql, params } => {
+                out.push(RQ_QUERY);
+                put_str(&mut out, sql);
+                put_values(&mut out, params);
+            }
+            Request::Prepare { sql } => {
+                out.push(RQ_PREPARE);
+                put_str(&mut out, sql);
+            }
+            Request::ExecutePrepared { stmt_id, params } => {
+                out.push(RQ_EXECUTE_PREPARED);
+                put_u32(&mut out, *stmt_id);
+                put_values(&mut out, params);
+            }
+            Request::Transaction { ops } => {
+                out.push(RQ_TRANSACTION);
+                put_u32(&mut out, ops.len() as u32);
+                for op in ops {
+                    put_tx_op(&mut out, op);
+                }
+            }
+            Request::PinSnapshot => out.push(RQ_PIN_SNAPSHOT),
+            Request::SnapshotQuery { snap_id, sql, params } => {
+                out.push(RQ_SNAPSHOT_QUERY);
+                put_u32(&mut out, *snap_id);
+                put_str(&mut out, sql);
+                put_values(&mut out, params);
+            }
+            Request::ReleaseSnapshot { snap_id } => {
+                out.push(RQ_RELEASE_SNAPSHOT);
+                put_u32(&mut out, *snap_id);
+            }
+            Request::SetOption { key, value } => {
+                out.push(RQ_SET_OPTION);
+                put_str(&mut out, key);
+                put_str(&mut out, value);
+            }
+            Request::CacheStats => out.push(RQ_CACHE_STATS),
+            Request::Close => out.push(RQ_CLOSE),
+        }
+        out
+    }
+
+    /// Decode a frame payload. Rejects unknown tags, truncation, and
+    /// trailing bytes.
+    pub fn decode(payload: &[u8]) -> DecodeResult<Request> {
+        let mut c = Cursor::new(payload);
+        let req = match c.take_u8()? {
+            RQ_HELLO => Request::Hello { version: c.take_u32()? },
+            RQ_EXECUTE => Request::Execute { script: c.take_str()? },
+            RQ_QUERY => Request::Query { sql: c.take_str()?, params: take_values(&mut c)? },
+            RQ_PREPARE => Request::Prepare { sql: c.take_str()? },
+            RQ_EXECUTE_PREPARED => Request::ExecutePrepared {
+                stmt_id: c.take_u32()?,
+                params: take_values(&mut c)?,
+            },
+            RQ_TRANSACTION => {
+                let n = c.take_len()?;
+                let mut ops = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ops.push(take_tx_op(&mut c)?);
+                }
+                Request::Transaction { ops }
+            }
+            RQ_PIN_SNAPSHOT => Request::PinSnapshot,
+            RQ_SNAPSHOT_QUERY => Request::SnapshotQuery {
+                snap_id: c.take_u32()?,
+                sql: c.take_str()?,
+                params: take_values(&mut c)?,
+            },
+            RQ_RELEASE_SNAPSHOT => Request::ReleaseSnapshot { snap_id: c.take_u32()? },
+            RQ_SET_OPTION => {
+                Request::SetOption { key: c.take_str()?, value: c.take_str()? }
+            }
+            RQ_CACHE_STATS => Request::CacheStats,
+            RQ_CLOSE => Request::Close,
+            t => return bad(&format!("unknown request tag {t}")),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+// ---- responses ---------------------------------------------------------------
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake reply carrying the server's protocol version and the
+    /// session id (diagnostics; shows up in server logs and metrics).
+    Hello { version: u32, session_id: u64 },
+    /// Success with nothing to return.
+    Ack,
+    /// A query result.
+    Rows { columns: Vec<String>, rows: Vec<Vec<Value>> },
+    /// A prepared-statement id (session-scoped).
+    Prepared { stmt_id: u32 },
+    /// A pinned-snapshot id (session-scoped).
+    SnapshotPinned { snap_id: u32 },
+    /// Plan-cache counters.
+    CacheStats { hits: u64, misses: u64 },
+    /// Any failure, as a stable numeric code + message — decoded back
+    /// into a [`DbError`] on the client via [`DbError::from_wire`].
+    Error { code: u16, message: String },
+}
+
+const RS_HELLO: u8 = 1;
+const RS_ACK: u8 = 2;
+const RS_ROWS: u8 = 3;
+const RS_PREPARED: u8 = 4;
+const RS_SNAPSHOT: u8 = 5;
+const RS_CACHE_STATS: u8 = 6;
+const RS_ERROR: u8 = 7;
+
+impl Response {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Hello { version, session_id } => {
+                out.push(RS_HELLO);
+                put_u32(&mut out, *version);
+                put_u64(&mut out, *session_id);
+            }
+            Response::Ack => out.push(RS_ACK),
+            Response::Rows { columns, rows } => {
+                out.push(RS_ROWS);
+                put_u32(&mut out, columns.len() as u32);
+                for col in columns {
+                    put_str(&mut out, col);
+                }
+                put_u32(&mut out, rows.len() as u32);
+                for row in rows {
+                    put_values(&mut out, row);
+                }
+            }
+            Response::Prepared { stmt_id } => {
+                out.push(RS_PREPARED);
+                put_u32(&mut out, *stmt_id);
+            }
+            Response::SnapshotPinned { snap_id } => {
+                out.push(RS_SNAPSHOT);
+                put_u32(&mut out, *snap_id);
+            }
+            Response::CacheStats { hits, misses } => {
+                out.push(RS_CACHE_STATS);
+                put_u64(&mut out, *hits);
+                put_u64(&mut out, *misses);
+            }
+            Response::Error { code, message } => {
+                out.push(RS_ERROR);
+                out.extend_from_slice(&code.to_le_bytes());
+                put_str(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> DecodeResult<Response> {
+        let mut c = Cursor::new(payload);
+        let resp = match c.take_u8()? {
+            RS_HELLO => Response::Hello { version: c.take_u32()?, session_id: c.take_u64()? },
+            RS_ACK => Response::Ack,
+            RS_ROWS => {
+                let ncols = c.take_len()?;
+                let mut columns = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    columns.push(c.take_str()?);
+                }
+                let nrows = c.take_len()?;
+                let mut rows = Vec::with_capacity(nrows);
+                for _ in 0..nrows {
+                    rows.push(take_values(&mut c)?);
+                }
+                Response::Rows { columns, rows }
+            }
+            RS_PREPARED => Response::Prepared { stmt_id: c.take_u32()? },
+            RS_SNAPSHOT => Response::SnapshotPinned { snap_id: c.take_u32()? },
+            RS_CACHE_STATS => Response::CacheStats { hits: c.take_u64()?, misses: c.take_u64()? },
+            RS_ERROR => Response::Error { code: c.take_u16()?, message: c.take_str()? },
+            t => return bad(&format!("unknown response tag {t}")),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+
+    /// Build the wire form of a [`DbError`].
+    pub fn from_error(e: &DbError) -> Response {
+        Response::Error { code: e.code(), message: e.wire_message().to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert!(matches!(read_frame(&mut r), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn frame_rejects_corruption() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        // Flip one payload bit.
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        assert!(matches!(read_frame(&mut &buf[..]), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn frame_rejects_oversize_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(read_frame(&mut &buf[..]), Err(WireError::Malformed(_))));
+    }
+
+    fn all_values() -> Vec<Value> {
+        vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Float(f64::NAN),
+            Value::Float(-0.0),
+            Value::str("héllo 🦀"),
+            Value::str(""),
+            Value::Array(vec![Value::Int(1), Value::Array(vec![Value::Null])]),
+            Value::Struct(vec![Value::str("nested"), Value::Struct(vec![])]),
+        ]
+    }
+
+    #[test]
+    fn value_codec_round_trips_every_variant() {
+        let vals = all_values();
+        let mut out = Vec::new();
+        put_values(&mut out, &vals);
+        let mut c = Cursor::new(&out);
+        let back = take_values(&mut c).unwrap();
+        c.finish().unwrap();
+        // NaN != NaN under PartialEq, so compare via the storage total
+        // order which treats NaN as equal to itself.
+        assert_eq!(back.len(), vals.len());
+        for (a, b) in back.iter().zip(&vals) {
+            assert_eq!(a.cmp(b), std::cmp::Ordering::Equal, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let reqs = vec![
+            Request::Hello { version: PROTOCOL_VERSION },
+            Request::Execute { script: "CREATE ENTITY e (id int KEY);".into() },
+            Request::Query { sql: "SELECT e.id FROM e e".into(), params: all_values() },
+            Request::Prepare { sql: "SELECT e.id FROM e e WHERE e.id = ?".into() },
+            Request::ExecutePrepared { stmt_id: 7, params: vec![Value::Int(1)] },
+            Request::Transaction {
+                ops: vec![
+                    TxOp::Insert { entity: "e".into(), data: vec![("id".into(), Value::Int(1))] },
+                    TxOp::InsertLinked {
+                        entity: "e".into(),
+                        data: vec![],
+                        links: vec![("r".into(), vec![Value::Int(2)])],
+                    },
+                    TxOp::UpdateEntity {
+                        entity: "e".into(),
+                        key: vec![Value::Int(1)],
+                        changes: vec![("x".into(), Value::Null)],
+                    },
+                    TxOp::DeleteEntity { entity: "e".into(), key: vec![Value::Int(1)] },
+                    TxOp::Link {
+                        rel: "r".into(),
+                        from: vec![Value::Int(1)],
+                        to: vec![Value::Int(2)],
+                        attrs: vec![("w".into(), Value::Float(0.5))],
+                    },
+                    TxOp::Unlink { rel: "r".into(), from: vec![], to: vec![] },
+                ],
+            },
+            Request::PinSnapshot,
+            Request::SnapshotQuery { snap_id: 3, sql: "SELECT 1".into(), params: vec![] },
+            Request::ReleaseSnapshot { snap_id: 3 },
+            Request::SetOption { key: "threads".into(), value: "1".into() },
+            Request::CacheStats,
+            Request::Close,
+        ];
+        for req in reqs {
+            let enc = req.encode();
+            assert_eq!(Request::decode(&enc).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resps = vec![
+            Response::Hello { version: 1, session_id: 42 },
+            Response::Ack,
+            Response::Rows {
+                columns: vec!["a".into(), "b".into()],
+                rows: vec![vec![Value::Int(1), Value::str("x")], vec![Value::Null, Value::Null]],
+            },
+            Response::Prepared { stmt_id: 9 },
+            Response::SnapshotPinned { snap_id: 2 },
+            Response::CacheStats { hits: 10, misses: 3 },
+            Response::Error { code: 40, message: "duplicate key".into() },
+        ];
+        for resp in resps {
+            let enc = resp.encode();
+            assert_eq!(Response::decode(&enc).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[200]).is_err());
+        assert!(Response::decode(&[200]).is_err());
+        // Truncated string length.
+        assert!(Request::decode(&[RQ_EXECUTE, 255, 0, 0, 0, b'x']).is_err());
+        // Trailing bytes.
+        let mut enc = Request::Close.encode();
+        enc.push(0);
+        assert!(Request::decode(&enc).is_err());
+        // Collection length far beyond the payload must not allocate.
+        let mut enc = Vec::new();
+        enc.push(RQ_QUERY);
+        put_str(&mut enc, "SELECT 1");
+        put_u32(&mut enc, u32::MAX);
+        assert!(Request::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn error_response_round_trips_db_errors() {
+        let e = DbError::Storage("duplicate key 'x'".into());
+        let resp = Response::from_error(&e);
+        let enc = resp.encode();
+        let Response::Error { code, message } = Response::decode(&enc).unwrap() else {
+            panic!("not an error");
+        };
+        let back = DbError::from_wire(code, message);
+        assert!(matches!(back, DbError::Storage(_)));
+        assert_eq!(back.to_string(), e.to_string());
+    }
+}

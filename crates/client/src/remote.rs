@@ -1,0 +1,293 @@
+//! [`RemoteClient`]: the [`Connection`] implementation over ERSP/TCP.
+
+use crate::protocol::{
+    read_frame, write_frame, Request, Response, TxOp, PROTOCOL_VERSION,
+};
+use erbium_model::api::{CacheStats, Connection, ReadSession, Rows, TxOps};
+use erbium_model::{DbError, DbResult, Value};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+
+/// One framed request/response channel with a completed handshake.
+/// Both [`RemoteClient`] and [`RemoteSnapshot`] own one — a snapshot dials
+/// its own connection so its pinned reads never contend with the parent
+/// session's traffic (and so both can be used independently, which one
+/// shared socket could not express).
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    peer: SocketAddr,
+    session_id: u64,
+}
+
+impl Conn {
+    fn dial(addr: impl ToSocketAddrs) -> DbResult<Conn> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| DbError::Connection(format!("connect: {e}")))?;
+        stream.set_nodelay(true).ok();
+        let peer = stream
+            .peer_addr()
+            .map_err(|e| DbError::Connection(format!("peer_addr: {e}")))?;
+        let reader = BufReader::new(
+            stream.try_clone().map_err(|e| DbError::Connection(format!("clone: {e}")))?,
+        );
+        let mut conn = Conn { reader, writer: BufWriter::new(stream), peer, session_id: 0 };
+        match conn.call(&Request::Hello { version: PROTOCOL_VERSION })? {
+            Response::Hello { version, session_id } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(DbError::Protocol(format!(
+                        "server speaks protocol v{version}, client v{PROTOCOL_VERSION}"
+                    )));
+                }
+                conn.session_id = session_id;
+                Ok(conn)
+            }
+            other => Err(DbError::Protocol(format!("expected Hello, got {other:?}"))),
+        }
+    }
+
+    /// One round trip. A server-reported failure comes back as the
+    /// [`DbError`] it was on the server, reconstructed from its stable
+    /// wire code.
+    fn call(&mut self, req: &Request) -> DbResult<Response> {
+        write_frame(&mut self.writer, &req.encode())?;
+        self.writer.flush().map_err(|e| DbError::Connection(format!("flush: {e}")))?;
+        let payload = read_frame(&mut self.reader)?;
+        match Response::decode(&payload)? {
+            Response::Error { code, message } => Err(DbError::from_wire(code, message)),
+            resp => Ok(resp),
+        }
+    }
+
+    fn call_rows(&mut self, req: &Request) -> DbResult<Rows> {
+        match self.call(req)? {
+            Response::Rows { columns, rows } => Ok(Rows { columns, rows }),
+            other => Err(DbError::Protocol(format!("expected Rows, got {other:?}"))),
+        }
+    }
+
+    fn call_ack(&mut self, req: &Request) -> DbResult<()> {
+        match self.call(req)? {
+            Response::Ack => Ok(()),
+            other => Err(DbError::Protocol(format!("expected Ack, got {other:?}"))),
+        }
+    }
+
+    /// Best-effort goodbye so the server tears the session down promptly
+    /// instead of waiting for the idle timeout.
+    fn close(&mut self) {
+        let _ = write_frame(&mut self.writer, &Request::Close.encode());
+        let _ = self.writer.flush();
+    }
+}
+
+/// A session with a remote ErbiumDB server. See the crate docs; use it
+/// through the [`Connection`] trait.
+pub struct RemoteClient {
+    conn: Conn,
+}
+
+/// A statement prepared server-side; valid only on the session that
+/// prepared it.
+#[derive(Debug, Clone)]
+pub struct RemoteStatement {
+    stmt_id: u32,
+}
+
+impl RemoteClient {
+    /// Dial a server and perform the protocol handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> DbResult<RemoteClient> {
+        Ok(RemoteClient { conn: Conn::dial(addr)? })
+    }
+
+    /// The server-assigned session id (diagnostics: it tags the server's
+    /// log lines and slow-query records for this session).
+    pub fn session_id(&self) -> u64 {
+        self.conn.session_id
+    }
+
+    /// The server address this client is connected to.
+    pub fn server_addr(&self) -> SocketAddr {
+        self.conn.peer
+    }
+}
+
+impl Drop for RemoteClient {
+    fn drop(&mut self) {
+        self.conn.close();
+    }
+}
+
+/// Client-side transaction buffer: [`TxOps`] calls record operations,
+/// nothing touches the network until the closure returns `Ok` and the
+/// whole batch ships as one atomic `Transaction` request. Per-operation
+/// errors therefore surface at commit, exactly as the API contract
+/// documents.
+struct RemoteTx {
+    ops: Vec<TxOp>,
+}
+
+fn named(data: &[(&str, Value)]) -> Vec<(String, Value)> {
+    data.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+}
+
+impl TxOps for RemoteTx {
+    fn insert(&mut self, entity: &str, data: &[(&str, Value)]) -> DbResult<()> {
+        self.ops.push(TxOp::Insert { entity: entity.to_string(), data: named(data) });
+        Ok(())
+    }
+
+    fn insert_linked(
+        &mut self,
+        entity: &str,
+        data: &[(&str, Value)],
+        links: &[(&str, Vec<Value>)],
+    ) -> DbResult<()> {
+        self.ops.push(TxOp::InsertLinked {
+            entity: entity.to_string(),
+            data: named(data),
+            links: links.iter().map(|(r, k)| (r.to_string(), k.clone())).collect(),
+        });
+        Ok(())
+    }
+
+    fn update_entity(
+        &mut self,
+        entity: &str,
+        key: &[Value],
+        changes: &[(&str, Value)],
+    ) -> DbResult<()> {
+        self.ops.push(TxOp::UpdateEntity {
+            entity: entity.to_string(),
+            key: key.to_vec(),
+            changes: named(changes),
+        });
+        Ok(())
+    }
+
+    fn delete_entity(&mut self, entity: &str, key: &[Value]) -> DbResult<()> {
+        self.ops.push(TxOp::DeleteEntity { entity: entity.to_string(), key: key.to_vec() });
+        Ok(())
+    }
+
+    fn link(
+        &mut self,
+        rel: &str,
+        from_key: &[Value],
+        to_key: &[Value],
+        attrs: &[(&str, Value)],
+    ) -> DbResult<()> {
+        self.ops.push(TxOp::Link {
+            rel: rel.to_string(),
+            from: from_key.to_vec(),
+            to: to_key.to_vec(),
+            attrs: named(attrs),
+        });
+        Ok(())
+    }
+
+    fn unlink(&mut self, rel: &str, from_key: &[Value], to_key: &[Value]) -> DbResult<()> {
+        self.ops.push(TxOp::Unlink {
+            rel: rel.to_string(),
+            from: from_key.to_vec(),
+            to: to_key.to_vec(),
+        });
+        Ok(())
+    }
+}
+
+/// A snapshot pinned server-side, queried over its own dedicated
+/// connection (dropping it releases the pin and the socket).
+pub struct RemoteSnapshot {
+    conn: Conn,
+    snap_id: u32,
+}
+
+impl ReadSession for RemoteSnapshot {
+    fn query(&mut self, sql: &str) -> DbResult<Rows> {
+        self.query_params(sql, &[])
+    }
+
+    fn query_params(&mut self, sql: &str, params: &[Value]) -> DbResult<Rows> {
+        self.conn.call_rows(&Request::SnapshotQuery {
+            snap_id: self.snap_id,
+            sql: sql.to_string(),
+            params: params.to_vec(),
+        })
+    }
+}
+
+impl Drop for RemoteSnapshot {
+    fn drop(&mut self) {
+        let _ = self.conn.call_ack(&Request::ReleaseSnapshot { snap_id: self.snap_id });
+        self.conn.close();
+    }
+}
+
+impl Connection for RemoteClient {
+    type Prepared = RemoteStatement;
+    type Reads = RemoteSnapshot;
+
+    fn execute(&mut self, script: &str) -> DbResult<()> {
+        self.conn.call_ack(&Request::Execute { script: script.to_string() })
+    }
+
+    fn query(&mut self, sql: &str) -> DbResult<Rows> {
+        self.conn.call_rows(&Request::Query { sql: sql.to_string(), params: vec![] })
+    }
+
+    fn query_params(&mut self, sql: &str, params: &[Value]) -> DbResult<Rows> {
+        self.conn
+            .call_rows(&Request::Query { sql: sql.to_string(), params: params.to_vec() })
+    }
+
+    fn prepare(&mut self, sql: &str) -> DbResult<RemoteStatement> {
+        // Syntax errors fail here, client-side, without a round trip; the
+        // server still re-validates (and binds against its schema).
+        erbium_query::parse_single(sql).map_err(DbError::from)?;
+        match self.conn.call(&Request::Prepare { sql: sql.to_string() })? {
+            Response::Prepared { stmt_id } => Ok(RemoteStatement { stmt_id }),
+            other => Err(DbError::Protocol(format!("expected Prepared, got {other:?}"))),
+        }
+    }
+
+    fn execute_prepared(
+        &mut self,
+        stmt: &RemoteStatement,
+        params: &[Value],
+    ) -> DbResult<Rows> {
+        self.conn.call_rows(&Request::ExecutePrepared {
+            stmt_id: stmt.stmt_id,
+            params: params.to_vec(),
+        })
+    }
+
+    fn transaction(&mut self, f: impl FnOnce(&mut dyn TxOps) -> DbResult<()>) -> DbResult<()> {
+        let mut tx = RemoteTx { ops: Vec::new() };
+        f(&mut tx)?;
+        self.conn.call_ack(&Request::Transaction { ops: tx.ops })
+    }
+
+    fn snapshot(&mut self) -> DbResult<RemoteSnapshot> {
+        // A dedicated connection per snapshot: the server pins per
+        // session, and an owned socket lets the snapshot outlive (or be
+        // used interleaved with) this client without sharing a stream.
+        let mut conn = Conn::dial(self.conn.peer)?;
+        match conn.call(&Request::PinSnapshot)? {
+            Response::SnapshotPinned { snap_id } => Ok(RemoteSnapshot { conn, snap_id }),
+            other => Err(DbError::Protocol(format!("expected SnapshotPinned, got {other:?}"))),
+        }
+    }
+
+    fn set_option(&mut self, key: &str, value: &str) -> DbResult<()> {
+        self.conn
+            .call_ack(&Request::SetOption { key: key.to_string(), value: value.to_string() })
+    }
+
+    fn cache_stats(&mut self) -> DbResult<CacheStats> {
+        match self.conn.call(&Request::CacheStats)? {
+            Response::CacheStats { hits, misses } => Ok(CacheStats { hits, misses }),
+            other => Err(DbError::Protocol(format!("expected CacheStats, got {other:?}"))),
+        }
+    }
+}

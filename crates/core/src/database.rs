@@ -6,7 +6,7 @@ use erbium_engine::{ExecContext, Plan, PlanCache, PlanCacheStats};
 use erbium_evolve::{EvolutionOp, MigrationReport, Migrator, VersionLog};
 use erbium_mapping::{
     lower::{META_MAPPING, META_SCHEMA},
-    presets, EntityData, EntityStore, Lowering, Mapping, MappingError, QueryRewriter,
+    presets, EntityData, EntityStore, Lowering, Mapping, QueryRewriter,
 };
 use erbium_model::{ErGraph, ErSchema};
 use erbium_query::Statement;
@@ -15,62 +15,16 @@ use erbium_storage::{
 };
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Top-level error type of ErbiumDB.
-#[derive(Debug, Clone, PartialEq)]
-pub enum DbError {
-    Parse(String),
-    Model(erbium_model::ModelError),
-    Mapping(MappingError),
-    /// No mapping installed yet (DDL-only phase), or operation requires one.
-    NotInstalled,
-    /// A mapping is already installed; use `evolve`/`remap`.
-    AlreadyInstalled,
-    /// Query rejected by the active access policy.
-    PolicyViolation(String),
-}
-
-impl fmt::Display for DbError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            DbError::Parse(m) => write!(f, "parse error: {m}"),
-            DbError::Model(e) => write!(f, "schema error: {e}"),
-            DbError::Mapping(e) => write!(f, "{e}"),
-            DbError::NotInstalled => write!(f, "no physical mapping installed"),
-            DbError::AlreadyInstalled => {
-                write!(f, "a mapping is already installed; use evolve() or remap()")
-            }
-            DbError::PolicyViolation(m) => write!(f, "access policy violation: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for DbError {}
-
-impl From<erbium_model::ModelError> for DbError {
-    fn from(e: erbium_model::ModelError) -> Self {
-        DbError::Model(e)
-    }
-}
-
-impl From<MappingError> for DbError {
-    fn from(e: MappingError) -> Self {
-        DbError::Mapping(e)
-    }
-}
-
-impl From<erbium_storage::StorageError> for DbError {
-    fn from(e: erbium_storage::StorageError) -> Self {
-        DbError::Mapping(MappingError::Storage(e))
-    }
-}
-
-/// Result alias for database operations.
-pub type DbResult<T> = Result<T, DbError>;
+/// Top-level error type of ErbiumDB — the unified, wire-encodable
+/// [`erbium_model::DbError`] with stable numeric codes. Every layer error
+/// (`StorageError`, `EngineError`, `ParseError`, `MappingError`,
+/// `ModelError`) converts into it via `From`, so the embedded API and the
+/// ERSP protocol report identical codes.
+pub use erbium_model::{DbError, DbResult};
 
 /// Result of a query: column names plus rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -271,6 +225,10 @@ pub struct Database {
     /// Group-commit dally window carried from [`DurabilityOptions`] to
     /// [`Database::into_shared`].
     pub(crate) group_commit_window: Duration,
+    /// Session-scoped execution overrides, set through
+    /// [`erbium_model::Connection::set_option`]. Defaults apply until the
+    /// session issues a `SET`; never shared with other sessions.
+    pub(crate) session_ctx: ExecContext,
 }
 
 fn new_slow_log() -> Arc<Mutex<SlowLog>> {
@@ -298,6 +256,7 @@ impl Database {
             slow_log: new_slow_log(),
             plan_cache: Arc::new(PlanCache::default()),
             group_commit_window: Duration::ZERO,
+            session_ctx: ExecContext::default(),
         }
     }
 
@@ -313,6 +272,7 @@ impl Database {
             slow_log: new_slow_log(),
             plan_cache: Arc::new(PlanCache::default()),
             group_commit_window: Duration::ZERO,
+            session_ctx: ExecContext::default(),
         })
     }
 
@@ -329,6 +289,7 @@ impl Database {
             slow_log: new_slow_log(),
             plan_cache: Arc::new(PlanCache::default()),
             group_commit_window: Duration::ZERO,
+            session_ctx: ExecContext::default(),
         }
     }
 
@@ -347,10 +308,10 @@ impl Database {
     pub fn open_with(dir: impl AsRef<Path>, opts: DurabilityOptions) -> DbResult<Database> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir).map_err(|e| {
-            DbError::Mapping(MappingError::Storage(erbium_storage::StorageError::Io(format!(
+            DbError::from(erbium_storage::StorageError::Io(format!(
                 "create database directory {}: {e}",
                 dir.display()
-            ))))
+            )))
         })?;
         let recovered = Catalog::recover(&dir)?;
         let catalog = recovered.catalog;
@@ -364,11 +325,9 @@ impl Database {
         ) {
             (Some(schema), Some(mapping_json)) => {
                 let mapping = Mapping::from_json(mapping_json).map_err(|e| {
-                    DbError::Mapping(MappingError::Storage(
-                        erbium_storage::StorageError::Metadata(format!(
-                            "persisted mapping does not parse: {e}"
-                        )),
-                    ))
+                    DbError::from(erbium_storage::StorageError::Metadata(format!(
+                        "persisted mapping does not parse: {e}"
+                    )))
                 })?;
                 Some(Lowering::build(&schema, &mapping)?)
             }
@@ -386,6 +345,7 @@ impl Database {
             slow_log: new_slow_log(),
             plan_cache: Arc::new(PlanCache::default()),
             group_commit_window: opts.group_commit_window,
+            session_ctx: ExecContext::default(),
         })
     }
 
@@ -449,8 +409,11 @@ impl Database {
                     self.schema.remove_relationship(&name)?;
                     self.plan_cache.invalidate();
                 }
+                Statement::InstallMapping => {
+                    self.install_default()?;
+                }
                 Statement::Select(_) | Statement::Explain(_) => {
-                    self.query_ctx().run_query(sql, &ExecContext::default(), false)?;
+                    self.query_ctx().run_query(sql, &[], &ExecContext::default(), false)?;
                 }
             }
         }
@@ -702,7 +665,16 @@ impl Database {
     /// instrumentation beyond the executor's atomic counters; use
     /// [`Database::query_with`] for the instrumented variant.
     pub fn query(&self, sql: &str) -> DbResult<QueryResult> {
-        self.query_ctx().run_query(sql, &ExecContext::default(), false)
+        self.query_ctx().run_query(sql, &[], &ExecContext::default(), false)
+    }
+
+    /// Run a `?`-parameterized ERQL SELECT, binding `params` positionally
+    /// (left to right). The template is planned once and cached; repeated
+    /// executions with different values hit the plan cache and skip parse
+    /// and plan entirely. Arity is strict: the number of values must match
+    /// the number of `?` placeholders exactly.
+    pub fn query_params(&self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
+        self.query_ctx().run_query(sql, params, &ExecContext::default(), false)
     }
 
     /// Run an ERQL SELECT under an explicit [`ExecContext`] and return the
@@ -713,7 +685,7 @@ impl Database {
     /// carries the optimizer's row estimate, so its rendering shows
     /// estimate-vs-actual q-error per operator.
     pub fn query_with(&self, sql: &str, ctx: &ExecContext) -> DbResult<QueryResult> {
-        self.query_ctx().run_query(sql, ctx, true)
+        self.query_ctx().run_query(sql, &[], ctx, true)
     }
 
     /// Compile an ERQL SELECT to an optimized physical plan (through the
@@ -748,9 +720,9 @@ impl Database {
         let tracer = erbium_obs::Tracer::global();
         tracer
             .set_jsonl_sink(opts.trace_file.as_deref())
-            .map_err(|e| DbError::Mapping(MappingError::Storage(
-                erbium_storage::StorageError::Io(format!("trace sink: {e}")),
-            )))?;
+            .map_err(|e| {
+                DbError::from(erbium_storage::StorageError::Io(format!("trace sink: {e}")))
+            })?;
         tracer.set_enabled(opts.tracing);
         Ok(())
     }
@@ -923,13 +895,18 @@ impl QueryCtx<'_> {
         Ok(plan)
     }
 
-    /// Single entry point behind `query`/`query_with` (on both `Database`
-    /// and `Snapshot`): handles `EXPLAIN SELECT ...`, plans through the
-    /// cache, executes, and optionally collects the per-operator metrics
-    /// tree.
+    /// Single entry point behind `query`/`query_params`/`query_with` (on
+    /// both `Database` and `Snapshot`): handles `EXPLAIN SELECT ...`,
+    /// plans through the cache, binds positional `?` parameters, executes,
+    /// and optionally collects the per-operator metrics tree.
+    ///
+    /// The cache always holds the *template* plan (parameters still as
+    /// `Expr::Param`), so N executions of one `?`-template cost one miss
+    /// and N−1 hits; binding substitutes values on a per-execution copy.
     pub(crate) fn run_query(
         &self,
         sql: &str,
+        params: &[Value],
         ctx: &ExecContext,
         collect_metrics: bool,
     ) -> DbResult<QueryResult> {
@@ -965,11 +942,22 @@ impl QueryCtx<'_> {
             Some(plan) => plan,
             None => self.plan_fresh(sql)?,
         };
-        let mut stream = erbium_engine::execute_streaming(&plan, self.catalog, ctx)
-            .map_err(|e| DbError::Mapping(MappingError::Engine(e)))?;
+        // Parameter binding happens here, after the cache, so the cached
+        // entry stays parameter-shaped and is shared by every binding.
+        // Arity is strict in both directions: executing a `?`-template
+        // without values is as much an error as passing values to a
+        // parameterless statement.
+        let exec_plan: Arc<Plan> =
+            if params.is_empty() && erbium_engine::param_count(&plan) == 0 {
+                Arc::clone(&plan)
+            } else {
+                Arc::new(erbium_engine::bind_params(&plan, params).map_err(DbError::from)?)
+            };
+        let mut stream = erbium_engine::execute_streaming(&exec_plan, self.catalog, ctx)
+            .map_err(DbError::from)?;
         let rows = {
             let _exec_span = erbium_obs::span("execute");
-            stream.drain().map_err(|e| DbError::Mapping(MappingError::Engine(e)))?
+            stream.drain().map_err(DbError::from)?
         };
         let elapsed = t0.elapsed();
 

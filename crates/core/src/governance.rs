@@ -146,7 +146,7 @@ fn collect_stmt_refs(stmt: &SelectStmt, out: &mut Vec<(bool, String)>) {
 fn collect_expr_refs(e: &QExpr, out: &mut Vec<(bool, String)>) {
     match e {
         QExpr::Column { name, .. } => out.push((false, name.clone())),
-        QExpr::Lit(_) => {}
+        QExpr::Lit(_) | QExpr::Param(_) => {}
         QExpr::FieldAccess { base, field } => {
             collect_expr_refs(base, out);
             out.push((false, field.clone()));

@@ -49,16 +49,24 @@
 //! assert_eq!(result.rows.len(), 1);
 //! ```
 
+pub mod connection;
 pub mod database;
 pub mod governance;
 pub mod shared;
 
+pub use connection::{PreparedStatement, SnapshotReads};
 pub use database::{
     Database, DbError, DbResult, DurabilityOptions, ObservabilityOptions, QueryResult,
     SlowQueryRecord, Tx,
 };
 pub use governance::{AccessPolicy, ErasureReport};
 pub use shared::{SharedDatabase, Snapshot};
+
+// The transport-independent client API (see `erbium_model::api`): the
+// [`Connection`] trait implemented by [`Database`], [`SharedDatabase`] and
+// the wire client, re-exported so embedded users need only this crate.
+pub use erbium_model::api::{CacheStats, Connection, ReadSession, Rows, TxOps};
+pub use erbium_model::Value;
 
 // Re-export the layer crates for downstream convenience.
 pub use erbium_advisor as advisor;

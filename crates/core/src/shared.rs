@@ -80,6 +80,12 @@ struct SharedInner {
 #[derive(Clone)]
 pub struct SharedDatabase {
     inner: Arc<SharedInner>,
+    /// Session-scoped execution overrides (see
+    /// [`erbium_model::Connection::set_option`]). Deliberately *outside*
+    /// the shared `Arc`: every clone of the handle is its own session, so
+    /// a `SET threads = 1` in one session can never bleed into another —
+    /// or into the process defaults.
+    pub(crate) session_ctx: ExecContext,
 }
 
 impl Database {
@@ -107,6 +113,19 @@ impl Database {
                 slow_log,
                 plan_cache,
             }),
+            session_ctx: ExecContext::default(),
+        }
+    }
+
+    /// Pin the current state as an immutable [`Snapshot`] without going
+    /// through [`Database::into_shared`]. Subsequent writes through this
+    /// handle detach the tables they touch (copy-on-write), so the
+    /// snapshot keeps returning the pinned answers.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            view: Arc::new(capture_view(self, 0)),
+            slow_log: Arc::clone(&self.slow_log),
+            plan_cache: Arc::clone(&self.plan_cache),
         }
     }
 }
@@ -177,6 +196,12 @@ impl SharedDatabase {
     /// [`Database::query`]).
     pub fn query(&self, sql: &str) -> DbResult<QueryResult> {
         self.snapshot().query(sql)
+    }
+
+    /// One-shot `?`-parameterized query against the latest published
+    /// snapshot (see [`Database::query_params`]).
+    pub fn query_params(&self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
+        self.snapshot().query_params(sql, params)
     }
 
     /// One-shot instrumented query against the latest published snapshot
@@ -370,7 +395,7 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    fn ctx(&self) -> crate::database::QueryCtx<'_> {
+    pub(crate) fn ctx(&self) -> crate::database::QueryCtx<'_> {
         crate::database::QueryCtx {
             schema: &self.view.schema,
             catalog: &self.view.catalog,
@@ -385,13 +410,19 @@ impl Snapshot {
     /// Run an ERQL SELECT against this pinned view (see
     /// [`Database::query`]).
     pub fn query(&self, sql: &str) -> DbResult<QueryResult> {
-        self.ctx().run_query(sql, &ExecContext::default(), false)
+        self.ctx().run_query(sql, &[], &ExecContext::default(), false)
+    }
+
+    /// Run a `?`-parameterized ERQL SELECT against this pinned view (see
+    /// [`Database::query_params`]).
+    pub fn query_params(&self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
+        self.ctx().run_query(sql, params, &ExecContext::default(), false)
     }
 
     /// Instrumented query against this pinned view (see
     /// [`Database::query_with`]).
     pub fn query_with(&self, sql: &str, ctx: &ExecContext) -> DbResult<QueryResult> {
-        self.ctx().run_query(sql, ctx, true)
+        self.ctx().run_query(sql, &[], ctx, true)
     }
 
     /// Fetch one instance by key from this pinned view.

@@ -229,7 +229,7 @@ fn duplicate_key_insert_fails_cleanly() {
     let err = db
         .insert("department", &[("dept_name", Value::str("cs"))])
         .unwrap_err();
-    assert!(matches!(err, DbError::Mapping(_)));
+    assert!(matches!(err, DbError::Storage(_)));
     // Database still consistent.
     assert_eq!(db.query("SELECT d.dept_name FROM department d").unwrap().rows.len(), 1);
 }
@@ -358,7 +358,7 @@ fn transaction_failed_operation_rolls_back_earlier_ones() {
             )
         })
         .unwrap_err();
-    assert!(matches!(err, DbError::Mapping(_)), "{err}");
+    assert!(matches!(err, DbError::Storage(_)), "{err}");
     assert!(db.get("student", &[Value::Int(55)]).unwrap().is_none());
 }
 

@@ -43,5 +43,15 @@ impl From<StorageError> for EngineError {
     }
 }
 
+impl From<EngineError> for erbium_model::DbError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Storage(s) => s.into(),
+            EngineError::Cancelled => erbium_model::DbError::Cancelled,
+            other => erbium_model::DbError::Engine(other.to_string()),
+        }
+    }
+}
+
 /// Result alias for engine operations.
 pub type EngineResult<T> = Result<T, EngineError>;

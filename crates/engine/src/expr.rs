@@ -71,6 +71,10 @@ pub enum Expr {
     Col(usize),
     /// A literal value.
     Lit(Value),
+    /// Positional `?` placeholder of a prepared template. Substituted with
+    /// a literal by [`crate::plan::bind_params`] before execution; a
+    /// `Param` reaching [`Expr::eval`] is an unbound-parameter error.
+    Param(u16),
     Binary { op: BinOp, left: Box<Expr>, right: Box<Expr> },
     Unary { op: UnOp, expr: Box<Expr> },
     Func { func: ScalarFunc, args: Vec<Expr> },
@@ -160,7 +164,7 @@ impl Expr {
     fn collect_columns(&self, out: &mut Vec<usize>) {
         match self {
             Expr::Col(i) => out.push(*i),
-            Expr::Lit(_) => {}
+            Expr::Lit(_) | Expr::Param(_) => {}
             Expr::Binary { left, right, .. } => {
                 left.collect_columns(out);
                 right.collect_columns(out);
@@ -184,6 +188,7 @@ impl Expr {
         match self {
             Expr::Col(i) => Expr::Col(f(*i)),
             Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Param(n) => Expr::Param(*n),
             Expr::Binary { op, left, right } => Expr::Binary {
                 op: *op,
                 left: Box::new(left.map_columns(f)),
@@ -219,6 +224,9 @@ impl Expr {
                 .cloned()
                 .ok_or_else(|| EngineError::Plan(format!("column #{i} out of range ({})", row.len()))),
             Expr::Lit(v) => Ok(v.clone()),
+            Expr::Param(n) => Err(EngineError::Plan(format!(
+                "unbound parameter ?{n} — bind_params must run before execution"
+            ))),
             Expr::Binary { op, left, right } => {
                 let l = left.eval(row)?;
                 // Short-circuit Kleene AND/OR.
@@ -289,7 +297,7 @@ impl Expr {
     /// preserve the original (user/pushdown) order via stable sort.
     pub fn cost_rank(&self) -> u32 {
         match self {
-            Expr::Lit(_) => 0,
+            Expr::Lit(_) | Expr::Param(_) => 0,
             Expr::Col(_) => 1,
             Expr::IsNull(e) | Expr::IsNotNull(e) => 1 + e.cost_rank(),
             Expr::Field { expr, .. } => 1 + expr.cost_rank(),
@@ -496,6 +504,7 @@ impl fmt::Display for Expr {
         match self {
             Expr::Col(i) => write!(f, "#{i}"),
             Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Param(n) => write!(f, "?{n}"),
             Expr::Binary { op, left, right } => write!(f, "({left} {op:?} {right})"),
             Expr::Unary { op, expr } => write!(f, "({op:?} {expr})"),
             Expr::Func { func, args } => {

@@ -56,7 +56,7 @@ pub use exec::{
 };
 pub use expr::{BinOp, Expr, ScalarFunc, UnOp};
 pub use metrics::{ExecMetrics, OpMetrics};
-pub use plan::{Field, JoinKind, Plan, PlanKind, SortKey};
+pub use plan::{bind_params, param_count, Field, JoinKind, Plan, PlanKind, SortKey};
 pub use plan_cache::{normalize_sql, PlanCache, PlanCacheStats};
 pub use pool::WorkerPool;
 pub use stream::{BoxedRowStream, RowStream};

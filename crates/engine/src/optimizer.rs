@@ -891,6 +891,7 @@ fn substitute_columns(pred: &Expr, projection: &[Expr]) -> Expr {
     match pred {
         Expr::Col(i) => projection.get(*i).cloned().unwrap_or_else(|| pred.clone()),
         Expr::Lit(v) => Expr::Lit(v.clone()),
+        Expr::Param(n) => Expr::Param(*n),
         Expr::Binary { op, left, right } => Expr::Binary {
             op: *op,
             left: Box::new(substitute_columns(left, projection)),

@@ -448,6 +448,9 @@ pub fn infer_type(expr: &Expr, input: &[Field]) -> DataType {
     match expr {
         Expr::Col(i) => input.get(*i).map(|f| f.dtype.clone()).unwrap_or(DataType::Text),
         Expr::Lit(v) => v.data_type().unwrap_or(DataType::Text),
+        // A parameter's type is unknown until bind time; Text is the same
+        // "don't know" fallback the other arms use.
+        Expr::Param(_) => DataType::Text,
         Expr::Binary { op, left, right } => {
             if op.is_comparison() || matches!(op, BinOp::And | BinOp::Or) {
                 DataType::Bool
@@ -485,6 +488,210 @@ pub fn infer_type(expr: &Expr, input: &[Field]) -> DataType {
         },
         Expr::InSet { .. } | Expr::IsNull(_) | Expr::IsNotNull(_) => DataType::Bool,
     }
+}
+
+// ---- prepared-statement parameter binding ----------------------------------
+
+/// Number of positional parameters a plan expects: one past the highest
+/// `?n` placeholder anywhere in the plan (0 for a parameter-free plan).
+pub fn param_count(plan: &Plan) -> usize {
+    fn expr_max(e: &Expr, max: &mut Option<u16>) {
+        match e {
+            Expr::Param(n) => *max = Some(max.map_or(*n, |m| m.max(*n))),
+            Expr::Col(_) | Expr::Lit(_) => {}
+            Expr::Binary { left, right, .. } => {
+                expr_max(left, max);
+                expr_max(right, max);
+            }
+            Expr::Unary { expr, .. }
+            | Expr::Field { expr, .. }
+            | Expr::InSet { expr, .. }
+            | Expr::IsNull(expr)
+            | Expr::IsNotNull(expr) => expr_max(expr, max),
+            Expr::Func { args, .. } => {
+                for a in args {
+                    expr_max(a, max);
+                }
+            }
+        }
+    }
+    let mut max = None;
+    walk_exprs(plan, &mut |e| expr_max(e, &mut max));
+    max.map(|m| m as usize + 1).unwrap_or(0)
+}
+
+/// Visit every expression in a plan tree (filters, predicates, projections,
+/// join keys, sort keys, aggregate arguments — everywhere an [`Expr`] can
+/// hide).
+fn walk_exprs(plan: &Plan, f: &mut impl FnMut(&Expr)) {
+    match &plan.kind {
+        PlanKind::Scan { filters, .. } | PlanKind::FactorizedScan { filters, .. } => {
+            filters.iter().for_each(&mut *f)
+        }
+        PlanKind::IndexLookup { residual, .. } => residual.iter().for_each(&mut *f),
+        PlanKind::IndexRange { residual, .. } => residual.iter().for_each(&mut *f),
+        PlanKind::FactorizedCount { .. } | PlanKind::Values { .. } => {}
+        PlanKind::Filter { input, predicate } => {
+            f(predicate);
+            walk_exprs(input, f);
+        }
+        PlanKind::Project { input, exprs } => {
+            exprs.iter().for_each(&mut *f);
+            walk_exprs(input, f);
+        }
+        PlanKind::Join { left, right, left_keys, right_keys, .. } => {
+            left_keys.iter().for_each(&mut *f);
+            right_keys.iter().for_each(&mut *f);
+            walk_exprs(left, f);
+            walk_exprs(right, f);
+        }
+        PlanKind::Aggregate { input, group, aggs } => {
+            group.iter().for_each(&mut *f);
+            for a in aggs {
+                f(&a.arg);
+            }
+            walk_exprs(input, f);
+        }
+        PlanKind::Unnest { input, .. }
+        | PlanKind::Limit { input, .. }
+        | PlanKind::Distinct { input } => walk_exprs(input, f),
+        PlanKind::Sort { input, keys } => {
+            for k in keys {
+                f(&k.expr);
+            }
+            walk_exprs(input, f);
+        }
+        PlanKind::Union { inputs } => {
+            for p in inputs {
+                walk_exprs(p, f);
+            }
+        }
+    }
+}
+
+/// Substitute every `?n` placeholder with `params[n]`, returning a bound
+/// copy of the plan ready for execution. The template plan is untouched —
+/// it stays in the plan cache and is re-bound per execute.
+///
+/// Errors if the plan references a parameter index `params` does not cover
+/// or if surplus values are supplied (arity is part of the statement's
+/// contract, and silently ignoring values hides caller bugs).
+pub fn bind_params(plan: &Plan, params: &[Value]) -> EngineResult<Plan> {
+    let expected = param_count(plan);
+    if expected != params.len() {
+        return Err(EngineError::Plan(format!(
+            "statement expects {expected} parameter(s), got {}",
+            params.len()
+        )));
+    }
+    if expected == 0 {
+        return Ok(plan.clone());
+    }
+    fn bind_expr(e: &Expr, params: &[Value]) -> Expr {
+        match e {
+            Expr::Param(n) => Expr::Lit(params[*n as usize].clone()),
+            Expr::Col(_) | Expr::Lit(_) => e.clone(),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(bind_expr(left, params)),
+                right: Box::new(bind_expr(right, params)),
+            },
+            Expr::Unary { op, expr } => {
+                Expr::Unary { op: *op, expr: Box::new(bind_expr(expr, params)) }
+            }
+            Expr::Func { func, args } => Expr::Func {
+                func: *func,
+                args: args.iter().map(|a| bind_expr(a, params)).collect(),
+            },
+            Expr::Field { expr, index } => {
+                Expr::Field { expr: Box::new(bind_expr(expr, params)), index: *index }
+            }
+            Expr::InSet { expr, set } => Expr::InSet {
+                expr: Box::new(bind_expr(expr, params)),
+                set: std::sync::Arc::clone(set),
+            },
+            Expr::IsNull(e) => Expr::IsNull(Box::new(bind_expr(e, params))),
+            Expr::IsNotNull(e) => Expr::IsNotNull(Box::new(bind_expr(e, params))),
+        }
+    }
+    fn bind_plan(plan: &Plan, params: &[Value]) -> Plan {
+        let bind_vec = |es: &[Expr]| es.iter().map(|e| bind_expr(e, params)).collect();
+        let kind = match &plan.kind {
+            PlanKind::Scan { table, filters, projection } => PlanKind::Scan {
+                table: table.clone(),
+                filters: bind_vec(filters),
+                projection: projection.clone(),
+            },
+            PlanKind::IndexLookup { table, columns, keys, residual } => PlanKind::IndexLookup {
+                table: table.clone(),
+                columns: columns.clone(),
+                keys: keys.clone(),
+                residual: bind_vec(residual),
+            },
+            PlanKind::IndexRange { table, column, lo, hi, residual } => PlanKind::IndexRange {
+                table: table.clone(),
+                column: *column,
+                lo: lo.clone(),
+                hi: hi.clone(),
+                residual: bind_vec(residual),
+            },
+            PlanKind::FactorizedScan { table, side, filters } => PlanKind::FactorizedScan {
+                table: table.clone(),
+                side: *side,
+                filters: bind_vec(filters),
+            },
+            PlanKind::FactorizedCount { table } => {
+                PlanKind::FactorizedCount { table: table.clone() }
+            }
+            PlanKind::Filter { input, predicate } => PlanKind::Filter {
+                input: Box::new(bind_plan(input, params)),
+                predicate: bind_expr(predicate, params),
+            },
+            PlanKind::Project { input, exprs } => PlanKind::Project {
+                input: Box::new(bind_plan(input, params)),
+                exprs: bind_vec(exprs),
+            },
+            PlanKind::Join { left, right, kind, left_keys, right_keys } => PlanKind::Join {
+                left: Box::new(bind_plan(left, params)),
+                right: Box::new(bind_plan(right, params)),
+                kind: *kind,
+                left_keys: bind_vec(left_keys),
+                right_keys: bind_vec(right_keys),
+            },
+            PlanKind::Aggregate { input, group, aggs } => PlanKind::Aggregate {
+                input: Box::new(bind_plan(input, params)),
+                group: bind_vec(group),
+                aggs: aggs
+                    .iter()
+                    .map(|a| AggCall { func: a.func, arg: bind_expr(&a.arg, params) })
+                    .collect(),
+            },
+            PlanKind::Unnest { input, column, keep_empty } => PlanKind::Unnest {
+                input: Box::new(bind_plan(input, params)),
+                column: *column,
+                keep_empty: *keep_empty,
+            },
+            PlanKind::Sort { input, keys } => PlanKind::Sort {
+                input: Box::new(bind_plan(input, params)),
+                keys: keys
+                    .iter()
+                    .map(|k| SortKey { expr: bind_expr(&k.expr, params), desc: k.desc })
+                    .collect(),
+            },
+            PlanKind::Limit { input, limit } => {
+                PlanKind::Limit { input: Box::new(bind_plan(input, params)), limit: *limit }
+            }
+            PlanKind::Distinct { input } => {
+                PlanKind::Distinct { input: Box::new(bind_plan(input, params)) }
+            }
+            PlanKind::Union { inputs } => {
+                PlanKind::Union { inputs: inputs.iter().map(|p| bind_plan(p, params)).collect() }
+            }
+            PlanKind::Values { rows } => PlanKind::Values { rows: rows.clone() },
+        };
+        Plan { kind, fields: plan.fields.clone() }
+    }
+    Ok(bind_plan(plan, params))
 }
 
 fn infer_agg_type(call: &AggCall, input: &[Field]) -> DataType {

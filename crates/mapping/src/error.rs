@@ -55,5 +55,19 @@ impl From<EngineError> for MappingError {
     }
 }
 
+impl From<MappingError> for erbium_model::DbError {
+    fn from(e: MappingError) -> Self {
+        // Dispatch nested layer errors to their own categories so a
+        // duplicate key reports `Storage` whether it surfaced through the
+        // mapping layer or directly.
+        match e {
+            MappingError::Model(m) => m.into(),
+            MappingError::Storage(s) => s.into(),
+            MappingError::Engine(en) => en.into(),
+            other => erbium_model::DbError::Mapping(other.to_string()),
+        }
+    }
+}
+
 /// Result alias for mapping operations.
 pub type MappingResult<T> = Result<T, MappingError>;

@@ -1150,7 +1150,7 @@ impl<'a> QueryRewriter<'a> {
                 Ok(())
             }
             QExpr::Unnest(inner) => self.collect_mv_refs(scope, inner, true, out),
-            QExpr::Lit(_) => Ok(()),
+            QExpr::Lit(_) | QExpr::Param(_) => Ok(()),
             QExpr::FieldAccess { base, .. } => self.collect_mv_refs(scope, base, in_unnest, out),
             QExpr::Binary { left, right, .. } => {
                 self.collect_mv_refs(scope, left, in_unnest, out)?;
@@ -1445,6 +1445,7 @@ impl<'a> QueryRewriter<'a> {
                 }
             }
             QExpr::Lit(l) => Ok(Expr::Lit(lit_value(l))),
+            QExpr::Param(n) => Ok(Expr::Param(*n)),
             QExpr::Binary { op, left, right } => Ok(Expr::binary(
                 bin_op(*op),
                 self.expr(scope, left)?,
@@ -1634,7 +1635,7 @@ fn collect_column_refs_stmt(stmt: &SelectStmt, out: &mut Vec<String>) {
 fn collect_column_refs(e: &QExpr, out: &mut Vec<String>) {
     match e {
         QExpr::Column { name, .. } => out.push(name.clone()),
-        QExpr::Lit(_) => {}
+        QExpr::Lit(_) | QExpr::Param(_) => {}
         QExpr::FieldAccess { base, .. } => collect_column_refs(base, out),
         QExpr::Binary { left, right, .. } => {
             collect_column_refs(left, out);

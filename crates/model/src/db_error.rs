@@ -1,0 +1,205 @@
+//! The unified public error type of ErbiumDB.
+//!
+//! Every error a caller can observe — through the embedded `Database` API
+//! or an ERSP error frame on the wire — is one [`DbError`]. Each variant
+//! has a **stable numeric code** ([`DbError::code`]) so the protocol's
+//! error frames and the embedded API report identical classifications, and
+//! [`DbError::from_wire`] reconstructs the variant from `(code, message)`
+//! on the client side.
+//!
+//! The per-layer error enums (`StorageError`, `EngineError`, `ParseError`,
+//! `MappingError`) still exist inside their crates — rich, typed, pattern-
+//! matchable. This type is the *surface*: each layer crate provides a
+//! `From<LayerError> for DbError` impl that collapses to a category + a
+//! rendered message, which is exactly what crosses an API or wire boundary.
+
+use std::fmt;
+
+/// Top-level error type of ErbiumDB. Payload-carrying variants hold the
+/// rendered message (not the source enum) so every variant round-trips
+/// through `(code, message)` wire frames losslessly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// ERQL lexing / parsing failed.
+    Parse(String),
+    /// E/R schema error (validation, unknown entity/attribute, ...).
+    Model(String),
+    /// Mapping-layer error (invalid cover, unsupported construct, bad
+    /// payload, binding failure).
+    Mapping(String),
+    /// Physical storage error (duplicate key, missing table/row, I/O,
+    /// corruption, ...).
+    Storage(String),
+    /// Query-engine evaluation or planning error.
+    Engine(String),
+    /// Query cancelled cooperatively.
+    Cancelled,
+    /// No mapping installed yet (DDL-only phase), or operation requires one.
+    NotInstalled,
+    /// A mapping is already installed; use `evolve`/`remap`.
+    AlreadyInstalled,
+    /// Query rejected by the active access policy.
+    PolicyViolation(String),
+    /// Malformed ERSP frame or out-of-protocol request.
+    Protocol(String),
+    /// Server admission control rejected the request: too many queries
+    /// in flight and the wait queue is full. Retry with backoff.
+    Overloaded,
+    /// Client-side transport failure (connect, read, write, disconnect).
+    Connection(String),
+    /// Catch-all for codes a newer peer emits that this side predates.
+    Internal(String),
+}
+
+impl DbError {
+    /// Stable numeric code of this error's category. Codes are part of the
+    /// wire protocol: never renumber an existing variant.
+    pub fn code(&self) -> u16 {
+        match self {
+            DbError::Parse(_) => 10,
+            DbError::Model(_) => 20,
+            DbError::Mapping(_) => 30,
+            DbError::Storage(_) => 40,
+            DbError::Engine(_) => 50,
+            DbError::Cancelled => 51,
+            DbError::NotInstalled => 60,
+            DbError::AlreadyInstalled => 61,
+            DbError::PolicyViolation(_) => 62,
+            DbError::Protocol(_) => 70,
+            DbError::Overloaded => 71,
+            DbError::Connection(_) => 72,
+            DbError::Internal(_) => 99,
+        }
+    }
+
+    /// The message payload as it should travel in an error frame. Unit
+    /// variants send an empty message; their meaning is fully carried by
+    /// the code.
+    pub fn wire_message(&self) -> &str {
+        match self {
+            DbError::Parse(m)
+            | DbError::Model(m)
+            | DbError::Mapping(m)
+            | DbError::Storage(m)
+            | DbError::Engine(m)
+            | DbError::PolicyViolation(m)
+            | DbError::Protocol(m)
+            | DbError::Connection(m)
+            | DbError::Internal(m) => m,
+            DbError::Cancelled
+            | DbError::NotInstalled
+            | DbError::AlreadyInstalled
+            | DbError::Overloaded => "",
+        }
+    }
+
+    /// Reconstruct the variant an error frame encodes. Unknown codes fold
+    /// into [`DbError::Internal`] (a newer server may emit codes this
+    /// client predates) — the message survives either way.
+    pub fn from_wire(code: u16, message: String) -> DbError {
+        match code {
+            10 => DbError::Parse(message),
+            20 => DbError::Model(message),
+            30 => DbError::Mapping(message),
+            40 => DbError::Storage(message),
+            50 => DbError::Engine(message),
+            51 => DbError::Cancelled,
+            60 => DbError::NotInstalled,
+            61 => DbError::AlreadyInstalled,
+            62 => DbError::PolicyViolation(message),
+            70 => DbError::Protocol(message),
+            71 => DbError::Overloaded,
+            72 => DbError::Connection(message),
+            99 => DbError::Internal(message),
+            _ => DbError::Internal(format!("unknown error code {code}: {message}")),
+        }
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::Model(m) => write!(f, "schema error: {m}"),
+            DbError::Mapping(m) => write!(f, "{m}"),
+            DbError::Storage(m) => write!(f, "storage error: {m}"),
+            DbError::Engine(m) => write!(f, "engine error: {m}"),
+            DbError::Cancelled => write!(f, "query cancelled"),
+            DbError::NotInstalled => write!(f, "no physical mapping installed"),
+            DbError::AlreadyInstalled => {
+                write!(f, "a mapping is already installed; use evolve() or remap()")
+            }
+            DbError::PolicyViolation(m) => write!(f, "access policy violation: {m}"),
+            DbError::Protocol(m) => write!(f, "protocol error: {m}"),
+            DbError::Overloaded => write!(f, "server overloaded; retry later"),
+            DbError::Connection(m) => write!(f, "connection error: {m}"),
+            DbError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<crate::error::ModelError> for DbError {
+    fn from(e: crate::error::ModelError) -> Self {
+        DbError::Model(e.to_string())
+    }
+}
+
+/// Result alias for database operations.
+pub type DbResult<T> = Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every variant must survive a `(code, message)` round trip — that is
+    /// the wire contract of ERSP error frames.
+    #[test]
+    fn wire_round_trip_all_variants() {
+        let all = vec![
+            DbError::Parse("p".into()),
+            DbError::Model("m".into()),
+            DbError::Mapping("x".into()),
+            DbError::Storage("s".into()),
+            DbError::Engine("e".into()),
+            DbError::Cancelled,
+            DbError::NotInstalled,
+            DbError::AlreadyInstalled,
+            DbError::PolicyViolation("v".into()),
+            DbError::Protocol("f".into()),
+            DbError::Overloaded,
+            DbError::Connection("c".into()),
+            DbError::Internal("i".into()),
+        ];
+        for e in all {
+            let back = DbError::from_wire(e.code(), e.wire_message().to_string());
+            assert_eq!(back, e, "code {} did not round-trip", e.code());
+        }
+    }
+
+    #[test]
+    fn codes_are_distinct_and_stable() {
+        // The exact numbers are part of the protocol; this test freezes them.
+        assert_eq!(DbError::Parse(String::new()).code(), 10);
+        assert_eq!(DbError::Model(String::new()).code(), 20);
+        assert_eq!(DbError::Mapping(String::new()).code(), 30);
+        assert_eq!(DbError::Storage(String::new()).code(), 40);
+        assert_eq!(DbError::Engine(String::new()).code(), 50);
+        assert_eq!(DbError::Cancelled.code(), 51);
+        assert_eq!(DbError::NotInstalled.code(), 60);
+        assert_eq!(DbError::AlreadyInstalled.code(), 61);
+        assert_eq!(DbError::PolicyViolation(String::new()).code(), 62);
+        assert_eq!(DbError::Protocol(String::new()).code(), 70);
+        assert_eq!(DbError::Overloaded.code(), 71);
+        assert_eq!(DbError::Connection(String::new()).code(), 72);
+        assert_eq!(DbError::Internal(String::new()).code(), 99);
+    }
+
+    #[test]
+    fn unknown_code_folds_to_internal() {
+        let e = DbError::from_wire(1234, "future variant".into());
+        assert!(matches!(e, DbError::Internal(_)));
+        assert_eq!(e.code(), 99);
+    }
+}

@@ -22,14 +22,20 @@
 //!   the graph exposes exactly the operations the mapping layer needs:
 //!   membership, adjacency, and connectivity of induced subgraphs.
 
+pub mod api;
 pub mod attr;
+pub mod db_error;
 pub mod error;
 pub mod fixtures;
 pub mod graph;
 pub mod schema;
+pub mod value;
 
+pub use api::{Connection, ReadSession, Rows, TxOps};
 pub use attr::{AttrType, Attribute, ScalarType};
+pub use db_error::{DbError, DbResult};
 pub use error::{ModelError, ModelResult};
+pub use value::{DataType, Value};
 pub use graph::{ErGraph, NodeId, NodeKind};
 pub use schema::{
     Cardinality, EntitySet, ErSchema, Participation, RelEnd, Relationship, Specialization, WeakInfo,

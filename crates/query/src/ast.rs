@@ -16,6 +16,11 @@ pub enum Statement {
     /// `EXPLAIN SELECT ...` — show the physical plan chosen under the
     /// installed mapping instead of executing.
     Explain(SelectStmt),
+    /// `INSTALL MAPPING DEFAULT` — lower the declared schema with the
+    /// default (fully normalized) mapping. This is what lets a client
+    /// bring an empty networked server all the way to queryable over the
+    /// wire: DDL, then INSTALL, then data.
+    InstallMapping,
 }
 
 /// `CREATE [WEAK] ENTITY name [EXTENDS parent] [OWNED BY owner VIA rel]
@@ -179,6 +184,10 @@ pub enum QExpr {
     /// Composite-attribute field access: `alias.attr.field`.
     FieldAccess { base: Box<QExpr>, field: String },
     Lit(Literal),
+    /// Positional `?` placeholder, numbered left to right from 0 within
+    /// one statement. Bound to a value at execute time (prepared
+    /// statements); the `?`-template is what the plan cache keys on.
+    Param(u16),
     Binary { op: QBinOp, left: Box<QExpr>, right: Box<QExpr> },
     Not(Box<QExpr>),
     Neg(Box<QExpr>),
@@ -206,7 +215,7 @@ impl QExpr {
     pub fn contains_aggregate(&self) -> bool {
         match self {
             QExpr::Agg { .. } => true,
-            QExpr::Column { .. } | QExpr::Lit(_) => false,
+            QExpr::Column { .. } | QExpr::Lit(_) | QExpr::Param(_) => false,
             QExpr::FieldAccess { base, .. } => base.contains_aggregate(),
             QExpr::Binary { left, right, .. } => {
                 left.contains_aggregate() || right.contains_aggregate()
@@ -222,7 +231,7 @@ impl QExpr {
     pub fn contains_unnest(&self) -> bool {
         match self {
             QExpr::Unnest(_) => true,
-            QExpr::Column { .. } | QExpr::Lit(_) => false,
+            QExpr::Column { .. } | QExpr::Lit(_) | QExpr::Param(_) => false,
             QExpr::FieldAccess { base, .. } => base.contains_unnest(),
             QExpr::Binary { left, right, .. } => left.contains_unnest() || right.contains_unnest(),
             QExpr::Not(e) | QExpr::Neg(e) => e.contains_unnest(),

@@ -23,5 +23,11 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+impl From<ParseError> for erbium_model::DbError {
+    fn from(e: ParseError) -> Self {
+        erbium_model::DbError::Parse(e.to_string())
+    }
+}
+
 /// Result alias for parsing.
 pub type ParseResult<T> = Result<T, ParseError>;

@@ -29,6 +29,8 @@ pub enum Token {
     Le,
     Gt,
     Ge,
+    /// Positional parameter placeholder `?` (prepared statements).
+    Qmark,
 }
 
 /// A token plus its source offset (for error messages).
@@ -44,7 +46,7 @@ const KEYWORDS: &[&str] = &[
     "FALSE", "CREATE", "DROP", "ENTITY", "WEAK", "OWNED", "EXTENDS", "RELATIONSHIP", "TO",
     "ONE", "MANY", "TOTAL", "PARTIAL", "DISJOINT", "OVERLAPPING", "KEY", "MULTIVALUED",
     "NULLABLE", "DESCRIPTION", "TAG", "ROLE", "COUNT", "SUM", "AVG", "MIN", "MAX", "ARRAY_AGG",
-    "UNNEST", "EXPLAIN",
+    "UNNEST", "EXPLAIN", "INSTALL", "MAPPING", "DEFAULT",
 ];
 
 /// Tokenize the whole input.
@@ -104,6 +106,10 @@ pub fn lex(input: &str) -> ParseResult<Vec<Spanned>> {
             }
             '=' => {
                 out.push(Spanned { token: Token::Eq, offset: i });
+                i += 1;
+            }
+            '?' => {
+                out.push(Spanned { token: Token::Qmark, offset: i });
                 i += 1;
             }
             '!' if bytes.get(i + 1) == Some(&b'=') => {
@@ -253,6 +259,12 @@ mod tests {
     #[test]
     fn unterminated_string_errors() {
         assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn question_mark_placeholder() {
+        let toks = lex("a = ?").unwrap();
+        assert_eq!(toks[2].token, Token::Qmark);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::lexer::{lex, Spanned, Token};
 /// Parse a script of `;`-separated statements.
 pub fn parse(input: &str) -> ParseResult<Vec<Statement>> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser { tokens, pos: 0, next_param: 0 };
     let mut out = Vec::new();
     while !p.at_end() {
         out.push(p.statement()?);
@@ -29,7 +29,7 @@ pub fn parse_single(input: &str) -> ParseResult<Statement> {
 /// workload templates).
 pub fn parse_expression(input: &str) -> ParseResult<QExpr> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser { tokens, pos: 0, next_param: 0 };
     let e = p.expr()?;
     if !p.at_end() {
         return Err(p.err("trailing input after expression"));
@@ -40,6 +40,9 @@ pub fn parse_expression(input: &str) -> ParseResult<QExpr> {
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    /// Next positional `?` parameter number. Placeholders are numbered
+    /// left to right within one statement; reset at each statement start.
+    next_param: u16,
 }
 
 impl Parser {
@@ -132,6 +135,7 @@ impl Parser {
     // ---- statements --------------------------------------------------------
 
     fn statement(&mut self) -> ParseResult<Statement> {
+        self.next_param = 0;
         if self.peek_kw("CREATE") {
             self.create()
         } else if self.eat_kw("DROP") {
@@ -146,6 +150,10 @@ impl Parser {
             Ok(Statement::Select(self.select()?))
         } else if self.eat_kw("EXPLAIN") {
             Ok(Statement::Explain(self.select()?))
+        } else if self.eat_kw("INSTALL") {
+            self.expect_kw("MAPPING")?;
+            self.expect_kw("DEFAULT")?;
+            Ok(Statement::InstallMapping)
         } else {
             Err(self.err(format!("expected statement, found {:?}", self.peek())))
         }
@@ -535,6 +543,14 @@ impl Parser {
             Some(Token::Str(s)) => {
                 self.pos += 1;
                 Ok(QExpr::Lit(Literal::Str(s)))
+            }
+            Some(Token::Qmark) => {
+                self.pos += 1;
+                let n = self.next_param;
+                self.next_param = n.checked_add(1).ok_or_else(|| {
+                    ParseError::new("too many `?` parameters in one statement", self.offset())
+                })?;
+                Ok(QExpr::Param(n))
             }
             Some(Token::Keyword(k)) => match k.as_str() {
                 "NULL" => {

@@ -1,0 +1,82 @@
+//! Standalone ERSP server binary.
+//!
+//! ```text
+//! erbium-server [--addr HOST:PORT] [--data-dir DIR] [--max-in-flight N]
+//!               [--queue-depth N] [--idle-timeout-secs N]
+//! ```
+//!
+//! With `--data-dir` the database is durable (WAL + checkpoints in DIR,
+//! created if missing); without it the server runs in-memory — define a
+//! schema over the wire with `Execute` and it lives for the process.
+
+use erbium_core::{Database, DurabilityOptions};
+use erbium_server::{Server, ServerOptions};
+use std::time::Duration;
+
+fn main() {
+    let mut addr = "127.0.0.1:5698".to_string();
+    let mut data_dir: Option<String> = None;
+    let mut opts = ServerOptions::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--data-dir" => data_dir = Some(value("--data-dir")),
+            "--max-in-flight" => opts.max_in_flight = parse_num(&value("--max-in-flight")),
+            "--queue-depth" => opts.queue_depth = parse_num(&value("--queue-depth")),
+            "--idle-timeout-secs" => {
+                opts.idle_timeout = Duration::from_secs(parse_num(&value("--idle-timeout-secs")) as u64)
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: erbium-server [--addr HOST:PORT] [--data-dir DIR] \
+                     [--max-in-flight N] [--queue-depth N] [--idle-timeout-secs N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("error: unknown argument '{other}' (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let db = match &data_dir {
+        Some(dir) => Database::open_with(dir, DurabilityOptions::default())
+            .unwrap_or_else(|e| {
+                eprintln!("error: open {dir}: {e}");
+                std::process::exit(1);
+            }),
+        None => Database::new(),
+    };
+
+    let server = Server::bind(addr.as_str(), db.into_shared(), opts).unwrap_or_else(|e| {
+        eprintln!("error: bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "erbium-server listening on {} ({})",
+        server.local_addr(),
+        data_dir.as_deref().map(|d| format!("durable: {d}")).unwrap_or("in-memory".into())
+    );
+
+    // Serve until killed. The acceptor and session threads do the work;
+    // this thread just keeps the process alive.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn parse_num(s: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("error: expected a number, got '{s}'");
+        std::process::exit(2);
+    })
+}

@@ -1,0 +1,604 @@
+//! # erbium-server
+//!
+//! The ERSP network front end: serves a [`SharedDatabase`] over TCP using
+//! the frame protocol defined in [`erbium_client::protocol`].
+//!
+//! Design (see DESIGN.md §13):
+//!
+//! * **Thread-per-connection** over blocking sockets — no async runtime
+//!   (std-only, like the rest of the workspace). The engine already
+//!   parallelizes *inside* a query via its worker pool; connection threads
+//!   only do protocol work and block on I/O, so one OS thread per session
+//!   is the honest, simple model at this prototype's scale.
+//! * **Sessions are `Connection`s.** Each accepted socket gets its own
+//!   clone of the [`SharedDatabase`] handle, driven through the very same
+//!   [`erbium_core::Connection`] trait the embedded API exposes. The
+//!   server is a protocol shim, not a second execution path: `SET` options
+//!   live in the clone's session context, prepared statements and pinned
+//!   snapshots live in per-session tables, and dropping the connection
+//!   drops them all.
+//! * **Admission control**: at most `max_in_flight` requests execute
+//!   concurrently; up to `queue_depth` more wait their turn; beyond that
+//!   the server answers [`DbError::Overloaded`] *without* executing —
+//!   load-shedding by refusal, never by unbounded queueing.
+//! * **Idle timeout** via socket read timeouts; **graceful drain** stops
+//!   the acceptor, lets in-flight requests finish, and wakes idle
+//!   connections so their threads exit.
+
+use erbium_client::protocol::{
+    read_frame, write_frame, Request, Response, TxOp, WireError, MAX_FRAME, PROTOCOL_VERSION,
+};
+use erbium_core::{Connection, DbError, PreparedStatement, ReadSession, SharedDatabase, SnapshotReads};
+use erbium_model::api::Rows;
+use erbium_model::{DbResult, Value};
+use std::sync::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---- metrics -----------------------------------------------------------------
+
+fn m_connections() -> &'static erbium_obs::Counter {
+    static H: std::sync::OnceLock<Arc<erbium_obs::Counter>> = std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global()
+            .counter("erbium_server_connections_total", "Client connections accepted")
+    })
+}
+
+fn m_active() -> &'static erbium_obs::Gauge {
+    static H: std::sync::OnceLock<Arc<erbium_obs::Gauge>> = std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global()
+            .gauge("erbium_server_active_sessions", "Currently connected sessions")
+    })
+}
+
+fn m_requests() -> &'static erbium_obs::Counter {
+    static H: std::sync::OnceLock<Arc<erbium_obs::Counter>> = std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global()
+            .counter("erbium_server_requests_total", "Requests handled (all kinds)")
+    })
+}
+
+fn m_overloaded() -> &'static erbium_obs::Counter {
+    static H: std::sync::OnceLock<Arc<erbium_obs::Counter>> = std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global().counter(
+            "erbium_server_overloaded_total",
+            "Requests refused by admission control",
+        )
+    })
+}
+
+fn m_frame_errors() -> &'static erbium_obs::Counter {
+    static H: std::sync::OnceLock<Arc<erbium_obs::Counter>> = std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global().counter(
+            "erbium_server_frame_errors_total",
+            "Connections dropped on malformed frames",
+        )
+    })
+}
+
+// ---- options -----------------------------------------------------------------
+
+/// Server tuning knobs, all with serve-a-benchmark-on-a-laptop defaults.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Requests allowed to execute concurrently before new arrivals queue.
+    pub max_in_flight: usize,
+    /// Requests allowed to *wait* for an execution slot; arrivals beyond
+    /// in-flight + queued are refused with `DbError::Overloaded`.
+    pub queue_depth: usize,
+    /// Close a session after this long without receiving a frame.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            max_in_flight: 32,
+            queue_depth: 64,
+            idle_timeout: Duration::from_secs(300),
+        }
+    }
+}
+
+// ---- admission control -------------------------------------------------------
+
+/// Bounded two-stage gate: `max_in_flight` executing, `queue_depth`
+/// waiting, the rest refused. A condvar semaphore rather than a channel so
+/// wakeup order is the lock's (roughly FIFO) and the refusal check is one
+/// lock acquisition.
+struct Admission {
+    state: Mutex<AdmissionState>,
+    freed: Condvar,
+    max_in_flight: usize,
+    queue_depth: usize,
+}
+
+struct AdmissionState {
+    in_flight: usize,
+    queued: usize,
+}
+
+struct AdmitGuard<'a> {
+    adm: &'a Admission,
+}
+
+impl Admission {
+    fn new(opts: &ServerOptions) -> Admission {
+        Admission {
+            state: Mutex::new(AdmissionState { in_flight: 0, queued: 0 }),
+            freed: Condvar::new(),
+            max_in_flight: opts.max_in_flight.max(1),
+            queue_depth: opts.queue_depth,
+        }
+    }
+
+    /// Acquire an execution slot, waiting in the bounded queue if needed.
+    /// `Err` means the queue was full — the caller must refuse the request.
+    fn admit(&self) -> Result<AdmitGuard<'_>, ()> {
+        let mut st = self.state.lock().unwrap();
+        if st.in_flight < self.max_in_flight {
+            st.in_flight += 1;
+            return Ok(AdmitGuard { adm: self });
+        }
+        if st.queued >= self.queue_depth {
+            return Err(());
+        }
+        st.queued += 1;
+        while st.in_flight >= self.max_in_flight {
+            st = self.freed.wait(st).unwrap();
+        }
+        st.queued -= 1;
+        st.in_flight += 1;
+        Ok(AdmitGuard { adm: self })
+    }
+}
+
+impl Drop for AdmitGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.adm.state.lock().unwrap();
+        st.in_flight -= 1;
+        drop(st);
+        self.adm.freed.notify_one();
+    }
+}
+
+// ---- server ------------------------------------------------------------------
+
+/// Tracks live session threads so drain can wait for them.
+struct ActiveSessions {
+    count: Mutex<usize>,
+    emptied: Condvar,
+}
+
+struct ServerShared {
+    db: SharedDatabase,
+    admission: Admission,
+    opts: ServerOptions,
+    shutdown: AtomicBool,
+    active: ActiveSessions,
+    next_session: AtomicU64,
+}
+
+/// A running ERSP server. Bind with [`Server::bind`]; stop with
+/// [`Server::drain`].
+pub struct Server {
+    shared: Arc<ServerShared>,
+    addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port — see
+    /// [`Server::local_addr`]) and start accepting connections.
+    pub fn bind(
+        addr: impl std::net::ToSocketAddrs,
+        db: SharedDatabase,
+        opts: ServerOptions,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            db,
+            admission: Admission::new(&opts),
+            opts,
+            shutdown: AtomicBool::new(false),
+            active: ActiveSessions { count: Mutex::new(0), emptied: Condvar::new() },
+            next_session: AtomicU64::new(1),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("ersp-acceptor".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn acceptor");
+        Ok(Server { shared, addr: local, acceptor: Some(acceptor) })
+    }
+
+    /// The bound address (resolves an ephemeral port request).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of currently connected sessions.
+    pub fn active_sessions(&self) -> usize {
+        *self.shared.active.count.lock().unwrap()
+    }
+
+    /// Graceful drain: stop accepting, let every session finish its
+    /// current request and disconnect, wait up to `timeout` for the last
+    /// one to leave. Returns `true` if the server is fully drained.
+    ///
+    /// Sessions blocked in a read see the shutdown flag the next time
+    /// their socket wakes (next request or read-timeout tick), so a drain
+    /// with long-idle clients relies on the idle timeout unless those
+    /// clients disconnect — the smoke tests close their clients first,
+    /// which is the orderly path.
+    pub fn drain(&mut self, timeout: Duration) -> bool {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor with a throwaway connection so it observes
+        // the flag and exits.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        let mut count = self.shared.active.count.lock().unwrap();
+        let deadline = std::time::Instant::now() + timeout;
+        while *count > 0 {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            let (next, _) = self.shared.active.emptied.wait_timeout(count, left).unwrap();
+            count = next;
+        }
+        *count == 0
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.drain(Duration::from_secs(1));
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        m_connections().inc();
+        let session_id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+        let session_shared = Arc::clone(&shared);
+        *shared.active.count.lock().unwrap() += 1;
+        m_active().add(1);
+        let spawned = std::thread::Builder::new()
+            .name(format!("ersp-session-{session_id}"))
+            .spawn(move || {
+                serve_session(stream, session_id, &session_shared);
+                let mut count = session_shared.active.count.lock().unwrap();
+                *count -= 1;
+                if *count == 0 {
+                    session_shared.active.emptied.notify_all();
+                }
+                drop(count);
+                m_active().add(-1);
+            });
+        if spawned.is_err() {
+            let mut count = shared.active.count.lock().unwrap();
+            *count -= 1;
+            drop(count);
+            m_active().add(-1);
+        }
+    }
+}
+
+// ---- session -----------------------------------------------------------------
+
+/// Per-connection state: its own `SharedDatabase` clone (= its own session
+/// `ExecContext`), plus id-keyed prepared statements and pinned snapshots.
+struct Session {
+    conn: SharedDatabase,
+    prepared: HashMap<u32, PreparedStatement>,
+    snapshots: HashMap<u32, SnapshotReads>,
+    next_id: u32,
+}
+
+fn serve_session(stream: TcpStream, session_id: u64, shared: &ServerShared) {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(shared.opts.idle_timeout)).ok();
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    let mut session = Session {
+        conn: shared.db.clone(),
+        prepared: HashMap::new(),
+        snapshots: HashMap::new(),
+        next_id: 1,
+    };
+    let mut greeted = false;
+
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(p) => p,
+            Err(WireError::Closed) => return,
+            Err(WireError::Io(_)) => return, // includes idle timeout
+            Err(WireError::Malformed(m)) => {
+                // A stream that fails CRC or framing is unsynchronized:
+                // report once, then hang up — resynchronizing a byte
+                // stream after corruption is guesswork.
+                m_frame_errors().inc();
+                respond(&mut writer, &Response::from_error(&DbError::Protocol(m)));
+                return;
+            }
+        };
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                m_frame_errors().inc();
+                respond(&mut writer, &Response::from_error(&DbError::from(e)));
+                return;
+            }
+        };
+        m_requests().inc();
+
+        // Handshake must come first and exactly once.
+        match (&request, greeted) {
+            (Request::Hello { version }, false) => {
+                if *version != PROTOCOL_VERSION {
+                    respond(
+                        &mut writer,
+                        &Response::from_error(&DbError::Protocol(format!(
+                            "unsupported protocol version {version} (server: {PROTOCOL_VERSION})"
+                        ))),
+                    );
+                    return;
+                }
+                greeted = true;
+                if !respond(
+                    &mut writer,
+                    &Response::Hello { version: PROTOCOL_VERSION, session_id },
+                ) {
+                    return;
+                }
+                continue;
+            }
+            (Request::Hello { .. }, true) => {
+                respond(
+                    &mut writer,
+                    &Response::from_error(&DbError::Protocol("duplicate Hello".into())),
+                );
+                return;
+            }
+            (_, false) => {
+                respond(
+                    &mut writer,
+                    &Response::from_error(&DbError::Protocol(
+                        "first message must be Hello".into(),
+                    )),
+                );
+                return;
+            }
+            _ => {}
+        }
+
+        if matches!(request, Request::Close) {
+            respond(&mut writer, &Response::Ack);
+            return;
+        }
+
+        // Admission control guards the execution stage only: decode is
+        // cheap and already bounded by MAX_FRAME, the database work is
+        // what must not stampede.
+        let response = match shared.admission.admit() {
+            Ok(_guard) => handle(&mut session, request),
+            Err(()) => {
+                m_overloaded().inc();
+                Response::from_error(&DbError::Overloaded)
+            }
+        };
+        if !respond(&mut writer, &response) {
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Draining: finish this response, then close so the client
+            // sees an orderly EOF at a frame boundary.
+            return;
+        }
+    }
+}
+
+/// Send one response; `false` means the connection is gone.
+fn respond(writer: &mut BufWriter<TcpStream>, resp: &Response) -> bool {
+    let payload = resp.encode();
+    if payload.len() > MAX_FRAME {
+        // A result set too large for one frame: report instead of
+        // shipping a frame the client is required to reject.
+        let err = Response::from_error(&DbError::Protocol(format!(
+            "response of {} bytes exceeds the {MAX_FRAME}-byte frame limit",
+            payload.len()
+        )));
+        return write_frame(writer, &err.encode()).is_ok() && writer.flush().is_ok();
+    }
+    write_frame(writer, &payload).is_ok() && writer.flush().is_ok()
+}
+
+fn rows_response(rows: Rows) -> Response {
+    Response::Rows { columns: rows.columns, rows: rows.rows }
+}
+
+/// Execute one admitted request against the session. Every path funnels
+/// through the same [`Connection`] trait the embedded API exposes.
+fn handle(session: &mut Session, request: Request) -> Response {
+    let outcome: DbResult<Response> = (|| match request {
+        Request::Hello { .. } | Request::Close => unreachable!("handled by the session loop"),
+        Request::Execute { script } => {
+            Connection::execute(&mut session.conn, &script)?;
+            Ok(Response::Ack)
+        }
+        Request::Query { sql, params } => {
+            let rows = if params.is_empty() {
+                Connection::query(&mut session.conn, &sql)?
+            } else {
+                Connection::query_params(&mut session.conn, &sql, &params)?
+            };
+            Ok(rows_response(rows))
+        }
+        Request::Prepare { sql } => {
+            let stmt = Connection::prepare(&mut session.conn, &sql)?;
+            let stmt_id = session.next_id;
+            session.next_id += 1;
+            session.prepared.insert(stmt_id, stmt);
+            Ok(Response::Prepared { stmt_id })
+        }
+        Request::ExecutePrepared { stmt_id, params } => {
+            let stmt = session
+                .prepared
+                .get(&stmt_id)
+                .ok_or_else(|| {
+                    DbError::Protocol(format!("unknown prepared statement id {stmt_id}"))
+                })?
+                .clone();
+            let rows = Connection::execute_prepared(&mut session.conn, &stmt, &params)?;
+            Ok(rows_response(rows))
+        }
+        Request::Transaction { ops } => {
+            Connection::transaction(&mut session.conn, |tx| {
+                for op in &ops {
+                    apply_tx_op(tx, op)?;
+                }
+                Ok(())
+            })?;
+            Ok(Response::Ack)
+        }
+        Request::PinSnapshot => {
+            let snap = Connection::snapshot(&mut session.conn)?;
+            let snap_id = session.next_id;
+            session.next_id += 1;
+            session.snapshots.insert(snap_id, snap);
+            Ok(Response::SnapshotPinned { snap_id })
+        }
+        Request::SnapshotQuery { snap_id, sql, params } => {
+            let snap = session.snapshots.get_mut(&snap_id).ok_or_else(|| {
+                DbError::Protocol(format!("unknown snapshot id {snap_id}"))
+            })?;
+            let rows = if params.is_empty() {
+                snap.query(&sql)?
+            } else {
+                snap.query_params(&sql, &params)?
+            };
+            Ok(rows_response(rows))
+        }
+        Request::ReleaseSnapshot { snap_id } => {
+            session.snapshots.remove(&snap_id).ok_or_else(|| {
+                DbError::Protocol(format!("unknown snapshot id {snap_id}"))
+            })?;
+            Ok(Response::Ack)
+        }
+        Request::SetOption { key, value } => {
+            Connection::set_option(&mut session.conn, &key, &value)?;
+            Ok(Response::Ack)
+        }
+        Request::CacheStats => {
+            let stats = Connection::cache_stats(&mut session.conn)?;
+            Ok(Response::CacheStats { hits: stats.hits, misses: stats.misses })
+        }
+    })();
+    match outcome {
+        Ok(resp) => resp,
+        Err(e) => Response::from_error(&e),
+    }
+}
+
+fn apply_tx_op(tx: &mut dyn erbium_core::TxOps, op: &TxOp) -> DbResult<()> {
+    fn borrow(named: &[(String, Value)]) -> Vec<(&str, Value)> {
+        named.iter().map(|(k, v)| (k.as_str(), v.clone())).collect()
+    }
+    match op {
+        TxOp::Insert { entity, data } => tx.insert(entity, &borrow(data)),
+        TxOp::InsertLinked { entity, data, links } => {
+            let links: Vec<(&str, Vec<Value>)> =
+                links.iter().map(|(r, k)| (r.as_str(), k.clone())).collect();
+            tx.insert_linked(entity, &borrow(data), &links)
+        }
+        TxOp::UpdateEntity { entity, key, changes } => {
+            tx.update_entity(entity, key, &borrow(changes))
+        }
+        TxOp::DeleteEntity { entity, key } => tx.delete_entity(entity, key),
+        TxOp::Link { rel, from, to, attrs } => tx.link(rel, from, to, &borrow(attrs)),
+        TxOp::Unlink { rel, from, to } => tx.unlink(rel, from, to),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(max_in_flight: usize, queue_depth: usize) -> ServerOptions {
+        ServerOptions { max_in_flight, queue_depth, ..ServerOptions::default() }
+    }
+
+    #[test]
+    fn admission_refuses_beyond_queue_depth() {
+        let adm = Admission::new(&opts(2, 0));
+        let a = adm.admit().expect("slot 1");
+        let b = adm.admit().expect("slot 2");
+        // Both slots busy, zero queue: the third must be refused, not
+        // blocked — that refusal is what becomes DbError::Overloaded.
+        assert!(adm.admit().is_err());
+        drop(a);
+        let c = adm.admit().expect("freed slot");
+        drop(b);
+        drop(c);
+    }
+
+    #[test]
+    fn admission_queues_then_runs_when_a_slot_frees() {
+        let adm = Arc::new(Admission::new(&opts(1, 1)));
+        let guard = adm.admit().expect("slot");
+
+        let adm2 = Arc::clone(&adm);
+        let waiter = std::thread::spawn(move || adm2.admit().map(|_| ()).is_ok());
+
+        // Wait until the waiter is actually parked in the queue, so the
+        // refusal below exercises queue-full and not a race.
+        while adm.state.lock().unwrap().queued == 0 {
+            std::thread::yield_now();
+        }
+        assert!(adm.admit().is_err(), "queue of 1 is occupied");
+
+        drop(guard); // wakes the waiter
+        assert!(waiter.join().unwrap(), "queued request must get the freed slot");
+    }
+
+    #[test]
+    fn admit_guard_releases_on_drop() {
+        let adm = Admission::new(&opts(1, 0));
+        for _ in 0..100 {
+            let g = adm.admit().expect("slot must be free again after each drop");
+            drop(g);
+        }
+        let st = adm.state.lock().unwrap();
+        assert_eq!(st.in_flight, 0);
+        assert_eq!(st.queued, 0);
+    }
+}

@@ -66,5 +66,11 @@ impl fmt::Display for StorageError {
 
 impl std::error::Error for StorageError {}
 
+impl From<StorageError> for erbium_model::DbError {
+    fn from(e: StorageError) -> Self {
+        erbium_model::DbError::Storage(e.to_string())
+    }
+}
+
 /// Convenient result alias for storage operations.
 pub type StorageResult<T> = Result<T, StorageError>;

@@ -33,8 +33,16 @@ pub mod snapshot;
 pub mod stats;
 pub mod table;
 pub mod txn;
-pub mod value;
 pub mod wal;
+
+/// Runtime values and data types.
+///
+/// The definitions moved to `erbium-model` (the wire protocol and client
+/// crate need them without pulling in storage); this re-export keeps every
+/// `erbium_storage::{Value, DataType}` path working unchanged.
+pub mod value {
+    pub use erbium_model::value::{DataType, Value};
+}
 
 pub use catalog::Catalog;
 pub use column::{Bitmap, ColumnSlice, Columns, StringDict};

@@ -58,6 +58,19 @@ fi
 # reads and pinned snapshots. Fails on any error, a torn transaction, an
 # unstable snapshot answer, or a plan cache that served zero hits.
 cargo run -q --release --offline -p erbium-bench --bin multi_client_smoke
+# Server smoke: the same workload, same invariants, through real TCP
+# sockets — an in-process ERSP server on an ephemeral port, every thread
+# dialing its own RemoteClient. Additionally asserts the server drains
+# to zero sessions after the clients disconnect.
+cargo run -q --release --offline -p erbium-bench --bin multi_client_smoke -- --remote
+# The client crate must stay thin: linking erbium-client pulls in the
+# model (values, errors, the Connection trait) and the query parser (for
+# eager client-side syntax checks) — never storage or the engine. A new
+# dependency here means server code is leaking into clients.
+if grep "^erbium-" crates/client/Cargo.toml | grep -v "^erbium-model \|^erbium-query "; then
+    echo "ERROR: crates/client may depend only on erbium-model and erbium-query" >&2
+    exit 1
+fi
 cargo clippy --offline --workspace --all-targets -- -D warnings
 # Benches must at least compile; running them is opt-in (slow).
 cargo bench --offline --workspace --no-run

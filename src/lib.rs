@@ -24,6 +24,13 @@
 //! | [`evolve`] | `erbium-evolve` | schema evolution, migration, versioning |
 //! | [`advisor`] | `erbium-advisor` | workload-aware mapping advisor |
 //! | [`datagen`] | `erbium-datagen` | the paper's synthetic instances |
+//! | [`client`] | `erbium-client` | ERSP wire protocol + `RemoteClient` |
+//! | [`server`] | `erbium-server` | TCP server: sessions, admission control |
+//!
+//! Embedded and networked use share one API: the [`Connection`] trait
+//! (`query`, `query_params`, `prepare`/`execute_prepared`, `transaction`,
+//! `snapshot`, `set_option`) is implemented by [`core::Database`],
+//! [`core::SharedDatabase`], and [`client::RemoteClient`] alike.
 //!
 //! ```
 //! use erbiumdb::core::Database;
@@ -45,6 +52,7 @@
 //! ```
 
 pub use erbium_advisor as advisor;
+pub use erbium_client as client;
 pub use erbium_core as core;
 pub use erbium_datagen as datagen;
 pub use erbium_engine as engine;
@@ -52,6 +60,8 @@ pub use erbium_evolve as evolve;
 pub use erbium_mapping as mapping;
 pub use erbium_model as model;
 pub use erbium_query as query;
+pub use erbium_server as server;
 pub use erbium_storage as storage;
 
 pub use erbium_core::{AccessPolicy, Database, DbError, DbResult, QueryResult};
+pub use erbium_model::api::{CacheStats, Connection, ReadSession, Rows, TxOps};
