@@ -1,0 +1,359 @@
+//! Ingest-path benchmarks for the PR-9 hot-path work (experiment
+//! `A-ingest` in EXPERIMENTS.md):
+//!
+//! * **per-row vs bulk** — loading the same batch through one
+//!   `Database::insert` transaction per row versus one `copy_from` call
+//!   (one WAL commit group, one index pass, one stats refresh);
+//! * **checkpoint cost vs dirty fraction** — `Database::checkpoint` on a
+//!   32-table catalog with 1, 4, or all 32 tables dirtied since the last
+//!   checkpoint (delta snapshots vs the full rewrite);
+//! * **CSR vs row traversal** — factorized-join expansion over the flat
+//!   CSR adjacency versus the per-slot pointer `Vec`s.
+
+use criterion::{criterion_group, Criterion};
+use erbium_bench::report;
+use erbium_core::{BulkEntity, CheckpointKind, Database, DurabilityOptions};
+use erbium_storage::{
+    Column, DataType, FactorizedTable, RowId, SyncPolicy, TableSchema, Value,
+};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const PERSON_DDL: &str = "CREATE ENTITY person (id int KEY, name text, score int)";
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("erbium-ingestbench-{}-{}", std::process::id(), tag));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Durable single-entity database. Under `SyncPolicy::Always` the per-row
+/// path pays one commit group + fsync per row while `copy_from` pays one
+/// per batch — the amortization the bulk path exists for. `SyncPolicy::Never`
+/// isolates the CPU side of the same comparison (commit-group framing,
+/// index maintenance, snapshot bookkeeping).
+fn person_db(tag: &str, sync: SyncPolicy) -> Database {
+    let dir = bench_dir(tag);
+    let mut db = Database::open_with(&dir, DurabilityOptions { sync, ..Default::default() })
+        .expect("open durable db");
+    db.execute(PERSON_DDL).unwrap();
+    db.install_default().unwrap();
+    db
+}
+
+fn person(i: i64) -> BulkEntity {
+    BulkEntity::new(&[
+        ("id", Value::Int(i)),
+        ("name", Value::str(format!("p{i}"))),
+        ("score", Value::Int(i % 10)),
+    ])
+}
+
+fn insert_person(db: &mut Database, i: i64) {
+    db.insert(
+        "person",
+        &[
+            ("id", Value::Int(i)),
+            ("name", Value::str(format!("p{i}"))),
+            ("score", Value::Int(i % 10)),
+        ],
+    )
+    .unwrap();
+}
+
+const BATCH: i64 = 1_000;
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ingest");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+
+    for (tag, sync) in [("fsync", SyncPolicy::Always), ("nosync", SyncPolicy::Never)] {
+        g.bench_function(format!("per_row_1000_{tag}"), |b| {
+            let mut db = person_db(&format!("per-row-{tag}"), sync);
+            let mut id = 0i64;
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    id += 1;
+                    insert_person(&mut db, id);
+                }
+            });
+        });
+
+        g.bench_function(format!("bulk_1000_{tag}"), |b| {
+            let mut db = person_db(&format!("bulk-{tag}"), sync);
+            let mut id = 0i64;
+            b.iter(|| {
+                let batch: Vec<BulkEntity> = (id..id + BATCH).map(person).collect();
+                id += BATCH;
+                db.copy_from("person", &batch).unwrap();
+            });
+        });
+    }
+
+    g.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint cost vs dirty fraction.
+//
+// Criterion's free-running iteration count would push a delta chain past the
+// compaction threshold mid-measurement (every 8th checkpoint becomes a full
+// rewrite), so this family uses explicit median-of-N timing on a fresh
+// database per point instead of a criterion group.
+// ---------------------------------------------------------------------------
+
+/// A durable database with `tables` entities of `rows` instances each,
+/// checkpointed to a clean full base (nothing dirty, empty delta chain).
+fn many_table_db(tag: &str, tables: usize, rows: i64) -> Database {
+    let dir = bench_dir(tag);
+    let mut db = Database::open_with(
+        &dir,
+        DurabilityOptions { sync: SyncPolicy::Never, ..Default::default() },
+    )
+    .expect("open durable db");
+    let mut ddl = String::new();
+    for t in 0..tables {
+        ddl.push_str(&format!("CREATE ENTITY t{t:02} (id int KEY, v int);\n"));
+    }
+    db.execute(&ddl).unwrap();
+    db.install_default().unwrap();
+    for t in 0..tables {
+        let batch: Vec<BulkEntity> = (0..rows)
+            .map(|i| BulkEntity::new(&[("id", Value::Int(i)), ("v", Value::Int(i % 97))]))
+            .collect();
+        db.copy_from(&format!("t{t:02}"), &batch).unwrap();
+    }
+    // Population dirtied every table: compact to a fresh full base so each
+    // measured point starts from a clean chain.
+    let kind = db.checkpoint().unwrap().expect("durable db checkpoints");
+    assert_eq!(kind, CheckpointKind::Full, "whole-catalog churn compacts");
+    db
+}
+
+/// Median checkpoint cost after dirtying `dirty` of the catalog's tables
+/// (one single-row insert each, outside the timed section). Asserts the
+/// checkpoint kind so the point measures what its label claims. `reps` must
+/// stay below the delta-chain compaction threshold.
+fn checkpoint_cost(db: &mut Database, dirty: usize, expect: &CheckpointKind, reps: usize) -> Duration {
+    let mut times = Vec::new();
+    let mut next_id = 1_000_000i64;
+    for _ in 0..reps {
+        for t in 0..dirty {
+            next_id += 1;
+            db.insert(&format!("t{t:02}"), &[("id", Value::Int(next_id)), ("v", Value::Int(0))])
+                .unwrap();
+        }
+        let t0 = Instant::now();
+        let kind = db.checkpoint().unwrap().expect("durable db checkpoints");
+        times.push(t0.elapsed());
+        assert_eq!(&kind, expect, "dirtying {dirty} tables");
+    }
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// Run the checkpoint family at the given scale; returns `(label, median)`
+/// per point. Shared by the smoke run (tiny scale) and the headline.
+fn checkpoint_family(tables: usize, rows: i64, reps: usize) -> Vec<(String, Duration)> {
+    let full = CheckpointKind::Full;
+    let delta = |n| CheckpointKind::Delta { tables: n, factorized: 0 };
+    // Fresh database per point: delta chains must not leak across points.
+    [(1, delta(1)), (tables / 8, delta(tables / 8)), (tables, full)]
+        .into_iter()
+        .map(|(dirty, expect)| {
+            let mut db = many_table_db(&format!("ckpt-{dirty}"), tables, rows);
+            let label = if dirty == tables {
+                format!("full_{tables}_of_{tables}")
+            } else {
+                format!("delta_{dirty}_of_{tables}")
+            };
+            (label, checkpoint_cost(&mut db, dirty, &expect, reps))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// CSR vs row traversal.
+// ---------------------------------------------------------------------------
+
+const CSR_LEFTS: usize = 20_000;
+const CSR_RIGHTS: usize = 20_000;
+const CSR_FANOUT: usize = 8;
+
+fn adjacency() -> FactorizedTable {
+    let left = TableSchema::new(
+        "l",
+        vec![Column::not_null("lid", DataType::Int), Column::new("lv", DataType::Int)],
+        vec![0],
+    );
+    let right = TableSchema::new(
+        "r",
+        vec![Column::not_null("rid", DataType::Int), Column::new("rv", DataType::Int)],
+        vec![0],
+    );
+    let mut f = FactorizedTable::new("bench", left, right);
+    let rids: Vec<RowId> = (0..CSR_RIGHTS as i64)
+        .map(|i| f.insert_right(vec![Value::Int(i), Value::Int(i % 101)]).unwrap())
+        .collect();
+    for i in 0..CSR_LEFTS {
+        let l = f.insert_left(vec![Value::Int(i as i64), Value::Int((i % 7) as i64)]).unwrap();
+        for j in 0..CSR_FANOUT {
+            f.link(l, rids[(i * CSR_FANOUT + j) * 7919 % CSR_RIGHTS]).unwrap();
+        }
+    }
+    f
+}
+
+fn bench_csr(c: &mut Criterion) {
+    let f = adjacency();
+    let csr = f.csr_forward();
+    let slots = f.left().slot_count();
+
+    let mut g = c.benchmark_group("csr");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+
+    // Pure adjacency walk: the executor's inner loop shape. The row path
+    // chases one heap Vec per source slot; CSR walks two flat arrays.
+    g.bench_function("edge_walk_row_path", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for slot in 0..slots {
+                for r in f.neighbours_right(RowId(slot as u64)) {
+                    acc += r.0;
+                }
+            }
+            black_box(acc)
+        });
+    });
+
+    g.bench_function("edge_walk_csr", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for slot in 0..slots {
+                for r in csr.neighbours_of(slot) {
+                    acc += r.0;
+                }
+            }
+            black_box(acc)
+        });
+    });
+
+    // Full join expansion, as the factorized scan operator runs it.
+    g.bench_function("join_expand_row_path", |b| {
+        b.iter(|| black_box(f.iter_join_slots(0..slots).count()));
+    });
+
+    g.bench_function("join_expand_csr", |b| {
+        b.iter(|| black_box(f.iter_join_slots_csr(&csr, 0..slots).count()));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_csr);
+
+/// Headline numbers for EXPERIMENTS.md (`A-ingest`) merged into the
+/// repo-root results file.
+fn write_headline() {
+    // Per-row vs bulk: rows per second over 1,000-row batches, durable
+    // (fsync per commit group) and with fsync disabled (CPU path only).
+    let ingest_pair = |sync: SyncPolicy, tag: &str| {
+        let mut db = person_db(&format!("hl-per-row-{tag}"), sync);
+        let mut id = 0i64;
+        let per_row = erbium_bench::measure(5, || {
+            for _ in 0..BATCH {
+                id += 1;
+                insert_person(&mut db, id);
+            }
+        });
+        let mut db = person_db(&format!("hl-bulk-{tag}"), sync);
+        let mut id = 0i64;
+        let bulk = erbium_bench::measure(5, || {
+            let batch: Vec<BulkEntity> = (id..id + BATCH).map(person).collect();
+            id += BATCH;
+            db.copy_from("person", &batch).unwrap();
+        });
+        (per_row, bulk)
+    };
+    let (per_row, bulk) = ingest_pair(SyncPolicy::Always, "fsync");
+    let (per_row_ns, bulk_ns) = ingest_pair(SyncPolicy::Never, "nosync");
+    let rows_per_s = |d: Duration| BATCH as f64 / d.as_secs_f64();
+
+    // Checkpoint cost vs dirty fraction at 32 tables x 2,000 rows.
+    let ckpt = checkpoint_family(32, 2_000, 5);
+
+    // CSR vs row adjacency walk.
+    let f = adjacency();
+    let csr = f.csr_forward();
+    let slots = f.left().slot_count();
+    let row_walk = erbium_bench::measure(10, || {
+        let mut acc = 0u64;
+        for slot in 0..slots {
+            for r in f.neighbours_right(RowId(slot as u64)) {
+                acc += r.0;
+            }
+        }
+        black_box(acc);
+    });
+    let csr_walk = erbium_bench::measure(10, || {
+        let mut acc = 0u64;
+        for slot in 0..slots {
+            for r in csr.neighbours_of(slot) {
+                acc += r.0;
+            }
+        }
+        black_box(acc);
+    });
+
+    println!("ingest (durable): per-row {:.0} rows/s, bulk {:.0} rows/s ({:.1}x)",
+        rows_per_s(per_row), rows_per_s(bulk),
+        rows_per_s(bulk) / rows_per_s(per_row));
+    println!("ingest (no fsync): per-row {:.0} rows/s, bulk {:.0} rows/s ({:.1}x)",
+        rows_per_s(per_row_ns), rows_per_s(bulk_ns),
+        rows_per_s(bulk_ns) / rows_per_s(per_row_ns));
+    for (label, t) in &ckpt {
+        println!("checkpoint: {label} {:.2} ms", t.as_secs_f64() * 1e3);
+    }
+    println!("csr walk: row {:.0} us, csr {:.0} us ({:.2}x)",
+        row_walk.as_secs_f64() * 1e6, csr_walk.as_secs_f64() * 1e6,
+        row_walk.as_secs_f64() / csr_walk.as_secs_f64());
+
+    let ckpt_keys: Vec<String> =
+        ckpt.iter().map(|(label, _)| format!("checkpoint_{label}_ms")).collect();
+    report::merge(
+        "BENCH_throughput.json",
+        "ingest",
+        report::obj([
+            ("unit", report::text("rows/s; checkpoint ms; adjacency walk us")),
+            ("per_row_rows_per_s", report::num(rows_per_s(per_row))),
+            ("bulk_rows_per_s", report::num(rows_per_s(bulk))),
+            ("bulk_speedup", report::num(rows_per_s(bulk) / rows_per_s(per_row))),
+            ("per_row_nosync_rows_per_s", report::num(rows_per_s(per_row_ns))),
+            ("bulk_nosync_rows_per_s", report::num(rows_per_s(bulk_ns))),
+            ("bulk_nosync_speedup", report::num(rows_per_s(bulk_ns) / rows_per_s(per_row_ns))),
+            (ckpt_keys[0].as_str(), report::num(ckpt[0].1.as_secs_f64() * 1e3)),
+            (ckpt_keys[1].as_str(), report::num(ckpt[1].1.as_secs_f64() * 1e3)),
+            (ckpt_keys[2].as_str(), report::num(ckpt[2].1.as_secs_f64() * 1e3)),
+            ("row_edge_walk_us", report::num(row_walk.as_secs_f64() * 1e6)),
+            ("csr_edge_walk_us", report::num(csr_walk.as_secs_f64() * 1e6)),
+            ("csr_speedup", report::num(row_walk.as_secs_f64() / csr_walk.as_secs_f64())),
+        ]),
+    );
+}
+
+fn main() {
+    benches();
+    if std::env::args().any(|a| a == "--test") {
+        // Smoke mode: exercise the checkpoint family (kind assertions
+        // included) at a tiny scale, skip the report.
+        checkpoint_family(8, 20, 1);
+    } else {
+        write_headline();
+    }
+}

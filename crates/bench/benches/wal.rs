@@ -151,9 +151,39 @@ fn write_headline() {
     );
 }
 
+/// The group encode buffer is reused across `append_group` calls: after a
+/// warm-up group has sized it, thousands of same-shaped commits must not
+/// grow it again (no per-append allocation on the commit path).
+fn assert_encode_buffer_reuse() {
+    use erbium_storage::{Row, Wal, WalRecord};
+    let dir = bench_dir("encode-buf");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut wal = Wal::open(dir.join("wal.erb"), SyncPolicy::Never, 1).unwrap();
+    let group = |id: i64| {
+        vec![WalRecord::Insert {
+            table: "event".into(),
+            rid: id as u64,
+            row: vec![Value::Int(id), Value::str("click"), Value::Int(id % 97)] as Row,
+        }]
+    };
+    wal.append_group(&group(0)).unwrap();
+    let warm = wal.encode_buf_capacity();
+    assert!(warm > 0, "warm-up sized the encode buffer");
+    for id in 1..5_000 {
+        wal.append_group(&group(id)).unwrap();
+    }
+    assert_eq!(
+        wal.encode_buf_capacity(),
+        warm,
+        "encode buffer must be reused, not reallocated per append"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(benches, bench_wal);
 
 fn main() {
+    assert_encode_buffer_reuse();
     benches();
     // `cargo test --benches` smoke-runs with --test: skip the report.
     if !std::env::args().any(|a| a == "--test") {

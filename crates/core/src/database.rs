@@ -6,12 +6,12 @@ use erbium_engine::{ExecContext, Plan, PlanCache, PlanCacheStats};
 use erbium_evolve::{EvolutionOp, MigrationReport, Migrator, VersionLog};
 use erbium_mapping::{
     lower::{META_MAPPING, META_SCHEMA},
-    presets, EntityData, EntityStore, Lowering, Mapping, QueryRewriter,
+    presets, BulkEntity, EntityData, EntityStore, Lowering, Mapping, QueryRewriter,
 };
 use erbium_model::{ErGraph, ErSchema};
 use erbium_query::Statement;
 use erbium_storage::{
-    snapshot, Catalog, Row, SyncPolicy, Transaction, Value, Wal, WAL_FILE,
+    snapshot, Catalog, CheckpointKind, Row, SyncPolicy, Transaction, Value, Wal, WAL_FILE,
 };
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -195,6 +195,15 @@ fn m_rows_emitted() -> &'static erbium_obs::Counter {
     })
 }
 
+fn m_ingest_rows() -> &'static erbium_obs::Counter {
+    static H: std::sync::OnceLock<std::sync::Arc<erbium_obs::Counter>> =
+        std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global()
+            .counter("erbium_ingest_rows_total", "Entity instances loaded through the bulk path")
+    })
+}
+
 fn m_slow_queries() -> &'static erbium_obs::Counter {
     static H: std::sync::OnceLock<std::sync::Arc<erbium_obs::Counter>> =
         std::sync::OnceLock::new();
@@ -229,6 +238,18 @@ pub struct Database {
     /// [`erbium_model::Connection::set_option`]. Defaults apply until the
     /// session issues a `SET`; never shared with other sessions.
     pub(crate) session_ctx: ExecContext,
+}
+
+/// Convert a parsed ERQL literal (from a `COPY ... VALUES` tuple) into a
+/// storage value.
+fn literal_value(lit: &erbium_query::Literal) -> Value {
+    match lit {
+        erbium_query::Literal::Null => Value::Null,
+        erbium_query::Literal::Bool(b) => Value::Bool(*b),
+        erbium_query::Literal::Int(i) => Value::Int(*i),
+        erbium_query::Literal::Float(x) => Value::Float(*x),
+        erbium_query::Literal::Str(s) => Value::str(s),
+    }
 }
 
 fn new_slow_log() -> Arc<Mutex<SlowLog>> {
@@ -354,23 +375,28 @@ impl Database {
         self.durability.is_some()
     }
 
-    /// Write a full checkpoint snapshot of the catalog and truncate the
-    /// WAL. A crash during checkpointing leaves either the old snapshot
-    /// plus the full log, or the new snapshot — never a hybrid. No-op
-    /// (`Ok`) for in-memory databases.
-    pub fn checkpoint(&mut self) -> DbResult<()> {
-        let Some(d) = self.durability.as_mut() else { return Ok(()) };
+    /// Checkpoint the catalog and truncate the WAL. Incremental: only
+    /// tables dirtied since the previous checkpoint are written, as an
+    /// `ERBSNAP2` delta chained onto the base snapshot; a full snapshot is
+    /// written instead (compacting the chain away) after structural
+    /// changes, when most of the catalog is dirty, or when the chain grows
+    /// past [`erbium_storage::MAX_DELTA_CHAIN`]. A crash at any byte
+    /// leaves either the old chain plus the full log, or the new chain —
+    /// never a hybrid. Returns what was written (`None` for in-memory
+    /// databases, where this is a no-op).
+    pub fn checkpoint(&mut self) -> DbResult<Option<CheckpointKind>> {
+        let Some(d) = self.durability.as_mut() else { return Ok(None) };
         d.wal.sync()?;
-        snapshot::write_snapshot(&self.catalog, d.wal.next_txn_id(), &d.dir)?;
+        let kind = snapshot::write_checkpoint(&mut self.catalog, d.wal.next_txn_id(), &d.dir)?;
         d.wal.truncate()?;
-        Ok(())
+        Ok(Some(kind))
     }
 
     /// Heavyweight structural operations (install / evolve / remap /
     /// rollback) rewrite whole tables outside the WAL, so they are made
     /// durable by checkpointing instead of logging.
     fn checkpoint_after_structural_change(&mut self) -> DbResult<()> {
-        self.checkpoint()
+        self.checkpoint().map(|_| ())
     }
 
     // ---- DDL -------------------------------------------------------------------
@@ -411,6 +437,22 @@ impl Database {
                 }
                 Statement::InstallMapping => {
                     self.install_default()?;
+                }
+                Statement::Copy(c) => {
+                    let batch: Vec<BulkEntity> = c
+                        .rows
+                        .iter()
+                        .map(|tuple| BulkEntity {
+                            data: c
+                                .columns
+                                .iter()
+                                .zip(tuple)
+                                .map(|(name, lit)| (name.clone(), literal_value(lit)))
+                                .collect(),
+                            links: Vec::new(),
+                        })
+                        .collect();
+                    self.copy_from(&c.entity, &batch)?;
                 }
                 Statement::Select(_) | Statement::Explain(_) => {
                     self.query_ctx().run_query(sql, &[], &ExecContext::default(), false)?;
@@ -583,6 +625,27 @@ impl Database {
         links: &[(&str, Vec<Value>)],
     ) -> DbResult<()> {
         self.transaction(|tx| tx.insert_linked(entity, data, links))
+    }
+
+    /// Bulk-load a batch of one entity's instances — the fast path behind
+    /// `COPY ... FROM`. The whole batch commits as **one** transaction and
+    /// one WAL commit group carrying a compact record per touched table;
+    /// column vectors are extended wholesale and secondary indexes updated
+    /// in a single pass per table. Tables already under `ANALYZE` coverage
+    /// get their statistics recomputed once at the end of the batch (and
+    /// the plan cache invalidated exactly once); tables never analyzed
+    /// stay stats-less, preserving the no-stats-until-`ANALYZE` contract.
+    /// Returns the number of instances loaded.
+    pub fn copy_from(&mut self, entity: &str, batch: &[BulkEntity]) -> DbResult<usize> {
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        let touched = self.transaction(|tx| tx.copy_from(entity, batch))?;
+        if self.catalog.reanalyze_tables(&touched) > 0 {
+            self.plan_cache.invalidate();
+        }
+        m_ingest_rows().add(batch.len() as u64);
+        Ok(batch.len())
     }
 
     /// Fetch one instance by key (all attributes at this entity's level).
@@ -1061,6 +1124,14 @@ impl Tx<'_> {
         let map: EntityData = data.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
         self.store.insert(self.cat, &mut self.txn, entity, &map, links)?;
         Ok(())
+    }
+
+    /// Bulk insert a batch of one entity's instances (the transactional
+    /// core of [`Database::copy_from`]). Returns the physical tables that
+    /// received batched appends (empty when the mapping forced the
+    /// per-row fallback).
+    pub fn copy_from(&mut self, entity: &str, batch: &[BulkEntity]) -> DbResult<Vec<String>> {
+        Ok(self.store.bulk_insert(self.cat, &mut self.txn, entity, batch)?)
     }
 
     /// Fetch one instance by key. Reads inside a transaction see its own

@@ -61,6 +61,8 @@ pub use database::{
 };
 pub use governance::{AccessPolicy, ErasureReport};
 pub use shared::{SharedDatabase, Snapshot};
+pub use erbium_mapping::BulkEntity;
+pub use erbium_storage::CheckpointKind;
 
 // The transport-independent client API (see `erbium_model::api`): the
 // [`Connection`] trait implemented by [`Database`], [`SharedDatabase`] and

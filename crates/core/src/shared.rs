@@ -341,7 +341,7 @@ impl SharedDatabase {
     }
 
     /// Checkpoint and truncate the WAL (see [`Database::checkpoint`]).
-    pub fn checkpoint(&self) -> DbResult<()> {
+    pub fn checkpoint(&self) -> DbResult<Option<erbium_storage::CheckpointKind>> {
         self.mutate(|db| db.checkpoint())
     }
 

@@ -1,0 +1,169 @@
+//! Bulk-ingest fast path: `Database::copy_from`, the `COPY ... FROM`
+//! script statement, plan-cache generation semantics around bulk loads,
+//! and incremental checkpoint kinds after bulk mutation.
+//!
+//! Metric assertions use deltas on the process-global registry, serialized
+//! through a file-local mutex (tests in this binary share the process).
+
+use erbium_core::{BulkEntity, CheckpointKind, Database, DbError};
+use erbium_storage::Value;
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const DDL: &str = "
+    CREATE ENTITY person (id int KEY, name text, score int);
+    CREATE ENTITY mentor EXTENDS person (rank text NULLABLE);
+    CREATE RELATIONSHIP guides FROM person MANY TO mentor ONE;
+";
+
+fn installed() -> Database {
+    let mut db = Database::new();
+    db.execute(DDL).unwrap();
+    db.install_default().unwrap();
+    db
+}
+
+fn person(i: i64) -> BulkEntity {
+    BulkEntity::new(&[
+        ("id", Value::Int(i)),
+        ("name", Value::str(format!("p{i}"))),
+        ("score", Value::Int(i % 10)),
+    ])
+}
+
+fn count(db: &Database) -> i64 {
+    db.query("SELECT COUNT(*) FROM person p").unwrap().rows[0][0].as_int().unwrap()
+}
+
+#[test]
+fn copy_from_loads_a_batch_and_rejects_duplicates_atomically() {
+    let mut db = installed();
+    let batch: Vec<BulkEntity> = (0..100).map(person).collect();
+    assert_eq!(db.copy_from("person", &batch).unwrap(), 100);
+    assert_eq!(count(&db), 100);
+
+    // A duplicate anywhere in the batch (here: against existing rows)
+    // rolls the whole batch back.
+    let bad: Vec<BulkEntity> = vec![person(500), person(42)];
+    assert!(matches!(db.copy_from("person", &bad).unwrap_err(), DbError::Storage(_)));
+    assert_eq!(count(&db), 100, "failed batch left nothing behind");
+
+    // An in-batch duplicate is caught too, before any row lands.
+    let bad: Vec<BulkEntity> = vec![person(600), person(600)];
+    assert!(db.copy_from("person", &bad).is_err());
+    assert_eq!(count(&db), 100);
+
+    assert_eq!(db.copy_from("person", &[]).unwrap(), 0, "empty batch is a no-op");
+}
+
+#[test]
+fn copy_statement_loads_through_the_script_path() {
+    let mut db = installed();
+    db.execute(
+        "COPY person (id, name, score) FROM VALUES \
+         (1, 'ada', 10), (2, 'alan', -5), (3, 'grace', 7);
+         SELECT p.name FROM person p",
+    )
+    .unwrap();
+    assert_eq!(count(&db), 3);
+    let rows = db
+        .query("SELECT p.name FROM person p WHERE p.score < 0")
+        .unwrap()
+        .rows;
+    assert_eq!(rows, vec![vec![Value::str("alan")]]);
+}
+
+#[test]
+fn bulk_load_invalidates_the_plan_cache_exactly_once() {
+    let _g = lock();
+    let mut db = installed();
+    let batch: Vec<BulkEntity> = (0..50).map(person).collect();
+    db.copy_from("person", &batch).unwrap();
+    assert!(db.analyze() > 0);
+
+    // Warm the cache and confirm it serves hits.
+    let sql = "SELECT p.name FROM person p WHERE p.score = 3";
+    db.query(sql).unwrap();
+    let warm = db.plan_cache_stats();
+    db.query(sql).unwrap();
+    assert!(db.plan_cache_stats().hits > warm.hits, "plan cache serves the repeat");
+
+    // One bulk batch refreshes the stats of the touched table and bumps
+    // the generation exactly once — not once per row or per table pass.
+    let before = db.plan_cache_stats().invalidations;
+    let batch: Vec<BulkEntity> = (1000..1500).map(person).collect();
+    db.copy_from("person", &batch).unwrap();
+    assert_eq!(db.plan_cache_stats().invalidations, before + 1);
+
+    // The refreshed stats are live: estimates reflect the new extent
+    // without an intervening ANALYZE.
+    let explain = db.explain("SELECT p.name FROM person p").unwrap();
+    assert!(explain.contains("[est=550"), "bulk refresh visible in estimates:\n{explain}");
+}
+
+#[test]
+fn bulk_load_without_analyzed_stats_leaves_the_plan_cache_alone() {
+    let _g = lock();
+    let mut db = installed();
+    let sql = "SELECT p.name FROM person p";
+    db.query(sql).unwrap();
+    let before = db.plan_cache_stats().invalidations;
+    let batch: Vec<BulkEntity> = (0..50).map(person).collect();
+    db.copy_from("person", &batch).unwrap();
+    assert_eq!(
+        db.plan_cache_stats().invalidations,
+        before,
+        "no stats to refresh → cached plans stay valid (no-stats-until-ANALYZE)"
+    );
+    let explain = db.explain(sql).unwrap();
+    assert!(!explain.contains("[est="), "stats did not appear out of thin air");
+}
+
+#[test]
+fn ingest_rows_counter_counts_bulk_loaded_instances() {
+    let _g = lock();
+    let c = erbium_core::obs::Registry::global().counter("erbium_ingest_rows_total", "");
+    let before = c.get();
+    let mut db = installed();
+    let batch: Vec<BulkEntity> = (0..37).map(person).collect();
+    db.copy_from("person", &batch).unwrap();
+    assert!(c.get() >= before + 37, "counter advanced by at least the batch size");
+}
+
+#[test]
+fn checkpoints_after_bulk_loads_are_deltas_and_recovery_chains_them() {
+    let dir = std::env::temp_dir()
+        .join(format!("erbium-bulk-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut db = Database::open(&dir).unwrap();
+    db.execute(DDL).unwrap();
+    db.install_default().unwrap(); // structural → full base snapshot
+
+    let batch: Vec<BulkEntity> = (0..40).map(person).collect();
+    db.copy_from("person", &batch).unwrap();
+    assert_eq!(
+        db.checkpoint().unwrap(),
+        Some(CheckpointKind::Delta { tables: 1, factorized: 0 }),
+        "bulk load dirties one table → one-table delta"
+    );
+    // Nothing changed since: the next checkpoint is an empty delta (it
+    // still carries the authoritative txn horizon, making WAL truncation
+    // safe), not a full rewrite.
+    assert_eq!(
+        db.checkpoint().unwrap(),
+        Some(CheckpointKind::Delta { tables: 0, factorized: 0 })
+    );
+    let batch: Vec<BulkEntity> = (40..70).map(person).collect();
+    db.copy_from("person", &batch).unwrap();
+    drop(db); // un-checkpointed suffix stays in the WAL
+
+    // Recovery chains base + deltas + WAL suffix.
+    let db = Database::open(&dir).unwrap();
+    assert_eq!(count(&db), 70);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -8,7 +8,7 @@
 //! *deltas*, never absolute values.
 
 use erbium_core::engine::ExecContext;
-use erbium_core::{obs, Database, ObservabilityOptions};
+use erbium_core::{obs, BulkEntity, CheckpointKind, Database, ObservabilityOptions};
 use erbium_storage::Value;
 use std::fs;
 use std::path::PathBuf;
@@ -100,6 +100,43 @@ fn optimizer_stats_survive_checkpoint_and_reopen() {
         counter("erbium_optimizer_cbo_applied_total").get() > cbo_before,
         "cost-based passes fired after recovery"
     );
+
+    // PR-9 extension: the same guarantee holds across a base+delta chain.
+    // A bulk load dirties only `person`, so the next checkpoint writes an
+    // ERBSNAP2 delta instead of a full snapshot; recovery then chains
+    // base + delta, and the (bulk-refreshed) statistics still ride along.
+    let mut db = db;
+    let batch: Vec<BulkEntity> = (60..90)
+        .map(|i| {
+            BulkEntity::new(&[
+                ("id", Value::Int(i)),
+                ("name", Value::str(format!("p{i}"))),
+                ("score", Value::Int(i % 10)),
+            ])
+        })
+        .collect();
+    db.copy_from("person", &batch).unwrap();
+    let delta_before = counter("erbium_checkpoint_delta_tables").get();
+    let kind = db.checkpoint().unwrap();
+    assert_eq!(
+        kind,
+        Some(CheckpointKind::Delta { tables: 1, factorized: 0 }),
+        "only the bulk-loaded table goes into the delta"
+    );
+    assert_eq!(counter("erbium_checkpoint_delta_tables").get(), delta_before + 1);
+    drop(db);
+
+    let db = Database::open(&dir).unwrap();
+    let missing_before = counter("erbium_optimizer_stats_missing_total").get();
+    let explain = db.explain("SELECT p.name FROM person p WHERE p.score = 3").unwrap();
+    assert!(explain.contains("[est="), "estimates survive base+delta recovery:\n{explain}");
+    let rows = db.query("SELECT p.name FROM person p WHERE p.score = 3").unwrap().rows;
+    assert_eq!(rows.len(), 9, "60 + 30 bulk rows, score uniform mod 10");
+    assert_eq!(
+        counter("erbium_optimizer_stats_missing_total").get(),
+        missing_before,
+        "no stats_missing events after base+delta recovery"
+    );
     fs::remove_dir_all(&dir).ok();
 }
 
@@ -172,6 +209,18 @@ fn metrics_text_exports_engine_wal_and_pool_families() {
     let mut db = Database::open(&dir).unwrap();
     populate(&mut db, 300);
     db.analyze();
+    // A bulk batch plus a second checkpoint: `install_default` already
+    // wrote the full base snapshot, so this one is an incremental delta —
+    // both the ingest and the delta-checkpoint counters tick.
+    db.copy_from(
+        "person",
+        &[BulkEntity::new(&[
+            ("id", Value::Int(9000)),
+            ("name", Value::str("bulk")),
+            ("score", Value::Int(0)),
+        ])],
+    )
+    .unwrap();
     db.checkpoint().unwrap();
     // Force morsel-parallel execution so the pool metrics tick.
     let ctx = ExecContext::new().with_threads(2).with_morsel_size(32);
@@ -190,7 +239,10 @@ fn metrics_text_exports_engine_wal_and_pool_families() {
         "erbium_wal_bytes_total",
         "erbium_wal_fsync_seconds",
         "erbium_checkpoints_total",
+        "erbium_checkpoint_delta_tables",
         "erbium_recoveries_total",
+        // bulk ingest
+        "erbium_ingest_rows_total",
         // worker pool
         "erbium_pool_waves_total",
         "erbium_pool_jobs_total",

@@ -1,6 +1,6 @@
 //! Generator for the Figure-4 experiment schema.
 
-use erbium_mapping::{EntityData, EntityStore, Lowering, MappingResult};
+use erbium_mapping::{BulkEntity, EntityData, EntityStore, Lowering, MappingResult};
 use erbium_storage::{Catalog, Transaction, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -95,50 +95,69 @@ pub fn populate_experiment(
     let mut txn = Transaction::new();
 
     let n_s = cfg.n_s() as i64;
-    // S entities.
-    for sid in 0..n_s {
-        let data = entity_data(&[
-            ("s_id", Value::Int(sid)),
-            ("s_a", Value::str(format!("s-{}-{}", VOCAB[(sid % 8) as usize], sid))),
-            ("s_b", Value::Int(sid % 50)),
-        ]);
-        store.insert(cat, &mut txn, "S", &data, &[])?;
-        stats.entities += 1;
-    }
-    // Weak entities: S1 spread across owners, S2 on even owners.
+    // S entities — one bulk batch.
+    let s_batch: Vec<BulkEntity> = (0..n_s)
+        .map(|sid| BulkEntity {
+            data: entity_data(&[
+                ("s_id", Value::Int(sid)),
+                ("s_a", Value::str(format!("s-{}-{}", VOCAB[(sid % 8) as usize], sid))),
+                ("s_b", Value::Int(sid % 50)),
+            ]),
+            links: Vec::new(),
+        })
+        .collect();
+    stats.entities += s_batch.len();
+    store.bulk_insert(cat, &mut txn, "S", &s_batch)?;
+    // Weak entities: S1 spread across owners, S2 on even owners. Batched
+    // too — the bulk path falls back to per-row writes where the mapping
+    // folds them into their owner.
     let n_s1 = cfg.n_s1() as i64;
-    for i in 0..n_s1 {
-        let owner = i % n_s;
-        let no = i / n_s;
-        let data = entity_data(&[
-            ("s_id", Value::Int(owner)),
-            ("s1_no", Value::Int(no)),
-            ("s1_a", Value::Int(rng.gen_range(0..10_000))),
-            ("s1_b", Value::str(format!("w{owner}-{no}"))),
-        ]);
-        store.insert(cat, &mut txn, "S1", &data, &[])?;
-        stats.entities += 1;
-    }
+    let s1_batch: Vec<BulkEntity> = (0..n_s1)
+        .map(|i| {
+            let owner = i % n_s;
+            let no = i / n_s;
+            BulkEntity {
+                data: entity_data(&[
+                    ("s_id", Value::Int(owner)),
+                    ("s1_no", Value::Int(no)),
+                    ("s1_a", Value::Int(rng.gen_range(0..10_000))),
+                    ("s1_b", Value::str(format!("w{owner}-{no}"))),
+                ]),
+                links: Vec::new(),
+            }
+        })
+        .collect();
+    stats.entities += s1_batch.len();
+    store.bulk_insert(cat, &mut txn, "S1", &s1_batch)?;
     let n_s2 = cfg.n_s2() as i64;
-    for i in 0..n_s2 {
-        let owner = (i * 2) % n_s;
-        let no = i / n_s + 100;
-        let data = entity_data(&[
-            ("s_id", Value::Int(owner)),
-            ("s2_no", Value::Int(no)),
-            ("s2_a", Value::str(VOCAB[rng.gen_range(0..8usize)])),
-        ]);
-        store.insert(cat, &mut txn, "S2", &data, &[])?;
-        stats.entities += 1;
-    }
+    let s2_batch: Vec<BulkEntity> = (0..n_s2)
+        .map(|i| {
+            let owner = (i * 2) % n_s;
+            let no = i / n_s + 100;
+            BulkEntity {
+                data: entity_data(&[
+                    ("s_id", Value::Int(owner)),
+                    ("s2_no", Value::Int(no)),
+                    ("s2_a", Value::str(VOCAB[rng.gen_range(0..8usize)])),
+                ]),
+                links: Vec::new(),
+            }
+        })
+        .collect();
+    stats.entities += s2_batch.len();
+    store.bulk_insert(cat, &mut txn, "S2", &s2_batch)?;
 
-    // R hierarchy.
+    // R hierarchy. Instance data is generated in the original per-row
+    // order (so the RNG sequence — and thus the content — is unchanged),
+    // batched per concrete type, then bulk-loaded one type at a time.
     let mv_hi = (cfg.mv_avg * 2).max(2) as i64;
     let mut r2_members: Vec<i64> = Vec::new(); // R2-subtree keys for r2_s1
     let mut r1_members: Vec<i64> = Vec::new();
     let mut r3_members: Vec<i64> = Vec::new();
+    let mut r_batches: [Vec<BulkEntity>; 5] = Default::default();
     for i in 0..cfg.n_r as i64 {
-        let ty = TYPES[(i % 5) as usize];
+        let ty_index = (i % 5) as usize;
+        let ty = TYPES[ty_index];
         let mut data = entity_data(&[
             ("r_id", Value::Int(i)),
             ("r_a", Value::str(format!("r-{}-{}", VOCAB[(i % 7) as usize], i))),
@@ -179,9 +198,15 @@ pub fn populate_experiment(
             data.insert("r4_a".into(), Value::str(VOCAB[rng.gen_range(0..8usize)]));
         }
         let s_target = rng.gen_range(0..n_s);
-        store.insert(cat, &mut txn, ty, &data, &[("r_s", vec![Value::Int(s_target)])])?;
+        r_batches[ty_index].push(BulkEntity {
+            data,
+            links: vec![("r_s".to_string(), vec![Value::Int(s_target)])],
+        });
         stats.entities += 1;
         stats.links += 1;
+    }
+    for (ty, batch) in TYPES.iter().zip(&r_batches) {
+        store.bulk_insert(cat, &mut txn, ty, batch)?;
     }
 
     // r2_s1: nearly one-to-one — each R2-subtree member links to one S1

@@ -18,4 +18,4 @@ pub mod experiment;
 pub mod university;
 
 pub use experiment::{experiment_database, populate_experiment, ExperimentConfig, PopulationStats};
-pub use university::{populate_university, university_database};
+pub use university::{populate_university, university_database, IngestReport};

@@ -837,9 +837,12 @@ fn factorized_join_stream<'a>(
     // Factorized join enumeration synthesizes rows pair-by-pair; it has no
     // columnar form, so under columnar mode its morsels count as fallback.
     let track_fallback = ctx.columnar;
+    // One CSR build (or cache hit) per stream; every morsel then expands
+    // neighbours from the shared flat arrays instead of per-slot Vecs.
+    let csr = ft.csr_forward();
     let work = move |range: Range<usize>, out: &mut Vec<Row>| -> EngineResult<()> {
         let mut examined = 0u64;
-        'pairs: for row in ft.iter_join_slots(range) {
+        'pairs: for row in ft.iter_join_slots_csr(&csr, range) {
             examined += 1;
             for f in filters {
                 if !f.eval_predicate(&row)? {

@@ -39,6 +39,33 @@ fn fact_side(side: Side) -> FactSide {
 /// attributes under the owner's key names.
 pub type EntityData = FxHashMap<String, Value>;
 
+/// One instance in a [`EntityStore::bulk_insert`] batch: attribute data plus
+/// at-insert-time many-to-one link targets — the same contract as the
+/// `links` argument of [`EntityStore::insert`].
+#[derive(Debug, Clone, Default)]
+pub struct BulkEntity {
+    pub data: EntityData,
+    pub links: Vec<(String, Vec<Value>)>,
+}
+
+impl BulkEntity {
+    /// Build from attribute pairs, no links.
+    pub fn new(data: &[(&str, Value)]) -> BulkEntity {
+        BulkEntity {
+            data: data.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+            links: Vec::new(),
+        }
+    }
+
+    /// Build from attribute pairs plus link targets.
+    pub fn linked(data: &[(&str, Value)], links: &[(&str, Vec<Value>)]) -> BulkEntity {
+        BulkEntity {
+            data: data.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+            links: links.iter().map(|(r, k)| (r.to_string(), k.clone())).collect(),
+        }
+    }
+}
+
 /// A relationship instance: from-side key, to-side key, attributes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RelInstance {
@@ -154,6 +181,105 @@ impl<'a> EntityStore<'a> {
             }
         }
         Ok(())
+    }
+
+    /// Insert a batch of instances of one entity in a single logical
+    /// operation. Homes that lower to plain tables (merged, full, and
+    /// all-delta chains) are batched: rows are built up front, then each
+    /// physical table receives **one** [`Transaction::bulk_insert`] — one
+    /// undo entry, one WAL record, one secondary-index pass. Multi-valued
+    /// side-table rows are likewise batched per side table. Homes that need
+    /// read-modify-write (folded weak) or factorized/denormalized routing
+    /// fall back to per-instance [`EntityStore::insert`] within the same
+    /// transaction, so atomicity is identical either way.
+    ///
+    /// Returns the names of the plain tables that received batched rows
+    /// (empty on the fallback path).
+    pub fn bulk_insert(
+        &self,
+        cat: &mut Catalog,
+        txn: &mut Transaction,
+        entity: &str,
+        batch: &[BulkEntity],
+    ) -> MappingResult<Vec<String>> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        let chain = self.lw.schema.ancestry(entity)?;
+        let chain: Vec<EntitySet> = chain.into_iter().cloned().collect();
+        let most = chain.last().expect("nonempty ancestry");
+
+        // Physical tables that take one built row per instance, in chain
+        // order. Empty means the home needs the per-row fallback.
+        let mut home_tables: Vec<String> = Vec::new();
+        match self.lw.entity_home(&most.name)?.clone() {
+            EntityHome::Merged { table, .. }
+            | EntityHome::Table { table, layout: HierarchyLayout::Full } => {
+                home_tables.push(table);
+            }
+            EntityHome::FoldedWeak { .. } | EntityHome::CoLocated { .. } => {}
+            _ => {
+                for level in &chain {
+                    match self.lw.entity_home(&level.name)? {
+                        EntityHome::Table { table, layout: HierarchyLayout::Delta } => {
+                            home_tables.push(table.clone());
+                        }
+                        _ => {
+                            home_tables.clear();
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if home_tables.is_empty() {
+            for b in batch {
+                let links: Vec<(&str, Vec<Value>)> =
+                    b.links.iter().map(|(r, k)| (r.as_str(), k.clone())).collect();
+                self.insert(cat, txn, entity, &b.data, &links)?;
+            }
+            return Ok(Vec::new());
+        }
+
+        let mut per_table: Vec<(String, Vec<Row>)> = home_tables
+            .into_iter()
+            .map(|t| (t, Vec::with_capacity(batch.len())))
+            .collect();
+        for b in batch {
+            let links: Vec<(&str, Vec<Value>)> =
+                b.links.iter().map(|(r, k)| (r.as_str(), k.clone())).collect();
+            for (table, rows) in per_table.iter_mut() {
+                rows.push(self.build_row(table, entity, &b.data, &links)?);
+            }
+        }
+        // Multi-valued side tables, batched across the whole batch.
+        for level in &chain {
+            for attr in level.attributes.iter().filter(|a| a.multi_valued) {
+                if let MvHome::SideTable { table } = self.lw.mv_home(&level.name, &attr.name)? {
+                    let table = table.clone();
+                    let mut rows = Vec::new();
+                    for b in batch {
+                        if let Some(Value::Array(vals)) = b.data.get(&attr.name) {
+                            let key = self.key_of(entity, &b.data)?;
+                            for v in vals {
+                                let mut row = key.clone();
+                                row.push(v.clone());
+                                rows.push(row);
+                            }
+                        }
+                    }
+                    if !rows.is_empty() {
+                        per_table.push((table, rows));
+                    }
+                }
+            }
+        }
+        let mut touched = Vec::with_capacity(per_table.len());
+        for (table, rows) in per_table {
+            txn.bulk_insert(cat, &table, rows)?;
+            touched.push(table);
+        }
+        Ok(touched)
     }
 
     fn insert_folded_weak(

@@ -36,7 +36,7 @@ pub mod presets;
 pub mod rewrite;
 pub mod validate;
 
-pub use crud::{EntityData, EntityStore, RelInstance};
+pub use crud::{BulkEntity, EntityData, EntityStore, RelInstance};
 pub use error::{MappingError, MappingResult};
 pub use fragment::{CoFormat, Fragment, HierarchyLayout, Mapping};
 pub use lower::{EntityHome, Lowering, MvHome, RelHome, Side, TableSpec};

@@ -385,6 +385,32 @@ mod tests {
         assert!(text.contains("# TYPE z_last counter"));
     }
 
+    /// The ingest / incremental-checkpoint / CSR counters registered by the
+    /// storage and core crates: same-name registration hands back the same
+    /// instance (so increments from different call sites aggregate), and
+    /// all three render as proper counter families.
+    #[test]
+    fn ingest_checkpoint_and_csr_counters_register_once_and_render() {
+        let r = Registry::default();
+        let names = [
+            "erbium_ingest_rows_total",
+            "erbium_checkpoint_delta_tables",
+            "erbium_csr_rebuilds_total",
+        ];
+        for name in names {
+            let a = r.counter(name, "first registration");
+            let b = r.counter(name, "help ignored on re-registration");
+            a.add(2);
+            b.inc();
+            assert_eq!(a.get(), 3, "{name}: both handles hit one counter");
+        }
+        let text = r.render();
+        for name in names {
+            assert!(text.contains(&format!("# TYPE {name} counter")), "{name}:\n{text}");
+            assert!(text.contains(&format!("{name} 3")), "{name}:\n{text}");
+        }
+    }
+
     #[test]
     fn negative_and_nan_observations_are_clamped() {
         let r = Registry::default();

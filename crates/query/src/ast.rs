@@ -21,6 +21,20 @@ pub enum Statement {
     /// bring an empty networked server all the way to queryable over the
     /// wire: DDL, then INSTALL, then data.
     InstallMapping,
+    /// `COPY entity (attrs) FROM VALUES (...), (...)` — bulk ingest: the
+    /// whole batch commits as one WAL group with secondary indexes and
+    /// statistics refreshed once at the end.
+    Copy(CopyStmt),
+}
+
+/// `COPY entity (a, b, ...) FROM VALUES (1, 'x', ...), (2, 'y', ...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CopyStmt {
+    pub entity: String,
+    /// Attribute names, in the order the value tuples supply them.
+    pub columns: Vec<String>,
+    /// Literal tuples; each must match `columns` in arity.
+    pub rows: Vec<Vec<Literal>>,
 }
 
 /// `CREATE [WEAK] ENTITY name [EXTENDS parent] [OWNED BY owner VIA rel]

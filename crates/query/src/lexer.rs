@@ -46,7 +46,7 @@ const KEYWORDS: &[&str] = &[
     "FALSE", "CREATE", "DROP", "ENTITY", "WEAK", "OWNED", "EXTENDS", "RELATIONSHIP", "TO",
     "ONE", "MANY", "TOTAL", "PARTIAL", "DISJOINT", "OVERLAPPING", "KEY", "MULTIVALUED",
     "NULLABLE", "DESCRIPTION", "TAG", "ROLE", "COUNT", "SUM", "AVG", "MIN", "MAX", "ARRAY_AGG",
-    "UNNEST", "EXPLAIN", "INSTALL", "MAPPING", "DEFAULT",
+    "UNNEST", "EXPLAIN", "INSTALL", "MAPPING", "DEFAULT", "COPY", "VALUES",
 ];
 
 /// Tokenize the whole input.

@@ -154,6 +154,8 @@ impl Parser {
             self.expect_kw("MAPPING")?;
             self.expect_kw("DEFAULT")?;
             Ok(Statement::InstallMapping)
+        } else if self.eat_kw("COPY") {
+            self.copy()
         } else {
             Err(self.err(format!("expected statement, found {:?}", self.peek())))
         }
@@ -231,6 +233,41 @@ impl Parser {
         } else {
             Err(self.err("expected ENTITY or RELATIONSHIP after CREATE"))
         }
+    }
+
+    /// `COPY entity (a, b, ...) FROM VALUES (...), (...)` — the leading
+    /// `COPY` keyword has already been consumed.
+    fn copy(&mut self) -> ParseResult<Statement> {
+        let entity = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = vec![self.ident()?];
+        while self.eat(&Token::Comma) {
+            columns.push(self.ident()?);
+        }
+        self.expect(&Token::RParen)?;
+        self.expect_kw("FROM")?;
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let mut row = vec![self.literal()?];
+            while self.eat(&Token::Comma) {
+                row.push(self.literal()?);
+            }
+            self.expect(&Token::RParen)?;
+            if row.len() != columns.len() {
+                return Err(self.err(format!(
+                    "COPY tuple has {} values, expected {}",
+                    row.len(),
+                    columns.len()
+                )));
+            }
+            rows.push(row);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Copy(CopyStmt { entity, columns, rows }))
     }
 
     fn end_def(&mut self) -> ParseResult<EndDef> {
@@ -889,5 +926,40 @@ mod tests {
             Statement::Select(s) => assert_eq!(s.group_by.len(), 1),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn copy_from_values() {
+        let stmt = parse_single(
+            "COPY student (sid, name, gpa, active) FROM VALUES \
+             (1, 'ada', 3.9, TRUE), (-2, 'bob', NULL, FALSE)",
+        )
+        .unwrap();
+        let Statement::Copy(c) = stmt else { panic!("expected COPY") };
+        assert_eq!(c.entity, "student");
+        assert_eq!(c.columns, vec!["sid", "name", "gpa", "active"]);
+        assert_eq!(
+            c.rows,
+            vec![
+                vec![
+                    Literal::Int(1),
+                    Literal::Str("ada".into()),
+                    Literal::Float(3.9),
+                    Literal::Bool(true)
+                ],
+                vec![
+                    Literal::Int(-2),
+                    Literal::Str("bob".into()),
+                    Literal::Null,
+                    Literal::Bool(false)
+                ],
+            ]
+        );
+    }
+
+    #[test]
+    fn copy_rejects_ragged_tuples() {
+        let err = parse_single("COPY s (a, b) FROM VALUES (1, 2), (3)").unwrap_err();
+        assert!(err.to_string().contains("expected 2"), "{err}");
     }
 }

@@ -132,6 +132,35 @@ fn remote_prepared_statements_hit_the_plan_cache() {
 }
 
 #[test]
+fn copy_from_bulk_loads_over_the_wire() {
+    let server = serve();
+    let mut conn = client(&server);
+    // One COPY script statement: the whole batch commits as a single
+    // transaction server-side (one WAL group, one index pass).
+    Connection::execute(
+        &mut conn,
+        "COPY person (id, name, score) FROM VALUES \
+         (2000, 'bulk-a', 1), (2001, 'bulk-b', 2), (2002, 'bulk-c', 3)",
+    )
+    .unwrap();
+    let rows = conn
+        .query("SELECT COUNT(*) FROM person p WHERE p.id >= 2000")
+        .unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::Int(3)]]);
+    // A duplicate key anywhere in the batch rejects the whole batch.
+    let err = Connection::execute(
+        &mut conn,
+        "COPY person (id, name, score) FROM VALUES (3000, 'x', 0), (2001, 'dup', 0)",
+    )
+    .unwrap_err();
+    assert!(matches!(err, DbError::Storage(_)), "{err:?}");
+    let rows = conn
+        .query("SELECT COUNT(*) FROM person p WHERE p.id >= 3000")
+        .unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::Int(0)]], "batch rolled back atomically");
+}
+
+#[test]
 fn wire_errors_carry_stable_codes() {
     let server = serve();
     let mut conn = client(&server);

@@ -11,7 +11,7 @@ use crate::error::{StorageError, StorageResult};
 use crate::factorized::FactorizedTable;
 use crate::stats::{CatalogStats, TableStats};
 use crate::table::Table;
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 use std::sync::Arc;
 
 /// All physical state of one database instance.
@@ -38,6 +38,17 @@ pub struct Catalog {
     /// epoch interval they were live in. Process-local: recovery restarts
     /// at 0 (slot stamps are visibility bookkeeping, never persisted).
     epoch: u64,
+    /// Plain tables mutated since the last checkpoint (names inserted by
+    /// [`Catalog::table_mut`], cleared by [`Catalog::mark_checkpointed`]).
+    /// Incremental checkpoints serialize exactly this set into a delta.
+    dirty_tables: FxHashSet<String>,
+    /// Factorized structures mutated since the last checkpoint.
+    dirty_facts: FxHashSet<String>,
+    /// True when the *shape* of the catalog changed since the last
+    /// checkpoint (table/structure created or dropped). A structural change
+    /// forces the next checkpoint to be a full snapshot: deltas only carry
+    /// changed content, not existence.
+    structural_dirty: bool,
 }
 
 impl Catalog {
@@ -65,6 +76,7 @@ impl Catalog {
         if self.tables.contains_key(&name) || self.factorized.contains_key(&name) {
             return Err(StorageError::TableExists(name));
         }
+        self.structural_dirty = true;
         self.tables.insert(name, Arc::new(table));
         Ok(())
     }
@@ -76,6 +88,8 @@ impl Catalog {
         let t =
             self.tables.remove(name).ok_or_else(|| StorageError::TableNotFound(name.to_string()))?;
         self.stats.remove(name);
+        self.dirty_tables.remove(name);
+        self.structural_dirty = true;
         Ok(Arc::try_unwrap(t).unwrap_or_else(|shared| (*shared).clone()))
     }
 
@@ -100,8 +114,12 @@ impl Catalog {
             .get_mut(name)
             .ok_or_else(|| StorageError::TableNotFound(name.to_string()))?;
         self.stats.mark_stale(name);
+        if !self.dirty_tables.contains(name) {
+            self.dirty_tables.insert(name.to_string());
+        }
         let t = Arc::make_mut(t);
         t.set_write_epoch(epoch);
+        t.bump_content_epoch();
         Ok(t)
     }
 
@@ -122,6 +140,7 @@ impl Catalog {
         if self.tables.contains_key(&name) || self.factorized.contains_key(&name) {
             return Err(StorageError::TableExists(name));
         }
+        self.structural_dirty = true;
         self.factorized.insert(name, Arc::new(ft));
         Ok(())
     }
@@ -134,6 +153,8 @@ impl Catalog {
         self.stats.remove(name);
         self.stats.remove(&format!("{name}#left"));
         self.stats.remove(&format!("{name}#right"));
+        self.dirty_facts.remove(name);
+        self.structural_dirty = true;
         Ok(Arc::try_unwrap(ft).unwrap_or_else(|shared| (*shared).clone()))
     }
 
@@ -155,9 +176,13 @@ impl Catalog {
         self.stats.mark_stale(name);
         self.stats.mark_stale(&format!("{name}#left"));
         self.stats.mark_stale(&format!("{name}#right"));
+        if !self.dirty_facts.contains(name) {
+            self.dirty_facts.insert(name.to_string());
+        }
         let epoch = self.epoch;
         let ft = Arc::make_mut(self.factorized.get_mut(name).expect("checked above"));
         ft.set_write_epoch(epoch);
+        ft.bump_content_epoch();
         Ok(ft)
     }
 
@@ -169,6 +194,53 @@ impl Catalog {
         let mut names: Vec<String> = self.factorized.keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// Plain tables mutated since the last checkpoint, sorted.
+    pub fn dirty_table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.dirty_tables.iter().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Factorized structures mutated since the last checkpoint, sorted.
+    pub fn dirty_factorized_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.dirty_facts.iter().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Has the catalog's shape changed since the last checkpoint?
+    pub fn structural_dirty(&self) -> bool {
+        self.structural_dirty
+    }
+
+    /// Reset all dirty tracking. Called by the checkpointer once the
+    /// current state is safely on disk (full snapshot or delta).
+    pub(crate) fn mark_checkpointed(&mut self) {
+        self.dirty_tables.clear();
+        self.dirty_facts.clear();
+        self.structural_dirty = false;
+    }
+
+    /// Install a table version wholesale, replacing any existing entry of
+    /// the same name (delta-checkpoint recovery: the delta carries the whole
+    /// serialized table, not a diff).
+    pub(crate) fn install_table_version(&mut self, table: Table) {
+        self.tables.insert(table.name().to_string(), Arc::new(table));
+    }
+
+    /// Install a factorized-structure version wholesale (see
+    /// [`Catalog::install_table_version`]).
+    pub(crate) fn install_factorized_version(&mut self, name: String, ft: FactorizedTable) {
+        self.factorized.insert(name, Arc::new(ft));
+    }
+
+    /// Replace the whole metadata area (delta-checkpoint recovery: every
+    /// delta carries the full metadata map — it is tiny and versioning it
+    /// per-key is not worth the bookkeeping).
+    pub(crate) fn replace_meta(&mut self, meta: FxHashMap<String, serde_json::Value>) {
+        self.meta = meta;
     }
 
     /// Store a metadata document under a key (overwrites).
@@ -261,6 +333,27 @@ impl Catalog {
     /// paths.
     pub(crate) fn set_stats(&mut self, stats: CatalogStats) {
         self.stats = stats;
+    }
+
+    /// Recompute statistics for just the named plain tables. The bulk-ingest
+    /// path calls this once per batch to refresh what it touched instead of
+    /// re-scanning the whole catalog. Tables without an existing stats entry
+    /// are skipped: the no-stats-until-ANALYZE contract stays intact (a bulk
+    /// load must not flip the optimizer into cost-based mode by itself).
+    /// Returns the number of entries refreshed.
+    pub fn reanalyze_tables(&mut self, names: &[String]) -> usize {
+        let mut written = 0;
+        for name in names {
+            if self.stats.get(name).is_none() {
+                continue;
+            }
+            if let Some(t) = self.tables.get(name) {
+                let fresh = t.compute_stats();
+                self.stats.put(name.clone(), fresh);
+                written += 1;
+            }
+        }
+        written
     }
 
     /// ANALYZE: gather fresh statistics for every plain table and every
@@ -429,6 +522,39 @@ mod tests {
         let dropped = c.drop_table("a").unwrap();
         assert_eq!(dropped.len(), 1);
         assert_eq!(snap.table("a").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn dirty_tracking_follows_write_choke_points() {
+        use crate::value::Value;
+        let mut c = Catalog::new();
+        c.create_table(t("a")).unwrap();
+        c.create_table(t("b")).unwrap();
+        assert!(c.structural_dirty(), "creation is structural");
+        c.mark_checkpointed();
+        assert!(!c.structural_dirty());
+        assert!(c.dirty_table_names().is_empty());
+
+        let e0 = c.table("a").unwrap().content_epoch();
+        c.table_mut("a").unwrap().insert(vec![Value::Int(1)]).unwrap();
+        c.table_mut("a").unwrap().insert(vec![Value::Int(2)]).unwrap();
+        assert_eq!(c.dirty_table_names(), vec!["a".to_string()], "b untouched");
+        assert!(c.table("a").unwrap().content_epoch() > e0, "content epoch advanced");
+        assert!(!c.structural_dirty(), "CRUD is not structural");
+
+        c.mark_checkpointed();
+        assert!(c.dirty_table_names().is_empty());
+        c.drop_table("b").unwrap();
+        assert!(c.structural_dirty(), "drop is structural");
+
+        // Factorized structures are tracked in their own set.
+        let left = TableSchema::new("l", vec![Column::not_null("lid", DataType::Int)], vec![0]);
+        let right = TableSchema::new("r", vec![Column::not_null("rid", DataType::Int)], vec![0]);
+        c.create_factorized("f", FactorizedTable::new("f", left, right)).unwrap();
+        c.mark_checkpointed();
+        c.factorized_mut("f").unwrap().insert_left(vec![Value::Int(1)]).unwrap();
+        assert_eq!(c.dirty_factorized_names(), vec!["f".to_string()]);
+        assert!(c.dirty_table_names().is_empty());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! have no typed vector ([`ColumnVec::Other`]); readers fall back to the
 //! row view for those.
 
+use crate::row::Row;
 use crate::schema::TableSchema;
 use crate::value::{DataType, Value};
 use rustc_hash::FxHashMap;
@@ -389,6 +390,28 @@ impl Columns {
             c.set(slot, v);
         }
         self.live.set(slot, true);
+    }
+
+    /// Append a contiguous batch of canonicalized rows starting at
+    /// `first_slot`, marking every slot live. The bulk-ingest counterpart of
+    /// [`Columns::set_row`]: the vectors grow **once** for the whole batch
+    /// and each column is filled column-at-a-time, so dictionary interning
+    /// for a text column happens batch-at-a-time with the dictionary's hash
+    /// map hot in cache instead of being revisited once per row.
+    pub(crate) fn append_rows(&mut self, first_slot: usize, rows: &[Row]) {
+        let n = rows.len();
+        if n == 0 {
+            return;
+        }
+        self.ensure_len(first_slot + n);
+        for (ci, c) in self.cols.iter_mut().enumerate() {
+            for (i, row) in rows.iter().enumerate() {
+                c.set(first_slot + i, &row[ci]);
+            }
+        }
+        for i in 0..n {
+            self.live.set(first_slot + i, true);
+        }
     }
 
     /// Tombstone slot `slot` (validity cleared in every column).

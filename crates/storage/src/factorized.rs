@@ -19,9 +19,68 @@ use crate::schema::TableSchema;
 use crate::stats::TableStats;
 use crate::table::Table;
 use crate::value::Value;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Compressed-sparse-row view of one adjacency direction: `offsets` has one
+/// entry per source slot plus a terminator, and `neighbours_of(slot)` is the
+/// contiguous sub-slice `neighbours[offsets[slot]..offsets[slot+1]]`. Built
+/// lazily from the per-slot pointer lists on first traversal after a
+/// mutation (Kuzu's edge representation); traversal then walks two flat
+/// arrays instead of chasing one heap allocation per source row. Neighbour
+/// order within a slot is exactly the pointer-list order, so CSR expansion
+/// is bit-identical to row-at-a-time expansion.
+#[derive(Debug)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    neighbours: Vec<RowId>,
+}
+
+impl Csr {
+    fn build(adj: &[Vec<RowId>], slots: usize) -> Csr {
+        let total: usize = adj.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(slots + 1);
+        let mut neighbours = Vec::with_capacity(total);
+        offsets.push(0);
+        for slot in 0..slots {
+            if let Some(ns) = adj.get(slot) {
+                neighbours.extend_from_slice(ns);
+            }
+            offsets.push(neighbours.len() as u64);
+        }
+        Csr { offsets, neighbours }
+    }
+
+    /// Neighbours of a source slot; empty for out-of-range slots.
+    #[inline]
+    pub fn neighbours_of(&self, slot: usize) -> &[RowId] {
+        match (self.offsets.get(slot), self.offsets.get(slot + 1)) {
+            (Some(&s), Some(&e)) => &self.neighbours[s as usize..e as usize],
+            _ => &[],
+        }
+    }
+
+    /// Number of source slots covered.
+    pub fn slot_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of stored edges.
+    pub fn edge_count(&self) -> usize {
+        self.neighbours.len()
+    }
+}
+
+/// Lazily built CSR views of both directions. `None` means "stale": any
+/// adjacency mutation clears the slot and the next traversal rebuilds it.
+#[derive(Debug, Default, Clone)]
+struct CsrCache {
+    fwd: Option<Arc<Csr>>,
+    rev: Option<Arc<Csr>>,
+}
 
 /// The join of two relations stored in factorized form.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FactorizedTable {
     name: String,
     left: Table,
@@ -32,6 +91,34 @@ pub struct FactorizedTable {
     rev: Vec<Vec<RowId>>,
     /// Total number of (left, right) pairs, i.e. the join cardinality.
     pairs: usize,
+    /// CSR views of `fwd`/`rev`, built lazily on first traversal after a
+    /// mutation. Behind a mutex so `csr_forward` can memoize through `&self`
+    /// (published snapshot views are shared immutably); every adjacency
+    /// mutation already holds `&mut self` and invalidates lock-free via
+    /// `Mutex::get_mut`.
+    csr: Mutex<CsrCache>,
+    /// Monotonic content version bumped by `Catalog::factorized_mut`; see
+    /// [`Table::content_epoch`].
+    content_epoch: u64,
+}
+
+impl Clone for FactorizedTable {
+    fn clone(&self) -> Self {
+        FactorizedTable {
+            name: self.name.clone(),
+            left: self.left.clone(),
+            right: self.right.clone(),
+            fwd: self.fwd.clone(),
+            rev: self.rev.clone(),
+            pairs: self.pairs,
+            // Share the built CSR views: they are immutable behind `Arc`s,
+            // and a later mutation on either clone invalidates only that
+            // clone's cache. Keeps the cache warm across the catalog's
+            // copy-on-write `Arc::make_mut`.
+            csr: Mutex::new(self.csr.lock().clone()),
+            content_epoch: self.content_epoch,
+        }
+    }
 }
 
 impl FactorizedTable {
@@ -44,11 +131,60 @@ impl FactorizedTable {
             fwd: Vec::new(),
             rev: Vec::new(),
             pairs: 0,
+            csr: Mutex::new(CsrCache::default()),
+            content_epoch: 0,
         }
     }
 
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Monotonic content version (see [`Table::content_epoch`]).
+    pub fn content_epoch(&self) -> u64 {
+        self.content_epoch
+    }
+
+    /// Bump the content version. Called by `Catalog::factorized_mut`.
+    pub(crate) fn bump_content_epoch(&mut self) {
+        self.content_epoch += 1;
+    }
+
+    /// Drop both CSR views. Called by every adjacency mutation (row
+    /// inserts/deletes change the slot universe, link/unlink change the
+    /// edges); in-place member `update_*` calls do NOT invalidate because
+    /// they never touch the pointer lists.
+    fn invalidate_csr(&mut self) {
+        let cache = self.csr.get_mut();
+        cache.fwd = None;
+        cache.rev = None;
+    }
+
+    /// The forward (left slot → right neighbours) CSR view, building it on
+    /// first traversal after a mutation. Cheap when cached: one mutex lock
+    /// and an `Arc` clone.
+    pub fn csr_forward(&self) -> Arc<Csr> {
+        let mut cache = self.csr.lock();
+        if let Some(c) = &cache.fwd {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Csr::build(&self.fwd, self.left.slot_count()));
+        m_csr_rebuilds().inc();
+        cache.fwd = Some(Arc::clone(&c));
+        c
+    }
+
+    /// The reverse (right slot → left neighbours) CSR view, lazily built
+    /// like [`FactorizedTable::csr_forward`].
+    pub fn csr_reverse(&self) -> Arc<Csr> {
+        let mut cache = self.csr.lock();
+        if let Some(c) = &cache.rev {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Csr::build(&self.rev, self.right.slot_count()));
+        m_csr_rebuilds().inc();
+        cache.rev = Some(Arc::clone(&c));
+        c
     }
 
     /// Stamp the catalog commit epoch into both member tables (forwarded
@@ -78,6 +214,7 @@ impl FactorizedTable {
         if self.fwd.len() <= rid.idx() {
             self.fwd.resize_with(rid.idx() + 1, Vec::new);
         }
+        self.invalidate_csr();
         Ok(rid)
     }
 
@@ -87,6 +224,7 @@ impl FactorizedTable {
         if self.rev.len() <= rid.idx() {
             self.rev.resize_with(rid.idx() + 1, Vec::new);
         }
+        self.invalidate_csr();
         Ok(rid)
     }
 
@@ -101,6 +239,7 @@ impl FactorizedTable {
         self.fwd[l.idx()].push(r);
         self.rev[r.idx()].push(l);
         self.pairs += 1;
+        self.invalidate_csr();
         Ok(())
     }
 
@@ -114,6 +253,7 @@ impl FactorizedTable {
             rv.swap_remove(pos);
         }
         self.pairs -= 1;
+        self.invalidate_csr();
         true
     }
 
@@ -137,6 +277,7 @@ impl FactorizedTable {
                 self.pairs -= 1;
             }
         }
+        self.invalidate_csr();
         Ok(row)
     }
 
@@ -150,6 +291,7 @@ impl FactorizedTable {
                 self.pairs -= 1;
             }
         }
+        self.invalidate_csr();
         Ok(row)
     }
 
@@ -160,6 +302,7 @@ impl FactorizedTable {
         if self.fwd.len() <= l.idx() {
             self.fwd.resize_with(l.idx() + 1, Vec::new);
         }
+        self.invalidate_csr();
         Ok(())
     }
 
@@ -169,6 +312,7 @@ impl FactorizedTable {
         if self.rev.len() <= r.idx() {
             self.rev.resize_with(r.idx() + 1, Vec::new);
         }
+        self.invalidate_csr();
         Ok(())
     }
 
@@ -178,6 +322,7 @@ impl FactorizedTable {
         if self.fwd.len() <= l.idx() {
             self.fwd.resize_with(l.idx() + 1, Vec::new);
         }
+        self.invalidate_csr();
         Ok(())
     }
 
@@ -187,6 +332,7 @@ impl FactorizedTable {
         if self.rev.len() <= r.idx() {
             self.rev.resize_with(r.idx() + 1, Vec::new);
         }
+        self.invalidate_csr();
         Ok(())
     }
 
@@ -221,6 +367,8 @@ impl FactorizedTable {
             left,
             right,
             pairs: 0,
+            csr: Mutex::new(CsrCache::default()),
+            content_epoch: 0,
         };
         for (l, r) in links {
             ft.link(l, r)?;
@@ -256,6 +404,29 @@ impl FactorizedTable {
     ) -> impl Iterator<Item = Row> + '_ {
         self.left.scan_slots(range).flat_map(move |(l, lrow)| {
             self.neighbours_right(l).iter().map(move |&r| {
+                let rrow = self.right.get(r).expect("linked right row is live");
+                let mut row = Vec::with_capacity(lrow.len() + rrow.len());
+                row.extend_from_slice(lrow);
+                row.extend_from_slice(rrow);
+                row
+            })
+        })
+    }
+
+    /// Stream the stored join over a prebuilt forward CSR view, restricted
+    /// to left rows in `range`. Produces exactly the pairs of
+    /// [`FactorizedTable::iter_join_slots`] in exactly the same order —
+    /// neighbour order is preserved by [`Csr::build`] — but the inner loop
+    /// walks a contiguous slice of one flat neighbour array instead of a
+    /// per-slot heap `Vec`. Callers obtain `csr` once via
+    /// [`FactorizedTable::csr_forward`] and reuse it across morsels.
+    pub fn iter_join_slots_csr<'a>(
+        &'a self,
+        csr: &'a Csr,
+        range: std::ops::Range<usize>,
+    ) -> impl Iterator<Item = Row> + 'a {
+        self.left.scan_slots(range).flat_map(move |(l, lrow)| {
+            csr.neighbours_of(l.idx()).iter().map(move |&r| {
                 let rrow = self.right.get(r).expect("linked right row is live");
                 let mut row = Vec::with_capacity(lrow.len() + rrow.len());
                 row.extend_from_slice(lrow);
@@ -382,6 +553,20 @@ impl FactorizedTable {
     }
 }
 
+/// Counts lazy CSR (re)builds — one per direction per rebuild, so a stable
+/// read-mostly workload should show this flatline after warm-up. Handle
+/// interned once per process (same pattern as the WAL metrics).
+fn m_csr_rebuilds() -> &'static erbium_obs::Counter {
+    static H: std::sync::OnceLock<std::sync::Arc<erbium_obs::Counter>> =
+        std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        erbium_obs::Registry::global().counter(
+            "erbium_csr_rebuilds_total",
+            "Lazy CSR adjacency rebuilds (per direction) in factorized tables",
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -462,6 +647,73 @@ mod tests {
         assert_eq!(pieced, eager);
         // Early termination: taking 2 pairs does not walk the whole join.
         assert_eq!(f.iter_join().take(2).count(), 2);
+    }
+
+    #[test]
+    fn csr_expansion_is_bit_identical_to_row_path() {
+        let mut f = ft();
+        for i in 0..8 {
+            let l = f.insert_left(vec![Value::Int(i), Value::str("x")]).unwrap();
+            let r = f.insert_right(vec![Value::Int(100 + i), Value::Int(i)]).unwrap();
+            f.link(l, r).unwrap();
+            if i > 0 {
+                f.link(l, RowId(0)).unwrap();
+            }
+        }
+        // Churn so the slot universe has a tombstone and a recycled slot.
+        f.delete_left(RowId(3)).unwrap();
+        f.insert_left(vec![Value::Int(50), Value::str("y")]).unwrap();
+        f.link(RowId(3), RowId(5)).unwrap();
+
+        let csr = f.csr_forward();
+        let row_path: Vec<Row> = f.iter_join().collect();
+        let csr_path: Vec<Row> = f.iter_join_slots_csr(&csr, 0..f.left().slot_count()).collect();
+        assert_eq!(csr_path, row_path, "same pairs, same order");
+        assert_eq!(csr.edge_count(), f.pair_count());
+        // Morsel-ranged CSR expansion pieces the join together identically.
+        let mut pieced = Vec::new();
+        for start in (0..f.left().slot_count()).step_by(3) {
+            pieced.extend(f.iter_join_slots_csr(&csr, start..start + 3));
+        }
+        assert_eq!(pieced, row_path);
+        // Per-slot neighbour slices match the pointer lists exactly.
+        for slot in 0..f.left().slot_count() {
+            assert_eq!(csr.neighbours_of(slot), f.neighbours_right(RowId(slot as u64)));
+        }
+        assert!(csr.neighbours_of(10_000).is_empty(), "out of range reads as empty");
+    }
+
+    #[test]
+    fn csr_cache_rebuilds_lazily_after_mutation() {
+        let mut f = ft();
+        let l = f.insert_left(vec![Value::Int(1), Value::Null]).unwrap();
+        let r = f.insert_right(vec![Value::Int(10), Value::Null]).unwrap();
+        f.link(l, r).unwrap();
+
+        let before = m_csr_rebuilds().get();
+        let a = f.csr_forward();
+        let b = f.csr_forward();
+        // `ptr_eq` proves the second traversal reused the cached build; the
+        // counter check is `>=` because other tests share the global metric.
+        assert!(Arc::ptr_eq(&a, &b), "second traversal reuses the cached build");
+        assert!(m_csr_rebuilds().get() > before, "first traversal rebuilt");
+
+        // A clone keeps the warm cache; mutating the clone invalidates only
+        // the clone's cache.
+        let mut f2 = f.clone();
+        assert!(Arc::ptr_eq(&f2.csr_forward(), &a));
+        f2.unlink(l, r);
+        assert_eq!(f2.csr_forward().edge_count(), 0, "clone sees its own mutation");
+        assert!(Arc::ptr_eq(&f.csr_forward(), &a), "original cache untouched");
+
+        // In-place member updates do not invalidate (links unchanged) ...
+        f.update_left(l, vec![Value::Int(1), Value::str("nine")]).unwrap();
+        assert!(Arc::ptr_eq(&f.csr_forward(), &a));
+        // ... but an adjacency mutation does.
+        f.link(l, r).unwrap();
+        assert_eq!(f.csr_forward().edge_count(), 2);
+        // Reverse direction is cached independently.
+        assert_eq!(f.csr_reverse().neighbours_of(r.idx()).len(), 2);
     }
 
     #[test]

@@ -47,12 +47,14 @@ pub mod value {
 pub use catalog::Catalog;
 pub use column::{Bitmap, ColumnSlice, Columns, StringDict};
 pub use error::{StorageError, StorageResult};
-pub use factorized::FactorizedTable;
+pub use factorized::{Csr, FactorizedTable};
 pub use group_commit::GroupCommitter;
 pub use index::{BTreeIndex, HashIndex, IndexKind};
 pub use row::{Row, RowId};
 pub use schema::{Column, TableSchema};
-pub use snapshot::{Recovered, SNAPSHOT_FILE, WAL_FILE};
+pub use snapshot::{
+    write_checkpoint, CheckpointKind, Recovered, MAX_DELTA_CHAIN, SNAPSHOT_FILE, WAL_FILE,
+};
 pub use stats::{CatalogStats, ColumnStats, TableStats};
 pub use table::Table;
 pub use txn::{Transaction, UndoEntry};

@@ -27,12 +27,35 @@
 //! atomically (tmp + fsync + rename), so a damaged snapshot means real
 //! corruption, not a crash artifact.
 //!
+//! ## Incremental (delta) checkpoints
+//!
+//! Writing the whole catalog on every checkpoint is wasteful when only a
+//! few tables changed since the last one. [`write_checkpoint`] therefore
+//! consults the catalog's dirty tracking and, when the base snapshot is
+//! still representative, emits an `ERBSNAP2` **delta** file
+//! (`snapshot.delta.<seq>.erb`) instead: the full serialized state of just
+//! the dirty tables/factorized structures, plus the (tiny) metadata map and
+//! stats registry wholesale. Deltas chain: recovery applies the base
+//! snapshot, then each delta in sequence order, then the WAL suffix.
+//!
+//! Compaction back to a full snapshot happens when the chain grows past
+//! [`MAX_DELTA_CHAIN`], when the catalog's shape changed (DDL), or when
+//! most of the catalog is dirty anyway. A full snapshot deletes the delta
+//! files *after* the base rename; a crash in between leaves stale deltas
+//! behind, which is why every delta records the CRC of the base body it
+//! was computed against (`base_crc`). Deltas whose `base_crc` does not
+//! match the current base are ignored at recovery and deleted at the next
+//! checkpoint — content addressing, not trust in deletion order.
+//!
 //! ## Recovery protocol
 //!
-//! [`Catalog::recover`] = load the latest snapshot (or start empty), then
-//! redo the *committed* suffix of the WAL on top of it, placing rows at the
-//! exact slots the log recorded, and finally rebuild the free lists. The
-//! combination is exactly the committed prefix of history: rolled-back
+//! [`Catalog::recover`] = load the latest snapshot (or start empty), apply
+//! the valid delta chain on top, then redo the committed suffix of the WAL,
+//! placing rows at the exact slots the log recorded, and finally rebuild
+//! the free lists. WAL groups whose transaction id predates the checkpoint
+//! chain are already absorbed by it and are skipped — that makes the
+//! crash window between the checkpoint rename and the WAL truncation safe.
+//! The combination is exactly the committed prefix of history: rolled-back
 //! transactions never reached the log, and a torn tail loses only the
 //! in-flight group.
 
@@ -47,15 +70,52 @@ use crate::table::Table;
 use crate::wal::{
     crc32, get_row, put_row, put_str, put_u32, put_u64, scan_wal, Cursor, FactSide, WalRecord,
 };
+use rustc_hash::FxHashMap;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// File name of the checkpoint snapshot inside a database directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.erb";
 /// File name of the write-ahead log inside a database directory.
 pub const WAL_FILE: &str = "wal.erb";
+/// Maximum number of chained delta checkpoints before [`write_checkpoint`]
+/// compacts back to a full snapshot. Bounds recovery work (each delta is a
+/// file read + wholesale table installs) and disk amplification.
+pub const MAX_DELTA_CHAIN: usize = 8;
 
 const MAGIC: &[u8; 8] = b"ERBSNAP1";
+const MAGIC2: &[u8; 8] = b"ERBSNAP2";
+const DELTA_TMP: &str = "snapshot.delta.tmp";
+
+fn delta_file_name(seq: u64) -> String {
+    format!("snapshot.delta.{seq}.erb")
+}
+
+/// Parse `snapshot.delta.<seq>.erb` back into `<seq>`.
+fn parse_delta_name(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("snapshot.delta.")?;
+    let digits = rest.strip_suffix(".erb")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Every delta file in `dir`, unsorted. Temp files are skipped: a crash
+/// mid-write leaves only `snapshot.delta.tmp`, never a half-written delta
+/// under a real name.
+fn list_deltas(dir: &Path) -> StorageResult<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| io_err(&format!("read dir {}", dir.display()), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("read dir entry", e))?;
+        if let Some(seq) = entry.file_name().to_str().and_then(parse_delta_name) {
+            out.push((seq, entry.path()));
+        }
+    }
+    Ok(out)
+}
 
 fn corrupt(msg: impl Into<String>) -> StorageError {
     StorageError::Corrupt(msg.into())
@@ -250,27 +310,23 @@ fn decode_body(body: &[u8]) -> StorageResult<(Catalog, u64)> {
 
 // ---- file I/O --------------------------------------------------------------
 
-/// Write a checkpoint snapshot of `cat` to `dir/`[`SNAPSHOT_FILE`]
-/// atomically: the image lands in a temp file first, is fsynced, and then
-/// renamed over the previous snapshot, so a crash during checkpointing
-/// leaves either the old or the new snapshot — never a hybrid.
-pub fn write_snapshot(cat: &Catalog, next_txn: u64, dir: &Path) -> StorageResult<()> {
-    use erbium_obs::{Counter, Histogram, Registry};
-    use std::sync::{Arc, OnceLock};
-    static CHECKPOINTS: OnceLock<Arc<Counter>> = OnceLock::new();
-    static CHECKPOINT_SECONDS: OnceLock<Arc<Histogram>> = OnceLock::new();
-    let t0 = std::time::Instant::now();
-    let _span = erbium_obs::span("checkpoint");
-
-    let body = encode_body(cat, next_txn);
+/// Frame `body` under `magic` and write it to `dir/final_name` atomically:
+/// temp file, fsync, rename, best-effort directory fsync.
+fn write_frame_atomic(
+    dir: &Path,
+    tmp_name: &str,
+    final_name: &str,
+    magic: &[u8; 8],
+    body: &[u8],
+) -> StorageResult<()> {
     let mut out = Vec::with_capacity(body.len() + 16);
-    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(magic);
     put_u32(&mut out, body.len() as u32);
-    put_u32(&mut out, crc32(&body));
-    out.extend_from_slice(&body);
+    put_u32(&mut out, crc32(body));
+    out.extend_from_slice(body);
 
-    let final_path = dir.join(SNAPSHOT_FILE);
-    let tmp_path = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+    let final_path = dir.join(final_name);
+    let tmp_path = dir.join(tmp_name);
     {
         let mut f = std::fs::File::create(&tmp_path)
             .map_err(|e| io_err(&format!("create {}", tmp_path.display()), e))?;
@@ -283,6 +339,59 @@ pub fn write_snapshot(cat: &Catalog, next_txn: u64, dir: &Path) -> StorageResult
     if let Ok(d) = std::fs::File::open(dir) {
         let _ = d.sync_all();
     }
+    Ok(())
+}
+
+/// Read and CRC-verify a framed file, returning the body and its CRC (the
+/// CRC doubles as the content address deltas use to pin their base).
+fn read_frame(path: &Path, magic: &[u8; 8]) -> StorageResult<(Vec<u8>, u32)> {
+    let bytes =
+        std::fs::read(path).map_err(|e| io_err(&format!("read {}", path.display()), e))?;
+    if bytes.len() < magic.len() + 8 || &bytes[..magic.len()] != magic {
+        return Err(corrupt("snapshot: bad magic"));
+    }
+    let len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    let body = bytes.get(16..16 + len).ok_or_else(|| corrupt("snapshot: short body"))?;
+    if bytes.len() != 16 + len {
+        return Err(corrupt("snapshot: trailing bytes after frame"));
+    }
+    if crc32(body) != crc {
+        return Err(corrupt("snapshot: body CRC mismatch"));
+    }
+    let mut bytes = bytes;
+    bytes.drain(..16);
+    Ok((bytes, crc))
+}
+
+/// Read just the stored body CRC of the base snapshot — the content address
+/// a new delta records — without decoding (or re-hashing) the body.
+fn base_body_crc(path: &Path) -> StorageResult<u32> {
+    use std::io::Read;
+    let mut f = std::fs::File::open(path)
+        .map_err(|e| io_err(&format!("open {}", path.display()), e))?;
+    let mut header = [0u8; 16];
+    f.read_exact(&mut header).map_err(|e| io_err("snapshot header read", e))?;
+    if &header[..8] != MAGIC {
+        return Err(corrupt("snapshot: bad magic"));
+    }
+    Ok(u32::from_le_bytes(header[12..16].try_into().expect("4 bytes")))
+}
+
+/// Write a full checkpoint snapshot of `cat` to `dir/`[`SNAPSHOT_FILE`]
+/// atomically: the image lands in a temp file first, is fsynced, and then
+/// renamed over the previous snapshot, so a crash during checkpointing
+/// leaves either the old or the new snapshot — never a hybrid.
+pub fn write_snapshot(cat: &Catalog, next_txn: u64, dir: &Path) -> StorageResult<()> {
+    use erbium_obs::{Counter, Histogram, Registry};
+    use std::sync::{Arc, OnceLock};
+    static CHECKPOINTS: OnceLock<Arc<Counter>> = OnceLock::new();
+    static CHECKPOINT_SECONDS: OnceLock<Arc<Histogram>> = OnceLock::new();
+    let t0 = std::time::Instant::now();
+    let _span = erbium_obs::span("checkpoint");
+
+    let body = encode_body(cat, next_txn);
+    write_frame_atomic(dir, &format!("{SNAPSHOT_FILE}.tmp"), SNAPSHOT_FILE, MAGIC, &body)?;
     CHECKPOINTS
         .get_or_init(|| {
             Registry::global()
@@ -302,21 +411,249 @@ pub fn write_snapshot(cat: &Catalog, next_txn: u64, dir: &Path) -> StorageResult
 
 /// Load a snapshot file. Any malformation is [`StorageError::Corrupt`].
 pub fn load_snapshot(path: &Path) -> StorageResult<(Catalog, u64)> {
-    let bytes =
-        std::fs::read(path).map_err(|e| io_err(&format!("read {}", path.display()), e))?;
-    if bytes.len() < MAGIC.len() + 8 || &bytes[..MAGIC.len()] != MAGIC {
-        return Err(corrupt("snapshot: bad magic"));
+    let (body, _) = read_frame(path, MAGIC)?;
+    decode_body(&body)
+}
+
+// ---- delta checkpoints -----------------------------------------------------
+
+/// A decoded `ERBSNAP2` delta file: the full serialized state of every
+/// table/structure that was dirty at checkpoint time, applied wholesale on
+/// top of the base (or the previous delta) during recovery.
+struct Delta {
+    seq: u64,
+    base_crc: u32,
+    next_txn: u64,
+    tables: Vec<Table>,
+    facts: Vec<(String, FactorizedTable)>,
+    meta: FxHashMap<String, serde_json::Value>,
+    stats: Option<CatalogStats>,
+}
+
+fn encode_delta_body(
+    cat: &Catalog,
+    seq: u64,
+    base_crc: u32,
+    next_txn: u64,
+    tables: &[String],
+    facts: &[String],
+) -> StorageResult<Vec<u8>> {
+    let mut buf = Vec::with_capacity(1024);
+    put_u64(&mut buf, seq);
+    put_u32(&mut buf, base_crc);
+    put_u64(&mut buf, next_txn);
+
+    put_u32(&mut buf, tables.len() as u32);
+    for name in tables {
+        put_table(&mut buf, cat.table(name)?);
     }
-    let len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
-    let crc = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
-    let body = bytes.get(16..16 + len).ok_or_else(|| corrupt("snapshot: short body"))?;
-    if bytes.len() != 16 + len {
-        return Err(corrupt("snapshot: trailing bytes after frame"));
+
+    put_u32(&mut buf, facts.len() as u32);
+    for name in facts {
+        let ft = cat.factorized(name)?;
+        put_str(&mut buf, name);
+        put_table(&mut buf, ft.left());
+        put_table(&mut buf, ft.right());
+        let pairs = ft.link_pairs();
+        put_u32(&mut buf, pairs.len() as u32);
+        for (l, r) in pairs {
+            put_u64(&mut buf, l.0);
+            put_u64(&mut buf, r.0);
+        }
     }
-    if crc32(body) != crc {
-        return Err(corrupt("snapshot: body CRC mismatch"));
+
+    // The metadata map and stats registry ride along wholesale: both are
+    // tiny relative to table data and per-key dirty tracking is not worth
+    // the bookkeeping.
+    let mut meta: Vec<(&String, &serde_json::Value)> = cat.meta_entries().collect();
+    meta.sort_by_key(|(k, _)| k.as_str());
+    put_u32(&mut buf, meta.len() as u32);
+    for (k, v) in meta {
+        put_str(&mut buf, k);
+        put_str(&mut buf, &v.to_string());
     }
-    decode_body(body)
+    if cat.stats().is_empty() {
+        buf.push(0);
+    } else {
+        buf.push(1);
+        let stats_json = serde_json::to_string(cat.stats()).expect("catalog stats serialize");
+        put_str(&mut buf, &stats_json);
+    }
+    Ok(buf)
+}
+
+fn decode_delta_body(body: &[u8]) -> StorageResult<Delta> {
+    let mut c = Cursor::new(body);
+    let seq = c.u64().ok_or_else(|| corrupt("delta: short seq"))?;
+    let base_crc = c.u32().ok_or_else(|| corrupt("delta: short base crc"))?;
+    let next_txn = c.u64().ok_or_else(|| corrupt("delta: short next txn"))?;
+
+    let n_tables = c.u32().ok_or_else(|| corrupt("delta: short table count"))? as usize;
+    let mut tables = Vec::with_capacity(n_tables.min(1 << 10));
+    for _ in 0..n_tables {
+        tables.push(get_table(&mut c)?);
+    }
+
+    let n_facts = c.u32().ok_or_else(|| corrupt("delta: short factorized count"))? as usize;
+    let mut facts = Vec::with_capacity(n_facts.min(1 << 10));
+    for _ in 0..n_facts {
+        let name = c.str().ok_or_else(|| corrupt("delta: short factorized name"))?;
+        let left = get_table(&mut c)?;
+        let right = get_table(&mut c)?;
+        let n_pairs = c.u32().ok_or_else(|| corrupt("delta: short pair count"))? as usize;
+        let mut links = Vec::with_capacity(n_pairs.min(1 << 20));
+        for _ in 0..n_pairs {
+            let l = c.u64().ok_or_else(|| corrupt("delta: short link"))?;
+            let r = c.u64().ok_or_else(|| corrupt("delta: short link"))?;
+            links.push((RowId(l), RowId(r)));
+        }
+        let ft = FactorizedTable::from_parts(&name, left, right, links)
+            .map_err(|e| corrupt(format!("delta: factorized rebuild failed: {e}")))?;
+        facts.push((name, ft));
+    }
+
+    let n_meta = c.u32().ok_or_else(|| corrupt("delta: short meta count"))? as usize;
+    let mut meta = FxHashMap::default();
+    for _ in 0..n_meta {
+        let k = c.str().ok_or_else(|| corrupt("delta: short meta key"))?;
+        let v = c.str().ok_or_else(|| corrupt("delta: short meta value"))?;
+        let v: serde_json::Value = serde_json::from_str(&v)
+            .map_err(|e| corrupt(format!("delta: bad meta JSON under '{k}': {e}")))?;
+        meta.insert(k, v);
+    }
+    let stats = match c.u8().ok_or_else(|| corrupt("delta: short stats flag"))? {
+        0 => None,
+        1 => {
+            let s = c.str().ok_or_else(|| corrupt("delta: short stats section"))?;
+            Some(
+                serde_json::from_str(&s)
+                    .map_err(|e| corrupt(format!("delta: bad stats JSON: {e}")))?,
+            )
+        }
+        f => return Err(corrupt(format!("delta: bad stats flag {f}"))),
+    };
+    if !c.is_done() {
+        return Err(corrupt("delta: trailing bytes after body"));
+    }
+    Ok(Delta { seq, base_crc, next_txn, tables, facts, meta, stats })
+}
+
+fn load_delta(path: &Path) -> StorageResult<Delta> {
+    let (body, _) = read_frame(path, MAGIC2)?;
+    decode_delta_body(&body)
+}
+
+/// Just the identifying header of a delta file (frame still CRC-verified):
+/// enough for the checkpointer to tell live chain members from stale ones.
+fn delta_header(path: &Path) -> StorageResult<(u64, u32, u64)> {
+    let (body, _) = read_frame(path, MAGIC2)?;
+    let mut c = Cursor::new(&body);
+    let seq = c.u64().ok_or_else(|| corrupt("delta: short seq"))?;
+    let base_crc = c.u32().ok_or_else(|| corrupt("delta: short base crc"))?;
+    let next_txn = c.u64().ok_or_else(|| corrupt("delta: short next txn"))?;
+    Ok((seq, base_crc, next_txn))
+}
+
+/// What [`write_checkpoint`] decided to write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointKind {
+    /// A full `ERBSNAP1` snapshot; any existing delta chain was compacted
+    /// away.
+    Full,
+    /// An `ERBSNAP2` delta carrying only the dirty subset of the catalog.
+    Delta {
+        /// Plain tables serialized into the delta.
+        tables: usize,
+        /// Factorized structures serialized into the delta.
+        factorized: usize,
+    },
+}
+
+/// Write a checkpoint of `cat`, choosing between a full snapshot and an
+/// incremental delta based on the catalog's dirty tracking.
+///
+/// Full snapshots are forced when there is no base yet, when the catalog's
+/// shape changed (DDL — cheaper to restate everything than to version
+/// drops), when the delta chain reached [`MAX_DELTA_CHAIN`], or when more
+/// than half the catalog is dirty (the delta would approach the full image
+/// in size while still costing a chain read at recovery). Otherwise a delta
+/// is written — even with zero dirty tables it carries the authoritative
+/// `next_txn`/metadata/stats, which is what makes the subsequent WAL
+/// truncation safe.
+///
+/// Clears the catalog's dirty tracking on success.
+pub fn write_checkpoint(
+    cat: &mut Catalog,
+    next_txn: u64,
+    dir: &Path,
+) -> StorageResult<CheckpointKind> {
+    use erbium_obs::{Counter, Registry};
+    use std::sync::{Arc, OnceLock};
+    static DELTA_TABLES: OnceLock<Arc<Counter>> = OnceLock::new();
+
+    let base_path = dir.join(SNAPSHOT_FILE);
+    let dirty_tables = cat.dirty_table_names();
+    let dirty_facts = cat.dirty_factorized_names();
+    let dirty = dirty_tables.len() + dirty_facts.len();
+    let total = cat.table_names().len() + cat.factorized_names().len();
+
+    // Survey the existing chain. Stale deltas (wrong base, e.g. survivors
+    // of a crash between a full-snapshot rename and their deletion) are
+    // removed here; unreadable ones are real corruption and surface.
+    let base_crc = if base_path.exists() { Some(base_body_crc(&base_path)?) } else { None };
+    let mut chain_len = 0usize;
+    let mut max_seq = 0u64;
+    let mut stale: Vec<PathBuf> = Vec::new();
+    let deltas = list_deltas(dir)?;
+    for (file_seq, path) in &deltas {
+        let (seq, crc, _) = delta_header(path)?;
+        if seq != *file_seq {
+            return Err(corrupt(format!(
+                "delta: file {} claims seq {seq}",
+                path.display()
+            )));
+        }
+        if Some(crc) == base_crc {
+            chain_len += 1;
+            max_seq = max_seq.max(seq);
+        } else {
+            stale.push(path.clone());
+        }
+    }
+    for path in &stale {
+        let _ = std::fs::remove_file(path);
+    }
+
+    let force_full = base_crc.is_none()
+        || cat.structural_dirty()
+        || chain_len >= MAX_DELTA_CHAIN
+        || dirty * 2 > total;
+    if force_full {
+        write_snapshot(cat, next_txn, dir)?;
+        // Delete the now-absorbed chain *after* the base rename: a crash in
+        // between leaves stale deltas, which the `base_crc` check ignores.
+        for (_, path) in &deltas {
+            let _ = std::fs::remove_file(path);
+        }
+        cat.mark_checkpointed();
+        return Ok(CheckpointKind::Full);
+    }
+
+    let _span = erbium_obs::span("checkpoint_delta");
+    let base_crc = base_crc.expect("checked above");
+    let body =
+        encode_delta_body(cat, max_seq + 1, base_crc, next_txn, &dirty_tables, &dirty_facts)?;
+    write_frame_atomic(dir, DELTA_TMP, &delta_file_name(max_seq + 1), MAGIC2, &body)?;
+    DELTA_TABLES
+        .get_or_init(|| {
+            Registry::global().counter(
+                "erbium_checkpoint_delta_tables",
+                "Tables and factorized structures written into delta checkpoints",
+            )
+        })
+        .add(dirty as u64);
+    cat.mark_checkpointed();
+    Ok(CheckpointKind::Delta { tables: dirty_tables.len(), factorized: dirty_facts.len() })
 }
 
 // ---- recovery --------------------------------------------------------------
@@ -342,6 +679,12 @@ fn redo(cat: &mut Catalog, rec: WalRecord) -> StorageResult<()> {
         WalRecord::Begin { .. } | WalRecord::Commit { .. } | WalRecord::Abort { .. } => {}
         WalRecord::Insert { table, rid, row } => {
             cat.table_mut(&table)?.place_at(RowId(rid), row)?;
+        }
+        WalRecord::BulkInsert { table, first, rows } => {
+            let t = cat.table_mut(&table)?;
+            for (i, row) in rows.into_iter().enumerate() {
+                t.place_at(RowId(first + i as u64), row)?;
+            }
         }
         WalRecord::Update { table, rid, row } => {
             cat.table_mut(&table)?.update(RowId(rid), row)?;
@@ -388,13 +731,16 @@ fn redo(cat: &mut Catalog, rec: WalRecord) -> StorageResult<()> {
 impl Catalog {
     /// Reconstruct the catalog stored in `dir`: load `dir/snapshot.erb`
     /// when present (a missing snapshot means "start empty" — a fresh
-    /// database or one that has never checkpointed), then redo every
-    /// *committed* group in `dir/wal.erb` on top of it. Rows are placed at
-    /// the exact slots the log recorded; free lists are rebuilt afterwards.
+    /// database or one that has never checkpointed), apply the valid delta
+    /// chain in sequence order, then redo every *committed* group in
+    /// `dir/wal.erb` whose transaction id is not already absorbed by the
+    /// chain. Rows are placed at the exact slots the log recorded; free
+    /// lists are rebuilt afterwards.
     ///
     /// A torn or corrupt WAL tail is tolerated (that is what a crash looks
-    /// like); a corrupt snapshot is not, because snapshots are written
-    /// atomically.
+    /// like); a corrupt snapshot or delta is not, because both are written
+    /// atomically. Deltas recorded against a *different* base (stale
+    /// survivors of a full-snapshot compaction crash) are silently ignored.
     pub fn recover(dir: &Path) -> StorageResult<Recovered> {
         use erbium_obs::{Counter, Registry};
         use std::sync::{Arc, OnceLock};
@@ -405,18 +751,71 @@ impl Catalog {
 
         let snap_path = dir.join(SNAPSHOT_FILE);
         let (mut cat, mut next_txn) = if snap_path.exists() {
-            load_snapshot(&snap_path)?
+            let (body, base_crc) = read_frame(&snap_path, MAGIC)?;
+            let (mut cat, mut chain_txn) = decode_body(&body)?;
+
+            // Chain the deltas recorded against *this* base, newest last.
+            let mut chain: Vec<Delta> = Vec::new();
+            for (file_seq, path) in list_deltas(dir)? {
+                let d = load_delta(&path)?;
+                if d.seq != file_seq {
+                    return Err(corrupt(format!(
+                        "delta: file {} claims seq {}",
+                        path.display(),
+                        d.seq
+                    )));
+                }
+                if d.base_crc == base_crc {
+                    chain.push(d);
+                }
+            }
+            chain.sort_by_key(|d| d.seq);
+            for (i, d) in chain.iter().enumerate() {
+                if d.seq != i as u64 + 1 {
+                    return Err(corrupt(format!(
+                        "delta: chain not contiguous (expected seq {}, found {})",
+                        i + 1,
+                        d.seq
+                    )));
+                }
+            }
+            for d in chain {
+                for t in d.tables {
+                    cat.install_table_version(t);
+                }
+                for (name, ft) in d.facts {
+                    cat.install_factorized_version(name, ft);
+                }
+                cat.replace_meta(d.meta);
+                cat.set_stats(d.stats.unwrap_or_default());
+                chain_txn = chain_txn.max(d.next_txn);
+            }
+            (cat, chain_txn)
         } else {
             (Catalog::new(), 1)
         };
+        // The in-memory state now equals the on-disk checkpoint chain, so
+        // dirty tracking restarts clean; the WAL redo below re-marks
+        // exactly the tables the suffix touches (they *are* newer than the
+        // chain, and the next delta checkpoint must carry them).
+        let chain_txn = next_txn;
+        cat.mark_checkpointed();
         // Count restored stats entries now: the WAL redo below may mark
         // some of them stale (that is the re-derived-staleness contract),
-        // but they were restored from the snapshot either way.
+        // but they were restored from the checkpoint chain either way.
         let stats_restored = cat.stats().len();
         let scan = scan_wal(&dir.join(WAL_FILE))?;
         next_txn = next_txn.max(scan.next_txn);
-        let replayed_groups = scan.committed.len();
-        for group in scan.committed {
+        let mut replayed_groups = 0usize;
+        for (txn_id, group) in scan.committed {
+            // Groups the checkpoint chain already absorbed (a crash can
+            // land between the checkpoint rename and the WAL truncation)
+            // must not be redone: their rows are in the chain, and placing
+            // them again would collide with occupied slots.
+            if txn_id < chain_txn {
+                continue;
+            }
+            replayed_groups += 1;
             for rec in group {
                 redo(&mut cat, rec)?;
             }
@@ -761,6 +1160,216 @@ mod tests {
         let mut cat2 = rec.catalog;
         let rid = cat2.table_mut("t").unwrap().insert(vec![Value::Int(3)]).unwrap();
         assert_eq!(rid, RowId(0), "tombstoned slot recycled after recovery");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delta_checkpoint_roundtrip_and_chain() {
+        let dir = temp_dir("delta-roundtrip");
+        let mut cat = sample_catalog();
+        cat.analyze();
+        // Fresh catalog: shape is new, so the first checkpoint is full.
+        assert_eq!(write_checkpoint(&mut cat, 5, &dir).unwrap(), CheckpointKind::Full);
+
+        // Touch only `people` (1 of 2 structures) → delta carrying it alone.
+        cat.table_mut("people")
+            .unwrap()
+            .insert(vec![Value::Int(7), Value::str("gil"), Value::Null, Value::Null])
+            .unwrap();
+        assert_eq!(
+            write_checkpoint(&mut cat, 6, &dir).unwrap(),
+            CheckpointKind::Delta { tables: 1, factorized: 0 }
+        );
+        assert!(dir.join("snapshot.delta.1.erb").exists());
+
+        // Touch only the factorized structure → second delta in the chain.
+        let l = cat.factorized_mut("f").unwrap().insert_left(vec![Value::Int(9), Value::str("z")]).unwrap();
+        cat.factorized_mut("f").unwrap().link(l, RowId(0)).unwrap();
+        assert_eq!(
+            write_checkpoint(&mut cat, 7, &dir).unwrap(),
+            CheckpointKind::Delta { tables: 0, factorized: 1 }
+        );
+        assert!(dir.join("snapshot.delta.2.erb").exists());
+
+        let rec = Catalog::recover(&dir).unwrap();
+        assert_eq!(rec.next_txn, 7);
+        assert_eq!(rec.replayed_groups, 0);
+        assert_catalogs_equal(&cat, &rec.catalog);
+        assert_eq!(rec.catalog.stats(), cat.stats(), "stats ride along in deltas");
+        assert!(
+            rec.catalog.dirty_table_names().is_empty(),
+            "recovered state equals the chain — nothing dirty"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_compacts_on_ddl_dirty_fraction_and_chain_length() {
+        let dir = temp_dir("delta-compaction");
+        let mut cat = sample_catalog();
+        assert_eq!(write_checkpoint(&mut cat, 1, &dir).unwrap(), CheckpointKind::Full);
+
+        // DDL forces a full snapshot even with a tiny dirty set.
+        cat.create_table(Table::new(TableSchema::new(
+            "extra",
+            vec![Column::not_null("id", DataType::Int)],
+            vec![0],
+        )))
+        .unwrap();
+        assert_eq!(write_checkpoint(&mut cat, 2, &dir).unwrap(), CheckpointKind::Full);
+
+        // Most of the catalog dirty (2 of 3) → delta would approach a full
+        // image, so compaction wins.
+        cat.table_mut("people").unwrap().delete(RowId(1)).unwrap();
+        cat.table_mut("extra").unwrap().insert(vec![Value::Int(1)]).unwrap();
+        assert_eq!(write_checkpoint(&mut cat, 3, &dir).unwrap(), CheckpointKind::Full);
+
+        // Chain growth is bounded: after MAX_DELTA_CHAIN deltas the next
+        // checkpoint compacts and deletes the chain.
+        for i in 0..MAX_DELTA_CHAIN as u64 {
+            cat.table_mut("extra").unwrap().insert(vec![Value::Int(100 + i as i64)]).unwrap();
+            assert_eq!(
+                write_checkpoint(&mut cat, 4 + i, &dir).unwrap(),
+                CheckpointKind::Delta { tables: 1, factorized: 0 },
+                "delta #{i}"
+            );
+        }
+        assert!(dir.join(delta_file_name(MAX_DELTA_CHAIN as u64)).exists());
+        cat.table_mut("extra").unwrap().insert(vec![Value::Int(999)]).unwrap();
+        assert_eq!(
+            write_checkpoint(&mut cat, 42, &dir).unwrap(),
+            CheckpointKind::Full,
+            "chain at MAX_DELTA_CHAIN compacts"
+        );
+        assert!(list_deltas(&dir).unwrap().is_empty(), "compaction deletes the chain");
+        let rec = Catalog::recover(&dir).unwrap();
+        assert_eq!(rec.next_txn, 42);
+        assert_catalogs_equal(&cat, &rec.catalog);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_deltas_are_ignored_and_cleaned() {
+        let dir = temp_dir("delta-stale");
+        let mut cat = sample_catalog();
+        assert_eq!(write_checkpoint(&mut cat, 1, &dir).unwrap(), CheckpointKind::Full);
+        cat.table_mut("people")
+            .unwrap()
+            .insert(vec![Value::Int(7), Value::str("gil"), Value::Null, Value::Null])
+            .unwrap();
+        assert!(matches!(
+            write_checkpoint(&mut cat, 2, &dir).unwrap(),
+            CheckpointKind::Delta { .. }
+        ));
+
+        // Simulate a compaction crash: the new base snapshot is renamed
+        // into place, but the process dies before the old delta is deleted.
+        cat.table_mut("people")
+            .unwrap()
+            .insert(vec![Value::Int(8), Value::str("hal"), Value::Null, Value::Null])
+            .unwrap();
+        write_snapshot(&cat, 3, &dir).unwrap();
+        assert!(dir.join("snapshot.delta.1.erb").exists(), "stale delta survived the crash");
+
+        // Recovery must ignore the stale delta: its base_crc names the old
+        // base body, not the one on disk.
+        let rec = Catalog::recover(&dir).unwrap();
+        assert_eq!(rec.next_txn, 3);
+        assert_catalogs_equal(&cat, &rec.catalog);
+
+        // The next checkpoint garbage-collects it and starts a new chain.
+        let mut cat2 = rec.catalog;
+        cat2.table_mut("people")
+            .unwrap()
+            .insert(vec![Value::Int(9), Value::str("ivy"), Value::Null, Value::Null])
+            .unwrap();
+        assert!(matches!(
+            write_checkpoint(&mut cat2, 4, &dir).unwrap(),
+            CheckpointKind::Delta { tables: 1, .. }
+        ));
+        let deltas = list_deltas(&dir).unwrap();
+        assert_eq!(deltas.len(), 1, "stale delta collected, fresh chain of one");
+        assert_eq!(deltas[0].0, 1, "new chain restarts at seq 1");
+        let rec2 = Catalog::recover(&dir).unwrap();
+        assert_catalogs_equal(&cat2, &rec2.catalog);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_skips_wal_groups_absorbed_by_checkpoint_chain() {
+        let dir = temp_dir("absorbed-groups");
+        let mut cat = sample_catalog();
+        assert_eq!(write_checkpoint(&mut cat, 1, &dir).unwrap(), CheckpointKind::Full);
+        let mut wal = Wal::open(dir.join(WAL_FILE), SyncPolicy::Always, 1).unwrap();
+        for (id, name) in [(50, "nat"), (51, "ola")] {
+            Transaction::run_with(&mut cat, Some(&mut wal), |txn, cat| {
+                txn.insert(
+                    cat,
+                    "people",
+                    vec![Value::Int(id), Value::str(name), Value::Null, Value::Null],
+                )?;
+                Ok(())
+            })
+            .unwrap();
+        }
+        // Checkpoint absorbs both groups, but the process "crashes" before
+        // the WAL truncation — the groups are still on disk.
+        assert!(matches!(
+            write_checkpoint(&mut cat, wal.next_txn_id(), &dir).unwrap(),
+            CheckpointKind::Delta { .. }
+        ));
+        let rec = Catalog::recover(&dir).unwrap();
+        assert_eq!(rec.replayed_groups, 0, "absorbed groups must not be redone");
+        assert_catalogs_equal(&cat, &rec.catalog);
+
+        // A group committed after the checkpoint still replays.
+        Transaction::run_with(&mut cat, Some(&mut wal), |txn, cat| {
+            txn.insert(cat, "people", vec![Value::Int(52), Value::str("pam"), Value::Null, Value::Null])?;
+            Ok(())
+        })
+        .unwrap();
+        let rec2 = Catalog::recover(&dir).unwrap();
+        assert_eq!(rec2.replayed_groups, 1);
+        assert!(rec2.catalog.table("people").unwrap().lookup_pk(&Value::Int(52)).is_some());
+        assert_catalogs_equal(&cat, &rec2.catalog);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bulk_insert_record_replays_at_exact_slots() {
+        let dir = temp_dir("bulk-replay");
+        let mut cat = sample_catalog();
+        write_snapshot(&cat, 5, &dir).unwrap();
+        let mut wal = Wal::open(dir.join(WAL_FILE), SyncPolicy::Always, 5).unwrap();
+        Transaction::run_with(&mut cat, Some(&mut wal), |txn, cat| {
+            // Tombstone a low slot first: the batch must still land at the
+            // tail, and the hole must survive replay.
+            let (rid, _) = cat.table("people").unwrap().lookup_pk(&Value::Int(3)).unwrap();
+            txn.delete(cat, "people", rid)?;
+            let rows: Vec<_> = (10..20)
+                .map(|i| vec![Value::Int(i), Value::str(format!("u{i}")), Value::Int(i), Value::Null])
+                .collect();
+            let (first, n) = txn.bulk_insert(cat, "people", rows)?;
+            assert_eq!((first, n), (RowId(2), 10), "batch lands at the tail");
+            Ok(())
+        })
+        .unwrap();
+        let rec = Catalog::recover(&dir).unwrap();
+        assert_eq!(rec.replayed_groups, 1);
+        assert_catalogs_equal(&cat, &rec.catalog);
+        let t = rec.catalog.table("people").unwrap();
+        assert!(matches!(
+            t.lookup_pk(&Value::Int(12)).unwrap().1[2],
+            Value::Float(f) if f == 12.0
+        ), "replayed rows are the canonicalized ones");
+        // The pre-existing tombstone at slot 0 is still free after replay.
+        let mut cat2 = rec.catalog;
+        let rid = cat2
+            .table_mut("people")
+            .unwrap()
+            .insert(vec![Value::Int(99), Value::Null, Value::Null, Value::Null])
+            .unwrap();
+        assert_eq!(rid, RowId(0), "free list rebuilt around the bulk rows");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -37,6 +37,11 @@ pub struct Table {
     /// stamped by `Catalog::table_mut` before any mutation (0 for tables
     /// mutated outside a catalog, e.g. during construction or WAL redo).
     write_epoch: u64,
+    /// Monotonic content version, bumped by `Catalog::table_mut` every time
+    /// a writer checks the table out for mutation. Incremental checkpoints
+    /// compare it against the version captured at the last checkpoint to
+    /// decide whether the table must be re-serialized into a delta.
+    content_epoch: u64,
     /// Per-slot `[created_epoch, deleted_epoch)` visibility interval,
     /// slot-aligned with `rows` and maintained by all five write paths
     /// (insert / update / delete / restore / truncate). A live slot has
@@ -63,8 +68,22 @@ impl Table {
             pk_index,
             indexes: Vec::new(),
             write_epoch: 0,
+            content_epoch: 0,
             epochs: Vec::new(),
         }
+    }
+
+    /// Monotonic content version (see the field doc). Two observations of
+    /// the same table with equal content epochs are guaranteed unchanged;
+    /// unequal epochs mean a writer checked the table out in between.
+    pub fn content_epoch(&self) -> u64 {
+        self.content_epoch
+    }
+
+    /// Bump the content version. Called by `Catalog::table_mut` alongside
+    /// dirty-set maintenance, before the writer touches any row.
+    pub(crate) fn bump_content_epoch(&mut self) {
+        self.content_epoch += 1;
     }
 
     /// Stamp the catalog epoch that subsequent mutations belong to. Called
@@ -161,6 +180,68 @@ impl Table {
             }
         }
         Ok(rid)
+    }
+
+    /// Append a batch of rows at the tail in one shot — the bulk-ingest
+    /// fast path. Compared with a loop over [`Table::insert`]:
+    ///
+    /// - validation, canonicalization, and primary-key checks (against the
+    ///   index **and** within the batch) run up front, so a failure leaves
+    ///   the table untouched instead of half-ingested;
+    /// - the typed column vectors grow once for the whole batch and are
+    ///   filled column-at-a-time (dictionary interning batch-at-a-time);
+    /// - secondary indexes are extended in one pass at the end, not per row.
+    ///
+    /// Rows always land in fresh tail slots (`first..first+n`), never in
+    /// recycled free-list slots, so the batch is contiguous — which is what
+    /// lets the WAL describe it with a single compact `BulkInsert` record.
+    /// Returns `(first_slot, row_count)`.
+    pub fn bulk_append(&mut self, rows: Vec<Row>) -> StorageResult<(u64, usize)> {
+        let mut canon: Vec<Row> = Vec::with_capacity(rows.len());
+        let mut batch_keys: FxHashSet<Value> = FxHashSet::default();
+        for mut row in rows {
+            self.schema.validate_row(&row)?;
+            self.schema.canonicalize_row(&mut row);
+            if let Some(key) = self.schema.key_of(&row) {
+                let pk = self.pk_index.as_ref().expect("pk index exists when key declared");
+                if !pk.get(&key).is_empty() || !batch_keys.insert(key.clone()) {
+                    return Err(StorageError::DuplicateKey {
+                        table: self.schema.name.clone(),
+                        key: key.to_string(),
+                    });
+                }
+            }
+            canon.push(row);
+        }
+        let first = self.rows.len();
+        let n = canon.len();
+        if n == 0 {
+            return Ok((first as u64, 0));
+        }
+        self.cols.append_rows(first, &canon);
+        self.rows.reserve(n);
+        for row in canon {
+            self.rows.push(Some(row));
+        }
+        self.live += n;
+        if self.epochs.len() < first + n {
+            self.epochs.resize(first + n, (0, 0));
+        }
+        let epoch = self.write_epoch;
+        for stamp in &mut self.epochs[first..first + n] {
+            *stamp = (epoch, u64::MAX);
+        }
+        for slot in first..first + n {
+            let rid = RowId(slot as u64);
+            let row = self.rows[slot].as_ref().expect("just appended");
+            if let Some(key) = self.schema.key_of(row) {
+                self.pk_index.as_mut().expect("pk index").insert(key, rid);
+            }
+            for idx in &mut self.indexes {
+                idx.insert(row, rid);
+            }
+        }
+        Ok((first as u64, n))
     }
 
     /// Fetch a live row.
@@ -726,6 +807,75 @@ mod tests {
         t.insert(row(1, "ada", 36)).unwrap();
         assert!(matches!(t.insert(row(1, "bob", 20)), Err(StorageError::DuplicateKey { .. })));
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn bulk_append_matches_per_row_insert() {
+        let mut a = people();
+        let mut b = people();
+        let rows: Vec<Row> = (0..50).map(|i| row(i, "p", i % 7)).collect();
+        for r in rows.clone() {
+            a.insert(r).unwrap();
+        }
+        b.set_write_epoch(4);
+        let (first, n) = b.bulk_append(rows).unwrap();
+        assert_eq!((first, n), (0, 50));
+        assert_eq!(a.all_rows(), b.all_rows());
+        assert_eq!(a.compute_stats(), b.compute_stats());
+        assert_eq!(b.lookup_pk(&Value::Int(17)).unwrap().1[0], Value::Int(17));
+        assert_eq!(b.slot_epochs(17), Some((4, u64::MAX)), "batch slots carry the write epoch");
+    }
+
+    #[test]
+    fn bulk_append_rejects_duplicates_atomically() {
+        let mut t = people();
+        t.insert(row(1, "ada", 36)).unwrap();
+        // Duplicate against the existing primary-key index ...
+        assert!(matches!(
+            t.bulk_append(vec![row(2, "b", 1), row(1, "dup", 2)]),
+            Err(StorageError::DuplicateKey { .. })
+        ));
+        // ... and within the batch itself.
+        assert!(matches!(
+            t.bulk_append(vec![row(3, "c", 1), row(3, "c2", 2)]),
+            Err(StorageError::DuplicateKey { .. })
+        ));
+        assert_eq!(t.len(), 1, "failed batch leaves the table untouched");
+        assert_eq!(t.slot_count(), 1);
+        assert!(t.lookup_pk(&Value::Int(2)).is_none());
+    }
+
+    #[test]
+    fn bulk_append_lands_at_tail_not_free_slots() {
+        let mut t = people();
+        let r1 = t.insert(row(1, "ada", 36)).unwrap();
+        t.insert(row(2, "bob", 20)).unwrap();
+        t.delete(r1).unwrap();
+        let (first, n) = t.bulk_append(vec![row(3, "eve", 25), row(4, "kim", 30)]).unwrap();
+        assert_eq!((first, n), (2, 2), "batch is contiguous at the tail");
+        assert!(t.get(RowId(0)).is_none(), "freed slot is not recycled by a batch");
+        assert_eq!(t.len(), 3);
+        // The freed slot is still available to the per-row path afterwards.
+        assert_eq!(t.insert(row(5, "joe", 40)).unwrap(), r1);
+    }
+
+    #[test]
+    fn bulk_append_canonicalizes_and_indexes_once() {
+        let mut t = Table::new(TableSchema::new(
+            "m",
+            vec![Column::not_null("id", DataType::Int), Column::new("score", DataType::Float)],
+            vec![0],
+        ));
+        t.create_index("by_score", vec![1], IndexKind::Hash).unwrap();
+        t.bulk_append(vec![
+            vec![Value::Int(1), Value::Int(5)],
+            vec![Value::Int(2), Value::Float(5.0)],
+        ])
+        .unwrap();
+        assert!(matches!(t.get(RowId(0)).unwrap()[1], Value::Float(f) if f == 5.0));
+        assert_eq!(t.index_lookup(&[1], &Value::Float(5.0)).unwrap().len(), 2);
+        // Column view is slot-aligned with the batch too.
+        assert_eq!(t.column_slice(0).unwrap().value_at(1), Value::Int(2));
     }
 
     #[test]

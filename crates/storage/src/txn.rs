@@ -30,6 +30,9 @@ use crate::wal::{FactSide, Wal, WalRecord};
 pub enum UndoEntry {
     /// A row was inserted; undo by deleting it.
     Insert { table: String, rid: RowId },
+    /// A contiguous batch landed at the table's tail; undo by deleting the
+    /// batch slots (newest first).
+    BulkInsert { table: String, first: RowId, count: usize },
     /// A row was deleted; undo by restoring the old contents into its slot.
     Delete { table: String, rid: RowId, old: Row },
     /// A row was updated; undo by writing the old contents back.
@@ -96,6 +99,38 @@ impl Transaction {
             self.log.push(WalRecord::Insert { table: table.to_string(), rid: rid.0, row: stored });
         }
         Ok(rid)
+    }
+
+    /// Bulk-insert a contiguous batch through the transaction — the
+    /// bulk-ingest fast path. One undo entry and ONE compact
+    /// [`WalRecord::BulkInsert`] cover the whole batch (the per-row path
+    /// logs one record per row). Returns `(first RowId, count)`; the batch
+    /// occupies slots `first .. first + count` at the table's tail (see
+    /// [`crate::table::Table::bulk_append`]).
+    pub fn bulk_insert(
+        &mut self,
+        cat: &mut Catalog,
+        table: &str,
+        rows: Vec<Row>,
+    ) -> StorageResult<(RowId, usize)> {
+        let (first, n) = cat.table_mut(table)?.bulk_append(rows)?;
+        if n == 0 {
+            return Ok((RowId(first), 0));
+        }
+        self.undo.push(UndoEntry::BulkInsert {
+            table: table.to_string(),
+            first: RowId(first),
+            count: n,
+        });
+        if self.logging {
+            // Log the canonicalized stored representation (see `insert`).
+            let t = cat.table(table)?;
+            let stored: Vec<Row> = (first..first + n as u64)
+                .map(|slot| t.get(RowId(slot)).cloned().unwrap_or_default())
+                .collect();
+            self.log.push(WalRecord::BulkInsert { table: table.to_string(), first, rows: stored });
+        }
+        Ok((RowId(first), n))
     }
 
     /// Update through the transaction.
@@ -300,6 +335,12 @@ impl Transaction {
             match entry {
                 UndoEntry::Insert { table, rid } => {
                     cat.table_mut(&table)?.delete(rid)?;
+                }
+                UndoEntry::BulkInsert { table, first, count } => {
+                    let t = cat.table_mut(&table)?;
+                    for i in (0..count).rev() {
+                        t.delete(RowId(first.0 + i as u64))?;
+                    }
                 }
                 UndoEntry::Delete { table, rid, old } => {
                     cat.table_mut(&table)?.restore(rid, old)?;
@@ -524,6 +565,58 @@ mod tests {
         txn.rollback(&mut c).unwrap();
         let (_, r) = c.table("t").unwrap().lookup_pk(&Value::Int(1)).unwrap();
         assert_eq!(r[1], Value::str("a"));
+    }
+
+    #[test]
+    fn bulk_insert_rolls_back_whole_batch() {
+        let mut c = setup();
+        c.table_mut("t").unwrap().insert(row(1, "keep")).unwrap();
+        let mut txn = Transaction::new();
+        let (first, n) = txn
+            .bulk_insert(&mut c, "t", vec![row(2, "a"), row(3, "b"), row(4, "c")])
+            .unwrap();
+        assert_eq!((first, n), (RowId(1), 3));
+        // A later per-row delete inside the same txn composes with the
+        // batch undo (it restores the slot first, newest-first).
+        txn.delete(&mut c, "t", RowId(2)).unwrap();
+        txn.rollback(&mut c).unwrap();
+        let t = c.table("t").unwrap();
+        assert_eq!(t.len(), 1, "whole batch reverted");
+        assert!(t.lookup_pk(&Value::Int(1)).is_some());
+        assert!(t.lookup_pk(&Value::Int(3)).is_none());
+    }
+
+    #[test]
+    fn bulk_insert_logs_one_compact_record() {
+        let mut c = Catalog::new();
+        c.create_table(Table::new(TableSchema::new(
+            "m",
+            vec![Column::not_null("id", DataType::Int), Column::new("score", DataType::Float)],
+            vec![0],
+        )))
+        .unwrap();
+        let mut txn = Transaction::logged();
+        txn.bulk_insert(
+            &mut c,
+            "m",
+            vec![vec![Value::Int(1), Value::Int(5)], vec![Value::Int(2), Value::Null]],
+        )
+        .unwrap();
+        assert_eq!(txn.log.len(), 1, "one record for the whole batch");
+        match &txn.log[0] {
+            WalRecord::BulkInsert { table, first, rows } => {
+                assert_eq!((table.as_str(), *first, rows.len()), ("m", 0, 2));
+                assert!(
+                    matches!(rows[0][1], Value::Float(f) if f == 5.0),
+                    "logged post-canonicalization"
+                );
+            }
+            other => panic!("unexpected record {other:?}"),
+        }
+        // Empty batches log nothing and create no undo work.
+        assert_eq!(txn.bulk_insert(&mut c, "m", Vec::new()).unwrap().1, 0);
+        assert_eq!(txn.log.len(), 1);
+        txn.commit();
     }
 
     // ---- factorized coverage -------------------------------------------

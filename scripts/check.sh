@@ -10,13 +10,22 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 # Durability fault-injection suite (simulated crash at every WAL byte
-# offset, M1–M6, plus corruption). It already ran above as part of the
-# workspace tests; the named re-run makes a recovery regression visible
-# at a glance and keeps the suite from being silently filtered out.
+# offset, M1–M6, plus corruption — and, since PR 9, crash sweeps across
+# base + delta snapshot chains including torn delta tmp files). It
+# already ran above as part of the workspace tests; the named re-run
+# makes a recovery regression visible at a glance and keeps the suite
+# from being silently filtered out.
 cargo test -q --offline --test property_durability
+# Bulk-ingest suite: copy_from / COPY FROM atomicity (a duplicate key
+# anywhere rolls back the whole batch), plan-cache generation semantics
+# (exactly one invalidation per batch, none without ANALYZE-time stats),
+# and delta-checkpoint kinds + recovery chaining after bulk loads.
+cargo test -q --offline -p erbium-core --test bulk_ingest
 # Parallel-execution invariance sweep (bit-identical results across
 # columnar × threads × morsel × batch × fusion on M1–M6, an all-Value-
-# variant property fixture, + concurrent-query stress).
+# variant property fixture, + concurrent-query stress). The M6f arms
+# expand factorized joins through the CSR adjacency view, so this sweep
+# also gates CSR-vs-row bit-identity.
 cargo test -q --offline --test parallel_invariance
 # Columnar observability: EXPLAIN [cols=...], [columnar] metrics marker,
 # and the non-materialization proof via engine_columnar_cells_total

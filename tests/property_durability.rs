@@ -353,6 +353,91 @@ fn checkpoint_then_wal_suffix_recovers() {
     fs::remove_dir_all(&dir).ok();
 }
 
+/// PR-9: crash-at-every-byte across an `ERBSNAP2` base+delta checkpoint
+/// chain. The durable prefix is the base snapshot plus two delta files;
+/// the WAL carries only the post-chain suffix. Recovery must (a) be
+/// prefix-consistent for every WAL cut and every single-byte WAL flip on
+/// top of the chain, and (b) ignore a torn `snapshot.delta.tmp` at every
+/// byte — the crash window of the checkpoint writer is entirely inside
+/// the tmp file, since the final delta only appears via atomic rename.
+#[test]
+fn crash_at_every_byte_across_base_delta_chains() {
+    let dir = tmpdir("chain");
+    let mut db = Database::open(&dir).unwrap();
+    db.execute(EXPERIMENT_DDL).unwrap();
+    db.install_default().unwrap(); // structural → full base snapshot
+    let mut sh = Shadow::default();
+    let ops = mixed_ops();
+    for op in &ops[..3] {
+        apply(&mut db, &mut sh, op);
+    }
+    db.checkpoint().unwrap(); // delta 1
+    for op in &ops[3..6] {
+        apply(&mut db, &mut sh, op);
+    }
+    db.checkpoint().unwrap(); // delta 2
+    let mut prefixes = vec![fingerprint(&db)];
+    for op in &ops[6..] {
+        if apply(&mut db, &mut sh, op) {
+            prefixes.push(fingerprint(&db));
+        }
+    }
+    drop(db);
+    assert!(dir.join("snapshot.delta.1.erb").exists(), "chain was actually built");
+    assert!(dir.join("snapshot.delta.2.erb").exists(), "chain was actually built");
+
+    let wal = fs::read(dir.join("wal.erb")).unwrap();
+    assert!(!wal.is_empty(), "suffix ops are in the WAL, not the chain");
+    let crash_dir = tmpdir("chain-crash");
+    for f in ["snapshot.erb", "snapshot.delta.1.erb", "snapshot.delta.2.erb"] {
+        fs::copy(dir.join(f), crash_dir.join(f)).unwrap();
+    }
+    for cut in 0..=wal.len() {
+        fs::write(crash_dir.join("wal.erb"), &wal[..cut]).unwrap();
+        let rdb = Database::open(&crash_dir)
+            .unwrap_or_else(|e| panic!("open after cut at {cut}: {e}"));
+        let fp = fingerprint(&rdb);
+        assert!(
+            prefixes.contains(&fp),
+            "cut at byte {cut}/{}: chained recovery is not a committed prefix",
+            wal.len(),
+        );
+        if cut == wal.len() {
+            assert_eq!(fp, *prefixes.last().unwrap(), "full WAL = final state");
+        }
+    }
+    for flip in (0..wal.len()).step_by(7) {
+        let mut bytes = wal.clone();
+        bytes[flip] ^= 0x40;
+        fs::write(crash_dir.join("wal.erb"), &bytes).unwrap();
+        let rdb = Database::open(&crash_dir)
+            .unwrap_or_else(|e| panic!("open after flip at {flip}: {e}"));
+        assert!(
+            prefixes.contains(&fingerprint(&rdb)),
+            "flip at byte {flip}: chained recovery is not a committed prefix",
+        );
+    }
+
+    // Crash mid-checkpoint: the writer dies with the next delta partially
+    // written to its tmp file. Whatever length the tmp reached, recovery
+    // ignores it and the full-WAL state is intact.
+    fs::write(crash_dir.join("wal.erb"), &wal).unwrap();
+    let delta_bytes = fs::read(dir.join("snapshot.delta.2.erb")).unwrap();
+    for cut in (0..=delta_bytes.len()).step_by(3).chain([delta_bytes.len()]) {
+        fs::write(crash_dir.join("snapshot.delta.tmp"), &delta_bytes[..cut]).unwrap();
+        let rdb = Database::open(&crash_dir)
+            .unwrap_or_else(|e| panic!("open with torn delta tmp at {cut}: {e}"));
+        assert_eq!(
+            fingerprint(&rdb),
+            *prefixes.last().unwrap(),
+            "torn tmp at byte {cut}/{} must not affect recovery",
+            delta_bytes.len(),
+        );
+    }
+    fs::remove_dir_all(&dir).ok();
+    fs::remove_dir_all(&crash_dir).ok();
+}
+
 /// Clean shutdown under `SyncPolicy::EveryN`: commits still below the sync
 /// threshold are flushed by the WAL's `Drop` handler, so dropping the
 /// database loses nothing. The fsync itself is asserted through the
