@@ -12,15 +12,22 @@
 //! * **A-stats** — cost-based optimization on vs. off: the same queries
 //!   over the same instance, with and without ANALYZE-gathered statistics
 //!   (stats unlock build-side selection, join reordering, and
-//!   selectivity-ranked filters; without them those passes are no-ops).
+//!   selectivity-ranked filters; without them those passes are no-ops);
+//! * **A-bufferpool** — row-page buffer pool unbounded vs. an 8-frame
+//!   budget: full row-store scan cost when every page must be spilled and
+//!   re-faulted each pass, and query cost over the same bounded catalog
+//!   (the columnar working set answers queries, so bounding row pages
+//!   should cost queries ~nothing). Pool hit/miss/eviction counters are
+//!   printed once at the end.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
-use erbium_bench::{build, queries};
-use erbium_datagen::ExperimentConfig;
+use erbium_bench::{build, mapping_by_name, queries, BenchDb};
+use erbium_datagen::{populate_experiment, ExperimentConfig};
 use erbium_evolve::Migrator;
-use erbium_mapping::{EntityData, EntityStore};
-use erbium_storage::{IndexKind, Transaction, Value};
+use erbium_mapping::{EntityData, EntityStore, Lowering};
+use erbium_model::fixtures;
+use erbium_storage::{BufferPool, Catalog, IndexKind, Transaction, Value};
 
 fn config() -> ExperimentConfig {
     ExperimentConfig { n_r: 4_000, mv_avg: 3, seed: 42 }
@@ -200,12 +207,103 @@ fn bench_remap(c: &mut Criterion) {
     g.finish();
 }
 
+/// Like [`build`], but the catalog's row pages live behind a bounded
+/// buffer pool: `frames` resident pages, everything else spilled to a
+/// transient file under the system temp dir.
+fn build_bounded(name: &str, cfg: &ExperimentConfig, frames: usize) -> BenchDb {
+    let spill = std::env::temp_dir()
+        .join(format!("erbium-ablation-bufferpool-{}-{name}-{frames}.erb", std::process::id()));
+    let schema = fixtures::experiment();
+    let mapping = mapping_by_name(name);
+    let lowering = Lowering::build(&schema, &mapping).expect("paper mapping is valid");
+    let mut catalog = Catalog::with_pool(BufferPool::bounded(frames, spill));
+    lowering.install(&mut catalog).expect("fresh catalog");
+    let stats = populate_experiment(&mut catalog, &lowering, cfg).expect("population succeeds");
+    catalog.reclaim_pages();
+    BenchDb { name: name.to_string(), catalog, lowering, stats }
+}
+
+/// Full row-store walk: every row of every plain table. Under a bounded
+/// pool this faults every non-resident page back from the spill file.
+fn scan_all_rows(catalog: &Catalog) -> usize {
+    catalog
+        .table_names()
+        .iter()
+        .map(|n| catalog.table(n).unwrap().scan().count())
+        .sum()
+}
+
+fn bench_bufferpool(c: &mut Criterion) {
+    const FRAMES: usize = 8;
+    let cfg = config();
+    let mut g = c.benchmark_group("A-bufferpool");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+
+    // Unbounded scan: all pages resident, pure in-memory walk.
+    let db = build("M1", &cfg);
+    g.bench_function("M1_scan_unbounded", |b| {
+        b.iter(|| std::hint::black_box(scan_all_rows(&db.catalog)))
+    });
+
+    // Bounded scan: each pass reclaims down to the budget first, so the
+    // walk re-faults (and, the first time, writes back) nearly every page.
+    // This is the worst case — a working set FRAMES/page_count the size of
+    // the data, touched in full every pass.
+    let mut bdb = build_bounded("M1", &cfg, FRAMES);
+    g.bench_function(format!("M1_scan_bounded_{FRAMES}f"), |b| {
+        b.iter(|| {
+            bdb.catalog.reclaim_pages();
+            std::hint::black_box(scan_all_rows(&bdb.catalog))
+        })
+    });
+    let scan_stats = bdb.catalog.pool().stats();
+
+    // Query cost under the same bounded catalog: E1 (scan-shaped) and E5
+    // (3-way hierarchy join) run off the columnar working set, so the
+    // frame budget on row pages should be ~invisible here.
+    for (qid, sql) in [("E1", queries::E1), ("E5", queries::E5)] {
+        g.bench_function(format!("M1_{qid}_unbounded"), |b| {
+            b.iter(|| std::hint::black_box(db.run(sql)))
+        });
+        g.bench_function(format!("M1_{qid}_bounded_{FRAMES}f"), |b| {
+            b.iter(|| {
+                bdb.catalog.reclaim_pages();
+                std::hint::black_box(bdb.run(sql))
+            })
+        });
+    }
+    g.finish();
+
+    let end = bdb.catalog.pool().stats();
+    let hit_rate = |s: &erbium_storage::BufferPoolStats| {
+        100.0 * s.hits as f64 / (s.hits + s.misses).max(1) as f64
+    };
+    eprintln!(
+        "A-bufferpool pool counters (budget {FRAMES} frames):\n  \
+         after scans: hits={} misses={} evictions={} dirty_writebacks={} hit-rate={:.1}%\n  \
+         after queries: hits={} misses={} evictions={} dirty_writebacks={} hit-rate={:.1}%",
+        scan_stats.hits,
+        scan_stats.misses,
+        scan_stats.evictions,
+        scan_stats.dirty_writebacks,
+        hit_rate(&scan_stats),
+        end.hits,
+        end.misses,
+        end.evictions,
+        end.dirty_writebacks,
+        hit_rate(&end),
+    );
+}
+
 criterion_group!(
     benches,
     bench_index_ablation,
     bench_m6_format,
     bench_crud,
     bench_stats,
-    bench_remap
+    bench_remap,
+    bench_bufferpool
 );
 criterion_main!(benches);

@@ -233,7 +233,11 @@ fn group_commit_ablation(k: usize, per_thread: usize) -> report::Value {
         let dir = base.join(tag);
         let mut db = Database::open_with(
             &dir,
-            DurabilityOptions { sync: SyncPolicy::Always, group_commit_window: window },
+            DurabilityOptions {
+                sync: SyncPolicy::Always,
+                group_commit_window: window,
+                ..Default::default()
+            },
         )
         .expect("open durable db");
         db.execute("CREATE ENTITY ev (id int KEY, n int)").unwrap();

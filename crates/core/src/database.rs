@@ -92,6 +92,12 @@ pub struct DurabilityOptions {
     /// artificial latency — commits that overlap a running `fdatasync`
     /// still share the next one.
     pub group_commit_window: Duration,
+    /// Frame budget of the row-page buffer pool: the number of 64 KiB row
+    /// pages kept resident before cold pages spill to `pages.erb` in the
+    /// database directory. `None` (the default) is unbounded — every page
+    /// stays resident, exactly the pre-pool behavior. Query results are
+    /// identical either way; only memory residency changes.
+    pub buffer_pool_frames: Option<usize>,
 }
 
 /// Observability configuration, applied with
@@ -334,7 +340,11 @@ impl Database {
                 dir.display()
             )))
         })?;
-        let recovered = Catalog::recover(&dir)?;
+        let pool = match opts.buffer_pool_frames {
+            Some(frames) => erbium_storage::BufferPool::bounded(frames, dir.join("pages.erb")),
+            None => erbium_storage::BufferPool::unbounded(),
+        };
+        let recovered = Catalog::recover_with(&dir, pool)?;
         let catalog = recovered.catalog;
 
         // Rebuild the installed mapping (if any) from the persisted catalog
@@ -389,7 +399,17 @@ impl Database {
         d.wal.sync()?;
         let kind = snapshot::write_checkpoint(&mut self.catalog, d.wal.next_txn_id(), &d.dir)?;
         d.wal.truncate()?;
+        // Checkpointing walked every dirty table (faulting pages in for
+        // encoding); claw residency back under the frame budget before
+        // returning to the workload.
+        self.catalog.reclaim_pages();
         Ok(Some(kind))
+    }
+
+    /// Live counters of the row-page buffer pool this database's tables
+    /// are bound to (residency, budget, hit/miss/eviction totals).
+    pub fn buffer_pool_stats(&self) -> erbium_storage::BufferPoolStats {
+        self.catalog.pool().stats()
     }
 
     /// Heavyweight structural operations (install / evolve / remap /
@@ -566,6 +586,11 @@ impl Database {
         let lw = Arc::clone(self.lowering.as_ref().ok_or(DbError::NotInstalled)?);
         let durable = self.durability.is_some();
         self.catalog.advance_epoch();
+        // Advance the pool's write clock: pages dirtied by this transaction
+        // stamp the new clock value, which stays above the write-back
+        // barrier until the transaction ends — eviction can never spill
+        // uncommitted state (see `erbium_storage::buffer_pool`).
+        self.catalog.pool().note_txn_start();
         let mut tx = Tx {
             store: EntityStore::new(&lw),
             cat: &mut self.catalog,
@@ -594,6 +619,12 @@ impl Database {
                     }
                 }
                 txn.commit();
+                // The group is in the WAL (or this is an in-memory
+                // database): raise the write-back barrier so this
+                // transaction's pages become evictable, then shed any
+                // residency overshoot.
+                cat.pool().note_txn_end();
+                cat.reclaim_pages();
                 Ok((out, lsn))
             }
             Err(e) => {
@@ -603,6 +634,10 @@ impl Database {
                         "rollback failed: {re} (original error: {e})"
                     )))
                 })?;
+                // The undo log restored committed state, so the touched
+                // pages are clean to write back again.
+                cat.pool().note_txn_end();
+                cat.reclaim_pages();
                 Err(e)
             }
         }

@@ -125,6 +125,76 @@ fn bulk_load_without_analyzed_stats_leaves_the_plan_cache_alone() {
 }
 
 #[test]
+fn fallback_bulk_paths_refresh_stats_and_bump_generation_once() {
+    let _g = lock();
+    let mut db = Database::new();
+    db.execute(
+        "CREATE ENTITY course (cid int KEY, title text);
+         CREATE RELATIONSHIP sec_of FROM section MANY TOTAL TO course ONE;
+         CREATE WEAK ENTITY section OWNED BY course VIA sec_of (sec_no int KEY, room text NULLABLE);
+         CREATE ENTITY student (sid int KEY, sname text);
+         CREATE ENTITY dorm (did int KEY, dname text);
+         CREATE RELATIONSHIP lives_in FROM student MANY TO dorm MANY;",
+    )
+    .unwrap();
+    // Mixed-home mapping: sections fold into course rows (per-instance
+    // read-modify-write) and students co-locate with dorms in one
+    // denormalized table — both route copy_from through the per-instance
+    // fallback rather than the batched path.
+    let mapping = {
+        use erbium_core::mapping::{presets, CoFormat};
+        let m = presets::normalized(db.schema());
+        let m = presets::fold_weak(m, db.schema(), "section").unwrap();
+        presets::colocate(m, db.schema(), "lives_in", CoFormat::Denormalized).unwrap()
+    };
+    db.install(mapping).unwrap();
+
+    let courses: Vec<BulkEntity> = (0..8)
+        .map(|i| BulkEntity::new(&[("cid", Value::Int(i)), ("title", Value::str(format!("c{i}")))]))
+        .collect();
+    db.copy_from("course", &courses).unwrap();
+    assert!(db.analyze() > 0);
+    db.query("SELECT c.title FROM course c").unwrap();
+
+    // Folded-weak fallback: the batch rewrites course rows in place. One
+    // batch must refresh the owner table's stats and bump the plan-cache
+    // generation exactly once — not zero times (the old bug: the fallback
+    // reported no touched tables) and not once per instance.
+    let sections: Vec<BulkEntity> = (0..20)
+        .map(|i| {
+            BulkEntity::new(&[
+                ("cid", Value::Int(i % 8)),
+                ("sec_no", Value::Int(i)),
+                ("room", Value::str(format!("r{i}"))),
+            ])
+        })
+        .collect();
+    let before = db.plan_cache_stats().invalidations;
+    db.copy_from("section", &sections).unwrap();
+    assert_eq!(
+        db.plan_cache_stats().invalidations,
+        before + 1,
+        "folded-weak fallback bumps the generation exactly once per batch"
+    );
+
+    // Co-located fallback: rows land in the denormalized table, so the
+    // refreshed statistics are live without another ANALYZE.
+    let students: Vec<BulkEntity> = (0..40)
+        .map(|i| BulkEntity::new(&[("sid", Value::Int(i)), ("sname", Value::str(format!("s{i}")))]))
+        .collect();
+    let before = db.plan_cache_stats().invalidations;
+    db.copy_from("student", &students).unwrap();
+    assert_eq!(
+        db.plan_cache_stats().invalidations,
+        before + 1,
+        "co-located fallback bumps the generation exactly once per batch"
+    );
+    let co = erbium_core::mapping::presets::co_table("lives_in");
+    let stats = db.catalog().table_stats(&co).expect("co-located table was analyzed");
+    assert_eq!(stats.row_count, 40, "fallback refresh is live in the stats");
+}
+
+#[test]
 fn ingest_rows_counter_counts_bulk_loaded_instances() {
     let _g = lock();
     let c = erbium_core::obs::Registry::global().counter("erbium_ingest_rows_total", "");

@@ -243,6 +243,11 @@ fn metrics_text_exports_engine_wal_and_pool_families() {
         "erbium_recoveries_total",
         // bulk ingest
         "erbium_ingest_rows_total",
+        // buffer pool (registered eagerly at pool construction)
+        "erbium_bufferpool_hits_total",
+        "erbium_bufferpool_misses_total",
+        "erbium_bufferpool_evictions_total",
+        "erbium_bufferpool_dirty_writebacks_total",
         // worker pool
         "erbium_pool_waves_total",
         "erbium_pool_jobs_total",

@@ -667,7 +667,11 @@ fn table_scan_stream<'a>(
     let wave_m = Arc::clone(&scan_m);
     let work = move |range: Range<usize>, out: &mut Vec<Row>| -> EngineResult<()> {
         let mut examined = 0u64;
-        'rows: for (_, row) in t.scan_slots(range) {
+        // Pin the morsel's pages once: rows borrow from the pin, and a
+        // bounded buffer pool serves evicted pages transiently instead of
+        // growing the resident set past its frame budget.
+        let pin = t.pin_slots(range);
+        'rows: for (_, row) in pin.iter() {
             examined += 1;
             for f in filters {
                 if !f.eval_predicate(row)? {

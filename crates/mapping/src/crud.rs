@@ -193,8 +193,10 @@ impl<'a> EntityStore<'a> {
     /// fall back to per-instance [`EntityStore::insert`] within the same
     /// transaction, so atomicity is identical either way.
     ///
-    /// Returns the names of the plain tables that received batched rows
-    /// (empty on the fallback path).
+    /// Returns the names of the plain tables that received rows. On the
+    /// fallback path this is derived from the mapping homes (the tables
+    /// the per-instance inserts write to), so callers can refresh live
+    /// statistics and invalidate cached plans once per batch either way.
     pub fn bulk_insert(
         &self,
         cat: &mut Catalog,
@@ -233,12 +235,18 @@ impl<'a> EntityStore<'a> {
             }
         }
         if home_tables.is_empty() {
+            // Per-instance fallback (folded-weak / co-located homes). The
+            // rows still land in physical tables, so report them: the
+            // caller refreshes live statistics and bumps the plan-cache
+            // generation once for the whole batch, same as the batched
+            // path above.
+            let touched = self.fallback_touched(&chain)?;
             for b in batch {
                 let links: Vec<(&str, Vec<Value>)> =
                     b.links.iter().map(|(r, k)| (r.as_str(), k.clone())).collect();
                 self.insert(cat, txn, entity, &b.data, &links)?;
             }
-            return Ok(Vec::new());
+            return Ok(touched);
         }
 
         let mut per_table: Vec<(String, Vec<Row>)> = home_tables
@@ -278,6 +286,63 @@ impl<'a> EntityStore<'a> {
         for (table, rows) in per_table {
             txn.bulk_insert(cat, &table, rows)?;
             touched.push(table);
+        }
+        Ok(touched)
+    }
+
+    /// Plain tables the per-instance fallback of [`Self::bulk_insert`] can
+    /// write to, derived from the mapping homes. Conservative per batch: a
+    /// table is listed if any instance may land a row (or an in-place
+    /// folded-weak update) in it.
+    fn fallback_touched(&self, chain: &[EntitySet]) -> MappingResult<Vec<String>> {
+        fn note(table: &str, touched: &mut Vec<String>) {
+            if !touched.iter().any(|t| t == table) {
+                touched.push(table.to_string());
+            }
+        }
+        let mut touched: Vec<String> = Vec::new();
+        let most = chain.last().expect("nonempty ancestry");
+        if let EntityHome::FoldedWeak { owner, .. } = self.lw.entity_home(&most.name)? {
+            // Folded weak elements rewrite the owning row in place; the
+            // owner instance lives in its own home table or — under a
+            // full-layout hierarchy — in a descendant's.
+            let owner = owner.clone();
+            match self.lw.entity_home(&owner)? {
+                EntityHome::Table { table, .. } | EntityHome::Merged { table, .. } => {
+                    note(table, &mut touched);
+                }
+                EntityHome::CoLocated { table, format: CoFormat::Denormalized, .. } => {
+                    note(table, &mut touched);
+                }
+                _ => {}
+            }
+            for d in self.lw.schema.descendants(&owner) {
+                if let EntityHome::Table { table, .. } = self.lw.entity_home(&d.name)? {
+                    note(table, &mut touched);
+                }
+            }
+        } else {
+            for level in chain {
+                match self.lw.entity_home(&level.name)? {
+                    EntityHome::Table { table, .. } | EntityHome::Merged { table, .. } => {
+                        note(table, &mut touched);
+                    }
+                    EntityHome::CoLocated { table, format: CoFormat::Denormalized, .. } => {
+                        note(table, &mut touched);
+                    }
+                    // Factorized members keep their statistics under
+                    // `name#side` entries that only ANALYZE writes;
+                    // nothing for the caller to refresh.
+                    EntityHome::CoLocated { .. } | EntityHome::FoldedWeak { .. } => {}
+                }
+            }
+        }
+        for level in chain {
+            for attr in level.attributes.iter().filter(|a| a.multi_valued) {
+                if let MvHome::SideTable { table } = self.lw.mv_home(&level.name, &attr.name)? {
+                    note(table, &mut touched);
+                }
+            }
         }
         Ok(touched)
     }

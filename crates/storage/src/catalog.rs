@@ -7,6 +7,7 @@
 //! upper layers to persist the E/R schema, the installed mapping, and the
 //! schema version history.
 
+use crate::buffer_pool::BufferPool;
 use crate::error::{StorageError, StorageResult};
 use crate::factorized::FactorizedTable;
 use crate::stats::{CatalogStats, TableStats};
@@ -24,8 +25,12 @@ use std::sync::Arc;
 /// table iff a snapshot still shares it. Readers therefore keep a fully
 /// consistent, immutable view (rows, columns, indexes, stats) with no locks
 /// held while the writer keeps mutating.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct Catalog {
+    /// The buffer pool every table installed in this catalog is bound to.
+    /// Unbounded by default; [`Catalog::recover_with`] and the database
+    /// layer thread a budgeted pool through instead.
+    pool: Arc<BufferPool>,
     tables: FxHashMap<String, Arc<Table>>,
     factorized: FxHashMap<String, Arc<FactorizedTable>>,
     meta: FxHashMap<String, serde_json::Value>,
@@ -51,9 +56,69 @@ pub struct Catalog {
     structural_dirty: bool,
 }
 
+impl Default for Catalog {
+    fn default() -> Catalog {
+        Catalog::with_pool(BufferPool::unbounded())
+    }
+}
+
 impl Catalog {
     pub fn new() -> Catalog {
         Catalog::default()
+    }
+
+    /// An empty catalog whose tables will be bound to `pool`.
+    pub fn with_pool(pool: Arc<BufferPool>) -> Catalog {
+        Catalog {
+            pool,
+            tables: FxHashMap::default(),
+            factorized: FxHashMap::default(),
+            meta: FxHashMap::default(),
+            stats: CatalogStats::default(),
+            epoch: 0,
+            dirty_tables: FxHashSet::default(),
+            dirty_facts: FxHashSet::default(),
+            structural_dirty: false,
+        }
+    }
+
+    /// The buffer pool this catalog's tables are bound to.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// One cooperative eviction pass: while the pool is over budget, sweep
+    /// the catalog's tables clock-hand style and evict cold pages (second
+    /// chance first, then a forced pass). Tables still shared with a
+    /// pinned snapshot are skipped — evicting their pages would not free
+    /// memory, the snapshot's clone keeps them resident. Called from the
+    /// `&mut` choke points (transaction end, checkpoint, recovery); spill
+    /// I/O failures make eviction a no-op rather than an error, since
+    /// dropping cold pages is an optimization, never a correctness step.
+    pub fn reclaim_pages(&mut self) -> usize {
+        if !self.pool.over_budget() {
+            return 0;
+        }
+        let mut evicted = 0;
+        for force in [false, true] {
+            for t in self.tables.values_mut() {
+                if !self.pool.over_budget() {
+                    return evicted;
+                }
+                if let Some(t) = Arc::get_mut(t) {
+                    evicted += t.reclaim_pages(force).unwrap_or(0);
+                }
+            }
+            for ft in self.factorized.values_mut() {
+                if !self.pool.over_budget() {
+                    return evicted;
+                }
+                if let Some(ft) = Arc::get_mut(ft) {
+                    evicted += ft.reclaim_pages(force).unwrap_or(0);
+                }
+            }
+        }
+        evicted
     }
 
     /// The current commit epoch (see the `epoch` field).
@@ -71,11 +136,12 @@ impl Catalog {
 
     /// Register a new table. Fails if the name is taken (by either a plain
     /// or a factorized table).
-    pub fn create_table(&mut self, table: Table) -> StorageResult<()> {
+    pub fn create_table(&mut self, mut table: Table) -> StorageResult<()> {
         let name = table.name().to_string();
         if self.tables.contains_key(&name) || self.factorized.contains_key(&name) {
             return Err(StorageError::TableExists(name));
         }
+        table.bind_pool(&self.pool);
         self.structural_dirty = true;
         self.tables.insert(name, Arc::new(table));
         Ok(())
@@ -135,11 +201,12 @@ impl Catalog {
     }
 
     /// Register a factorized (multi-relation) structure.
-    pub fn create_factorized(&mut self, name: impl Into<String>, ft: FactorizedTable) -> StorageResult<()> {
+    pub fn create_factorized(&mut self, name: impl Into<String>, mut ft: FactorizedTable) -> StorageResult<()> {
         let name = name.into();
         if self.tables.contains_key(&name) || self.factorized.contains_key(&name) {
             return Err(StorageError::TableExists(name));
         }
+        ft.bind_pool(&self.pool);
         self.structural_dirty = true;
         self.factorized.insert(name, Arc::new(ft));
         Ok(())
@@ -226,13 +293,15 @@ impl Catalog {
     /// Install a table version wholesale, replacing any existing entry of
     /// the same name (delta-checkpoint recovery: the delta carries the whole
     /// serialized table, not a diff).
-    pub(crate) fn install_table_version(&mut self, table: Table) {
+    pub(crate) fn install_table_version(&mut self, mut table: Table) {
+        table.bind_pool(&self.pool);
         self.tables.insert(table.name().to_string(), Arc::new(table));
     }
 
     /// Install a factorized-structure version wholesale (see
     /// [`Catalog::install_table_version`]).
-    pub(crate) fn install_factorized_version(&mut self, name: String, ft: FactorizedTable) {
+    pub(crate) fn install_factorized_version(&mut self, name: String, mut ft: FactorizedTable) {
+        ft.bind_pool(&self.pool);
         self.factorized.insert(name, Arc::new(ft));
     }
 

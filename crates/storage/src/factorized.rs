@@ -342,6 +342,30 @@ impl FactorizedTable {
         self.right.rebuild_free();
     }
 
+    /// Rebind both member tables to another buffer pool (catalog install).
+    pub(crate) fn bind_pool(&mut self, pool: &Arc<crate::buffer_pool::BufferPool>) {
+        self.left.bind_pool(pool);
+        self.right.bind_pool(pool);
+    }
+
+    /// One eviction pass over both member tables (see [`Table::reclaim_pages`]).
+    pub(crate) fn reclaim_pages(&mut self, force: bool) -> StorageResult<usize> {
+        Ok(self.left.reclaim_pages(force)? + self.right.reclaim_pages(force)?)
+    }
+
+    /// Remove every row and every link from both members. The CSR views
+    /// must be invalidated here just like on any other adjacency mutation:
+    /// a cached view describes the pre-truncate slot universe, and serving
+    /// it afterwards would resurrect the join.
+    pub fn truncate(&mut self) {
+        self.left.truncate();
+        self.right.truncate();
+        self.fwd.clear();
+        self.rev.clear();
+        self.pairs = 0;
+        self.invalidate_csr();
+    }
+
     /// Dump every stored `(left, right)` link pair (checkpoint support).
     pub(crate) fn link_pairs(&self) -> Vec<(RowId, RowId)> {
         let mut out = Vec::with_capacity(self.pairs);
@@ -402,15 +426,7 @@ impl FactorizedTable {
         &self,
         range: std::ops::Range<usize>,
     ) -> impl Iterator<Item = Row> + '_ {
-        self.left.scan_slots(range).flat_map(move |(l, lrow)| {
-            self.neighbours_right(l).iter().map(move |&r| {
-                let rrow = self.right.get(r).expect("linked right row is live");
-                let mut row = Vec::with_capacity(lrow.len() + rrow.len());
-                row.extend_from_slice(lrow);
-                row.extend_from_slice(rrow);
-                row
-            })
-        })
+        JoinSlots::new(self, None, range)
     }
 
     /// Stream the stored join over a prebuilt forward CSR view, restricted
@@ -425,15 +441,7 @@ impl FactorizedTable {
         csr: &'a Csr,
         range: std::ops::Range<usize>,
     ) -> impl Iterator<Item = Row> + 'a {
-        self.left.scan_slots(range).flat_map(move |(l, lrow)| {
-            csr.neighbours_of(l.idx()).iter().map(move |&r| {
-                let rrow = self.right.get(r).expect("linked right row is live");
-                let mut row = Vec::with_capacity(lrow.len() + rrow.len());
-                row.extend_from_slice(lrow);
-                row.extend_from_slice(rrow);
-                row
-            })
-        })
+        JoinSlots::new(self, Some(csr), range)
     }
 
     /// Enumerate the full join result: each pair as `left_row ++ right_row`.
@@ -550,6 +558,83 @@ impl FactorizedTable {
             }
         }
         total
+    }
+}
+
+/// Pin-based join enumeration: the engine of [`FactorizedTable::iter_join_slots`]
+/// and [`FactorizedTable::iter_join_slots_csr`]. Pins the left morsel's pages
+/// once up front and re-pins one right page at a time as the pointer chase
+/// crosses page boundaries, so enumerating a join larger than the frame
+/// budget keeps at most the morsel's left pages plus one right page pinned.
+/// Produces pairs in exactly pointer-list order (CSR preserves it), matching
+/// the pre-paging row-at-a-time expansion bit for bit.
+struct JoinSlots<'a> {
+    ft: &'a FactorizedTable,
+    csr: Option<&'a Csr>,
+    left: crate::pages::SlotPin,
+    cursor: usize,
+    end: usize,
+    /// Index into the current left slot's neighbour list.
+    neigh: usize,
+    /// Pin of the page holding the most recent right row — pointer chases
+    /// have strong page locality, so one cached pin absorbs most accesses.
+    right: Option<crate::pages::SlotPin>,
+}
+
+impl<'a> JoinSlots<'a> {
+    fn new(ft: &'a FactorizedTable, csr: Option<&'a Csr>, range: std::ops::Range<usize>) -> Self {
+        let left = ft.left.pin_slots(range);
+        let r = left.range();
+        JoinSlots { ft, csr, left, cursor: r.start, end: r.end, neigh: 0, right: None }
+    }
+
+    fn right_row(&mut self, r: RowId) -> &Row {
+        let idx = r.idx();
+        let stale = match &self.right {
+            Some(pin) => !pin.range().contains(&idx),
+            None => true,
+        };
+        if stale {
+            let pr = self.ft.right.page_rows();
+            let start = idx / pr * pr;
+            self.right = Some(self.ft.right.pin_slots(start..start + pr));
+        }
+        self.right.as_ref().expect("just pinned").get(idx).expect("linked right row is live")
+    }
+}
+
+impl Iterator for JoinSlots<'_> {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        loop {
+            if self.cursor >= self.end {
+                return None;
+            }
+            let l = self.cursor;
+            let ns_len = match self.csr {
+                Some(c) => c.neighbours_of(l).len(),
+                None => self.ft.neighbours_right(RowId(l as u64)).len(),
+            };
+            if self.left.get(l).is_none() || self.neigh >= ns_len {
+                self.cursor += 1;
+                self.neigh = 0;
+                continue;
+            }
+            let r = match self.csr {
+                Some(c) => c.neighbours_of(l)[self.neigh],
+                None => self.ft.neighbours_right(RowId(l as u64))[self.neigh],
+            };
+            self.neigh += 1;
+            let mut row = {
+                let lrow = self.left.get(l).expect("checked live");
+                let mut row = Vec::with_capacity(lrow.len() + self.ft.right.schema().arity());
+                row.extend_from_slice(lrow);
+                row
+            };
+            row.extend_from_slice(self.right_row(r));
+            return Some(row);
+        }
     }
 }
 
@@ -714,6 +799,77 @@ mod tests {
         assert_eq!(f.csr_forward().edge_count(), 2);
         // Reverse direction is cached independently.
         assert_eq!(f.csr_reverse().neighbours_of(r.idx()).len(), 2);
+    }
+
+    #[test]
+    fn truncate_invalidates_csr_views() {
+        let mut f = ft();
+        for i in 0..4 {
+            let l = f.insert_left(vec![Value::Int(i), Value::str("x")]).unwrap();
+            let r = f.insert_right(vec![Value::Int(100 + i), Value::Int(i)]).unwrap();
+            f.link(l, r).unwrap();
+        }
+        let warm_fwd = f.csr_forward();
+        let warm_rev = f.csr_reverse();
+        assert_eq!(warm_fwd.edge_count(), 4);
+
+        f.truncate();
+        let after = f.csr_forward();
+        assert!(!Arc::ptr_eq(&warm_fwd, &after), "truncate dropped the cached forward view");
+        assert!(!Arc::ptr_eq(&warm_rev, &f.csr_reverse()), "and the reverse view");
+        assert_eq!(after.edge_count(), 0);
+        assert_eq!(f.iter_join_slots_csr(&after, 0..16).count(), 0, "no resurrected pairs");
+
+        // Repopulating reuses the slot universe from zero; the fresh CSR
+        // expansion is bit-identical to the row path.
+        for i in 0..3 {
+            let l = f.insert_left(vec![Value::Int(50 + i), Value::str("y")]).unwrap();
+            let r = f.insert_right(vec![Value::Int(200 + i), Value::Int(i)]).unwrap();
+            f.link(l, r).unwrap();
+        }
+        let csr = f.csr_forward();
+        let row_path: Vec<Row> = f.iter_join().collect();
+        let csr_path: Vec<Row> = f.iter_join_slots_csr(&csr, 0..f.left().slot_count()).collect();
+        assert_eq!(csr_path, row_path);
+        assert_eq!(csr.edge_count(), 3);
+    }
+
+    #[test]
+    fn rollback_invalidates_csr_views() {
+        use crate::catalog::Catalog;
+        use crate::txn::Transaction;
+
+        let mut c = Catalog::new();
+        c.create_factorized("f", ft()).unwrap();
+        let (l0, r0, r1) = {
+            let f = c.factorized_mut("f").unwrap();
+            let l0 = f.insert_left(vec![Value::Int(1), Value::str("a")]).unwrap();
+            let r0 = f.insert_right(vec![Value::Int(10), Value::Int(0)]).unwrap();
+            let r1 = f.insert_right(vec![Value::Int(20), Value::Int(1)]).unwrap();
+            f.link(l0, r0).unwrap();
+            (l0, r0, r1)
+        };
+        let warm = c.factorized("f").unwrap().csr_forward();
+        assert_eq!(warm.edge_count(), 1);
+
+        // A transaction links, inserts, unlinks — then rolls back. The undo
+        // replays through the same adjacency mutators, so the cached CSR
+        // must not survive into the restored state.
+        let mut txn = Transaction::new();
+        txn.fact_link(&mut c, "f", l0, r1).unwrap();
+        txn.fact_insert(&mut c, "f", crate::wal::FactSide::Left, vec![Value::Int(2), Value::str("b")])
+            .unwrap();
+        txn.fact_unlink(&mut c, "f", l0, r0).unwrap();
+        txn.rollback(&mut c).unwrap();
+
+        let f = c.factorized("f").unwrap();
+        let csr = f.csr_forward();
+        assert!(!Arc::ptr_eq(&warm, &csr) || csr.edge_count() == 1, "no stale view after undo");
+        let row_path: Vec<Row> = f.iter_join().collect();
+        let csr_path: Vec<Row> = f.iter_join_slots_csr(&csr, 0..f.left().slot_count()).collect();
+        assert_eq!(csr_path, row_path, "CSR expansion bit-identical to the row path after undo");
+        assert_eq!(csr.edge_count(), 1, "exactly the pre-transaction pair");
+        assert_eq!(f.neighbours_right(l0), vec![r0]);
     }
 
     #[test]

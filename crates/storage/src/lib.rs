@@ -21,12 +21,14 @@
 //!   physical pointers and aggregate pushdown;
 //! * per-table [`stats`] used by the query optimizer and the mapping advisor.
 
+pub mod buffer_pool;
 pub mod catalog;
 pub mod column;
 pub mod error;
 pub mod factorized;
 pub mod group_commit;
 pub mod index;
+pub mod pages;
 pub mod row;
 pub mod schema;
 pub mod snapshot;
@@ -44,8 +46,10 @@ pub mod value {
     pub use erbium_model::value::{DataType, Value};
 }
 
+pub use buffer_pool::{BufferPool, BufferPoolStats, PAGE_SIZE};
 pub use catalog::Catalog;
 pub use column::{Bitmap, ColumnSlice, Columns, StringDict};
+pub use pages::SlotPin;
 pub use error::{StorageError, StorageResult};
 pub use factorized::{Csr, FactorizedTable};
 pub use group_commit::GroupCommitter;

@@ -59,11 +59,12 @@
 //! transactions never reached the log, and a torn tail loses only the
 //! in-flight group.
 
+use crate::buffer_pool::BufferPool;
 use crate::catalog::Catalog;
 use crate::error::{StorageError, StorageResult};
 use crate::factorized::FactorizedTable;
 use crate::index::IndexKind;
-use crate::row::{Row, RowId};
+use crate::row::RowId;
 use crate::schema::TableSchema;
 use crate::stats::CatalogStats;
 use crate::table::Table;
@@ -73,6 +74,7 @@ use crate::wal::{
 use rustc_hash::FxHashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// File name of the checkpoint snapshot inside a database directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.erb";
@@ -143,17 +145,23 @@ fn put_table(buf: &mut Vec<u8>, t: &Table) {
             IndexKind::BTree => 1,
         });
     }
-    put_slots(buf, t.slots());
+    put_slots(buf, t);
 }
 
-fn put_slots(buf: &mut Vec<u8>, slots: &[Option<Row>]) {
-    put_u32(buf, slots.len() as u32);
-    for slot in slots {
-        match slot {
-            None => buf.push(0),
-            Some(row) => {
-                buf.push(1);
-                put_row(buf, row);
+/// Encode the slot vector page by page. Byte-identical to encoding the
+/// materialized `Vec<Option<Row>>` (pages concatenate to exactly the slot
+/// vector), but evicted pages are decoded transiently one at a time, so
+/// checkpointing a table never pulls its whole row store resident.
+fn put_slots(buf: &mut Vec<u8>, t: &Table) {
+    put_u32(buf, t.slot_count() as u32);
+    for (_, page) in t.page_pins() {
+        for slot in page.iter() {
+            match slot {
+                None => buf.push(0),
+                Some(row) => {
+                    buf.push(1);
+                    put_row(buf, row);
+                }
             }
         }
     }
@@ -212,7 +220,7 @@ fn encode_body(cat: &Catalog, next_txn: u64) -> Vec<u8> {
 
 // ---- decoding --------------------------------------------------------------
 
-fn get_table(c: &mut Cursor<'_>) -> StorageResult<Table> {
+fn get_table(c: &mut Cursor<'_>, pool: &Arc<BufferPool>) -> StorageResult<Table> {
     let schema_json = c.str().ok_or_else(|| corrupt("snapshot: short table schema"))?;
     let schema: TableSchema = serde_json::from_str(&schema_json)
         .map_err(|e| corrupt(format!("snapshot: bad table schema: {e}")))?;
@@ -232,9 +240,20 @@ fn get_table(c: &mut Cursor<'_>) -> StorageResult<Table> {
         };
         specs.push((name, cols, kind));
     }
-    let slots = get_slots(c)?;
-    let mut t = Table::from_slots(schema, slots)
-        .map_err(|e| corrupt(format!("snapshot: table rebuild failed: {e}")))?;
+    // Stream slots straight into a pool-bound table: `RowStore::push`
+    // reclaims pages at page boundaries when over budget, so decoding a
+    // table larger than the frame budget stays bounded.
+    let n = c.u32().ok_or_else(|| corrupt("snapshot: short slot count"))? as usize;
+    let mut t = Table::with_pool(schema, pool.clone());
+    for _ in 0..n {
+        let slot = match c.u8().ok_or_else(|| corrupt("snapshot: short slot flag"))? {
+            0 => None,
+            1 => Some(get_row(c).ok_or_else(|| corrupt("snapshot: short row"))?),
+            f => return Err(corrupt(format!("snapshot: bad slot flag {f}"))),
+        };
+        t.load_slot(slot).map_err(|e| corrupt(format!("snapshot: table rebuild failed: {e}")))?;
+    }
+    t.rebuild_free();
     for (name, cols, kind) in specs {
         t.create_index(name, cols, kind)
             .map_err(|e| corrupt(format!("snapshot: index rebuild failed: {e}")))?;
@@ -242,35 +261,22 @@ fn get_table(c: &mut Cursor<'_>) -> StorageResult<Table> {
     Ok(t)
 }
 
-fn get_slots(c: &mut Cursor<'_>) -> StorageResult<Vec<Option<Row>>> {
-    let n = c.u32().ok_or_else(|| corrupt("snapshot: short slot count"))? as usize;
-    let mut slots = Vec::with_capacity(n.min(1 << 20));
-    for _ in 0..n {
-        match c.u8().ok_or_else(|| corrupt("snapshot: short slot flag"))? {
-            0 => slots.push(None),
-            1 => slots.push(Some(get_row(c).ok_or_else(|| corrupt("snapshot: short row"))?)),
-            f => return Err(corrupt(format!("snapshot: bad slot flag {f}"))),
-        }
-    }
-    Ok(slots)
-}
-
-fn decode_body(body: &[u8]) -> StorageResult<(Catalog, u64)> {
+fn decode_body(body: &[u8], pool: &Arc<BufferPool>) -> StorageResult<(Catalog, u64)> {
     let mut c = Cursor::new(body);
     let next_txn = c.u64().ok_or_else(|| corrupt("snapshot: short header"))?;
-    let mut cat = Catalog::new();
+    let mut cat = Catalog::with_pool(pool.clone());
 
     let n_tables = c.u32().ok_or_else(|| corrupt("snapshot: short table count"))? as usize;
     for _ in 0..n_tables {
-        let t = get_table(&mut c)?;
+        let t = get_table(&mut c, pool)?;
         cat.create_table(t).map_err(|e| corrupt(format!("snapshot: duplicate table: {e}")))?;
     }
 
     let n_facts = c.u32().ok_or_else(|| corrupt("snapshot: short factorized count"))? as usize;
     for _ in 0..n_facts {
         let name = c.str().ok_or_else(|| corrupt("snapshot: short factorized name"))?;
-        let left = get_table(&mut c)?;
-        let right = get_table(&mut c)?;
+        let left = get_table(&mut c, pool)?;
+        let right = get_table(&mut c, pool)?;
         let n_pairs = c.u32().ok_or_else(|| corrupt("snapshot: short pair count"))? as usize;
         let mut links = Vec::with_capacity(n_pairs.min(1 << 20));
         for _ in 0..n_pairs {
@@ -350,8 +356,12 @@ fn read_frame(path: &Path, magic: &[u8; 8]) -> StorageResult<(Vec<u8>, u32)> {
     if bytes.len() < magic.len() + 8 || &bytes[..magic.len()] != magic {
         return Err(corrupt("snapshot: bad magic"));
     }
-    let len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
-    let crc = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    let len_bytes: [u8; 4] =
+        bytes.get(8..12).and_then(|b| b.try_into().ok()).ok_or_else(|| corrupt("snapshot: short header"))?;
+    let crc_bytes: [u8; 4] =
+        bytes.get(12..16).and_then(|b| b.try_into().ok()).ok_or_else(|| corrupt("snapshot: short header"))?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    let crc = u32::from_le_bytes(crc_bytes);
     let body = bytes.get(16..16 + len).ok_or_else(|| corrupt("snapshot: short body"))?;
     if bytes.len() != 16 + len {
         return Err(corrupt("snapshot: trailing bytes after frame"));
@@ -375,7 +385,8 @@ fn base_body_crc(path: &Path) -> StorageResult<u32> {
     if &header[..8] != MAGIC {
         return Err(corrupt("snapshot: bad magic"));
     }
-    Ok(u32::from_le_bytes(header[12..16].try_into().expect("4 bytes")))
+    let crc: [u8; 4] = header[12..16].try_into().map_err(|_| corrupt("snapshot: short header"))?;
+    Ok(u32::from_le_bytes(crc))
 }
 
 /// Write a full checkpoint snapshot of `cat` to `dir/`[`SNAPSHOT_FILE`]
@@ -411,8 +422,13 @@ pub fn write_snapshot(cat: &Catalog, next_txn: u64, dir: &Path) -> StorageResult
 
 /// Load a snapshot file. Any malformation is [`StorageError::Corrupt`].
 pub fn load_snapshot(path: &Path) -> StorageResult<(Catalog, u64)> {
+    load_snapshot_pooled(path, &BufferPool::unbounded())
+}
+
+/// [`load_snapshot`] with the recovered tables bound to `pool`.
+pub fn load_snapshot_pooled(path: &Path, pool: &Arc<BufferPool>) -> StorageResult<(Catalog, u64)> {
     let (body, _) = read_frame(path, MAGIC)?;
-    decode_body(&body)
+    decode_body(&body, pool)
 }
 
 // ---- delta checkpoints -----------------------------------------------------
@@ -482,7 +498,7 @@ fn encode_delta_body(
     Ok(buf)
 }
 
-fn decode_delta_body(body: &[u8]) -> StorageResult<Delta> {
+fn decode_delta_body(body: &[u8], pool: &Arc<BufferPool>) -> StorageResult<Delta> {
     let mut c = Cursor::new(body);
     let seq = c.u64().ok_or_else(|| corrupt("delta: short seq"))?;
     let base_crc = c.u32().ok_or_else(|| corrupt("delta: short base crc"))?;
@@ -491,15 +507,15 @@ fn decode_delta_body(body: &[u8]) -> StorageResult<Delta> {
     let n_tables = c.u32().ok_or_else(|| corrupt("delta: short table count"))? as usize;
     let mut tables = Vec::with_capacity(n_tables.min(1 << 10));
     for _ in 0..n_tables {
-        tables.push(get_table(&mut c)?);
+        tables.push(get_table(&mut c, pool)?);
     }
 
     let n_facts = c.u32().ok_or_else(|| corrupt("delta: short factorized count"))? as usize;
     let mut facts = Vec::with_capacity(n_facts.min(1 << 10));
     for _ in 0..n_facts {
         let name = c.str().ok_or_else(|| corrupt("delta: short factorized name"))?;
-        let left = get_table(&mut c)?;
-        let right = get_table(&mut c)?;
+        let left = get_table(&mut c, pool)?;
+        let right = get_table(&mut c, pool)?;
         let n_pairs = c.u32().ok_or_else(|| corrupt("delta: short pair count"))? as usize;
         let mut links = Vec::with_capacity(n_pairs.min(1 << 20));
         for _ in 0..n_pairs {
@@ -538,9 +554,9 @@ fn decode_delta_body(body: &[u8]) -> StorageResult<Delta> {
     Ok(Delta { seq, base_crc, next_txn, tables, facts, meta, stats })
 }
 
-fn load_delta(path: &Path) -> StorageResult<Delta> {
+fn load_delta(path: &Path, pool: &Arc<BufferPool>) -> StorageResult<Delta> {
     let (body, _) = read_frame(path, MAGIC2)?;
-    decode_delta_body(&body)
+    decode_delta_body(&body, pool)
 }
 
 /// Just the identifying header of a delta file (frame still CRC-verified):
@@ -683,7 +699,12 @@ fn redo(cat: &mut Catalog, rec: WalRecord) -> StorageResult<()> {
         WalRecord::BulkInsert { table, first, rows } => {
             let t = cat.table_mut(&table)?;
             for (i, row) in rows.into_iter().enumerate() {
-                t.place_at(RowId(first + i as u64), row)?;
+                // A WAL-supplied `first` near u64::MAX must surface as
+                // corruption, not an addition overflow panic.
+                let rid = first
+                    .checked_add(i as u64)
+                    .ok_or_else(|| corrupt("WAL: bulk insert row id overflows"))?;
+                t.place_at(RowId(rid), row)?;
             }
         }
         WalRecord::Update { table, rid, row } => {
@@ -742,8 +763,16 @@ impl Catalog {
     /// atomically. Deltas recorded against a *different* base (stale
     /// survivors of a full-snapshot compaction crash) are silently ignored.
     pub fn recover(dir: &Path) -> StorageResult<Recovered> {
+        Catalog::recover_with(dir, BufferPool::unbounded())
+    }
+
+    /// [`Catalog::recover`] with the rebuilt tables bound to `pool`:
+    /// snapshot and delta decoding stream slots page by page (reclaiming as
+    /// they go), and WAL redo reclaims between groups, so recovery of a
+    /// catalog larger than the frame budget stays within it.
+    pub fn recover_with(dir: &Path, pool: Arc<BufferPool>) -> StorageResult<Recovered> {
         use erbium_obs::{Counter, Registry};
-        use std::sync::{Arc, OnceLock};
+        use std::sync::OnceLock;
         static RECOVERIES: OnceLock<Arc<Counter>> = OnceLock::new();
         static REPLAYED: OnceLock<Arc<Counter>> = OnceLock::new();
         static STATS_RESTORED: OnceLock<Arc<Counter>> = OnceLock::new();
@@ -752,12 +781,12 @@ impl Catalog {
         let snap_path = dir.join(SNAPSHOT_FILE);
         let (mut cat, mut next_txn) = if snap_path.exists() {
             let (body, base_crc) = read_frame(&snap_path, MAGIC)?;
-            let (mut cat, mut chain_txn) = decode_body(&body)?;
+            let (mut cat, mut chain_txn) = decode_body(&body, &pool)?;
 
             // Chain the deltas recorded against *this* base, newest last.
             let mut chain: Vec<Delta> = Vec::new();
             for (file_seq, path) in list_deltas(dir)? {
-                let d = load_delta(&path)?;
+                let d = load_delta(&path, &pool)?;
                 if d.seq != file_seq {
                     return Err(corrupt(format!(
                         "delta: file {} claims seq {}",
@@ -792,7 +821,7 @@ impl Catalog {
             }
             (cat, chain_txn)
         } else {
-            (Catalog::new(), 1)
+            (Catalog::with_pool(pool.clone()), 1)
         };
         // The in-memory state now equals the on-disk checkpoint chain, so
         // dirty tracking restarts clean; the WAL redo below re-marks
@@ -818,6 +847,12 @@ impl Catalog {
             replayed_groups += 1;
             for rec in group {
                 redo(&mut cat, rec)?;
+            }
+            // Every redone group is committed state, so its pages can spill
+            // immediately; without this the redo suffix would accumulate
+            // resident pages past the frame budget.
+            if pool.over_budget() {
+                cat.reclaim_pages();
             }
         }
         for t in cat.tables_iter_mut() {
@@ -929,7 +964,7 @@ mod tests {
         for name in a.table_names() {
             let (ta, tb) = (a.table(&name).unwrap(), b.table(&name).unwrap());
             assert_eq!(ta.schema(), tb.schema(), "schema of '{name}'");
-            assert_eq!(ta.slots(), tb.slots(), "slots of '{name}'");
+            assert_eq!(ta.slots_vec(), tb.slots_vec(), "slots of '{name}'");
             let mut ia: Vec<_> =
                 ta.indexes().iter().map(|i| (i.name.clone(), i.columns.clone(), i.kind())).collect();
             let mut ib: Vec<_> =
@@ -941,8 +976,8 @@ mod tests {
         assert_eq!(a.factorized_names(), b.factorized_names());
         for name in a.factorized_names() {
             let (fa, fb) = (a.factorized(&name).unwrap(), b.factorized(&name).unwrap());
-            assert_eq!(fa.left().slots(), fb.left().slots());
-            assert_eq!(fa.right().slots(), fb.right().slots());
+            assert_eq!(fa.left().slots_vec(), fb.left().slots_vec());
+            assert_eq!(fa.right().slots_vec(), fb.right().slots_vec());
             let mut la = fa.link_pairs();
             let mut lb = fb.link_pairs();
             la.sort();
@@ -995,7 +1030,7 @@ mod tests {
         let cat = sample_catalog();
         assert!(cat.stats().is_empty());
         let body = encode_body(&cat, 3);
-        let (back, next_txn) = decode_body(&body).unwrap();
+        let (back, next_txn) = decode_body(&body, &BufferPool::unbounded()).unwrap();
         assert_eq!(next_txn, 3);
         assert!(back.stats().is_empty(), "no stats section, no stats");
         assert_catalogs_equal(&cat, &back);

@@ -1,14 +1,17 @@
 //! Slotted row tables with primary-key enforcement and secondary indexes.
 
+use crate::buffer_pool::BufferPool;
 use crate::column::{Bitmap, ColumnSlice, Columns};
 use crate::error::{StorageError, StorageResult};
 use crate::index::{HashIndex, IndexKind, SecondaryIndex};
+use crate::pages::{page_rows_for, PageData, RowStore, SlotPin};
 use crate::row::{Row, RowId};
 use crate::schema::TableSchema;
 use crate::stats::{ColumnStats, TableStats, NDV_CAP};
 use crate::value::Value;
 use rustc_hash::FxHashSet;
 use std::hash::Hash;
+use std::sync::Arc;
 
 /// An in-memory table.
 ///
@@ -27,7 +30,10 @@ use std::hash::Hash;
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: TableSchema,
-    rows: Vec<Option<Row>>,
+    /// The row view, split into fixed-size pages managed by a
+    /// [`BufferPool`] (see [`crate::pages`]). Slot indices are unchanged
+    /// from the old flat `Vec<Option<Row>>`; only residency is managed.
+    rows: RowStore,
     cols: Columns,
     free: Vec<u64>,
     live: usize,
@@ -57,11 +63,20 @@ impl Table {
     /// Create an empty table. A primary-key index is created automatically
     /// when the schema declares key columns.
     pub fn new(schema: TableSchema) -> Table {
+        Table::with_pool(schema, BufferPool::unbounded())
+    }
+
+    /// Create an empty table whose row pages are managed by `pool`.
+    /// [`Table::new`] binds the process-wide unbounded pool; the catalog
+    /// rebinds tables to its own pool on install (see
+    /// `Catalog::reclaim_pages`).
+    pub fn with_pool(schema: TableSchema, pool: Arc<BufferPool>) -> Table {
         let pk_index = if schema.primary_key.is_empty() { None } else { Some(HashIndex::new()) };
         let cols = Columns::from_schema(&schema);
+        let rows = RowStore::new(schema.arity(), page_rows_for(&schema), pool);
         Table {
             schema,
-            rows: Vec::new(),
+            rows,
             cols,
             free: Vec::new(),
             live: 0,
@@ -71,6 +86,28 @@ impl Table {
             content_epoch: 0,
             epochs: Vec::new(),
         }
+    }
+
+    /// Rebind the row pages to another buffer pool (catalog install and
+    /// recovery wiring). No-op when already bound to `pool`.
+    pub(crate) fn bind_pool(&mut self, pool: &Arc<BufferPool>) {
+        self.rows.rebind(pool);
+    }
+
+    /// One clock-sweep reclaim pass over this table's pages (see
+    /// `RowStore::reclaim`). Returns pages evicted.
+    pub(crate) fn reclaim_pages(&mut self, force: bool) -> StorageResult<usize> {
+        self.rows.reclaim(force)
+    }
+
+    /// Rows per page of the paged row store (power of two; schema-derived).
+    pub fn page_rows(&self) -> usize {
+        self.rows.page_rows()
+    }
+
+    /// Number of pages currently backing the row store.
+    pub fn page_count(&self) -> usize {
+        self.rows.page_count()
     }
 
     /// Monotonic content version (see the field doc). Two observations of
@@ -156,7 +193,7 @@ impl Table {
         }
         let rid = match self.free.pop() {
             Some(slot) => {
-                self.rows[slot as usize] = Some(row);
+                self.rows.set(slot as usize, Some(row));
                 RowId(slot)
             }
             None => {
@@ -166,7 +203,7 @@ impl Table {
         };
         self.live += 1;
         self.stamp_slot(rid.idx(), self.write_epoch, u64::MAX);
-        let row_ref = self.rows[rid.idx()].as_ref().expect("just inserted");
+        let row_ref = self.rows.get(rid.idx()).expect("just inserted");
         self.cols.set_row(rid.idx(), row_ref);
         if let Some(key) = self.schema.key_of(row_ref) {
             self.pk_index.as_mut().expect("pk index").insert(key, rid);
@@ -219,7 +256,6 @@ impl Table {
             return Ok((first as u64, 0));
         }
         self.cols.append_rows(first, &canon);
-        self.rows.reserve(n);
         for row in canon {
             self.rows.push(Some(row));
         }
@@ -233,7 +269,7 @@ impl Table {
         }
         for slot in first..first + n {
             let rid = RowId(slot as u64);
-            let row = self.rows[slot].as_ref().expect("just appended");
+            let row = self.rows.get(slot).expect("just appended");
             if let Some(key) = self.schema.key_of(row) {
                 self.pk_index.as_mut().expect("pk index").insert(key, rid);
             }
@@ -244,9 +280,9 @@ impl Table {
         Ok((first as u64, n))
     }
 
-    /// Fetch a live row.
+    /// Fetch a live row (faulting its page in if evicted).
     pub fn get(&self, rid: RowId) -> Option<&Row> {
-        self.rows.get(rid.idx()).and_then(|r| r.as_ref())
+        self.rows.get(rid.idx())
     }
 
     /// Replace a live row in place (same slot, indexes maintained).
@@ -257,7 +293,6 @@ impl Table {
         let old = self
             .rows
             .get(rid.idx())
-            .and_then(|r| r.as_ref())
             .cloned()
             .ok_or_else(|| StorageError::RowNotFound { table: self.schema.name.clone(), row: rid.0 })?;
         // Primary-key change must stay unique.
@@ -287,7 +322,7 @@ impl Table {
             idx.insert(&new_row, rid);
         }
         self.cols.set_row(rid.idx(), &new_row);
-        self.rows[rid.idx()] = Some(new_row);
+        self.rows.set(rid.idx(), Some(new_row));
         // An in-place update is a new row version: it becomes visible from
         // the writing epoch onward (snapshots pinned earlier hold the old
         // table version and never see it).
@@ -299,8 +334,7 @@ impl Table {
     pub fn delete(&mut self, rid: RowId) -> StorageResult<Row> {
         let row = self
             .rows
-            .get_mut(rid.idx())
-            .and_then(Option::take)
+            .take(rid.idx())
             .ok_or_else(|| StorageError::RowNotFound { table: self.schema.name.clone(), row: rid.0 })?;
         self.free.push(rid.0);
         self.live -= 1;
@@ -322,7 +356,7 @@ impl Table {
     /// like [`Table::insert`] so restored state is physically identical to
     /// freshly ingested state.
     pub(crate) fn restore(&mut self, rid: RowId, mut row: Row) -> StorageResult<()> {
-        if self.rows.get(rid.idx()).map(|r| r.is_some()).unwrap_or(true) {
+        if rid.idx() >= self.rows.len() || self.rows.get(rid.idx()).is_some() {
             return Err(StorageError::Internal(format!(
                 "restore into occupied or out-of-range slot {rid} of '{}'",
                 self.schema.name
@@ -332,10 +366,10 @@ impl Table {
         if let Some(pos) = self.free.iter().position(|s| *s == rid.0) {
             self.free.swap_remove(pos);
         }
-        self.rows[rid.idx()] = Some(row);
+        self.rows.set(rid.idx(), Some(row));
         self.live += 1;
         self.stamp_slot(rid.idx(), self.write_epoch, u64::MAX);
-        let row_ref = self.rows[rid.idx()].as_ref().expect("just restored").clone();
+        let row_ref = self.rows.get(rid.idx()).expect("just restored").clone();
         self.cols.set_row(rid.idx(), &row_ref);
         if let Some(key) = self.schema.key_of(&row_ref) {
             self.pk_index.as_mut().expect("pk index").insert(key, rid);
@@ -353,7 +387,10 @@ impl Table {
     /// expected to call [`Table::rebuild_free`] once after replay.
     pub(crate) fn place_at(&mut self, rid: RowId, row: Row) -> StorageResult<()> {
         if rid.idx() >= self.rows.len() {
-            self.rows.resize(rid.idx() + 1, None);
+            let want = rid.idx().checked_add(1).ok_or_else(|| {
+                StorageError::Corrupt(format!("row id {rid} overflows the slot space"))
+            })?;
+            self.rows.resize_none(want);
         }
         self.restore(rid, row)
     }
@@ -361,35 +398,84 @@ impl Table {
     /// Recompute the free list from the slot vector (after WAL redo, which
     /// places rows at exact slots rather than popping the free list).
     pub(crate) fn rebuild_free(&mut self) {
-        self.free = self
-            .rows
-            .iter()
-            .enumerate()
-            .filter_map(|(i, r)| r.is_none().then_some(i as u64))
-            .collect();
+        let mut free = Vec::new();
+        for (first, page) in self.rows.page_pins() {
+            for (i, slot) in page.iter().enumerate() {
+                if slot.is_none() {
+                    free.push((first + i) as u64);
+                }
+            }
+        }
+        self.free = free;
     }
 
-    /// Raw slot vector (live rows and tombstones), for checkpointing. The
-    /// snapshot must preserve slot positions exactly so that [`RowId`]s in
-    /// the WAL suffix and in factorized link vectors stay valid.
-    pub(crate) fn slots(&self) -> &[Option<Row>] {
-        &self.rows
+    /// Materialized slot vector (live rows and tombstones), for tests and
+    /// snapshot round-trips. The snapshot must preserve slot positions
+    /// exactly so that [`RowId`]s in the WAL suffix and in factorized link
+    /// vectors stay valid. Checkpoint encoding itself streams page by page
+    /// via [`Table::page_pins`] instead of materializing this vector.
+    #[cfg(test)]
+    pub(crate) fn slots_vec(&self) -> Vec<Option<Row>> {
+        self.rows.slots_vec()
+    }
+
+    /// Transient pins over every page, in slot order, tagged with the first
+    /// slot index each page covers. Pages evicted to the spill store are
+    /// decoded without being re-installed as resident, so a full-table walk
+    /// stays within the frame budget.
+    pub(crate) fn page_pins(&self) -> impl Iterator<Item = (usize, Arc<PageData>)> + '_ {
+        self.rows.page_pins()
+    }
+
+    /// Pin the pages covering `range` and return an owning handle whose
+    /// rows can be borrowed without touching the table again (morsel
+    /// execution: one pin per morsel, dropped when the morsel completes).
+    /// Bounds behave exactly like [`Table::scan_slots`]: the end is
+    /// clamped, a start past the end yields an empty pin.
+    pub fn pin_slots(&self, range: std::ops::Range<usize>) -> SlotPin {
+        self.rows.pin(range.start, range.end)
     }
 
     /// Rebuild a table from a checkpointed slot vector: rows are validated,
     /// canonicalized, and indexed; the free list is derived from the
-    /// tombstone positions.
+    /// tombstone positions. Production decoding streams slots one at a time
+    /// through [`Table::load_slot`] instead; this materialized-vector form
+    /// exists for round-trip tests.
+    #[cfg(test)]
     pub(crate) fn from_slots(schema: TableSchema, slots: Vec<Option<Row>>) -> StorageResult<Table> {
         let mut t = Table::new(schema);
-        t.rows = vec![None; slots.len()];
-        for (i, slot) in slots.into_iter().enumerate() {
-            if let Some(row) = slot {
-                t.schema.validate_row(&row)?;
-                t.restore(RowId(i as u64), row)?;
-            }
+        for slot in slots {
+            t.load_slot(slot)?;
         }
         t.rebuild_free();
         Ok(t)
+    }
+
+    /// Append one checkpointed slot (row or tombstone) at the next slot
+    /// index: the streaming unit of the snapshot decoder. The caller is
+    /// expected to run [`Table::rebuild_free`] once after the last slot.
+    pub(crate) fn load_slot(&mut self, slot: Option<Row>) -> StorageResult<()> {
+        let i = self.rows.len();
+        match slot {
+            None => self.rows.push(None),
+            Some(mut row) => {
+                self.schema.validate_row(&row)?;
+                self.schema.canonicalize_row(&mut row);
+                self.rows.push(Some(row));
+                self.live += 1;
+                self.stamp_slot(i, self.write_epoch, u64::MAX);
+                let rid = RowId(i as u64);
+                let row_ref = self.rows.get(i).expect("just loaded").clone();
+                self.cols.set_row(i, &row_ref);
+                if let Some(key) = self.schema.key_of(&row_ref) {
+                    self.pk_index.as_mut().expect("key_of implies pk index").insert(key, rid);
+                }
+                for idx in &mut self.indexes {
+                    idx.insert(&row_ref, rid);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Number of physical slots (live rows plus tombstones). Slot indexes
@@ -418,12 +504,9 @@ impl Table {
             self.schema.name,
             self.rows.len()
         );
-        let end = range.end.min(self.rows.len());
-        let start = range.start.min(end);
-        self.rows[start..end]
-            .iter()
-            .enumerate()
-            .filter_map(move |(i, r)| r.as_ref().map(move |row| (RowId((start + i) as u64), row)))
+        self.rows
+            .iter_range(range.start, range.end)
+            .map(|(i, row)| (RowId(i as u64), row))
     }
 
     /// Iterate live rows with their ids.
@@ -484,13 +567,12 @@ impl Table {
             }
         }
         let mut idx = SecondaryIndex::new(name, columns, kind);
-        for (rid, row) in self
-            .rows
-            .iter()
-            .enumerate()
-            .filter_map(|(i, r)| r.as_ref().map(|row| (RowId(i as u64), row)))
-        {
-            idx.insert(row, rid);
+        for (first, page) in self.rows.page_pins() {
+            for (i, slot) in page.iter().enumerate() {
+                if let Some(row) = slot {
+                    idx.insert(row, RowId((first + i) as u64));
+                }
+            }
         }
         self.indexes.push(idx);
         Ok(())
@@ -1120,7 +1202,7 @@ mod tests {
     #[test]
     fn column_view_survives_snapshot_roundtrip_and_truncate() {
         let t = churned_mixed_table();
-        let rebuilt = Table::from_slots(t.schema().clone(), t.slots().to_vec()).unwrap();
+        let rebuilt = Table::from_slots(t.schema().clone(), t.slots_vec()).unwrap();
         assert_eq!(rebuilt.compute_stats(), t.compute_stats());
         assert_eq!(rebuilt.live_slots().count_ones(), t.len());
         let mut t2 = t.clone();

@@ -710,12 +710,15 @@ pub fn scan_wal(path: &Path) -> StorageResult<WalScan> {
         if pos == bytes.len() {
             break; // clean EOF
         }
-        let Some(header) = bytes.get(pos..pos + 8) else {
+        let (Some(len_bytes), Some(crc_bytes)) = (
+            bytes.get(pos..pos + 4).and_then(|b| <[u8; 4]>::try_from(b).ok()),
+            bytes.get(pos + 4..pos + 8).and_then(|b| <[u8; 4]>::try_from(b).ok()),
+        ) else {
             scan.torn_tail = true;
             break;
         };
-        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        let crc = u32::from_le_bytes(crc_bytes);
         let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
             scan.torn_tail = true;
             break;
@@ -731,12 +734,14 @@ pub fn scan_wal(path: &Path) -> StorageResult<WalScan> {
         pos += 8 + len;
         scan.frames += 1;
         match rec {
+            // `saturating_add`: a crafted frame carrying txn == u64::MAX
+            // must not panic the recovery scan with an addition overflow.
             WalRecord::Begin { txn } => {
-                scan.next_txn = scan.next_txn.max(txn + 1);
+                scan.next_txn = scan.next_txn.max(txn.saturating_add(1));
                 open = Some((txn, Vec::new()));
             }
             WalRecord::Commit { txn } => {
-                scan.next_txn = scan.next_txn.max(txn + 1);
+                scan.next_txn = scan.next_txn.max(txn.saturating_add(1));
                 if let Some((id, ops)) = open.take() {
                     if id == txn {
                         scan.committed.push((id, ops));
@@ -744,7 +749,7 @@ pub fn scan_wal(path: &Path) -> StorageResult<WalScan> {
                 }
             }
             WalRecord::Abort { txn } => {
-                scan.next_txn = scan.next_txn.max(txn + 1);
+                scan.next_txn = scan.next_txn.max(txn.saturating_add(1));
                 open = None;
             }
             op => {

@@ -67,6 +67,13 @@ fi
 # reads and pinned snapshots. Fails on any error, a torn transaction, an
 # unstable snapshot answer, or a plan cache that served zero hits.
 cargo run -q --release --offline -p erbium-bench --bin multi_client_smoke
+# Bounded-memory smoke: the experiment workload under every paper mapping
+# with a 4-frame buffer pool on a dataset spanning ~25 row pages. Asserts
+# the pool evicted / wrote back / re-faulted pages, the resident count is
+# back under budget after reclaim, process peak RSS stays under a fixed
+# ceiling, and the M1–M6 answers (plus a full row-store fingerprint) are
+# bit-identical to an unbounded reopen of the same database.
+cargo run -q --release --offline -p erbium-bench --bin bounded_memory_smoke
 # Server smoke: the same workload, same invariants, through real TCP
 # sockets — an in-process ERSP server on an ephemeral port, every thread
 # dialing its own RemoteClient. Additionally asserts the server drains

@@ -438,6 +438,134 @@ fn crash_at_every_byte_across_base_delta_chains() {
     fs::remove_dir_all(&crash_dir).ok();
 }
 
+/// Corruption never panics: flipping a byte at *every* position of the
+/// base snapshot, a delta checkpoint, and the WAL must leave recovery
+/// either succeeding (flip in a slack region — the result must then be a
+/// committed prefix) or failing with a recovery error. Decode paths that
+/// `unwrap`/`expect` on attacker-shaped bytes show up here as unwinds, so
+/// each reopen runs under `catch_unwind`.
+#[test]
+fn byte_flip_corruption_never_panics_recovery() {
+    let dir = tmpdir("flip");
+    let mut db = Database::open(&dir).unwrap();
+    db.execute(EXPERIMENT_DDL).unwrap();
+    db.install_default().unwrap(); // structural → full base snapshot
+    let mut sh = Shadow::default();
+    let ops = mixed_ops();
+    let mut prefixes = vec![fingerprint(&db)];
+    for op in &ops[..3] {
+        if apply(&mut db, &mut sh, op) {
+            prefixes.push(fingerprint(&db));
+        }
+    }
+    db.checkpoint().unwrap(); // delta 1
+    for op in &ops[3..6] {
+        if apply(&mut db, &mut sh, op) {
+            prefixes.push(fingerprint(&db));
+        }
+    }
+    drop(db);
+
+    let files = ["snapshot.erb", "snapshot.delta.1.erb", "wal.erb"];
+    let crash_dir = tmpdir("flip-crash");
+    for f in files {
+        fs::copy(dir.join(f), crash_dir.join(f)).unwrap();
+    }
+    for f in files {
+        let orig = fs::read(dir.join(f)).unwrap();
+        assert!(!orig.is_empty(), "[{f}] fixture file is non-trivial");
+        for flip in 0..orig.len() {
+            let mut bytes = orig.clone();
+            bytes[flip] ^= 0x40;
+            fs::write(crash_dir.join(f), &bytes).unwrap();
+            let opened = std::panic::catch_unwind(|| Database::open(&crash_dir))
+                .unwrap_or_else(|_| {
+                    panic!("[{f}] flip at byte {flip}/{} panicked recovery", orig.len())
+                });
+            if let Ok(rdb) = opened {
+                assert!(
+                    prefixes.contains(&fingerprint(&rdb)),
+                    "[{f}] flip at byte {flip}: recovered state is not a committed prefix",
+                );
+            }
+        }
+        fs::write(crash_dir.join(f), &orig).unwrap();
+    }
+    fs::remove_dir_all(&dir).ok();
+    fs::remove_dir_all(&crash_dir).ok();
+}
+
+/// Crash-at-every-byte under a tiny buffer-pool budget. A bulk load spans
+/// more row pages than the two-frame budget, so the workload itself evicts
+/// and writes back dirty pages; every recovery likewise streams base +
+/// WAL redo through the bounded pool. The recovered state must be exactly
+/// a committed prefix — bit-identical to what an unbounded pool recovers.
+#[test]
+fn crash_at_every_byte_with_tiny_frame_budget() {
+    use erbiumdb::core::{BulkEntity, DurabilityOptions};
+    let opts = DurabilityOptions { buffer_pool_frames: Some(2), ..Default::default() };
+    let dir = tmpdir("pool");
+    let mut db = Database::open_with(&dir, opts.clone()).unwrap();
+    db.execute(EXPERIMENT_DDL).unwrap();
+    db.install_default().unwrap();
+    // Three pages of S rows (256 rows/page for this schema) in one bulk
+    // group: past the budget, so the load must spill mid-workload.
+    let batch: Vec<BulkEntity> = (1000..1640)
+        .map(|i| {
+            BulkEntity::new(&[
+                ("s_id", Value::Int(i)),
+                ("s_a", Value::str(format!("bulk{i}"))),
+                ("s_b", Value::Int(i % 7)),
+            ])
+        })
+        .collect();
+    db.copy_from("S", &batch).unwrap();
+    let stats = db.buffer_pool_stats();
+    assert!(stats.evictions > 0, "the bulk load overflowed the two-frame budget: {stats:?}");
+    assert!(stats.dirty_writebacks > 0, "cold dirty pages were written back: {stats:?}");
+    db.checkpoint().unwrap();
+
+    // A short WAL suffix of row ops on top of the checkpoint.
+    let mut sh = Shadow::default();
+    let mut prefixes = vec![fingerprint(&db)];
+    for op in mixed_ops().iter().take(6) {
+        if apply(&mut db, &mut sh, op) {
+            prefixes.push(fingerprint(&db));
+        }
+    }
+    drop(db);
+
+    let wal = fs::read(dir.join("wal.erb")).unwrap();
+    assert!(!wal.is_empty(), "suffix ops are in the WAL");
+    let crash_dir = tmpdir("pool-crash");
+    for entry in fs::read_dir(&dir).unwrap() {
+        let name = entry.unwrap().file_name();
+        let s = name.to_string_lossy().to_string();
+        if s.starts_with("snapshot") {
+            fs::copy(dir.join(&s), crash_dir.join(&s)).unwrap();
+        }
+    }
+    for cut in 0..=wal.len() {
+        fs::write(crash_dir.join("wal.erb"), &wal[..cut]).unwrap();
+        let rdb = Database::open_with(&crash_dir, opts.clone())
+            .unwrap_or_else(|e| panic!("bounded open after cut at {cut}: {e}"));
+        let fp = fingerprint(&rdb);
+        assert!(
+            prefixes.contains(&fp),
+            "cut at byte {cut}/{}: bounded recovery is not a committed prefix",
+            wal.len(),
+        );
+        if cut == wal.len() {
+            assert_eq!(fp, *prefixes.last().unwrap(), "full WAL = final state");
+            // Bounded and unbounded recovery agree bit-for-bit.
+            let unbounded = Database::open(&crash_dir).unwrap();
+            assert_eq!(fingerprint(&unbounded), fp, "frame budget must not change recovery");
+        }
+    }
+    fs::remove_dir_all(&dir).ok();
+    fs::remove_dir_all(&crash_dir).ok();
+}
+
 /// Clean shutdown under `SyncPolicy::EveryN`: commits still below the sync
 /// threshold are flushed by the WAL's `Drop` handler, so dropping the
 /// database loses nothing. The fsync itself is asserted through the
@@ -520,6 +648,7 @@ fn shared_always_db(dir: &std::path::Path) -> erbiumdb::core::SharedDatabase {
     let opts = DurabilityOptions {
         sync: SyncPolicy::Always,
         group_commit_window: std::time::Duration::from_millis(25),
+        ..Default::default()
     };
     let mut db = Database::open_with(dir, opts).unwrap();
     db.execute("CREATE ENTITY acct (id int KEY, batch int, score int)").unwrap();
